@@ -1,0 +1,222 @@
+//! Aho–Corasick multi-string matching, built from scratch.
+//!
+//! The literal engine under the Hyperscan-like baseline: a goto trie with
+//! BFS-built failure links and merged output sets, matched with all-match
+//! semantics (every occurrence of every pattern reported).
+
+/// A match of one pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcMatch {
+    /// Index of the pattern (in insertion order).
+    pub pattern: u32,
+    /// Byte position at which the occurrence ends (inclusive).
+    pub end: usize,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Node {
+    /// Sorted `(byte, node)` edges.
+    children: Vec<(u8, u32)>,
+    fail: u32,
+    /// Patterns ending at this node (including via suffix links, merged
+    /// during construction).
+    outputs: Vec<u32>,
+}
+
+/// An Aho–Corasick automaton over a set of byte-string patterns.
+///
+/// # Examples
+///
+/// ```
+/// use bitgen_baselines::AhoCorasick;
+///
+/// let ac = AhoCorasick::new(&[b"he".to_vec(), b"she".to_vec(), b"hers".to_vec()]);
+/// let ends: Vec<usize> = ac.find_all(b"ushers").iter().map(|m| m.end).collect();
+/// assert_eq!(ends, vec![3, 3, 5]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AhoCorasick {
+    nodes: Vec<Node>,
+    pattern_count: usize,
+}
+
+impl AhoCorasick {
+    /// Builds the automaton. Empty patterns are ignored (they would match
+    /// zero-width everywhere).
+    pub fn new(patterns: &[Vec<u8>]) -> AhoCorasick {
+        let mut nodes = vec![Node::default()];
+        for (pi, pat) in patterns.iter().enumerate() {
+            if pat.is_empty() {
+                continue;
+            }
+            let mut cur = 0u32;
+            for &b in pat {
+                cur = match child(&nodes[cur as usize], b) {
+                    Some(next) => next,
+                    None => {
+                        nodes.push(Node::default());
+                        let next = (nodes.len() - 1) as u32;
+                        let node = &mut nodes[cur as usize];
+                        let idx = node.children.partition_point(|&(cb, _)| cb < b);
+                        node.children.insert(idx, (b, next));
+                        next
+                    }
+                };
+            }
+            nodes[cur as usize].outputs.push(pi as u32);
+        }
+        // BFS failure links; merge output sets along them.
+        let mut queue: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+        for &(_, c) in &nodes[0].children.clone() {
+            nodes[c as usize].fail = 0;
+            queue.push_back(c);
+        }
+        while let Some(u) = queue.pop_front() {
+            for (b, c) in nodes[u as usize].children.clone() {
+                // Walk fail links of u to find the failure target of c.
+                let mut f = nodes[u as usize].fail;
+                let fail_target = loop {
+                    if let Some(next) = child(&nodes[f as usize], b) {
+                        break next;
+                    }
+                    if f == 0 {
+                        break 0;
+                    }
+                    f = nodes[f as usize].fail;
+                };
+                let fail_target = if fail_target == c { 0 } else { fail_target };
+                nodes[c as usize].fail = fail_target;
+                let inherited = nodes[fail_target as usize].outputs.clone();
+                nodes[c as usize].outputs.extend(inherited);
+                queue.push_back(c);
+            }
+        }
+        AhoCorasick { nodes, pattern_count: patterns.len() }
+    }
+
+    /// Number of trie nodes (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of patterns the automaton was built from.
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_count
+    }
+
+    /// Finds every occurrence of every pattern, in end-position order.
+    pub fn find_all(&self, haystack: &[u8]) -> Vec<AcMatch> {
+        let mut out = Vec::new();
+        self.scan(haystack, |m| out.push(m));
+        out
+    }
+
+    /// Streams every occurrence to `on_match`, in end-position order.
+    pub fn scan<F: FnMut(AcMatch)>(&self, haystack: &[u8], mut on_match: F) {
+        let mut state = 0u32;
+        for (i, &b) in haystack.iter().enumerate() {
+            state = self.step(state, b);
+            for &p in &self.nodes[state as usize].outputs {
+                on_match(AcMatch { pattern: p, end: i });
+            }
+        }
+    }
+
+    fn step(&self, mut state: u32, b: u8) -> u32 {
+        loop {
+            if let Some(next) = child(&self.nodes[state as usize], b) {
+                return next;
+            }
+            if state == 0 {
+                return 0;
+            }
+            state = self.nodes[state as usize].fail;
+        }
+    }
+}
+
+fn child(node: &Node, b: u8) -> Option<u32> {
+    node.children
+        .binary_search_by_key(&b, |&(cb, _)| cb)
+        .ok()
+        .map(|i| node.children[i].1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pats(ps: &[&str]) -> Vec<Vec<u8>> {
+        ps.iter().map(|p| p.as_bytes().to_vec()).collect()
+    }
+
+    #[test]
+    fn classic_ushers() {
+        let ac = AhoCorasick::new(&pats(&["he", "she", "his", "hers"]));
+        let ms = ac.find_all(b"ushers");
+        let got: Vec<(u32, usize)> = ms.iter().map(|m| (m.pattern, m.end)).collect();
+        assert_eq!(got, vec![(1, 3), (0, 3), (3, 5)]);
+    }
+
+    #[test]
+    fn overlapping_occurrences() {
+        let ac = AhoCorasick::new(&pats(&["aa"]));
+        let ends: Vec<usize> = ac.find_all(b"aaaa").iter().map(|m| m.end).collect();
+        assert_eq!(ends, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn pattern_is_suffix_of_another() {
+        let ac = AhoCorasick::new(&pats(&["abcd", "cd", "d"]));
+        let ms = ac.find_all(b"abcd");
+        let mut got: Vec<u32> = ms.iter().filter(|m| m.end == 3).map(|m| m.pattern).collect();
+        got.sort();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn no_matches() {
+        let ac = AhoCorasick::new(&pats(&["xyz"]));
+        assert!(ac.find_all(b"abcabc").is_empty());
+    }
+
+    #[test]
+    fn binary_patterns() {
+        let ac = AhoCorasick::new(&[vec![0x00, 0xff], vec![0xff, 0xff]]);
+        let ms = ac.find_all(&[0x00, 0xff, 0xff]);
+        let got: Vec<(u32, usize)> = ms.iter().map(|m| (m.pattern, m.end)).collect();
+        assert_eq!(got, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn empty_patterns_ignored() {
+        let ac = AhoCorasick::new(&pats(&["", "a"]));
+        let ms = ac.find_all(b"aa");
+        assert_eq!(ms.len(), 2);
+        assert!(ms.iter().all(|m| m.pattern == 1));
+    }
+
+    #[test]
+    fn single_byte_patterns() {
+        let ac = AhoCorasick::new(&pats(&["a", "b"]));
+        let ends: Vec<(u32, usize)> =
+            ac.find_all(b"ab").iter().map(|m| (m.pattern, m.end)).collect();
+        assert_eq!(ends, vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn node_count_reflects_sharing() {
+        let ac = AhoCorasick::new(&pats(&["abc", "abd"]));
+        // root + a + b + c + d = 5.
+        assert_eq!(ac.node_count(), 5);
+        assert_eq!(ac.pattern_count(), 2);
+    }
+
+    #[test]
+    fn scan_matches_find_all() {
+        let ac = AhoCorasick::new(&pats(&["ab", "bc"]));
+        let mut streamed = Vec::new();
+        ac.scan(b"abcabc", |m| streamed.push(m));
+        assert_eq!(streamed, ac.find_all(b"abcabc"));
+    }
+}

@@ -1,0 +1,227 @@
+//! A lazy-DFA engine (RE2-style), built over the Glushkov NFA.
+//!
+//! RE2 avoids backtracking by simulating a DFA whose states are determinised
+//! on demand and cached. Under the all-match semantics of this workspace,
+//! a DFA state is the set of live NFA positions *including the restart*
+//! (the first-set is folded into every transition, so matches may begin at
+//! any byte). The state cache is capped: pathological pattern sets fall
+//! back to plain NFA simulation for the rest of the input instead of
+//! exploding memory — the same engineering compromise real DFA engines
+//! make.
+
+use crate::glushkov::PosId;
+use crate::nfa::MultiNfa;
+use bitgen_bitstream::BitStream;
+use bitgen_regex::Ast;
+use std::collections::HashMap;
+
+/// Statistics of one DFA run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DfaStats {
+    /// Distinct DFA states materialised so far (cumulative for the
+    /// engine).
+    pub states: usize,
+    /// Transitions taken from the cache.
+    pub cached_transitions: u64,
+    /// Transitions determinised on this run.
+    pub built_transitions: u64,
+    /// Bytes handled by the NFA fallback after a cache overflow.
+    pub fallback_bytes: u64,
+}
+
+/// A lazily-determinised DFA over a multi-pattern Glushkov NFA.
+///
+/// # Examples
+///
+/// ```
+/// use bitgen_regex::parse;
+/// use bitgen_baselines::DfaEngine;
+///
+/// let mut dfa = DfaEngine::new(&[parse("a(bc)*d").unwrap(), parse("cat").unwrap()]);
+/// let run = dfa.run(b"bobcat abcbcd");
+/// assert_eq!(run.ends.positions(), vec![5, 12]);
+/// ```
+#[derive(Debug)]
+pub struct DfaEngine {
+    nfa: MultiNfa,
+    /// Interned state sets; index = DFA state id.
+    states: Vec<Vec<PosId>>,
+    intern: HashMap<Vec<PosId>, u32>,
+    /// `(state, byte) -> state` transition cache.
+    transitions: HashMap<(u32, u8), u32>,
+    /// Per-state: does any member accept (for any regex)?
+    accepting: Vec<bool>,
+    /// Cap on materialised states before falling back to the NFA.
+    max_states: usize,
+}
+
+/// Result of a DFA run.
+#[derive(Debug, Clone)]
+pub struct DfaRun {
+    /// Union match-end stream.
+    pub ends: BitStream,
+    /// Run statistics.
+    pub stats: DfaStats,
+}
+
+/// Default cap on materialised DFA states.
+pub const DEFAULT_MAX_STATES: usize = 10_000;
+
+impl DfaEngine {
+    /// Builds the engine (the DFA itself is determinised lazily).
+    pub fn new(asts: &[Ast]) -> DfaEngine {
+        DfaEngine::with_max_states(asts, DEFAULT_MAX_STATES)
+    }
+
+    /// Builds with an explicit state cap.
+    pub fn with_max_states(asts: &[Ast], max_states: usize) -> DfaEngine {
+        let nfa = MultiNfa::build(asts);
+        let mut engine = DfaEngine {
+            nfa,
+            states: Vec::new(),
+            intern: HashMap::new(),
+            transitions: HashMap::new(),
+            accepting: Vec::new(),
+            max_states: max_states.max(1),
+        };
+        engine.intern_state(Vec::new());
+        engine
+    }
+
+    /// Number of DFA states materialised so far.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Scans `input`, lazily building missing states/transitions.
+    pub fn run(&mut self, input: &[u8]) -> DfaRun {
+        let mut ends = BitStream::zeros(input.len());
+        let mut stats = DfaStats { states: self.states.len(), ..DfaStats::default() };
+        let mut state = 0u32; // the empty set (plus implicit restart)
+        for (i, &byte) in input.iter().enumerate() {
+            let next = match self.transitions.get(&(state, byte)) {
+                Some(&n) => {
+                    stats.cached_transitions += 1;
+                    n
+                }
+                None => {
+                    if self.states.len() >= self.max_states {
+                        // Cache full: finish with the NFA, seeded with the
+                        // current state's in-flight positions so matches
+                        // spanning the switch survive.
+                        let seed = self.states[state as usize].clone();
+                        let rest = self.nfa.run_seeded(&input[i..], &seed);
+                        for p in rest.ends.positions() {
+                            ends.set(i + p, true);
+                        }
+                        stats.fallback_bytes = (input.len() - i) as u64;
+                        stats.states = self.states.len();
+                        return DfaRun { ends, stats };
+                    }
+                    stats.built_transitions += 1;
+                    let n = self.determinise(state, byte);
+                    self.transitions.insert((state, byte), n);
+                    n
+                }
+            };
+            state = next;
+            if self.accepting[state as usize] {
+                ends.set(i, true);
+            }
+        }
+        stats.states = self.states.len();
+        DfaRun { ends, stats }
+    }
+
+    /// Computes the successor of `state` on `byte`: positions enterable
+    /// from the state's members' follow sets or from the restart first-set.
+    fn determinise(&mut self, state: u32, byte: u8) -> u32 {
+        let mut next: Vec<PosId> = Vec::new();
+        let members = self.states[state as usize].clone();
+        let push = |q: PosId, next: &mut Vec<PosId>| {
+            if self.nfa.class_of(q).contains(byte) && !next.contains(&q) {
+                next.push(q);
+            }
+        };
+        for &p in &members {
+            for &q in self.nfa.follow_of(p) {
+                push(q, &mut next);
+            }
+        }
+        for &q in self.nfa.first_set() {
+            push(q, &mut next);
+        }
+        next.sort_unstable();
+        self.intern_state(next)
+    }
+
+    fn intern_state(&mut self, set: Vec<PosId>) -> u32 {
+        if let Some(&id) = self.intern.get(&set) {
+            return id;
+        }
+        let id = self.states.len() as u32;
+        let accepting = set.iter().any(|&p| self.nfa.accept_of(p).is_some());
+        self.states.push(set.clone());
+        self.intern.insert(set, id);
+        self.accepting.push(accepting);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitgen_regex::{multi_match_ends, parse};
+
+    fn engine(pats: &[&str]) -> (DfaEngine, Vec<Ast>) {
+        let asts: Vec<Ast> = pats.iter().map(|p| parse(p).unwrap()).collect();
+        (DfaEngine::new(&asts), asts)
+    }
+
+    #[test]
+    fn agrees_with_oracle() {
+        for (pats, input) in [
+            (&["cat"][..], &b"bobcat cats"[..]),
+            (&["a(bc)*d"], b"ad abcd abcbcd"),
+            (&["ab", "bc", "c+d"], b"abcd bccd"),
+            (&["(ab|ba)+"], b"abbaab"),
+            (&["[a-f]{2,4}"], b"abcdefgh"),
+        ] {
+            let (mut dfa, asts) = engine(pats);
+            let got = dfa.run(input).ends.positions();
+            assert_eq!(got, multi_match_ends(&asts, input), "{pats:?}");
+        }
+    }
+
+    #[test]
+    fn cache_warms_across_runs() {
+        let (mut dfa, _) = engine(&["abc", "bcd"]);
+        let cold = dfa.run(b"abcdabcd").stats;
+        let warm = dfa.run(b"abcdabcd").stats;
+        assert!(cold.built_transitions > 0);
+        assert_eq!(warm.built_transitions, 0, "second run is fully cached");
+        assert!(warm.cached_transitions > 0);
+    }
+
+    #[test]
+    fn state_cap_falls_back_to_nfa() {
+        let asts: Vec<Ast> = ["a[ab]{1,6}b", "b[ab]{1,6}a"]
+            .iter()
+            .map(|p| parse(p).unwrap())
+            .collect();
+        let mut dfa = DfaEngine::with_max_states(&asts, 3);
+        let input = b"abababababab";
+        let run = dfa.run(input);
+        assert!(run.stats.fallback_bytes > 0, "tiny cap must trigger fallback");
+        assert_eq!(run.ends.positions(), multi_match_ends(&asts, input));
+        assert!(dfa.state_count() <= 3);
+    }
+
+    #[test]
+    fn empty_input_and_no_patterns() {
+        let (mut dfa, _) = engine(&["x"]);
+        assert!(!dfa.run(b"").ends.any());
+        let mut none = DfaEngine::new(&[]);
+        assert!(!none.run(b"anything").ends.any());
+    }
+}

@@ -1,0 +1,285 @@
+//! Glushkov NFA construction.
+//!
+//! The Glushkov (position) automaton has one state per character-class
+//! occurrence plus a start state, and is ε-free — the construction
+//! Hyperscan uses for its NFA engines and a natural fit for worklist-based
+//! GPU execution (the ngAP-style baseline). Built with the classic
+//! first/last/follow sets.
+
+use bitgen_regex::{Ast, ByteSet};
+use std::collections::BTreeSet;
+
+/// A position (character-class occurrence) index; positions are numbered
+/// from 0 in leaf order.
+pub type PosId = u32;
+
+/// A Glushkov automaton for one regex.
+#[derive(Debug, Clone)]
+pub struct Glushkov {
+    /// Byte class of each position.
+    pub classes: Vec<ByteSet>,
+    /// Positions that can begin a match.
+    pub first: Vec<PosId>,
+    /// Positions that can end a match.
+    pub last: Vec<bool>,
+    /// `follow[p]`: positions that may come immediately after `p`.
+    pub follow: Vec<Vec<PosId>>,
+    /// Whether the regex accepts the empty string.
+    pub nullable: bool,
+}
+
+impl Glushkov {
+    /// Builds the automaton for `ast`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bitgen_regex::parse;
+    /// use bitgen_baselines::Glushkov;
+    ///
+    /// let g = Glushkov::build(&parse("a(bc)*d").unwrap());
+    /// assert_eq!(g.state_count(), 4);
+    /// assert_eq!(g.first, vec![0]);
+    /// ```
+    pub fn build(ast: &Ast) -> Glushkov {
+        // Expand bounded repetitions first so position numbering (one per
+        // leaf) and the first/last/follow analysis see the same tree.
+        let ast = normalize(ast);
+        let mut classes = Vec::new();
+        number(&ast, &mut classes);
+        let n = classes.len();
+        let mut follow: Vec<BTreeSet<PosId>> = vec![BTreeSet::new(); n];
+        let info = analyze(&ast, &mut Counter(0), &mut follow);
+        let mut last = vec![false; n];
+        for p in &info.last {
+            last[*p as usize] = true;
+        }
+        Glushkov {
+            classes,
+            first: info.first.into_iter().collect(),
+            last,
+            follow: follow.into_iter().map(|s| s.into_iter().collect()).collect(),
+            nullable: info.nullable,
+        }
+    }
+
+    /// Number of positions (states excluding the start state).
+    pub fn state_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Total number of transitions (size of all follow sets plus the
+    /// first set).
+    pub fn transition_count(&self) -> usize {
+        self.first.len() + self.follow.iter().map(Vec::len).sum::<usize>()
+    }
+}
+
+fn number(ast: &Ast, classes: &mut Vec<ByteSet>) {
+    ast.for_each_class(&mut |set| classes.push(*set));
+}
+
+struct Counter(PosId);
+
+struct Info {
+    nullable: bool,
+    first: BTreeSet<PosId>,
+    last: BTreeSet<PosId>,
+}
+
+fn analyze(ast: &Ast, next: &mut Counter, follow: &mut [BTreeSet<PosId>]) -> Info {
+    match ast {
+        Ast::Empty => Info { nullable: true, first: BTreeSet::new(), last: BTreeSet::new() },
+        Ast::Class(_) => {
+            let p = next.0;
+            next.0 += 1;
+            Info {
+                nullable: false,
+                first: [p].into_iter().collect(),
+                last: [p].into_iter().collect(),
+            }
+        }
+        Ast::Concat(parts) => {
+            let mut acc: Option<Info> = None;
+            for part in parts {
+                let b = analyze(part, next, follow);
+                acc = Some(match acc {
+                    None => b,
+                    Some(a) => concat_info(a, b, follow),
+                });
+            }
+            acc.unwrap_or(Info { nullable: true, first: BTreeSet::new(), last: BTreeSet::new() })
+        }
+        Ast::Alt(parts) => {
+            let mut nullable = false;
+            let mut first = BTreeSet::new();
+            let mut last = BTreeSet::new();
+            for part in parts {
+                let i = analyze(part, next, follow);
+                nullable |= i.nullable;
+                first.extend(i.first);
+                last.extend(i.last);
+            }
+            Info { nullable, first, last }
+        }
+        Ast::Star(inner) => {
+            let i = analyze(inner, next, follow);
+            loop_back(&i, follow);
+            Info { nullable: true, first: i.first, last: i.last }
+        }
+        Ast::Plus(inner) => {
+            let i = analyze(inner, next, follow);
+            loop_back(&i, follow);
+            Info { nullable: i.nullable, first: i.first, last: i.last }
+        }
+        Ast::Opt(inner) => {
+            let i = analyze(inner, next, follow);
+            Info { nullable: true, first: i.first, last: i.last }
+        }
+        Ast::Repeat { .. } => {
+            unreachable!("bounded repetitions are expanded by normalize() before analysis")
+        }
+    }
+}
+
+fn concat_info(a: Info, b: Info, follow: &mut [BTreeSet<PosId>]) -> Info {
+    for &p in &a.last {
+        follow[p as usize].extend(b.first.iter().copied());
+    }
+    Info {
+        nullable: a.nullable && b.nullable,
+        first: if a.nullable {
+            a.first.union(&b.first).copied().collect()
+        } else {
+            a.first
+        },
+        last: if b.nullable {
+            a.last.union(&b.last).copied().collect()
+        } else {
+            b.last
+        },
+    }
+}
+
+fn loop_back(i: &Info, follow: &mut [BTreeSet<PosId>]) {
+    for &p in &i.last {
+        follow[p as usize].extend(i.first.iter().copied());
+    }
+}
+
+/// Rewrites `R{min,max}` into `R·…·R·R?·…·R?` (or a trailing `R*` for an
+/// open bound), the classic structural expansion.
+fn expand_repeat(node: &Ast, min: u32, max: Option<u32>) -> Ast {
+    let mut parts: Vec<Ast> = Vec::new();
+    for _ in 0..min {
+        parts.push(node.clone());
+    }
+    match max {
+        None => parts.push(Ast::Star(Box::new(node.clone()))),
+        Some(m) => {
+            for _ in min..m {
+                parts.push(Ast::Opt(Box::new(node.clone())));
+            }
+        }
+    }
+    match parts.len() {
+        0 => Ast::Empty,
+        1 => parts.pop().expect("one element"),
+        _ => Ast::Concat(parts),
+    }
+}
+
+/// Expands all bounded repetitions so numbering and analysis agree.
+pub fn normalize(ast: &Ast) -> Ast {
+    match ast {
+        Ast::Empty | Ast::Class(_) => ast.clone(),
+        Ast::Concat(parts) => Ast::Concat(parts.iter().map(normalize).collect()),
+        Ast::Alt(parts) => Ast::Alt(parts.iter().map(normalize).collect()),
+        Ast::Star(i) => Ast::Star(Box::new(normalize(i))),
+        Ast::Plus(i) => Ast::Plus(Box::new(normalize(i))),
+        Ast::Opt(i) => Ast::Opt(Box::new(normalize(i))),
+        Ast::Repeat { node, min, max } => {
+            let n = normalize(node);
+            expand_repeat(&n, *min, *max)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitgen_regex::parse;
+
+    fn build(pat: &str) -> Glushkov {
+        Glushkov::build(&normalize(&parse(pat).unwrap()))
+    }
+
+    #[test]
+    fn literal_chain() {
+        let g = build("abc");
+        assert_eq!(g.state_count(), 3);
+        assert_eq!(g.first, vec![0]);
+        assert_eq!(g.last, vec![false, false, true]);
+        assert_eq!(g.follow[0], vec![1]);
+        assert_eq!(g.follow[1], vec![2]);
+        assert!(g.follow[2].is_empty());
+        assert!(!g.nullable);
+    }
+
+    #[test]
+    fn alternation() {
+        let g = build("ab|cd");
+        assert_eq!(g.state_count(), 4);
+        assert_eq!(g.first, vec![0, 2]);
+        assert_eq!(g.last, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn star_loops_back() {
+        let g = build("a(bc)*d");
+        assert_eq!(g.state_count(), 4);
+        // After c (pos 2) we may loop to b (pos 1) or proceed to d (pos 3).
+        assert_eq!(g.follow[2], vec![1, 3]);
+        // After a: b or d.
+        assert_eq!(g.follow[0], vec![1, 3]);
+        assert!(!g.nullable);
+    }
+
+    #[test]
+    fn nullable_star() {
+        let g = build("a*");
+        assert!(g.nullable);
+        assert_eq!(g.first, vec![0]);
+        assert_eq!(g.follow[0], vec![0]);
+    }
+
+    #[test]
+    fn plus_nullability() {
+        assert!(!build("a+").nullable);
+        assert!(build("(a?)+" ).nullable);
+    }
+
+    #[test]
+    fn bounded_repeat_expands() {
+        let g = build("a{2,4}");
+        assert_eq!(g.state_count(), 4);
+        assert_eq!(g.last, vec![false, true, true, true]);
+        let h = build("a{3}");
+        assert_eq!(h.state_count(), 3);
+        assert_eq!(h.last, vec![false, false, true]);
+    }
+
+    #[test]
+    fn open_repeat() {
+        let g = build("a{2,}");
+        assert_eq!(g.state_count(), 3);
+        assert_eq!(g.follow[2], vec![2]);
+        assert_eq!(g.last, vec![false, true, true]);
+    }
+
+    #[test]
+    fn transition_count() {
+        let g = build("abc");
+        assert_eq!(g.transition_count(), 3); // first(1) + follows(2)
+    }
+}

@@ -1,0 +1,146 @@
+//! The ngAP-style GPU NFA baseline model.
+//!
+//! ngAP executes NFAs on GPUs with a non-blocking worklist that exposes
+//! symbol-level parallelism: every active (state, position) pair is an
+//! irregular memory access, and throughput is governed by how many such
+//! accesses are in flight at once. When few states are active the GPU is
+//! latency-bound and utilisation collapses (the paper's ClamAV case:
+//! 2.6 MB/s); deep worklists amortise the latency (Dotstar, Bro217).
+//!
+//! The model runs the real NFA (so worklist sizes are *measured*, not
+//! assumed) and prices the run:
+//!
+//! ```text
+//! seconds = max( bytes · latency / (clock · overlap),   // latency bound
+//!                transitions · line / bandwidth )       // traffic bound
+//! overlap = clamp(avg_active, MIN_OVERLAP, max_mlp)
+//! ```
+
+use crate::nfa::{MultiNfa, NfaStats};
+use bitgen_bitstream::BitStream;
+use bitgen_gpu::DeviceConfig;
+
+/// Tunables of the ngAP-style model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuNfaModel {
+    /// Maximum memory-level parallelism the worklist machinery sustains.
+    pub max_mlp: f64,
+    /// Floor on the overlap factor: even an empty worklist still issues
+    /// the start-state probes, partially pipelined.
+    pub min_overlap: f64,
+    /// Bytes of DRAM traffic per transition lookup (one access line).
+    pub line_bytes: f64,
+}
+
+impl Default for GpuNfaModel {
+    fn default() -> GpuNfaModel {
+        GpuNfaModel { max_mlp: 64.0, min_overlap: 0.5, line_bytes: 64.0 }
+    }
+}
+
+/// Result of running the ngAP-style baseline.
+#[derive(Debug, Clone)]
+pub struct GpuNfaReport {
+    /// Union match-end stream.
+    pub ends: BitStream,
+    /// Modelled end-to-end seconds on the device.
+    pub seconds: f64,
+    /// Measured NFA work statistics.
+    pub stats: NfaStats,
+}
+
+impl GpuNfaReport {
+    /// Modelled throughput in MB/s.
+    pub fn throughput_mbps(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.stats.bytes as f64 / 1e6 / self.seconds
+    }
+}
+
+/// Runs `nfa` over `input` and prices it on `device`.
+///
+/// # Examples
+///
+/// ```
+/// use bitgen_regex::parse;
+/// use bitgen_baselines::{run_gpu_nfa, GpuNfaModel, MultiNfa};
+/// use bitgen_gpu::DeviceConfig;
+///
+/// let nfa = MultiNfa::build(&[parse("ab").unwrap()]);
+/// let report = run_gpu_nfa(&nfa, b"abababab", &DeviceConfig::rtx3090(), &GpuNfaModel::default());
+/// assert_eq!(report.ends.positions(), vec![1, 3, 5, 7]);
+/// assert!(report.seconds > 0.0);
+/// ```
+pub fn run_gpu_nfa(
+    nfa: &MultiNfa,
+    input: &[u8],
+    device: &DeviceConfig,
+    model: &GpuNfaModel,
+) -> GpuNfaReport {
+    let run = nfa.run(input);
+    let stats = run.stats;
+    let overlap = stats.avg_active().clamp(model.min_overlap, model.max_mlp);
+    let clock_hz = device.clock_ghz * 1e9;
+    let latency_seconds =
+        stats.bytes as f64 * device.dram_latency_cycles / (clock_hz * overlap);
+    let traffic_seconds =
+        stats.transitions as f64 * model.line_bytes / (device.mem_bw_gbps * 1e9);
+    GpuNfaReport { ends: run.ends, seconds: latency_seconds.max(traffic_seconds), stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitgen_regex::parse;
+
+    fn nfa(pats: &[&str]) -> MultiNfa {
+        let asts: Vec<_> = pats.iter().map(|p| parse(p).unwrap()).collect();
+        MultiNfa::build(&asts)
+    }
+
+    #[test]
+    fn low_activity_is_latency_bound() {
+        // Virus-signature-like: long literal that never matches. Worklist
+        // stays near empty → throughput collapses (the ClamAV effect).
+        let cold = nfa(&["0123456789abcdef"]);
+        let input: Vec<u8> = std::iter::repeat_n(b'z', 100_000).collect();
+        let r = run_gpu_nfa(&cold, &input, &DeviceConfig::rtx3090(), &GpuNfaModel::default());
+        let mbps = r.throughput_mbps();
+        assert!(mbps < 20.0, "cold worklist should be slow: {mbps} MB/s");
+    }
+
+    #[test]
+    fn deeper_worklists_run_faster_per_byte() {
+        let input: Vec<u8> = (0..100_000u32).map(|i| b"abcab"[i as usize % 5]).collect();
+        let shallow = nfa(&["xyxyxy"]);
+        let deep = nfa(&["a.{0,8}b", "ab(ca)*b", "(ab|bc)+a", "c.{1,6}a"]);
+        let rs = run_gpu_nfa(&shallow, &input, &DeviceConfig::rtx3090(), &GpuNfaModel::default());
+        let rd = run_gpu_nfa(&deep, &input, &DeviceConfig::rtx3090(), &GpuNfaModel::default());
+        assert!(rd.stats.avg_active() > rs.stats.avg_active());
+        assert!(rd.throughput_mbps() > rs.throughput_mbps());
+    }
+
+    #[test]
+    fn h100_gains_little_l40s_gains_clock() {
+        // The Fig. 15 ngAP shape: ~1× on H100, ~1.4× on L40S.
+        let n = nfa(&["abc", "bcd"]);
+        let input: Vec<u8> = (0..50_000u32).map(|i| b"abcdz"[i as usize % 5]).collect();
+        let m = GpuNfaModel::default();
+        let t3090 = run_gpu_nfa(&n, &input, &DeviceConfig::rtx3090(), &m).throughput_mbps();
+        let th100 = run_gpu_nfa(&n, &input, &DeviceConfig::h100(), &m).throughput_mbps();
+        let tl40s = run_gpu_nfa(&n, &input, &DeviceConfig::l40s(), &m).throughput_mbps();
+        let rh = th100 / t3090;
+        let rl = tl40s / t3090;
+        assert!(rh > 0.85 && rh < 1.2, "H100 ratio {rh}");
+        assert!(rl > 1.2 && rl < 1.7, "L40S ratio {rl}");
+    }
+
+    #[test]
+    fn matches_are_functional_not_modelled() {
+        let n = nfa(&["a(bc)*d"]);
+        let r = run_gpu_nfa(&n, b"abcbcd x ad", &DeviceConfig::rtx3090(), &GpuNfaModel::default());
+        assert_eq!(r.ends.positions(), vec![5, 10]);
+    }
+}

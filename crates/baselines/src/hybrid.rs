@@ -1,0 +1,372 @@
+//! The Hyperscan-like hybrid CPU baseline.
+//!
+//! Hyperscan's core trick is decomposition: route pure literals to a
+//! multi-string matcher, use a *required literal factor* as a prefilter
+//! for composite patterns (running the NFA only around candidate sites),
+//! and keep a full NFA only for patterns with no usable factor. This
+//! engine reproduces that structure with the from-scratch Aho–Corasick
+//! and Glushkov NFA of this crate, in single-threaded and multi-threaded
+//! (sharded by regex) variants.
+
+use crate::aho::AhoCorasick;
+use crate::nfa::MultiNfa;
+use bitgen_bitstream::BitStream;
+use bitgen_regex::Ast;
+
+/// How a regex is executed by the hybrid engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Plan {
+    /// The whole pattern is a literal byte string: Aho–Corasick only.
+    Literal(Vec<u8>),
+    /// A mandatory literal factor prefilters candidate sites; an NFA
+    /// confirms around each.
+    Prefilter {
+        /// The required factor.
+        factor: Vec<u8>,
+        /// Maximum match bytes before the factor starts.
+        max_before: usize,
+        /// Maximum match bytes after the factor ends.
+        max_after: usize,
+    },
+    /// No usable factor: full NFA scan.
+    NfaOnly,
+}
+
+/// Chooses a plan for one regex (Hyperscan-style decomposition).
+///
+/// # Examples
+///
+/// ```
+/// use bitgen_regex::parse;
+/// use bitgen_baselines::{plan_regex, Plan};
+///
+/// assert_eq!(plan_regex(&parse("attack").unwrap()), Plan::Literal(b"attack".to_vec()));
+/// assert!(matches!(plan_regex(&parse("GET /[a-z]{1,8}index").unwrap()), Plan::Prefilter { .. }));
+/// assert_eq!(plan_regex(&parse("(a|b)+").unwrap()), Plan::NfaOnly);
+/// ```
+pub fn plan_regex(ast: &Ast) -> Plan {
+    if let Some(lit) = ast.as_literal() {
+        if !lit.is_empty() {
+            return Plan::Literal(lit);
+        }
+        return Plan::NfaOnly;
+    }
+    let Ast::Concat(parts) = ast else { return Plan::NfaOnly };
+    // Find maximal runs of single-byte literal parts; a run is usable when
+    // the rest of the pattern has bounded length on both sides.
+    let lits: Vec<Option<u8>> = parts
+        .iter()
+        .map(|p| match p {
+            Ast::Class(set) => set.as_singleton(),
+            _ => None,
+        })
+        .collect();
+    let max_lens: Vec<Option<usize>> = parts.iter().map(Ast::max_len).collect();
+    let mut best: Option<(usize, Vec<u8>, usize, usize)> = None; // (len, bytes, before, after)
+    let mut i = 0;
+    while i < parts.len() {
+        if lits[i].is_none() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut bytes = Vec::new();
+        while i < parts.len() {
+            match lits[i] {
+                Some(b) => bytes.push(b),
+                None => break,
+            }
+            i += 1;
+        }
+        if bytes.len() >= 2 {
+            let before: Option<usize> =
+                max_lens[..start].iter().try_fold(0usize, |a, m| Some(a + (*m)?));
+            let after: Option<usize> =
+                max_lens[i..].iter().try_fold(0usize, |a, m| Some(a + (*m)?));
+            if let (Some(b), Some(a)) = (before, after) {
+                if best.as_ref().is_none_or(|(l, ..)| bytes.len() > *l) {
+                    best = Some((bytes.len(), bytes, b, a));
+                }
+            }
+        }
+    }
+    match best {
+        Some((_, factor, max_before, max_after)) => {
+            Plan::Prefilter { factor, max_before, max_after }
+        }
+        None => Plan::NfaOnly,
+    }
+}
+
+struct PrefilterGroup {
+    nfa: MultiNfa,
+    flen: usize,
+    max_before: usize,
+    max_after: usize,
+}
+
+/// Counts of how the regexes of an engine were routed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HybridBuildStats {
+    /// Pure literals handled by Aho–Corasick alone.
+    pub literal: usize,
+    /// Factor-prefiltered patterns.
+    pub prefiltered: usize,
+    /// Full-NFA patterns.
+    pub nfa_only: usize,
+}
+
+/// The single-threaded hybrid engine.
+#[derive(Debug)]
+pub struct HybridEngine {
+    literal_ac: AhoCorasick,
+    factor_ac: AhoCorasick,
+    prefilter: Vec<PrefilterGroup>,
+    nfa_only: Option<MultiNfa>,
+    stats: HybridBuildStats,
+}
+
+impl std::fmt::Debug for PrefilterGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PrefilterGroup(flen={})", self.flen)
+    }
+}
+
+impl HybridEngine {
+    /// Builds the engine over a set of regexes.
+    pub fn new(asts: &[Ast]) -> HybridEngine {
+        let mut literals = Vec::new();
+        let mut factors = Vec::new();
+        let mut prefilter = Vec::new();
+        let mut nfa_only_asts = Vec::new();
+        let mut stats = HybridBuildStats::default();
+        for ast in asts {
+            match plan_regex(ast) {
+                Plan::Literal(lit) => {
+                    stats.literal += 1;
+                    literals.push(lit);
+                }
+                Plan::Prefilter { factor, max_before, max_after } => {
+                    stats.prefiltered += 1;
+                    prefilter.push(PrefilterGroup {
+                        nfa: MultiNfa::build(std::slice::from_ref(ast)),
+                        flen: factor.len(),
+                        max_before,
+                        max_after,
+                    });
+                    factors.push(factor);
+                }
+                Plan::NfaOnly => {
+                    stats.nfa_only += 1;
+                    nfa_only_asts.push(ast.clone());
+                }
+            }
+        }
+        HybridEngine {
+            literal_ac: AhoCorasick::new(&literals),
+            factor_ac: AhoCorasick::new(&factors),
+            prefilter,
+            nfa_only: if nfa_only_asts.is_empty() {
+                None
+            } else {
+                Some(MultiNfa::build(&nfa_only_asts))
+            },
+            stats,
+        }
+    }
+
+    /// How the regexes were routed.
+    pub fn build_stats(&self) -> HybridBuildStats {
+        self.stats
+    }
+
+    /// Scans `input`, returning the union match-end stream.
+    pub fn run(&self, input: &[u8]) -> BitStream {
+        let mut ends = BitStream::zeros(input.len());
+        // 1. Pure literals.
+        self.literal_ac.scan(input, |m| ends.set(m.end, true));
+        // 2. Prefiltered patterns: collect candidate windows per plan,
+        //    coalesce, confirm with the per-pattern NFA.
+        let mut windows: Vec<Vec<(usize, usize)>> = vec![Vec::new(); self.prefilter.len()];
+        self.factor_ac.scan(input, |m| {
+            let g = &self.prefilter[m.pattern as usize];
+            let start = (m.end + 1).saturating_sub(g.flen + g.max_before);
+            let end = (m.end + 1 + g.max_after).min(input.len());
+            windows[m.pattern as usize].push((start, end));
+        });
+        for (g, wins) in self.prefilter.iter().zip(&mut windows) {
+            coalesce(wins);
+            for &(ws, we) in wins.iter() {
+                let run = g.nfa.run(&input[ws..we]);
+                for p in run.ends.positions() {
+                    ends.set(ws + p, true);
+                }
+            }
+        }
+        // 3. Full NFA leftovers.
+        if let Some(nfa) = &self.nfa_only {
+            let run = nfa.run(input);
+            ends = ends.or(&run.ends);
+        }
+        ends
+    }
+}
+
+/// Merges overlapping/adjacent windows in place.
+fn coalesce(windows: &mut Vec<(usize, usize)>) {
+    windows.sort_unstable();
+    let mut out: Vec<(usize, usize)> = Vec::with_capacity(windows.len());
+    for &(s, e) in windows.iter() {
+        match out.last_mut() {
+            Some((_, pe)) if s <= *pe => *pe = (*pe).max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    *windows = out;
+}
+
+/// Multi-threaded hybrid engine: regexes are sharded across threads, each
+/// shard scanning the full input (Hyperscan's HS-MT regime, with its
+/// characteristic limited scalability).
+#[derive(Debug)]
+pub struct HybridMt {
+    shards: Vec<HybridEngine>,
+}
+
+impl HybridMt {
+    /// Builds `shards` engines over a size-balanced partition of `asts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(asts: &[Ast], shards: usize) -> HybridMt {
+        assert!(shards > 0, "at least one shard");
+        let shards = shards.min(asts.len().max(1));
+        // Greedy balance by character length.
+        let mut order: Vec<usize> = (0..asts.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(asts[i].class_count()));
+        let mut buckets: Vec<(usize, Vec<Ast>)> = vec![(0, Vec::new()); shards];
+        for i in order {
+            let b = buckets
+                .iter_mut()
+                .min_by_key(|(load, _)| *load)
+                .expect("at least one bucket");
+            b.0 += asts[i].class_count().max(1);
+            b.1.push(asts[i].clone());
+        }
+        HybridMt { shards: buckets.into_iter().map(|(_, a)| HybridEngine::new(&a)).collect() }
+    }
+
+    /// Number of shards (threads used by [`HybridMt::run`]).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Scans `input` with one thread per shard.
+    pub fn run(&self, input: &[u8]) -> BitStream {
+        let results: Vec<BitStream> = std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                self.shards.iter().map(|e| scope.spawn(move || e.run(input))).collect();
+            handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect()
+        });
+        let mut ends = BitStream::zeros(input.len());
+        for r in results {
+            ends = ends.or(&r);
+        }
+        ends
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitgen_regex::{multi_match_ends, parse};
+
+    fn engine(pats: &[&str]) -> (HybridEngine, Vec<Ast>) {
+        let asts: Vec<Ast> = pats.iter().map(|p| parse(p).unwrap()).collect();
+        (HybridEngine::new(&asts), asts)
+    }
+
+    fn assert_agrees(pats: &[&str], input: &[u8]) {
+        let (eng, asts) = engine(pats);
+        let expect = multi_match_ends(&asts, input);
+        assert_eq!(eng.run(input).positions(), expect, "{pats:?}");
+    }
+
+    #[test]
+    fn plans() {
+        assert_eq!(plan_regex(&parse("evil").unwrap()), Plan::Literal(b"evil".to_vec()));
+        match plan_regex(&parse("ab[0-9]{1,3}cdef").unwrap()) {
+            Plan::Prefilter { factor, max_before, max_after } => {
+                assert_eq!(factor, b"cdef");
+                assert_eq!(max_before, 5);
+                assert_eq!(max_after, 0);
+            }
+            other => panic!("expected prefilter, got {other:?}"),
+        }
+        assert_eq!(plan_regex(&parse("(ab)*").unwrap()), Plan::NfaOnly);
+        // Unbounded tail after the factor forces NFA-only... unless a
+        // bounded factor run exists elsewhere.
+        assert_eq!(plan_regex(&parse("ab.*").unwrap()), Plan::NfaOnly);
+    }
+
+    #[test]
+    fn literal_only_matching() {
+        assert_agrees(&["cat", "dog"], b"catdogcat");
+    }
+
+    #[test]
+    fn prefiltered_matching() {
+        assert_agrees(&["[0-9]{1,2}abc"], b"7abc 42abc xabc0");
+        assert_agrees(&["abc[x-z]?"], b"abcz abc abcy");
+    }
+
+    #[test]
+    fn nfa_only_matching() {
+        assert_agrees(&["(ab|ba)+"], b"abbaab");
+        assert_agrees(&["a+"], b"aaa b aa");
+    }
+
+    #[test]
+    fn mixed_workload() {
+        assert_agrees(
+            &["attack", "GET[ ]/[a-z]{1,4}", "x(yz)*w", "[0-9]{2}cmd"],
+            b"attack GET /ab 99cmd xyzyzw",
+        );
+    }
+
+    #[test]
+    fn matches_at_boundaries() {
+        assert_agrees(&["[0-9]ab"], b"1ab");
+        assert_agrees(&["ab[0-9]"], b"xxab7");
+    }
+
+    #[test]
+    fn build_stats_route_correctly() {
+        let (eng, _) = engine(&["lit", "x[0-9]{1,2}yz", "(a|b)+"]);
+        let s = eng.build_stats();
+        assert_eq!(s.literal, 1);
+        assert_eq!(s.prefiltered, 1);
+        assert_eq!(s.nfa_only, 1);
+    }
+
+    #[test]
+    fn coalesce_windows() {
+        let mut w = vec![(5, 10), (0, 3), (8, 12), (3, 4)];
+        coalesce(&mut w);
+        assert_eq!(w, vec![(0, 4), (5, 12)]);
+    }
+
+    #[test]
+    fn mt_agrees_with_single_thread() {
+        let pats = ["cat", "[0-9]{1,2}dog", "(ab)+c", "end"];
+        let asts: Vec<Ast> = pats.iter().map(|p| parse(p).unwrap()).collect();
+        let input = b"cat 42dog ababc the end";
+        let st = HybridEngine::new(&asts).run(input);
+        for shards in [1, 2, 4] {
+            let mt = HybridMt::new(&asts, shards);
+            assert!(mt.shard_count() <= shards);
+            assert_eq!(mt.run(input).positions(), st.positions(), "{shards} shards");
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Multi-pattern NFA simulation over Glushkov automata.
+//!
+//! This is the classic one-byte-at-a-time execution model the paper's
+//! automata baselines (ngAP, and Hyperscan's NFA tail) use: an active
+//! state set stepped per input symbol, with all-match semantics (the
+//! first-set is re-seeded at every position). The simulator counts the
+//! worklist sizes and transition lookups that drive the GPU-NFA cost
+//! model.
+
+use crate::glushkov::{Glushkov, PosId};
+use bitgen_bitstream::BitStream;
+use bitgen_regex::{Ast, ByteSet};
+
+/// A union automaton over several regexes with per-regex accept tracking.
+#[derive(Debug, Clone)]
+pub struct MultiNfa {
+    classes: Vec<ByteSet>,
+    first: Vec<PosId>,
+    follow: Vec<Vec<PosId>>,
+    /// `accept[p]`: the regex index `p` accepts for, if any.
+    accept: Vec<Option<u32>>,
+    regex_count: usize,
+}
+
+/// Work statistics of one NFA run (drives the ngAP-style cost model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NfaStats {
+    /// Input bytes processed.
+    pub bytes: u64,
+    /// Worklist items processed (active states summed over all bytes).
+    pub worklist_items: u64,
+    /// Transition lookups performed (follow/first entries examined).
+    pub transitions: u64,
+    /// Largest active set seen at any byte.
+    pub max_active: usize,
+}
+
+impl NfaStats {
+    /// Mean active states per input byte — ngAP's effective parallelism.
+    pub fn avg_active(&self) -> f64 {
+        if self.bytes == 0 {
+            0.0
+        } else {
+            self.worklist_items as f64 / self.bytes as f64
+        }
+    }
+}
+
+/// Result of a multi-pattern NFA run.
+#[derive(Debug, Clone)]
+pub struct NfaRun {
+    /// Union of all match ends (bit *i* set ⇔ some regex matches ending
+    /// at byte *i*).
+    pub ends: BitStream,
+    /// Matches found per regex.
+    pub per_regex_counts: Vec<u64>,
+    /// Work statistics.
+    pub stats: NfaStats,
+}
+
+impl MultiNfa {
+    /// Builds the union automaton for a group of regexes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bitgen_regex::parse;
+    /// use bitgen_baselines::MultiNfa;
+    ///
+    /// let nfa = MultiNfa::build(&[parse("ab").unwrap(), parse("bc").unwrap()]);
+    /// let run = nfa.run(b"abc");
+    /// assert_eq!(run.ends.positions(), vec![1, 2]);
+    /// ```
+    pub fn build(asts: &[Ast]) -> MultiNfa {
+        let mut classes = Vec::new();
+        let mut first = Vec::new();
+        let mut follow = Vec::new();
+        let mut accept = Vec::new();
+        for (ri, ast) in asts.iter().enumerate() {
+            let g = Glushkov::build(ast);
+            let base = classes.len() as PosId;
+            classes.extend(g.classes.iter().copied());
+            first.extend(g.first.iter().map(|p| p + base));
+            follow.extend(g.follow.iter().map(|f| f.iter().map(|p| p + base).collect::<Vec<_>>()));
+            accept.extend(g.last.iter().map(|&l| if l { Some(ri as u32) } else { None }));
+        }
+        MultiNfa { classes, first, follow, accept, regex_count: asts.len() }
+    }
+
+    /// Number of states (positions) in the union automaton.
+    pub fn state_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Byte class of position `q`.
+    pub fn class_of(&self, q: PosId) -> &ByteSet {
+        &self.classes[q as usize]
+    }
+
+    /// Follow set of position `q`.
+    pub fn follow_of(&self, q: PosId) -> &[PosId] {
+        &self.follow[q as usize]
+    }
+
+    /// Positions that can begin a match (re-seeded at every byte under
+    /// all-match semantics).
+    pub fn first_set(&self) -> &[PosId] {
+        &self.first
+    }
+
+    /// The regex index position `q` accepts for, if any.
+    pub fn accept_of(&self, q: PosId) -> Option<u32> {
+        self.accept[q as usize]
+    }
+
+    /// Runs the automaton over `input` under all-match semantics.
+    pub fn run(&self, input: &[u8]) -> NfaRun {
+        self.run_seeded(input, &[])
+    }
+
+    /// Runs with an initial active set (positions already live before the
+    /// first byte) — used by the lazy-DFA engine to hand over in-flight
+    /// matches when its state cache overflows.
+    pub fn run_seeded(&self, input: &[u8], seed: &[PosId]) -> NfaRun {
+        let n = self.classes.len();
+        let mut ends = BitStream::zeros(input.len());
+        let mut per_regex_counts = vec![0u64; self.regex_count];
+        let mut stats = NfaStats { bytes: input.len() as u64, ..NfaStats::default() };
+        let mut active: Vec<PosId> = seed.to_vec();
+        // Generation-stamped membership marks avoid clearing per byte.
+        let mut mark = vec![0u32; n];
+        let mut generation = 0u32;
+        for (i, &byte) in input.iter().enumerate() {
+            generation += 1;
+            stats.worklist_items += active.len() as u64;
+            let mut next: Vec<PosId> = Vec::new();
+            // Candidate transitions: follows of active states plus the
+            // ever-restarting first set (matches may begin anywhere).
+            for &a in &active {
+                let p = a as usize;
+                for &q in &self.follow[p] {
+                    stats.transitions += 1;
+                    try_enter(q, byte, &self.classes, &mut mark, generation, &mut next);
+                }
+            }
+            for &q in &self.first {
+                stats.transitions += 1;
+                try_enter(q, byte, &self.classes, &mut mark, generation, &mut next);
+            }
+            for &q in &next {
+                if let Some(ri) = self.accept[q as usize] {
+                    if !ends.get(i) {
+                        ends.set(i, true);
+                    }
+                    per_regex_counts[ri as usize] += 1;
+                }
+            }
+            stats.max_active = stats.max_active.max(next.len());
+            active = next;
+        }
+        NfaRun { ends, per_regex_counts, stats }
+    }
+}
+
+fn try_enter(
+    q: PosId,
+    byte: u8,
+    classes: &[ByteSet],
+    mark: &mut [u32],
+    generation: u32,
+    next: &mut Vec<PosId>,
+) {
+    let qi = q as usize;
+    if mark[qi] != generation && classes[qi].contains(byte) {
+        mark[qi] = generation;
+        next.push(q);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitgen_regex::{multi_match_ends, parse};
+
+    fn ends_of(pats: &[&str], input: &[u8]) -> Vec<usize> {
+        let asts: Vec<Ast> = pats.iter().map(|p| parse(p).unwrap()).collect();
+        MultiNfa::build(&asts).run(input).ends.positions()
+    }
+
+    fn assert_agrees(pats: &[&str], input: &[u8]) {
+        let asts: Vec<Ast> = pats.iter().map(|p| parse(p).unwrap()).collect();
+        let expect = multi_match_ends(&asts, input);
+        assert_eq!(ends_of(pats, input), expect, "{pats:?} on {input:?}");
+    }
+
+    #[test]
+    fn paper_examples() {
+        assert_eq!(ends_of(&["cat"], b"bobcat"), vec![5]);
+        assert_eq!(ends_of(&["(abc)|d"], b"abcdabce"), vec![2, 3, 6]);
+        assert_eq!(ends_of(&["a(bc)*d"], b"abcbcd"), vec![5]);
+    }
+
+    #[test]
+    fn agrees_with_oracle() {
+        for (pats, input) in [
+            (&["a+b", "ba"][..], &b"aababba"[..]),
+            (&["[a-c]{2,3}"], b"abcabc"),
+            (&["x(yz)*w", "zw"], b"xyzyzw xw zw"),
+            (&["a*"], b"baab"),
+            (&["(ab|ba)+"], b"ababba"),
+        ] {
+            assert_agrees(pats, input);
+        }
+    }
+
+    #[test]
+    fn per_regex_counts() {
+        let asts = vec![parse("ab").unwrap(), parse("b").unwrap()];
+        let run = MultiNfa::build(&asts).run(b"abab");
+        assert_eq!(run.per_regex_counts, vec![2, 2]);
+    }
+
+    #[test]
+    fn stats_reflect_activity() {
+        let asts = vec![parse("zzzz").unwrap()];
+        let nfa = MultiNfa::build(&asts);
+        let cold = nfa.run(b"aaaaaaaa").stats;
+        let hot = nfa.run(b"zzzzzzzz").stats;
+        assert_eq!(cold.worklist_items, 0, "no state ever activates");
+        assert!(hot.worklist_items > 0);
+        assert!(hot.avg_active() > cold.avg_active());
+        assert!(hot.max_active >= 1);
+        // First-set probing is counted even when nothing activates.
+        assert!(cold.transitions >= 8);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(ends_of(&["a"], b""), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn union_state_count() {
+        let asts = vec![parse("abc").unwrap(), parse("de").unwrap()];
+        assert_eq!(MultiNfa::build(&asts).state_count(), 5);
+    }
+}

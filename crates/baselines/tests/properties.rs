@@ -1,0 +1,73 @@
+//! Property tests for the baseline substrates: Aho–Corasick against a
+//! naive scanner, and the Glushkov NFA against the oracle.
+
+use bitgen_baselines::{AhoCorasick, MultiNfa};
+use bitgen_regex::{multi_match_ends, Ast, ByteSet};
+use proptest::prelude::*;
+
+fn arb_patterns() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(
+        prop::collection::vec(prop::sample::select(b"abc".to_vec()), 1..6),
+        1..6,
+    )
+}
+
+fn arb_haystack() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(b"abcd".to_vec()), 0..120)
+}
+
+/// Naive multi-pattern all-occurrence scan.
+fn naive(patterns: &[Vec<u8>], haystack: &[u8]) -> Vec<(u32, usize)> {
+    let mut out = Vec::new();
+    for (i, &b) in haystack.iter().enumerate() {
+        let _ = b;
+        for (pi, p) in patterns.iter().enumerate() {
+            if p.is_empty() || i + 1 < p.len() {
+                continue;
+            }
+            if &haystack[i + 1 - p.len()..=i] == p.as_slice() {
+                out.push((pi as u32, i));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn aho_corasick_matches_naive(patterns in arb_patterns(), haystack in arb_haystack()) {
+        let ac = AhoCorasick::new(&patterns);
+        let mut got: Vec<(u32, usize)> =
+            ac.find_all(&haystack).iter().map(|m| (m.pattern, m.end)).collect();
+        let mut want = naive(&patterns, &haystack);
+        got.sort();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn nfa_union_matches_oracle(
+        lits in arb_patterns(),
+        haystack in arb_haystack(),
+    ) {
+        // Patterns: literals plus classed variants.
+        let asts: Vec<Ast> = lits
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                if i % 2 == 0 {
+                    Ast::literal(l)
+                } else {
+                    // Replace the first byte with a small class.
+                    let mut parts: Vec<Ast> =
+                        l.iter().map(|&b| Ast::Class(ByteSet::singleton(b))).collect();
+                    parts[0] = Ast::Class(ByteSet::range(b'a', b'b'));
+                    if parts.len() == 1 { parts.pop().unwrap() } else { Ast::Concat(parts) }
+                }
+            })
+            .collect();
+        let got = MultiNfa::build(&asts).run(&haystack).ends.positions();
+        let want = multi_match_ends(&asts, &haystack);
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,39 @@
+//! Baseline engine benchmarks (wall-clock CPU engines).
+
+use bitgen_baselines::{AhoCorasick, CpuBitstreamEngine, HybridEngine, MultiNfa};
+use bitgen_workloads::{generate, AppKind, WorkloadConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_baselines(c: &mut Criterion) {
+    let w = generate(
+        AppKind::ExactMatch,
+        &WorkloadConfig { regexes: 16, input_len: 65536, ..Default::default() },
+    );
+    let mut group = c.benchmark_group("baselines_exactmatch");
+    group.throughput(Throughput::Bytes(w.input.len() as u64));
+    group.sample_size(10);
+
+    let literals: Vec<Vec<u8>> = w.witnesses.clone();
+    let ac = AhoCorasick::new(&literals);
+    group.bench_function("aho_corasick", |b| b.iter(|| ac.find_all(&w.input)));
+
+    let hybrid = HybridEngine::new(&w.asts);
+    group.bench_function("hybrid_1t", |b| b.iter(|| hybrid.run(&w.input)));
+
+    let nfa = MultiNfa::build(&w.asts);
+    group.bench_function("nfa", |b| b.iter(|| nfa.run(&w.input)));
+
+    let cpu = CpuBitstreamEngine::new(std::slice::from_ref(&w.asts));
+    group.bench_function("cpu_bitstream", |b| b.iter(|| cpu.run(&w.input)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_baselines
+}
+criterion_main!(benches);

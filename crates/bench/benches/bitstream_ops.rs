@@ -1,0 +1,39 @@
+//! Microbenchmarks of the core bitstream operations.
+
+use bitgen_bitstream::BitStream;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitstream_ops");
+    for bits in [1 << 16, 1 << 20] {
+        let a = BitStream::from_positions(bits, &[1, bits / 2, bits - 1]);
+        let b = BitStream::ones(bits);
+        group.throughput(Throughput::Bytes((bits / 8) as u64));
+        group.bench_with_input(BenchmarkId::new("and", bits), &bits, |bench, _| {
+            bench.iter(|| a.and(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("or", bits), &bits, |bench, _| {
+            bench.iter(|| a.or(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("advance1", bits), &bits, |bench, _| {
+            bench.iter(|| a.advance(1))
+        });
+        group.bench_with_input(BenchmarkId::new("advance65", bits), &bits, |bench, _| {
+            bench.iter(|| a.advance(65))
+        });
+        group.bench_with_input(BenchmarkId::new("not", bits), &bits, |bench, _| {
+            bench.iter(|| a.not())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_ops
+}
+criterion_main!(benches);

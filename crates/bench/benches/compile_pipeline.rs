@@ -1,0 +1,44 @@
+//! Compilation pipeline benchmarks: lowering, passes, kernel generation.
+
+use bitgen_ir::lower_group;
+use bitgen_kernel::{compile, CodegenOptions};
+use bitgen_passes::{insert_zero_skips, rebalance, OverlapInfo, ZbsConfig};
+use bitgen_workloads::{generate, AppKind, WorkloadConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_compile(c: &mut Criterion) {
+    let w = generate(
+        AppKind::Snort,
+        &WorkloadConfig { regexes: 32, input_len: 1024, ..Default::default() },
+    );
+    c.bench_function("lower_group_32_rules", |b| b.iter(|| lower_group(&w.asts)));
+    let prog = lower_group(&w.asts);
+    c.bench_function("rebalance", |b| {
+        b.iter(|| {
+            let mut p = prog.clone();
+            rebalance(&mut p)
+        })
+    });
+    let mut balanced = prog.clone();
+    rebalance(&mut balanced);
+    c.bench_function("zero_block_skipping", |b| {
+        b.iter(|| {
+            let mut p = balanced.clone();
+            insert_zero_skips(&mut p, ZbsConfig::default())
+        })
+    });
+    c.bench_function("overlap_analysis", |b| b.iter(|| OverlapInfo::analyze(&balanced)));
+    c.bench_function("kernel_codegen", |b| {
+        b.iter(|| compile(&balanced, &[], &[], &CodegenOptions::default()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_compile
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! End-to-end engine benchmarks: modelled GPU execution per scheme.
+
+use bitgen::{BitGen, Scheme};
+use bitgen_bench::HarnessConfig;
+use bitgen_workloads::AppKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_schemes(c: &mut Criterion) {
+    let config = HarnessConfig {
+        regexes: 8,
+        input_len: 16384,
+        threads: 32,
+        cta_count: 4,
+        ..Default::default()
+    };
+    let w = config.workload(AppKind::Snort);
+    let mut group = c.benchmark_group("end_to_end_snort");
+    group.throughput(Throughput::Bytes(w.input.len() as u64));
+    group.sample_size(10);
+    for scheme in [Scheme::Base, Scheme::Dtm, Scheme::Sr, Scheme::Zbs] {
+        let engine = BitGen::from_asts(w.asts.clone(), config.engine_config(scheme));
+        group.bench_with_input(BenchmarkId::from_parameter(scheme), &w.input, |b, input| {
+            b.iter(|| engine.find(input).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

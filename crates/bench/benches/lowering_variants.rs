@@ -1,0 +1,50 @@
+//! Lowering-variant benchmarks: the paper's Fig. 2 lowering vs the
+//! MatchStar and log-repetition extensions, end to end on the emulator.
+
+use bitgen::{BitGen, EngineConfig};
+use bitgen_workloads::{generate, AppKind, WorkloadConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_lowering(c: &mut Criterion) {
+    // Brill is the star-heavy app; ClamAV the bounded-repeat-heavy one.
+    for kind in [AppKind::Brill, AppKind::ClamAv] {
+        let w = generate(
+            kind,
+            &WorkloadConfig { regexes: 8, input_len: 16384, ..Default::default() },
+        );
+        let mut group = c.benchmark_group(format!("lowering_{}", w.kind.name()));
+        group.throughput(Throughput::Bytes(w.input.len() as u64));
+        group.sample_size(10);
+        for (label, match_star, log_repetition) in [
+            ("paper", false, false),
+            ("match_star", true, false),
+            ("log_repeat", false, true),
+            ("both", true, true),
+        ] {
+            let engine = BitGen::from_asts(
+                w.asts.clone(),
+                EngineConfig {
+                    threads: 32,
+                    cta_count: 4,
+                    match_star,
+                    log_repetition,
+                    ..Default::default()
+                },
+            );
+            group.bench_with_input(BenchmarkId::from_parameter(label), &w.input, |b, input| {
+                b.iter(|| engine.find(input).unwrap())
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_lowering
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Input transposition benchmark (the paper's preprocessing kernel).
+
+use bitgen_bitstream::Basis;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_transpose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transpose");
+    for len in [4096usize, 65536, 1 << 20] {
+        let input: Vec<u8> = (0..len).map(|i| (i * 131 % 251) as u8).collect();
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &input, |b, input| {
+            b.iter(|| Basis::transpose(input))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_transpose
+}
+criterion_main!(benches);

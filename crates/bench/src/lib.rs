@@ -1,0 +1,17 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! The `repro` binary drives everything; this library holds the pieces:
+//! workload preparation, engine runners (modelled GPU engines, wall-clock
+//! CPU baselines), aggregation, and plain-text/CSV table output.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod harness;
+pub mod table;
+
+pub use harness::{
+    geomean, prepare, run_bitgen, run_cpu_bitstream, run_hybrid_mt, run_hybrid_st, run_ngap,
+    AppRun, EngineResult, HarnessConfig,
+};
+pub use table::Table;

@@ -1,0 +1,373 @@
+//! The character-class compiler.
+//!
+//! Turns a [`ByteSet`] into a boolean circuit over the eight basis
+//! bitstreams (Fig. 2a of the paper). Single bytes become an 8-way AND of
+//! basis literals; ranges become comparison circuits built by recursing over
+//! the bits from most significant to least; arbitrary sets become the OR of
+//! their maximal ranges (or the negation of the complement's circuit when
+//! that is smaller).
+
+use crate::stream::BitStream;
+use crate::transpose::Basis;
+use bitgen_regex::ByteSet;
+use std::fmt;
+
+/// A boolean circuit over the basis bitstreams.
+///
+/// Evaluating the circuit position-wise over the transposed input yields the
+/// character-class bitstream `S_cc`.
+///
+/// # Examples
+///
+/// ```
+/// use bitgen_bitstream::{compile_class, Basis};
+/// use bitgen_regex::ByteSet;
+///
+/// let circuit = compile_class(&ByteSet::range(b'a', b'z'));
+/// let basis = Basis::transpose(b"abz{");
+/// let s = circuit.eval(&basis);
+/// assert_eq!(s.positions(), vec![0, 1, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CcExpr {
+    /// A constant bit, the same at every position.
+    Const(bool),
+    /// The *k*-th basis stream (`k < 8`), `b_0` = most significant bit.
+    Basis(u8),
+    /// Logical negation.
+    Not(Box<CcExpr>),
+    /// Logical conjunction.
+    And(Box<CcExpr>, Box<CcExpr>),
+    /// Logical disjunction.
+    Or(Box<CcExpr>, Box<CcExpr>),
+}
+
+impl CcExpr {
+    /// Smart constructor: negation with constant folding and involution.
+    #[allow(clippy::should_implement_trait)] // static ctor, not an operator
+    pub fn not(e: CcExpr) -> CcExpr {
+        match e {
+            CcExpr::Const(b) => CcExpr::Const(!b),
+            CcExpr::Not(inner) => *inner,
+            other => CcExpr::Not(Box::new(other)),
+        }
+    }
+
+    /// Smart constructor: conjunction with constant folding.
+    pub fn and(a: CcExpr, b: CcExpr) -> CcExpr {
+        match (a, b) {
+            (CcExpr::Const(false), _) | (_, CcExpr::Const(false)) => CcExpr::Const(false),
+            (CcExpr::Const(true), x) | (x, CcExpr::Const(true)) => x,
+            (x, y) => CcExpr::And(Box::new(x), Box::new(y)),
+        }
+    }
+
+    /// Smart constructor: disjunction with constant folding.
+    pub fn or(a: CcExpr, b: CcExpr) -> CcExpr {
+        match (a, b) {
+            (CcExpr::Const(true), _) | (_, CcExpr::Const(true)) => CcExpr::Const(true),
+            (CcExpr::Const(false), x) | (x, CcExpr::Const(false)) => x,
+            (x, y) => CcExpr::Or(Box::new(x), Box::new(y)),
+        }
+    }
+
+    /// Evaluates the circuit for a single byte value.
+    pub fn eval_byte(&self, byte: u8) -> bool {
+        match self {
+            CcExpr::Const(b) => *b,
+            CcExpr::Basis(k) => byte >> (7 - k) & 1 == 1,
+            CcExpr::Not(e) => !e.eval_byte(byte),
+            CcExpr::And(a, b) => a.eval_byte(byte) && b.eval_byte(byte),
+            CcExpr::Or(a, b) => a.eval_byte(byte) || b.eval_byte(byte),
+        }
+    }
+
+    /// Evaluates the circuit position-wise over transposed input, producing
+    /// the character-class bitstream.
+    pub fn eval(&self, basis: &Basis) -> BitStream {
+        match self {
+            CcExpr::Const(false) => BitStream::zeros(basis.len()),
+            CcExpr::Const(true) => BitStream::ones(basis.len()),
+            CcExpr::Basis(k) => basis.stream(*k as usize).clone(),
+            CcExpr::Not(e) => e.eval(basis).not(),
+            CcExpr::And(a, b) => a.eval(basis).and(&b.eval(basis)),
+            CcExpr::Or(a, b) => a.eval(basis).or(&b.eval(basis)),
+        }
+    }
+
+    /// Number of gates (AND/OR/NOT nodes) in the circuit.
+    ///
+    /// This is the per-position ALU cost of computing the class on the GPU,
+    /// and feeds the Table 1 instruction counts.
+    pub fn gate_count(&self) -> usize {
+        match self {
+            CcExpr::Const(_) | CcExpr::Basis(_) => 0,
+            CcExpr::Not(e) => 1 + e.gate_count(),
+            CcExpr::And(a, b) | CcExpr::Or(a, b) => 1 + a.gate_count() + b.gate_count(),
+        }
+    }
+
+    /// Gate counts broken down as `(and, or, not)`.
+    pub fn gate_breakdown(&self) -> (usize, usize, usize) {
+        match self {
+            CcExpr::Const(_) | CcExpr::Basis(_) => (0, 0, 0),
+            CcExpr::Not(e) => {
+                let (a, o, n) = e.gate_breakdown();
+                (a, o, n + 1)
+            }
+            CcExpr::And(x, y) => {
+                let (a1, o1, n1) = x.gate_breakdown();
+                let (a2, o2, n2) = y.gate_breakdown();
+                (a1 + a2 + 1, o1 + o2, n1 + n2)
+            }
+            CcExpr::Or(x, y) => {
+                let (a1, o1, n1) = x.gate_breakdown();
+                let (a2, o2, n2) = y.gate_breakdown();
+                (a1 + a2, o1 + o2 + 1, n1 + n2)
+            }
+        }
+    }
+}
+
+impl fmt::Display for CcExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CcExpr::Const(b) => write!(f, "{}", if *b { "1" } else { "0" }),
+            CcExpr::Basis(k) => write!(f, "b{k}"),
+            CcExpr::Not(e) => write!(f, "~{e}"),
+            CcExpr::And(a, b) => write!(f, "({a} & {b})"),
+            CcExpr::Or(a, b) => write!(f, "({a} | {b})"),
+        }
+    }
+}
+
+/// Compiles a byte class into a basis-bit circuit.
+///
+/// Uses maximal-range decomposition; when the complement decomposes into
+/// fewer ranges, compiles the complement and negates.
+pub fn compile_class(set: &ByteSet) -> CcExpr {
+    if set.is_empty() {
+        return CcExpr::Const(false);
+    }
+    if set.is_full() {
+        return CcExpr::Const(true);
+    }
+    let ranges = set.ranges();
+    let comp = set.complement();
+    let comp_ranges = comp.ranges();
+    if comp_ranges.len() < ranges.len() {
+        CcExpr::not(ranges_expr(&comp_ranges))
+    } else {
+        ranges_expr(&ranges)
+    }
+}
+
+fn ranges_expr(ranges: &[(u8, u8)]) -> CcExpr {
+    let mut out = CcExpr::Const(false);
+    for &(lo, hi) in ranges {
+        out = CcExpr::or(out, range_expr(lo, hi));
+    }
+    out
+}
+
+fn range_expr(lo: u8, hi: u8) -> CcExpr {
+    if lo == hi {
+        return byte_eq(lo);
+    }
+    match (lo, hi) {
+        (0, 255) => CcExpr::Const(true),
+        (0, _) => le_expr(hi, 0),
+        (_, 255) => ge_expr(lo, 0),
+        _ => {
+            // Factor out the common high-bit prefix of lo and hi: bits that
+            // agree become equality literals; the range test applies only to
+            // the disagreeing suffix.
+            let mut k = 0;
+            let mut prefix = CcExpr::Const(true);
+            while k < 8 && (lo >> (7 - k)) & 1 == (hi >> (7 - k)) & 1 {
+                prefix = CcExpr::and(prefix, bit_literal(lo, k));
+                k += 1;
+            }
+            CcExpr::and(prefix, CcExpr::and(ge_expr(lo, k), le_expr(hi, k)))
+        }
+    }
+}
+
+/// Matches bytes equal to `val`: an AND over all eight basis literals.
+fn byte_eq(val: u8) -> CcExpr {
+    let mut e = CcExpr::Const(true);
+    for k in 0..8 {
+        e = CcExpr::and(e, bit_literal(val, k));
+    }
+    e
+}
+
+/// Literal for basis bit `k` of `val`: `b_k` if the bit is set, `¬b_k`
+/// otherwise.
+fn bit_literal(val: u8, k: usize) -> CcExpr {
+    if val >> (7 - k) & 1 == 1 {
+        CcExpr::Basis(k as u8)
+    } else {
+        CcExpr::not(CcExpr::Basis(k as u8))
+    }
+}
+
+/// Matches bytes `b` with `b[k..] >= val[k..]` (suffix comparison starting
+/// at basis bit `k`).
+fn ge_expr(val: u8, k: usize) -> CcExpr {
+    if k == 8 {
+        return CcExpr::Const(true);
+    }
+    let rest = ge_expr(val, k + 1);
+    if val >> (7 - k) & 1 == 1 {
+        // Bit must be 1 and the suffix must still be >=.
+        CcExpr::and(CcExpr::Basis(k as u8), rest)
+    } else {
+        // Bit 1 makes b strictly greater; bit 0 defers to the suffix.
+        CcExpr::or(CcExpr::Basis(k as u8), rest)
+    }
+}
+
+/// Matches bytes `b` with `b[k..] <= val[k..]`.
+fn le_expr(val: u8, k: usize) -> CcExpr {
+    if k == 8 {
+        return CcExpr::Const(true);
+    }
+    let rest = le_expr(val, k + 1);
+    if val >> (7 - k) & 1 == 1 {
+        CcExpr::or(CcExpr::not(CcExpr::Basis(k as u8)), rest)
+    } else {
+        CcExpr::and(CcExpr::not(CcExpr::Basis(k as u8)), rest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustively checks a circuit against its set over all 256 bytes.
+    fn check(set: &ByteSet) {
+        let e = compile_class(set);
+        for b in 0..=255u8 {
+            assert_eq!(
+                e.eval_byte(b),
+                set.contains(b),
+                "byte {b:#04x} vs set {set:?} circuit {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn singletons() {
+        for b in [0u8, 1, b'a', 127, 128, 255] {
+            check(&ByteSet::singleton(b));
+        }
+    }
+
+    #[test]
+    fn simple_ranges() {
+        check(&ByteSet::range(b'a', b'z'));
+        check(&ByteSet::range(b'0', b'9'));
+        check(&ByteSet::range(0, 127));
+        check(&ByteSet::range(128, 255));
+        check(&ByteSet::range(0, 255));
+        check(&ByteSet::range(1, 254));
+    }
+
+    #[test]
+    fn adjacent_and_tiny_ranges() {
+        check(&ByteSet::range(b'a', b'b'));
+        check(&ByteSet::range(0x7f, 0x80)); // straddles the MSB
+        check(&ByteSet::range(0, 0));
+        check(&ByteSet::range(255, 255));
+    }
+
+    #[test]
+    fn multi_range_sets() {
+        check(&ByteSet::word());
+        check(&ByteSet::space());
+        check(&ByteSet::dot());
+        check(&ByteSet::digit().complement());
+        check(&ByteSet::from_bytes([b'a', b'e', b'i', b'o', b'u']));
+    }
+
+    #[test]
+    fn exhaustive_all_ranges_mod_stride() {
+        // A spread of (lo, hi) pairs including word-boundary-like cases.
+        for lo in (0..=255u8).step_by(17) {
+            for hi in (lo..=255).step_by(23) {
+                check(&ByteSet::range(lo, hi));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_full() {
+        assert_eq!(compile_class(&ByteSet::EMPTY), CcExpr::Const(false));
+        assert_eq!(compile_class(&ByteSet::FULL), CcExpr::Const(true));
+    }
+
+    #[test]
+    fn negated_class_uses_complement() {
+        // [^a] has 2 complement ranges vs 2 direct... use a set whose
+        // complement is clearly smaller: everything except one range.
+        let set = ByteSet::range(b'a', b'z').complement();
+        check(&set);
+        let direct = ranges_expr(&set.ranges());
+        let via_compile = compile_class(&set);
+        assert!(
+            via_compile.gate_count() <= direct.gate_count(),
+            "complement form should not be larger: {} vs {}",
+            via_compile.gate_count(),
+            direct.gate_count()
+        );
+    }
+
+    #[test]
+    fn gate_count_reasonable() {
+        // A single byte needs at most 8 literals = 7 ANDs + up to 8 NOTs.
+        let e = compile_class(&ByteSet::singleton(b'a'));
+        assert!(e.gate_count() <= 15, "got {}", e.gate_count());
+        // A contiguous range should stay well under the 8-bit worst case.
+        let r = compile_class(&ByteSet::range(b'a', b'z'));
+        assert!(r.gate_count() <= 40, "got {}", r.gate_count());
+    }
+
+    #[test]
+    fn gate_breakdown_sums_to_total() {
+        let e = compile_class(&ByteSet::word());
+        let (a, o, n) = e.gate_breakdown();
+        assert_eq!(a + o + n, e.gate_count());
+        assert!(a > 0 && o > 0);
+    }
+
+    #[test]
+    fn eval_over_basis_matches_bytewise() {
+        let set = ByteSet::range(b'a', b'm');
+        let e = compile_class(&set);
+        let input = b"hello world ABC mnop";
+        let basis = Basis::transpose(input);
+        let s = e.eval(&basis);
+        for (i, &b) in input.iter().enumerate() {
+            assert_eq!(s.get(i), set.contains(b), "position {i} byte {:?}", b as char);
+        }
+    }
+
+    #[test]
+    fn smart_constructors_fold() {
+        use CcExpr::*;
+        assert_eq!(CcExpr::and(Const(true), Basis(0)), Basis(0));
+        assert_eq!(CcExpr::and(Const(false), Basis(0)), Const(false));
+        assert_eq!(CcExpr::or(Const(false), Basis(1)), Basis(1));
+        assert_eq!(CcExpr::or(Const(true), Basis(1)), Const(true));
+        assert_eq!(CcExpr::not(CcExpr::not(Basis(2))), Basis(2));
+        assert_eq!(CcExpr::not(Const(true)), Const(false));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = compile_class(&ByteSet::singleton(b'a'));
+        let s = e.to_string();
+        assert!(s.contains("b0") || s.contains("~b0"), "got {s}");
+    }
+}

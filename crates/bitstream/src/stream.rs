@@ -1,0 +1,588 @@
+//! Unbounded bitstreams backed by `u64` words.
+//!
+//! A [`BitStream`] holds one bit per text position: bit *i* talks about byte
+//! *i* of the input. The paper writes bitstreams left-to-right, so its
+//! "right shift by 1" moves a marker from position *i* to position *i+1*;
+//! here that operation is called [`BitStream::advance`] (and the opposite
+//! direction [`BitStream::retreat`]) to keep the direction unambiguous.
+
+use std::fmt;
+
+/// A fixed-length sequence of bits, one per text position.
+///
+/// All boolean operations require equal lengths; bits beyond the logical
+/// length are kept zero as an internal invariant.
+///
+/// # Examples
+///
+/// ```
+/// use bitgen_bitstream::BitStream;
+///
+/// let mut s = BitStream::zeros(8);
+/// s.set(3, true);
+/// let t = s.advance(2);
+/// assert_eq!(t.positions(), vec![5]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitStream {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitStream {
+    /// Creates a stream of `len` zero bits.
+    pub fn zeros(len: usize) -> BitStream {
+        BitStream { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Creates a stream of `len` one bits.
+    pub fn ones(len: usize) -> BitStream {
+        let mut s = BitStream { words: vec![u64::MAX; len.div_ceil(64)], len };
+        s.mask_tail();
+        s
+    }
+
+    /// Creates a stream with ones exactly at `positions`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any position is `>= len`.
+    pub fn from_positions(len: usize, positions: &[usize]) -> BitStream {
+        let mut s = BitStream::zeros(len);
+        for &p in positions {
+            s.set(p, true);
+        }
+        s
+    }
+
+    /// Number of bit positions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the stream has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads the bit at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= len`.
+    pub fn get(&self, pos: usize) -> bool {
+        assert!(pos < self.len, "bit index {pos} out of range for length {}", self.len);
+        self.words[pos >> 6] >> (pos & 63) & 1 == 1
+    }
+
+    /// Writes the bit at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= len`.
+    pub fn set(&mut self, pos: usize, value: bool) {
+        assert!(pos < self.len, "bit index {pos} out of range for length {}", self.len);
+        if value {
+            self.words[pos >> 6] |= 1u64 << (pos & 63);
+        } else {
+            self.words[pos >> 6] &= !(1u64 << (pos & 63));
+        }
+    }
+
+    /// Returns `true` if any bit is set.
+    ///
+    /// This is the paper's control-flow condition (`popcount > 0`).
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Positions of all set bits, ascending.
+    pub fn positions(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (wi, &w) in self.words.iter().enumerate() {
+            let mut bits = w;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push(wi * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// Bitwise AND. Both streams must have equal length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn and(&self, other: &BitStream) -> BitStream {
+        self.zip(other, |a, b| a & b)
+    }
+
+    /// Bitwise OR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn or(&self, other: &BitStream) -> BitStream {
+        self.zip(other, |a, b| a | b)
+    }
+
+    /// Bitwise XOR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn xor(&self, other: &BitStream) -> BitStream {
+        self.zip(other, |a, b| a ^ b)
+    }
+
+    /// `self & !other` (AND-NOT).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn and_not(&self, other: &BitStream) -> BitStream {
+        self.zip(other, |a, b| a & !b)
+    }
+
+    /// Long-stream addition: treats both streams as little-endian
+    /// integers (bit 0 least significant) and adds them, truncating to
+    /// the stream length. Carries ripple toward higher positions — the
+    /// Parabix primitive behind the `MatchStar` while-free Kleene star.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn add(&self, other: &BitStream) -> BitStream {
+        assert_eq!(
+            self.len, other.len,
+            "bitstream length mismatch: {} vs {}",
+            self.len, other.len
+        );
+        let mut words = Vec::with_capacity(self.words.len());
+        let mut carry = 0u64;
+        for (&a, &b) in self.words.iter().zip(&other.words) {
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            words.push(s2);
+            carry = (c1 | c2) as u64;
+        }
+        let mut s = BitStream { words, len: self.len };
+        s.mask_tail();
+        s
+    }
+
+    /// Length in bits of the longest run of set bits (zero for an empty
+    /// or all-zero stream). This bounds how far a carry can propagate
+    /// through [`BitStream::add`] when the other operand marks positions
+    /// inside these runs.
+    pub fn longest_run(&self) -> usize {
+        let mut best = 0usize;
+        let mut current = 0usize;
+        for i in 0..self.len {
+            if self.get(i) {
+                current += 1;
+                best = best.max(current);
+            } else {
+                current = 0;
+            }
+        }
+        best
+    }
+
+    /// Bitwise NOT within the stream's length.
+    pub fn not(&self) -> BitStream {
+        let mut out = self.clone();
+        for w in out.words.iter_mut() {
+            *w = !*w;
+        }
+        out.mask_tail();
+        out
+    }
+
+    /// Moves every set bit `k` positions toward higher indices; bits pushed
+    /// past the end are dropped, vacated low positions become zero.
+    ///
+    /// This is the paper's `S >> k` (marker advance) used by concatenation.
+    pub fn advance(&self, k: usize) -> BitStream {
+        if k == 0 {
+            return self.clone();
+        }
+        let mut out = BitStream::zeros(self.len);
+        if k >= self.len {
+            return out;
+        }
+        let word_shift = k >> 6;
+        let bit_shift = k & 63;
+        let n = self.words.len();
+        if bit_shift == 0 {
+            for i in (word_shift..n).rev() {
+                out.words[i] = self.words[i - word_shift];
+            }
+        } else {
+            for i in (word_shift..n).rev() {
+                let lo = self.words[i - word_shift] << bit_shift;
+                let hi = if i > word_shift {
+                    self.words[i - word_shift - 1] >> (64 - bit_shift)
+                } else {
+                    0
+                };
+                out.words[i] = lo | hi;
+            }
+        }
+        out.mask_tail();
+        out
+    }
+
+    /// Moves every set bit `k` positions toward lower indices; bits pushed
+    /// below position 0 are dropped.
+    ///
+    /// This is the paper's `S << k`, introduced by operand rewriting.
+    pub fn retreat(&self, k: usize) -> BitStream {
+        if k == 0 {
+            return self.clone();
+        }
+        let mut out = BitStream::zeros(self.len);
+        if k >= self.len {
+            return out;
+        }
+        let word_shift = k >> 6;
+        let bit_shift = k & 63;
+        let n = self.words.len();
+        if bit_shift == 0 {
+            for i in 0..n - word_shift {
+                out.words[i] = self.words[i + word_shift];
+            }
+        } else {
+            for i in 0..n - word_shift {
+                let lo = self.words[i + word_shift] >> bit_shift;
+                let hi = if i + word_shift + 1 < n {
+                    self.words[i + word_shift + 1] << (64 - bit_shift)
+                } else {
+                    0
+                };
+                out.words[i] = lo | hi;
+            }
+        }
+        out
+    }
+
+    /// Extracts `len` bits starting at `start` into a new stream.
+    ///
+    /// Positions past the end of `self` read as zero, so windows may extend
+    /// beyond the stream (the interleaved executor relies on this for its
+    /// right-overlap extension).
+    pub fn slice(&self, start: usize, len: usize) -> BitStream {
+        let mut out = BitStream::zeros(len);
+        for i in 0..len {
+            let src = start + i;
+            if src < self.len && self.get(src) {
+                out.set(i, true);
+            }
+        }
+        out
+    }
+
+    /// ORs `src` into `self` at offset `dst_start`; bits of `src` that fall
+    /// past the end of `self` are dropped.
+    pub fn or_at(&mut self, dst_start: usize, src: &BitStream) {
+        for p in src.positions() {
+            let d = dst_start + p;
+            if d < self.len {
+                self.set(d, true);
+            }
+        }
+    }
+
+    /// Returns a copy with the given length: truncating drops high
+    /// positions, extending appends zeros.
+    pub fn resized(&self, new_len: usize) -> BitStream {
+        let mut words = self.words.clone();
+        words.resize(new_len.div_ceil(64), 0);
+        let mut s = BitStream { words, len: new_len };
+        s.mask_tail();
+        s
+    }
+
+    /// Read-only view of the underlying words (little-endian bit order:
+    /// bit *i* lives in word `i / 64` at bit `i % 64`).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Builds a stream from raw words; bits past `len` are cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is shorter than `len` requires.
+    pub fn from_words(words: Vec<u64>, len: usize) -> BitStream {
+        assert!(
+            words.len() >= len.div_ceil(64),
+            "{} words cannot hold {len} bits",
+            words.len()
+        );
+        let mut s = BitStream { words, len };
+        s.words.truncate(len.div_ceil(64));
+        s.mask_tail();
+        s
+    }
+
+    fn zip(&self, other: &BitStream, f: impl Fn(u64, u64) -> u64) -> BitStream {
+        assert_eq!(
+            self.len, other.len,
+            "bitstream length mismatch: {} vs {}",
+            self.len, other.len
+        );
+        let words = self.words.iter().zip(&other.words).map(|(&a, &b)| f(a, b)).collect();
+        let mut s = BitStream { words, len: self.len };
+        s.mask_tail();
+        s
+    }
+
+    /// Clears any bits beyond the logical length.
+    fn mask_tail(&mut self) {
+        let rem = self.len & 63;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for BitStream {
+    /// Prints the stream the way the paper's figures do: position 0 first,
+    /// zeros as dots.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitStream<{}>[", self.len)?;
+        let shown = self.len.min(128);
+        for i in 0..shown {
+            write!(f, "{}", if self.get(i) { '1' } else { '.' })?;
+        }
+        if shown < self.len {
+            write!(f, "...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for BitStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = BitStream::zeros(100);
+        assert_eq!(z.len(), 100);
+        assert!(!z.any());
+        assert_eq!(z.count_ones(), 0);
+        let o = BitStream::ones(100);
+        assert!(o.any());
+        assert_eq!(o.count_ones(), 100);
+        assert!(o.get(99));
+    }
+
+    #[test]
+    fn ones_masks_tail() {
+        let o = BitStream::ones(65);
+        assert_eq!(o.count_ones(), 65);
+        assert_eq!(o.as_words()[1], 1);
+    }
+
+    #[test]
+    fn set_get_positions() {
+        let mut s = BitStream::zeros(130);
+        s.set(0, true);
+        s.set(64, true);
+        s.set(129, true);
+        assert_eq!(s.positions(), vec![0, 64, 129]);
+        s.set(64, false);
+        assert_eq!(s.positions(), vec![0, 129]);
+        assert!(s.get(0));
+        assert!(!s.get(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitStream::zeros(10).get(10);
+    }
+
+    #[test]
+    fn boolean_ops() {
+        let a = BitStream::from_positions(10, &[1, 3, 5]);
+        let b = BitStream::from_positions(10, &[3, 5, 7]);
+        assert_eq!(a.and(&b).positions(), vec![3, 5]);
+        assert_eq!(a.or(&b).positions(), vec![1, 3, 5, 7]);
+        assert_eq!(a.xor(&b).positions(), vec![1, 7]);
+        assert_eq!(a.and_not(&b).positions(), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = BitStream::zeros(10).and(&BitStream::zeros(11));
+    }
+
+    #[test]
+    fn add_ripples_carries() {
+        // 0b0111 + 0b0001 = 0b1000.
+        let a = BitStream::from_positions(8, &[0, 1, 2]);
+        let b = BitStream::from_positions(8, &[0]);
+        assert_eq!(a.add(&b).positions(), vec![3]);
+    }
+
+    #[test]
+    fn add_carries_across_words() {
+        let a = BitStream::from_positions(130, &(0..64).collect::<Vec<_>>());
+        let b = BitStream::from_positions(130, &[0]);
+        assert_eq!(a.add(&b).positions(), vec![64]);
+        // Carry across two word boundaries.
+        let c = BitStream::from_positions(200, &(10..140).collect::<Vec<_>>());
+        let d = BitStream::from_positions(200, &[10]);
+        assert_eq!(c.add(&d).positions(), vec![140]);
+    }
+
+    #[test]
+    fn add_truncates_at_length() {
+        let a = BitStream::from_positions(4, &[3]);
+        let b = BitStream::from_positions(4, &[3]);
+        assert_eq!(a.add(&b).positions(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn add_disjoint_is_or() {
+        let a = BitStream::from_positions(32, &[1, 5]);
+        let b = BitStream::from_positions(32, &[2, 9]);
+        assert_eq!(a.add(&b), a.or(&b));
+    }
+
+    #[test]
+    fn longest_run_cases() {
+        assert_eq!(BitStream::zeros(50).longest_run(), 0);
+        assert_eq!(BitStream::ones(50).longest_run(), 50);
+        let s = BitStream::from_positions(100, &[1, 2, 3, 60, 61, 62, 63, 64, 65, 99]);
+        assert_eq!(s.longest_run(), 6);
+    }
+
+    #[test]
+    fn not_respects_length() {
+        let s = BitStream::from_positions(66, &[0, 65]);
+        let n = s.not();
+        assert_eq!(n.count_ones(), 64);
+        assert!(!n.get(0));
+        assert!(n.get(1));
+        assert!(!n.get(65));
+        assert_eq!(n.not(), s);
+    }
+
+    #[test]
+    fn advance_within_word() {
+        let s = BitStream::from_positions(16, &[0, 5]);
+        assert_eq!(s.advance(1).positions(), vec![1, 6]);
+        assert_eq!(s.advance(0), s);
+    }
+
+    #[test]
+    fn advance_across_words() {
+        let s = BitStream::from_positions(200, &[63, 64, 130]);
+        assert_eq!(s.advance(1).positions(), vec![64, 65, 131]);
+        assert_eq!(s.advance(64).positions(), vec![127, 128, 194]);
+        assert_eq!(s.advance(70).positions(), vec![133, 134]);
+    }
+
+    #[test]
+    fn advance_drops_bits_past_end() {
+        let s = BitStream::from_positions(10, &[8, 9]);
+        assert_eq!(s.advance(1).positions(), vec![9]);
+        assert_eq!(s.advance(2).positions(), Vec::<usize>::new());
+        assert_eq!(s.advance(100).positions(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn retreat_basic() {
+        let s = BitStream::from_positions(200, &[0, 64, 131]);
+        assert_eq!(s.retreat(1).positions(), vec![63, 130]);
+        assert_eq!(s.retreat(64).positions(), vec![0, 67]);
+        assert_eq!(s.retreat(0), s);
+        assert_eq!(s.retreat(500).positions(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn advance_then_retreat_is_lossy_only_at_edges() {
+        let s = BitStream::from_positions(100, &[10, 50, 99]);
+        assert_eq!(s.advance(5).retreat(5).positions(), vec![10, 50]);
+        assert_eq!(s.retreat(5).advance(5).positions(), vec![10, 50, 99]);
+    }
+
+    #[test]
+    fn slice_and_or_at() {
+        let s = BitStream::from_positions(100, &[10, 20, 90]);
+        let w = s.slice(15, 20);
+        assert_eq!(w.positions(), vec![5]);
+        // Slicing past the end reads zeros.
+        let tail = s.slice(85, 30);
+        assert_eq!(tail.positions(), vec![5]);
+        let mut dst = BitStream::zeros(50);
+        dst.or_at(40, &BitStream::from_positions(20, &[0, 15]));
+        assert_eq!(dst.positions(), vec![40]);
+    }
+
+    #[test]
+    fn slice_matches_retreat_prefix() {
+        let s = BitStream::from_positions(128, &[3, 64, 127]);
+        let w = s.slice(3, 125);
+        assert_eq!(w.positions(), vec![0, 61, 124]);
+    }
+
+    #[test]
+    fn resized_extends_and_truncates() {
+        let s = BitStream::from_positions(10, &[0, 9]);
+        let big = s.resized(70);
+        assert_eq!(big.len(), 70);
+        assert_eq!(big.positions(), vec![0, 9]);
+        let small = s.resized(9);
+        assert_eq!(small.positions(), vec![0]);
+        assert_eq!(small.resized(10), BitStream::from_positions(10, &[0]));
+    }
+
+    #[test]
+    fn from_words_round_trip() {
+        let s = BitStream::from_words(vec![0b1011, 0], 70);
+        assert_eq!(s.positions(), vec![0, 1, 3]);
+        assert_eq!(s.as_words().len(), 2);
+    }
+
+    #[test]
+    fn from_words_clears_tail() {
+        let s = BitStream::from_words(vec![u64::MAX], 4);
+        assert_eq!(s.count_ones(), 4);
+    }
+
+    #[test]
+    fn debug_uses_paper_notation() {
+        let s = BitStream::from_positions(6, &[5]);
+        assert_eq!(format!("{s:?}"), "BitStream<6>[.....1]");
+    }
+
+    #[test]
+    fn zero_length_stream() {
+        let s = BitStream::zeros(0);
+        assert!(s.is_empty());
+        assert!(!s.any());
+        assert_eq!(s.advance(3).len(), 0);
+        assert_eq!(s.not().count_ones(), 0);
+    }
+}

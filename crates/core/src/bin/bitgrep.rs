@@ -1,0 +1,211 @@
+//! `bitgrep` — a grep-like multi-pattern scanner over the BitGen stack.
+//!
+//! ```text
+//! bitgrep -e PATTERN [-e PATTERN ...] [FILE] [options]
+//!
+//!   -e PATTERN          pattern to search for (repeatable)
+//!   -c, --count         print only the number of matching lines
+//!   -n, --line-number   prefix each line with its line number
+//!   --positions         print raw match-end byte offsets instead of lines
+//!   --engine ENGINE     bitgen (default) | nfa | dfa | hybrid | cpu-bitstream
+//!   --scheme SCHEME     seq | base | dtm- | dtm | sr | zbs (default zbs)
+//!   --device DEV        3090 (default) | h100 | l40s
+//!   --threads N         threads per CTA (default 64)
+//!   --match-star        use the MatchStar (while-free) star lowering
+//!   --profile           print an Nsight-style launch profile to stderr
+//! ```
+//!
+//! Reads FILE, or stdin when no file is given.
+
+use bitgen::{BitGen, DeviceConfig, EngineConfig, Scheme};
+use bitgen_baselines::{CpuBitstreamEngine, DfaEngine, HybridEngine, MultiNfa};
+use bitgen_bitstream::BitStream;
+use std::io::Read as _;
+use std::process::ExitCode;
+
+struct Options {
+    patterns: Vec<String>,
+    file: Option<String>,
+    count: bool,
+    line_numbers: bool,
+    positions: bool,
+    engine: String,
+    scheme: Scheme,
+    device: DeviceConfig,
+    threads: usize,
+    match_star: bool,
+    profile: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bitgrep -e PATTERN [-e PATTERN ...] [FILE] \
+         [--count] [--line-number] [--positions] [--engine E] [--scheme S] \
+         [--device D] [--threads N] [--match-star] [--profile]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        patterns: Vec::new(),
+        file: None,
+        count: false,
+        line_numbers: false,
+        positions: false,
+        engine: "bitgen".to_string(),
+        scheme: Scheme::Zbs,
+        device: DeviceConfig::rtx3090(),
+        threads: 64,
+        match_star: false,
+        profile: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-e" | "--regexp" => {
+                opts.patterns.push(args.next().unwrap_or_else(|| usage()));
+            }
+            "-c" | "--count" => opts.count = true,
+            "-n" | "--line-number" => opts.line_numbers = true,
+            "--positions" => opts.positions = true,
+            "--engine" => opts.engine = args.next().unwrap_or_else(|| usage()),
+            "--scheme" => {
+                opts.scheme = match args.next().as_deref() {
+                    Some("seq") => Scheme::Sequential,
+                    Some("base") => Scheme::Base,
+                    Some("dtm-") => Scheme::DtmStatic,
+                    Some("dtm") => Scheme::Dtm,
+                    Some("sr") => Scheme::Sr,
+                    Some("zbs") => Scheme::Zbs,
+                    _ => usage(),
+                }
+            }
+            "--device" => {
+                opts.device = match args.next().as_deref() {
+                    Some("3090") => DeviceConfig::rtx3090(),
+                    Some("h100") => DeviceConfig::h100(),
+                    Some("l40s") => DeviceConfig::l40s(),
+                    _ => usage(),
+                }
+            }
+            "--threads" => {
+                opts.threads =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--match-star" => opts.match_star = true,
+            "--profile" => opts.profile = true,
+            "-h" | "--help" => usage(),
+            other if !other.starts_with('-') && opts.file.is_none() => {
+                opts.file = Some(other.to_string());
+            }
+            _ => usage(),
+        }
+    }
+    if opts.patterns.is_empty() {
+        usage();
+    }
+    opts
+}
+
+fn read_input(file: &Option<String>) -> std::io::Result<Vec<u8>> {
+    match file {
+        Some(path) => std::fs::read(path),
+        None => {
+            let mut buf = Vec::new();
+            std::io::stdin().read_to_end(&mut buf)?;
+            Ok(buf)
+        }
+    }
+}
+
+fn scan(opts: &Options, input: &[u8]) -> Result<BitStream, String> {
+    let pats: Vec<&str> = opts.patterns.iter().map(String::as_str).collect();
+    match opts.engine.as_str() {
+        "bitgen" => {
+            let config = EngineConfig {
+                scheme: opts.scheme,
+                device: opts.device.clone(),
+                threads: opts.threads,
+                match_star: opts.match_star,
+                ..EngineConfig::default()
+            };
+            let engine = BitGen::compile_with(&pats, config).map_err(|e| e.to_string())?;
+            let report = engine.find(input).map_err(|e| e.to_string())?;
+            if opts.profile {
+                eprint!("{}", report.profile(&opts.device));
+                eprintln!(
+                    "modelled: {:.3} ms, {:.1} MB/s",
+                    report.seconds * 1e3,
+                    report.throughput_mbps
+                );
+            }
+            Ok(report.matches)
+        }
+        other => {
+            let asts: Vec<_> = pats
+                .iter()
+                .enumerate()
+                .map(|(i, p)| bitgen::parse(p).map_err(|e| format!("pattern {i}: {e}")))
+                .collect::<Result<_, _>>()?;
+            let ends = match other {
+                "nfa" => MultiNfa::build(&asts).run(input).ends,
+                "dfa" => DfaEngine::new(&asts).run(input).ends,
+                "hybrid" => HybridEngine::new(&asts).run(input),
+                "cpu-bitstream" => CpuBitstreamEngine::new(&[asts]).run(input),
+                _ => return Err(format!("unknown engine {other:?}")),
+            };
+            Ok(ends)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let input = match read_input(&opts.file) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("bitgrep: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let ends = match scan(&opts, &input) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("bitgrep: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.positions {
+        for p in ends.positions() {
+            println!("{p}");
+        }
+        return if ends.any() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+    // Map match ends to lines, grep-style (single pass over sorted ends).
+    let positions = ends.positions();
+    let mut pos_idx = 0usize;
+    let mut matching_lines = Vec::new();
+    let mut line_start = 0usize;
+    for (i, chunk) in input.split(|&b| b == b'\n').enumerate() {
+        let next_line_start = line_start + chunk.len() + 1;
+        while pos_idx < positions.len() && positions[pos_idx] < line_start {
+            pos_idx += 1;
+        }
+        if pos_idx < positions.len() && positions[pos_idx] < next_line_start {
+            matching_lines.push((i + 1, chunk.to_vec()));
+        }
+        line_start = next_line_start;
+    }
+    if opts.count {
+        println!("{}", matching_lines.len());
+    } else {
+        for (no, line) in &matching_lines {
+            if opts.line_numbers {
+                print!("{no}:");
+            }
+            println!("{}", String::from_utf8_lossy(line));
+        }
+    }
+    if matching_lines.is_empty() { ExitCode::FAILURE } else { ExitCode::SUCCESS }
+}

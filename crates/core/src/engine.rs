@@ -1,0 +1,490 @@
+//! The BitGen engine: the public face of the whole pipeline.
+//!
+//! [`BitGen::compile`] parses and groups the patterns, lowers each group
+//! to a bitstream program, and freezes the execution configuration;
+//! [`BitGen::find`] transposes the input, runs every group's program as
+//! one CTA under the configured scheme, prices the launch on the
+//! configured device, and reports matches plus modelled performance.
+
+use crate::group::{group_regexes, GroupingStrategy};
+use bitgen_bitstream::{Basis, BitStream};
+use bitgen_exec::{apply_transforms, execute_prepared, ExecConfig, ExecError, ExecMetrics, FallbackPolicy, Scheme};
+use bitgen_gpu::{throughput_mbps, CostBreakdown, DeviceConfig};
+use bitgen_ir::{lower_group_with, LowerOptions, Program};
+use bitgen_regex::{parse, Ast, ParseError};
+use std::error::Error;
+use std::fmt;
+
+/// Engine configuration: the paper's tunables plus simulation knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of regex groups = CTAs (the paper's *CTA count*, default
+    /// 256 there; smaller here because CTAs are emulated).
+    pub cta_count: usize,
+    /// Threads per CTA (the paper uses 512).
+    pub threads: usize,
+    /// Shift barrier merge size (§5.3).
+    pub merge_size: usize,
+    /// Zero-block-skipping interval (§6).
+    pub interval: usize,
+    /// Register cap per thread (the paper's `-maxrregcount`, default 128).
+    pub max_regs: u32,
+    /// Lower single-class Kleene stars with the Parabix `MatchStar`
+    /// identity (long addition) instead of fixpoint loops — an extension
+    /// beyond the paper's Fig. 2e lowering, off by default.
+    pub match_star: bool,
+    /// Lower `C{n,m}` with O(log n) prefix-doubled run streams instead of
+    /// the Fig. 2d linear unrolling — an extension, off by default.
+    pub log_repetition: bool,
+    /// Case-insensitive matching: every letter class is widened to both
+    /// cases before lowering.
+    pub case_insensitive: bool,
+    /// Simplify pattern ASTs before lowering (flattening, duplicate
+    /// removal, common-prefix factoring). Language-preserving; on by
+    /// default.
+    pub optimize_patterns: bool,
+    /// Execution scheme; [`Scheme::Zbs`] is full BitGen.
+    pub scheme: Scheme,
+    /// Simulated device.
+    pub device: DeviceConfig,
+    /// Store one union output stream per group instead of one per regex
+    /// (cheaper; per-pattern results unavailable).
+    pub combine_outputs: bool,
+    /// Regex-to-CTA assignment strategy.
+    pub grouping: GroupingStrategy,
+    /// Overlap-overflow handling.
+    pub fallback: FallbackPolicy,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            cta_count: 8,
+            threads: 64,
+            merge_size: 8,
+            interval: 8,
+            max_regs: 128,
+            match_star: false,
+            log_repetition: false,
+            case_insensitive: false,
+            optimize_patterns: true,
+            scheme: Scheme::Zbs,
+            device: DeviceConfig::rtx3090(),
+            combine_outputs: true,
+            grouping: GroupingStrategy::BalancedLength,
+            fallback: FallbackPolicy::Sequential,
+        }
+    }
+}
+
+/// Pattern `index` failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Index of the offending pattern.
+    pub index: usize,
+    /// The parse failure.
+    pub error: ParseError,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pattern {}: {}", self.index, self.error)
+    }
+}
+
+impl Error for CompileError {}
+
+/// A compiled multi-pattern engine.
+#[derive(Debug, Clone)]
+pub struct BitGen {
+    groups: Vec<Vec<usize>>,
+    programs: Vec<Program>,
+    pattern_count: usize,
+    /// Longest possible match span across all patterns, `None` when some
+    /// pattern is unbounded. Drives the streaming scanner's carry-over.
+    max_span: Option<usize>,
+    config: EngineConfig,
+}
+
+/// Result of scanning one input.
+#[derive(Debug, Clone)]
+pub struct ScanReport {
+    /// Union match-end stream: bit *i* set ⇔ some pattern matches ending
+    /// at byte *i*.
+    pub matches: BitStream,
+    /// Per-pattern match-end streams (only when `combine_outputs` is
+    /// off), indexed like the compiled patterns.
+    pub per_pattern: Option<Vec<BitStream>>,
+    /// Modelled end-to-end seconds (transpose + kernel) on the device.
+    pub seconds: f64,
+    /// Modelled throughput in MB/s.
+    pub throughput_mbps: f64,
+    /// Device cost breakdown.
+    pub cost: CostBreakdown,
+    /// Per-CTA execution metrics.
+    pub metrics: Vec<ExecMetrics>,
+}
+
+impl ScanReport {
+    /// Number of match-end positions.
+    pub fn match_count(&self) -> usize {
+        self.matches.count_ones()
+    }
+
+    /// Renders an Nsight-style profile of the launch (per-CTA events and
+    /// cycle attribution) for `device` — normally the device the engine
+    /// was configured with.
+    pub fn profile(&self, device: &DeviceConfig) -> String {
+        let works: Vec<bitgen_gpu::CtaWork> =
+            self.metrics.iter().map(ExecMetrics::cta_work).collect();
+        bitgen_gpu::profile_report(device, &works, &self.cost)
+    }
+}
+
+impl BitGen {
+    /// Compiles a set of regex patterns with the default configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first pattern that fails to parse.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bitgen::BitGen;
+    ///
+    /// let engine = BitGen::compile(&["a(bc)*d", "cat"])?;
+    /// let report = engine.find(b"bobcat abcbcd").unwrap();
+    /// assert_eq!(report.matches.positions(), vec![5, 12]);
+    /// # Ok::<(), bitgen::CompileError>(())
+    /// ```
+    pub fn compile(patterns: &[&str]) -> Result<BitGen, CompileError> {
+        BitGen::compile_with(patterns, EngineConfig::default())
+    }
+
+    /// Compiles with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first pattern that fails to parse.
+    pub fn compile_with(patterns: &[&str], config: EngineConfig) -> Result<BitGen, CompileError> {
+        let mut asts = Vec::with_capacity(patterns.len());
+        for (index, p) in patterns.iter().enumerate() {
+            asts.push(parse(p).map_err(|error| CompileError { index, error })?);
+        }
+        Ok(BitGen::from_asts(asts, config))
+    }
+
+    /// Builds an engine from already-parsed regexes.
+    pub fn from_asts(asts: Vec<Ast>, config: EngineConfig) -> BitGen {
+        let mut asts: Vec<Ast> = if config.case_insensitive {
+            asts.iter().map(crate::fold_case).collect()
+        } else {
+            asts
+        };
+        if config.optimize_patterns {
+            for a in &mut asts {
+                *a = bitgen_regex::optimize(a);
+            }
+        }
+        let max_span = asts
+            .iter()
+            .map(Ast::max_len)
+            .try_fold(0usize, |acc, m| m.map(|v| acc.max(v)));
+        let groups = if asts.is_empty() {
+            Vec::new()
+        } else {
+            group_regexes(&asts, config.cta_count, config.grouping)
+        };
+        let lower_opts = LowerOptions {
+            match_star: config.match_star,
+            log_repetition: config.log_repetition,
+        };
+        let programs = groups
+            .iter()
+            .map(|g| {
+                let members: Vec<Ast> = g.iter().map(|&i| asts[i].clone()).collect();
+                if config.combine_outputs && config.optimize_patterns && members.len() > 1 {
+                    // Only the union matters: lower the whole group as one
+                    // alternation so the optimizer can factor prefixes
+                    // *across* rules (Hyperscan-style set compilation).
+                    let combined = bitgen_regex::optimize(&Ast::Alt(members));
+                    return lower_group_with(std::slice::from_ref(&combined), lower_opts);
+                }
+                let mut prog = lower_group_with(&members, lower_opts);
+                if config.combine_outputs {
+                    prog.combine_outputs();
+                }
+                prog
+            })
+            .collect();
+        let mut engine =
+            BitGen { groups, programs, pattern_count: asts.len(), max_span, config };
+        // Apply the scheme's compile-time transforms once, here, so every
+        // scan reuses the prepared programs.
+        let exec_config = engine.exec_config();
+        for prog in &mut engine.programs {
+            apply_transforms(prog, &exec_config);
+        }
+        engine
+    }
+
+    /// The longest span any pattern can match, or `None` if some pattern
+    /// is unbounded (`*`, `+`, `{n,}`).
+    pub fn max_span(&self) -> Option<usize> {
+        self.max_span
+    }
+
+    /// Number of compiled patterns.
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_count
+    }
+
+    /// Number of groups (CTAs) the patterns were partitioned into.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The compiled bitstream programs, one per group.
+    pub fn programs(&self) -> &[Program] {
+        &self.programs
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Scans `input`, returning matches and modelled performance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExecError`] (only possible under
+    /// [`FallbackPolicy::Error`]).
+    pub fn find(&self, input: &[u8]) -> Result<ScanReport, ExecError> {
+        let basis = Basis::transpose(input);
+        let exec_config = self.exec_config();
+        let mut union = BitStream::zeros(input.len());
+        let mut per_pattern = if self.config.combine_outputs {
+            None
+        } else {
+            Some(vec![BitStream::zeros(input.len()); self.pattern_count])
+        };
+        let mut metrics = Vec::with_capacity(self.programs.len());
+        let mut works = Vec::with_capacity(self.programs.len());
+        for (group, program) in self.groups.iter().zip(&self.programs) {
+            let outcome = execute_prepared(program, &basis, &exec_config)?;
+            for (oi, out) in outcome.outputs.iter().enumerate() {
+                let clipped = out.resized(input.len());
+                union = union.or(&clipped);
+                if let Some(per) = per_pattern.as_mut() {
+                    per[group[oi]] = clipped;
+                }
+            }
+            works.push(outcome.metrics.cta_work());
+            metrics.push(outcome.metrics);
+        }
+        let cost = self.config.device.estimate(&works);
+        let seconds = cost.seconds + self.config.device.transpose_seconds(input.len());
+        Ok(ScanReport {
+            matches: union,
+            per_pattern,
+            seconds,
+            throughput_mbps: throughput_mbps(input.len(), seconds),
+            cost,
+            metrics,
+        })
+    }
+
+    /// Scans several independent input streams in one launch — the
+    /// paper's MIMD regime: with S streams and G groups, S·G CTAs run
+    /// concurrently, each pairing one group's program with one stream.
+    ///
+    /// Returns one [`ScanReport`] per stream. Every report's `seconds`
+    /// and `cost` describe the *whole* launch (the streams share the
+    /// device), so each `throughput_mbps` is already the batch
+    /// throughput over the total bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`ExecError`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bitgen::BitGen;
+    ///
+    /// let engine = BitGen::compile(&["ab"])?;
+    /// let reports = engine.find_many(&[b"abab".as_slice(), b"xxab"]).unwrap();
+    /// assert_eq!(reports[0].matches.positions(), vec![1, 3]);
+    /// assert_eq!(reports[1].matches.positions(), vec![3]);
+    /// # Ok::<(), bitgen::CompileError>(())
+    /// ```
+    pub fn find_many(&self, inputs: &[&[u8]]) -> Result<Vec<ScanReport>, ExecError> {
+        let exec_config = self.exec_config();
+        let mut works = Vec::with_capacity(inputs.len() * self.programs.len());
+        let mut partial: Vec<(BitStream, Option<Vec<BitStream>>, Vec<ExecMetrics>)> =
+            Vec::with_capacity(inputs.len());
+        let mut total_bytes = 0usize;
+        for &input in inputs {
+            total_bytes += input.len();
+            let basis = Basis::transpose(input);
+            let mut union = BitStream::zeros(input.len());
+            let mut per_pattern = if self.config.combine_outputs {
+                None
+            } else {
+                Some(vec![BitStream::zeros(input.len()); self.pattern_count])
+            };
+            let mut metrics = Vec::with_capacity(self.programs.len());
+            for (group, program) in self.groups.iter().zip(&self.programs) {
+                let outcome = execute_prepared(program, &basis, &exec_config)?;
+                for (oi, out) in outcome.outputs.iter().enumerate() {
+                    let clipped = out.resized(input.len());
+                    union = union.or(&clipped);
+                    if let Some(per) = per_pattern.as_mut() {
+                        per[group[oi]] = clipped;
+                    }
+                }
+                works.push(outcome.metrics.cta_work());
+                metrics.push(outcome.metrics);
+            }
+            partial.push((union, per_pattern, metrics));
+        }
+        // One launch: all S·G CTAs priced together, plus one transpose per
+        // stream (summed; conservative, as transposes overlap on device).
+        let cost = self.config.device.estimate(&works);
+        let transpose: f64 =
+            inputs.iter().map(|i| self.config.device.transpose_seconds(i.len())).sum();
+        let seconds = cost.seconds + transpose;
+        Ok(partial
+            .into_iter()
+            .map(|(matches, per_pattern, metrics)| ScanReport {
+                matches,
+                per_pattern,
+                seconds,
+                throughput_mbps: throughput_mbps(total_bytes, seconds),
+                cost: cost.clone(),
+                metrics,
+            })
+            .collect())
+    }
+
+    fn exec_config(&self) -> ExecConfig {
+        ExecConfig {
+            scheme: self.config.scheme,
+            threads: self.config.threads,
+            merge_size: self.config.merge_size,
+            interval: self.config.interval,
+            max_regs: self.config.max_regs,
+            fallback: self.config.fallback,
+            ..ExecConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitgen_regex::multi_match_ends;
+
+    #[test]
+    fn multi_pattern_union() {
+        let engine = BitGen::compile(&["ab", "bc", "c+d"]).unwrap();
+        let input = b"abcd xx bccd";
+        let report = engine.find(input).unwrap();
+        let asts: Vec<Ast> = ["ab", "bc", "c+d"].iter().map(|p| parse(p).unwrap()).collect();
+        assert_eq!(report.matches.positions(), multi_match_ends(&asts, input));
+        assert!(report.seconds > 0.0);
+        assert!(report.throughput_mbps > 0.0);
+    }
+
+    #[test]
+    fn per_pattern_streams() {
+        let config = EngineConfig { combine_outputs: false, cta_count: 2, ..Default::default() };
+        let engine = BitGen::compile_with(&["ab", "bc"], config).unwrap();
+        let report = engine.find(b"abc").unwrap();
+        let per = report.per_pattern.as_ref().expect("per-pattern mode");
+        assert_eq!(per[0].positions(), vec![1]);
+        assert_eq!(per[1].positions(), vec![2]);
+        assert_eq!(report.matches.positions(), vec![1, 2]);
+    }
+
+    #[test]
+    fn grouping_does_not_change_matches() {
+        let pats = ["abc", "a(bc)*d", "x[0-9]{1,2}y", "zz"];
+        let input = b"abcbcd x42y zz abc";
+        let mut reference = None;
+        for ctas in [1, 2, 4] {
+            let config = EngineConfig { cta_count: ctas, ..Default::default() };
+            let engine = BitGen::compile_with(&pats, config).unwrap();
+            assert!(engine.group_count() <= ctas);
+            let got = engine.find(input).unwrap().matches.positions();
+            match &reference {
+                None => reference = Some(got),
+                Some(r) => assert_eq!(&got, r, "cta_count {ctas}"),
+            }
+        }
+    }
+
+    #[test]
+    fn schemes_agree_end_to_end() {
+        let pats = ["a(bc)*d", "cat", "[0-9]+x"];
+        let input = b"abcbcd cat 42x catd";
+        let mut reference = None;
+        for scheme in Scheme::ALL {
+            let config = EngineConfig { scheme, ..Default::default() };
+            let engine = BitGen::compile_with(&pats, config).unwrap();
+            let got = engine.find(input).unwrap().matches.positions();
+            match &reference {
+                None => reference = Some(got),
+                Some(r) => assert_eq!(&got, r, "scheme {scheme}"),
+            }
+        }
+    }
+
+    #[test]
+    fn compile_error_carries_index() {
+        let err = BitGen::compile(&["ok", "(broken"]).unwrap_err();
+        assert_eq!(err.index, 1);
+        assert!(err.to_string().contains("pattern 1"));
+    }
+
+    #[test]
+    fn empty_engine() {
+        let engine = BitGen::compile(&[]).unwrap();
+        let report = engine.find(b"anything").unwrap();
+        assert_eq!(report.match_count(), 0);
+        assert_eq!(engine.group_count(), 0);
+    }
+
+    #[test]
+    fn find_many_matches_individual_finds() {
+        let engine = BitGen::compile(&["ab", "c+d"]).unwrap();
+        let inputs: [&[u8]; 3] = [b"abcd", b"ccd ab", b"none"];
+        let batch = engine.find_many(&inputs).unwrap();
+        assert_eq!(batch.len(), 3);
+        for (input, report) in inputs.iter().zip(&batch) {
+            let solo = engine.find(input).unwrap();
+            assert_eq!(report.matches.positions(), solo.matches.positions());
+        }
+        // Batch launch amortises: total time under the sum of solo times.
+        let solo_total: f64 =
+            inputs.iter().map(|i| engine.find(i).unwrap().seconds).sum();
+        assert!(batch[0].seconds < solo_total, "{} vs {}", batch[0].seconds, solo_total);
+        // All reports describe the same launch.
+        assert_eq!(batch[0].seconds, batch[1].seconds);
+    }
+
+    #[test]
+    fn find_many_empty_batch() {
+        let engine = BitGen::compile(&["a"]).unwrap();
+        assert!(engine.find_many(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn match_count_helper() {
+        let engine = BitGen::compile(&["a"]).unwrap();
+        let report = engine.find(b"aaa").unwrap();
+        assert_eq!(report.match_count(), 3);
+    }
+}

@@ -1,0 +1,83 @@
+//! Case folding: widening every letter class to both cases.
+
+use bitgen_regex::{Ast, ByteSet};
+
+/// Returns a copy of `ast` in which every character class accepts both
+/// cases of every ASCII letter it contains — the usual `(?i)` semantics,
+/// applied structurally before lowering so every engine (and the
+/// character-class circuits) see the widened classes.
+///
+/// # Examples
+///
+/// ```
+/// use bitgen::{fold_case, parse};
+/// use bitgen_regex::match_ends;
+///
+/// let folded = fold_case(&parse("Get").unwrap());
+/// assert_eq!(match_ends(&folded, b"GET get gEt"), vec![2, 6, 10]);
+/// ```
+pub fn fold_case(ast: &Ast) -> Ast {
+    match ast {
+        Ast::Empty => Ast::Empty,
+        Ast::Class(set) => Ast::Class(fold_set(set)),
+        Ast::Concat(parts) => Ast::Concat(parts.iter().map(fold_case).collect()),
+        Ast::Alt(parts) => Ast::Alt(parts.iter().map(fold_case).collect()),
+        Ast::Star(inner) => Ast::Star(Box::new(fold_case(inner))),
+        Ast::Plus(inner) => Ast::Plus(Box::new(fold_case(inner))),
+        Ast::Opt(inner) => Ast::Opt(Box::new(fold_case(inner))),
+        Ast::Repeat { node, min, max } => {
+            Ast::Repeat { node: Box::new(fold_case(node)), min: *min, max: *max }
+        }
+    }
+}
+
+fn fold_set(set: &ByteSet) -> ByteSet {
+    let mut out = *set;
+    for b in set.iter() {
+        if b.is_ascii_lowercase() {
+            out.insert(b.to_ascii_uppercase());
+        } else if b.is_ascii_uppercase() {
+            out.insert(b.to_ascii_lowercase());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitgen_regex::{match_ends, parse};
+
+    #[test]
+    fn folds_literals_and_classes() {
+        let folded = fold_case(&parse("[a-c]X9").unwrap());
+        for input in [&b"aX9"[..], b"AX9", b"cx9", b"Bx9"] {
+            assert_eq!(match_ends(&folded, input), vec![2], "{input:?}");
+        }
+        assert!(match_ends(&folded, b"dX9").is_empty());
+    }
+
+    #[test]
+    fn non_letters_unchanged() {
+        let folded = fold_case(&parse("[0-9!]").unwrap());
+        assert_eq!(folded, parse("[0-9!]").unwrap());
+    }
+
+    #[test]
+    fn folds_through_structure() {
+        let folded = fold_case(&parse("a(b|C)*d{2,3}").unwrap());
+        assert_eq!(match_ends(&folded, b"ABcBDD"), vec![5]);
+    }
+
+    #[test]
+    fn engine_level_case_insensitive() {
+        use crate::{BitGen, EngineConfig};
+        let engine = BitGen::compile_with(
+            &["error"],
+            EngineConfig { case_insensitive: true, ..EngineConfig::default() },
+        )
+        .unwrap();
+        let report = engine.find(b"Error ERROR error").unwrap();
+        assert_eq!(report.match_count(), 3);
+    }
+}

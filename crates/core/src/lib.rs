@@ -1,0 +1,56 @@
+//! # BitGen-rs
+//!
+//! A from-scratch Rust reproduction of *Interleaved Bitstream Execution
+//! for Multi-Pattern Regex Matching on GPUs* (MICRO 2025): a compiler
+//! from regexes to bitstream programs, the three interleaved-execution
+//! techniques of the paper (Dependency-Aware Thread-Data Mapping, Shift
+//! Rebalancing, Zero Block Skipping), a SIMT GPU emulator with a device
+//! cost model standing in for CUDA hardware, and the baseline engines the
+//! paper compares against.
+//!
+//! This crate is the facade: compile a pattern set, scan inputs, get
+//! matches plus modelled GPU performance.
+//!
+//! ```
+//! use bitgen::BitGen;
+//!
+//! let engine = BitGen::compile(&["a(bc)*d", r"GET /[a-z]+"])?;
+//! let report = engine.find(b"GET /index abcbcd").unwrap();
+//! // All-match semantics: every end of `GET /[a-z]+` is reported
+//! // (positions 5..=9), plus the end of `a(bc)*d` at 16.
+//! assert_eq!(report.matches.positions(), vec![5, 6, 7, 8, 9, 16]);
+//! println!("modelled throughput: {:.1} MB/s", report.throughput_mbps);
+//! # Ok::<(), bitgen::CompileError>(())
+//! ```
+//!
+//! The pipeline underneath, crate by crate:
+//!
+//! | stage | crate |
+//! |---|---|
+//! | regex parsing, byte classes, match oracle | [`bitgen_regex`] |
+//! | bitstreams, transposition, class circuits | [`bitgen_bitstream`] |
+//! | bitstream-program IR, lowering, interpreter | [`bitgen_ir`] |
+//! | overlap analysis, shift rebalancing, zero-block skipping | [`bitgen_passes`] |
+//! | kernel IR, barrier scheduling/merging, pseudo-CUDA | [`bitgen_kernel`] |
+//! | SIMT CTA emulator, device cost model | [`bitgen_gpu`] |
+//! | execution schemes (Seq/Base/DTM-/DTM/SR/ZBS) | [`bitgen_exec`] |
+//! | ngAP-like, Hyperscan-like, icgrep-like baselines | [`bitgen_baselines`] |
+//! | the ten synthetic evaluation applications | [`bitgen_workloads`] |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod engine;
+mod fold;
+mod group;
+mod stream_scan;
+
+pub use engine::{BitGen, CompileError, EngineConfig, ScanReport};
+pub use fold::fold_case;
+pub use group::{group_regexes, GroupingStrategy};
+pub use stream_scan::{StreamError, StreamScanner};
+
+// Re-export the pieces users need to configure or extend the engine.
+pub use bitgen_exec::{ExecConfig, ExecError, ExecMetrics, FallbackPolicy, Scheme};
+pub use bitgen_gpu::{CostBreakdown, DeviceConfig};
+pub use bitgen_regex::{parse, Ast, ByteSet, ParseError};

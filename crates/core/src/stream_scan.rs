@@ -1,0 +1,201 @@
+//! Streaming scans: feed input in chunks, get globally-positioned matches.
+//!
+//! The engine's block-wise execution is inherently batch-oriented (the
+//! whole stream is transposed up front), but bounded-span pattern sets can
+//! be scanned incrementally with a carry-over tail: each chunk is scanned
+//! together with the last `max_span − 1` bytes of the previous data, and
+//! only matches ending inside the new chunk are reported. Pattern sets
+//! containing unbounded repetitions have no span bound and are rejected.
+
+use crate::engine::{BitGen, ScanReport};
+use bitgen_exec::ExecError;
+use std::error::Error;
+use std::fmt;
+
+/// Why a streaming scanner could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// Some pattern can match arbitrarily long spans (`*`, `+`, `{n,}`),
+    /// so no finite carry-over tail is sufficient.
+    UnboundedPattern,
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::UnboundedPattern => {
+                write!(f, "pattern set contains unbounded repetitions; streaming needs a span bound")
+            }
+        }
+    }
+}
+
+impl Error for StreamError {}
+
+/// Incremental scanner over a compiled engine.
+///
+/// # Examples
+///
+/// ```
+/// use bitgen::BitGen;
+///
+/// let engine = BitGen::compile(&["abcd"])?;
+/// let mut scanner = engine.streamer().unwrap();
+/// // The match spans the chunk boundary.
+/// let mut ends = scanner.push(b"xxab").unwrap();
+/// ends.extend(scanner.push(b"cdyy").unwrap());
+/// assert_eq!(ends, vec![5]);
+/// # Ok::<(), bitgen::CompileError>(())
+/// ```
+#[derive(Debug)]
+pub struct StreamScanner<'e> {
+    engine: &'e BitGen,
+    /// Bytes of history to prepend: `max_span − 1`.
+    overlap: usize,
+    /// The retained tail of everything pushed so far.
+    tail: Vec<u8>,
+    /// Global offset of the first byte of `tail`.
+    tail_offset: u64,
+    /// Total bytes consumed.
+    consumed: u64,
+    /// Accumulated modelled seconds across pushes.
+    seconds: f64,
+}
+
+impl BitGen {
+    /// Creates a streaming scanner over this engine.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::UnboundedPattern`] if any pattern lacks a span
+    /// bound.
+    pub fn streamer(&self) -> Result<StreamScanner<'_>, StreamError> {
+        match self.max_span() {
+            Some(span) => Ok(StreamScanner {
+                engine: self,
+                overlap: span.saturating_sub(1),
+                tail: Vec::new(),
+                tail_offset: 0,
+                consumed: 0,
+                seconds: 0.0,
+            }),
+            None => Err(StreamError::UnboundedPattern),
+        }
+    }
+}
+
+impl StreamScanner<'_> {
+    /// Scans the next chunk, returning the *global* byte positions of
+    /// matches that end inside it, ascending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExecError`] from the underlying engine.
+    pub fn push(&mut self, chunk: &[u8]) -> Result<Vec<u64>, ExecError> {
+        let chunk_start = self.consumed;
+        // Scan tail + chunk; matches ending before the chunk were already
+        // reported by earlier pushes.
+        let mut buffer = Vec::with_capacity(self.tail.len() + chunk.len());
+        buffer.extend_from_slice(&self.tail);
+        buffer.extend_from_slice(chunk);
+        let report: ScanReport = self.engine.find(&buffer)?;
+        self.seconds += report.seconds;
+        let local_chunk_start = (chunk_start - self.tail_offset) as usize;
+        let ends = report
+            .matches
+            .positions()
+            .into_iter()
+            .filter(|&p| p >= local_chunk_start)
+            .map(|p| self.tail_offset + p as u64)
+            .collect();
+        self.consumed += chunk.len() as u64;
+        // Retain the last `overlap` bytes as the next tail.
+        if buffer.len() > self.overlap {
+            let cut = buffer.len() - self.overlap;
+            self.tail = buffer.split_off(cut);
+            self.tail_offset = self.consumed - self.overlap as u64;
+        } else {
+            self.tail = buffer;
+            // tail_offset unchanged: the whole history fits.
+        }
+        Ok(ends)
+    }
+
+    /// Total bytes consumed so far.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Accumulated modelled GPU seconds over all pushes (each push is an
+    /// independent launch; re-scanning the carried tail is the streaming
+    /// overhead).
+    pub fn seconds(&self) -> f64 {
+        self.seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+
+    fn scan_all(engine: &BitGen, input: &[u8], chunk_sizes: &[usize]) -> Vec<u64> {
+        let mut scanner = engine.streamer().unwrap();
+        let mut ends = Vec::new();
+        let mut pos = 0usize;
+        let mut i = 0usize;
+        while pos < input.len() {
+            let size = chunk_sizes[i % chunk_sizes.len()].max(1).min(input.len() - pos);
+            ends.extend(scanner.push(&input[pos..pos + size]).unwrap());
+            pos += size;
+            i += 1;
+        }
+        assert_eq!(scanner.consumed(), input.len() as u64);
+        ends
+    }
+
+    #[test]
+    fn chunked_equals_batch() {
+        let engine = BitGen::compile(&["abcd", "x[0-9]{2}y", "q"]).unwrap();
+        let input = b"abcd x42y qq abcd x99y endabcd";
+        let batch: Vec<u64> =
+            engine.find(input).unwrap().matches.positions().iter().map(|&p| p as u64).collect();
+        for chunks in [&[1usize][..], &[3], &[7, 2], &[100], &[4, 1, 9]] {
+            assert_eq!(scan_all(&engine, input, chunks), batch, "chunks {chunks:?}");
+        }
+    }
+
+    #[test]
+    fn match_spanning_many_tiny_chunks() {
+        let engine = BitGen::compile(&["abcdefgh"]).unwrap();
+        let input = b"..abcdefgh..";
+        assert_eq!(scan_all(&engine, input, &[1]), vec![9]);
+    }
+
+    #[test]
+    fn no_duplicate_reports_in_overlap() {
+        let engine = BitGen::compile(&["aa"]).unwrap();
+        // Overlapping matches across chunk boundaries must appear once.
+        let input = b"aaaa";
+        let ends = scan_all(&engine, input, &[2]);
+        assert_eq!(ends, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn unbounded_patterns_rejected() {
+        let engine = BitGen::compile(&["a+b"]).unwrap();
+        assert_eq!(engine.streamer().unwrap_err(), StreamError::UnboundedPattern);
+        let bounded = BitGen::compile(&["a{1,30}b"]).unwrap();
+        assert!(bounded.streamer().is_ok());
+    }
+
+    #[test]
+    fn seconds_accumulate() {
+        let engine = BitGen::compile_with(&["abc"], EngineConfig::default()).unwrap();
+        let mut s = engine.streamer().unwrap();
+        s.push(b"abcabc").unwrap();
+        let one = s.seconds();
+        s.push(b"abcabc").unwrap();
+        assert!(s.seconds() > one);
+    }
+}

@@ -1,0 +1,111 @@
+//! Bit-range copying between window word buffers and full-length streams.
+
+use bitgen_bitstream::BitStream;
+
+/// ORs `nbits` bits of `src` (32-bit words, starting at bit `src_start`)
+/// into `dst` starting at bit position `dst_start`.
+///
+/// Bits that would land past the end of `dst` are dropped. Used by the
+/// executors to store a window's valid region into an output stream.
+pub fn blit_or(dst: &mut BitStream, dst_start: usize, src: &[u32], src_start: usize, nbits: usize) {
+    let len = dst.len();
+    let mut copied = 0usize;
+    while copied < nbits {
+        let d = dst_start + copied;
+        if d >= len {
+            break;
+        }
+        let chunk = (nbits - copied).min(32).min(len - d);
+        let word = gather32(src, src_start + copied) & mask32(chunk);
+        if word != 0 {
+            for j in 0..chunk {
+                if word >> j & 1 == 1 {
+                    dst.set(d + j, true);
+                }
+            }
+        }
+        copied += chunk;
+    }
+}
+
+/// Extracts 32 bits from a `u32` word buffer starting at bit `start`
+/// (bits past the end read as zero).
+fn gather32(words: &[u32], start: usize) -> u32 {
+    let total = words.len() * 32;
+    if start >= total {
+        return 0;
+    }
+    let idx = start / 32;
+    let off = (start % 32) as u32;
+    let lo = words[idx];
+    if off == 0 {
+        return lo;
+    }
+    let hi = if idx + 1 < words.len() { words[idx + 1] } else { 0 };
+    (lo >> off) | (hi << (32 - off))
+}
+
+fn mask32(bits: usize) -> u32 {
+    if bits >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_copy() {
+        let mut dst = BitStream::zeros(128);
+        blit_or(&mut dst, 0, &[0b1011, 0x8000_0000], 0, 64);
+        assert_eq!(dst.positions(), vec![0, 1, 3, 63]);
+    }
+
+    #[test]
+    fn offset_copy() {
+        let mut dst = BitStream::zeros(100);
+        // Source bit 5 lands at dst bit 45.
+        blit_or(&mut dst, 40, &[0b100000], 0, 32);
+        assert_eq!(dst.positions(), vec![45]);
+    }
+
+    #[test]
+    fn source_offset() {
+        let mut dst = BitStream::zeros(100);
+        // Skip the first 3 source bits: src bit 3 → dst bit 0.
+        blit_or(&mut dst, 0, &[0b1000_1000], 3, 8);
+        assert_eq!(dst.positions(), vec![0, 4]);
+    }
+
+    #[test]
+    fn truncates_at_dst_end() {
+        let mut dst = BitStream::zeros(10);
+        blit_or(&mut dst, 8, &[0b111], 0, 3);
+        assert_eq!(dst.positions(), vec![8, 9]);
+    }
+
+    #[test]
+    fn nbits_limits_copy() {
+        let mut dst = BitStream::zeros(64);
+        blit_or(&mut dst, 0, &[u32::MAX], 0, 5);
+        assert_eq!(dst.count_ones(), 5);
+    }
+
+    #[test]
+    fn ors_into_existing() {
+        let mut dst = BitStream::from_positions(32, &[0]);
+        blit_or(&mut dst, 0, &[0b10], 0, 32);
+        assert_eq!(dst.positions(), vec![0, 1]);
+    }
+
+    #[test]
+    fn cross_word_source() {
+        let mut dst = BitStream::zeros(64);
+        // Bits 30..34 set in source: crossing the u32 boundary.
+        blit_or(&mut dst, 0, &[0xC000_0000, 0b11], 30, 4);
+        assert_eq!(dst.positions(), vec![0, 1, 2, 3]);
+    }
+}

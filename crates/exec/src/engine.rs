@@ -1,0 +1,665 @@
+//! Program execution on the simulated GPU: the interleaved (fused) path
+//! with dependency-aware windows, and the sequential path used by the
+//! strawman schemes and the overlap-overflow fallback.
+
+use crate::blit::blit_or;
+use crate::metrics::ExecMetrics;
+use crate::scheme::Scheme;
+use crate::segment::{intermediate_count, segment_program, Segment, SegmentKind};
+use bitgen_bitstream::{compile_class, Basis, BitStream};
+use bitgen_gpu::{Cta, RaceError, WindowInputs};
+use bitgen_ir::{Op, Program, Stmt, StreamId};
+use bitgen_kernel::{compile, CodegenOptions, WORD_BITS};
+use bitgen_passes::{insert_zero_skips, rebalance, Hull, OverlapInfo, ZbsConfig};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// What to do when a window's required overlap exceeds the capacity of
+/// interleaved execution (§8.2, "Limits of Overlap Distance").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackPolicy {
+    /// Fail with [`ExecError::OverlapOverflow`].
+    Error,
+    /// Re-run the affected segment sequentially (the paper's proposed
+    /// future-work fallback, implemented here).
+    Sequential,
+}
+
+/// Execution configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Execution scheme (Table 3 row).
+    pub scheme: Scheme,
+    /// Threads per CTA (the paper uses 512; tests use fewer).
+    pub threads: usize,
+    /// Maximum shifts per barrier group (§5.3) for schemes with barrier
+    /// merging.
+    pub merge_size: usize,
+    /// Zero-block-skipping guard interval (§6).
+    pub interval: usize,
+    /// Initial extra overlap (bits) granted to programs with loops before
+    /// any retry.
+    pub dynamic_allowance: u64,
+    /// Register cap per thread (the paper's `-maxrregcount` tuning knob):
+    /// the cost model clamps the liveness-based register estimate here.
+    pub max_regs: u32,
+    /// Overflow handling.
+    pub fallback: FallbackPolicy,
+}
+
+impl Default for ExecConfig {
+    fn default() -> ExecConfig {
+        ExecConfig {
+            scheme: Scheme::Zbs,
+            threads: 64,
+            merge_size: 8,
+            interval: 8,
+            dynamic_allowance: 64,
+            max_regs: 128,
+            fallback: FallbackPolicy::Sequential,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Convenience: the default configuration for a given scheme.
+    pub fn for_scheme(scheme: Scheme) -> ExecConfig {
+        ExecConfig { scheme, ..ExecConfig::default() }
+    }
+
+    /// Window width in bits.
+    pub fn window_bits(&self) -> usize {
+        self.threads * WORD_BITS
+    }
+}
+
+/// Why execution failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A window needed more overlap than interleaved execution can
+    /// provide and the policy was [`FallbackPolicy::Error`].
+    OverlapOverflow {
+        /// The overlap the window needed.
+        required: Hull,
+        /// The maximum total overlap the window size allows.
+        capacity: u64,
+    },
+    /// The generated kernel violated the barrier discipline (a compiler
+    /// bug by construction; surfaced for tests).
+    Race(RaceError),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::OverlapOverflow { required, capacity } => write!(
+                f,
+                "required overlap {}+{} bits exceeds window capacity {capacity}",
+                required.left, required.right
+            ),
+            ExecError::Race(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+/// Result of executing a program.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// One match-end stream per program output.
+    pub outputs: Vec<BitStream>,
+    /// Everything Tables 4–6 need.
+    pub metrics: ExecMetrics,
+}
+
+impl ExecOutcome {
+    /// Union of all output streams.
+    pub fn union(&self) -> BitStream {
+        let len = self.outputs.first().map_or(0, BitStream::len);
+        self.outputs.iter().fold(BitStream::zeros(len), |acc, s| acc.or(s))
+    }
+}
+
+/// Executes `program` over the transposed input under `config`.
+///
+/// Applies the scheme's transforms (rebalancing, zero-block skipping),
+/// cuts the program into segments, and runs each segment blockwise —
+/// interleaved with dependency-aware windows for fused segments,
+/// instruction-at-a-time for sequential ones.
+///
+/// # Errors
+///
+/// [`ExecError::OverlapOverflow`] under [`FallbackPolicy::Error`] when a
+/// marker chain outruns the window; [`ExecError::Race`] if a generated
+/// kernel races (a bug, caught by the emulator).
+///
+/// # Examples
+///
+/// ```
+/// use bitgen_regex::parse;
+/// use bitgen_ir::lower;
+/// use bitgen_bitstream::Basis;
+/// use bitgen_exec::{execute, ExecConfig, Scheme};
+///
+/// let prog = lower(&parse("a(bc)*d").unwrap());
+/// let basis = Basis::transpose(b"xxabcbcd");
+/// let out = execute(&prog, &basis, &ExecConfig::for_scheme(Scheme::Zbs))?;
+/// assert_eq!(out.outputs[0].positions(), vec![7]);
+/// # Ok::<(), bitgen_exec::ExecError>(())
+/// ```
+pub fn execute(program: &Program, basis: &Basis, config: &ExecConfig) -> Result<ExecOutcome, ExecError> {
+    let mut prog = program.clone();
+    apply_transforms(&mut prog, config);
+    execute_prepared(&prog, basis, config)
+}
+
+/// Applies the scheme's compile-time transforms (shift rebalancing,
+/// zero-block skipping) to `program` in place.
+///
+/// [`execute`] does this internally; engines that scan many inputs with
+/// one program should call this once and then [`execute_prepared`] per
+/// scan — the passes are not cheap on large programs.
+pub fn apply_transforms(program: &mut Program, config: &ExecConfig) {
+    if config.scheme.uses_rebalancing() {
+        rebalance(program);
+    }
+    if config.scheme.uses_zbs() {
+        insert_zero_skips(program, ZbsConfig { interval: config.interval, min_range: 2 });
+    }
+    debug_assert_eq!(
+        bitgen_ir::verify(program).map_err(|e| e.to_string()),
+        Ok(()),
+        "transform passes must preserve program well-formedness"
+    );
+}
+
+/// Executes a program whose transforms were already applied by
+/// [`apply_transforms`] (or that should run untransformed).
+///
+/// # Errors
+///
+/// Same as [`execute`].
+pub fn execute_prepared(
+    prog: &Program,
+    basis: &Basis,
+    config: &ExecConfig,
+) -> Result<ExecOutcome, ExecError> {
+    let segments = segment_program(prog, config.scheme);
+    let stream_len = Program::stream_len(basis.len());
+    let mut metrics = ExecMetrics {
+        segments: segments.len(),
+        intermediates: intermediate_count(&segments, &prog),
+        threads: config.threads,
+        ..ExecMetrics::default()
+    };
+    let mut env: HashMap<StreamId, BitStream> = HashMap::new();
+    for seg in &segments {
+        match seg.kind {
+            SegmentKind::Fused => {
+                match run_fused(seg, prog, basis, &mut env, config, &mut metrics, stream_len) {
+                    Ok(()) => {}
+                    Err(ExecError::OverlapOverflow { .. })
+                        if config.fallback == FallbackPolicy::Sequential =>
+                    {
+                        metrics.fallbacks += 1;
+                        run_sequential(seg, basis, &mut env, config, &mut metrics, stream_len);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            SegmentKind::Sequential => {
+                run_sequential(seg, basis, &mut env, config, &mut metrics, stream_len)
+            }
+        }
+        let resident: usize = env.values().map(|s| s.len().div_ceil(8)).sum();
+        metrics.peak_materialized_bytes = metrics.peak_materialized_bytes.max(resident);
+    }
+    metrics.window_iterations = metrics.counters.window_iterations;
+    let outputs = prog
+        .outputs()
+        .iter()
+        .map(|id| env.get(id).cloned().unwrap_or_else(|| BitStream::zeros(stream_len)))
+        .collect();
+    Ok(ExecOutcome { outputs, metrics })
+}
+
+/// Interleaved execution of one fused segment (§4): windows with
+/// dependency-aware overlap, dynamic retries, and exact stores of each
+/// window's valid region.
+fn run_fused(
+    seg: &Segment,
+    prog: &Program,
+    basis: &Basis,
+    env: &mut HashMap<StreamId, BitStream>,
+    config: &ExecConfig,
+    metrics: &mut ExecMetrics,
+    stream_len: usize,
+) -> Result<(), ExecError> {
+    let sub = Program::new(seg.stmts.clone(), prog.num_streams(), seg.outputs.clone());
+    let info = OverlapInfo::analyze(&sub);
+    let merge = if config.scheme.uses_barrier_merging() { config.merge_size } else { 1 };
+    let compiled = compile(&sub, &seg.inputs, &seg.outputs, &CodegenOptions { merge_size: merge, ..CodegenOptions::default() });
+    let kernel = &compiled.kernel;
+    metrics.shift_groups += compiled.stats.shift_groups;
+    metrics.smem_bytes = metrics.smem_bytes.max(kernel.smem_bytes(config.threads));
+    // A liveness-based allocator's register count, clamped at the
+    // configured cap (the paper's max-register parameter).
+    metrics.regs_per_thread =
+        metrics.regs_per_thread.max(kernel.max_live_regs().min(config.max_regs));
+    metrics.static_overlap = metrics.static_overlap.max(info.base.total());
+    if metrics.counters.loop_trips.len() < kernel.num_sites as usize {
+        metrics.counters.loop_trips.resize(kernel.num_sites as usize, 0);
+    }
+
+    let wbits = config.window_bits() as u64;
+    // Keep at least one word of forward progress per window.
+    let capacity = wbits - WORD_BITS as u64;
+    let mut left = info.base.left + if info.is_static() { 0 } else { config.dynamic_allowance };
+    let mut right = info.base.right;
+    if left + right > capacity {
+        return Err(ExecError::OverlapOverflow { required: info.base, capacity });
+    }
+
+    let globals: Vec<BitStream> = seg.inputs.iter().map(|id| env[id].clone()).collect();
+    let mut outs: Vec<BitStream> =
+        seg.outputs.iter().map(|_| BitStream::zeros(stream_len)).collect();
+    let mut cta = Cta::new(kernel, config.threads);
+    let mut store_pos = 0usize;
+    let mut overlap_bits = 0u64;
+    let mut stored_bits = 0u64;
+    let mut dyn_sum = 0u64;
+    let mut dyn_max = 0u64;
+    let mut stored_windows = 0u64;
+
+    while store_pos < stream_len {
+        let window_start = store_pos as i64 - left as i64;
+        let out = cta
+            .run_window(
+                kernel,
+                WindowInputs { basis: basis.streams(), globals: &globals },
+                window_start,
+                &mut metrics.counters,
+            )
+            .map_err(ExecError::Race)?;
+        let required = info.required(&out.loop_trips);
+        let provided = Hull { left, right };
+        if !required.fits(provided) {
+            if required.total() > capacity {
+                return Err(ExecError::OverlapOverflow { required, capacity });
+            }
+            // Enlarge the window overlap and re-run this window (the
+            // dynamic part of Dependency-Aware Thread-Data Mapping).
+            left = left.max(required.left);
+            right = right.max(required.right);
+            metrics.retries += 1;
+            continue;
+        }
+        let dynamic = required.total().saturating_sub(info.base.total());
+        dyn_sum += dynamic;
+        dyn_max = dyn_max.max(dynamic);
+        let window_end = window_start + wbits as i64;
+        let store_end = ((window_end - right as i64) as usize).min(stream_len);
+        debug_assert!(store_end > store_pos, "window must make progress");
+        let nbits = store_end - store_pos;
+        let src_off = (store_pos as i64 - window_start) as usize;
+        for (dst, words) in outs.iter_mut().zip(&out.words) {
+            blit_or(dst, store_pos, words, src_off, nbits);
+        }
+        overlap_bits += left + right;
+        stored_bits += nbits as u64;
+        store_pos = store_end;
+        stored_windows += 1;
+    }
+
+    if stored_windows > 0 {
+        let prev_weight = metrics.recompute_frac; // merge across segments conservatively
+        let frac = overlap_bits as f64 / (overlap_bits + stored_bits).max(1) as f64;
+        metrics.recompute_frac = metrics.recompute_frac.max(frac).max(prev_weight);
+        let avg = dyn_sum as f64 / stored_windows as f64;
+        metrics.dynamic_overlap_avg = metrics.dynamic_overlap_avg.max(avg);
+        metrics.dynamic_overlap_max = metrics.dynamic_overlap_max.max(dyn_max);
+    }
+    for (id, s) in seg.outputs.iter().zip(outs) {
+        env.insert(*id, s);
+    }
+    Ok(())
+}
+
+/// Sequential blockwise execution (Fig. 1a / Fig. 5): one pass over the
+/// whole stream per instruction, every value materialised, DRAM traffic
+/// counted accordingly.
+fn run_sequential(
+    seg: &Segment,
+    basis: &Basis,
+    env: &mut HashMap<StreamId, BitStream>,
+    config: &ExecConfig,
+    metrics: &mut ExecMetrics,
+    stream_len: usize,
+) {
+    let passes = stream_len.div_ceil(config.window_bits()) as u64;
+    let words = stream_len.div_ceil(WORD_BITS) as u64;
+    let mut seq = SeqExec { basis, env, metrics, stream_len, passes, words };
+    seq.run(&seg.stmts);
+}
+
+struct SeqExec<'a> {
+    basis: &'a Basis,
+    env: &'a mut HashMap<StreamId, BitStream>,
+    metrics: &'a mut ExecMetrics,
+    stream_len: usize,
+    /// Block iterations per full pass.
+    passes: u64,
+    /// 32-bit words per full stream.
+    words: u64,
+}
+
+impl SeqExec<'_> {
+    fn run(&mut self, stmts: &[Stmt]) {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Op(op) => self.exec(op),
+                Stmt::If { cond, body } => {
+                    self.metrics.counters.reductions += 1;
+                    if self.get(*cond).any() {
+                        self.run(body);
+                    } else {
+                        self.metrics.counters.skipped_ops += count_ops(body) * self.passes;
+                    }
+                }
+                Stmt::While { cond, body } => {
+                    let mut fuel = self.stream_len + 2;
+                    while self.get(*cond).any() {
+                        assert!(fuel > 0, "sequential while exceeded fixpoint bound");
+                        fuel -= 1;
+                        self.metrics.counters.reductions += 1;
+                        self.run(body);
+                    }
+                    self.metrics.counters.reductions += 1;
+                }
+            }
+        }
+    }
+
+    fn exec(&mut self, op: &Op) {
+        // Issue and traffic accounting first (Fig. 5: one loop per
+        // instruction; shifts load two adjacent blocks per block).
+        let (alu, loads) = match op {
+            Op::MatchCc { class, .. } => {
+                (compile_class(class).gate_count() as u64 * self.passes, 8 * self.words)
+            }
+            Op::And { .. } | Op::Or { .. } | Op::Add { .. } | Op::Xor { .. } => {
+                (self.passes, 2 * self.words)
+            }
+            Op::Not { .. } | Op::Assign { .. } => (self.passes, self.words),
+            Op::Advance { .. } | Op::Retreat { .. } => (self.passes, 2 * self.words),
+            Op::Zero { .. } | Op::Ones { .. } => (self.passes, 0),
+        };
+        let c = &mut self.metrics.counters;
+        c.alu_ops += alu;
+        c.global_load_words += loads;
+        c.global_store_words += self.words;
+        // One barrier between consecutive instruction loops (Fig. 5b).
+        c.barriers += 1;
+        let value = match op {
+            Op::MatchCc { class, .. } => {
+                compile_class(class).eval(self.basis).resized(self.stream_len)
+            }
+            Op::And { a, b, .. } => self.get(*a).and(self.get(*b)),
+            Op::Or { a, b, .. } => self.get(*a).or(self.get(*b)),
+            Op::Add { a, b, .. } => self.get(*a).add(self.get(*b)),
+            Op::Xor { a, b, .. } => self.get(*a).xor(self.get(*b)),
+            Op::Not { src, .. } => self.get(*src).not(),
+            Op::Advance { src, amount, .. } => self.get(*src).advance(*amount as usize),
+            Op::Retreat { src, amount, .. } => self.get(*src).retreat(*amount as usize),
+            Op::Assign { src, .. } => self.get(*src).clone(),
+            Op::Zero { .. } => BitStream::zeros(self.stream_len),
+            Op::Ones { .. } => BitStream::ones(self.stream_len),
+        };
+        self.env.insert(op.dst(), value);
+    }
+
+    fn get(&self, id: StreamId) -> &BitStream {
+        self.env
+            .get(&id)
+            .unwrap_or_else(|| panic!("sequential read of unwritten stream {id}"))
+    }
+}
+
+fn count_ops(stmts: &[Stmt]) -> u64 {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::Op(_) => 1,
+            Stmt::If { body, .. } | Stmt::While { body, .. } => count_ops(body),
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitgen_ir::{interpret, lower, lower_group};
+    use bitgen_regex::parse;
+
+    fn check_all_schemes(pattern: &str, input: &[u8]) {
+        let prog = lower(&parse(pattern).unwrap());
+        let basis = Basis::transpose(input);
+        let expect = interpret(&prog, &basis).outputs[0].positions();
+        for scheme in Scheme::ALL {
+            for threads in [2, 8] {
+                let config = ExecConfig { scheme, threads, ..ExecConfig::default() };
+                let out = execute(&prog, &basis, &config)
+                    .unwrap_or_else(|e| panic!("{scheme} failed: {e}"));
+                assert_eq!(
+                    out.outputs[0].positions(),
+                    expect,
+                    "pattern {pattern:?} scheme {scheme} threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_schemes_match_reference() {
+        for (pat, input) in [
+            ("cat", &b"bobcat and more cats"[..]),
+            ("(abc)|d", b"abcdabce"),
+            ("a(bc)*d", b"ad abcd abcbcbcd xbcd"),
+            ("a+b", b"aab aaab b ab"),
+            ("[a-f]{2,4}", b"abcdefgh xx ab"),
+            ("(ab|ba)+c", b"ababc bac xc"),
+        ] {
+            check_all_schemes(pat, input);
+        }
+    }
+
+    #[test]
+    fn multi_block_inputs() {
+        // Inputs spanning many windows with matches crossing window
+        // boundaries exercise the overlap machinery.
+        let mut input = Vec::new();
+        for i in 0..40 {
+            input.extend_from_slice(if i % 3 == 0 { b"abcbcd" } else { b"zzzzzz" });
+        }
+        check_all_schemes("a(bc)*d", &input);
+        check_all_schemes("abcbcd", &input);
+    }
+
+    #[test]
+    fn match_spanning_window_boundary() {
+        // threads=2 → 64-bit windows; plant a literal right across the
+        // boundary.
+        let mut input = vec![b'x'; 6];
+        input.extend_from_slice(b"abcdefgh");
+        input.extend(vec![b'x'; 20]);
+        let prog = lower(&parse("abcdefgh").unwrap());
+        let basis = Basis::transpose(&input);
+        for scheme in Scheme::ALL {
+            let config = ExecConfig { scheme, threads: 2, ..ExecConfig::default() };
+            let out = execute(&prog, &basis, &config).unwrap();
+            assert_eq!(out.outputs[0].positions(), vec![13], "scheme {scheme}");
+        }
+    }
+
+    #[test]
+    fn long_chain_triggers_retry_or_fallback() {
+        // A run of (bc) long enough that the marker chain outruns the
+        // default dynamic allowance within a tiny window.
+        let mut input = b"a".to_vec();
+        for _ in 0..40 {
+            input.extend_from_slice(b"bc");
+        }
+        input.push(b'd');
+        let prog = lower(&parse("a(bc)*d").unwrap());
+        let basis = Basis::transpose(&input);
+        let expect = interpret(&prog, &basis).outputs[0].positions();
+        let config = ExecConfig {
+            scheme: Scheme::Dtm,
+            threads: 2,
+            dynamic_allowance: 0,
+            ..ExecConfig::default()
+        };
+        let out = execute(&prog, &basis, &config).unwrap();
+        assert_eq!(out.outputs[0].positions(), expect);
+        assert!(
+            out.metrics.retries > 0 || out.metrics.fallbacks > 0,
+            "expected dynamic overlap handling: {:?}",
+            out.metrics
+        );
+    }
+
+    #[test]
+    fn overflow_error_policy_reports() {
+        // Chain longer than the whole window with fallback disabled.
+        let mut input = b"a".to_vec();
+        for _ in 0..200 {
+            input.extend_from_slice(b"bc");
+        }
+        input.push(b'd');
+        let prog = lower(&parse("a(bc)*d").unwrap());
+        let basis = Basis::transpose(&input);
+        let config = ExecConfig {
+            scheme: Scheme::Dtm,
+            threads: 2,
+            fallback: FallbackPolicy::Error,
+            ..ExecConfig::default()
+        };
+        let err = execute(&prog, &basis, &config).unwrap_err();
+        assert!(matches!(err, ExecError::OverlapOverflow { .. }), "got {err}");
+    }
+
+    #[test]
+    fn sequential_fallback_rescues_overflow() {
+        let mut input = b"a".to_vec();
+        for _ in 0..200 {
+            input.extend_from_slice(b"bc");
+        }
+        input.push(b'd');
+        let prog = lower(&parse("a(bc)*d").unwrap());
+        let basis = Basis::transpose(&input);
+        let expect = interpret(&prog, &basis).outputs[0].positions();
+        let config = ExecConfig { scheme: Scheme::Zbs, threads: 2, ..ExecConfig::default() };
+        let out = execute(&prog, &basis, &config).unwrap();
+        assert_eq!(out.outputs[0].positions(), expect);
+        assert!(out.metrics.fallbacks > 0);
+    }
+
+    #[test]
+    fn fused_execution_touches_less_dram() {
+        // The Table 4 effect: DTM does dramatically less global traffic
+        // than Base, which does less than Sequential.
+        let input: Vec<u8> = b"abcd".iter().cycle().take(512).copied().collect();
+        let prog = lower(&parse("abcd").unwrap());
+        let basis = Basis::transpose(&input);
+        let traffic = |scheme: Scheme| {
+            let config = ExecConfig { scheme, threads: 4, ..ExecConfig::default() };
+            let m = execute(&prog, &basis, &config).unwrap().metrics;
+            m.counters.global_words()
+        };
+        let seq = traffic(Scheme::Sequential);
+        let base = traffic(Scheme::Base);
+        let dtm = traffic(Scheme::Dtm);
+        assert!(seq > base, "seq {seq} vs base {base}");
+        assert!(base > dtm, "base {base} vs dtm {dtm}");
+    }
+
+    #[test]
+    fn zbs_skips_work_on_sparse_input() {
+        let input = vec![b'z'; 2048];
+        // A long literal: the zero path dwarfs the guard/pre-zero
+        // overhead, as in the paper's sparse workloads.
+        let prog = lower(&parse("abcdefghijklmnop").unwrap());
+        let basis = Basis::transpose(&input);
+        let zbs = execute(&prog, &basis, &ExecConfig { scheme: Scheme::Zbs, threads: 4, ..ExecConfig::default() }).unwrap();
+        let sr = execute(&prog, &basis, &ExecConfig { scheme: Scheme::Sr, threads: 4, ..ExecConfig::default() }).unwrap();
+        assert!(zbs.metrics.counters.skipped_ops > 0);
+        assert!(
+            zbs.metrics.counters.alu_ops < sr.metrics.counters.alu_ops,
+            "zbs {} vs sr {}",
+            zbs.metrics.counters.alu_ops,
+            sr.metrics.counters.alu_ops
+        );
+        assert!(!zbs.outputs[0].any());
+    }
+
+    #[test]
+    fn merging_reduces_barriers() {
+        let input: Vec<u8> = b"abcdefgh".iter().cycle().take(1024).copied().collect();
+        let prog = lower(&parse("abcdefgh").unwrap());
+        let basis = Basis::transpose(&input);
+        let barriers = |merge: usize| {
+            let config = ExecConfig {
+                scheme: Scheme::Sr,
+                threads: 4,
+                merge_size: merge,
+                ..ExecConfig::default()
+            };
+            execute(&prog, &basis, &config).unwrap().metrics.counters.barriers
+        };
+        assert!(barriers(8) < barriers(1));
+    }
+
+    #[test]
+    fn group_programs_execute() {
+        let asts = vec![parse("ab").unwrap(), parse("bc").unwrap(), parse("c+d").unwrap()];
+        let prog = lower_group(&asts);
+        let input = b"abcd bccd xx abcccd";
+        let basis = Basis::transpose(input);
+        let expect = interpret(&prog, &basis);
+        let out = execute(&prog, &basis, &ExecConfig::default()).unwrap();
+        for (i, o) in out.outputs.iter().enumerate() {
+            assert_eq!(o.positions(), expect.outputs[i].positions(), "output {i}");
+        }
+        assert_eq!(out.union().positions(), expect.union().positions());
+    }
+
+    #[test]
+    fn metrics_populated() {
+        let input: Vec<u8> = b"abcbcd".iter().cycle().take(600).copied().collect();
+        let prog = lower(&parse("a(bc)*d").unwrap());
+        let basis = Basis::transpose(&input);
+        let out = execute(&prog, &basis, &ExecConfig { scheme: Scheme::Zbs, threads: 4, ..ExecConfig::default() }).unwrap();
+        let m = &out.metrics;
+        assert_eq!(m.segments, 1);
+        assert_eq!(m.intermediates, 0);
+        assert!(m.window_iterations > 1);
+        assert!(m.static_overlap > 0);
+        assert!(m.recompute_frac > 0.0 && m.recompute_frac < 1.0);
+        assert!(m.counters.barriers > 0);
+        assert!(m.regs_per_thread > 0);
+        assert!(m.smem_bytes > 0);
+        assert!(m.shift_groups > 0);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let prog = lower(&parse("ab").unwrap());
+        let basis = Basis::transpose(b"");
+        for scheme in Scheme::ALL {
+            let out = execute(&prog, &basis, &ExecConfig::for_scheme(scheme)).unwrap();
+            assert!(!out.outputs[0].any());
+        }
+    }
+}

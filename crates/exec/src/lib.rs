@@ -1,0 +1,30 @@
+//! Execution schemes for bitstream programs on the simulated GPU.
+//!
+//! This crate turns the compiler stack into running engines. It owns the
+//! Table 3 ablation ladder ([`Scheme`]): sequential execution, partial
+//! fusion ("Base"), static dependency-aware mapping ("DTM-"), fully
+//! interleaved execution with dynamic overlap ("DTM"), shift-rebalanced
+//! execution ("SR"), and full BitGen with zero-block skipping ("ZBS").
+//!
+//! Programs are cut into *segments* ([`segment_program`]); fused segments
+//! run block-by-block on overlapping windows whose extents come from the
+//! overlap analysis, with runtime trip-count checks, enlarge-and-retry,
+//! and a sequential fallback for chains that outrun the window (§8.2).
+//!
+//! [`execute`] is the entry point; [`ExecMetrics`] carries everything the
+//! paper's Tables 4–6 report.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod blit;
+mod engine;
+mod metrics;
+mod scheme;
+mod segment;
+
+pub use blit::blit_or;
+pub use engine::{apply_transforms, execute, execute_prepared, ExecConfig, ExecError, ExecOutcome, FallbackPolicy};
+pub use metrics::ExecMetrics;
+pub use scheme::Scheme;
+pub use segment::{intermediate_count, segment_program, Segment, SegmentKind};

@@ -1,0 +1,55 @@
+//! Execution metrics: everything Tables 4–6 report, per program run.
+
+use bitgen_gpu::CtaCounters;
+
+/// Metrics of one program execution (one CTA's worth of work).
+#[derive(Debug, Clone, Default)]
+pub struct ExecMetrics {
+    /// Counted hardware events across all segments and windows.
+    pub counters: CtaCounters,
+    /// Number of blockwise passes the compiled code makes over the data —
+    /// Table 4's `#Loop` (1 for fully interleaved execution).
+    pub segments: usize,
+    /// Materialised intermediate streams — Table 4's
+    /// `#Intermediate Bitstream`.
+    pub intermediates: usize,
+    /// Peak bytes of materialised intermediates resident at once.
+    pub peak_materialized_bytes: usize,
+    /// Static overlap distance in bits (the compile-time Δ of Table 5).
+    pub static_overlap: u64,
+    /// Mean dynamic overlap beyond static, over stored windows (Table 5).
+    pub dynamic_overlap_avg: f64,
+    /// Maximum dynamic overlap observed (Table 5).
+    pub dynamic_overlap_max: u64,
+    /// Fraction of computed bits that were overlap recomputation
+    /// (Table 5's `Recompute %`).
+    pub recompute_frac: f64,
+    /// Window iterations executed, including retries (Table 5's `#Iter`).
+    pub window_iterations: u64,
+    /// Windows re-executed with an enlarged overlap.
+    pub retries: u64,
+    /// Segments that fell back to sequential execution after an overlap
+    /// overflow.
+    pub fallbacks: u64,
+    /// Static shift barrier groups in the compiled kernels — each costs a
+    /// barrier pair per execution (Table 6's `#Sync` driver).
+    pub shift_groups: usize,
+    /// Shared-memory bytes of the largest kernel (Table 6's `SMem Size`).
+    pub smem_bytes: usize,
+    /// Registers per thread of the largest kernel.
+    pub regs_per_thread: u32,
+    /// Threads per CTA used.
+    pub threads: usize,
+}
+
+impl ExecMetrics {
+    /// Work descriptor for the device cost model.
+    pub fn cta_work(&self) -> bitgen_gpu::CtaWork {
+        bitgen_gpu::CtaWork {
+            counters: self.counters.clone(),
+            threads: self.threads,
+            regs_per_thread: self.regs_per_thread,
+            smem_bytes: self.smem_bytes,
+        }
+    }
+}

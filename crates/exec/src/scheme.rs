@@ -1,0 +1,101 @@
+//! Execution schemes: the ablation levels of Table 3.
+
+use std::fmt;
+
+/// How a bitstream program is executed on the simulated GPU.
+///
+/// Mirrors Table 3 of the paper, plus the fully sequential execution the
+/// paper excludes from its breakdown (it materialises every intermediate
+/// and is the Fig. 1a strawman).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scheme {
+    /// Fig. 1a: one loop per instruction, everything materialised.
+    Sequential,
+    /// Table 3 "Base": only runs of bitwise instructions are fused; every
+    /// shift and every control construct cuts a segment.
+    Base,
+    /// "DTM-": static dependency-aware mapping. Straight-line code (with
+    /// its shifts) is fused using the static overlap; `while` loops are
+    /// executed sequentially in their own segments.
+    DtmStatic,
+    /// "DTM": full interleaved execution with dynamic overlap tracking —
+    /// one fused loop for the whole program.
+    Dtm,
+    /// "SR": DTM plus Shift Rebalancing and barrier merging.
+    Sr,
+    /// "ZBS": SR plus Zero Block Skipping — full BitGen.
+    Zbs,
+}
+
+impl Scheme {
+    /// All schemes in ascending optimisation order (the Fig. 12 x-axis,
+    /// preceded by `Sequential`).
+    pub const ALL: [Scheme; 6] =
+        [Scheme::Sequential, Scheme::Base, Scheme::DtmStatic, Scheme::Dtm, Scheme::Sr, Scheme::Zbs];
+
+    /// The Table 3 breakdown order (Base through ZBS).
+    pub const BREAKDOWN: [Scheme; 5] =
+        [Scheme::Base, Scheme::DtmStatic, Scheme::Dtm, Scheme::Sr, Scheme::Zbs];
+
+    /// Whether this scheme applies Shift Rebalancing.
+    pub fn uses_rebalancing(self) -> bool {
+        matches!(self, Scheme::Sr | Scheme::Zbs)
+    }
+
+    /// Whether this scheme inserts zero-block guards.
+    pub fn uses_zbs(self) -> bool {
+        matches!(self, Scheme::Zbs)
+    }
+
+    /// Whether shift barrier merging is enabled (otherwise merge size 1).
+    pub fn uses_barrier_merging(self) -> bool {
+        matches!(self, Scheme::Sr | Scheme::Zbs)
+    }
+
+    /// The paper's abbreviation.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Scheme::Sequential => "Seq",
+            Scheme::Base => "Base",
+            Scheme::DtmStatic => "DTM-",
+            Scheme::Dtm => "DTM",
+            Scheme::Sr => "SR",
+            Scheme::Zbs => "ZBS",
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_feature_matrix() {
+        assert!(!Scheme::Base.uses_rebalancing());
+        assert!(!Scheme::Dtm.uses_rebalancing());
+        assert!(Scheme::Sr.uses_rebalancing());
+        assert!(Scheme::Zbs.uses_rebalancing());
+        assert!(!Scheme::Sr.uses_zbs());
+        assert!(Scheme::Zbs.uses_zbs());
+        assert!(Scheme::Zbs.uses_barrier_merging());
+    }
+
+    #[test]
+    fn ordering_matches_breakdown() {
+        let mut sorted = Scheme::ALL;
+        sorted.sort();
+        assert_eq!(sorted, Scheme::ALL);
+    }
+
+    #[test]
+    fn abbrevs() {
+        assert_eq!(Scheme::DtmStatic.to_string(), "DTM-");
+        assert_eq!(Scheme::Zbs.to_string(), "ZBS");
+    }
+}

@@ -1,0 +1,237 @@
+//! The device cost model: counted events → cycles → seconds → MB/s.
+//!
+//! Every quantity entering the model is *counted* by the CTA emulator
+//! (ALU issues, shared-memory accesses, barriers, reductions, DRAM words);
+//! the model only prices them using the device configuration and schedules
+//! the CTAs across SMs. Relative results across schemes and devices derive
+//! from the counts, not from tuned constants.
+
+use crate::counters::CtaCounters;
+use crate::device::DeviceConfig;
+
+/// The work one CTA performed, plus its resource footprint (which limits
+/// occupancy, the way the paper's *max register number* parameter does).
+#[derive(Debug, Clone)]
+pub struct CtaWork {
+    /// Counted events.
+    pub counters: CtaCounters,
+    /// Threads in the CTA.
+    pub threads: usize,
+    /// Registers per thread of the kernel.
+    pub regs_per_thread: u32,
+    /// Shared-memory bytes per CTA.
+    pub smem_bytes: usize,
+}
+
+/// Cost estimate for one kernel launch over a set of CTAs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostBreakdown {
+    /// End-to-end seconds (max of compute makespan and DRAM time).
+    pub seconds: f64,
+    /// Compute makespan in seconds.
+    pub compute_seconds: f64,
+    /// DRAM-bound lower bound in seconds.
+    pub memory_seconds: f64,
+    /// Fraction of total CTA cycles spent stalled at barriers — the
+    /// paper's "Barrier Stall (%)" of Table 6.
+    pub barrier_stall_frac: f64,
+    /// Resident CTAs per SM the launch achieved.
+    pub occupancy: u32,
+    /// Per-CTA cycle totals (diagnostics).
+    pub cta_cycles: Vec<f64>,
+}
+
+impl DeviceConfig {
+    /// Prices a launch of `ctas` on this device.
+    ///
+    /// Returns zeroed costs for an empty launch.
+    pub fn estimate(&self, ctas: &[CtaWork]) -> CostBreakdown {
+        if ctas.is_empty() {
+            return CostBreakdown {
+                seconds: 0.0,
+                compute_seconds: 0.0,
+                memory_seconds: 0.0,
+                barrier_stall_frac: 0.0,
+                occupancy: self.max_ctas_per_sm,
+                cta_cycles: Vec::new(),
+            };
+        }
+        let occupancy = self.occupancy(ctas);
+        // Global-memory bandwidth one SM can draw, in bytes per core
+        // cycle. Per-CTA traffic is served by L2 (all CTAs read the same
+        // input stream in the MISD regime), which still makes
+        // materialising intermediates expensive on the CTA's critical
+        // path: a T-word ALU op costs a few cycles, a T-word global
+        // access costs tens to hundreds — the paper's Table 4 effect.
+        let sm_bytes_per_cycle =
+            self.l2_bw_gbps * 1e9 / (self.sms as f64 * self.clock_ghz * 1e9);
+        let mut cta_cycles = Vec::with_capacity(ctas.len());
+        let mut barrier_cycles_total = 0.0;
+        let mut total_cycles = 0.0;
+        let mut dram_bytes = 0u64;
+        for cta in ctas {
+            let t = cta.threads as f64;
+            let c = &cta.counters;
+            let alu = c.alu_ops as f64 * (t / self.int_lanes_per_sm as f64).ceil().max(1.0);
+            let smem = c.smem_accesses() as f64 * (t / self.smem_banks as f64).ceil().max(1.0);
+            // Co-resident CTAs hide barrier latency: that is what
+            // occupancy (and hence the max-register parameter) buys.
+            let barrier = c.barriers as f64 * self.barrier_cost_cycles / occupancy as f64;
+            let reduce = c.reductions as f64 * self.reduce_cost_cycles / occupancy as f64;
+            // Global traffic drains this SM's bandwidth share; co-resident
+            // CTAs contend for it rather than hiding it.
+            let glob = c.global_words() as f64 * 4.0 / sm_bytes_per_cycle;
+            let cycles = alu + smem + barrier + reduce + glob;
+            barrier_cycles_total += barrier;
+            total_cycles += cycles;
+            dram_bytes += c.global_words() * 4;
+            cta_cycles.push(cycles);
+        }
+        let slots = (self.sms * occupancy) as usize;
+        let makespan = lpt_makespan(&cta_cycles, slots);
+        let clock_hz = self.clock_ghz * 1e9;
+        let compute_seconds = makespan / clock_hz;
+        // Device-wide bound: aggregate traffic through L2 (DRAM proper
+        // only sees the shared input once, which is negligible).
+        let memory_seconds = dram_bytes as f64 / (self.l2_bw_gbps * 1e9);
+        CostBreakdown {
+            seconds: compute_seconds.max(memory_seconds),
+            compute_seconds,
+            memory_seconds,
+            barrier_stall_frac: if total_cycles > 0.0 {
+                barrier_cycles_total / total_cycles
+            } else {
+                0.0
+            },
+            occupancy,
+            cta_cycles,
+        }
+    }
+
+    /// Resident CTAs per SM, limited by the hardware cap, shared memory,
+    /// and the register file (the paper's max-register tuning knob).
+    pub fn occupancy(&self, ctas: &[CtaWork]) -> u32 {
+        let mut occ = self.max_ctas_per_sm;
+        for cta in ctas {
+            if let Some(fit) = self.smem_per_sm.checked_div(cta.smem_bytes) {
+                occ = occ.min(fit.max(1) as u32);
+            }
+            let regs = cta.threads * cta.regs_per_thread as usize;
+            if let Some(fit) = self.regs_per_sm.checked_div(regs) {
+                occ = occ.min(fit.max(1) as u32);
+            }
+        }
+        occ.max(1)
+    }
+}
+
+/// Longest-processing-time-first makespan over `slots` machines.
+fn lpt_makespan(jobs: &[f64], slots: usize) -> f64 {
+    let slots = slots.max(1);
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by(|&a, &b| jobs[b].total_cmp(&jobs[a]));
+    let mut load = vec![0.0f64; slots.min(jobs.len()).max(1)];
+    for &j in &order {
+        let min = load
+            .iter_mut()
+            .min_by(|a, b| a.total_cmp(b))
+            .expect("at least one slot");
+        *min += jobs[j];
+    }
+    load.into_iter().fold(0.0, f64::max)
+}
+
+/// Convenience: MB/s throughput for processing `input_bytes`.
+pub fn throughput_mbps(input_bytes: usize, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return f64::INFINITY;
+    }
+    input_bytes as f64 / 1e6 / seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(alu: u64, barriers: u64) -> CtaWork {
+        let mut c = CtaCounters::new(0);
+        c.alu_ops = alu;
+        c.barriers = barriers;
+        c.global_load_words = 100;
+        CtaWork { counters: c, threads: 512, regs_per_thread: 64, smem_bytes: 8192 }
+    }
+
+    #[test]
+    fn more_work_costs_more() {
+        let d = DeviceConfig::rtx3090();
+        let small = d.estimate(&[work(1_000, 10)]);
+        let large = d.estimate(&[work(100_000, 10)]);
+        assert!(large.seconds > small.seconds);
+    }
+
+    #[test]
+    fn barriers_add_stall() {
+        let d = DeviceConfig::rtx3090();
+        let none = d.estimate(&[work(10_000, 0)]);
+        let many = d.estimate(&[work(10_000, 5_000)]);
+        assert!(many.seconds > none.seconds);
+        assert!(many.barrier_stall_frac > none.barrier_stall_frac);
+        assert_eq!(none.barrier_stall_frac, 0.0);
+    }
+
+    #[test]
+    fn parallel_ctas_scale_until_slots_full() {
+        let d = DeviceConfig::rtx3090();
+        let one = d.estimate(&[work(50_000, 10)]);
+        let many: Vec<CtaWork> = (0..64).map(|_| work(50_000, 10)).collect();
+        let est = d.estimate(&many);
+        // 64 identical CTAs on 82 SMs: same makespan as one.
+        assert!((est.compute_seconds - one.compute_seconds).abs() / one.compute_seconds < 0.01);
+        let too_many: Vec<CtaWork> = (0..1000).map(|_| work(50_000, 10)).collect();
+        let est2 = d.estimate(&too_many);
+        assert!(est2.compute_seconds > est.compute_seconds);
+    }
+
+    #[test]
+    fn faster_device_is_faster() {
+        let jobs: Vec<CtaWork> = (0..256).map(|_| work(200_000, 100)).collect();
+        let a = DeviceConfig::rtx3090().estimate(&jobs);
+        let b = DeviceConfig::h100().estimate(&jobs);
+        let c = DeviceConfig::l40s().estimate(&jobs);
+        assert!(b.compute_seconds < a.compute_seconds);
+        assert!(c.compute_seconds < b.compute_seconds);
+        // Compute-bound work should track the TIOPS ratios.
+        let r = a.compute_seconds / c.compute_seconds;
+        assert!(r > 2.0 && r < 3.2, "3090/L40S ratio {r}");
+    }
+
+    #[test]
+    fn occupancy_limited_by_smem() {
+        let d = DeviceConfig::rtx3090();
+        let mut w = work(1000, 10);
+        w.smem_bytes = 60 * 1024; // only one fits in 100 KB
+        assert_eq!(d.occupancy(&[w]), 1);
+        let small = work(1000, 10);
+        assert_eq!(d.occupancy(&[small]), 2); // 512 threads × 64 regs = 32k regs → 2
+    }
+
+    #[test]
+    fn lpt_makespan_basics() {
+        assert_eq!(lpt_makespan(&[3.0, 3.0, 3.0], 3), 3.0);
+        assert_eq!(lpt_makespan(&[5.0, 1.0, 1.0], 2), 5.0);
+        assert_eq!(lpt_makespan(&[2.0, 2.0], 1), 4.0);
+        assert_eq!(lpt_makespan(&[], 4), 0.0);
+    }
+
+    #[test]
+    fn throughput_helper() {
+        assert!((throughput_mbps(1_000_000, 0.001) - 1000.0).abs() < 1e-9);
+        assert!(throughput_mbps(10, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn empty_launch_is_free() {
+        let d = DeviceConfig::rtx3090();
+        assert_eq!(d.estimate(&[]).seconds, 0.0);
+    }
+}

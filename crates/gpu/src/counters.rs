@@ -1,0 +1,114 @@
+//! Event counters collected while emulating kernels.
+//!
+//! These are the quantities Nsight Compute reports for the real system
+//! (Table 4, Table 6): ALU work, shared-memory traffic, barriers, DRAM
+//! words moved, loop trips, and work skipped by zero-block guards. The
+//! cost model turns them into cycles and MB/s.
+
+use std::ops::AddAssign;
+
+/// Counters for one CTA (accumulated across all its window iterations).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CtaCounters {
+    /// Register ALU instructions executed (each is one CTA-wide issue of
+    /// T lanes).
+    pub alu_ops: u64,
+    /// Shared-memory stores executed (T words each).
+    pub smem_stores: u64,
+    /// Shared-memory shifted reads executed (T words each, plus the
+    /// cross-word neighbour access).
+    pub smem_loads: u64,
+    /// Barriers executed.
+    pub barriers: u64,
+    /// Words loaded from global memory (basis + materialised streams).
+    pub global_load_words: u64,
+    /// Words stored to global memory (outputs + materialised streams).
+    pub global_store_words: u64,
+    /// CTA-wide condition reductions evaluated (`if`/`while` headers).
+    pub reductions: u64,
+    /// Instructions skipped by zero-block guards.
+    pub skipped_ops: u64,
+    /// Window iterations executed (including overlap retries).
+    pub window_iterations: u64,
+    /// Trip counts per `while` loop (structural pre-order), summed over
+    /// all window iterations.
+    pub loop_trips: Vec<u64>,
+}
+
+impl CtaCounters {
+    /// Creates zeroed counters for a kernel with `num_loops` loops.
+    pub fn new(num_loops: usize) -> CtaCounters {
+        CtaCounters { loop_trips: vec![0; num_loops], ..CtaCounters::default() }
+    }
+
+    /// Total shared-memory accesses (stores + loads).
+    pub fn smem_accesses(&self) -> u64 {
+        self.smem_stores + self.smem_loads
+    }
+
+    /// Total global-memory words moved.
+    pub fn global_words(&self) -> u64 {
+        self.global_load_words + self.global_store_words
+    }
+
+    /// Global bytes read, assuming 32-bit words.
+    pub fn dram_read_bytes(&self) -> u64 {
+        self.global_load_words * 4
+    }
+
+    /// Global bytes written, assuming 32-bit words.
+    pub fn dram_write_bytes(&self) -> u64 {
+        self.global_store_words * 4
+    }
+}
+
+impl AddAssign<&CtaCounters> for CtaCounters {
+    fn add_assign(&mut self, rhs: &CtaCounters) {
+        self.alu_ops += rhs.alu_ops;
+        self.smem_stores += rhs.smem_stores;
+        self.smem_loads += rhs.smem_loads;
+        self.barriers += rhs.barriers;
+        self.global_load_words += rhs.global_load_words;
+        self.global_store_words += rhs.global_store_words;
+        self.reductions += rhs.reductions;
+        self.skipped_ops += rhs.skipped_ops;
+        self.window_iterations += rhs.window_iterations;
+        if self.loop_trips.len() < rhs.loop_trips.len() {
+            self.loop_trips.resize(rhs.loop_trips.len(), 0);
+        }
+        for (a, b) in self.loop_trips.iter_mut().zip(&rhs.loop_trips) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate() {
+        let mut a = CtaCounters::new(2);
+        a.alu_ops = 10;
+        a.loop_trips[0] = 3;
+        let mut b = CtaCounters::new(2);
+        b.alu_ops = 5;
+        b.smem_stores = 2;
+        b.smem_loads = 3;
+        b.loop_trips[1] = 4;
+        a += &b;
+        assert_eq!(a.alu_ops, 15);
+        assert_eq!(a.smem_accesses(), 5);
+        assert_eq!(a.loop_trips, vec![3, 4]);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut c = CtaCounters::new(0);
+        c.global_load_words = 10;
+        c.global_store_words = 4;
+        assert_eq!(c.dram_read_bytes(), 40);
+        assert_eq!(c.dram_write_bytes(), 16);
+        assert_eq!(c.global_words(), 14);
+    }
+}

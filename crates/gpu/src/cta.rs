@@ -1,0 +1,569 @@
+//! The SIMT CTA emulator.
+//!
+//! Executes a [`Kernel`] the way one CTA would: T lock-step threads, each
+//! holding one 32-bit word per register; cross-thread data moves only
+//! through shared-memory slots. The emulator *checks* the barrier
+//! discipline — a shifted read from a slot stored since the last barrier,
+//! or a store to a slot read since the last barrier, is the Fig. 6 data
+//! race and aborts with [`RaceError`] instead of silently producing the
+//! corrupt values a real GPU would.
+//!
+//! The emulator executes one *window* at a time: a span of
+//! `T × 32` bit positions starting at a (possibly negative) offset into
+//! the streams. Dependency-aware thread-data mapping — choosing window
+//! offsets, store regions, overlap retries — is the executor's job
+//! (`bitgen-exec`); the emulator only runs the kernel faithfully.
+
+use crate::counters::CtaCounters;
+use bitgen_bitstream::BitStream;
+use bitgen_kernel::{KOp, KStmt, Kernel, WORD_BITS};
+use std::error::Error;
+use std::fmt;
+
+/// A shared-memory data race detected by the emulator.
+///
+/// On real hardware this is the silent corruption of Fig. 6; here it is a
+/// hard error so tests can prove the generated barrier placement is
+/// sufficient (and that removing barriers is caught).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceError {
+    /// Which slot raced.
+    pub slot: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for RaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shared-memory race on slot {}: {}", self.slot, self.message)
+    }
+}
+
+impl Error for RaceError {}
+
+/// Inputs available to a window execution.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowInputs<'a> {
+    /// The eight basis bitstreams (full length).
+    pub basis: &'a [BitStream; 8],
+    /// Materialised global input streams (full length), indexed by the
+    /// kernel's `LoadGlobal` table.
+    pub globals: &'a [BitStream],
+}
+
+/// Result of executing one window.
+#[derive(Debug, Clone)]
+pub struct WindowOutput {
+    /// Per output stream: the T words the CTA computed for this window.
+    pub words: Vec<Vec<u32>>,
+    /// Per dynamic site: trips taken by each `while` loop, or the longest
+    /// carry-feeding run (bits) observed by each `add`, during this
+    /// window.
+    pub loop_trips: Vec<u64>,
+}
+
+/// A reusable CTA execution context.
+#[derive(Debug)]
+pub struct Cta {
+    threads: usize,
+    regs: Vec<Vec<u32>>,
+    smem: Vec<Vec<u32>>,
+    /// Per-slot epoch flags for race checking.
+    stored_since_barrier: Vec<bool>,
+    read_since_barrier: Vec<bool>,
+}
+
+impl Cta {
+    /// Creates an execution context for `kernel` with `threads` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(kernel: &Kernel, threads: usize) -> Cta {
+        assert!(threads > 0, "a CTA needs at least one thread");
+        Cta {
+            threads,
+            regs: vec![vec![0; threads]; kernel.num_regs as usize],
+            smem: vec![vec![0; threads]; kernel.num_slots as usize],
+            stored_since_barrier: vec![false; kernel.num_slots as usize],
+            read_since_barrier: vec![false; kernel.num_slots as usize],
+        }
+    }
+
+    /// Window width in bits.
+    pub fn window_bits(&self) -> usize {
+        self.threads * WORD_BITS
+    }
+
+    /// Executes `kernel` over the window starting at bit `start`
+    /// (negative starts read zeros), updating `counters`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RaceError`] if the kernel violates the barrier
+    /// discipline.
+    pub fn run_window(
+        &mut self,
+        kernel: &Kernel,
+        inputs: WindowInputs<'_>,
+        start: i64,
+        counters: &mut CtaCounters,
+    ) -> Result<WindowOutput, RaceError> {
+        // Fresh register state per window: interleaved execution never
+        // forwards values between iterations (that is the whole point of
+        // recomputation), and stale values would mask missing-overlap
+        // bugs.
+        for r in &mut self.regs {
+            r.iter_mut().for_each(|w| *w = 0);
+        }
+        // Race-check flags deliberately persist across windows: the real
+        // kernel's block loop runs back-to-back iterations, so a trailing
+        // barrier elided at the end of one iteration races with the first
+        // shared-memory store of the next.
+        counters.window_iterations += 1;
+        let mut out = WindowOutput {
+            words: vec![vec![0; self.threads]; kernel.num_outputs as usize],
+            loop_trips: vec![0; kernel.num_sites as usize],
+        };
+        self.run_stmts(kernel.stmts.as_slice(), inputs, start, counters, &mut out)?;
+        for (slot, trips) in out.loop_trips.iter().enumerate() {
+            if let Some(t) = counters.loop_trips.get_mut(slot) {
+                *t += trips;
+            }
+        }
+        Ok(out)
+    }
+
+    fn run_stmts(
+        &mut self,
+        stmts: &[KStmt],
+        inputs: WindowInputs<'_>,
+        start: i64,
+        counters: &mut CtaCounters,
+        out: &mut WindowOutput,
+    ) -> Result<(), RaceError> {
+        for stmt in stmts {
+            match stmt {
+                KStmt::Op(op) => self.exec(op, inputs, start, counters, out)?,
+                KStmt::If { cond, body } => {
+                    counters.reductions += 1;
+                    if self.any(*cond) {
+                        self.run_stmts(body, inputs, start, counters, out)?;
+                    } else {
+                        counters.skipped_ops += count_ops(body);
+                    }
+                }
+                KStmt::While { cond, body, site } => {
+                    // Fixpoint bound: a marker loop cannot need more trips
+                    // than there are window positions (plus slack).
+                    let mut fuel = self.window_bits() as u64 + 4;
+                    loop {
+                        counters.reductions += 1;
+                        if !self.any(*cond) {
+                            break;
+                        }
+                        assert!(fuel > 0, "kernel while-loop exceeded its fixpoint bound");
+                        fuel -= 1;
+                        out.loop_trips[*site as usize] += 1;
+                        self.run_stmts(body, inputs, start, counters, out)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exec(
+        &mut self,
+        op: &KOp,
+        inputs: WindowInputs<'_>,
+        start: i64,
+        counters: &mut CtaCounters,
+        out: &mut WindowOutput,
+    ) -> Result<(), RaceError> {
+        match op {
+            KOp::LoadBasis { dst, bit } => {
+                counters.global_load_words += self.threads as u64;
+                let words = read_window_words(&inputs.basis[*bit as usize], start, self.threads);
+                self.regs[dst.0 as usize] = words;
+            }
+            KOp::LoadGlobal { dst, input } => {
+                counters.global_load_words += self.threads as u64;
+                let words = read_window_words(&inputs.globals[*input as usize], start, self.threads);
+                self.regs[dst.0 as usize] = words;
+            }
+            KOp::Const { dst, ones } => {
+                counters.alu_ops += 1;
+                let v = if *ones { u32::MAX } else { 0 };
+                self.regs[dst.0 as usize].iter_mut().for_each(|w| *w = v);
+            }
+            KOp::Not { dst, a } => {
+                counters.alu_ops += 1;
+                for t in 0..self.threads {
+                    let v = self.regs[a.0 as usize][t];
+                    self.regs[dst.0 as usize][t] = !v;
+                }
+            }
+            KOp::And { dst, a, b } => self.binop(*dst, *a, *b, counters, |x, y| x & y),
+            KOp::Add { dst, a, b, site } => {
+                // Window-wide long addition: on hardware a CTA-level
+                // carry scan (log T steps through shared memory); here an
+                // exact sequential ripple plus the corresponding costs.
+                counters.alu_ops += (self.threads.ilog2() as u64).max(1) + 2;
+                counters.smem_stores += 1;
+                counters.smem_loads += 1;
+                counters.barriers += 2;
+                let mut carry = 0u64;
+                let mut run = 0u64;
+                let mut max_run = 0u64;
+                for t in 0..self.threads {
+                    let va = self.regs[a.0 as usize][t] as u64;
+                    let vb = self.regs[b.0 as usize][t] as u64;
+                    let sum = va + vb + carry;
+                    self.regs[dst.0 as usize][t] = sum as u32;
+                    carry = sum >> 32;
+                    // The *exact* carry reach: positions receiving a
+                    // carry-in are `sum ⊕ a ⊕ b`; the longest consecutive
+                    // carry run is how far this addition reached across
+                    // blocks — the dynamic quantity the overlap check
+                    // compares against the window margin.
+                    let mut carry_in = (sum as u32) ^ (va as u32) ^ (vb as u32);
+                    for _ in 0..32 {
+                        if carry_in & 1 == 1 {
+                            run += 1;
+                            max_run = max_run.max(run);
+                        } else {
+                            run = 0;
+                        }
+                        carry_in >>= 1;
+                    }
+                }
+                let slot = &mut out.loop_trips[*site as usize];
+                *slot = (*slot).max(max_run);
+            }
+            KOp::Or { dst, a, b } => self.binop(*dst, *a, *b, counters, |x, y| x | y),
+            KOp::Xor { dst, a, b } => self.binop(*dst, *a, *b, counters, |x, y| x ^ y),
+            KOp::Copy { dst, a } => {
+                counters.alu_ops += 1;
+                let v = self.regs[a.0 as usize].clone();
+                self.regs[dst.0 as usize] = v;
+            }
+            KOp::SmemStore { slot, src } => {
+                counters.smem_stores += 1;
+                let s = slot.0 as usize;
+                if self.read_since_barrier[s] || self.stored_since_barrier[s] {
+                    return Err(RaceError {
+                        slot: slot.0,
+                        message: "store to a slot already accessed since the last barrier"
+                            .to_string(),
+                    });
+                }
+                self.stored_since_barrier[s] = true;
+                self.smem[s].clone_from(&self.regs[src.0 as usize]);
+            }
+            KOp::Barrier => {
+                counters.barriers += 1;
+                self.stored_since_barrier.iter_mut().for_each(|f| *f = false);
+                self.read_since_barrier.iter_mut().for_each(|f| *f = false);
+            }
+            KOp::ShiftRead { dst, slot, shift } => {
+                counters.smem_loads += 1;
+                let s = slot.0 as usize;
+                if self.stored_since_barrier[s] {
+                    return Err(RaceError {
+                        slot: slot.0,
+                        message: format!(
+                            "shifted read of a slot stored since the last barrier (shift {shift})"
+                        ),
+                    });
+                }
+                self.read_since_barrier[s] = true;
+                let src = &self.smem[s];
+                let mut words = vec![0u32; self.threads];
+                for (t, w) in words.iter_mut().enumerate() {
+                    // Window-level shift: destination window bit i reads
+                    // source window bit i - shift (advance) — bits outside
+                    // the window read as zero.
+                    let bit_start = t as i64 * WORD_BITS as i64 - shift;
+                    *w = gather_word(src, bit_start);
+                }
+                self.regs[dst.0 as usize] = words;
+            }
+            KOp::StoreGlobal { output, src } => {
+                counters.global_store_words += self.threads as u64;
+                out.words[*output as usize].clone_from(&self.regs[src.0 as usize]);
+            }
+        }
+        Ok(())
+    }
+
+    fn binop(
+        &mut self,
+        dst: bitgen_kernel::Reg,
+        a: bitgen_kernel::Reg,
+        b: bitgen_kernel::Reg,
+        counters: &mut CtaCounters,
+        f: impl Fn(u32, u32) -> u32,
+    ) {
+        counters.alu_ops += 1;
+        let n = self.threads;
+        for t in 0..n {
+            let va = self.regs[a.0 as usize][t];
+            let vb = self.regs[b.0 as usize][t];
+            self.regs[dst.0 as usize][t] = f(va, vb);
+        }
+    }
+
+    /// CTA-wide `any` reduction of a register (the `atomicOr` of §6).
+    fn any(&self, reg: bitgen_kernel::Reg) -> bool {
+        self.regs[reg.0 as usize].iter().any(|&w| w != 0)
+    }
+}
+
+/// Counts instructions in a body (for the skipped-ops metric).
+fn count_ops(stmts: &[KStmt]) -> u64 {
+    stmts
+        .iter()
+        .map(|s| match s {
+            KStmt::Op(_) => 1,
+            KStmt::If { body, .. } | KStmt::While { body, .. } => count_ops(body),
+        })
+        .sum()
+}
+
+/// Reads `threads` consecutive 32-bit words of `stream` starting at bit
+/// `start` (positions outside the stream read as zero).
+pub fn read_window_words(stream: &BitStream, start: i64, threads: usize) -> Vec<u32> {
+    (0..threads)
+        .map(|t| {
+            let bit = start + (t * WORD_BITS) as i64;
+            stream_word(stream, bit)
+        })
+        .collect()
+}
+
+/// Extracts the 32-bit word of `stream` starting at signed bit offset
+/// `start`.
+fn stream_word(stream: &BitStream, start: i64) -> u32 {
+    let words = stream.as_words();
+    let len = stream.len() as i64;
+    let mut out = 0u32;
+    // Fast path: aligned and fully in range.
+    if start >= 0 && start % 64 == 0 && start + 32 <= len {
+        return (words[(start / 64) as usize] & 0xffff_ffff) as u32;
+    }
+    for j in 0..32i64 {
+        let p = start + j;
+        if p >= 0 && p < len {
+            let w = words[(p / 64) as usize];
+            if w >> (p % 64) & 1 == 1 {
+                out |= 1 << j;
+            }
+        }
+    }
+    out
+}
+
+/// Extracts a 32-bit word from a T-word slot array at signed window-bit
+/// offset `bit_start` (outside the slot reads zero).
+fn gather_word(slot: &[u32], bit_start: i64) -> u32 {
+    let total_bits = slot.len() as i64 * WORD_BITS as i64;
+    if bit_start >= total_bits || bit_start + (WORD_BITS as i64) <= 0 {
+        return 0;
+    }
+    if bit_start % WORD_BITS as i64 == 0 {
+        let idx = bit_start / WORD_BITS as i64;
+        return if idx >= 0 { slot[idx as usize] } else { 0 };
+    }
+    let lo_idx = bit_start.div_euclid(WORD_BITS as i64);
+    let off = bit_start.rem_euclid(WORD_BITS as i64) as u32;
+    let lo = if lo_idx >= 0 && lo_idx < slot.len() as i64 { slot[lo_idx as usize] } else { 0 };
+    let hi_idx = lo_idx + 1;
+    let hi = if hi_idx >= 0 && hi_idx < slot.len() as i64 { slot[hi_idx as usize] } else { 0 };
+    (lo >> off) | (hi << (32 - off))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitgen_ir::lower;
+    use bitgen_kernel::{compile, CodegenOptions, KStmt, Reg, Slot};
+    use bitgen_regex::parse;
+
+    fn basis_for(input: &[u8]) -> [BitStream; 8] {
+        let b = bitgen_bitstream::Basis::transpose(input);
+        b.streams().clone()
+    }
+
+    /// Runs a whole (single-window) match for a short input.
+    fn run_once(pattern: &str, input: &[u8], threads: usize) -> Vec<usize> {
+        let prog = lower(&parse(pattern).unwrap());
+        let compiled = compile(&prog, &[], &[], &CodegenOptions::default());
+        let basis = basis_for(input);
+        let mut cta = Cta::new(&compiled.kernel, threads);
+        let mut counters = CtaCounters::new(compiled.kernel.num_sites as usize);
+        let out = cta
+            .run_window(
+                &compiled.kernel,
+                WindowInputs { basis: &basis, globals: &[] },
+                0,
+                &mut counters,
+            )
+            .expect("no races in generated kernels");
+        // Collect set bits below the stream length.
+        let len = input.len() + 1;
+        let mut ends = Vec::new();
+        for (t, w) in out.words[0].iter().enumerate() {
+            for j in 0..32 {
+                let pos = t * 32 + j;
+                if pos < len && w >> j & 1 == 1 {
+                    ends.push(pos);
+                }
+            }
+        }
+        ends
+    }
+
+    #[test]
+    fn matches_reference_for_small_inputs() {
+        for (pat, input) in [
+            ("cat", &b"bobcat"[..]),
+            ("(abc)|d", b"abcdabce"),
+            ("a(bc)*d", b"abcbcd"),
+            ("a+", b"xaaax"),
+            ("[a-c]{2}", b"abcab"),
+        ] {
+            let expect = bitgen_regex::match_ends(&parse(pat).unwrap(), input);
+            let got = run_once(pat, input, 4);
+            assert_eq!(got, expect, "pattern {pat:?}");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        for threads in [1, 2, 4, 16] {
+            assert_eq!(run_once("a(bc)*d", b"xxabcbcdyy", threads), vec![7]);
+        }
+    }
+
+    #[test]
+    fn window_offsets_read_zero_outside() {
+        let stream = BitStream::from_positions(64, &[0, 5, 63]);
+        let w = read_window_words(&stream, -32, 3);
+        assert_eq!(w[0], 0);
+        assert_eq!(w[1], 0b100001);
+        let tail = read_window_words(&stream, 32, 2);
+        assert_eq!(tail[0] >> 31, 1);
+        assert_eq!(tail[1], 0);
+    }
+
+    #[test]
+    fn gather_word_cross_boundary() {
+        let slot = vec![0x8000_0000u32, 0x0000_0001u32];
+        // Window bit 31 is set (end of word 0) and bit 32 (start of word 1).
+        assert_eq!(gather_word(&slot, 31), 0b11);
+        assert_eq!(gather_word(&slot, -1), 0x8000_0000u32 << 1);
+        assert_eq!(gather_word(&slot, 64), 0);
+        assert_eq!(gather_word(&slot, -32), 0);
+    }
+
+    #[test]
+    fn missing_barrier_is_detected() {
+        // Store then shifted-read with no barrier: the Fig. 6 hazard.
+        let kernel = Kernel {
+            stmts: vec![
+                KStmt::Op(KOp::Const { dst: Reg(0), ones: true }),
+                KStmt::Op(KOp::SmemStore { slot: Slot(0), src: Reg(0) }),
+                KStmt::Op(KOp::ShiftRead { dst: Reg(1), slot: Slot(0), shift: 1 }),
+            ],
+            num_regs: 2,
+            num_slots: 1,
+            num_inputs: 0,
+            num_outputs: 0,
+            num_sites: 0,
+        };
+        let basis: [BitStream; 8] = std::array::from_fn(|_| BitStream::zeros(32));
+        let mut cta = Cta::new(&kernel, 2);
+        let mut c = CtaCounters::new(0);
+        let err = cta
+            .run_window(&kernel, WindowInputs { basis: &basis, globals: &[] }, 0, &mut c)
+            .unwrap_err();
+        assert!(err.to_string().contains("race"));
+    }
+
+    #[test]
+    fn write_after_read_is_detected() {
+        let kernel = Kernel {
+            stmts: vec![
+                KStmt::Op(KOp::Const { dst: Reg(0), ones: true }),
+                KStmt::Op(KOp::SmemStore { slot: Slot(0), src: Reg(0) }),
+                KStmt::Op(KOp::Barrier),
+                KStmt::Op(KOp::ShiftRead { dst: Reg(1), slot: Slot(0), shift: 1 }),
+                // Missing barrier here:
+                KStmt::Op(KOp::SmemStore { slot: Slot(0), src: Reg(1) }),
+            ],
+            num_regs: 2,
+            num_slots: 1,
+            num_inputs: 0,
+            num_outputs: 0,
+            num_sites: 0,
+        };
+        let basis: [BitStream; 8] = std::array::from_fn(|_| BitStream::zeros(32));
+        let mut cta = Cta::new(&kernel, 2);
+        let mut c = CtaCounters::new(0);
+        assert!(cta
+            .run_window(&kernel, WindowInputs { basis: &basis, globals: &[] }, 0, &mut c)
+            .is_err());
+    }
+
+    #[test]
+    fn generated_kernels_pass_race_checking() {
+        // Codegen's barrier placement must satisfy the checker for a
+        // shift-heavy, rebalanced, guarded program.
+        use bitgen_passes::{insert_zero_skips, rebalance, ZbsConfig};
+        let mut prog = lower(&parse("ab{2,4}c(de)*f").unwrap());
+        rebalance(&mut prog);
+        insert_zero_skips(&mut prog, ZbsConfig::default());
+        let compiled = compile(&prog, &[], &[], &CodegenOptions { merge_size: 4, ..CodegenOptions::default() });
+        let basis = basis_for(b"abbcdedef abbbbcf");
+        let mut cta = Cta::new(&compiled.kernel, 8);
+        let mut c = CtaCounters::new(compiled.kernel.num_sites as usize);
+        cta.run_window(&compiled.kernel, WindowInputs { basis: &basis, globals: &[] }, 0, &mut c)
+            .expect("generated kernel must be race-free");
+        assert!(c.barriers > 0);
+    }
+
+    #[test]
+    fn counters_track_events() {
+        let prog = lower(&parse("a(bc)*d").unwrap());
+        let compiled = compile(&prog, &[], &[], &CodegenOptions::default());
+        let basis = basis_for(b"abcbcd");
+        let mut cta = Cta::new(&compiled.kernel, 2);
+        let mut c = CtaCounters::new(compiled.kernel.num_sites as usize);
+        cta.run_window(&compiled.kernel, WindowInputs { basis: &basis, globals: &[] }, 0, &mut c)
+            .unwrap();
+        assert!(c.alu_ops > 0);
+        assert!(c.barriers >= 2);
+        assert!(c.reductions >= 1);
+        assert_eq!(c.window_iterations, 1);
+        assert_eq!(c.loop_trips.len(), 1);
+        assert!(c.loop_trips[0] >= 2, "two (bc) passes: {:?}", c.loop_trips);
+        assert!(c.global_load_words > 0);
+        assert!(c.global_store_words > 0);
+    }
+
+    #[test]
+    fn skipped_ops_counted_for_guards() {
+        use bitgen_passes::{insert_zero_skips, ZbsConfig};
+        let mut prog = lower(&parse("abcdefgh").unwrap());
+        insert_zero_skips(&mut prog, ZbsConfig::default());
+        let compiled = compile(&prog, &[], &[], &CodegenOptions::default());
+        // Input with no 'a': guards fire.
+        let basis = basis_for(b"zzzzzzzz");
+        let mut cta = Cta::new(&compiled.kernel, 2);
+        let mut c = CtaCounters::new(compiled.kernel.num_sites as usize);
+        cta.run_window(&compiled.kernel, WindowInputs { basis: &basis, globals: &[] }, 0, &mut c)
+            .unwrap();
+        assert!(c.skipped_ops > 0, "guards should have skipped work");
+    }
+}

@@ -1,0 +1,152 @@
+//! Simulated GPU device configurations.
+//!
+//! Presets mirror the paper's three evaluation GPUs. The figures that
+//! matter for the model are the ones the paper itself uses to explain its
+//! portability results (§8.3): SM count and per-SM integer throughput,
+//! whose product gives the 17.8 / 33.5 / 45.8 TIOPS ratio of
+//! RTX 3090 : H100 : L40S ≈ 1 : 1.9 : 2.6, and DRAM bandwidth for the
+//! memory-bound side.
+
+/// Configuration of a simulated GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceConfig {
+    /// Marketing name, used in reports.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sms: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// 32-bit integer lanes per SM (ops issued per cycle).
+    pub int_lanes_per_sm: u32,
+    /// DRAM bandwidth in GB/s.
+    pub mem_bw_gbps: f64,
+    /// Effective L2 bandwidth in GB/s. In the MISD regime every CTA reads
+    /// the same input stream, so per-CTA global traffic is served from L2,
+    /// not DRAM; this is what lets the L40S (96 MB L2, modest GDDR6)
+    /// outrun the H100 on BitGen, as the paper observes.
+    pub l2_bw_gbps: f64,
+    /// DRAM access latency in core cycles (drives latency-bound engines
+    /// such as the ngAP-style NFA baseline).
+    pub dram_latency_cycles: f64,
+    /// Shared-memory banks per SM (words serviced per cycle).
+    pub smem_banks: u32,
+    /// Fixed cycles a CTA stalls at one barrier with no co-resident CTA
+    /// to hide the latency.
+    pub barrier_cost_cycles: f64,
+    /// Cycles for a CTA-wide `any` reduction (the §6 `atomicOr`).
+    pub reduce_cost_cycles: f64,
+    /// Hardware cap on resident CTAs per SM.
+    pub max_ctas_per_sm: u32,
+    /// Shared memory per SM in bytes.
+    pub smem_per_sm: usize,
+    /// 32-bit registers per SM.
+    pub regs_per_sm: usize,
+}
+
+impl DeviceConfig {
+    /// The paper's primary device: NVIDIA RTX 3090 (Ampere, 82 SMs,
+    /// 17.8 TIOPS, 936 GB/s GDDR6X).
+    pub fn rtx3090() -> DeviceConfig {
+        DeviceConfig {
+            name: "RTX 3090".to_string(),
+            sms: 82,
+            clock_ghz: 1.695,
+            int_lanes_per_sm: 128,
+            mem_bw_gbps: 936.0,
+            l2_bw_gbps: 2000.0,
+            dram_latency_cycles: 400.0,
+            smem_banks: 32,
+            barrier_cost_cycles: 30.0,
+            reduce_cost_cycles: 20.0,
+            max_ctas_per_sm: 4,
+            smem_per_sm: 100 * 1024,
+            regs_per_sm: 65536,
+        }
+    }
+
+    /// NVIDIA H100 NVL (Hopper, 132 SMs, 33.5 TIOPS, HBM3).
+    pub fn h100() -> DeviceConfig {
+        DeviceConfig {
+            name: "H100 NVL".to_string(),
+            sms: 132,
+            clock_ghz: 1.98,
+            int_lanes_per_sm: 128,
+            mem_bw_gbps: 3900.0,
+            l2_bw_gbps: 5500.0,
+            // HBM3 trades latency for bandwidth; at the higher core clock
+            // this roughly cancels for latency-bound kernels (the paper's
+            // ngAP shows no H100 gain).
+            dram_latency_cycles: 480.0,
+            smem_banks: 32,
+            barrier_cost_cycles: 30.0,
+            reduce_cost_cycles: 20.0,
+            max_ctas_per_sm: 4,
+            smem_per_sm: 228 * 1024,
+            regs_per_sm: 65536,
+        }
+    }
+
+    /// NVIDIA L40S (Ada, 142 SMs, 45.8 TIOPS, GDDR6).
+    pub fn l40s() -> DeviceConfig {
+        DeviceConfig {
+            name: "L40S".to_string(),
+            sms: 142,
+            clock_ghz: 2.52,
+            int_lanes_per_sm: 128,
+            mem_bw_gbps: 864.0,
+            l2_bw_gbps: 4500.0,
+            dram_latency_cycles: 400.0,
+            smem_banks: 32,
+            barrier_cost_cycles: 30.0,
+            reduce_cost_cycles: 20.0,
+            max_ctas_per_sm: 4,
+            smem_per_sm: 100 * 1024,
+            regs_per_sm: 65536,
+        }
+    }
+
+    /// Total integer throughput in tera-ops/s (the paper's TIOPS).
+    pub fn tiops(&self) -> f64 {
+        self.sms as f64 * self.int_lanes_per_sm as f64 * self.clock_ghz / 1e3
+    }
+
+    /// Seconds to transpose `bytes` of input on this device.
+    ///
+    /// The paper measures ~0.026 ms per MB on the RTX 3090 (37,449 MB/s),
+    /// a bandwidth-bound preprocessing kernel; scale by memory bandwidth.
+    pub fn transpose_seconds(&self, bytes: usize) -> f64 {
+        let rate_3090 = 37_449e6; // bytes per second
+        let rate = rate_3090 * self.mem_bw_gbps / 936.0;
+        bytes as f64 / rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiops_match_paper_ratios() {
+        let a = DeviceConfig::rtx3090().tiops();
+        let b = DeviceConfig::h100().tiops();
+        let c = DeviceConfig::l40s().tiops();
+        assert!((a - 17.8).abs() < 0.5, "3090 tiops {a}");
+        assert!((b / a - 1.9).abs() < 0.15, "h100 ratio {}", b / a);
+        assert!((c / a - 2.6).abs() < 0.15, "l40s ratio {}", c / a);
+    }
+
+    #[test]
+    fn transpose_rate_matches_paper() {
+        let d = DeviceConfig::rtx3090();
+        let s = d.transpose_seconds(1 << 20);
+        assert!((s - 0.026e-3).abs() < 0.005e-3, "1 MB transpose {s}s");
+    }
+
+    #[test]
+    fn presets_have_nonempty_names() {
+        for d in [DeviceConfig::rtx3090(), DeviceConfig::h100(), DeviceConfig::l40s()] {
+            assert!(!d.name.is_empty());
+            assert!(d.sms > 0 && d.clock_ghz > 0.0);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Nsight-style textual profiling reports.
+//!
+//! The paper uses Nsight Compute to explain its results (Tables 4–6);
+//! this module renders the equivalent view of an emulated launch: per-CTA
+//! event counts, the cost model's cycle attribution, occupancy, and the
+//! launch-level bounds.
+
+use crate::cost::{CostBreakdown, CtaWork};
+use crate::device::DeviceConfig;
+use std::fmt::Write as _;
+
+/// Renders a profiling report for a launch of `works` on `device`,
+/// given its `cost` estimate (from [`DeviceConfig::estimate`]).
+///
+/// # Examples
+///
+/// ```
+/// use bitgen_gpu::{profile_report, CtaCounters, CtaWork, DeviceConfig};
+///
+/// let mut counters = CtaCounters::new(0);
+/// counters.alu_ops = 1000;
+/// counters.barriers = 50;
+/// let work = CtaWork { counters, threads: 64, regs_per_thread: 32, smem_bytes: 1024 };
+/// let device = DeviceConfig::rtx3090();
+/// let cost = device.estimate(std::slice::from_ref(&work));
+/// let report = profile_report(&device, &[work], &cost);
+/// assert!(report.contains("occupancy"));
+/// ```
+pub fn profile_report(device: &DeviceConfig, works: &[CtaWork], cost: &CostBreakdown) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== launch profile on {} ===", device.name);
+    let _ = writeln!(
+        out,
+        "CTAs: {}   occupancy: {}/SM   compute: {:.3} ms   memory bound: {:.3} ms   barrier stall: {:.1}%",
+        works.len(),
+        cost.occupancy,
+        cost.compute_seconds * 1e3,
+        cost.memory_seconds * 1e3,
+        cost.barrier_stall_frac * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "{:>4}  {:>10} {:>9} {:>9} {:>8} {:>9} {:>9} {:>8} {:>7} {:>9}",
+        "CTA", "alu", "smem", "barriers", "reduce", "ld words", "st words", "skipped", "regs", "cycles"
+    );
+    for (i, (w, cycles)) in works.iter().zip(&cost.cta_cycles).enumerate() {
+        let c = &w.counters;
+        let _ = writeln!(
+            out,
+            "{:>4}  {:>10} {:>9} {:>9} {:>8} {:>9} {:>9} {:>8} {:>7} {:>9.0}",
+            i,
+            c.alu_ops,
+            c.smem_accesses(),
+            c.barriers,
+            c.reductions,
+            c.global_load_words,
+            c.global_store_words,
+            c.skipped_ops,
+            w.regs_per_thread,
+            cycles
+        );
+    }
+    // Cycle attribution at launch level (recomputed with the same model).
+    let occupancy = cost.occupancy.max(1) as f64;
+    let sm_bpc = device.l2_bw_gbps * 1e9 / (device.sms as f64 * device.clock_ghz * 1e9);
+    let mut alu = 0.0;
+    let mut smem = 0.0;
+    let mut barrier = 0.0;
+    let mut reduce = 0.0;
+    let mut glob = 0.0;
+    for w in works {
+        let t = w.threads as f64;
+        let c = &w.counters;
+        alu += c.alu_ops as f64 * (t / device.int_lanes_per_sm as f64).ceil().max(1.0);
+        smem += c.smem_accesses() as f64 * (t / device.smem_banks as f64).ceil().max(1.0);
+        barrier += c.barriers as f64 * device.barrier_cost_cycles / occupancy;
+        reduce += c.reductions as f64 * device.reduce_cost_cycles / occupancy;
+        glob += c.global_words() as f64 * 4.0 / sm_bpc;
+    }
+    let total = (alu + smem + barrier + reduce + glob).max(1.0);
+    let _ = writeln!(out, "cycle attribution (all CTAs):");
+    for (label, v) in [
+        ("alu", alu),
+        ("shared memory", smem),
+        ("barriers", barrier),
+        ("reductions", reduce),
+        ("global memory", glob),
+    ] {
+        let _ = writeln!(out, "  {label:<14} {:>12.0} cycles  {:>5.1}%", v, v / total * 100.0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::CtaCounters;
+
+    fn work() -> CtaWork {
+        let mut c = CtaCounters::new(1);
+        c.alu_ops = 5_000;
+        c.smem_stores = 400;
+        c.smem_loads = 400;
+        c.barriers = 200;
+        c.reductions = 40;
+        c.global_load_words = 2_000;
+        c.global_store_words = 500;
+        c.skipped_ops = 77;
+        CtaWork { counters: c, threads: 128, regs_per_thread: 64, smem_bytes: 4096 }
+    }
+
+    #[test]
+    fn report_mentions_every_section() {
+        let device = DeviceConfig::rtx3090();
+        let works = vec![work(), work()];
+        let cost = device.estimate(&works);
+        let r = profile_report(&device, &works, &cost);
+        for needle in [
+            "RTX 3090",
+            "occupancy",
+            "barrier stall",
+            "cycle attribution",
+            "global memory",
+            "skipped",
+        ] {
+            assert!(r.contains(needle), "missing {needle:?} in:\n{r}");
+        }
+        // One row per CTA.
+        assert_eq!(r.matches("\n   0  ").count(), 1);
+        assert_eq!(r.matches("\n   1  ").count(), 1);
+    }
+
+    #[test]
+    fn attribution_sums_to_100_percent() {
+        let device = DeviceConfig::rtx3090();
+        let works = vec![work()];
+        let cost = device.estimate(&works);
+        let r = profile_report(&device, &works, &cost);
+        let sum: f64 = r
+            .lines()
+            .filter(|l| l.ends_with('%') && l.starts_with("  "))
+            .map(|l| {
+                l.rsplit_once("  ")
+                    .and_then(|(_, p)| p.trim_end_matches('%').trim().parse::<f64>().ok())
+                    .unwrap_or(0.0)
+            })
+            .sum();
+        assert!((sum - 100.0).abs() < 0.5, "attribution sums to {sum}");
+    }
+}

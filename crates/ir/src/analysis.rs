@@ -1,0 +1,106 @@
+//! Def/use analysis helpers shared by the transformation passes.
+
+use crate::program::{Program, Stmt, StreamId};
+
+/// Per-variable definition and use counts for a program.
+///
+/// Variables written exactly once and read exactly once are the safe
+/// targets for pattern rewrites (shift rebalancing); loop-carried
+/// accumulators show up with multiple definitions and are left alone.
+#[derive(Debug, Clone)]
+pub struct DefUse {
+    defs: Vec<usize>,
+    uses: Vec<usize>,
+}
+
+impl DefUse {
+    /// Computes def/use counts. Control-flow conditions and program outputs
+    /// count as uses; executing a loop body repeatedly does not multiply
+    /// counts (these are static, per-occurrence counts).
+    pub fn of(program: &Program) -> DefUse {
+        let n = program.num_streams() as usize;
+        let mut du = DefUse { defs: vec![0; n], uses: vec![0; n] };
+        du.walk(program.stmts());
+        for &out in program.outputs() {
+            du.uses[out.index()] += 1;
+        }
+        du
+    }
+
+    fn walk(&mut self, stmts: &[Stmt]) {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Op(op) => {
+                    self.defs[op.dst().index()] += 1;
+                    for s in op.sources() {
+                        self.uses[s.index()] += 1;
+                    }
+                }
+                Stmt::If { cond, body } | Stmt::While { cond, body } => {
+                    self.uses[cond.index()] += 1;
+                    self.walk(body);
+                }
+            }
+        }
+    }
+
+    /// Number of static definitions of `id`.
+    ///
+    /// Ids allocated after the analysis ran report zero, which makes every
+    /// consumer treat them conservatively.
+    pub fn def_count(&self, id: StreamId) -> usize {
+        self.defs.get(id.index()).copied().unwrap_or(0)
+    }
+
+    /// Number of static uses of `id` (zero for ids newer than the
+    /// analysis).
+    pub fn use_count(&self, id: StreamId) -> usize {
+        self.uses.get(id.index()).copied().unwrap_or(0)
+    }
+
+    /// `true` when `id` is written once and read once: safe to rewrite the
+    /// producing instruction into its consumer.
+    pub fn is_linear_temp(&self, id: StreamId) -> bool {
+        self.def_count(id) == 1 && self.use_count(id) == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn counts_straight_line() {
+        let mut b = ProgramBuilder::new();
+        let x = b.ones();
+        let y = b.advance(x, 1);
+        let z = b.and(x, y);
+        b.mark_output(z);
+        let prog = b.finish();
+        let du = DefUse::of(&prog);
+        assert_eq!(du.def_count(x), 1);
+        assert_eq!(du.use_count(x), 2);
+        assert!(du.is_linear_temp(y));
+        assert_eq!(du.use_count(z), 1, "output counts as a use");
+        assert!(!du.is_linear_temp(x));
+    }
+
+    #[test]
+    fn loop_carried_vars_are_not_linear() {
+        let mut b = ProgramBuilder::new();
+        let x = b.ones();
+        let acc = b.assign_new(x);
+        b.while_loop(acc, |b| {
+            let t = b.advance(acc, 1);
+            b.assign_to(acc, t);
+        });
+        b.mark_output(acc);
+        let prog = b.finish();
+        let du = DefUse::of(&prog);
+        assert_eq!(du.def_count(acc), 2);
+        assert!(!du.is_linear_temp(acc));
+        // The condition use is counted.
+        assert!(du.use_count(acc) >= 2);
+    }
+}

@@ -1,0 +1,230 @@
+//! Whole-stream reference interpreter for bitstream programs.
+//!
+//! Executes a [`Program`] one instruction at a time over full-length
+//! [`BitStream`]s — the semantics every GPU execution scheme must agree
+//! with. Also records the loop trip counts used to validate the dynamic
+//! overlap analysis.
+
+use crate::program::{Op, Program, Stmt, StreamId};
+use bitgen_bitstream::{compile_class, Basis, BitStream};
+
+/// Result of interpreting a program.
+#[derive(Debug, Clone)]
+pub struct InterpResult {
+    /// One match-end stream per program output (per regex in the group).
+    pub outputs: Vec<BitStream>,
+    /// Total `while` trips executed, summed over all loops.
+    pub loop_trips: usize,
+    /// Total instructions executed (loop bodies counted per trip).
+    pub ops_executed: usize,
+}
+
+impl InterpResult {
+    /// The union of all output streams: positions where *any* regex of the
+    /// group matches.
+    pub fn union(&self) -> BitStream {
+        let len = self.outputs.first().map_or(0, BitStream::len);
+        let mut acc = BitStream::zeros(len);
+        for s in &self.outputs {
+            acc = acc.or(s);
+        }
+        acc
+    }
+
+    /// Match-end byte positions of output `i`, ascending.
+    pub fn match_ends(&self, i: usize) -> Vec<usize> {
+        self.outputs[i].positions()
+    }
+}
+
+/// Interprets `program` over the transposed `input`.
+///
+/// All streams have length `input.len() + 1` (see
+/// [`Program::stream_len`]); the returned match-end streams only ever set
+/// bits below `input.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use bitgen_regex::parse;
+/// use bitgen_ir::{lower, interpret};
+/// use bitgen_bitstream::Basis;
+///
+/// let prog = lower(&parse("a(bc)*d").unwrap());
+/// let basis = Basis::transpose(b"xabcbcd");
+/// let result = interpret(&prog, &basis);
+/// assert_eq!(result.match_ends(0), vec![6]);
+/// ```
+pub fn interpret(program: &Program, basis: &Basis) -> InterpResult {
+    let len = Program::stream_len(basis.len());
+    let mut env = Env {
+        vars: vec![None; program.num_streams() as usize],
+        basis,
+        len,
+        loop_trips: 0,
+        ops_executed: 0,
+    };
+    env.run(program.stmts());
+    let outputs = program
+        .outputs()
+        .iter()
+        .map(|&id| env.get(id).clone())
+        .collect();
+    InterpResult { outputs, loop_trips: env.loop_trips, ops_executed: env.ops_executed }
+}
+
+struct Env<'a> {
+    vars: Vec<Option<BitStream>>,
+    basis: &'a Basis,
+    len: usize,
+    loop_trips: usize,
+    ops_executed: usize,
+}
+
+impl Env<'_> {
+    fn run(&mut self, stmts: &[Stmt]) {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Op(op) => self.exec(op),
+                Stmt::If { cond, body } => {
+                    if self.get(*cond).any() {
+                        self.run(body);
+                    }
+                }
+                Stmt::While { cond, body } => {
+                    // Defend against non-terminating programs from bad
+                    // transforms: a marker fixpoint can never need more
+                    // trips than there are positions.
+                    let mut fuel = self.len + 2;
+                    while self.get(*cond).any() {
+                        assert!(fuel > 0, "while loop exceeded its fixpoint bound");
+                        fuel -= 1;
+                        self.loop_trips += 1;
+                        self.run(body);
+                    }
+                }
+            }
+        }
+    }
+
+    fn exec(&mut self, op: &Op) {
+        self.ops_executed += 1;
+        let value = match op {
+            Op::MatchCc { class, .. } => {
+                compile_class(class).eval(self.basis).resized(self.len)
+            }
+            Op::And { a, b, .. } => self.get(*a).and(self.get(*b)),
+            Op::Or { a, b, .. } => self.get(*a).or(self.get(*b)),
+            Op::Add { a, b, .. } => self.get(*a).add(self.get(*b)),
+            Op::Xor { a, b, .. } => self.get(*a).xor(self.get(*b)),
+            Op::Not { src, .. } => self.get(*src).not(),
+            Op::Advance { src, amount, .. } => self.get(*src).advance(*amount as usize),
+            Op::Retreat { src, amount, .. } => self.get(*src).retreat(*amount as usize),
+            Op::Assign { src, .. } => self.get(*src).clone(),
+            Op::Zero { .. } => BitStream::zeros(self.len),
+            Op::Ones { .. } => BitStream::ones(self.len),
+        };
+        self.vars[op.dst().index()] = Some(value);
+    }
+
+    fn get(&self, id: StreamId) -> &BitStream {
+        self.vars[id.index()]
+            .as_ref()
+            .unwrap_or_else(|| panic!("read of unwritten stream {id}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{lower, lower_group};
+    use bitgen_regex::{match_ends, multi_match_ends, parse};
+
+    fn run(pattern: &str, input: &[u8]) -> Vec<usize> {
+        let prog = lower(&parse(pattern).unwrap());
+        interpret(&prog, &Basis::transpose(input)).match_ends(0)
+    }
+
+    fn assert_agrees(pattern: &str, input: &[u8]) {
+        let oracle = match_ends(&parse(pattern).unwrap(), input);
+        let got = run(pattern, input);
+        assert_eq!(got, oracle, "pattern {pattern:?} on {:?}", String::from_utf8_lossy(input));
+    }
+
+    #[test]
+    fn paper_cat() {
+        assert_eq!(run("cat", b"bobcat"), vec![5]);
+    }
+
+    #[test]
+    fn paper_figure3() {
+        assert_eq!(run("(abc)|d", b"abcdabce"), vec![2, 3, 6]);
+    }
+
+    #[test]
+    fn paper_listing3() {
+        assert_eq!(run("a(bc)*d", b"ad"), vec![1]);
+        assert_eq!(run("a(bc)*d", b"abcbcd"), vec![5]);
+        assert_eq!(run("a(bc)*d", b"abcbc"), vec![]);
+    }
+
+    #[test]
+    fn agrees_with_oracle_on_basics() {
+        for (pat, input) in [
+            ("a+", &b"xaaax"[..]),
+            ("a*", b"baab"),
+            ("ab|bc", b"abcabc"),
+            ("a?b", b"ab_b_cb"),
+            ("a{2,3}", b"aaaaa"),
+            ("a{2,}", b"aaaa"),
+            ("[a-c]+[0-9]", b"abc9 x1 c2"),
+            (".a.", b"xaxya\n a"),
+            ("(a|bb)*c", b"abbac bbc c"),
+            ("a(bc)*d", b"adxabcd.abcbcbcd"),
+        ] {
+            assert_agrees(pat, input);
+        }
+    }
+
+    #[test]
+    fn match_at_final_byte_survives() {
+        assert_agrees("ab", b"xxab");
+        assert_agrees("a+", b"xxaa");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(run("a+", b""), vec![]);
+    }
+
+    #[test]
+    fn group_outputs_are_independent() {
+        let asts = vec![parse("ab").unwrap(), parse("bc").unwrap()];
+        let prog = lower_group(&asts);
+        let r = interpret(&prog, &Basis::transpose(b"abcabc"));
+        assert_eq!(r.match_ends(0), vec![1, 4]);
+        assert_eq!(r.match_ends(1), vec![2, 5]);
+        assert_eq!(r.union().positions(), multi_match_ends(&asts, b"abcabc"));
+    }
+
+    #[test]
+    fn loop_trips_counted() {
+        let prog = lower(&parse("a(bc)*d").unwrap());
+        let r = interpret(&prog, &Basis::transpose(b"abcbcbcd"));
+        // Frontier survives three (bc) passes plus the emptying trip.
+        assert!(r.loop_trips >= 3, "got {}", r.loop_trips);
+        assert!(r.ops_executed > prog.op_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "unwritten stream")]
+    fn reading_unwritten_stream_panics() {
+        use crate::program::{Program, Stmt, Op, StreamId};
+        let prog = Program::new(
+            vec![Stmt::Op(Op::Not { dst: StreamId(1), src: StreamId(0) })],
+            2,
+            vec![StreamId(1)],
+        );
+        interpret(&prog, &Basis::transpose(b"x"));
+    }
+}

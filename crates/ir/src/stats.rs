@@ -1,0 +1,170 @@
+//! Static instruction statistics for bitstream programs.
+//!
+//! Produces the per-application instruction breakdown the paper reports in
+//! Table 1: counts of `and`, `or`, `not`, `shift`, and `while`. Character
+//! class matches are expanded into their basis-bit circuits when counting,
+//! matching the paper's convention (its counts come from the full programs
+//! icgrep emits, where class computation is ordinary bitwise code).
+
+use crate::program::{Op, Program, Stmt};
+use bitgen_bitstream::compile_class;
+use std::fmt;
+use std::ops::Add;
+
+/// Instruction counts of a bitstream program (the Table 1 columns).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProgramStats {
+    /// Bitwise AND instructions (including those inside class circuits).
+    pub and: usize,
+    /// Bitwise OR instructions (including those inside class circuits).
+    pub or: usize,
+    /// Bitwise NOT instructions (including those inside class circuits).
+    pub not: usize,
+    /// Shift instructions (advance + retreat).
+    pub shift: usize,
+    /// `while` statements.
+    pub r#while: usize,
+    /// `if` statements (zero after lowering; inserted by ZBS).
+    pub r#if: usize,
+    /// Copies and constant loads (not reported in Table 1 but useful).
+    pub other: usize,
+}
+
+impl ProgramStats {
+    /// Gathers the statistics of `program`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bitgen_regex::parse;
+    /// use bitgen_ir::{lower, ProgramStats};
+    ///
+    /// let prog = lower(&parse("a(bc)*d").unwrap());
+    /// let stats = ProgramStats::of(&prog);
+    /// assert_eq!(stats.r#while, 1);
+    /// assert!(stats.shift >= 3);
+    /// ```
+    pub fn of(program: &Program) -> ProgramStats {
+        let mut s = ProgramStats::default();
+        count_stmts(program.stmts(), &mut s);
+        s
+    }
+
+    /// Total instruction count (excluding control-flow headers).
+    pub fn total_ops(&self) -> usize {
+        self.and + self.or + self.not + self.shift + self.other
+    }
+}
+
+fn count_stmts(stmts: &[Stmt], s: &mut ProgramStats) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Op(op) => count_op(op, s),
+            Stmt::If { body, .. } => {
+                s.r#if += 1;
+                count_stmts(body, s);
+            }
+            Stmt::While { body, .. } => {
+                s.r#while += 1;
+                count_stmts(body, s);
+            }
+        }
+    }
+}
+
+fn count_op(op: &Op, s: &mut ProgramStats) {
+    match op {
+        Op::MatchCc { class, .. } => {
+            let (a, o, n) = compile_class(class).gate_breakdown();
+            s.and += a;
+            s.or += o;
+            s.not += n;
+        }
+        Op::And { .. } => s.and += 1,
+        Op::Or { .. } => s.or += 1,
+        Op::Xor { .. } | Op::Add { .. } => s.other += 1,
+        Op::Not { .. } => s.not += 1,
+        Op::Advance { .. } | Op::Retreat { .. } => s.shift += 1,
+        Op::Assign { .. } | Op::Zero { .. } | Op::Ones { .. } => s.other += 1,
+    }
+}
+
+impl Add for ProgramStats {
+    type Output = ProgramStats;
+
+    fn add(self, rhs: ProgramStats) -> ProgramStats {
+        ProgramStats {
+            and: self.and + rhs.and,
+            or: self.or + rhs.or,
+            not: self.not + rhs.not,
+            shift: self.shift + rhs.shift,
+            r#while: self.r#while + rhs.r#while,
+            r#if: self.r#if + rhs.r#if,
+            other: self.other + rhs.other,
+        }
+    }
+}
+
+impl fmt::Display for ProgramStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "and={} or={} not={} shift={} while={}",
+            self.and, self.or, self.not, self.shift, self.r#while
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use bitgen_regex::parse;
+
+    #[test]
+    fn literal_counts() {
+        let stats = ProgramStats::of(&lower(&parse("ab").unwrap()));
+        // Two concat steps: 2 program ANDs + circuit gates; 2 advances +
+        // 1 retreat for ends.
+        assert_eq!(stats.shift, 3);
+        assert!(stats.and >= 2);
+        assert_eq!(stats.r#while, 0);
+        assert_eq!(stats.r#if, 0);
+    }
+
+    #[test]
+    fn star_adds_while() {
+        let stats = ProgramStats::of(&lower(&parse("a(bc)*d").unwrap()));
+        assert_eq!(stats.r#while, 1);
+        assert!(stats.not >= 1, "fixpoint loop negates the accumulator");
+    }
+
+    #[test]
+    fn class_circuits_are_counted() {
+        let plain = ProgramStats::of(&lower(&parse("a").unwrap()));
+        let range = ProgramStats::of(&lower(&parse("[a-z0-9_]").unwrap()));
+        assert!(
+            range.total_ops() != plain.total_ops(),
+            "different circuits must differ in op counts"
+        );
+        assert!(plain.and >= 7, "single byte needs a 7-AND circuit");
+    }
+
+    #[test]
+    fn stats_add() {
+        let a = ProgramStats { and: 1, or: 2, not: 3, shift: 4, r#while: 5, r#if: 0, other: 6 };
+        let b = a;
+        let c = a + b;
+        assert_eq!(c.and, 2);
+        assert_eq!(c.r#while, 10);
+        assert_eq!(c.total_ops(), 2 * a.total_ops());
+    }
+
+    #[test]
+    fn display_mentions_all_columns() {
+        let s = ProgramStats::of(&lower(&parse("a+b").unwrap())).to_string();
+        for col in ["and=", "or=", "not=", "shift=", "while="] {
+            assert!(s.contains(col), "missing {col} in {s}");
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Program well-formedness verification.
+//!
+//! Transformation passes (rebalancing, zero-block skipping, output
+//! combining) rewrite programs structurally; [`verify`] checks the
+//! invariants every executor relies on, so a buggy pass fails loudly in
+//! tests instead of producing wrong matches:
+//!
+//! - every variable id is within `num_streams`;
+//! - every use (operand, condition, output) is preceded by a definition
+//!   on the straight-line path to it (loop bodies are checked for their
+//!   first trip, which is the strongest form our lowering guarantees);
+//! - shift amounts are non-zero.
+
+use crate::program::{Op, Program, Stmt, StreamId};
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A variable id at or beyond `num_streams`.
+    IdOutOfRange {
+        /// The offending id.
+        id: StreamId,
+        /// The program's stream count.
+        num_streams: u32,
+    },
+    /// A read of a variable with no preceding definition.
+    UseBeforeDef {
+        /// The offending id.
+        id: StreamId,
+        /// Rendering of the instruction or construct reading it.
+        context: String,
+    },
+    /// A shift instruction with amount zero.
+    ZeroShift {
+        /// Destination of the offending shift.
+        dst: StreamId,
+    },
+    /// A program output that is never defined.
+    UndefinedOutput {
+        /// The output id.
+        id: StreamId,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::IdOutOfRange { id, num_streams } => {
+                write!(f, "{id} out of range (program has {num_streams} streams)")
+            }
+            VerifyError::UseBeforeDef { id, context } => {
+                write!(f, "{id} read before any definition in {context}")
+            }
+            VerifyError::ZeroShift { dst } => write!(f, "zero-distance shift into {dst}"),
+            VerifyError::UndefinedOutput { id } => {
+                write!(f, "output {id} is never defined")
+            }
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Verifies `program`; see the module docs for the invariants.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+///
+/// # Examples
+///
+/// ```
+/// use bitgen_regex::parse;
+/// use bitgen_ir::{lower, verify};
+///
+/// verify(&lower(&parse("a(bc)*d").unwrap())).expect("lowered programs verify");
+/// ```
+pub fn verify(program: &Program) -> Result<(), VerifyError> {
+    let mut defined: HashSet<StreamId> = HashSet::new();
+    check_stmts(program.stmts(), &mut defined, program.num_streams())?;
+    for &out in program.outputs() {
+        check_id(out, program.num_streams())?;
+        if !defined.contains(&out) {
+            return Err(VerifyError::UndefinedOutput { id: out });
+        }
+    }
+    Ok(())
+}
+
+fn check_id(id: StreamId, num_streams: u32) -> Result<(), VerifyError> {
+    if id.0 >= num_streams {
+        Err(VerifyError::IdOutOfRange { id, num_streams })
+    } else {
+        Ok(())
+    }
+}
+
+fn check_stmts(
+    stmts: &[Stmt],
+    defined: &mut HashSet<StreamId>,
+    num_streams: u32,
+) -> Result<(), VerifyError> {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Op(op) => check_op(op, defined, num_streams)?,
+            Stmt::If { cond, body } | Stmt::While { cond, body } => {
+                check_id(*cond, num_streams)?;
+                if !defined.contains(cond) {
+                    return Err(VerifyError::UseBeforeDef {
+                        id: *cond,
+                        context: "control-flow condition".to_string(),
+                    });
+                }
+                // First-trip discipline: body uses must resolve against
+                // definitions before the construct or earlier in the body.
+                check_stmts(body, defined, num_streams)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_op(
+    op: &Op,
+    defined: &mut HashSet<StreamId>,
+    num_streams: u32,
+) -> Result<(), VerifyError> {
+    for src in op.sources() {
+        check_id(src, num_streams)?;
+        if !defined.contains(&src) {
+            return Err(VerifyError::UseBeforeDef { id: src, context: format!("{op:?}") });
+        }
+    }
+    check_id(op.dst(), num_streams)?;
+    match op {
+        Op::Advance { amount: 0, dst, .. } | Op::Retreat { amount: 0, dst, .. } => {
+            return Err(VerifyError::ZeroShift { dst: *dst });
+        }
+        _ => {}
+    }
+    defined.insert(op.dst());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::lower::{lower_group_with, LowerOptions};
+    use bitgen_regex::parse;
+
+    #[test]
+    fn lowered_programs_verify() {
+        for pat in ["ab", "a(bc)*d", "a{3,9}[x-z]+", "(a|bb)?c"] {
+            for opts in [
+                LowerOptions::default(),
+                LowerOptions { match_star: true, log_repetition: true },
+            ] {
+                let prog = lower_group_with(&[parse(pat).unwrap()], opts);
+                verify(&prog).unwrap_or_else(|e| panic!("{pat:?} {opts:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn combined_outputs_verify() {
+        let mut prog = lower_group_with(
+            &[parse("ab").unwrap(), parse("cd").unwrap()],
+            LowerOptions::default(),
+        );
+        prog.combine_outputs();
+        verify(&prog).unwrap();
+    }
+
+    #[test]
+    fn detects_use_before_def() {
+        let mut b = ProgramBuilder::new();
+        let x = b.fresh(); // never defined
+        let y = b.not(x);
+        b.mark_output(y);
+        let err = verify(&b.finish()).unwrap_err();
+        assert!(matches!(err, VerifyError::UseBeforeDef { .. }), "{err}");
+    }
+
+    #[test]
+    fn detects_undefined_output() {
+        let mut b = ProgramBuilder::new();
+        let _def = b.ones();
+        let ghost = b.fresh();
+        b.mark_output(ghost);
+        let err = verify(&b.finish()).unwrap_err();
+        assert!(matches!(err, VerifyError::UndefinedOutput { .. }), "{err}");
+    }
+
+    #[test]
+    fn detects_out_of_range_ids() {
+        use crate::program::{Op, Program, Stmt};
+        let prog = Program::new(
+            vec![Stmt::Op(Op::Zero { dst: StreamId(7) })],
+            3,
+            vec![],
+        );
+        let err = verify(&prog).unwrap_err();
+        assert!(matches!(err, VerifyError::IdOutOfRange { .. }), "{err}");
+    }
+
+    #[test]
+    fn detects_zero_shift() {
+        use crate::program::{Op, Program, Stmt};
+        let prog = Program::new(
+            vec![
+                Stmt::Op(Op::Ones { dst: StreamId(0) }),
+                Stmt::Op(Op::Advance { dst: StreamId(1), src: StreamId(0), amount: 0 }),
+            ],
+            2,
+            vec![],
+        );
+        let err = verify(&prog).unwrap_err();
+        assert!(matches!(err, VerifyError::ZeroShift { .. }), "{err}");
+    }
+
+    #[test]
+    fn detects_undefined_condition() {
+        use crate::program::{Op, Program, Stmt};
+        let prog = Program::new(
+            vec![Stmt::While {
+                cond: StreamId(0),
+                body: vec![Stmt::Op(Op::Zero { dst: StreamId(0) })],
+            }],
+            1,
+            vec![],
+        );
+        let err = verify(&prog).unwrap_err();
+        assert!(matches!(err, VerifyError::UseBeforeDef { .. }), "{err}");
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = VerifyError::UseBeforeDef { id: StreamId(5), context: "And".into() };
+        assert!(e.to_string().contains("S5"));
+    }
+}

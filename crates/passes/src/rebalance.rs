@@ -1,0 +1,432 @@
+//! Shift Rebalancing (§5.2 of the paper).
+//!
+//! Long chains of `SHIFT`+`AND` (the lowering of concatenation) serialise
+//! interleaved execution: every shift needs two barriers and each one waits
+//! on the previous AND. Operand rewriting moves shifts off the critical
+//! path using the identity
+//!
+//! ```text
+//! (A >> n) & B  ≡  (A & (B << n)) >> n
+//! ```
+//!
+//! (exact on finite streams for AND: positions that fall off an edge are
+//! zero on both sides). The pass walks every straight-line run of
+//! instructions, repeatedly rewriting ANDs whose shifted operand sits at
+//! least as deep in the dataflow as the other operand, then merging the
+//! same-direction shift chains the rewrite creates (`(x >> a) >> b` →
+//! `x >> (a+b)`). The result is the balanced, schedulable DFG of Fig. 8;
+//! barrier scheduling and merging happen later, at kernel generation.
+//!
+//! OR is *not* rewritten: `(A >> n) | B ≠ ((A | (B << n)) >> n)` near
+//! stream boundaries, so the identity only holds for the unbounded streams
+//! of the paper's algebra, not for stored finite ones.
+
+use bitgen_ir::{DefUse, Op, Program, Stmt, StreamId};
+use std::collections::HashMap;
+
+/// What the rebalancing pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RebalanceStats {
+    /// Operand rewrites applied (`(A>>n)&B` → `(A&(B<<n))>>n` and the
+    /// mirrored retreat form).
+    pub rewrites: usize,
+    /// Same-direction shift pairs merged into one instruction.
+    pub merges: usize,
+    /// Fixpoint iterations taken.
+    pub iterations: usize,
+}
+
+/// Iteration cap; real programs converge in a handful of passes.
+const MAX_ITERATIONS: usize = 32;
+
+/// Applies shift rebalancing to `program` in place.
+///
+/// # Examples
+///
+/// ```
+/// use bitgen_regex::parse;
+/// use bitgen_ir::lower;
+/// use bitgen_passes::rebalance;
+///
+/// let mut prog = lower(&parse("abb").unwrap());
+/// let stats = rebalance(&mut prog);
+/// assert!(stats.rewrites >= 2); // the Fig. 8 example
+/// ```
+pub fn rebalance(program: &mut Program) -> RebalanceStats {
+    let mut stats = RebalanceStats::default();
+    for _ in 0..MAX_ITERATIONS {
+        stats.iterations += 1;
+        let du = DefUse::of(program);
+        let mut changed = false;
+        let mut fresh = Fresh { program_next: program.num_streams() };
+        let mut stmts = std::mem::take(program.stmts_mut());
+        rewrite_stmts(&mut stmts, &du, &mut fresh, &mut stats, &mut changed);
+        *program.stmts_mut() = stmts;
+        while program.num_streams() < fresh.program_next {
+            program.fresh_stream();
+        }
+        if !changed {
+            break;
+        }
+    }
+    stats
+}
+
+struct Fresh {
+    program_next: u32,
+}
+
+impl Fresh {
+    fn next(&mut self) -> StreamId {
+        let id = StreamId(self.program_next);
+        self.program_next += 1;
+        id
+    }
+}
+
+fn rewrite_stmts(
+    stmts: &mut Vec<Stmt>,
+    du: &DefUse,
+    fresh: &mut Fresh,
+    stats: &mut RebalanceStats,
+    changed: &mut bool,
+) {
+    // Transform each maximal run of plain instructions, recursing into
+    // `if` bodies. `while` bodies are left untouched: a rewrite there adds
+    // one shift *per trip* on the critical path, and the loop-carried
+    // dependency prevents the added shift from ever sharing a barrier —
+    // rebalancing only pays off on straight-line concatenation chains.
+    let old = std::mem::take(stmts);
+    let mut run: Vec<Op> = Vec::new();
+    for stmt in old {
+        match stmt {
+            Stmt::Op(op) => run.push(op),
+            mut ctl => {
+                flush_run(&mut run, stmts, du, fresh, stats, changed);
+                if let Stmt::If { body, .. } = &mut ctl {
+                    rewrite_stmts(body, du, fresh, stats, changed);
+                }
+                stmts.push(ctl);
+            }
+        }
+    }
+    flush_run(&mut run, stmts, du, fresh, stats, changed);
+}
+
+fn flush_run(
+    run: &mut Vec<Op>,
+    out: &mut Vec<Stmt>,
+    du: &DefUse,
+    fresh: &mut Fresh,
+    stats: &mut RebalanceStats,
+    changed: &mut bool,
+) {
+    if run.is_empty() {
+        return;
+    }
+    let mut block = std::mem::take(run);
+    if rewrite_block(&mut block, du, fresh, stats) {
+        *changed = true;
+    }
+    if merge_shifts(&mut block, du, stats) {
+        *changed = true;
+    }
+    out.extend(block.into_iter().map(Stmt::Op));
+}
+
+/// One rewriting sweep over a straight-line block. Returns `true` if any
+/// rewrite fired.
+fn rewrite_block(block: &mut Vec<Op>, du: &DefUse, fresh: &mut Fresh, stats: &mut RebalanceStats) -> bool {
+    let mut changed = false;
+    loop {
+        let def_pos = block_defs(block);
+        let depth = block_depths(block, &def_pos);
+        let mut fired = false;
+        for i in 0..block.len() {
+            if let Some(rw) = find_rewrite(block, i, du, &def_pos, &depth) {
+                apply_rewrite(block, rw, fresh);
+                stats.rewrites += 1;
+                changed = true;
+                fired = true;
+                // Positions shifted; rebuild the maps before continuing.
+                break;
+            }
+        }
+        if !fired {
+            return changed;
+        }
+    }
+}
+
+/// A planned rewrite of the AND at `and_pos` whose operand `shift_pos`
+/// (an `Advance`) is pushed below the AND.
+struct Rewrite {
+    and_pos: usize,
+    shift_pos: usize,
+    /// Source of the shift (the paper's `A`).
+    x: StreamId,
+    /// The other AND operand (the paper's `B`).
+    b: StreamId,
+    amount: u32,
+    dst: StreamId,
+}
+
+fn find_rewrite(
+    block: &[Op],
+    i: usize,
+    du: &DefUse,
+    def_pos: &HashMap<StreamId, usize>,
+    depth: &[usize],
+) -> Option<Rewrite> {
+    let Op::And { dst, a, b } = block[i] else { return None };
+    // Try each operand as the shifted one; prefer the deeper.
+    let mut candidates: Vec<(StreamId, StreamId)> = vec![(a, b), (b, a)];
+    candidates.sort_by_key(|&(sh, _)| {
+        std::cmp::Reverse(def_pos.get(&sh).map_or(0, |&p| depth[p]))
+    });
+    for (sh_operand, other) in candidates {
+        let Some(&j) = def_pos.get(&sh_operand) else { continue };
+        if j >= i {
+            continue;
+        }
+        let Op::Advance { src: x, amount, dst: sdst } = block[j] else { continue };
+        debug_assert_eq!(sdst, sh_operand);
+        // Only single-def single-use temporaries may be folded away.
+        if !du.is_linear_temp(sh_operand) {
+            continue;
+        }
+        // Loop-carried or multiply-defined variables cannot participate:
+        // the rewrite reorders their reads.
+        if du.def_count(x) != 1 || du.def_count(other) != 1 {
+            continue;
+        }
+        if sh_operand == other || x == other {
+            continue;
+        }
+        // The paper's criterion: move the shift when its source is at
+        // least as deep as the other operand (ties rewrite, as in Fig. 8).
+        let depth_x = var_depth(x, def_pos, depth);
+        let depth_b = var_depth(other, def_pos, depth);
+        if depth_x < depth_b {
+            continue;
+        }
+        return Some(Rewrite { and_pos: i, shift_pos: j, x, b: other, amount, dst });
+    }
+    None
+}
+
+fn apply_rewrite(block: &mut Vec<Op>, rw: Rewrite, fresh: &mut Fresh) {
+    // Replace `sh = x >> n; ...; dst = sh & b` with
+    // `...; t = b << n; u = x & t; dst = u >> n`.
+    let t = fresh.next();
+    let u = fresh.next();
+    let seq = [
+        Op::Retreat { dst: t, src: rw.b, amount: rw.amount },
+        Op::And { dst: u, a: rw.x, b: t },
+        Op::Advance { dst: rw.dst, src: u, amount: rw.amount },
+    ];
+    block.splice(rw.and_pos..rw.and_pos + 1, seq);
+    block.remove(rw.shift_pos);
+}
+
+/// Merges `dst = (x >> a) >> b` into `dst = x >> (a+b)` (and the retreat
+/// twin) when the inner result is a linear temporary.
+fn merge_shifts(block: &mut Vec<Op>, du: &DefUse, stats: &mut RebalanceStats) -> bool {
+    let mut changed = false;
+    loop {
+        let def_pos = block_defs(block);
+        let mut fired = false;
+        for i in 0..block.len() {
+            let (inner_id, outer_amount, advance) = match block[i] {
+                Op::Advance { src, amount, .. } => (src, amount, true),
+                Op::Retreat { src, amount, .. } => (src, amount, false),
+                _ => continue,
+            };
+            let Some(&j) = def_pos.get(&inner_id) else { continue };
+            if j >= i || !du.is_linear_temp(inner_id) {
+                continue;
+            }
+            let merged = match (&block[j], advance) {
+                (&Op::Advance { src, amount, .. }, true) => {
+                    Op::Advance { dst: block[i].dst(), src, amount: amount + outer_amount }
+                }
+                (&Op::Retreat { src, amount, .. }, false) => {
+                    Op::Retreat { dst: block[i].dst(), src, amount: amount + outer_amount }
+                }
+                _ => continue,
+            };
+            block[i] = merged;
+            block.remove(j);
+            stats.merges += 1;
+            changed = true;
+            fired = true;
+            break;
+        }
+        if !fired {
+            return changed;
+        }
+    }
+}
+
+/// Position of the defining instruction of each variable defined in the
+/// block (last definition wins; multi-def variables are filtered by the
+/// callers through [`DefUse`]).
+fn block_defs(block: &[Op]) -> HashMap<StreamId, usize> {
+    let mut m = HashMap::new();
+    for (i, op) in block.iter().enumerate() {
+        m.insert(op.dst(), i);
+    }
+    m
+}
+
+/// Topological depth of each instruction: `1 + max(depth of in-block
+/// source definitions)`; sources defined outside the block count 0.
+fn block_depths(block: &[Op], def_pos: &HashMap<StreamId, usize>) -> Vec<usize> {
+    let mut depth = vec![0usize; block.len()];
+    for (i, op) in block.iter().enumerate() {
+        let mut d = 0;
+        for s in op.sources() {
+            if let Some(&j) = def_pos.get(&s) {
+                if j < i {
+                    d = d.max(depth[j] + 1);
+                }
+            }
+        }
+        depth[i] = d;
+    }
+    depth
+}
+
+fn var_depth(v: StreamId, def_pos: &HashMap<StreamId, usize>, depth: &[usize]) -> usize {
+    def_pos.get(&v).map_or(0, |&p| depth[p] + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitgen_bitstream::Basis;
+    use bitgen_ir::{interpret, lower, ProgramBuilder};
+    use bitgen_regex::{parse, ByteSet};
+
+    /// Rebalancing must never change semantics.
+    fn assert_preserves(pattern: &str, input: &[u8]) {
+        let prog = lower(&parse(pattern).unwrap());
+        let mut balanced = prog.clone();
+        rebalance(&mut balanced);
+        let basis = Basis::transpose(input);
+        let before = interpret(&prog, &basis);
+        let after = interpret(&balanced, &basis);
+        for (x, y) in before.outputs.iter().zip(&after.outputs) {
+            assert_eq!(x.positions(), y.positions(), "pattern {pattern:?}");
+        }
+    }
+
+    #[test]
+    fn figure8_abb() {
+        // /abb/ is the paper's running example: both ANDs get rewritten and
+        // the trailing shifts merge, leaving retreats on the b-classes.
+        let mut prog = lower(&parse("abb").unwrap());
+        let stats = rebalance(&mut prog);
+        assert!(stats.rewrites >= 2, "stats: {stats:?}");
+        assert!(stats.merges >= 1, "stats: {stats:?}");
+        // After rebalancing some shift must apply directly to a class
+        // stream (the `B3 << 2` of Fig. 9).
+        let mut has_deep_retreat = false;
+        prog.for_each_op(&mut |op| {
+            if let Op::Retreat { amount, .. } = op {
+                if *amount >= 2 {
+                    has_deep_retreat = true;
+                }
+            }
+        });
+        assert!(has_deep_retreat, "expected a merged retreat:\n{}", bitgen_ir::pretty(&prog));
+    }
+
+    #[test]
+    fn semantics_preserved() {
+        for (pat, input) in [
+            ("abb", &b"xabbabb_ab"[..]),
+            ("abcd", b"abcdabcd"),
+            ("a(bc)*d", b"adabcdabcbcd"),
+            ("(ab|ba)+", b"abbaab"),
+            ("a{3}b", b"aaabaaab"),
+            ("[a-c][b-d][c-e]", b"abcbcdcde"),
+        ] {
+            assert_preserves(pat, input);
+        }
+    }
+
+    #[test]
+    fn match_at_stream_edges_preserved() {
+        // The AND identity must hold at position 0 and the final byte.
+        assert_preserves("abb", b"abb");
+        assert_preserves("abcde", b"abcde");
+    }
+
+    #[test]
+    fn converges() {
+        let mut prog = lower(&parse("abcdefgh").unwrap());
+        let stats = rebalance(&mut prog);
+        assert!(stats.iterations < MAX_ITERATIONS, "did not converge: {stats:?}");
+        // Re-running is a no-op.
+        let again = rebalance(&mut prog);
+        assert_eq!(again.rewrites, 0);
+        assert_eq!(again.merges, 0);
+    }
+
+    #[test]
+    fn loop_carried_vars_untouched() {
+        // Accumulators inside while loops are multi-def and must not be
+        // rewritten; semantics over loops stay intact.
+        assert_preserves("a(bc)*d", b"abcbcbcbcd");
+        assert_preserves("x(ab)*y", b"xy xaby xababy");
+    }
+
+    #[test]
+    fn or_is_never_rewritten() {
+        let mut b = ProgramBuilder::new();
+        let x = b.match_cc(ByteSet::singleton(b'x'));
+        let y = b.match_cc(ByteSet::singleton(b'y'));
+        let sh = b.advance(x, 1);
+        let o = b.or(sh, y);
+        b.mark_output(o);
+        let mut prog = b.finish();
+        let before = prog.clone();
+        let stats = rebalance(&mut prog);
+        assert_eq!(stats.rewrites, 0);
+        assert_eq!(prog, before);
+    }
+
+    #[test]
+    fn shift_on_shallow_operand_kept() {
+        // (x >> 1) & deep: the shift is already on the shallow operand;
+        // moving it to the deeper one would lengthen the chain.
+        let mut b = ProgramBuilder::new();
+        let x = b.match_cc(ByteSet::singleton(b'x'));
+        let y = b.match_cc(ByteSet::singleton(b'y'));
+        let d1 = b.and(y, y);
+        let d2 = b.and(d1, y);
+        let sh = b.advance(x, 1);
+        let a = b.and(sh, d2);
+        b.mark_output(a);
+        let mut prog = b.finish();
+        let stats = rebalance(&mut prog);
+        assert_eq!(stats.rewrites, 0, "{}", bitgen_ir::pretty(&prog));
+    }
+
+    #[test]
+    fn merge_only_same_direction() {
+        let mut b = ProgramBuilder::new();
+        let x = b.match_cc(ByteSet::singleton(b'x'));
+        let adv = b.advance(x, 2);
+        let ret = b.retreat(adv, 1);
+        b.mark_output(ret);
+        let mut prog = b.finish();
+        let stats = rebalance(&mut prog);
+        assert_eq!(stats.merges, 0, "advance+retreat must not merge");
+        // And semantics hold.
+        let basis = Basis::transpose(b"xxxx");
+        let r = interpret(&prog, &basis);
+        assert_eq!(r.outputs[0].positions(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,440 @@
+//! Zero Block Skipping (§6 of the paper).
+//!
+//! Intermediate bitstreams are mostly zero in practice (partial regex
+//! mismatches). Operations that *preserve zero* — AND, the shifts, and
+//! plain copies — propagate an all-zero block unchanged, so a run of such
+//! instructions can be skipped whenever its head value has no set bit in
+//! the current block.
+//!
+//! The pass finds, for every candidate head `v`, the maximal following run
+//! of instructions whose results are all zero-guaranteed given `v == 0`
+//! (the paper's *zero path*, generalised to a zero-derived set), and wraps
+//! the run in an `if (v)` guard. Where the paper validates a `goto` by
+//! rejecting ranges that define values used outside the path, this pass
+//! admits only zero-derived instructions into the range — the same
+//! criterion — and additionally pre-zeroes every range result that is live
+//! after the range, so a skipped range behaves exactly as if it had been
+//! executed on zeros. The `interval` parameter reproduces the paper's
+//! interval-based multi-guard insertion: inside a guarded range, additional
+//! guards are attempted every `interval` instructions.
+
+use bitgen_ir::{DefUse, Op, Program, Stmt, StreamId};
+use std::collections::HashSet;
+
+/// Configuration of the zero-block-skipping pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZbsConfig {
+    /// Distance (in zero-path instructions) between successive guard
+    /// attempts along one path — the paper's *interval size* (Fig. 14
+    /// sweeps 1, 2, 4, 8).
+    pub interval: usize,
+    /// Minimum number of skippable instructions for a guard to pay for its
+    /// block-wide reduction.
+    pub min_range: usize,
+}
+
+impl Default for ZbsConfig {
+    fn default() -> ZbsConfig {
+        // The paper's default interval size is 8.
+        ZbsConfig { interval: 8, min_range: 2 }
+    }
+}
+
+/// What the pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ZbsStats {
+    /// Guards inserted.
+    pub guards: usize,
+    /// Instructions now under some guard.
+    pub guarded_ops: usize,
+    /// Pre-zero initialisations added for range live-outs.
+    pub prezeros: usize,
+}
+
+/// Applies zero-block skipping to `program` in place.
+///
+/// # Examples
+///
+/// ```
+/// use bitgen_regex::parse;
+/// use bitgen_ir::lower;
+/// use bitgen_passes::{insert_zero_skips, ZbsConfig};
+///
+/// let mut prog = lower(&parse("abcdefgh").unwrap());
+/// let stats = insert_zero_skips(&mut prog, ZbsConfig::default());
+/// assert!(stats.guards >= 1);
+/// ```
+pub fn insert_zero_skips(program: &mut Program, config: ZbsConfig) -> ZbsStats {
+    let mut stats = ZbsStats::default();
+    let du = DefUse::of(program);
+    let mut stmts = std::mem::take(program.stmts_mut());
+    guard_stmts(&mut stmts, &config, &du, &mut stats);
+    *program.stmts_mut() = stmts;
+    stats
+}
+
+fn guard_stmts(stmts: &mut Vec<Stmt>, config: &ZbsConfig, du: &DefUse, stats: &mut ZbsStats) {
+    let old = std::mem::take(stmts);
+    let mut run: Vec<Op> = Vec::new();
+    for stmt in old {
+        match stmt {
+            Stmt::Op(op) => run.push(op),
+            mut ctl => {
+                flush(&mut run, stmts, config, du, stats);
+                match &mut ctl {
+                    Stmt::If { body, .. } | Stmt::While { body, .. } => {
+                        guard_stmts(body, config, du, stats);
+                    }
+                    Stmt::Op(_) => unreachable!("ops are buffered above"),
+                }
+                stmts.push(ctl);
+            }
+        }
+    }
+    flush(&mut run, stmts, config, du, stats);
+}
+
+fn flush(run: &mut Vec<Op>, out: &mut Vec<Stmt>, config: &ZbsConfig, du: &DefUse, stats: &mut ZbsStats) {
+    if run.is_empty() {
+        return;
+    }
+    let block = std::mem::take(run);
+    out.extend(guard_block(block, config, du, stats));
+}
+
+/// Zero-preservation: with `head == 0`, does `op` produce zero given that
+/// everything in `zeroset` is zero?
+fn preserves_zero(op: &Op, zeroset: &HashSet<StreamId>) -> bool {
+    match op {
+        // AND is zero whenever either operand is zero.
+        Op::And { a, b, .. } => zeroset.contains(a) || zeroset.contains(b),
+        // Shifts and copies of zero are zero.
+        Op::Advance { src, .. } | Op::Retreat { src, .. } | Op::Assign { src, .. } => {
+            zeroset.contains(src)
+        }
+        // OR/XOR/ADD of two zeros is zero (both must be derived).
+        Op::Or { a, b, .. } | Op::Xor { a, b, .. } | Op::Add { a, b, .. } => {
+            zeroset.contains(a) && zeroset.contains(b)
+        }
+        // NOT of zero is all-ones; constants and matches are independent.
+        Op::Not { .. } | Op::MatchCc { .. } | Op::Zero { .. } | Op::Ones { .. } => false,
+    }
+}
+
+/// A validated skippable range: the ops after a head instruction that may
+/// all be skipped when the head value is zero.
+struct ZeroRange {
+    /// Exclusive end index of the range (the range is `start..end`).
+    end: usize,
+    /// Variables in the range guaranteed zero when the head is zero.
+    zeroset: HashSet<StreamId>,
+}
+
+/// Finds the longest valid skippable range beginning right after
+/// `block[head_idx]`, per the paper's validation rule: an instruction may
+/// sit inside the skipped range even when it is *not* on the zero path,
+/// as long as its result is not used outside the range; every result that
+/// *is* used outside must be zero-derived from the head (and therefore
+/// zero when the guard skips).
+fn find_range(block: &[Op], head_idx: usize, du: &DefUse) -> Option<ZeroRange> {
+    let head = block[head_idx].dst();
+    let mut zeroset: HashSet<StreamId> = HashSet::new();
+    zeroset.insert(head);
+    // Grow phase: include zero-derived ops and single-def "bystander" ops.
+    let mut grown = head_idx + 1;
+    while grown < block.len() {
+        let op = &block[grown];
+        // Multi-def variables (loop accumulators) are excluded: skipping a
+        // redefinition must not clobber or expose their previous-trip
+        // value.
+        if du.def_count(op.dst()) != 1 {
+            break;
+        }
+        if preserves_zero(op, &zeroset) {
+            zeroset.insert(op.dst());
+        }
+        grown += 1;
+    }
+    // Shrink phase: find the longest prefix whose escaping definitions are
+    // all in the zeroset.
+    let start = head_idx + 1;
+    let mut end = grown;
+    while end > start {
+        let range = &block[start..end];
+        let valid = range.iter().all(|op| {
+            let d = op.dst();
+            if zeroset.contains(&d) {
+                return true;
+            }
+            let uses_inside: usize = range
+                .iter()
+                .map(|o| o.sources().iter().filter(|&&s| s == d).count())
+                .sum();
+            du.use_count(d) <= uses_inside
+        });
+        if valid {
+            return Some(ZeroRange { end, zeroset });
+        }
+        end -= 1;
+    }
+    None
+}
+
+fn guard_block(block: Vec<Op>, config: &ZbsConfig, du: &DefUse, stats: &mut ZbsStats) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    let n = block.len();
+    let mut i = 0;
+    while i < n {
+        let range = match find_range(&block, i, du) {
+            Some(r) if r.end - (i + 1) >= config.min_range => r,
+            _ => {
+                out.push(Stmt::Op(block[i].clone()));
+                i += 1;
+                continue;
+            }
+        };
+        let head = block[i].dst();
+        let j = range.end;
+        // Emit the head instruction, pre-zero the range's live-outs, then
+        // guard the range.
+        out.push(Stmt::Op(block[i].clone()));
+        let ops = &block[i + 1..j];
+        for op in ops {
+            let d = op.dst();
+            let uses_inside: usize = ops
+                .iter()
+                .map(|o| o.sources().iter().filter(|&&s| s == d).count())
+                .sum();
+            if du.use_count(d) > uses_inside {
+                out.push(Stmt::Op(Op::Zero { dst: d }));
+                stats.prezeros += 1;
+            }
+        }
+        let body = subdivide(ops.to_vec(), &range.zeroset, config, du, stats);
+        stats.guards += 1;
+        stats.guarded_ops += j - (i + 1);
+        out.push(Stmt::If { cond: head, body });
+        i = j;
+    }
+    out
+}
+
+/// Interval-based multi-guard insertion (§6): within an already-guarded
+/// range, insert a nested guard every `interval` instructions, conditioned
+/// on the most recent zero-path value.
+fn subdivide(
+    range: Vec<Op>,
+    zeroset: &HashSet<StreamId>,
+    config: &ZbsConfig,
+    du: &DefUse,
+    stats: &mut ZbsStats,
+) -> Vec<Stmt> {
+    if config.interval == 0 {
+        return range.into_iter().map(Stmt::Op).collect();
+    }
+    // "Every I instructions along a zero path": count only path nodes
+    // (zero-derived results), not bystanders.
+    let path_positions: Vec<usize> = range
+        .iter()
+        .enumerate()
+        .filter(|(_, op)| zeroset.contains(&op.dst()))
+        .map(|(i, _)| i)
+        .collect();
+    if path_positions.len() <= config.interval {
+        return range.into_iter().map(Stmt::Op).collect();
+    }
+    let split = path_positions[config.interval - 1] + 1;
+    let mut out: Vec<Stmt> = Vec::new();
+    let (first, rest) = range.split_at(split);
+    out.extend(first.iter().cloned().map(Stmt::Op));
+    let cond = range[split - 1].dst();
+    // Re-validate the tail as a range guarded by `cond`: rebuild the
+    // zero-derived set from the split point.
+    let mut inner_zero: HashSet<StreamId> = HashSet::new();
+    inner_zero.insert(cond);
+    let mut k = 0;
+    while k < rest.len() {
+        if preserves_zero(&rest[k], &inner_zero) {
+            inner_zero.insert(rest[k].dst());
+        }
+        k += 1;
+    }
+    // Shrink for validity (escaping defs must be zero-derived from cond).
+    let mut end = rest.len();
+    while end >= config.min_range {
+        let cand = &rest[..end];
+        let tail = &rest[end..];
+        let valid = cand.iter().all(|op| {
+            let d = op.dst();
+            if inner_zero.contains(&d) {
+                return true;
+            }
+            let inside: usize = cand
+                .iter()
+                .map(|o| o.sources().iter().filter(|&&s| s == d).count())
+                .sum();
+            let in_tail: usize = tail
+                .iter()
+                .map(|o| o.sources().iter().filter(|&&s| s == d).count())
+                .sum();
+            // Uses in the tail are still inside the *outer* guard but
+            // outside this nested one.
+            du.use_count(d) <= inside && in_tail == 0
+        });
+        if valid {
+            break;
+        }
+        end -= 1;
+    }
+    if end < config.min_range {
+        out.extend(rest.iter().cloned().map(Stmt::Op));
+        return out;
+    }
+    let (inner, tail) = rest.split_at(end);
+    // Results of the nested body that are read in the tail or beyond must
+    // read as zero when the nested guard skips — pre-zero exactly those
+    // live-outs (pre-zeroing everything would cost as much as the skip
+    // saves).
+    for op in inner {
+        let d = op.dst();
+        if !inner_zero.contains(&d) {
+            continue;
+        }
+        let uses_inside: usize = inner
+            .iter()
+            .map(|o| o.sources().iter().filter(|&&s| s == d).count())
+            .sum();
+        if du.use_count(d) > uses_inside {
+            out.push(Stmt::Op(Op::Zero { dst: d }));
+            stats.prezeros += 1;
+        }
+    }
+    stats.guards += 1;
+    let body = subdivide(inner.to_vec(), &inner_zero, config, du, stats);
+    out.push(Stmt::If { cond, body });
+    out.extend(tail.iter().cloned().map(Stmt::Op));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitgen_bitstream::Basis;
+    use bitgen_ir::{interpret, lower, pretty};
+    use bitgen_regex::parse;
+
+    fn zbs(pattern: &str, interval: usize) -> Program {
+        let mut prog = lower(&parse(pattern).unwrap());
+        insert_zero_skips(&mut prog, ZbsConfig { interval, min_range: 2 });
+        prog
+    }
+
+    fn assert_preserves(pattern: &str, input: &[u8], interval: usize) {
+        let prog = lower(&parse(pattern).unwrap());
+        let guarded = zbs(pattern, interval);
+        let basis = Basis::transpose(input);
+        let before = interpret(&prog, &basis);
+        let after = interpret(&guarded, &basis);
+        for (x, y) in before.outputs.iter().zip(&after.outputs) {
+            assert_eq!(
+                x.positions(),
+                y.positions(),
+                "pattern {pattern:?} interval {interval}\n{}",
+                pretty(&guarded)
+            );
+        }
+    }
+
+    #[test]
+    fn guards_inserted_on_literal_chain() {
+        let prog = zbs("abcdefgh", 8);
+        let stats_prog = {
+            let mut p = lower(&parse("abcdefgh").unwrap());
+            insert_zero_skips(&mut p, ZbsConfig::default())
+        };
+        assert!(stats_prog.guards >= 1, "{}", pretty(&prog));
+        let s = bitgen_ir::ProgramStats::of(&prog);
+        assert!(s.r#if >= 1);
+    }
+
+    #[test]
+    fn semantics_preserved_across_intervals() {
+        for interval in [1, 2, 4, 8] {
+            for (pat, input) in [
+                ("abcdefgh", &b"xxabcdefghxx"[..]),
+                ("abcd", b"no match here"),
+                ("a(bc)*d", b"abcbcd none ad"),
+                ("(ab|cd)ef", b"abef cdef xxef"),
+                ("a{4}", b"aaaaaa"),
+            ] {
+                assert_preserves(pat, input, interval);
+            }
+        }
+    }
+
+    #[test]
+    fn skipped_ranges_behave_as_zero() {
+        // Input with no 'a' at all: every guard fires (skips), and the
+        // output must still be exactly empty, not stale garbage.
+        assert_preserves("abcdefgh", b"zzzzzzzzzzzz", 8);
+        let prog = zbs("abcdefgh", 8);
+        let r = interpret(&prog, &Basis::transpose(b"zzzzzzzzzzzz"));
+        assert!(r.outputs[0].positions().is_empty());
+    }
+
+    #[test]
+    fn interval_one_nests_guards() {
+        let mut p = lower(&parse("abcdefghij").unwrap());
+        let fine = insert_zero_skips(&mut p, ZbsConfig { interval: 1, min_range: 2 });
+        let mut q = lower(&parse("abcdefghij").unwrap());
+        let coarse = insert_zero_skips(&mut q, ZbsConfig { interval: 8, min_range: 2 });
+        assert!(
+            fine.guards > coarse.guards,
+            "interval 1 should insert more guards: {fine:?} vs {coarse:?}"
+        );
+    }
+
+    #[test]
+    fn live_outs_are_prezeroed() {
+        let mut p = lower(&parse("abcd|x").unwrap());
+        let stats = insert_zero_skips(&mut p, ZbsConfig::default());
+        if stats.guards > 0 {
+            assert!(stats.prezeros > 0, "guarded values used later need pre-zeroing");
+        }
+        assert_preserves("abcd|x", b"qqqq x abcd", 8);
+    }
+
+    #[test]
+    fn not_breaks_zero_paths() {
+        // ~0 = all ones: NOT must never sit inside a guarded range.
+        assert_preserves("a(bc)*d", b"zzzzz", 4);
+        let prog = zbs("a(bc)*d", 4);
+        fn check(stmts: &[Stmt]) {
+            for s in stmts {
+                match s {
+                    Stmt::If { body, .. } => {
+                        for b in body {
+                            if let Stmt::Op(op) = b {
+                                assert!(
+                                    !matches!(op, Op::Not { .. } | Op::Ones { .. }),
+                                    "non-zero-preserving op inside guard"
+                                );
+                            }
+                        }
+                        check(body);
+                    }
+                    Stmt::While { body, .. } => check(body),
+                    Stmt::Op(_) => {}
+                }
+            }
+        }
+        check(prog.stmts());
+    }
+
+    #[test]
+    fn guards_inside_while_bodies() {
+        // The Kleene loop body contains shift/AND chains: guards may be
+        // inserted there too, and the loop must still terminate.
+        assert_preserves("a(bcde)*f", b"abcdebcdef", 2);
+    }
+}

@@ -1,0 +1,442 @@
+//! The regex abstract syntax tree.
+//!
+//! Mirrors the grammar of Listing 1 in the paper: character classes,
+//! concatenation, alternation, Kleene star, and the repetition operators
+//! `+`, `?`, and `{n,m}`.
+
+use crate::class::ByteSet;
+use std::fmt;
+
+/// A parsed regular expression.
+///
+/// Every leaf is a [`ByteSet`] character class; the interior nodes are the
+/// combinators of Listing 1. `R+` and `R?` are kept as distinct nodes (rather
+/// than being desugared at parse time) so that lowering can pick the most
+/// direct bitstream construction for each.
+///
+/// # Examples
+///
+/// ```
+/// use bitgen_regex::{parse, Ast};
+///
+/// let ast = parse(r"a(bc)*d")?;
+/// assert_eq!(ast.class_count(), 4);
+/// assert!(!ast.is_nullable());
+/// # Ok::<(), bitgen_regex::ParseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Default)]
+pub enum Ast {
+    /// The empty regex (epsilon): matches the empty string.
+    #[default]
+    Empty,
+    /// A single character class matching one byte.
+    Class(ByteSet),
+    /// Concatenation `R1 R2 ... Rn`, in order.
+    Concat(Vec<Ast>),
+    /// Alternation `R1 | R2 | ... | Rn`.
+    Alt(Vec<Ast>),
+    /// Kleene star `R*`: zero or more repetitions.
+    Star(Box<Ast>),
+    /// `R+`: one or more repetitions.
+    Plus(Box<Ast>),
+    /// `R?`: zero or one repetition.
+    Opt(Box<Ast>),
+    /// Bounded repetition `R{min,max}`; `max == None` means unbounded
+    /// (`R{min,}`).
+    Repeat {
+        /// The repeated subexpression.
+        node: Box<Ast>,
+        /// Minimum number of repetitions.
+        min: u32,
+        /// Maximum number of repetitions, or `None` for unbounded.
+        max: Option<u32>,
+    },
+}
+
+impl Ast {
+    /// Builds a regex matching the given byte string literally.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bitgen_regex::Ast;
+    ///
+    /// let re = Ast::literal(b"cat");
+    /// assert_eq!(re.class_count(), 3);
+    /// assert_eq!(re.min_len(), 3);
+    /// ```
+    pub fn literal(bytes: &[u8]) -> Ast {
+        match bytes.len() {
+            0 => Ast::Empty,
+            1 => Ast::Class(ByteSet::singleton(bytes[0])),
+            _ => Ast::Concat(bytes.iter().map(|&b| Ast::Class(ByteSet::singleton(b))).collect()),
+        }
+    }
+
+    /// Returns `true` if the regex matches the empty string.
+    pub fn is_nullable(&self) -> bool {
+        match self {
+            Ast::Empty => true,
+            Ast::Class(_) => false,
+            Ast::Concat(parts) => parts.iter().all(Ast::is_nullable),
+            Ast::Alt(parts) => parts.iter().any(Ast::is_nullable),
+            Ast::Star(_) | Ast::Opt(_) => true,
+            Ast::Plus(inner) => inner.is_nullable(),
+            Ast::Repeat { node, min, .. } => *min == 0 || node.is_nullable(),
+        }
+    }
+
+    /// Minimum number of bytes a match can span.
+    pub fn min_len(&self) -> usize {
+        match self {
+            Ast::Empty => 0,
+            Ast::Class(_) => 1,
+            Ast::Concat(parts) => parts.iter().map(Ast::min_len).sum(),
+            Ast::Alt(parts) => parts.iter().map(Ast::min_len).min().unwrap_or(0),
+            Ast::Star(_) | Ast::Opt(_) => 0,
+            Ast::Plus(inner) => inner.min_len(),
+            Ast::Repeat { node, min, .. } => node.min_len() * *min as usize,
+        }
+    }
+
+    /// Maximum number of bytes a match can span, or `None` if unbounded.
+    pub fn max_len(&self) -> Option<usize> {
+        match self {
+            Ast::Empty => Some(0),
+            Ast::Class(_) => Some(1),
+            Ast::Concat(parts) => {
+                parts.iter().map(Ast::max_len).try_fold(0usize, |acc, m| Some(acc + m?))
+            }
+            Ast::Alt(parts) => {
+                parts.iter().map(Ast::max_len).try_fold(0usize, |acc, m| Some(acc.max(m?)))
+            }
+            Ast::Star(_) | Ast::Plus(_) => None,
+            Ast::Opt(inner) => inner.max_len(),
+            Ast::Repeat { node, max, .. } => {
+                let m = (*max)?;
+                Some(node.max_len()? * m as usize)
+            }
+        }
+    }
+
+    /// Number of character-class leaves in the tree.
+    ///
+    /// This is the "character length" used by the regex grouping strategy
+    /// (§7 of the paper) to balance work across CTAs.
+    pub fn class_count(&self) -> usize {
+        match self {
+            Ast::Empty => 0,
+            Ast::Class(_) => 1,
+            Ast::Concat(parts) | Ast::Alt(parts) => parts.iter().map(Ast::class_count).sum(),
+            Ast::Star(inner) | Ast::Plus(inner) | Ast::Opt(inner) => inner.class_count(),
+            Ast::Repeat { node, .. } => node.class_count(),
+        }
+    }
+
+    /// Returns `true` if the regex contains an unbounded repetition
+    /// (`*`, `+`, or `{n,}`), which lowers to a `while` loop.
+    pub fn has_unbounded_repeat(&self) -> bool {
+        match self {
+            Ast::Empty | Ast::Class(_) => false,
+            Ast::Concat(parts) | Ast::Alt(parts) => {
+                parts.iter().any(Ast::has_unbounded_repeat)
+            }
+            Ast::Star(_) | Ast::Plus(_) => true,
+            Ast::Opt(inner) => inner.has_unbounded_repeat(),
+            Ast::Repeat { node, max, .. } => max.is_none() || node.has_unbounded_repeat(),
+        }
+    }
+
+    /// If the whole regex is a plain literal byte string, returns its bytes.
+    ///
+    /// Used by the hybrid (Hyperscan-like) baseline to route pure literals
+    /// to the Aho–Corasick matcher.
+    pub fn as_literal(&self) -> Option<Vec<u8>> {
+        match self {
+            Ast::Empty => Some(Vec::new()),
+            Ast::Class(set) => set.as_singleton().map(|b| vec![b]),
+            Ast::Concat(parts) => {
+                let mut out = Vec::with_capacity(parts.len());
+                for p in parts {
+                    out.extend(p.as_literal()?);
+                }
+                Some(out)
+            }
+            _ => None,
+        }
+    }
+
+    /// Visits every character-class leaf, left to right.
+    pub fn for_each_class<F: FnMut(&ByteSet)>(&self, f: &mut F) {
+        match self {
+            Ast::Empty => {}
+            Ast::Class(set) => f(set),
+            Ast::Concat(parts) | Ast::Alt(parts) => {
+                for p in parts {
+                    p.for_each_class(f);
+                }
+            }
+            Ast::Star(inner) | Ast::Plus(inner) | Ast::Opt(inner) => inner.for_each_class(f),
+            Ast::Repeat { node, .. } => node.for_each_class(f),
+        }
+    }
+}
+
+
+impl fmt::Display for Ast {
+    /// Prints the regex in a syntax accepted by [`crate::parse`], so that
+    /// `parse(&ast.to_string())` round-trips.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_ast(self, f, Prec::Alt)
+    }
+}
+
+/// Precedence levels for printing with minimal parentheses.
+#[derive(PartialEq, Eq, PartialOrd, Ord, Clone, Copy)]
+enum Prec {
+    Alt,
+    Concat,
+    Repeat,
+}
+
+fn write_ast(ast: &Ast, f: &mut fmt::Formatter<'_>, prec: Prec) -> fmt::Result {
+    match ast {
+        Ast::Empty => {
+            if prec > Prec::Alt {
+                write!(f, "(?:)")
+            } else {
+                Ok(())
+            }
+        }
+        Ast::Class(set) => write_class(set, f),
+        Ast::Concat(parts) => {
+            let paren = prec > Prec::Concat;
+            if paren {
+                write!(f, "(?:")?;
+            }
+            for p in parts {
+                write_ast(p, f, Prec::Repeat)?;
+            }
+            if paren {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Ast::Alt(parts) => {
+            let paren = prec > Prec::Alt;
+            if paren {
+                write!(f, "(?:")?;
+            }
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "|")?;
+                }
+                write_ast(p, f, Prec::Concat)?;
+            }
+            if paren {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Ast::Star(inner) => {
+            write_repeat_operand(inner, f)?;
+            write!(f, "*")
+        }
+        Ast::Plus(inner) => {
+            write_repeat_operand(inner, f)?;
+            write!(f, "+")
+        }
+        Ast::Opt(inner) => {
+            write_repeat_operand(inner, f)?;
+            write!(f, "?")
+        }
+        Ast::Repeat { node, min, max } => {
+            write_repeat_operand(node, f)?;
+            match max {
+                Some(m) if *m == *min => write!(f, "{{{}}}", min),
+                Some(m) => write!(f, "{{{},{}}}", min, m),
+                None => write!(f, "{{{},}}", min),
+            }
+        }
+    }
+}
+
+/// Prints a repetition operand, grouping it unless it is a single class.
+fn write_repeat_operand(ast: &Ast, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if matches!(ast, Ast::Class(_)) {
+        write_ast(ast, f, Prec::Repeat)
+    } else {
+        write!(f, "(?:")?;
+        write_ast(ast, f, Prec::Alt)?;
+        write!(f, ")")
+    }
+}
+
+fn write_class(set: &ByteSet, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if set.is_full() {
+        return write!(f, "[\\x00-\\xff]");
+    }
+    if *set == ByteSet::dot() {
+        return write!(f, ".");
+    }
+    if let Some(b) = set.as_singleton() {
+        return write_escaped_byte(b, f, EscapeCtx::Outside);
+    }
+    // General class. Use negation when that is shorter.
+    let ranges = set.ranges();
+    let comp = set.complement();
+    let comp_ranges = comp.ranges();
+    if comp_ranges.len() < ranges.len() {
+        write!(f, "[^")?;
+        write_ranges(&comp_ranges, f)?;
+    } else {
+        write!(f, "[")?;
+        write_ranges(&ranges, f)?;
+    }
+    write!(f, "]")
+}
+
+fn write_ranges(ranges: &[(u8, u8)], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    for &(lo, hi) in ranges {
+        write_escaped_byte(lo, f, EscapeCtx::Inside)?;
+        if hi > lo {
+            if hi > lo + 1 {
+                write!(f, "-")?;
+            }
+            write_escaped_byte(hi, f, EscapeCtx::Inside)?;
+        }
+    }
+    Ok(())
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum EscapeCtx {
+    /// Top-level regex position.
+    Outside,
+    /// Inside a `[...]` class.
+    Inside,
+}
+
+fn write_escaped_byte(b: u8, f: &mut fmt::Formatter<'_>, ctx: EscapeCtx) -> fmt::Result {
+    let meta_outside = br"\.+*?()|[]{}^$";
+    let meta_inside = br"\]^-";
+    let metas: &[u8] = match ctx {
+        EscapeCtx::Outside => meta_outside,
+        EscapeCtx::Inside => meta_inside,
+    };
+    match b {
+        b'\n' => write!(f, "\\n"),
+        b'\r' => write!(f, "\\r"),
+        b'\t' => write!(f, "\\t"),
+        _ if metas.contains(&b) => write!(f, "\\{}", b as char),
+        _ if b.is_ascii_graphic() || b == b' ' => write!(f, "{}", b as char),
+        _ => write!(f, "\\x{:02x}", b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class(b: u8) -> Ast {
+        Ast::Class(ByteSet::singleton(b))
+    }
+
+    #[test]
+    fn literal_constructor() {
+        assert_eq!(Ast::literal(b""), Ast::Empty);
+        assert_eq!(Ast::literal(b"a"), class(b'a'));
+        assert_eq!(Ast::literal(b"ab"), Ast::Concat(vec![class(b'a'), class(b'b')]));
+    }
+
+    #[test]
+    fn nullability() {
+        assert!(Ast::Empty.is_nullable());
+        assert!(!class(b'a').is_nullable());
+        assert!(Ast::Star(Box::new(class(b'a'))).is_nullable());
+        assert!(Ast::Opt(Box::new(class(b'a'))).is_nullable());
+        assert!(!Ast::Plus(Box::new(class(b'a'))).is_nullable());
+        assert!(Ast::Repeat { node: Box::new(class(b'a')), min: 0, max: Some(3) }.is_nullable());
+        assert!(!Ast::Repeat { node: Box::new(class(b'a')), min: 2, max: Some(3) }.is_nullable());
+        assert!(Ast::Alt(vec![class(b'a'), Ast::Empty]).is_nullable());
+        assert!(!Ast::Concat(vec![class(b'a'), Ast::Empty]).is_nullable());
+    }
+
+    #[test]
+    fn length_bounds() {
+        let re = Ast::Concat(vec![
+            class(b'a'),
+            Ast::Repeat { node: Box::new(class(b'b')), min: 2, max: Some(5) },
+            Ast::Opt(Box::new(class(b'c'))),
+        ]);
+        assert_eq!(re.min_len(), 3);
+        assert_eq!(re.max_len(), Some(7));
+        let unbounded = Ast::Concat(vec![class(b'a'), Ast::Star(Box::new(class(b'b')))]);
+        assert_eq!(unbounded.min_len(), 1);
+        assert_eq!(unbounded.max_len(), None);
+    }
+
+    #[test]
+    fn alt_length_bounds() {
+        let re = Ast::Alt(vec![Ast::literal(b"ab"), Ast::literal(b"wxyz")]);
+        assert_eq!(re.min_len(), 2);
+        assert_eq!(re.max_len(), Some(4));
+    }
+
+    #[test]
+    fn class_count_and_unbounded() {
+        let re = Ast::Concat(vec![
+            class(b'a'),
+            Ast::Star(Box::new(Ast::Concat(vec![class(b'b'), class(b'c')]))),
+            class(b'd'),
+        ]);
+        assert_eq!(re.class_count(), 4);
+        assert!(re.has_unbounded_repeat());
+        assert!(!Ast::literal(b"abc").has_unbounded_repeat());
+        let bounded = Ast::Repeat { node: Box::new(class(b'a')), min: 1, max: Some(4) };
+        assert!(!bounded.has_unbounded_repeat());
+        let open = Ast::Repeat { node: Box::new(class(b'a')), min: 2, max: None };
+        assert!(open.has_unbounded_repeat());
+    }
+
+    #[test]
+    fn as_literal() {
+        assert_eq!(Ast::literal(b"cat").as_literal(), Some(b"cat".to_vec()));
+        assert_eq!(Ast::Star(Box::new(class(b'a'))).as_literal(), None);
+        assert_eq!(Ast::Class(ByteSet::range(b'a', b'b')).as_literal(), None);
+        assert_eq!(Ast::Empty.as_literal(), Some(Vec::new()));
+    }
+
+    #[test]
+    fn display_simple() {
+        assert_eq!(Ast::literal(b"cat").to_string(), "cat");
+        assert_eq!(Ast::Star(Box::new(class(b'a'))).to_string(), "a*");
+        let grouped = Ast::Star(Box::new(Ast::literal(b"bc")));
+        assert_eq!(grouped.to_string(), "(?:bc)*");
+    }
+
+    #[test]
+    fn display_escapes_metacharacters() {
+        assert_eq!(Ast::literal(b"a.b").to_string(), r"a\.b");
+        assert_eq!(Ast::literal(b"x{2}").to_string(), r"x\{2\}");
+        assert_eq!(class(b'\n').to_string(), r"\n");
+        assert_eq!(class(0x01).to_string(), r"\x01");
+    }
+
+    #[test]
+    fn display_classes() {
+        assert_eq!(Ast::Class(ByteSet::dot()).to_string(), ".");
+        assert_eq!(Ast::Class(ByteSet::range(b'a', b'c')).to_string(), "[a-c]");
+        let two = Ast::Class(ByteSet::from_bytes([b'a', b'b']));
+        assert_eq!(two.to_string(), "[ab]");
+    }
+
+    #[test]
+    fn for_each_class_order() {
+        let re = Ast::Concat(vec![class(b'a'), Ast::Alt(vec![class(b'b'), class(b'c')])]);
+        let mut seen = Vec::new();
+        re.for_each_class(&mut |s| seen.push(s.as_singleton().unwrap()));
+        assert_eq!(seen, vec![b'a', b'b', b'c']);
+    }
+}

@@ -1,0 +1,325 @@
+//! Language-preserving AST simplification.
+//!
+//! Run before lowering, these rewrites shrink the bitstream programs that
+//! multi-pattern groups compile into:
+//!
+//! - flattening of nested concatenations/alternations;
+//! - removal of duplicate alternation branches;
+//! - common-prefix factoring: `abc|abd → ab(?:c|d)` — alternation
+//!   branches sharing a prefix share its AND/shift chain instead of
+//!   recomputing it per branch (production engines factor literal sets
+//!   the same way);
+//! - fusion of nested repetitions of the same class (`(a*)* → a*`,
+//!   `(a{2}){3} → a{6}`).
+//!
+//! Every rewrite preserves the matched language exactly; the property
+//! tests check behavioural equality against the oracle.
+
+use crate::ast::Ast;
+
+/// Applies all simplifications to a fixpoint.
+///
+/// # Examples
+///
+/// ```
+/// use bitgen_regex::{optimize, parse};
+///
+/// let opt = optimize(&parse("abcde|abcdf|abx").unwrap());
+/// // The shared prefixes are factored; the language is unchanged.
+/// assert_eq!(opt.to_string(), "ab(?:cd(?:e|f)|x)");
+/// ```
+pub fn optimize(ast: &Ast) -> Ast {
+    let mut current = ast.clone();
+    for _ in 0..16 {
+        let next = pass(&current);
+        if next == current {
+            break;
+        }
+        current = next;
+    }
+    current
+}
+
+fn pass(ast: &Ast) -> Ast {
+    match ast {
+        Ast::Empty | Ast::Class(_) => ast.clone(),
+        Ast::Concat(parts) => {
+            // Flatten nested concats and drop epsilons.
+            let mut flat = Vec::with_capacity(parts.len());
+            for p in parts {
+                match pass(p) {
+                    Ast::Concat(inner) => flat.extend(inner),
+                    Ast::Empty => {}
+                    other => flat.push(other),
+                }
+            }
+            match flat.len() {
+                0 => Ast::Empty,
+                1 => flat.pop().expect("one element"),
+                _ => Ast::Concat(flat),
+            }
+        }
+        Ast::Alt(parts) => {
+            // Flatten, dedupe, then factor common prefixes.
+            let mut flat = Vec::with_capacity(parts.len());
+            for p in parts {
+                match pass(p) {
+                    Ast::Alt(inner) => flat.extend(inner),
+                    other => flat.push(other),
+                }
+            }
+            let mut deduped: Vec<Ast> = Vec::with_capacity(flat.len());
+            for p in flat {
+                if !deduped.contains(&p) {
+                    deduped.push(p);
+                }
+            }
+            factor_prefixes(deduped)
+        }
+        Ast::Star(inner) => match pass(inner) {
+            // (R*)* = R*, (R+)* = R*, (R?)* = R*.
+            Ast::Star(i) | Ast::Plus(i) | Ast::Opt(i) => Ast::Star(i),
+            Ast::Empty => Ast::Empty,
+            other => Ast::Star(Box::new(other)),
+        },
+        Ast::Plus(inner) => match pass(inner) {
+            Ast::Star(i) => Ast::Star(i),
+            Ast::Plus(i) => Ast::Plus(i),
+            Ast::Opt(i) => Ast::Star(i),
+            Ast::Empty => Ast::Empty,
+            other => Ast::Plus(Box::new(other)),
+        },
+        Ast::Opt(inner) => match pass(inner) {
+            Ast::Star(i) => Ast::Star(i),
+            Ast::Opt(i) => Ast::Opt(i),
+            Ast::Plus(i) => Ast::Star(i),
+            Ast::Empty => Ast::Empty,
+            other => Ast::Opt(Box::new(other)),
+        },
+        Ast::Repeat { node, min, max } => {
+            let node = pass(node);
+            match (&node, min, max) {
+                (_, 0, Some(0)) => Ast::Empty,
+                (_, 1, Some(1)) => node,
+                (_, 0, Some(1)) => Ast::Opt(Box::new(node)),
+                // (R{a}){b} with fixed counts multiplies.
+                (Ast::Repeat { node: inner, min: im, max: Some(imax) }, m, Some(mx))
+                    if im == imax && m == mx =>
+                {
+                    Ast::Repeat {
+                        node: inner.clone(),
+                        min: im * m,
+                        max: Some(im * mx),
+                    }
+                }
+                _ => Ast::Repeat { node: Box::new(node), min: *min, max: *max },
+            }
+        }
+    }
+}
+
+/// Greedy longest-common-prefix factoring over alternation branches.
+///
+/// Branches are grouped by their first element; groups of two or more
+/// share the longest prefix common to the whole group:
+/// `abc|abd|x → ab(?:c|d)|x`.
+fn factor_prefixes(branches: Vec<Ast>) -> Ast {
+    if branches.len() < 2 {
+        return match branches.len() {
+            0 => Ast::Empty,
+            _ => branches.into_iter().next().expect("one element"),
+        };
+    }
+    // Represent each branch as its element sequence.
+    let seqs: Vec<Vec<Ast>> = branches
+        .iter()
+        .map(|b| match b {
+            Ast::Concat(parts) => parts.clone(),
+            other => vec![other.clone()],
+        })
+        .collect();
+    let mut out: Vec<Ast> = Vec::new();
+    let mut used = vec![false; seqs.len()];
+    for i in 0..seqs.len() {
+        if used[i] {
+            continue;
+        }
+        // Group all later branches sharing the same first element.
+        let mut group = vec![i];
+        if let Some(first) = seqs[i].first() {
+            for (j, seq) in seqs.iter().enumerate().skip(i + 1) {
+                if !used[j] && seq.first() == Some(first) {
+                    group.push(j);
+                }
+            }
+        }
+        if group.len() < 2 {
+            used[i] = true;
+            out.push(branches[i].clone());
+            continue;
+        }
+        for &j in &group {
+            used[j] = true;
+        }
+        // Longest prefix common to every member of the group.
+        let mut plen = 1;
+        loop {
+            let candidate = seqs[group[0]].get(plen);
+            if candidate.is_none()
+                || !group.iter().all(|&j| seqs[j].get(plen) == candidate)
+            {
+                break;
+            }
+            plen += 1;
+        }
+        let prefix: Vec<Ast> = seqs[group[0]][..plen].to_vec();
+        let tails: Vec<Ast> = group
+            .iter()
+            .map(|&j| {
+                let tail = &seqs[j][plen..];
+                match tail.len() {
+                    0 => Ast::Empty,
+                    1 => tail[0].clone(),
+                    _ => Ast::Concat(tail.to_vec()),
+                }
+            })
+            .collect();
+        // Recursively factor the tails.
+        let tail_alt = factor_prefixes(tails);
+        let mut seq = prefix;
+        match tail_alt {
+            Ast::Empty => {}
+            other => seq.push(other),
+        }
+        out.push(if seq.len() == 1 {
+            seq.pop().expect("one element")
+        } else {
+            Ast::Concat(seq)
+        });
+    }
+    match out.len() {
+        1 => out.pop().expect("one element"),
+        _ => Ast::Alt(out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::match_ends;
+    use crate::parser::parse;
+
+    /// The rewrite must preserve behaviour on a spread of inputs.
+    fn assert_same_language(pat: &str) {
+        let ast = parse(pat).unwrap();
+        let opt = optimize(&ast);
+        for input in [
+            &b""[..],
+            b"a",
+            b"ab",
+            b"abc",
+            b"abcd",
+            b"abcde",
+            b"abcdf",
+            b"abx",
+            b"xabcabd",
+            b"aaaaaa",
+            b"ababab",
+            b"zzz abcde abx",
+        ] {
+            assert_eq!(
+                match_ends(&opt, input),
+                match_ends(&ast, input),
+                "{pat:?} -> {opt} changed behaviour on {:?}",
+                String::from_utf8_lossy(input)
+            );
+        }
+    }
+
+    #[test]
+    fn flattening() {
+        let ast = Ast::Concat(vec![
+            Ast::Concat(vec![Ast::literal(b"a"), Ast::literal(b"b")]),
+            Ast::Empty,
+            Ast::literal(b"c"),
+        ]);
+        assert_eq!(optimize(&ast), Ast::literal(b"abc"));
+    }
+
+    #[test]
+    fn duplicate_branches_removed() {
+        let opt = optimize(&parse("ab|cd|ab").unwrap());
+        assert_eq!(opt, parse("ab|cd").unwrap());
+    }
+
+    #[test]
+    fn prefix_factoring() {
+        let opt = optimize(&parse("abcde|abcdf|abx").unwrap());
+        assert_eq!(opt.to_string(), "ab(?:cd(?:e|f)|x)");
+        assert_same_language("abcde|abcdf|abx");
+    }
+
+    #[test]
+    fn factoring_keeps_shorter_branch_as_epsilon_tail() {
+        // "ab|abc": one branch is a strict prefix of the other.
+        let opt = optimize(&parse("ab|abc").unwrap());
+        assert_same_language("ab|abc");
+        // Factored into ab(?:|c) ≡ ab c? — whatever the exact shape, the
+        // class count must not exceed the original's distinct prefix.
+        assert!(opt.class_count() <= 5);
+    }
+
+    #[test]
+    fn nested_repetition_fusion() {
+        assert_eq!(optimize(&parse("(?:a*)*").unwrap()), parse("a*").unwrap());
+        assert_eq!(optimize(&parse("(?:a+)*").unwrap()), parse("a*").unwrap());
+        assert_eq!(optimize(&parse("(?:a?)+").unwrap()), parse("a*").unwrap());
+        assert_eq!(
+            optimize(&parse("(?:a{2}){3}").unwrap()),
+            parse("a{6}").unwrap()
+        );
+    }
+
+    #[test]
+    fn trivial_repeats() {
+        assert_eq!(optimize(&parse("a{1}").unwrap()), parse("a").unwrap());
+        assert_eq!(optimize(&parse("a{0,1}").unwrap()), parse("a?").unwrap());
+    }
+
+    #[test]
+    fn language_preserved_on_varied_patterns() {
+        for pat in [
+            "abc|abd",
+            "ab|ab",
+            "a(b|b)c",
+            "(?:ab|ac)|(?:ab|ad)",
+            "a*b|a*c",
+            "x(?:(?:y))z",
+            "(a|b)(a|b)",
+            "abc|abd|abe|xyz|xyw",
+        ] {
+            assert_same_language(pat);
+        }
+    }
+
+    #[test]
+    fn factoring_shrinks_class_count() {
+        let ast = parse("attack_one|attack_two|attack_six").unwrap();
+        let opt = optimize(&ast);
+        assert!(
+            opt.class_count() < ast.class_count(),
+            "{} vs {}",
+            opt.class_count(),
+            ast.class_count()
+        );
+        assert_same_language("attack_one|attack_two|attack_six");
+    }
+
+    #[test]
+    fn idempotent() {
+        for pat in ["abc|abd|abe", "a*", "(?:a{2}){3}", "x|y|x"] {
+            let once = optimize(&parse(pat).unwrap());
+            assert_eq!(optimize(&once), once, "{pat}");
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! A slow, obviously-correct all-match oracle.
+//!
+//! [`match_ends`] interprets the AST directly over cursor sets, with no
+//! bitstreams, no automata, and no compilation — it is the independent
+//! reference every engine in the workspace is validated against.
+//!
+//! Semantics follow the paper's all-match convention: a match may start at
+//! any position, and every position at which any match ends is reported.
+
+use crate::ast::Ast;
+use std::collections::BTreeSet;
+
+/// Returns every position at which a match of `ast` ends, in ascending order.
+///
+/// Positions are 0-based byte indices into `input`; a match of `/cat/` in
+/// `bobcat` ends at position 5 (the paper's `S_cat = 000001` example).
+/// Zero-width matches are not reported, as they end at no byte.
+///
+/// # Examples
+///
+/// ```
+/// use bitgen_regex::{parse, match_ends};
+///
+/// let ast = parse("cat")?;
+/// assert_eq!(match_ends(&ast, b"bobcat"), vec![5]);
+/// # Ok::<(), bitgen_regex::ParseError>(())
+/// ```
+pub fn match_ends(ast: &Ast, input: &[u8]) -> Vec<usize> {
+    // Cursor c = "the next character of a candidate match is input[c]".
+    // Matches may start anywhere, so all cursors are initially live.
+    let starts: BTreeSet<usize> = (0..=input.len()).collect();
+    // A cursor that ended at c consumed input[..c] of its match; the match
+    // ends at byte c-1. Cursors that never moved are zero-width matches and
+    // must be dropped, so only consuming advances are collected.
+    let moved = advance_consuming(ast, &starts, input);
+    moved.into_iter().filter(|&c| c > 0).map(|c| c - 1).collect()
+}
+
+/// Advances a cursor set through `ast`, keeping every reachable cursor
+/// (including zero-width passes).
+fn advance(ast: &Ast, cursors: &BTreeSet<usize>, input: &[u8]) -> BTreeSet<usize> {
+    match ast {
+        Ast::Empty => cursors.clone(),
+        Ast::Class(set) => cursors
+            .iter()
+            .filter(|&&c| c < input.len() && set.contains(input[c]))
+            .map(|&c| c + 1)
+            .collect(),
+        Ast::Concat(parts) => {
+            let mut cur = cursors.clone();
+            for p in parts {
+                if cur.is_empty() {
+                    break;
+                }
+                cur = advance(p, &cur, input);
+            }
+            cur
+        }
+        Ast::Alt(parts) => {
+            let mut out = BTreeSet::new();
+            for p in parts {
+                out.extend(advance(p, cursors, input));
+            }
+            out
+        }
+        Ast::Star(inner) => fixpoint(inner, cursors, input),
+        Ast::Plus(inner) => {
+            let once = advance(inner, cursors, input);
+            fixpoint(inner, &once, input)
+        }
+        Ast::Opt(inner) => {
+            let mut out = cursors.clone();
+            out.extend(advance(inner, cursors, input));
+            out
+        }
+        Ast::Repeat { node, min, max } => {
+            let mut cur = cursors.clone();
+            for _ in 0..*min {
+                cur = advance(node, &cur, input);
+            }
+            match max {
+                None => fixpoint(node, &cur, input),
+                Some(m) => {
+                    let mut out = cur.clone();
+                    for _ in *min..*m {
+                        cur = advance(node, &cur, input);
+                        if cur.is_empty() {
+                            break;
+                        }
+                        out.extend(cur.iter().copied());
+                    }
+                    out
+                }
+            }
+        }
+    }
+}
+
+/// Like [`advance`], but returns only cursors belonging to matches that
+/// consumed at least one byte.
+fn advance_consuming(ast: &Ast, starts: &BTreeSet<usize>, input: &[u8]) -> BTreeSet<usize> {
+    // Run the full advance, then subtract the cursors reachable without
+    // consuming anything. A cursor c is reachable zero-width iff c was a
+    // start and the regex is nullable; those are exactly the spurious
+    // "matches". A cursor that is both (started here zero-width, and also
+    // reached here by a real match from an earlier start) must be kept, so
+    // plain subtraction is wrong. Instead: re-advance from starts strictly
+    // less than each candidate end.
+    let all = advance(ast, starts, input);
+    if !ast.is_nullable() {
+        return all;
+    }
+    // For nullable regexes: end cursor c is a real match end iff it is
+    // reachable from some start s < c. Compute reachability per start set
+    // {s : s < c} incrementally: advance from each start individually would
+    // be O(n^2); inputs in tests are small, and the oracle favours
+    // obviousness over speed.
+    let mut out = BTreeSet::new();
+    for &s in starts {
+        let single: BTreeSet<usize> = [s].into_iter().collect();
+        for c in advance(ast, &single, input) {
+            if c > s {
+                out.insert(c);
+            }
+        }
+    }
+    out
+}
+
+/// Kleene-star fixpoint: all cursors reachable by zero or more passes.
+fn fixpoint(inner: &Ast, cursors: &BTreeSet<usize>, input: &[u8]) -> BTreeSet<usize> {
+    let mut all = cursors.clone();
+    let mut frontier = cursors.clone();
+    while !frontier.is_empty() {
+        let next = advance(inner, &frontier, input);
+        frontier = next.difference(&all).copied().collect();
+        all.extend(frontier.iter().copied());
+    }
+    all
+}
+
+/// Returns the positions at which a match of **any** of `asts` ends.
+///
+/// This is the multi-pattern union used to validate grouped execution: the
+/// paper's engines report the OR of all per-regex match streams.
+pub fn multi_match_ends(asts: &[Ast], input: &[u8]) -> Vec<usize> {
+    let mut set = BTreeSet::new();
+    for ast in asts {
+        set.extend(match_ends(ast, input));
+    }
+    set.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn ends(pat: &str, input: &[u8]) -> Vec<usize> {
+        match_ends(&parse(pat).unwrap(), input)
+    }
+
+    #[test]
+    fn paper_cat_example() {
+        assert_eq!(ends("cat", b"bobcat"), vec![5]);
+    }
+
+    #[test]
+    fn paper_abc_or_d_example() {
+        // Figure 3: /(abc)|d/ on "abcdabce" matches at positions 2 (abc),
+        // 3 (d), and 6 (abc).
+        assert_eq!(ends("(abc)|d", b"abcdabce"), vec![2, 3, 6]);
+    }
+
+    #[test]
+    fn paper_kleene_example() {
+        // /a(bc)*d/: "ad" (end 1), "abcd" (end 3), "abcbcd" (end 5).
+        assert_eq!(ends("a(bc)*d", b"ad"), vec![1]);
+        assert_eq!(ends("a(bc)*d", b"abcd"), vec![3]);
+        assert_eq!(ends("a(bc)*d", b"abcbcd"), vec![5]);
+        assert_eq!(ends("a(bc)*d", b"abcbc"), vec![]);
+    }
+
+    #[test]
+    fn all_match_semantics_reports_every_end() {
+        // a+ over "aaa": matches end at 0, 1, 2.
+        assert_eq!(ends("a+", b"aaa"), vec![0, 1, 2]);
+        // Matches may start anywhere: "xaax".
+        assert_eq!(ends("a+", b"xaax"), vec![1, 2]);
+    }
+
+    #[test]
+    fn nullable_regex_reports_only_consuming_matches() {
+        // a* matches zero-width everywhere, but only real `a` runs end
+        // at a byte.
+        assert_eq!(ends("a*", b"ba"), vec![1]);
+        assert_eq!(ends("a*", b"bb"), vec![]);
+    }
+
+    #[test]
+    fn bounded_repetition() {
+        assert_eq!(ends("a{2,3}", b"aaaa"), vec![1, 2, 3]);
+        assert_eq!(ends("a{2}", b"aaa"), vec![1, 2]);
+        assert_eq!(ends("ba{1,2}", b"baa"), vec![1, 2]);
+    }
+
+    #[test]
+    fn open_repetition() {
+        assert_eq!(ends("a{2,}", b"aaaa"), vec![1, 2, 3]);
+        assert_eq!(ends("a{2,}", b"a"), vec![]);
+    }
+
+    #[test]
+    fn alternation_and_overlap() {
+        assert_eq!(ends("ab|bc", b"abc"), vec![1, 2]);
+    }
+
+    #[test]
+    fn dot_skips_newline() {
+        assert_eq!(ends("a.c", b"abc\na\nc"), vec![2]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(ends("a", b""), vec![]);
+        assert_eq!(ends("a*", b""), vec![]);
+    }
+
+    #[test]
+    fn match_at_last_byte() {
+        assert_eq!(ends("ab", b"xxab"), vec![3]);
+    }
+
+    #[test]
+    fn multi_pattern_union() {
+        let asts = vec![parse("ab").unwrap(), parse("bc").unwrap()];
+        assert_eq!(multi_match_ends(&asts, b"abc"), vec![1, 2]);
+    }
+
+    #[test]
+    fn nested_star() {
+        // (a|bb)* over "abba": ends 0 (a), 2 (abb via a,bb), 3 (abba).
+        assert_eq!(ends("(a|bb)*", b"abba"), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn optional_chain() {
+        assert_eq!(ends("ab?c", b"ac_abc", ), vec![1, 5]);
+    }
+}

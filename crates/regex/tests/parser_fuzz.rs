@@ -1,0 +1,58 @@
+//! Parser robustness: arbitrary byte soup must never panic the parser,
+//! and every successfully parsed pattern must round-trip through Display
+//! and survive the optimizer.
+
+use bitgen_regex::{match_ends, optimize, parse, parse_bytes};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn parser_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = parse_bytes(&bytes); // Ok or Err, never a panic
+    }
+
+    #[test]
+    fn metacharacter_soup_never_panics(
+        s in prop::collection::vec(
+            prop::sample::select(br"ab(){}[]|*+?.\^$-,0123456789".to_vec()),
+            0..48,
+        )
+    ) {
+        let _ = parse_bytes(&s);
+    }
+
+    #[test]
+    fn parsed_patterns_round_trip(
+        s in prop::collection::vec(
+            prop::sample::select(br"abc()|*+?.[]-123{,}".to_vec()),
+            0..32,
+        )
+    ) {
+        if let Ok(ast) = parse_bytes(&s) {
+            let printed = ast.to_string();
+            let reparsed = parse(&printed)
+                .unwrap_or_else(|e| panic!("{printed:?} (from {s:?}) fails to reparse: {e}"));
+            for input in [&b""[..], b"abc", b"aabbcc", b"abcabc123"] {
+                prop_assert_eq!(
+                    match_ends(&reparsed, input),
+                    match_ends(&ast, input),
+                    "round trip changed {:?}", printed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimizer_never_panics_on_parsed_soup(
+        s in prop::collection::vec(
+            prop::sample::select(br"abc()|*+?.[]-123{,}".to_vec()),
+            0..32,
+        )
+    ) {
+        if let Ok(ast) = parse_bytes(&s) {
+            let _ = optimize(&ast);
+        }
+    }
+}

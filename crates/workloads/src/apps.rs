@@ -1,0 +1,526 @@
+//! The ten evaluation applications, generated synthetically.
+//!
+//! The paper's rule sets (AutomataZoo / ANMLZoo / Becchi's Regex suite)
+//! are not redistributable here, so each application is reproduced by a
+//! seeded generator that matches its *structural signature* from Table 1:
+//! rule counts and lengths (scaled by configuration), operator mix
+//! (literal-heavy Yara/ExactMatch, `while`-heavy Brill, `.*`-joined
+//! Dotstar, alternation-heavy Protomata, long binary signatures ClamAV),
+//! and an input generator with planted witnesses at a controlled density.
+
+use crate::gen::PatternBuilder;
+use bitgen_regex::{parse, Ast};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One of the ten paper applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum AppKind {
+    Brill,
+    ClamAv,
+    Dotstar,
+    Protomata,
+    Snort,
+    Yara,
+    Bro217,
+    ExactMatch,
+    Ranges1,
+    Tcp,
+}
+
+impl AppKind {
+    /// All applications in the paper's table order.
+    pub const ALL: [AppKind; 10] = [
+        AppKind::Brill,
+        AppKind::ClamAv,
+        AppKind::Dotstar,
+        AppKind::Protomata,
+        AppKind::Snort,
+        AppKind::Yara,
+        AppKind::Bro217,
+        AppKind::ExactMatch,
+        AppKind::Ranges1,
+        AppKind::Tcp,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::Brill => "Brill",
+            AppKind::ClamAv => "ClamAV",
+            AppKind::Dotstar => "Dotstar",
+            AppKind::Protomata => "Protomata",
+            AppKind::Snort => "Snort",
+            AppKind::Yara => "Yara",
+            AppKind::Bro217 => "Bro217",
+            AppKind::ExactMatch => "ExactMatch",
+            AppKind::Ranges1 => "Ranges1",
+            AppKind::Tcp => "TCP",
+        }
+    }
+
+    /// `(rule count, average pattern chars)` of the paper's Table 1, for
+    /// side-by-side reporting.
+    pub fn paper_stats(self) -> (usize, f64) {
+        match self {
+            AppKind::Brill => (1849, 44.4),
+            AppKind::ClamAv => (491, 359.7),
+            AppKind::Dotstar => (1279, 52.8),
+            AppKind::Protomata => (2338, 96.5),
+            AppKind::Snort => (1873, 50.5),
+            AppKind::Yara => (3358, 32.5),
+            AppKind::Bro217 => (227, 34.1),
+            AppKind::ExactMatch => (298, 52.9),
+            AppKind::Ranges1 => (298, 54.3),
+            AppKind::Tcp => (300, 53.9),
+        }
+    }
+
+    /// Noise alphabet of this application's input.
+    fn noise_alphabet(self) -> &'static [u8] {
+        match self {
+            AppKind::Brill => b"abcdefghijklmnopqrstuvwxyz    ",
+            AppKind::ClamAv | AppKind::Yara => BINARY,
+            AppKind::Dotstar => b"abcdefghijklmnopqrstuvwxyz0123456789 ",
+            AppKind::Protomata => AMINO,
+            AppKind::Snort | AppKind::Bro217 | AppKind::Tcp => {
+                b"abcdefghijklmnopqrstuvwxyz0123456789 /:.-_" as &[u8]
+            }
+            AppKind::ExactMatch | AppKind::Ranges1 => b"abcdefghijklmnopqrstuvwxyz0123456789",
+        }
+    }
+
+    /// Whether the input is line-structured (newlines matter to `.*`).
+    fn line_structured(self) -> bool {
+        matches!(self, AppKind::Dotstar | AppKind::Brill | AppKind::Bro217)
+    }
+}
+
+const AMINO: &[u8] = b"ACDEFGHIKLMNPQRSTVWY";
+const BINARY: &[u8] = &{
+    let mut a = [0u8; 64];
+    let mut i = 0;
+    while i < 64 {
+        a[i] = (i * 4 + 1) as u8;
+        i += 1;
+    }
+    a
+};
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadConfig {
+    /// Number of regexes to generate (the paper's counts are in
+    /// [`AppKind::paper_stats`]; defaults are scaled down for emulation).
+    pub regexes: usize,
+    /// Input length in bytes.
+    pub input_len: usize,
+    /// RNG seed: equal seeds give byte-identical workloads.
+    pub seed: u64,
+    /// Approximate fraction of input bytes coming from planted witnesses.
+    pub witness_density: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> WorkloadConfig {
+        WorkloadConfig { regexes: 64, input_len: 1 << 16, seed: 0xb17, witness_density: 0.05 }
+    }
+}
+
+/// A generated application: rules plus a matching input.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Which application this mimics.
+    pub kind: AppKind,
+    /// Regex sources.
+    pub patterns: Vec<String>,
+    /// Parsed rules.
+    pub asts: Vec<Ast>,
+    /// One witness (matching string) per rule.
+    pub witnesses: Vec<Vec<u8>>,
+    /// The generated input stream.
+    pub input: Vec<u8>,
+}
+
+impl Workload {
+    /// Average pattern length in characters.
+    pub fn avg_pattern_len(&self) -> f64 {
+        if self.patterns.is_empty() {
+            return 0.0;
+        }
+        self.patterns.iter().map(String::len).sum::<usize>() as f64 / self.patterns.len() as f64
+    }
+
+    /// Standard deviation of pattern lengths.
+    pub fn pattern_len_sd(&self) -> f64 {
+        let avg = self.avg_pattern_len();
+        if self.patterns.len() < 2 {
+            return 0.0;
+        }
+        let var = self
+            .patterns
+            .iter()
+            .map(|p| (p.len() as f64 - avg).powi(2))
+            .sum::<f64>()
+            / self.patterns.len() as f64;
+        var.sqrt()
+    }
+}
+
+/// Generates an application workload.
+///
+/// # Examples
+///
+/// ```
+/// use bitgen_workloads::{generate, AppKind, WorkloadConfig};
+///
+/// let config = WorkloadConfig { regexes: 8, input_len: 4096, ..WorkloadConfig::default() };
+/// let w = generate(AppKind::Snort, &config);
+/// assert_eq!(w.asts.len(), 8);
+/// assert_eq!(w.input.len(), 4096);
+/// ```
+pub fn generate(kind: AppKind, config: &WorkloadConfig) -> Workload {
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ (kind as u64) << 32);
+    let mut patterns = Vec::with_capacity(config.regexes);
+    let mut asts = Vec::with_capacity(config.regexes);
+    let mut witnesses = Vec::with_capacity(config.regexes);
+    for _ in 0..config.regexes {
+        let (re, wit) = gen_rule(kind, &mut rng);
+        let ast = parse(&re).unwrap_or_else(|e| panic!("generator for {kind:?} emitted bad regex {re:?}: {e}"));
+        patterns.push(re);
+        asts.push(ast);
+        witnesses.push(wit);
+    }
+    let input = gen_input(kind, &witnesses, config, &mut rng);
+    Workload { kind, patterns, asts, witnesses, input }
+}
+
+fn gen_rule(kind: AppKind, rng: &mut SmallRng) -> (String, Vec<u8>) {
+    let mut b = PatternBuilder::new();
+    match kind {
+        AppKind::Brill => {
+            // Tagger-style rules: words separated by class-star gaps —
+            // several `while` loops per rule.
+            let words = rng.random_range(3..=5);
+            for w in 0..words {
+                if w > 0 {
+                    b.literal(b" ");
+                    let n = rng.random_range(0..3);
+
+                    b.star_class(rng, b'a', b'z', n);
+                    b.literal(b" ");
+                }
+                let n = rng.random_range(3..=6);
+
+                b.random_literal(rng, b"abcdefghijklmnop", n);
+                let n = rng.random_range(0..2);
+
+                b.star_class(rng, b'a', b'z', n);
+            }
+        }
+        AppKind::ClamAv => {
+            // Long virus byte signatures with bounded gaps and an
+            // occasional unbounded wildcard gap (ClamAV's `*`).
+            let chunks = rng.random_range(2..=3);
+            for c in 0..chunks {
+                if c > 0 {
+                    let n = rng.random_range(2..=6);
+
+                    b.bounded_repeat(rng, BINARY, 1, 0, n);
+                }
+                let n = rng.random_range(18..=40);
+
+                b.random_literal(rng, BINARY, n);
+            }
+            if rng.random_bool(0.3) {
+                // ClamAV `{0-12}` style bounded wildcard gap: binary
+                // inputs have no newlines, so an unbounded `.*` would be
+                // the paper's §8.2 pathological single-line case.
+                let copies = rng.random_range(0..4);
+                b.dot_gap(33, 12, copies);
+                let n = rng.random_range(8..=16);
+                b.random_literal(rng, BINARY, n);
+            }
+        }
+        AppKind::Dotstar => {
+            // LIT.*LIT (sometimes a third piece).
+            let n = rng.random_range(8..=14);
+
+            b.random_literal(rng, b"abcdefgh", n);
+            b.dot_star(b'q', rng.random_range(0..6));
+            let n = rng.random_range(8..=14);
+
+            b.random_literal(rng, b"mnopqrst", n);
+            if rng.random_bool(0.45) {
+                b.dot_star(b'q', rng.random_range(0..4));
+                let n = rng.random_range(6..=12);
+
+                b.random_literal(rng, b"uvwxyz", n);
+            }
+        }
+        AppKind::Protomata => {
+            // Protein motifs: many classes and alternations.
+            let elements = rng.random_range(8..=14);
+            for _ in 0..elements {
+                match rng.random_range(0..4) {
+                    0 => {
+                        let lo = AMINO[rng.random_range(0..AMINO.len() - 4)];
+                        b.range_class(rng, lo, lo + 4);
+                    }
+                    1 => {
+                        let n = rng.random_range(2..=3);
+
+                        b.alternation(rng, AMINO, n, 1);
+                    }
+                    2 => {
+                        let n = rng.random_range(2..=3);
+
+                        b.bounded_repeat(rng, AMINO, 1, 1, n);
+                    }
+                    _ => {
+                        let n = rng.random_range(1..=3);
+
+                        b.random_literal(rng, AMINO, n);
+                    }
+                }
+            }
+        }
+        AppKind::Snort => {
+            // Attack signatures: literal head, class/bounded middle, and
+            // a star on a quarter of the rules.
+            let n = rng.random_range(5..=10);
+
+            b.random_literal(rng, b"abcdefghij/:._", n);
+            b.range_class(rng, b'0', b'9');
+            let n = rng.random_range(2..=4);
+
+            b.bounded_repeat(rng, b"0123456789", 1, 1, n);
+            if rng.random_bool(0.25) {
+                let n = rng.random_range(0..3);
+
+                b.star_class(rng, b'a', b'f', n);
+            }
+            let n = rng.random_range(4..=8);
+
+            b.random_literal(rng, b"klmnopqrstuv", n);
+        }
+        AppKind::Yara => {
+            // Malware byte patterns: literals with fixed repeats, no
+            // loops.
+            let n = rng.random_range(10..=20);
+
+            b.random_literal(rng, BINARY, n);
+            if rng.random_bool(0.4) {
+                b.bounded_repeat(rng, BINARY, 1, 2, 2);
+            }
+            let n = rng.random_range(6..=14);
+
+            b.random_literal(rng, BINARY, n);
+        }
+        AppKind::Bro217 => {
+            // HTTP-ish keywords.
+            let verbs: [&[u8]; 4] = [b"get ", b"post ", b"head ", b"user-"];
+            let verb = verbs[rng.random_range(0..4)];
+            b.literal(verb);
+            let n = rng.random_range(4..=14);
+
+            b.random_literal(rng, b"abcdefghijklm/._", n);
+            if rng.random_bool(0.3) {
+                b.range_class(rng, b'0', b'9');
+            }
+        }
+        AppKind::ExactMatch => {
+            let n = rng.random_range(40..=60);
+
+            b.random_literal(rng, b"abcdefghijklmnopqrstuvwxyz0123456789", n);
+        }
+        AppKind::Ranges1 => {
+            // ExactMatch with ~30% of positions widened to ranges, plus a
+            // star on most rules.
+            let len = rng.random_range(16..=28);
+            for _ in 0..len {
+                if rng.random_bool(0.3) {
+                    let lo = rng.random_range(b'a'..=b'q');
+                    let n = rng.random_range(3..=8);
+
+                    b.range_class(rng, lo, lo + n);
+                } else {
+                    b.random_literal(rng, b"abcdefghijklmnopqrstuvwxyz", 1);
+                }
+            }
+            if rng.random_bool(0.8) {
+                let n = rng.random_range(0..3);
+
+                b.star_class(rng, b'0', b'9', n);
+                b.random_literal(rng, b"abcdef", 2);
+            }
+        }
+        AppKind::Tcp => {
+            // Protocol headers: keyword, digits, separator, keyword.
+            let n = rng.random_range(4..=8);
+
+            b.random_literal(rng, b"abcdefghijklmnopqrstuvwxyz", n);
+            b.literal(b":");
+            b.bounded_repeat(rng, b"0123456789", 1, 1, 4);
+            b.literal(b" ");
+            let n = rng.random_range(6..=12);
+
+            b.random_literal(rng, b"abcdefghijklmnopqrstuvwxyz./", n);
+            if rng.random_bool(0.5) {
+                b.optional_class(b'0', b'9');
+            }
+            if rng.random_bool(0.25) {
+                let n = rng.random_range(0..2);
+
+                b.star_class(rng, b'a', b'z', n);
+            }
+        }
+    }
+    b.finish()
+}
+
+fn gen_input(
+    kind: AppKind,
+    witnesses: &[Vec<u8>],
+    config: &WorkloadConfig,
+    rng: &mut SmallRng,
+) -> Vec<u8> {
+    let len = config.input_len;
+    let noise = kind.noise_alphabet();
+    let mut out: Vec<u8> = Vec::with_capacity(len + 64);
+    let mut since_newline = 0usize;
+    while out.len() < len {
+        let plant = !witnesses.is_empty()
+            && rng.random_bool(config.witness_density.clamp(0.0, 1.0));
+        if plant {
+            let w = &witnesses[rng.random_range(0..witnesses.len())];
+            out.extend_from_slice(w);
+            since_newline += w.len();
+        } else {
+            for _ in 0..16 {
+                out.push(noise[rng.random_range(0..noise.len())]);
+            }
+            since_newline += 16;
+        }
+        if kind.line_structured() && since_newline >= 64 {
+            out.push(b'\n');
+            since_newline = 0;
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitgen_ir::{lower_group, ProgramStats};
+
+    fn small(kind: AppKind) -> Workload {
+        generate(kind, &WorkloadConfig { regexes: 12, input_len: 4096, ..Default::default() })
+    }
+
+    #[test]
+    fn all_apps_generate_and_parse() {
+        for kind in AppKind::ALL {
+            let w = small(kind);
+            assert_eq!(w.asts.len(), 12, "{kind:?}");
+            assert_eq!(w.input.len(), 4096);
+            assert!(w.avg_pattern_len() > 4.0, "{kind:?} avg {}", w.avg_pattern_len());
+        }
+    }
+
+    #[test]
+    fn witnesses_match_their_rules() {
+        for kind in AppKind::ALL {
+            let w = small(kind);
+            for (ast, wit) in w.asts.iter().zip(&w.witnesses) {
+                if wit.is_empty() {
+                    continue;
+                }
+                let ends = bitgen_regex::match_ends(ast, wit);
+                assert!(
+                    ends.contains(&(wit.len() - 1)),
+                    "{kind:?}: witness does not match its rule"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = small(AppKind::Snort);
+        let b = small(AppKind::Snort);
+        assert_eq!(a.patterns, b.patterns);
+        assert_eq!(a.input, b.input);
+        let c = generate(
+            AppKind::Snort,
+            &WorkloadConfig { regexes: 12, input_len: 4096, seed: 1, ..Default::default() },
+        );
+        assert_ne!(a.patterns, c.patterns);
+    }
+
+    #[test]
+    fn instruction_mix_signatures() {
+        // The Table 1 shape: Brill while-heavy, Yara while-free,
+        // Protomata or-heavy relative to Yara.
+        let stats = |kind: AppKind| {
+            let w = small(kind);
+            ProgramStats::of(&lower_group(&w.asts))
+        };
+        let brill = stats(AppKind::Brill);
+        let yara = stats(AppKind::Yara);
+        let protomata = stats(AppKind::Protomata);
+        let exact = stats(AppKind::ExactMatch);
+        assert!(brill.r#while >= 12, "Brill should be while-heavy: {brill}");
+        assert_eq!(yara.r#while, 0, "Yara has (almost) no loops: {yara}");
+        assert_eq!(exact.r#while, 0);
+        assert!(
+            (protomata.or as f64 / protomata.and as f64)
+                > (yara.or as f64 / yara.and as f64),
+            "Protomata is alternation-heavy: {protomata} vs {yara}"
+        );
+    }
+
+    #[test]
+    fn inputs_contain_planted_matches() {
+        // With witnesses planted, at least one rule should fire.
+        for kind in [AppKind::ExactMatch, AppKind::Dotstar, AppKind::Tcp] {
+            let w = generate(
+                kind,
+                &WorkloadConfig {
+                    regexes: 6,
+                    input_len: 8192,
+                    witness_density: 0.2,
+                    ..Default::default()
+                },
+            );
+            let total: usize = w
+                .asts
+                .iter()
+                .map(|a| bitgen_regex::match_ends(a, &w.input).len())
+                .sum();
+            assert!(total > 0, "{kind:?}: planted witnesses should match");
+        }
+    }
+
+    #[test]
+    fn line_structured_inputs_have_newlines() {
+        let w = small(AppKind::Dotstar);
+        assert!(w.input.contains(&b'\n'));
+        let y = small(AppKind::Yara);
+        // Binary noise may contain 0x0a only by alphabet accident; the
+        // generator itself adds none.
+        assert!(!AppKind::Yara.line_structured());
+        drop(y);
+    }
+
+    #[test]
+    fn paper_stats_table() {
+        assert_eq!(AppKind::Brill.paper_stats().0, 1849);
+        assert_eq!(AppKind::ALL.len(), 10);
+        let names: Vec<&str> = AppKind::ALL.iter().map(|k| k.name()).collect();
+        assert!(names.contains(&"ClamAV") && names.contains(&"TCP"));
+    }
+}

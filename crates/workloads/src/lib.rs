@@ -1,0 +1,16 @@
+//! Synthetic benchmark workloads for BitGen.
+//!
+//! Seeded generators reproduce the *structural signatures* of the paper's
+//! ten evaluation applications (Table 1) — rule counts, length
+//! distributions, and operator mixes — together with inputs in which each
+//! rule's witness strings are planted at a controlled density. See
+//! DESIGN.md for the substitution rationale.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod apps;
+mod gen;
+
+pub use apps::{generate, AppKind, Workload, WorkloadConfig};
+pub use gen::{escape_byte, PatternBuilder};

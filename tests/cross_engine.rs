@@ -1,0 +1,108 @@
+//! Cross-engine agreement: every engine in the workspace must report the
+//! same match-end positions as the set-based oracle.
+
+use bitgen::{BitGen, EngineConfig, Scheme};
+use bitgen_baselines::{
+    run_gpu_nfa, CpuBitstreamEngine, DfaEngine, GpuNfaModel, HybridEngine, HybridMt, MultiNfa,
+};
+use bitgen_gpu::DeviceConfig;
+use bitgen_regex::{multi_match_ends, parse, Ast};
+
+const CASES: &[(&[&str], &[u8])] = &[
+    (&["cat"], b"bobcat and category cats"),
+    (&["(abc)|d"], b"abcdabce"),
+    (&["a(bc)*d"], b"ad abcd abcbcbcd bcd"),
+    (&["ab", "bc", "ca"], b"abcabcabc"),
+    (&["[a-f]{3}", "x+y"], b"abcdef xxy xy fed"),
+    (&["a+b+", "ba"], b"aabb ab ba aaabbb"),
+    (&["(ab|ba)+c"], b"ababc babac bac"),
+    (&["GET /[a-z]+", "POST"], b"GET /idx POST GET /a"),
+    (&["x[0-9]{2,4}z"], b"x12z x123z x1z x12345z"),
+    (&["ab.*cd"], b"ab cd\nabxxcd\nabcd"),
+];
+
+fn asts(pats: &[&str]) -> Vec<Ast> {
+    pats.iter().map(|p| parse(p).expect("test patterns parse")).collect()
+}
+
+#[test]
+fn bitgen_all_schemes_agree_with_oracle() {
+    for (pats, input) in CASES {
+        let expect = multi_match_ends(&asts(pats), input);
+        for scheme in Scheme::ALL {
+            let config = EngineConfig { scheme, cta_count: 2, threads: 4, ..Default::default() };
+            let engine = BitGen::compile_with(pats, config).unwrap();
+            let got = engine.find(input).unwrap().matches.positions();
+            assert_eq!(got, expect, "{pats:?} under {scheme}");
+        }
+    }
+}
+
+#[test]
+fn nfa_agrees_with_oracle() {
+    for (pats, input) in CASES {
+        let a = asts(pats);
+        let expect = multi_match_ends(&a, input);
+        let got = MultiNfa::build(&a).run(input).ends.positions();
+        assert_eq!(got, expect, "{pats:?}");
+    }
+}
+
+#[test]
+fn gpu_nfa_model_preserves_matches() {
+    for (pats, input) in CASES {
+        let a = asts(pats);
+        let expect = multi_match_ends(&a, input);
+        let nfa = MultiNfa::build(&a);
+        let report = run_gpu_nfa(&nfa, input, &DeviceConfig::rtx3090(), &GpuNfaModel::default());
+        assert_eq!(report.ends.positions(), expect, "{pats:?}");
+        assert!(report.seconds > 0.0);
+    }
+}
+
+#[test]
+fn hybrid_agrees_with_oracle() {
+    for (pats, input) in CASES {
+        let a = asts(pats);
+        let expect = multi_match_ends(&a, input);
+        let st = HybridEngine::new(&a).run(input).positions();
+        assert_eq!(st, expect, "{pats:?} (single thread)");
+        let mt = HybridMt::new(&a, 3).run(input).positions();
+        assert_eq!(mt, expect, "{pats:?} (multi thread)");
+    }
+}
+
+#[test]
+fn lazy_dfa_agrees_with_oracle() {
+    for (pats, input) in CASES {
+        let a = asts(pats);
+        let expect = multi_match_ends(&a, input);
+        let mut dfa = DfaEngine::new(&a);
+        assert_eq!(dfa.run(input).ends.positions(), expect, "{pats:?}");
+        // Warm cache, same answer.
+        assert_eq!(dfa.run(input).ends.positions(), expect, "{pats:?} (warm)");
+    }
+}
+
+#[test]
+fn cpu_bitstream_agrees_with_oracle() {
+    for (pats, input) in CASES {
+        let a = asts(pats);
+        let expect = multi_match_ends(&a, input);
+        let engine = CpuBitstreamEngine::new(std::slice::from_ref(&a));
+        assert_eq!(engine.run(input).positions(), expect, "{pats:?}");
+    }
+}
+
+#[test]
+fn engines_agree_on_empty_and_tiny_inputs() {
+    let pats: &[&str] = &["ab", "a+"];
+    let a = asts(pats);
+    for input in [&b""[..], b"a", b"ab", b"b"] {
+        let expect = multi_match_ends(&a, input);
+        let engine = BitGen::compile(pats).unwrap();
+        assert_eq!(engine.find(input).unwrap().matches.positions(), expect);
+        assert_eq!(MultiNfa::build(&a).run(input).ends.positions(), expect);
+        assert_eq!(HybridEngine::new(&a).run(input).positions(), expect);
+    }
+}

@@ -1,0 +1,113 @@
+//! Facade-level behaviour: configuration knobs, devices, reporting.
+
+use bitgen::{BitGen, DeviceConfig, EngineConfig, FallbackPolicy, GroupingStrategy, Scheme};
+
+#[test]
+fn report_fields_are_consistent() {
+    let engine = BitGen::compile(&["abc", "x[0-9]+y", "a(bc)*d"]).unwrap();
+    let input: Vec<u8> = b"abc x42y abcbcd ".iter().cycle().take(4096).copied().collect();
+    let report = engine.find(&input).unwrap();
+    assert!(report.match_count() > 0);
+    assert!(report.seconds > 0.0);
+    let implied = input.len() as f64 / 1e6 / report.seconds;
+    assert!((implied - report.throughput_mbps).abs() / implied < 1e-9);
+    assert_eq!(report.metrics.len(), engine.group_count());
+    assert!(report.cost.seconds <= report.seconds, "transpose time is added");
+}
+
+#[test]
+fn faster_devices_model_faster() {
+    // A compute-heavy rule set (the regime the paper's Fig. 15 describes:
+    // BitGen is compute-bound, so devices rank by integer throughput).
+    let w = bitgen_workloads::generate(
+        bitgen_workloads::AppKind::Snort,
+        &bitgen_workloads::WorkloadConfig {
+            regexes: 24,
+            input_len: 32768,
+            ..Default::default()
+        },
+    );
+    let time_on = |device: DeviceConfig| {
+        let engine = BitGen::from_asts(
+            w.asts.clone(),
+            EngineConfig { device, cta_count: 4, ..Default::default() },
+        );
+        engine.find(&w.input).unwrap().seconds
+    };
+    let t3090 = time_on(DeviceConfig::rtx3090());
+    let th100 = time_on(DeviceConfig::h100());
+    let tl40s = time_on(DeviceConfig::l40s());
+    assert!(th100 < t3090, "H100 {th100} < 3090 {t3090}");
+    assert!(tl40s < th100, "L40S {tl40s} < H100 {th100}");
+}
+
+#[test]
+fn grouping_strategies_agree_on_matches() {
+    let pats = ["short", "averagelenptn", "quitealongpatternhere", "xy", "[0-9]{3}"];
+    let input = b"short averagelenptn quitealongpatternhere xy 123";
+    let run = |grouping| {
+        let engine = BitGen::compile_with(
+            &pats,
+            EngineConfig { grouping, cta_count: 2, ..Default::default() },
+        )
+        .unwrap();
+        engine.find(input).unwrap().matches.positions()
+    };
+    assert_eq!(
+        run(GroupingStrategy::BalancedLength),
+        run(GroupingStrategy::RoundRobin)
+    );
+}
+
+#[test]
+fn fallback_policy_error_surfaces_overflow() {
+    // One very long marker chain in a tiny window.
+    let mut input = b"a".to_vec();
+    for _ in 0..400 {
+        input.extend_from_slice(b"bc");
+    }
+    input.push(b'd');
+    let config = EngineConfig {
+        threads: 2,
+        fallback: FallbackPolicy::Error,
+        scheme: Scheme::Dtm,
+        ..Default::default()
+    };
+    let engine = BitGen::compile_with(&["a(bc)*d"], config).unwrap();
+    assert!(engine.find(&input).is_err());
+
+    // The default (sequential fallback) handles it and still matches.
+    let engine = BitGen::compile_with(
+        &["a(bc)*d"],
+        EngineConfig { threads: 2, scheme: Scheme::Dtm, ..Default::default() },
+    )
+    .unwrap();
+    let report = engine.find(&input).unwrap();
+    assert_eq!(report.matches.positions(), vec![input.len() - 1]);
+    assert!(report.metrics.iter().any(|m| m.fallbacks > 0));
+}
+
+#[test]
+fn merge_size_and_interval_are_plumbed_through() {
+    let pats = ["abcdefghijkl"];
+    let input: Vec<u8> = b"abcdefghijkl mmmm ".iter().cycle().take(8192).copied().collect();
+    let barriers = |merge_size| {
+        let engine = BitGen::compile_with(
+            &pats,
+            EngineConfig { merge_size, scheme: Scheme::Sr, threads: 8, ..Default::default() },
+        )
+        .unwrap();
+        engine.find(&input).unwrap().metrics[0].counters.barriers
+    };
+    assert!(barriers(16) < barriers(1), "merge size must reach the kernels");
+}
+
+#[test]
+fn scan_is_repeatable() {
+    let engine = BitGen::compile(&["ab+c"]).unwrap();
+    let input = b"abc abbc abbbc";
+    let a = engine.find(input).unwrap();
+    let b = engine.find(input).unwrap();
+    assert_eq!(a.matches.positions(), b.matches.positions());
+    assert_eq!(a.seconds, b.seconds, "the model is deterministic");
+}

@@ -1,0 +1,154 @@
+//! The Table 3 ladder must be a pure optimisation: every scheme, window
+//! size, merge size, and guard interval produces identical matches, while
+//! the performance counters move the way the paper says they do.
+
+use bitgen_bitstream::Basis;
+use bitgen_exec::{execute, ExecConfig, Scheme};
+use bitgen_ir::{interpret, lower_group};
+use bitgen_regex::parse;
+use bitgen_workloads::{generate, AppKind, WorkloadConfig};
+
+fn workload_basis(kind: AppKind) -> (bitgen_ir::Program, Basis) {
+    let w = generate(
+        kind,
+        &WorkloadConfig { regexes: 6, input_len: 4096, witness_density: 0.1, ..Default::default() },
+    );
+    let prog = lower_group(&w.asts);
+    (prog, Basis::transpose(&w.input))
+}
+
+#[test]
+fn schemes_equal_across_parameters() {
+    for kind in [AppKind::Snort, AppKind::Dotstar, AppKind::Yara, AppKind::Brill] {
+        let (prog, basis) = workload_basis(kind);
+        let reference: Vec<Vec<usize>> =
+            interpret(&prog, &basis).outputs.iter().map(|s| s.positions()).collect();
+        // A small latin square of parameter combinations keeps coverage
+        // across the product space without running it exhaustively.
+        let combos: &[(Scheme, usize, usize, usize)] = &[
+            (Scheme::Sequential, 4, 8, 8),
+            (Scheme::Base, 16, 1, 2),
+            (Scheme::DtmStatic, 4, 8, 2),
+            (Scheme::Dtm, 16, 1, 8),
+            (Scheme::Sr, 4, 1, 8),
+            (Scheme::Sr, 16, 8, 2),
+            (Scheme::Zbs, 4, 8, 2),
+            (Scheme::Zbs, 16, 1, 8),
+            (Scheme::Zbs, 16, 8, 1),
+        ];
+        for &(scheme, threads, merge, interval) in combos {
+            let config = ExecConfig {
+                scheme,
+                threads,
+                merge_size: merge,
+                interval,
+                ..Default::default()
+            };
+            let out = execute(&prog, &basis, &config).unwrap();
+            for (got, want) in out.outputs.iter().zip(&reference) {
+                assert_eq!(
+                    &got.positions(),
+                    want,
+                    "{kind:?} {scheme} t={threads} m={merge} i={interval}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn breakdown_counters_move_as_in_fig12() {
+    // DRAM traffic: Sequential > Base > DTM- ≥ DTM (Table 4 gradient).
+    let (prog, basis) = workload_basis(AppKind::Snort);
+    let words = |scheme: Scheme| {
+        let config = ExecConfig { scheme, threads: 8, ..Default::default() };
+        execute(&prog, &basis, &config).unwrap().metrics.counters.global_words()
+    };
+    let seq = words(Scheme::Sequential);
+    let base = words(Scheme::Base);
+    let dtm_minus = words(Scheme::DtmStatic);
+    let dtm = words(Scheme::Dtm);
+    assert!(seq > base, "{seq} > {base}");
+    assert!(base > dtm_minus, "{base} > {dtm_minus}");
+    assert!(dtm_minus >= dtm, "{dtm_minus} >= {dtm}");
+}
+
+#[test]
+fn dtm_uses_one_loop_and_no_intermediates() {
+    let (prog, basis) = workload_basis(AppKind::Tcp);
+    for scheme in [Scheme::Dtm, Scheme::Sr, Scheme::Zbs] {
+        let config = ExecConfig { scheme, threads: 8, ..Default::default() };
+        let m = execute(&prog, &basis, &config).unwrap().metrics;
+        assert_eq!(m.segments, 1, "{scheme}");
+        assert_eq!(m.intermediates, 0, "{scheme}");
+    }
+    let seq = execute(&prog, &basis, &ExecConfig { scheme: Scheme::Sequential, threads: 8, ..Default::default() })
+        .unwrap()
+        .metrics;
+    assert!(seq.segments > 10);
+    assert!(seq.intermediates > 10);
+    assert!(seq.peak_materialized_bytes > 0);
+}
+
+#[test]
+fn sr_reduces_barriers_on_concatenation_chains() {
+    // ExactMatch is the paper's long-dependency-chain case.
+    let (prog, basis) = workload_basis(AppKind::ExactMatch);
+    let barriers = |scheme: Scheme| {
+        let config = ExecConfig { scheme, threads: 8, ..Default::default() };
+        execute(&prog, &basis, &config).unwrap().metrics.counters.barriers
+    };
+    assert!(
+        barriers(Scheme::Sr) < barriers(Scheme::Dtm),
+        "SR should merge barriers: {} vs {}",
+        barriers(Scheme::Sr),
+        barriers(Scheme::Dtm)
+    );
+}
+
+#[test]
+fn zbs_skips_on_sparse_workloads() {
+    // A workload whose witnesses are not planted: nothing matches, so
+    // most zero paths should skip.
+    let w = generate(
+        AppKind::ExactMatch,
+        &WorkloadConfig { regexes: 6, input_len: 4096, witness_density: 0.0, ..Default::default() },
+    );
+    let prog = lower_group(&w.asts);
+    let basis = Basis::transpose(&w.input);
+    let zbs = execute(&prog, &basis, &ExecConfig { scheme: Scheme::Zbs, threads: 8, ..Default::default() })
+        .unwrap()
+        .metrics;
+    let sr = execute(&prog, &basis, &ExecConfig { scheme: Scheme::Sr, threads: 8, ..Default::default() })
+        .unwrap()
+        .metrics;
+    assert!(zbs.counters.skipped_ops > 0);
+    assert!(
+        zbs.counters.alu_ops < sr.counters.alu_ops,
+        "ZBS should save ALU work: {} vs {}",
+        zbs.counters.alu_ops,
+        sr.counters.alu_ops
+    );
+}
+
+#[test]
+fn recompute_overhead_is_small() {
+    // Table 5: recompute stays a tiny fraction for typical rules.
+    let (prog, basis) = workload_basis(AppKind::Tcp);
+    let config = ExecConfig { scheme: Scheme::Zbs, threads: 64, ..Default::default() };
+    let m = execute(&prog, &basis, &config).unwrap().metrics;
+    assert!(m.recompute_frac < 0.25, "recompute {}", m.recompute_frac);
+    assert!(m.static_overlap > 0);
+}
+
+#[test]
+fn single_pattern_program_runs_under_all_schemes() {
+    let prog = lower_group(&[parse("a(bc){2,}d").unwrap()]);
+    let basis = Basis::transpose(b"abcbcd abcbcbcd abcd");
+    let expect = interpret(&prog, &basis).outputs[0].positions();
+    for scheme in Scheme::ALL {
+        let out = execute(&prog, &basis, &ExecConfig { scheme, threads: 2, ..Default::default() })
+            .unwrap();
+        assert_eq!(out.outputs[0].positions(), expect, "{scheme}");
+    }
+}
