@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Local CI: everything a PR must pass.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings

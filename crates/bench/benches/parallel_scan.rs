@@ -1,0 +1,46 @@
+//! Multi-stream scan throughput versus host thread count.
+//!
+//! A reused [`bitgen::ScanSession`] shards the (group × stream) CTA grid
+//! over host threads; results are bit-identical at every thread count, so
+//! the only thing that should change here is wall-clock throughput.
+
+use bitgen::{BitGen, EngineConfig};
+use bitgen_bench::HarnessConfig;
+use bitgen_workloads::AppKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const STREAMS: usize = 16;
+
+fn bench_thread_counts(c: &mut Criterion) {
+    let config = HarnessConfig {
+        regexes: 8,
+        input_len: STREAMS * 8192,
+        threads: 32,
+        cta_count: 4,
+        ..Default::default()
+    };
+    let w = config.workload(AppKind::Snort);
+    let streams: Vec<&[u8]> = w.input.chunks(w.input.len() / STREAMS).collect();
+    let total: usize = streams.iter().map(|s| s.len()).sum();
+
+    let mut group = c.benchmark_group("parallel_scan_snort_16x8k");
+    group.throughput(Throughput::Bytes(total as u64));
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let engine = BitGen::from_asts(
+            w.asts.clone(),
+            EngineConfig {
+                scan_threads: threads,
+                ..config.engine_config(bitgen::Scheme::Zbs)
+            },
+        );
+        let mut session = engine.session();
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &streams, |b, streams| {
+            b.iter(|| session.scan_many(streams).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_counts);
+criterion_main!(benches);

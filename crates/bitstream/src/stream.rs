@@ -333,6 +333,37 @@ impl BitStream {
         s
     }
 
+    /// Resets this stream in place to `new_len` zero bits, reusing the
+    /// existing word allocation when it is large enough.
+    ///
+    /// Equivalent to `*self = BitStream::zeros(new_len)` but without a
+    /// fresh heap allocation for same-or-smaller sizes, which lets scan
+    /// sessions recycle scratch streams across calls.
+    pub fn reset_zeros(&mut self, new_len: usize) {
+        let nwords = new_len.div_ceil(64);
+        self.words.clear();
+        self.words.resize(nwords, 0);
+        self.len = new_len;
+    }
+
+    /// Writes raw word `idx` (covering bit positions `idx * 64 ..`);
+    /// bits that fall past the logical length are cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range for the stream's word count.
+    pub fn set_word(&mut self, idx: usize, word: u64) {
+        self.words[idx] = word;
+        self.mask_tail();
+    }
+
+    /// Number of words the underlying allocation can hold without
+    /// reallocating. Exposed so buffer-reuse tests can assert that
+    /// repeated scans of same-sized inputs stop growing the heap.
+    pub fn capacity_words(&self) -> usize {
+        self.words.capacity()
+    }
+
     fn zip(&self, other: &BitStream, f: impl Fn(u64, u64) -> u64) -> BitStream {
         assert_eq!(
             self.len, other.len,

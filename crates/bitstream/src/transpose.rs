@@ -38,9 +38,29 @@ impl Basis {
     ///
     /// Runs 64 bytes at a time, accumulating each basis word branchlessly.
     pub fn transpose(input: &[u8]) -> Basis {
+        let mut basis = Basis::empty();
+        basis.transpose_into(input);
+        basis
+    }
+
+    /// An empty basis with no allocation, suitable as a reusable target
+    /// for [`Basis::transpose_into`].
+    pub fn empty() -> Basis {
+        Basis {
+            streams: std::array::from_fn(|_| BitStream::zeros(0)),
+            len: 0,
+        }
+    }
+
+    /// Transposes `input` into this basis in place, reusing the eight
+    /// stream allocations when they are large enough. Produces exactly
+    /// the same value as [`Basis::transpose`] on a fresh basis.
+    pub fn transpose_into(&mut self, input: &[u8]) {
         let len = input.len();
-        let nwords = len.div_ceil(64);
-        let mut words: [Vec<u64>; BASIS_COUNT] = std::array::from_fn(|_| vec![0u64; nwords]);
+        self.len = len;
+        for s in self.streams.iter_mut() {
+            s.reset_zeros(len);
+        }
         for (wi, chunk) in input.chunks(64).enumerate() {
             let mut acc = [0u64; BASIS_COUNT];
             for (bi, &byte) in chunk.iter().enumerate() {
@@ -50,11 +70,9 @@ impl Basis {
                 }
             }
             for (k, a) in acc.into_iter().enumerate() {
-                words[k][wi] = a;
+                self.streams[k].set_word(wi, a);
             }
         }
-        let streams = words.map(|w| BitStream::from_words(w, len));
-        Basis { streams, len }
     }
 
     /// The number of positions (equal to the input length in bytes).
@@ -147,6 +165,30 @@ mod tests {
         let b = Basis::transpose(b"");
         assert!(b.is_empty());
         assert_eq!(b.untranspose(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn transpose_into_matches_transpose() {
+        let inputs: [&[u8]; 4] = [b"", b"a", b"hello world, hello world!", &[0xff; 130]];
+        let mut reused = Basis::empty();
+        for input in inputs {
+            reused.transpose_into(input);
+            assert_eq!(reused, Basis::transpose(input));
+        }
+    }
+
+    #[test]
+    fn transpose_into_reuses_allocation() {
+        let big: Vec<u8> = (0..1000u32).map(|i| (i % 256) as u8).collect();
+        let mut basis = Basis::empty();
+        basis.transpose_into(&big);
+        let caps: Vec<usize> = basis.streams().iter().map(|s| s.capacity_words()).collect();
+        // A smaller then equal-sized input must not grow the buffers.
+        basis.transpose_into(&big[..100]);
+        basis.transpose_into(&big);
+        let after: Vec<usize> = basis.streams().iter().map(|s| s.capacity_words()).collect();
+        assert_eq!(caps, after);
+        assert_eq!(basis, Basis::transpose(&big));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //!   --scheme SCHEME     seq | base | dtm- | dtm | sr | zbs (default zbs)
 //!   --device DEV        3090 (default) | h100 | l40s
 //!   --threads N         threads per CTA (default 64)
+//!   --scan-threads N    host threads for the scan (default: all cores)
 //!   --match-star        use the MatchStar (while-free) star lowering
 //!   --profile           print an Nsight-style launch profile to stderr
 //! ```
@@ -33,6 +34,7 @@ struct Options {
     scheme: Scheme,
     device: DeviceConfig,
     threads: usize,
+    scan_threads: usize,
     match_star: bool,
     profile: bool,
 }
@@ -41,7 +43,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: bitgrep -e PATTERN [-e PATTERN ...] [FILE] \
          [--count] [--line-number] [--positions] [--engine E] [--scheme S] \
-         [--device D] [--threads N] [--match-star] [--profile]"
+         [--device D] [--threads N] [--scan-threads N] [--match-star] [--profile]"
     );
     std::process::exit(2);
 }
@@ -57,6 +59,7 @@ fn parse_args() -> Options {
         scheme: Scheme::Zbs,
         device: DeviceConfig::rtx3090(),
         threads: 64,
+        scan_threads: 0,
         match_star: false,
         profile: false,
     };
@@ -93,6 +96,10 @@ fn parse_args() -> Options {
                 opts.threads =
                     args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
             }
+            "--scan-threads" => {
+                opts.scan_threads =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
             "--match-star" => opts.match_star = true,
             "--profile" => opts.profile = true,
             "-h" | "--help" => usage(),
@@ -123,13 +130,12 @@ fn scan(opts: &Options, input: &[u8]) -> Result<BitStream, String> {
     let pats: Vec<&str> = opts.patterns.iter().map(String::as_str).collect();
     match opts.engine.as_str() {
         "bitgen" => {
-            let config = EngineConfig {
-                scheme: opts.scheme,
-                device: opts.device.clone(),
-                threads: opts.threads,
-                match_star: opts.match_star,
-                ..EngineConfig::default()
-            };
+            let config = EngineConfig::default()
+                .with_scheme(opts.scheme)
+                .with_device(opts.device.clone())
+                .with_cta_threads(opts.threads)
+                .with_threads(opts.scan_threads)
+                .with_match_star(opts.match_star);
             let engine = BitGen::compile_with(&pats, config).map_err(|e| e.to_string())?;
             let report = engine.find(input).map_err(|e| e.to_string())?;
             if opts.profile {

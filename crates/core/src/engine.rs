@@ -6,13 +6,13 @@
 //! one CTA under the configured scheme, prices the launch on the
 //! configured device, and reports matches plus modelled performance.
 
+use crate::error::Error;
 use crate::group::{group_regexes, GroupingStrategy};
-use bitgen_bitstream::{Basis, BitStream};
-use bitgen_exec::{apply_transforms, execute_prepared, ExecConfig, ExecError, ExecMetrics, FallbackPolicy, Scheme};
-use bitgen_gpu::{throughput_mbps, CostBreakdown, DeviceConfig};
+use bitgen_bitstream::BitStream;
+use bitgen_exec::{apply_transforms, ExecConfig, ExecMetrics, FallbackPolicy, Scheme};
+use bitgen_gpu::{CostBreakdown, DeviceConfig};
 use bitgen_ir::{lower_group_with, LowerOptions, Program};
 use bitgen_regex::{parse, Ast, ParseError};
-use std::error::Error;
 use std::fmt;
 
 /// Engine configuration: the paper's tunables plus simulation knobs.
@@ -54,6 +54,10 @@ pub struct EngineConfig {
     pub grouping: GroupingStrategy,
     /// Overlap-overflow handling.
     pub fallback: FallbackPolicy,
+    /// Host threads a scan session shards the (group × stream) CTA grid
+    /// across; `0` (the default) means one per available hardware
+    /// thread. Results are bit-identical regardless of this value.
+    pub scan_threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -73,7 +77,71 @@ impl Default for EngineConfig {
             combine_outputs: true,
             grouping: GroupingStrategy::BalancedLength,
             fallback: FallbackPolicy::Sequential,
+            scan_threads: 0,
         }
+    }
+}
+
+impl EngineConfig {
+    /// Sets the simulated device.
+    pub fn with_device(mut self, device: DeviceConfig) -> EngineConfig {
+        self.device = device;
+        self
+    }
+
+    /// Sets the execution scheme.
+    pub fn with_scheme(mut self, scheme: Scheme) -> EngineConfig {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Sets the host-thread count scan sessions use (`0` = one per
+    /// available hardware thread).
+    pub fn with_threads(mut self, scan_threads: usize) -> EngineConfig {
+        self.scan_threads = scan_threads;
+        self
+    }
+
+    /// Sets per-regex (`false`) vs union-only (`true`) match streams.
+    pub fn with_combine_outputs(mut self, combine: bool) -> EngineConfig {
+        self.combine_outputs = combine;
+        self
+    }
+
+    /// Sets the number of regex groups (CTAs).
+    pub fn with_cta_count(mut self, cta_count: usize) -> EngineConfig {
+        self.cta_count = cta_count;
+        self
+    }
+
+    /// Sets the simulated threads per CTA.
+    pub fn with_cta_threads(mut self, threads: usize) -> EngineConfig {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the regex-to-CTA grouping strategy.
+    pub fn with_grouping(mut self, grouping: GroupingStrategy) -> EngineConfig {
+        self.grouping = grouping;
+        self
+    }
+
+    /// Sets case-insensitive matching.
+    pub fn with_case_insensitive(mut self, fold: bool) -> EngineConfig {
+        self.case_insensitive = fold;
+        self
+    }
+
+    /// Sets the overlap-overflow policy.
+    pub fn with_fallback(mut self, fallback: FallbackPolicy) -> EngineConfig {
+        self.fallback = fallback;
+        self
+    }
+
+    /// Sets the MatchStar (while-free) star lowering.
+    pub fn with_match_star(mut self, match_star: bool) -> EngineConfig {
+        self.match_star = match_star;
+        self
     }
 }
 
@@ -92,18 +160,41 @@ impl fmt::Display for CompileError {
     }
 }
 
-impl Error for CompileError {}
+impl std::error::Error for CompileError {}
 
 /// A compiled multi-pattern engine.
 #[derive(Debug, Clone)]
 pub struct BitGen {
-    groups: Vec<Vec<usize>>,
-    programs: Vec<Program>,
+    pub(crate) groups: Vec<Vec<usize>>,
+    pub(crate) programs: Vec<Program>,
     pattern_count: usize,
     /// Longest possible match span across all patterns, `None` when some
     /// pattern is unbounded. Drives the streaming scanner's carry-over.
     max_span: Option<usize>,
     config: EngineConfig,
+}
+
+/// One match occurrence: pattern `pattern_id` has a match ending at
+/// byte `end`.
+///
+/// Under `combine_outputs` (the default) the engine keeps only the
+/// union stream, so occurrences carry [`Match::UNATTRIBUTED`]; compile
+/// with [`EngineConfig::with_combine_outputs`]`(false)` for per-pattern
+/// attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Match {
+    /// Byte position the match ends at (all-match semantics: every end
+    /// position of every pattern is an occurrence).
+    pub end: usize,
+    /// Index of the matched pattern in the compiled set, or
+    /// [`Match::UNATTRIBUTED`].
+    pub pattern_id: usize,
+}
+
+impl Match {
+    /// `pattern_id` value meaning "some pattern, not attributed":
+    /// the engine ran with combined outputs.
+    pub const UNATTRIBUTED: usize = usize::MAX;
 }
 
 /// Result of scanning one input.
@@ -131,6 +222,56 @@ impl ScanReport {
         self.matches.count_ones()
     }
 
+    /// Iterates over match occurrences ordered by end position (ties by
+    /// pattern index).
+    ///
+    /// With per-pattern streams (`combine_outputs` off) each occurrence
+    /// names its pattern; otherwise the union stream is reported with
+    /// [`Match::UNATTRIBUTED`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bitgen::{BitGen, EngineConfig};
+    ///
+    /// let config = EngineConfig::default().with_combine_outputs(false);
+    /// let engine = BitGen::compile_with(&["ab", "bc"], config)?;
+    /// let report = engine.find(b"abc")?;
+    /// let hits: Vec<(usize, usize)> =
+    ///     report.iter_matches().map(|m| (m.end, m.pattern_id)).collect();
+    /// assert_eq!(hits, vec![(1, 0), (2, 1)]);
+    /// # Ok::<(), bitgen::Error>(())
+    /// ```
+    pub fn iter_matches(&self) -> impl Iterator<Item = Match> + '_ {
+        let mut hits: Vec<Match> = match &self.per_pattern {
+            Some(per) => per
+                .iter()
+                .enumerate()
+                .flat_map(|(pattern_id, stream)| {
+                    stream.positions().into_iter().map(move |end| Match { end, pattern_id })
+                })
+                .collect(),
+            None => self
+                .matches
+                .positions()
+                .into_iter()
+                .map(|end| Match { end, pattern_id: Match::UNATTRIBUTED })
+                .collect(),
+        };
+        hits.sort();
+        hits.into_iter()
+    }
+
+    /// Match-end positions of one pattern, ascending, or `None` when the
+    /// engine ran with combined outputs (no per-pattern attribution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern_id` is out of range for the compiled set.
+    pub fn matches_for(&self, pattern_id: usize) -> Option<Vec<usize>> {
+        self.per_pattern.as_ref().map(|per| per[pattern_id].positions())
+    }
+
     /// Renders an Nsight-style profile of the launch (per-CTA events and
     /// cycle attribution) for `device` — normally the device the engine
     /// was configured with.
@@ -154,11 +295,11 @@ impl BitGen {
     /// use bitgen::BitGen;
     ///
     /// let engine = BitGen::compile(&["a(bc)*d", "cat"])?;
-    /// let report = engine.find(b"bobcat abcbcd").unwrap();
+    /// let report = engine.find(b"bobcat abcbcd")?;
     /// assert_eq!(report.matches.positions(), vec![5, 12]);
-    /// # Ok::<(), bitgen::CompileError>(())
+    /// # Ok::<(), bitgen::Error>(())
     /// ```
-    pub fn compile(patterns: &[&str]) -> Result<BitGen, CompileError> {
+    pub fn compile(patterns: &[&str]) -> Result<BitGen, Error> {
         BitGen::compile_with(patterns, EngineConfig::default())
     }
 
@@ -167,7 +308,7 @@ impl BitGen {
     /// # Errors
     ///
     /// Returns the first pattern that fails to parse.
-    pub fn compile_with(patterns: &[&str], config: EngineConfig) -> Result<BitGen, CompileError> {
+    pub fn compile_with(patterns: &[&str], config: EngineConfig) -> Result<BitGen, Error> {
         let mut asts = Vec::with_capacity(patterns.len());
         for (index, p) in patterns.iter().enumerate() {
             asts.push(parse(p).map_err(|error| CompileError { index, error })?);
@@ -257,43 +398,17 @@ impl BitGen {
 
     /// Scans `input`, returning matches and modelled performance.
     ///
+    /// Convenience for one-off scans: equivalent to creating a
+    /// [`crate::ScanSession`] and scanning once. Callers scanning many
+    /// inputs should hold a session instead, which reuses its scratch
+    /// buffers across calls.
+    ///
     /// # Errors
     ///
-    /// Propagates [`ExecError`] (only possible under
+    /// Propagates execution failures (only possible under
     /// [`FallbackPolicy::Error`]).
-    pub fn find(&self, input: &[u8]) -> Result<ScanReport, ExecError> {
-        let basis = Basis::transpose(input);
-        let exec_config = self.exec_config();
-        let mut union = BitStream::zeros(input.len());
-        let mut per_pattern = if self.config.combine_outputs {
-            None
-        } else {
-            Some(vec![BitStream::zeros(input.len()); self.pattern_count])
-        };
-        let mut metrics = Vec::with_capacity(self.programs.len());
-        let mut works = Vec::with_capacity(self.programs.len());
-        for (group, program) in self.groups.iter().zip(&self.programs) {
-            let outcome = execute_prepared(program, &basis, &exec_config)?;
-            for (oi, out) in outcome.outputs.iter().enumerate() {
-                let clipped = out.resized(input.len());
-                union = union.or(&clipped);
-                if let Some(per) = per_pattern.as_mut() {
-                    per[group[oi]] = clipped;
-                }
-            }
-            works.push(outcome.metrics.cta_work());
-            metrics.push(outcome.metrics);
-        }
-        let cost = self.config.device.estimate(&works);
-        let seconds = cost.seconds + self.config.device.transpose_seconds(input.len());
-        Ok(ScanReport {
-            matches: union,
-            per_pattern,
-            seconds,
-            throughput_mbps: throughput_mbps(input.len(), seconds),
-            cost,
-            metrics,
-        })
+    pub fn find(&self, input: &[u8]) -> Result<ScanReport, Error> {
+        self.session().scan(input)
     }
 
     /// Scans several independent input streams in one launch — the
@@ -307,7 +422,7 @@ impl BitGen {
     ///
     /// # Errors
     ///
-    /// Propagates the first [`ExecError`].
+    /// Propagates the first execution failure in (stream, group) order.
     ///
     /// # Examples
     ///
@@ -315,61 +430,16 @@ impl BitGen {
     /// use bitgen::BitGen;
     ///
     /// let engine = BitGen::compile(&["ab"])?;
-    /// let reports = engine.find_many(&[b"abab".as_slice(), b"xxab"]).unwrap();
+    /// let reports = engine.find_many(&[b"abab".as_slice(), b"xxab"])?;
     /// assert_eq!(reports[0].matches.positions(), vec![1, 3]);
     /// assert_eq!(reports[1].matches.positions(), vec![3]);
-    /// # Ok::<(), bitgen::CompileError>(())
+    /// # Ok::<(), bitgen::Error>(())
     /// ```
-    pub fn find_many(&self, inputs: &[&[u8]]) -> Result<Vec<ScanReport>, ExecError> {
-        let exec_config = self.exec_config();
-        let mut works = Vec::with_capacity(inputs.len() * self.programs.len());
-        let mut partial: Vec<(BitStream, Option<Vec<BitStream>>, Vec<ExecMetrics>)> =
-            Vec::with_capacity(inputs.len());
-        let mut total_bytes = 0usize;
-        for &input in inputs {
-            total_bytes += input.len();
-            let basis = Basis::transpose(input);
-            let mut union = BitStream::zeros(input.len());
-            let mut per_pattern = if self.config.combine_outputs {
-                None
-            } else {
-                Some(vec![BitStream::zeros(input.len()); self.pattern_count])
-            };
-            let mut metrics = Vec::with_capacity(self.programs.len());
-            for (group, program) in self.groups.iter().zip(&self.programs) {
-                let outcome = execute_prepared(program, &basis, &exec_config)?;
-                for (oi, out) in outcome.outputs.iter().enumerate() {
-                    let clipped = out.resized(input.len());
-                    union = union.or(&clipped);
-                    if let Some(per) = per_pattern.as_mut() {
-                        per[group[oi]] = clipped;
-                    }
-                }
-                works.push(outcome.metrics.cta_work());
-                metrics.push(outcome.metrics);
-            }
-            partial.push((union, per_pattern, metrics));
-        }
-        // One launch: all S·G CTAs priced together, plus one transpose per
-        // stream (summed; conservative, as transposes overlap on device).
-        let cost = self.config.device.estimate(&works);
-        let transpose: f64 =
-            inputs.iter().map(|i| self.config.device.transpose_seconds(i.len())).sum();
-        let seconds = cost.seconds + transpose;
-        Ok(partial
-            .into_iter()
-            .map(|(matches, per_pattern, metrics)| ScanReport {
-                matches,
-                per_pattern,
-                seconds,
-                throughput_mbps: throughput_mbps(total_bytes, seconds),
-                cost: cost.clone(),
-                metrics,
-            })
-            .collect())
+    pub fn find_many(&self, inputs: &[&[u8]]) -> Result<Vec<ScanReport>, Error> {
+        self.session().scan_many(inputs)
     }
 
-    fn exec_config(&self) -> ExecConfig {
+    pub(crate) fn exec_config(&self) -> ExecConfig {
         ExecConfig {
             scheme: self.config.scheme,
             threads: self.config.threads,
@@ -445,8 +515,35 @@ mod tests {
     #[test]
     fn compile_error_carries_index() {
         let err = BitGen::compile(&["ok", "(broken"]).unwrap_err();
-        assert_eq!(err.index, 1);
+        let Error::Compile(compile) = &err else {
+            panic!("expected a compile error, got {err:?}");
+        };
+        assert_eq!(compile.index, 1);
         assert!(err.to_string().contains("pattern 1"));
+    }
+
+    #[test]
+    fn iter_matches_and_matches_for() {
+        let config = EngineConfig::default().with_combine_outputs(false).with_cta_count(2);
+        let engine = BitGen::compile_with(&["ab", "bc"], config).unwrap();
+        let report = engine.find(b"abcab").unwrap();
+        let hits: Vec<(usize, usize)> =
+            report.iter_matches().map(|m| (m.end, m.pattern_id)).collect();
+        assert_eq!(hits, vec![(1, 0), (2, 1), (4, 0)]);
+        assert_eq!(report.matches_for(0), Some(vec![1, 4]));
+        assert_eq!(report.matches_for(1), Some(vec![2]));
+
+        // Combined outputs: occurrences exist but are unattributed.
+        let combined = BitGen::compile(&["ab", "bc"]).unwrap();
+        let report = combined.find(b"abcab").unwrap();
+        assert_eq!(report.matches_for(0), None);
+        let hits: Vec<Match> = report.iter_matches().collect();
+        assert_eq!(hits.len(), 3);
+        assert!(hits.iter().all(|m| m.pattern_id == Match::UNATTRIBUTED));
+        assert_eq!(
+            hits.iter().map(|m| m.end).collect::<Vec<_>>(),
+            report.matches.positions()
+        );
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! The crate-wide error type: one enum over every failure an entry
+//! point can produce, so callers hold a single `Result` shape across
+//! compilation, scanning, and streaming.
+
+use crate::engine::CompileError;
+use crate::stream_scan::StreamError;
+use bitgen_exec::ExecError;
+use std::fmt;
+
+/// Any failure a `bitgen` entry point can return.
+///
+/// Wraps the stage-specific errors ([`CompileError`], [`ExecError`],
+/// [`StreamError`]) so pipelines mixing compilation, scanning, and
+/// streaming can use `?` throughout:
+///
+/// ```
+/// use bitgen::BitGen;
+///
+/// fn count(patterns: &[&str], input: &[u8]) -> Result<usize, bitgen::Error> {
+///     let engine = BitGen::compile(patterns)?;
+///     let report = engine.find(input)?;
+///     Ok(report.match_count())
+/// }
+///
+/// assert_eq!(count(&["ab"], b"abab")?, 2);
+/// assert!(count(&["(oops"], b"").is_err());
+/// # Ok::<(), bitgen::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A pattern failed to compile.
+    Compile(CompileError),
+    /// Execution failed on the simulated device.
+    Exec(ExecError),
+    /// A streaming scanner could not be constructed.
+    Stream(StreamError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Compile(e) => write!(f, "compile error: {e}"),
+            Error::Exec(e) => write!(f, "execution error: {e}"),
+            Error::Stream(e) => write!(f, "streaming error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Compile(e) => Some(e),
+            Error::Exec(e) => Some(e),
+            Error::Stream(e) => Some(e),
+        }
+    }
+}
+
+impl From<CompileError> for Error {
+    fn from(e: CompileError) -> Error {
+        Error::Compile(e)
+    }
+}
+
+impl From<ExecError> for Error {
+    fn from(e: ExecError) -> Error {
+        Error::Exec(e)
+    }
+}
+
+impl From<StreamError> for Error {
+    fn from(e: StreamError) -> Error {
+        Error::Stream(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn wraps_and_displays_each_stage() {
+        let e = crate::BitGen::compile(&["(bad"]).unwrap_err();
+        assert!(matches!(e, Error::Compile(_)));
+        assert!(e.to_string().contains("compile error"));
+        assert!(e.source().is_some());
+
+        let stream = Error::from(StreamError::UnboundedPattern);
+        assert!(stream.to_string().contains("streaming error"));
+        assert!(stream.source().is_some());
+    }
+}

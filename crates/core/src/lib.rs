@@ -15,12 +15,28 @@
 //! use bitgen::BitGen;
 //!
 //! let engine = BitGen::compile(&["a(bc)*d", r"GET /[a-z]+"])?;
-//! let report = engine.find(b"GET /index abcbcd").unwrap();
+//! let report = engine.find(b"GET /index abcbcd")?;
 //! // All-match semantics: every end of `GET /[a-z]+` is reported
 //! // (positions 5..=9), plus the end of `a(bc)*d` at 16.
 //! assert_eq!(report.matches.positions(), vec![5, 6, 7, 8, 9, 16]);
 //! println!("modelled throughput: {:.1} MB/s", report.throughput_mbps);
-//! # Ok::<(), bitgen::CompileError>(())
+//! # Ok::<(), bitgen::Error>(())
+//! ```
+//!
+//! Scanning many inputs? Hold a [`ScanSession`]: it keeps its scratch
+//! buffers across calls and shards the (group × stream) CTA grid over
+//! host threads ([`EngineConfig::with_threads`]), with bit-identical
+//! results at any thread count:
+//!
+//! ```
+//! use bitgen::BitGen;
+//!
+//! let engine = BitGen::compile(&["cat", "dog"])?;
+//! let mut session = engine.session();
+//! let reports = session.scan_many(&[b"catalog".as_slice(), b"dogma"])?;
+//! assert_eq!(reports[0].match_count(), 1);
+//! assert_eq!(reports[1].match_count(), 1);
+//! # Ok::<(), bitgen::Error>(())
 //! ```
 //!
 //! The pipeline underneath, crate by crate:
@@ -41,13 +57,17 @@
 #![forbid(unsafe_code)]
 
 mod engine;
+mod error;
 mod fold;
 mod group;
+mod session;
 mod stream_scan;
 
-pub use engine::{BitGen, CompileError, EngineConfig, ScanReport};
+pub use engine::{BitGen, CompileError, EngineConfig, Match, ScanReport};
+pub use error::Error;
 pub use fold::fold_case;
 pub use group::{group_regexes, GroupingStrategy};
+pub use session::ScanSession;
 pub use stream_scan::{StreamError, StreamScanner};
 
 // Re-export the pieces users need to configure or extend the engine.

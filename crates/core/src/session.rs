@@ -1,0 +1,355 @@
+//! Reusable scan sessions: pre-sized scratch buffers plus a host-thread
+//! executor for the (group × stream) CTA grid.
+//!
+//! The paper's MIMD regime launches S·G CTAs at once — every regex
+//! group paired with every input stream. A [`ScanSession`] emulates
+//! those CTAs on host threads (`std::thread::scope`, no work stealing:
+//! each worker owns a contiguous chunk of the flattened grid) and keeps
+//! per-worker [`ExecScratch`]es and per-stream [`Basis`] buffers alive
+//! across calls, so repeated scans of same-sized inputs reach a steady
+//! state with no per-call buffer growth.
+//!
+//! Determinism: CTA outcomes are merged in canonical (stream-major,
+//! group-minor) slot order no matter which worker produced them, and
+//! the device cost model aggregates permutation-invariantly, so
+//! matches, metrics, and modelled seconds are bit-identical for every
+//! thread count.
+
+use crate::engine::{BitGen, ScanReport};
+use crate::error::Error;
+use bitgen_bitstream::{Basis, BitStream};
+use bitgen_exec::{execute_prepared_with, ExecConfig, ExecError, ExecMetrics, ExecOutcome, ExecScratch};
+use bitgen_gpu::throughput_mbps;
+
+/// A reusable scanner over a compiled engine.
+///
+/// Owns the transpose targets (one [`Basis`] per stream slot) and one
+/// executor scratch per worker thread; both persist across scans. Use
+/// [`BitGen::session`] to create one, [`ScanSession::scan`] /
+/// [`ScanSession::scan_many`] to run it. [`BitGen::find`] and
+/// [`BitGen::find_many`] are one-shot wrappers over a fresh session.
+///
+/// # Examples
+///
+/// ```
+/// use bitgen::BitGen;
+///
+/// let engine = BitGen::compile(&["ab", "c+d"])?;
+/// let mut session = engine.session();
+/// for input in [b"abcd".as_slice(), b"ccd ab", b"none"] {
+///     let report = session.scan(input)?;
+///     println!("{} matches", report.match_count());
+/// }
+/// # Ok::<(), bitgen::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct ScanSession<'e> {
+    engine: &'e BitGen,
+    exec_config: ExecConfig,
+    /// Resolved worker count (≥ 1).
+    threads: usize,
+    /// Transpose targets, one per stream slot, grown on demand.
+    bases: Vec<Basis>,
+    /// Executor scratch, one per worker, grown on demand.
+    scratches: Vec<ExecScratch>,
+}
+
+impl BitGen {
+    /// Creates a scan session over this engine.
+    ///
+    /// The worker count comes from [`crate::EngineConfig::scan_threads`]
+    /// (`0` = one per available hardware thread). Buffers are allocated
+    /// lazily on first scan and reused afterwards.
+    pub fn session(&self) -> ScanSession<'_> {
+        let configured = self.config().scan_threads;
+        let threads = if configured == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            configured
+        };
+        ScanSession {
+            engine: self,
+            exec_config: self.exec_config(),
+            threads,
+            bases: Vec::new(),
+            scratches: Vec::new(),
+        }
+    }
+}
+
+impl ScanSession<'_> {
+    /// The resolved worker thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Total words of capacity currently held by session-owned buffers
+    /// (basis streams plus executor scratch pools). Stable across
+    /// repeated scans of same-sized inputs — exposed so reuse tests and
+    /// benchmarks can assert that.
+    pub fn buffer_capacity_words(&self) -> usize {
+        let basis_words: usize = self
+            .bases
+            .iter()
+            .flat_map(|b| b.streams().iter().map(BitStream::capacity_words))
+            .sum();
+        let pool_words: usize = self.scratches.iter().map(ExecScratch::pooled_words).sum();
+        basis_words + pool_words
+    }
+
+    /// Scans one input. Same result as [`BitGen::find`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution failures.
+    pub fn scan(&mut self, input: &[u8]) -> Result<ScanReport, Error> {
+        let mut reports = self.scan_many(&[input])?;
+        Ok(reports.pop().expect("one report per stream"))
+    }
+
+    /// Scans several independent input streams as one launch — the
+    /// paper's MIMD regime. Same results as [`BitGen::find_many`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first execution failure in (stream, group) order.
+    pub fn scan_many(&mut self, inputs: &[&[u8]]) -> Result<Vec<ScanReport>, Error> {
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.transpose_streams(inputs);
+        let outcomes = self.execute_grid(inputs.len())?;
+        Ok(self.merge(inputs, outcomes))
+    }
+
+    /// Phase 1: fill `bases[..s]` from the inputs, sharded across
+    /// workers by contiguous chunks.
+    fn transpose_streams(&mut self, inputs: &[&[u8]]) {
+        let s = inputs.len();
+        if self.bases.len() < s {
+            self.bases.resize_with(s, Basis::empty);
+        }
+        let active = &mut self.bases[..s];
+        let workers = self.threads.min(s).max(1);
+        if workers <= 1 {
+            for (basis, input) in active.iter_mut().zip(inputs) {
+                basis.transpose_into(input);
+            }
+            return;
+        }
+        let chunk = s.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (bases, ins) in active.chunks_mut(chunk).zip(inputs.chunks(chunk)) {
+                scope.spawn(move || {
+                    for (basis, input) in bases.iter_mut().zip(ins) {
+                        basis.transpose_into(input);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Phase 2: run all `s × g` CTAs. Slot `i` pairs stream `i / g`
+    /// with group `i % g`; workers take contiguous slot chunks and each
+    /// reuses its own scratch. Results land in slot order, so the merge
+    /// below never depends on scheduling.
+    fn execute_grid(&mut self, s: usize) -> Result<Vec<ExecOutcome>, ExecError> {
+        let g = self.engine.programs.len();
+        let slot_count = s * g;
+        let mut slots: Vec<Option<Result<ExecOutcome, ExecError>>> = Vec::new();
+        slots.resize_with(slot_count, || None);
+        let workers = self.threads.min(slot_count).max(1);
+        if self.scratches.len() < workers {
+            self.scratches.resize_with(workers, ExecScratch::new);
+        }
+        let exec_config = self.exec_config;
+        let programs = &self.engine.programs;
+        let bases = &self.bases[..s];
+        if workers <= 1 {
+            let scratch = &mut self.scratches[0];
+            for (idx, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(execute_prepared_with(
+                    &programs[idx % g],
+                    &bases[idx / g],
+                    &exec_config,
+                    scratch,
+                ));
+            }
+        } else {
+            let chunk = slot_count.div_ceil(workers);
+            std::thread::scope(|scope| {
+                for ((ci, slot_chunk), scratch) in
+                    slots.chunks_mut(chunk).enumerate().zip(self.scratches.iter_mut())
+                {
+                    scope.spawn(move || {
+                        for (j, slot) in slot_chunk.iter_mut().enumerate() {
+                            let idx = ci * chunk + j;
+                            *slot = Some(execute_prepared_with(
+                                &programs[idx % g],
+                                &bases[idx / g],
+                                &exec_config,
+                                scratch,
+                            ));
+                        }
+                    });
+                }
+            });
+        }
+        // First failure in canonical slot order, independent of which
+        // worker hit it first.
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every slot executed"))
+            .collect()
+    }
+
+    /// Phase 3: fold the slot outcomes into per-stream reports and
+    /// price the whole launch once, exactly as the sequential path did.
+    fn merge(&self, inputs: &[&[u8]], outcomes: Vec<ExecOutcome>) -> Vec<ScanReport> {
+        let engine = self.engine;
+        let g = engine.programs.len();
+        let device = &engine.config().device;
+        let combine = engine.config().combine_outputs;
+        let total_bytes: usize = inputs.iter().map(|i| i.len()).sum();
+        let mut works = Vec::with_capacity(outcomes.len());
+        let mut partial: Vec<(BitStream, Option<Vec<BitStream>>, Vec<ExecMetrics>)> =
+            Vec::with_capacity(inputs.len());
+        let mut outcomes = outcomes.into_iter();
+        for &input in inputs {
+            let mut union = BitStream::zeros(input.len());
+            let mut per_pattern = if combine {
+                None
+            } else {
+                Some(vec![BitStream::zeros(input.len()); engine.pattern_count()])
+            };
+            let mut metrics = Vec::with_capacity(g);
+            for group in &engine.groups {
+                let outcome = outcomes.next().expect("one outcome per slot");
+                for (oi, out) in outcome.outputs.iter().enumerate() {
+                    let clipped = out.resized(input.len());
+                    union = union.or(&clipped);
+                    if let Some(per) = per_pattern.as_mut() {
+                        per[group[oi]] = clipped;
+                    }
+                }
+                works.push(outcome.metrics.cta_work());
+                metrics.push(outcome.metrics);
+            }
+            partial.push((union, per_pattern, metrics));
+        }
+        // One launch: all S·G CTAs priced together, plus one transpose
+        // per stream (summed; conservative, as transposes overlap on
+        // device).
+        let cost = device.estimate(&works);
+        let transpose: f64 = inputs.iter().map(|i| device.transpose_seconds(i.len())).sum();
+        let seconds = cost.seconds + transpose;
+        partial
+            .into_iter()
+            .map(|(matches, per_pattern, metrics)| ScanReport {
+                matches,
+                per_pattern,
+                seconds,
+                throughput_mbps: throughput_mbps(total_bytes, seconds),
+                cost: cost.clone(),
+                metrics,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+
+    fn streams() -> Vec<Vec<u8>> {
+        (0..9)
+            .map(|i| {
+                let mut v = Vec::new();
+                for j in 0..40 + i * 13 {
+                    v.extend_from_slice(match (i + j) % 4 {
+                        0 => b"abcbcd".as_slice(),
+                        1 => b"zzzz",
+                        2 => b"cat ",
+                        _ => b"a1x ",
+                    });
+                }
+                v
+            })
+            .collect()
+    }
+
+    fn reports_agree(a: &[ScanReport], b: &[ScanReport]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.matches, y.matches);
+            assert_eq!(x.per_pattern, y.per_pattern);
+            assert_eq!(x.seconds.to_bits(), y.seconds.to_bits());
+            assert_eq!(x.cost.seconds.to_bits(), y.cost.seconds.to_bits());
+            assert_eq!(x.metrics, y.metrics);
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_results() {
+        let pats = ["a(bc)*d", "cat", "[0-9]+x"];
+        let inputs = streams();
+        let slices: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+        let reference = {
+            let config = EngineConfig::default().with_threads(1);
+            let engine = BitGen::compile_with(&pats, config).unwrap();
+            engine.session().scan_many(&slices).unwrap()
+        };
+        for threads in [2, 3, 8, 64] {
+            let config = EngineConfig::default().with_threads(threads);
+            let engine = BitGen::compile_with(&pats, config).unwrap();
+            let got = engine.session().scan_many(&slices).unwrap();
+            reports_agree(&reference, &got);
+        }
+    }
+
+    #[test]
+    fn session_matches_one_shot_entry_points() {
+        let engine = BitGen::compile(&["ab", "c+d"]).unwrap();
+        let inputs = streams();
+        let slices: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+        let mut session = engine.session();
+        reports_agree(&session.scan_many(&slices).unwrap(), &engine.find_many(&slices).unwrap());
+        reports_agree(
+            std::slice::from_ref(&session.scan(slices[0]).unwrap()),
+            std::slice::from_ref(&engine.find(slices[0]).unwrap()),
+        );
+    }
+
+    #[test]
+    fn repeated_scans_stop_growing_buffers() {
+        let engine =
+            BitGen::compile_with(&["a(bc)*d", "cat"], EngineConfig::default().with_threads(4))
+                .unwrap();
+        let inputs = streams();
+        let slices: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+        let mut session = engine.session();
+        // Warm-up populates the buffers; afterwards same-sized batches
+        // must leave every capacity untouched.
+        let first = session.scan_many(&slices).unwrap();
+        let warm = session.buffer_capacity_words();
+        assert!(warm > 0);
+        for _ in 0..3 {
+            let again = session.scan_many(&slices).unwrap();
+            reports_agree(&first, &again);
+            assert_eq!(session.buffer_capacity_words(), warm);
+        }
+        // Smaller batches fit in the same buffers too.
+        session.scan(slices[0]).unwrap();
+        assert_eq!(session.buffer_capacity_words(), warm);
+    }
+
+    #[test]
+    fn empty_batch_and_empty_engine() {
+        let engine = BitGen::compile(&["a"]).unwrap();
+        assert!(engine.session().scan_many(&[]).unwrap().is_empty());
+        let empty = BitGen::compile(&[]).unwrap();
+        let report = empty.session().scan(b"anything").unwrap();
+        assert_eq!(report.match_count(), 0);
+    }
+}

@@ -8,8 +8,8 @@
 //! containing unbounded repetitions have no span bound and are rejected.
 
 use crate::engine::{BitGen, ScanReport};
-use bitgen_exec::ExecError;
-use std::error::Error;
+use crate::error::Error;
+use crate::session::ScanSession;
 use std::fmt;
 
 /// Why a streaming scanner could not be constructed.
@@ -30,9 +30,12 @@ impl fmt::Display for StreamError {
     }
 }
 
-impl Error for StreamError {}
+impl std::error::Error for StreamError {}
 
 /// Incremental scanner over a compiled engine.
+///
+/// Holds a [`ScanSession`] internally, so the per-push transpose and
+/// executor buffers are reused across chunks.
 ///
 /// # Examples
 ///
@@ -40,16 +43,16 @@ impl Error for StreamError {}
 /// use bitgen::BitGen;
 ///
 /// let engine = BitGen::compile(&["abcd"])?;
-/// let mut scanner = engine.streamer().unwrap();
+/// let mut scanner = engine.streamer()?;
 /// // The match spans the chunk boundary.
-/// let mut ends = scanner.push(b"xxab").unwrap();
-/// ends.extend(scanner.push(b"cdyy").unwrap());
+/// let mut ends = scanner.push(b"xxab")?;
+/// ends.extend(scanner.push(b"cdyy")?);
 /// assert_eq!(ends, vec![5]);
-/// # Ok::<(), bitgen::CompileError>(())
+/// # Ok::<(), bitgen::Error>(())
 /// ```
 #[derive(Debug)]
 pub struct StreamScanner<'e> {
-    engine: &'e BitGen,
+    session: ScanSession<'e>,
     /// Bytes of history to prepend: `max_span − 1`.
     overlap: usize,
     /// The retained tail of everything pushed so far.
@@ -60,6 +63,8 @@ pub struct StreamScanner<'e> {
     consumed: u64,
     /// Accumulated modelled seconds across pushes.
     seconds: f64,
+    /// Reusable tail + chunk concatenation buffer.
+    buffer: Vec<u8>,
 }
 
 impl BitGen {
@@ -69,17 +74,18 @@ impl BitGen {
     ///
     /// [`StreamError::UnboundedPattern`] if any pattern lacks a span
     /// bound.
-    pub fn streamer(&self) -> Result<StreamScanner<'_>, StreamError> {
+    pub fn streamer(&self) -> Result<StreamScanner<'_>, Error> {
         match self.max_span() {
             Some(span) => Ok(StreamScanner {
-                engine: self,
+                session: self.session(),
                 overlap: span.saturating_sub(1),
                 tail: Vec::new(),
                 tail_offset: 0,
                 consumed: 0,
                 seconds: 0.0,
+                buffer: Vec::new(),
             }),
-            None => Err(StreamError::UnboundedPattern),
+            None => Err(StreamError::UnboundedPattern.into()),
         }
     }
 }
@@ -90,15 +96,15 @@ impl StreamScanner<'_> {
     ///
     /// # Errors
     ///
-    /// Propagates [`ExecError`] from the underlying engine.
-    pub fn push(&mut self, chunk: &[u8]) -> Result<Vec<u64>, ExecError> {
+    /// Propagates execution failures from the underlying engine.
+    pub fn push(&mut self, chunk: &[u8]) -> Result<Vec<u64>, Error> {
         let chunk_start = self.consumed;
         // Scan tail + chunk; matches ending before the chunk were already
         // reported by earlier pushes.
-        let mut buffer = Vec::with_capacity(self.tail.len() + chunk.len());
-        buffer.extend_from_slice(&self.tail);
-        buffer.extend_from_slice(chunk);
-        let report: ScanReport = self.engine.find(&buffer)?;
+        self.buffer.clear();
+        self.buffer.extend_from_slice(&self.tail);
+        self.buffer.extend_from_slice(chunk);
+        let report: ScanReport = self.session.scan(&self.buffer)?;
         self.seconds += report.seconds;
         let local_chunk_start = (chunk_start - self.tail_offset) as usize;
         let ends = report
@@ -110,13 +116,11 @@ impl StreamScanner<'_> {
             .collect();
         self.consumed += chunk.len() as u64;
         // Retain the last `overlap` bytes as the next tail.
-        if buffer.len() > self.overlap {
-            let cut = buffer.len() - self.overlap;
-            self.tail = buffer.split_off(cut);
-            self.tail_offset = self.consumed - self.overlap as u64;
-        } else {
-            self.tail = buffer;
-            // tail_offset unchanged: the whole history fits.
+        let cut = self.buffer.len().saturating_sub(self.overlap);
+        self.tail.clear();
+        self.tail.extend_from_slice(&self.buffer[cut..]);
+        if cut > 0 {
+            self.tail_offset = self.consumed - self.tail.len() as u64;
         }
         Ok(ends)
     }
@@ -184,7 +188,10 @@ mod tests {
     #[test]
     fn unbounded_patterns_rejected() {
         let engine = BitGen::compile(&["a+b"]).unwrap();
-        assert_eq!(engine.streamer().unwrap_err(), StreamError::UnboundedPattern);
+        assert_eq!(
+            engine.streamer().unwrap_err(),
+            Error::Stream(StreamError::UnboundedPattern)
+        );
         let bounded = BitGen::compile(&["a{1,30}b"]).unwrap();
         assert!(bounded.streamer().is_ok());
     }

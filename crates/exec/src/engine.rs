@@ -105,6 +105,59 @@ impl fmt::Display for ExecError {
 
 impl Error for ExecError {}
 
+/// Reusable executor scratch: the stream environment plus a pool of
+/// recycled bit-stream buffers.
+///
+/// [`execute_prepared_with`] draws window output buffers from the pool
+/// and returns every intermediate to it afterwards, so a caller that
+/// scans many same-sized inputs with one scratch reaches a steady state
+/// where no per-call heap growth occurs. A fresh scratch behaves
+/// exactly like the scratch-free entry points — pooling never changes
+/// outputs or metrics, only where the buffers come from.
+#[derive(Debug, Clone, Default)]
+pub struct ExecScratch {
+    env: HashMap<StreamId, BitStream>,
+    pool: Vec<BitStream>,
+}
+
+impl ExecScratch {
+    /// An empty scratch with no buffers.
+    pub fn new() -> ExecScratch {
+        ExecScratch::default()
+    }
+
+    /// Total words of capacity currently held by recycled buffers.
+    /// Exposed so reuse tests can assert capacity stability.
+    pub fn pooled_words(&self) -> usize {
+        self.pool.iter().map(BitStream::capacity_words).sum()
+    }
+
+    /// Number of recycled buffers currently pooled.
+    pub fn pooled_streams(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// A zeroed stream of `len` bits, reusing a pooled buffer if one is
+    /// available.
+    fn take_zeros(&mut self, len: usize) -> BitStream {
+        match self.pool.pop() {
+            Some(mut s) => {
+                s.reset_zeros(len);
+                s
+            }
+            None => BitStream::zeros(len),
+        }
+    }
+
+    /// Replaces the pool with this call's environment streams, bounding
+    /// the pool at one call's working-set size so repeated scans cannot
+    /// grow it without limit.
+    fn recycle(&mut self) {
+        self.pool.clear();
+        self.pool.extend(self.env.drain().map(|(_, s)| s));
+    }
+}
+
 /// Result of executing a program.
 #[derive(Debug, Clone)]
 pub struct ExecOutcome {
@@ -186,42 +239,62 @@ pub fn execute_prepared(
     basis: &Basis,
     config: &ExecConfig,
 ) -> Result<ExecOutcome, ExecError> {
+    execute_prepared_with(prog, basis, config, &mut ExecScratch::new())
+}
+
+/// Re-entrant variant of [`execute_prepared`] drawing its intermediate
+/// buffers from a caller-owned [`ExecScratch`].
+///
+/// Outputs and metrics are identical to [`execute_prepared`]; the
+/// scratch only changes where buffers are allocated. Scan sessions hold
+/// one scratch per worker thread and reuse it across calls.
+///
+/// # Errors
+///
+/// Same as [`execute`].
+pub fn execute_prepared_with(
+    prog: &Program,
+    basis: &Basis,
+    config: &ExecConfig,
+    scratch: &mut ExecScratch,
+) -> Result<ExecOutcome, ExecError> {
     let segments = segment_program(prog, config.scheme);
     let stream_len = Program::stream_len(basis.len());
     let mut metrics = ExecMetrics {
         segments: segments.len(),
-        intermediates: intermediate_count(&segments, &prog),
+        intermediates: intermediate_count(&segments, prog),
         threads: config.threads,
         ..ExecMetrics::default()
     };
-    let mut env: HashMap<StreamId, BitStream> = HashMap::new();
+    scratch.env.clear();
     for seg in &segments {
         match seg.kind {
             SegmentKind::Fused => {
-                match run_fused(seg, prog, basis, &mut env, config, &mut metrics, stream_len) {
+                match run_fused(seg, prog, basis, scratch, config, &mut metrics, stream_len) {
                     Ok(()) => {}
                     Err(ExecError::OverlapOverflow { .. })
                         if config.fallback == FallbackPolicy::Sequential =>
                     {
                         metrics.fallbacks += 1;
-                        run_sequential(seg, basis, &mut env, config, &mut metrics, stream_len);
+                        run_sequential(seg, basis, &mut scratch.env, config, &mut metrics, stream_len);
                     }
                     Err(e) => return Err(e),
                 }
             }
             SegmentKind::Sequential => {
-                run_sequential(seg, basis, &mut env, config, &mut metrics, stream_len)
+                run_sequential(seg, basis, &mut scratch.env, config, &mut metrics, stream_len)
             }
         }
-        let resident: usize = env.values().map(|s| s.len().div_ceil(8)).sum();
+        let resident: usize = scratch.env.values().map(|s| s.len().div_ceil(8)).sum();
         metrics.peak_materialized_bytes = metrics.peak_materialized_bytes.max(resident);
     }
     metrics.window_iterations = metrics.counters.window_iterations;
     let outputs = prog
         .outputs()
         .iter()
-        .map(|id| env.get(id).cloned().unwrap_or_else(|| BitStream::zeros(stream_len)))
+        .map(|id| scratch.env.get(id).cloned().unwrap_or_else(|| BitStream::zeros(stream_len)))
         .collect();
+    scratch.recycle();
     Ok(ExecOutcome { outputs, metrics })
 }
 
@@ -232,7 +305,7 @@ fn run_fused(
     seg: &Segment,
     prog: &Program,
     basis: &Basis,
-    env: &mut HashMap<StreamId, BitStream>,
+    scratch: &mut ExecScratch,
     config: &ExecConfig,
     metrics: &mut ExecMetrics,
     stream_len: usize,
@@ -262,9 +335,9 @@ fn run_fused(
         return Err(ExecError::OverlapOverflow { required: info.base, capacity });
     }
 
-    let globals: Vec<BitStream> = seg.inputs.iter().map(|id| env[id].clone()).collect();
+    let globals: Vec<BitStream> = seg.inputs.iter().map(|id| scratch.env[id].clone()).collect();
     let mut outs: Vec<BitStream> =
-        seg.outputs.iter().map(|_| BitStream::zeros(stream_len)).collect();
+        seg.outputs.iter().map(|_| scratch.take_zeros(stream_len)).collect();
     let mut cta = Cta::new(kernel, config.threads);
     let mut store_pos = 0usize;
     let mut overlap_bits = 0u64;
@@ -322,7 +395,7 @@ fn run_fused(
         metrics.dynamic_overlap_max = metrics.dynamic_overlap_max.max(dyn_max);
     }
     for (id, s) in seg.outputs.iter().zip(outs) {
-        env.insert(*id, s);
+        scratch.env.insert(*id, s);
     }
     Ok(())
 }
@@ -651,6 +724,32 @@ mod tests {
         assert!(m.regs_per_thread > 0);
         assert!(m.smem_bytes > 0);
         assert!(m.shift_groups > 0);
+    }
+
+    #[test]
+    fn scratch_reuse_is_identical_and_capacity_stable() {
+        let input: Vec<u8> = b"abcbcd".iter().cycle().take(600).copied().collect();
+        let mut prog = lower(&parse("a(bc)*d").unwrap());
+        let config = ExecConfig { threads: 4, ..ExecConfig::default() };
+        apply_transforms(&mut prog, &config);
+        let basis = Basis::transpose(&input);
+        let fresh = execute_prepared(&prog, &basis, &config).unwrap();
+        let mut scratch = ExecScratch::new();
+        // Warm the scratch, record its footprint, then re-scan: outputs
+        // and metrics must match the fresh path bit for bit, and the
+        // pooled capacity must stop growing.
+        let first = execute_prepared_with(&prog, &basis, &config, &mut scratch).unwrap();
+        let warm_words = scratch.pooled_words();
+        let warm_streams = scratch.pooled_streams();
+        for _ in 0..3 {
+            let again = execute_prepared_with(&prog, &basis, &config, &mut scratch).unwrap();
+            assert_eq!(again.outputs, fresh.outputs);
+            assert_eq!(again.metrics, fresh.metrics);
+            assert_eq!(scratch.pooled_words(), warm_words);
+            assert_eq!(scratch.pooled_streams(), warm_streams);
+        }
+        assert_eq!(first.outputs, fresh.outputs);
+        assert_eq!(first.metrics, fresh.metrics);
     }
 
     #[test]

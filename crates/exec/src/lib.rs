@@ -24,7 +24,10 @@ mod scheme;
 mod segment;
 
 pub use blit::blit_or;
-pub use engine::{apply_transforms, execute, execute_prepared, ExecConfig, ExecError, ExecOutcome, FallbackPolicy};
+pub use engine::{
+    apply_transforms, execute, execute_prepared, execute_prepared_with, ExecConfig, ExecError,
+    ExecOutcome, ExecScratch, FallbackPolicy,
+};
 pub use metrics::ExecMetrics;
 pub use scheme::Scheme;
 pub use segment::{intermediate_count, segment_program, Segment, SegmentKind};

@@ -3,7 +3,7 @@
 use bitgen_gpu::CtaCounters;
 
 /// Metrics of one program execution (one CTA's worth of work).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExecMetrics {
     /// Counted hardware events across all segments and windows.
     pub counters: CtaCounters,

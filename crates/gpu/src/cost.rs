@@ -66,8 +66,7 @@ impl DeviceConfig {
         let sm_bytes_per_cycle =
             self.l2_bw_gbps * 1e9 / (self.sms as f64 * self.clock_ghz * 1e9);
         let mut cta_cycles = Vec::with_capacity(ctas.len());
-        let mut barrier_cycles_total = 0.0;
-        let mut total_cycles = 0.0;
+        let mut barrier_cycles = Vec::with_capacity(ctas.len());
         let mut dram_bytes = 0u64;
         for cta in ctas {
             let t = cta.threads as f64;
@@ -82,11 +81,18 @@ impl DeviceConfig {
             // CTAs contend for it rather than hiding it.
             let glob = c.global_words() as f64 * 4.0 / sm_bytes_per_cycle;
             let cycles = alu + smem + barrier + reduce + glob;
-            barrier_cycles_total += barrier;
-            total_cycles += cycles;
+            barrier_cycles.push(barrier);
             dram_bytes += c.global_words() * 4;
             cta_cycles.push(cycles);
         }
+        // f64 addition is not associative, so the aggregate cycle totals
+        // are summed in a canonical (sorted) order. Together with the
+        // permutation-invariant LPT makespan below, this makes the whole
+        // estimate independent of how callers ordered the CTAs — scan
+        // sessions that assemble works from worker threads get the same
+        // bits as a sequential scan.
+        let barrier_cycles_total = sorted_sum(&barrier_cycles);
+        let total_cycles = sorted_sum(&cta_cycles);
         let slots = (self.sms * occupancy) as usize;
         let makespan = lpt_makespan(&cta_cycles, slots);
         let clock_hz = self.clock_ghz * 1e9;
@@ -123,6 +129,14 @@ impl DeviceConfig {
         }
         occ.max(1)
     }
+}
+
+/// Sums after sorting a copy ascending, so the result does not depend
+/// on the order of `xs`.
+fn sorted_sum(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    v.iter().sum()
 }
 
 /// Longest-processing-time-first makespan over `slots` machines.
@@ -221,6 +235,29 @@ mod tests {
         assert_eq!(lpt_makespan(&[5.0, 1.0, 1.0], 2), 5.0);
         assert_eq!(lpt_makespan(&[2.0, 2.0], 1), 4.0);
         assert_eq!(lpt_makespan(&[], 4), 0.0);
+    }
+
+    #[test]
+    fn estimate_is_permutation_invariant() {
+        let d = DeviceConfig::rtx3090();
+        // Unequal works so a naive left-to-right f64 sum would differ.
+        let jobs: Vec<CtaWork> =
+            (0..37).map(|i| work(10_000 + i * 7_919, 10 + i % 13)).collect();
+        let base = d.estimate(&jobs);
+        for rot in [1, 5, 18, 36] {
+            let mut rotated = jobs.clone();
+            rotated.rotate_left(rot);
+            let est = d.estimate(&rotated);
+            assert_eq!(est.seconds.to_bits(), base.seconds.to_bits(), "rot {rot}");
+            assert_eq!(
+                est.barrier_stall_frac.to_bits(),
+                base.barrier_stall_frac.to_bits(),
+                "rot {rot}"
+            );
+            assert_eq!(est.compute_seconds.to_bits(), base.compute_seconds.to_bits());
+            assert_eq!(est.memory_seconds.to_bits(), base.memory_seconds.to_bits());
+            assert_eq!(est.occupancy, base.occupancy);
+        }
     }
 
     #[test]

@@ -31,7 +31,7 @@ fn main() {
     for scheme in Scheme::ALL {
         let engine = BitGen::from_asts(
             w.asts.clone(),
-            EngineConfig { scheme, threads: 64, cta_count: 4, ..EngineConfig::default() },
+            EngineConfig::default().with_scheme(scheme).with_cta_threads(64).with_cta_count(4),
         );
         let report = engine.find(&w.input).expect("scan succeeds");
         let alu: u64 = report.metrics.iter().map(|m| m.counters.alu_ops).sum();

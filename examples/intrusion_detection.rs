@@ -24,7 +24,7 @@ fn main() {
     // BitGen on the simulated RTX 3090, full optimisation.
     let engine = BitGen::from_asts(
         w.asts.clone(),
-        EngineConfig { threads: 128, scheme: Scheme::Zbs, ..EngineConfig::default() },
+        EngineConfig::default().with_cta_threads(128).with_scheme(Scheme::Zbs),
     );
     let report = engine.find(&w.input).expect("scan succeeds");
     println!(

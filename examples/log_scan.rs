@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     let engine = BitGen::compile_with(
         &patterns,
-        EngineConfig { combine_outputs: false, ..EngineConfig::default() },
+        EngineConfig::default().with_combine_outputs(false),
     )?;
 
     let log: String = [
@@ -35,11 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("scanned {} bytes of log with {} patterns", log.len(), patterns.len());
     println!("total match-end positions: {}", report.match_count());
 
-    let per = report.per_pattern.as_ref().expect("per-pattern mode");
-    for (pat, stream) in patterns.iter().zip(per) {
+    for (id, pat) in patterns.iter().enumerate() {
+        let ends = report.matches_for(id).expect("per-pattern mode");
         // Report the line number of each match instead of raw offsets.
-        let mut lines: Vec<usize> = stream
-            .positions()
+        let mut lines: Vec<usize> = ends
             .iter()
             .map(|&p| log.as_bytes()[..p].iter().filter(|&&b| b == b'\n').count() + 1)
             .collect();

@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 1. Batch scan with a profile.
-    let engine = BitGen::compile_with(&pats, EngineConfig { threads: 64, ..Default::default() })?;
+    let engine = BitGen::compile_with(&pats, EngineConfig::default().with_cta_threads(64))?;
     let report = engine.find(&input)?;
     println!("batch: {} matches over {} bytes", report.match_count(), input.len());
     println!("{}", report.profile(&engine.config().device));
@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    programs; per-CTA ALU work drops at identical output.
     let log_engine = BitGen::compile_with(
         &pats,
-        EngineConfig { threads: 64, log_repetition: true, ..Default::default() },
+        EngineConfig { log_repetition: true, ..EngineConfig::default().with_cta_threads(64) },
     )?;
     let log_report = log_engine.find(&input)?;
     assert_eq!(log_report.match_count(), report.match_count());

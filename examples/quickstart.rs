@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Per-pattern matches need combine_outputs = false.
     let engine = BitGen::compile_with(
         &patterns,
-        EngineConfig { combine_outputs: false, ..EngineConfig::default() },
+        EngineConfig::default().with_combine_outputs(false),
     )?;
     let report = engine.find(input)?;
     for (pat, stream) in patterns.iter().zip(report.per_pattern.as_ref().unwrap()) {
@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The same scan under the unoptimised baseline scheme, for contrast.
     let slow = BitGen::compile_with(
         &patterns,
-        EngineConfig { scheme: Scheme::Base, ..EngineConfig::default() },
+        EngineConfig::default().with_scheme(Scheme::Base),
     )?;
     let slow_report = slow.find(input)?;
     println!(

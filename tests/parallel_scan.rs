@@ -1,0 +1,117 @@
+//! Properties of the parallel multi-stream scan engine: for random
+//! pattern sets and random stream batches, a session at any thread
+//! count must reproduce the 1-thread path bit for bit — matches,
+//! per-pattern streams, modelled seconds, and metric totals — and a
+//! reused session must not grow its buffers on same-sized rescans.
+
+use bitgen::{BitGen, EngineConfig, ScanReport};
+use bitgen_regex::{Ast, ByteSet};
+use proptest::prelude::*;
+
+/// Random AST over the alphabet {a, b, c}, with bounded depth and size.
+fn arb_ast() -> impl Strategy<Value = Ast> {
+    let leaf = prop_oneof![
+        prop::sample::select(vec![b'a', b'b', b'c']).prop_map(|b| Ast::Class(ByteSet::singleton(b))),
+        prop::sample::select(vec![(b'a', b'b'), (b'b', b'c'), (b'a', b'c')])
+            .prop_map(|(lo, hi)| Ast::Class(ByteSet::range(lo, hi))),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Ast::Concat),
+            prop::collection::vec(inner.clone(), 2..3).prop_map(Ast::Alt),
+            inner.clone().prop_map(|a| Ast::Star(Box::new(a))),
+            inner.clone().prop_map(|a| Ast::Plus(Box::new(a))),
+            inner.prop_map(|a| Ast::Opt(Box::new(a))),
+        ]
+    })
+}
+
+fn arb_streams() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(
+        prop::collection::vec(prop::sample::select(b"aabbccdx".to_vec()), 0..90),
+        1..7,
+    )
+}
+
+/// Every field that the public API exposes must agree to the bit.
+fn assert_reports_identical(a: &[ScanReport], b: &[ScanReport], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: report count");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.matches, y.matches, "{what}: matches of stream {i}");
+        assert_eq!(x.per_pattern, y.per_pattern, "{what}: per-pattern streams of stream {i}");
+        assert_eq!(
+            x.seconds.to_bits(),
+            y.seconds.to_bits(),
+            "{what}: modelled seconds of stream {i}"
+        );
+        assert_eq!(
+            x.cost.seconds.to_bits(),
+            y.cost.seconds.to_bits(),
+            "{what}: cost seconds of stream {i}"
+        );
+        assert_eq!(
+            x.cost.barrier_stall_frac.to_bits(),
+            y.cost.barrier_stall_frac.to_bits(),
+            "{what}: barrier stall of stream {i}"
+        );
+        assert_eq!(x.metrics, y.metrics, "{what}: metrics of stream {i}");
+        assert_eq!(
+            x.throughput_mbps.to_bits(),
+            y.throughput_mbps.to_bits(),
+            "{what}: throughput of stream {i}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn parallel_scan_is_bit_identical_to_sequential(
+        asts in prop::collection::vec(arb_ast(), 1..5),
+        streams in arb_streams(),
+        combine in prop::sample::select(vec![false, true]),
+    ) {
+        let patterns: Vec<String> = asts.iter().map(Ast::to_string).collect();
+        let pats: Vec<&str> = patterns.iter().map(String::as_str).collect();
+        let slices: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
+        let base = EngineConfig::default().with_cta_count(3).with_combine_outputs(combine);
+
+        let sequential = BitGen::compile_with(&pats, base.clone().with_threads(1))
+            .unwrap()
+            .find_many(&slices)
+            .unwrap();
+        for threads in [2, 5, 16] {
+            let engine =
+                BitGen::compile_with(&pats, base.clone().with_threads(threads)).unwrap();
+            let parallel = engine.find_many(&slices).unwrap();
+            assert_reports_identical(&sequential, &parallel, &format!("{threads} threads"));
+        }
+    }
+
+    #[test]
+    fn session_reuse_is_stable_and_identical(
+        ast in arb_ast(),
+        streams in arb_streams(),
+    ) {
+        let pattern = ast.to_string();
+        let slices: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
+        let engine = BitGen::compile_with(
+            &[pattern.as_str()],
+            EngineConfig::default().with_threads(4),
+        )
+        .unwrap();
+        let mut session = engine.session();
+        let first = session.scan_many(&slices).unwrap();
+        let warm_capacity = session.buffer_capacity_words();
+        for round in 0..2 {
+            let again = session.scan_many(&slices).unwrap();
+            assert_reports_identical(&first, &again, &format!("rescan {round}"));
+            assert_eq!(
+                session.buffer_capacity_words(),
+                warm_capacity,
+                "buffers grew on same-sized rescan {round}"
+            );
+        }
+    }
+}
