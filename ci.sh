@@ -5,4 +5,14 @@ cd "$(dirname "$0")"
 
 cargo build --release
 cargo test -q
+
+# Robustness drills: seeded fault injection (deterministic FaultPlan
+# seeds baked into the tests) and pathological-pattern budgets.
+cargo test -q -p bitgen --test fault_tolerance --test pathological_patterns
+
 cargo clippy --workspace -- -D warnings
+
+# Panic-hygiene pass over the library crates: unwrap/expect are flagged
+# (warnings only — documented invariants remain, but new ones get seen).
+cargo clippy -q -p bitgen-ir -p bitgen-exec -p bitgen-gpu -p bitgen-baselines -p bitgen -- \
+  -W clippy::unwrap_used -W clippy::expect_used

@@ -18,7 +18,8 @@ fn bench_schemes(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(w.input.len() as u64));
     group.sample_size(10);
     for scheme in [Scheme::Base, Scheme::Dtm, Scheme::Sr, Scheme::Zbs] {
-        let engine = BitGen::from_asts(w.asts.clone(), config.engine_config(scheme));
+        let engine = BitGen::from_asts(w.asts.clone(), config.engine_config(scheme))
+            .expect("workloads compile within budget");
         group.bench_with_input(BenchmarkId::from_parameter(scheme), &w.input, |b, input| {
             b.iter(|| engine.find(input).unwrap())
         });

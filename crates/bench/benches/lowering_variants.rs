@@ -30,7 +30,8 @@ fn bench_lowering(c: &mut Criterion) {
                     log_repetition,
                     ..Default::default()
                 },
-            );
+            )
+            .expect("workloads compile within budget");
             group.bench_with_input(BenchmarkId::from_parameter(label), &w.input, |b, input| {
                 b.iter(|| engine.find(input).unwrap())
             });

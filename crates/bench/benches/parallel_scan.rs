@@ -33,7 +33,8 @@ fn bench_thread_counts(c: &mut Criterion) {
                 scan_threads: threads,
                 ..config.engine_config(bitgen::Scheme::Zbs)
             },
-        );
+        )
+        .expect("workloads compile within budget");
         let mut session = engine.session();
         group.bench_with_input(BenchmarkId::from_parameter(threads), &streams, |b, streams| {
             b.iter(|| session.scan_many(streams).unwrap())

@@ -401,7 +401,8 @@ fn fig13(config: &HarnessConfig, out: &Path, figure: bool) {
                 let mut c = config.clone();
                 c.merge_size = m;
                 let engine =
-                    bitgen::BitGen::from_asts(w.asts.clone(), c.engine_config(Scheme::Sr));
+                    bitgen::BitGen::from_asts(w.asts.clone(), c.engine_config(Scheme::Sr))
+                        .expect("workloads compile within budget");
                 let report = engine.find(&w.input).unwrap();
                 stall.push(report.cost.barrier_stall_frac * 100.0);
                 for mt in &report.metrics {
@@ -585,7 +586,8 @@ fn ablations(config: &HarnessConfig, out: &Path) {
             f1(gmean_over_apps(&|w| {
                 let mut ec = config.engine_config(Scheme::Zbs);
                 ec.grouping = grouping;
-                let engine = bitgen::BitGen::from_asts(w.asts.clone(), ec);
+                let engine = bitgen::BitGen::from_asts(w.asts.clone(), ec)
+                    .expect("workloads compile within budget");
                 engine.find(&w.input).unwrap().throughput_mbps
             })),
         ]);
@@ -620,7 +622,8 @@ fn ablations(config: &HarnessConfig, out: &Path) {
             f1(gmean_over_apps(&|w| {
                 let mut ec = config.engine_config(Scheme::Zbs);
                 ec.optimize_patterns = optimize_patterns;
-                let engine = bitgen::BitGen::from_asts(w.asts.clone(), ec);
+                let engine = bitgen::BitGen::from_asts(w.asts.clone(), ec)
+                    .expect("workloads compile within budget");
                 engine.find(&w.input).unwrap().throughput_mbps
             })),
         ]);
@@ -632,7 +635,8 @@ fn ablations(config: &HarnessConfig, out: &Path) {
             f1(gmean_over_apps(&|w| {
                 let mut ec = config.engine_config(Scheme::Zbs);
                 ec.match_star = match_star;
-                let engine = bitgen::BitGen::from_asts(w.asts.clone(), ec);
+                let engine = bitgen::BitGen::from_asts(w.asts.clone(), ec)
+                    .expect("workloads compile within budget");
                 engine.find(&w.input).unwrap().throughput_mbps
             })),
         ]);

@@ -111,7 +111,8 @@ pub fn run_bitgen(
     config: &HarnessConfig,
     scheme: Scheme,
 ) -> (EngineResult, Vec<ExecMetrics>) {
-    let engine = BitGen::from_asts(w.asts.clone(), config.engine_config(scheme));
+    let engine = BitGen::from_asts(w.asts.clone(), config.engine_config(scheme))
+        .expect("workloads compile within budget");
     let report = engine.find(&w.input).expect("harness workloads execute");
     (
         EngineResult { mbps: report.throughput_mbps, matches: report.match_count() },

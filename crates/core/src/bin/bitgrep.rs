@@ -4,6 +4,7 @@
 //! bitgrep -e PATTERN [-e PATTERN ...] [FILE] [options]
 //!
 //!   -e PATTERN          pattern to search for (repeatable)
+//!   -f FILE             read patterns from FILE, one per line (repeatable)
 //!   -c, --count         print only the number of matching lines
 //!   -n, --line-number   prefix each line with its line number
 //!   --positions         print raw match-end byte offsets instead of lines
@@ -17,6 +18,11 @@
 //! ```
 //!
 //! Reads FILE, or stdin when no file is given.
+//!
+//! Exit codes follow grep convention, extended so scripts can tell the
+//! failure stages apart: 0 matches found, 1 no matches, 2 usage or I/O
+//! error, 3 pattern failed to compile (including blown compile budgets),
+//! 4 execution failed.
 
 use bitgen::{BitGen, DeviceConfig, EngineConfig, Scheme};
 use bitgen_baselines::{CpuBitstreamEngine, DfaEngine, HybridEngine, MultiNfa};
@@ -39,13 +45,30 @@ struct Options {
     profile: bool,
 }
 
+/// bitgrep's exit codes, grep-compatible for 0/1/2.
+mod exit {
+    /// Usage or I/O error (grep uses 2 here too).
+    pub const USAGE: u8 = 2;
+    /// A pattern failed to compile, or the set blew a compile budget.
+    pub const COMPILE: u8 = 3;
+    /// The scan itself failed (executor error, cancelled, worker panic).
+    pub const EXEC: u8 = 4;
+}
+
+/// A scan failure split by stage, so `main` can pick the exit code.
+enum ScanFailure {
+    Usage(String),
+    Compile(String),
+    Exec(String),
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: bitgrep -e PATTERN [-e PATTERN ...] [FILE] \
+        "usage: bitgrep -e PATTERN [-e PATTERN ...] [-f FILE ...] [FILE] \
          [--count] [--line-number] [--positions] [--engine E] [--scheme S] \
          [--device D] [--threads N] [--scan-threads N] [--match-star] [--profile]"
     );
-    std::process::exit(2);
+    std::process::exit(exit::USAGE as i32);
 }
 
 fn parse_args() -> Options {
@@ -68,6 +91,15 @@ fn parse_args() -> Options {
         match arg.as_str() {
             "-e" | "--regexp" => {
                 opts.patterns.push(args.next().unwrap_or_else(|| usage()));
+            }
+            "-f" | "--file" => {
+                let path = args.next().unwrap_or_else(|| usage());
+                let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("bitgrep: {path}: {e}");
+                    std::process::exit(exit::USAGE as i32);
+                });
+                opts.patterns
+                    .extend(text.lines().filter(|l| !l.is_empty()).map(String::from));
             }
             "-c" | "--count" => opts.count = true,
             "-n" | "--line-number" => opts.line_numbers = true,
@@ -126,7 +158,7 @@ fn read_input(file: &Option<String>) -> std::io::Result<Vec<u8>> {
     }
 }
 
-fn scan(opts: &Options, input: &[u8]) -> Result<BitStream, String> {
+fn scan(opts: &Options, input: &[u8]) -> Result<BitStream, ScanFailure> {
     let pats: Vec<&str> = opts.patterns.iter().map(String::as_str).collect();
     match opts.engine.as_str() {
         "bitgen" => {
@@ -136,8 +168,10 @@ fn scan(opts: &Options, input: &[u8]) -> Result<BitStream, String> {
                 .with_cta_threads(opts.threads)
                 .with_threads(opts.scan_threads)
                 .with_match_star(opts.match_star);
-            let engine = BitGen::compile_with(&pats, config).map_err(|e| e.to_string())?;
-            let report = engine.find(input).map_err(|e| e.to_string())?;
+            let engine = BitGen::compile_with(&pats, config)
+                .map_err(|e| ScanFailure::Compile(e.to_string()))?;
+            let report =
+                engine.find(input).map_err(|e| ScanFailure::Exec(e.to_string()))?;
             if opts.profile {
                 eprint!("{}", report.profile(&opts.device));
                 eprintln!(
@@ -152,14 +186,17 @@ fn scan(opts: &Options, input: &[u8]) -> Result<BitStream, String> {
             let asts: Vec<_> = pats
                 .iter()
                 .enumerate()
-                .map(|(i, p)| bitgen::parse(p).map_err(|e| format!("pattern {i}: {e}")))
+                .map(|(i, p)| {
+                    bitgen::parse(p)
+                        .map_err(|e| ScanFailure::Compile(format!("pattern {i}: {e}")))
+                })
                 .collect::<Result<_, _>>()?;
             let ends = match other {
                 "nfa" => MultiNfa::build(&asts).run(input).ends,
                 "dfa" => DfaEngine::new(&asts).run(input).ends,
                 "hybrid" => HybridEngine::new(&asts).run(input),
                 "cpu-bitstream" => CpuBitstreamEngine::new(&[asts]).run(input),
-                _ => return Err(format!("unknown engine {other:?}")),
+                _ => return Err(ScanFailure::Usage(format!("unknown engine {other:?}"))),
             };
             Ok(ends)
         }
@@ -172,14 +209,19 @@ fn main() -> ExitCode {
         Ok(i) => i,
         Err(e) => {
             eprintln!("bitgrep: {e}");
-            return ExitCode::from(2);
+            return ExitCode::from(exit::USAGE);
         }
     };
     let ends = match scan(&opts, &input) {
         Ok(e) => e,
-        Err(e) => {
-            eprintln!("bitgrep: {e}");
-            return ExitCode::from(2);
+        Err(failure) => {
+            let (msg, code) = match failure {
+                ScanFailure::Usage(m) => (m, exit::USAGE),
+                ScanFailure::Compile(m) => (m, exit::COMPILE),
+                ScanFailure::Exec(m) => (m, exit::EXEC),
+            };
+            eprintln!("bitgrep: {msg}");
+            return ExitCode::from(code);
         }
     };
     if opts.positions {

@@ -8,12 +8,27 @@
 
 use crate::error::Error;
 use crate::group::{group_regexes, GroupingStrategy};
+use bitgen_baselines::CpuBitstreamEngine;
 use bitgen_bitstream::BitStream;
 use bitgen_exec::{apply_transforms, ExecConfig, ExecMetrics, FallbackPolicy, Scheme};
 use bitgen_gpu::{CostBreakdown, DeviceConfig};
-use bitgen_ir::{lower_group_with, LowerOptions, Program};
+use bitgen_ir::{lower_group_checked, CompileLimits, LowerOptions, Program};
 use bitgen_regex::{parse, Ast, ParseError};
 use std::fmt;
+
+/// What a scan does when a (group × stream) CTA fails — a worker
+/// panic, a detected race, or a kernel-scheme execution error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Surface the failure as a typed [`Error`] (default).
+    #[default]
+    Fail,
+    /// Re-run the failed CTA's program on the CPU bitstream baseline
+    /// (the icgrep-like reference path) and keep scanning. Matches stay
+    /// correct; the affected slots report no device metrics and the
+    /// [`ScanReport`] is flagged `degraded`.
+    Degrade,
+}
 
 /// Engine configuration: the paper's tunables plus simulation knobs.
 #[derive(Debug, Clone)]
@@ -58,6 +73,15 @@ pub struct EngineConfig {
     /// across; `0` (the default) means one per available hardware
     /// thread. Results are bit-identical regardless of this value.
     pub scan_threads: usize,
+    /// Compile budgets: caps on AST nodes, distinct byte classes, and IR
+    /// instructions per group. Exceeding one is a typed
+    /// [`Error::LimitExceeded`], never an OOM or a hang.
+    pub limits: CompileLimits,
+    /// What to do when a CTA fails at scan time.
+    pub recovery: RecoveryPolicy,
+    /// Cross-check every CTA's outputs against the reference interpreter
+    /// (roughly doubles scan cost; catches silent emulator corruption).
+    pub cross_check: bool,
 }
 
 impl Default for EngineConfig {
@@ -78,6 +102,9 @@ impl Default for EngineConfig {
             grouping: GroupingStrategy::BalancedLength,
             fallback: FallbackPolicy::Sequential,
             scan_threads: 0,
+            limits: CompileLimits::standard(),
+            recovery: RecoveryPolicy::Fail,
+            cross_check: false,
         }
     }
 }
@@ -143,6 +170,26 @@ impl EngineConfig {
         self.match_star = match_star;
         self
     }
+
+    /// Sets the compile budgets. Use [`CompileLimits::unbounded`] to
+    /// disable budget enforcement entirely.
+    pub fn with_limits(mut self, limits: CompileLimits) -> EngineConfig {
+        self.limits = limits;
+        self
+    }
+
+    /// Sets the scan-failure recovery policy.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> EngineConfig {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Enables cross-checking CTA outputs against the reference
+    /// interpreter on every scan.
+    pub fn with_cross_check(mut self, cross_check: bool) -> EngineConfig {
+        self.cross_check = cross_check;
+        self
+    }
 }
 
 /// Pattern `index` failed to parse.
@@ -167,6 +214,10 @@ impl std::error::Error for CompileError {}
 pub struct BitGen {
     pub(crate) groups: Vec<Vec<usize>>,
     pub(crate) programs: Vec<Program>,
+    /// CPU interpreter over the same programs, built eagerly when
+    /// `recovery` is [`RecoveryPolicy::Degrade`] so the fallback path
+    /// never compiles under failure.
+    pub(crate) cpu_fallback: Option<CpuBitstreamEngine>,
     pattern_count: usize,
     /// Longest possible match span across all patterns, `None` when some
     /// pattern is unbounded. Drives the streaming scanner's carry-over.
@@ -214,6 +265,11 @@ pub struct ScanReport {
     pub cost: CostBreakdown,
     /// Per-CTA execution metrics.
     pub metrics: Vec<ExecMetrics>,
+    /// True when at least one of this stream's CTAs failed on the
+    /// kernel scheme and was recovered on the CPU baseline
+    /// ([`RecoveryPolicy::Degrade`]). Matches are still exact; `seconds`
+    /// and `metrics` undercount the recovered slots.
+    pub degraded: bool,
 }
 
 impl ScanReport {
@@ -313,11 +369,16 @@ impl BitGen {
         for (index, p) in patterns.iter().enumerate() {
             asts.push(parse(p).map_err(|error| CompileError { index, error })?);
         }
-        Ok(BitGen::from_asts(asts, config))
+        BitGen::from_asts(asts, config)
     }
 
     /// Builds an engine from already-parsed regexes.
-    pub fn from_asts(asts: Vec<Ast>, config: EngineConfig) -> BitGen {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LimitExceeded`] when a group blows through a
+    /// compile budget ([`EngineConfig::with_limits`]).
+    pub fn from_asts(asts: Vec<Ast>, config: EngineConfig) -> Result<BitGen, Error> {
         let mut asts: Vec<Ast> = if config.case_insensitive {
             asts.iter().map(crate::fold_case).collect()
         } else {
@@ -350,24 +411,41 @@ impl BitGen {
                     // alternation so the optimizer can factor prefixes
                     // *across* rules (Hyperscan-style set compilation).
                     let combined = bitgen_regex::optimize(&Ast::Alt(members));
-                    return lower_group_with(std::slice::from_ref(&combined), lower_opts);
+                    return lower_group_checked(
+                        std::slice::from_ref(&combined),
+                        lower_opts,
+                        &config.limits,
+                    );
                 }
-                let mut prog = lower_group_with(&members, lower_opts);
+                let mut prog = lower_group_checked(&members, lower_opts, &config.limits)?;
                 if config.combine_outputs {
                     prog.combine_outputs();
                 }
-                prog
+                Ok(prog)
             })
-            .collect();
-        let mut engine =
-            BitGen { groups, programs, pattern_count: asts.len(), max_span, config };
+            .collect::<Result<Vec<Program>, _>>()?;
+        let mut engine = BitGen {
+            groups,
+            programs,
+            cpu_fallback: None,
+            pattern_count: asts.len(),
+            max_span,
+            config,
+        };
         // Apply the scheme's compile-time transforms once, here, so every
         // scan reuses the prepared programs.
         let exec_config = engine.exec_config();
         for prog in &mut engine.programs {
             apply_transforms(prog, &exec_config);
         }
-        engine
+        if engine.config.recovery == RecoveryPolicy::Degrade {
+            // The fallback interprets the *prepared* programs — the
+            // transforms are semantics-preserving, so its outputs line up
+            // with the kernel path's slot for slot.
+            engine.cpu_fallback =
+                Some(CpuBitstreamEngine::from_programs(engine.programs.clone()));
+        }
+        Ok(engine)
     }
 
     /// The longest span any pattern can match, or `None` if some pattern
@@ -447,6 +525,7 @@ impl BitGen {
             interval: self.config.interval,
             max_regs: self.config.max_regs,
             fallback: self.config.fallback,
+            cross_check: self.config.cross_check,
             ..ExecConfig::default()
         }
     }

@@ -5,6 +5,7 @@
 use crate::engine::CompileError;
 use crate::stream_scan::StreamError;
 use bitgen_exec::ExecError;
+use bitgen_ir::LimitError;
 use std::fmt;
 
 /// Any failure a `bitgen` entry point can return.
@@ -30,8 +31,22 @@ use std::fmt;
 pub enum Error {
     /// A pattern failed to compile.
     Compile(CompileError),
+    /// The pattern set blew through a compile budget
+    /// ([`crate::EngineConfig::with_limits`]) — too many AST nodes,
+    /// distinct byte classes, or IR instructions for one group.
+    LimitExceeded(LimitError),
     /// Execution failed on the simulated device.
     Exec(ExecError),
+    /// A worker thread panicked while running one (group × stream) CTA.
+    /// The scan aborted, but other workers' slots were unaffected;
+    /// compile with [`crate::RecoveryPolicy::Degrade`] to recover the
+    /// affected streams on the CPU baseline instead.
+    WorkerPanicked {
+        /// Index of the regex group whose CTA panicked.
+        group: usize,
+        /// Index of the input stream whose CTA panicked.
+        stream: usize,
+    },
     /// A streaming scanner could not be constructed.
     Stream(StreamError),
 }
@@ -40,7 +55,11 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Compile(e) => write!(f, "compile error: {e}"),
+            Error::LimitExceeded(e) => write!(f, "compile budget exceeded: {e}"),
             Error::Exec(e) => write!(f, "execution error: {e}"),
+            Error::WorkerPanicked { group, stream } => {
+                write!(f, "scan worker panicked on group {group}, stream {stream}")
+            }
             Error::Stream(e) => write!(f, "streaming error: {e}"),
         }
     }
@@ -50,7 +69,9 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Compile(e) => Some(e),
+            Error::LimitExceeded(e) => Some(e),
             Error::Exec(e) => Some(e),
+            Error::WorkerPanicked { .. } => None,
             Error::Stream(e) => Some(e),
         }
     }
@@ -59,6 +80,12 @@ impl std::error::Error for Error {
 impl From<CompileError> for Error {
     fn from(e: CompileError) -> Error {
         Error::Compile(e)
+    }
+}
+
+impl From<LimitError> for Error {
+    fn from(e: LimitError) -> Error {
+        Error::LimitExceeded(e)
     }
 }
 

@@ -63,7 +63,7 @@ mod group;
 mod session;
 mod stream_scan;
 
-pub use engine::{BitGen, CompileError, EngineConfig, Match, ScanReport};
+pub use engine::{BitGen, CompileError, EngineConfig, Match, RecoveryPolicy, ScanReport};
 pub use error::Error;
 pub use fold::fold_case;
 pub use group::{group_regexes, GroupingStrategy};
@@ -72,5 +72,6 @@ pub use stream_scan::{StreamError, StreamScanner};
 
 // Re-export the pieces users need to configure or extend the engine.
 pub use bitgen_exec::{ExecConfig, ExecError, ExecMetrics, FallbackPolicy, Scheme};
-pub use bitgen_gpu::{CostBreakdown, DeviceConfig};
+pub use bitgen_gpu::{CostBreakdown, DeviceConfig, FaultKind, FaultPlan};
+pub use bitgen_ir::{CancelToken, CompileLimits, LimitError, RunControl};
 pub use bitgen_regex::{parse, Ast, ByteSet, ParseError};

@@ -18,8 +18,42 @@
 use crate::engine::{BitGen, ScanReport};
 use crate::error::Error;
 use bitgen_bitstream::{Basis, BitStream};
-use bitgen_exec::{execute_prepared_with, ExecConfig, ExecError, ExecMetrics, ExecOutcome, ExecScratch};
-use bitgen_gpu::throughput_mbps;
+use bitgen_exec::{
+    execute_prepared_ctl, ExecConfig, ExecError, ExecMetrics, ExecOutcome, ExecScratch,
+};
+use bitgen_gpu::{throughput_mbps, FaultPlan};
+use bitgen_ir::{CancelToken, RunControl};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// How one (group × stream) CTA slot ended: cleanly, with a typed
+/// executor error, or by panicking (caught and isolated to the slot).
+enum SlotRun {
+    Done(Box<ExecOutcome>),
+    Failed(SlotFailure),
+}
+
+/// Per-stream accumulator used by `merge`: the union match stream,
+/// optional per-pattern streams, per-group metrics, degraded flag.
+type StreamPartial = (BitStream, Option<Vec<BitStream>>, Vec<ExecMetrics>, bool);
+
+enum SlotFailure {
+    Exec(ExecError),
+    Panicked,
+}
+
+/// Everything a worker needs to run grid slots, shared read-only across
+/// threads.
+#[derive(Clone, Copy)]
+struct GridCtx<'a> {
+    /// Group count: slot `i` pairs program `i % g` with stream `i / g`.
+    g: usize,
+    programs: &'a [bitgen_ir::Program],
+    bases: &'a [Basis],
+    config: &'a ExecConfig,
+    fault: Option<(usize, usize, FaultPlan)>,
+    ctl: &'a RunControl,
+}
 
 /// A reusable scanner over a compiled engine.
 ///
@@ -52,6 +86,13 @@ pub struct ScanSession<'e> {
     bases: Vec<Basis>,
     /// Executor scratch, one per worker, grown on demand.
     scratches: Vec<ExecScratch>,
+    /// Deterministic fault armed on one (stream, group) slot — a test
+    /// and drill hook, never set in normal operation.
+    fault: Option<(usize, usize, FaultPlan)>,
+    /// Cooperative cancellation checked at word-chunk granularity.
+    cancel: Option<CancelToken>,
+    /// Per-scan wall-clock budget.
+    timeout: Option<Duration>,
 }
 
 impl BitGen {
@@ -73,6 +114,9 @@ impl BitGen {
             threads,
             bases: Vec::new(),
             scratches: Vec::new(),
+            fault: None,
+            cancel: None,
+            timeout: None,
         }
     }
 }
@@ -97,6 +141,34 @@ impl ScanSession<'_> {
         basis_words + pool_words
     }
 
+    /// Arms a deterministic fault on the CTA pairing `stream` with
+    /// `group`, applied to every subsequent scan until cleared with
+    /// [`ScanSession::clear_fault`]. This is the fault-drill hook: tests
+    /// use it to prove panics stay isolated to one slot and corruption
+    /// never escapes undetected.
+    pub fn inject_fault(&mut self, stream: usize, group: usize, plan: FaultPlan) {
+        self.fault = Some((stream, group, plan));
+    }
+
+    /// Disarms a previously injected fault.
+    pub fn clear_fault(&mut self) {
+        self.fault = None;
+    }
+
+    /// Sets a cancellation token polled cooperatively during scans;
+    /// cancelling it makes in-flight and future scans return
+    /// [`bitgen_exec::ExecError::Cancelled`].
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Gives every subsequent scan a wall-clock budget; overrunning it
+    /// returns [`bitgen_exec::ExecError::DeadlineExceeded`]. `None`
+    /// removes the budget.
+    pub fn set_timeout(&mut self, budget: Option<Duration>) {
+        self.timeout = budget;
+    }
+
     /// Scans one input. Same result as [`BitGen::find`].
     ///
     /// # Errors
@@ -113,12 +185,17 @@ impl ScanSession<'_> {
     /// # Errors
     ///
     /// Propagates the first execution failure in (stream, group) order.
+    /// A worker panic surfaces as [`Error::WorkerPanicked`] naming the
+    /// slot; under [`crate::RecoveryPolicy::Degrade`] failed slots are
+    /// recovered on the CPU baseline instead and the affected reports
+    /// come back with `degraded` set.
     pub fn scan_many(&mut self, inputs: &[&[u8]]) -> Result<Vec<ScanReport>, Error> {
         if inputs.is_empty() {
             return Ok(Vec::new());
         }
         self.transpose_streams(inputs);
-        let outcomes = self.execute_grid(inputs.len())?;
+        let slots = self.execute_grid(inputs.len());
+        let outcomes = self.resolve(slots)?;
         Ok(self.merge(inputs, outcomes))
     }
 
@@ -149,31 +226,68 @@ impl ScanSession<'_> {
         });
     }
 
+    /// Runs one CTA slot with panic isolation: a panicking emulator (or
+    /// injected [`FaultPlan`]) is caught here, its scratch — in an
+    /// unknown state mid-unwind — is discarded, and the failure stays
+    /// confined to this slot.
+    fn run_slot(cx: GridCtx<'_>, idx: usize, scratch: &mut ExecScratch) -> SlotRun {
+        let mut config = *cx.config;
+        if let Some((stream, group, plan)) = cx.fault {
+            if idx == stream * cx.g + group {
+                config.fault = Some(plan);
+            }
+        }
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            execute_prepared_ctl(
+                &cx.programs[idx % cx.g],
+                &cx.bases[idx / cx.g],
+                &config,
+                scratch,
+                cx.ctl,
+            )
+        }));
+        match run {
+            Ok(Ok(outcome)) => SlotRun::Done(Box::new(outcome)),
+            Ok(Err(e)) => SlotRun::Failed(SlotFailure::Exec(e)),
+            Err(_) => {
+                *scratch = ExecScratch::new();
+                SlotRun::Failed(SlotFailure::Panicked)
+            }
+        }
+    }
+
     /// Phase 2: run all `s × g` CTAs. Slot `i` pairs stream `i / g`
     /// with group `i % g`; workers take contiguous slot chunks and each
     /// reuses its own scratch. Results land in slot order, so the merge
     /// below never depends on scheduling.
-    fn execute_grid(&mut self, s: usize) -> Result<Vec<ExecOutcome>, ExecError> {
+    fn execute_grid(&mut self, s: usize) -> Vec<SlotRun> {
         let g = self.engine.programs.len();
         let slot_count = s * g;
-        let mut slots: Vec<Option<Result<ExecOutcome, ExecError>>> = Vec::new();
+        let mut slots: Vec<Option<SlotRun>> = Vec::new();
         slots.resize_with(slot_count, || None);
         let workers = self.threads.min(slot_count).max(1);
         if self.scratches.len() < workers {
             self.scratches.resize_with(workers, ExecScratch::new);
         }
-        let exec_config = self.exec_config;
-        let programs = &self.engine.programs;
-        let bases = &self.bases[..s];
+        let mut ctl = RunControl::unlimited();
+        if let Some(token) = &self.cancel {
+            ctl = ctl.with_cancel(token.clone());
+        }
+        if let Some(budget) = self.timeout {
+            ctl = ctl.with_deadline(Instant::now() + budget);
+        }
+        let cx = GridCtx {
+            g,
+            programs: &self.engine.programs,
+            bases: &self.bases[..s],
+            config: &self.exec_config,
+            fault: self.fault,
+            ctl: &ctl,
+        };
         if workers <= 1 {
             let scratch = &mut self.scratches[0];
             for (idx, slot) in slots.iter_mut().enumerate() {
-                *slot = Some(execute_prepared_with(
-                    &programs[idx % g],
-                    &bases[idx / g],
-                    &exec_config,
-                    scratch,
-                ));
+                *slot = Some(Self::run_slot(cx, idx, scratch));
             }
         } else {
             let chunk = slot_count.div_ceil(workers);
@@ -184,36 +298,70 @@ impl ScanSession<'_> {
                     scope.spawn(move || {
                         for (j, slot) in slot_chunk.iter_mut().enumerate() {
                             let idx = ci * chunk + j;
-                            *slot = Some(execute_prepared_with(
-                                &programs[idx % g],
-                                &bases[idx / g],
-                                &exec_config,
-                                scratch,
-                            ));
+                            *slot = Some(Self::run_slot(cx, idx, scratch));
                         }
                     });
                 }
             });
         }
-        // First failure in canonical slot order, independent of which
-        // worker hit it first.
-        slots
-            .into_iter()
-            .map(|slot| slot.expect("every slot executed"))
-            .collect()
+        slots.into_iter().map(|slot| slot.expect("every slot executed")).collect()
+    }
+
+    /// Phase 2½: recover or surface failed slots. Under
+    /// [`crate::RecoveryPolicy::Degrade`] a failed slot's program is
+    /// re-run on the CPU bitstream baseline (exact same prepared
+    /// program, reference interpreter) and flagged degraded; otherwise
+    /// the first failure in canonical slot order becomes the scan's
+    /// error, independent of which worker hit it first.
+    fn resolve(&self, slots: Vec<SlotRun>) -> Result<Vec<(ExecOutcome, bool)>, Error> {
+        let g = self.engine.programs.len();
+        let mut resolved = Vec::with_capacity(slots.len());
+        for (idx, slot) in slots.into_iter().enumerate() {
+            match slot {
+                SlotRun::Done(outcome) => resolved.push((*outcome, false)),
+                SlotRun::Failed(failure) => {
+                    let (group, stream) = (idx % g, idx / g);
+                    // Cancellation and deadlines are honoured regardless
+                    // of policy: every slot fails the same way, and
+                    // "recovering" them all on the CPU would silently
+                    // override the caller's request to stop.
+                    if let SlotFailure::Exec(
+                        e @ (ExecError::Cancelled | ExecError::DeadlineExceeded),
+                    ) = failure
+                    {
+                        return Err(Error::Exec(e));
+                    }
+                    let Some(cpu) = &self.engine.cpu_fallback else {
+                        return Err(match failure {
+                            SlotFailure::Exec(e) => Error::Exec(e),
+                            SlotFailure::Panicked => Error::WorkerPanicked { group, stream },
+                        });
+                    };
+                    let outputs = cpu.run_group(group, &self.bases[stream]);
+                    resolved.push((
+                        ExecOutcome {
+                            outputs,
+                            metrics: ExecMetrics::default(),
+                            fault_fired: false,
+                        },
+                        true,
+                    ));
+                }
+            }
+        }
+        Ok(resolved)
     }
 
     /// Phase 3: fold the slot outcomes into per-stream reports and
     /// price the whole launch once, exactly as the sequential path did.
-    fn merge(&self, inputs: &[&[u8]], outcomes: Vec<ExecOutcome>) -> Vec<ScanReport> {
+    fn merge(&self, inputs: &[&[u8]], outcomes: Vec<(ExecOutcome, bool)>) -> Vec<ScanReport> {
         let engine = self.engine;
         let g = engine.programs.len();
         let device = &engine.config().device;
         let combine = engine.config().combine_outputs;
         let total_bytes: usize = inputs.iter().map(|i| i.len()).sum();
         let mut works = Vec::with_capacity(outcomes.len());
-        let mut partial: Vec<(BitStream, Option<Vec<BitStream>>, Vec<ExecMetrics>)> =
-            Vec::with_capacity(inputs.len());
+        let mut partial: Vec<StreamPartial> = Vec::with_capacity(inputs.len());
         let mut outcomes = outcomes.into_iter();
         for &input in inputs {
             let mut union = BitStream::zeros(input.len());
@@ -223,8 +371,11 @@ impl ScanSession<'_> {
                 Some(vec![BitStream::zeros(input.len()); engine.pattern_count()])
             };
             let mut metrics = Vec::with_capacity(g);
+            let mut degraded = false;
             for group in &engine.groups {
-                let outcome = outcomes.next().expect("one outcome per slot");
+                let (outcome, slot_degraded) =
+                    outcomes.next().expect("one outcome per slot");
+                degraded |= slot_degraded;
                 for (oi, out) in outcome.outputs.iter().enumerate() {
                     let clipped = out.resized(input.len());
                     union = union.or(&clipped);
@@ -235,23 +386,25 @@ impl ScanSession<'_> {
                 works.push(outcome.metrics.cta_work());
                 metrics.push(outcome.metrics);
             }
-            partial.push((union, per_pattern, metrics));
+            partial.push((union, per_pattern, metrics, degraded));
         }
         // One launch: all S·G CTAs priced together, plus one transpose
         // per stream (summed; conservative, as transposes overlap on
-        // device).
+        // device). Degraded slots contribute default (zero) metrics, so
+        // the model prices only the work the device actually did.
         let cost = device.estimate(&works);
         let transpose: f64 = inputs.iter().map(|i| device.transpose_seconds(i.len())).sum();
         let seconds = cost.seconds + transpose;
         partial
             .into_iter()
-            .map(|(matches, per_pattern, metrics)| ScanReport {
+            .map(|(matches, per_pattern, metrics, degraded)| ScanReport {
                 matches,
                 per_pattern,
                 seconds,
                 throughput_mbps: throughput_mbps(total_bytes, seconds),
                 cost: cost.clone(),
                 metrics,
+                degraded,
             })
             .collect()
     }

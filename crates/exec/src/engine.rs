@@ -7,8 +7,8 @@ use crate::metrics::ExecMetrics;
 use crate::scheme::Scheme;
 use crate::segment::{intermediate_count, segment_program, Segment, SegmentKind};
 use bitgen_bitstream::{compile_class, Basis, BitStream};
-use bitgen_gpu::{Cta, RaceError, WindowInputs};
-use bitgen_ir::{Op, Program, Stmt, StreamId};
+use bitgen_gpu::{Cta, FaultPlan, RaceError, WindowInputs};
+use bitgen_ir::{try_interpret, InterpError, Interrupt, Op, Program, RunControl, Stmt, StreamId};
 use bitgen_kernel::{compile, CodegenOptions, WORD_BITS};
 use bitgen_passes::{insert_zero_skips, rebalance, Hull, OverlapInfo, ZbsConfig};
 use std::collections::HashMap;
@@ -46,6 +46,13 @@ pub struct ExecConfig {
     pub max_regs: u32,
     /// Overflow handling.
     pub fallback: FallbackPolicy,
+    /// Deterministic fault to arm on each fused segment's CTA (testing
+    /// hook — proves the runtime checks catch corrupted execution).
+    pub fault: Option<FaultPlan>,
+    /// Validate the final outputs against the reference interpreter and
+    /// fail with [`ExecError::CrossCheckMismatch`] on any difference.
+    /// Roughly doubles scan cost; meant for hardening and fault drills.
+    pub cross_check: bool,
 }
 
 impl Default for ExecConfig {
@@ -58,6 +65,8 @@ impl Default for ExecConfig {
             dynamic_allowance: 64,
             max_regs: 128,
             fallback: FallbackPolicy::Sequential,
+            fault: None,
+            cross_check: false,
         }
     }
 }
@@ -88,6 +97,32 @@ pub enum ExecError {
     /// The generated kernel violated the barrier discipline (a compiler
     /// bug by construction; surfaced for tests).
     Race(RaceError),
+    /// The run's cancel token was triggered.
+    Cancelled,
+    /// The run's deadline passed.
+    DeadlineExceeded,
+    /// The program read a stream before writing it (malformed program).
+    UnwrittenStream {
+        /// The stream read while undefined.
+        id: StreamId,
+    },
+    /// A fixpoint loop ran past its trip bound (miscompiled or corrupted
+    /// program).
+    FixpointDiverged,
+    /// The executor's outputs disagree with the reference interpreter —
+    /// corrupted execution that every other check missed.
+    CrossCheckMismatch {
+        /// Index of the first differing output stream.
+        output: usize,
+    },
+    /// The emulator's window-iteration counter disagrees with the
+    /// executor's own count of windows launched — counter corruption.
+    CounterMismatch {
+        /// Windows the executor launched.
+        expected: u64,
+        /// Iterations the emulator's counters claim.
+        observed: u64,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -99,11 +134,46 @@ impl fmt::Display for ExecError {
                 required.left, required.right
             ),
             ExecError::Race(e) => write!(f, "{e}"),
+            ExecError::Cancelled => write!(f, "execution cancelled"),
+            ExecError::DeadlineExceeded => write!(f, "execution deadline exceeded"),
+            ExecError::UnwrittenStream { id } => {
+                write!(f, "sequential read of unwritten stream {id}")
+            }
+            ExecError::FixpointDiverged => {
+                write!(f, "while loop exceeded its fixpoint bound")
+            }
+            ExecError::CrossCheckMismatch { output } => {
+                write!(f, "output {output} disagrees with the reference interpreter")
+            }
+            ExecError::CounterMismatch { expected, observed } => write!(
+                f,
+                "window counter corrupted: launched {expected} windows, counters claim {observed}"
+            ),
         }
     }
 }
 
 impl Error for ExecError {}
+
+impl From<Interrupt> for ExecError {
+    fn from(i: Interrupt) -> ExecError {
+        match i {
+            Interrupt::Cancelled => ExecError::Cancelled,
+            Interrupt::DeadlineExceeded => ExecError::DeadlineExceeded,
+        }
+    }
+}
+
+impl From<InterpError> for ExecError {
+    fn from(e: InterpError) -> ExecError {
+        match e {
+            InterpError::Cancelled => ExecError::Cancelled,
+            InterpError::DeadlineExceeded => ExecError::DeadlineExceeded,
+            InterpError::UnwrittenStream { id } => ExecError::UnwrittenStream { id },
+            InterpError::FixpointDiverged => ExecError::FixpointDiverged,
+        }
+    }
+}
 
 /// Reusable executor scratch: the stream environment plus a pool of
 /// recycled bit-stream buffers.
@@ -165,6 +235,9 @@ pub struct ExecOutcome {
     pub outputs: Vec<BitStream>,
     /// Everything Tables 4–6 need.
     pub metrics: ExecMetrics,
+    /// Whether an armed [`ExecConfig::fault`] actually corrupted an event
+    /// during this run (always `false` without a fault).
+    pub fault_fired: bool,
 }
 
 impl ExecOutcome {
@@ -258,6 +331,31 @@ pub fn execute_prepared_with(
     config: &ExecConfig,
     scratch: &mut ExecScratch,
 ) -> Result<ExecOutcome, ExecError> {
+    execute_prepared_ctl(prog, basis, config, scratch, &RunControl::unlimited())
+}
+
+/// Fully-controlled execution: [`execute_prepared_with`] plus a
+/// [`RunControl`] polled once per window (fused segments) and once per
+/// statement (sequential segments) — word-chunk granularity either way.
+///
+/// This is also where the runtime hardening checks live: the emulator's
+/// window-iteration counter is verified against the executor's own launch
+/// count on every run, and with [`ExecConfig::cross_check`] the final
+/// outputs are compared against the reference interpreter.
+///
+/// # Errors
+///
+/// Everything [`execute`] can return, plus [`ExecError::Cancelled`] /
+/// [`ExecError::DeadlineExceeded`] from `ctl`, and the corruption
+/// detections [`ExecError::CounterMismatch`] /
+/// [`ExecError::CrossCheckMismatch`].
+pub fn execute_prepared_ctl(
+    prog: &Program,
+    basis: &Basis,
+    config: &ExecConfig,
+    scratch: &mut ExecScratch,
+    ctl: &RunControl,
+) -> Result<ExecOutcome, ExecError> {
     let segments = segment_program(prog, config.scheme);
     let stream_len = Program::stream_len(basis.len());
     let mut metrics = ExecMetrics {
@@ -267,35 +365,75 @@ pub fn execute_prepared_with(
         ..ExecMetrics::default()
     };
     scratch.env.clear();
-    for seg in &segments {
-        match seg.kind {
-            SegmentKind::Fused => {
-                match run_fused(seg, prog, basis, scratch, config, &mut metrics, stream_len) {
-                    Ok(()) => {}
-                    Err(ExecError::OverlapOverflow { .. })
-                        if config.fallback == FallbackPolicy::Sequential =>
-                    {
-                        metrics.fallbacks += 1;
-                        run_sequential(seg, basis, &mut scratch.env, config, &mut metrics, stream_len);
+    let (fault_fired, windows_launched) = {
+        let mut cx = ExecCtx {
+            config,
+            metrics: &mut metrics,
+            stream_len,
+            ctl,
+            fault_fired: false,
+            windows_launched: 0,
+        };
+        for seg in &segments {
+            match seg.kind {
+                SegmentKind::Fused => {
+                    match run_fused(seg, prog, basis, scratch, &mut cx) {
+                        Ok(()) => {}
+                        Err(ExecError::OverlapOverflow { .. })
+                            if config.fallback == FallbackPolicy::Sequential =>
+                        {
+                            cx.metrics.fallbacks += 1;
+                            run_sequential(seg, basis, &mut scratch.env, &mut cx)?;
+                        }
+                        Err(e) => return Err(e),
                     }
-                    Err(e) => return Err(e),
+                }
+                SegmentKind::Sequential => {
+                    run_sequential(seg, basis, &mut scratch.env, &mut cx)?
                 }
             }
-            SegmentKind::Sequential => {
-                run_sequential(seg, basis, &mut scratch.env, config, &mut metrics, stream_len)
-            }
+            let resident: usize = scratch.env.values().map(|s| s.len().div_ceil(8)).sum();
+            cx.metrics.peak_materialized_bytes =
+                cx.metrics.peak_materialized_bytes.max(resident);
         }
-        let resident: usize = scratch.env.values().map(|s| s.len().div_ceil(8)).sum();
-        metrics.peak_materialized_bytes = metrics.peak_materialized_bytes.max(resident);
+        (cx.fault_fired, cx.windows_launched)
+    };
+    if metrics.counters.window_iterations != windows_launched {
+        return Err(ExecError::CounterMismatch {
+            expected: windows_launched,
+            observed: metrics.counters.window_iterations,
+        });
     }
     metrics.window_iterations = metrics.counters.window_iterations;
-    let outputs = prog
+    let outputs: Vec<BitStream> = prog
         .outputs()
         .iter()
         .map(|id| scratch.env.get(id).cloned().unwrap_or_else(|| BitStream::zeros(stream_len)))
         .collect();
     scratch.recycle();
-    Ok(ExecOutcome { outputs, metrics })
+    if config.cross_check {
+        let reference = try_interpret(prog, basis, ctl)?;
+        for (i, (got, want)) in outputs.iter().zip(&reference.outputs).enumerate() {
+            if got != want {
+                return Err(ExecError::CrossCheckMismatch { output: i });
+            }
+        }
+    }
+    Ok(ExecOutcome { outputs, metrics, fault_fired })
+}
+
+/// Mutable state threaded through one execution: the run's metrics, its
+/// interruption control, and the hardening tallies.
+struct ExecCtx<'a> {
+    config: &'a ExecConfig,
+    metrics: &'a mut ExecMetrics,
+    stream_len: usize,
+    ctl: &'a RunControl,
+    /// Whether the armed fault (if any) has corrupted an event.
+    fault_fired: bool,
+    /// Executor-side count of `run_window` calls, verified against the
+    /// emulator's counters after the last segment.
+    windows_launched: u64,
 }
 
 /// Interleaved execution of one fused segment (§4): windows with
@@ -306,10 +444,11 @@ fn run_fused(
     prog: &Program,
     basis: &Basis,
     scratch: &mut ExecScratch,
-    config: &ExecConfig,
-    metrics: &mut ExecMetrics,
-    stream_len: usize,
+    cx: &mut ExecCtx<'_>,
 ) -> Result<(), ExecError> {
+    let config = cx.config;
+    let metrics = &mut *cx.metrics;
+    let stream_len = cx.stream_len;
     let sub = Program::new(seg.stmts.clone(), prog.num_streams(), seg.outputs.clone());
     let info = OverlapInfo::analyze(&sub);
     let merge = if config.scheme.uses_barrier_merging() { config.merge_size } else { 1 };
@@ -339,6 +478,9 @@ fn run_fused(
     let mut outs: Vec<BitStream> =
         seg.outputs.iter().map(|_| scratch.take_zeros(stream_len)).collect();
     let mut cta = Cta::new(kernel, config.threads);
+    if let Some(plan) = config.fault {
+        cta.arm_fault(plan);
+    }
     let mut store_pos = 0usize;
     let mut overlap_bits = 0u64;
     let mut stored_bits = 0u64;
@@ -346,21 +488,37 @@ fn run_fused(
     let mut dyn_max = 0u64;
     let mut stored_windows = 0u64;
 
+    // Errors break out instead of returning so the fault tally below runs
+    // on every exit path (a fault fired during an abandoned attempt still
+    // counts as injected).
+    let mut result: Result<(), ExecError> = Ok(());
     while store_pos < stream_len {
+        if !cx.ctl.is_unlimited() {
+            if let Err(i) = cx.ctl.check() {
+                result = Err(i.into());
+                break;
+            }
+        }
         let window_start = store_pos as i64 - left as i64;
-        let out = cta
-            .run_window(
-                kernel,
-                WindowInputs { basis: basis.streams(), globals: &globals },
-                window_start,
-                &mut metrics.counters,
-            )
-            .map_err(ExecError::Race)?;
+        cx.windows_launched += 1;
+        let out = match cta.run_window(
+            kernel,
+            WindowInputs { basis: basis.streams(), globals: &globals },
+            window_start,
+            &mut metrics.counters,
+        ) {
+            Ok(out) => out,
+            Err(e) => {
+                result = Err(ExecError::Race(e));
+                break;
+            }
+        };
         let required = info.required(&out.loop_trips);
         let provided = Hull { left, right };
         if !required.fits(provided) {
             if required.total() > capacity {
-                return Err(ExecError::OverlapOverflow { required, capacity });
+                result = Err(ExecError::OverlapOverflow { required, capacity });
+                break;
             }
             // Enlarge the window overlap and re-run this window (the
             // dynamic part of Dependency-Aware Thread-Data Mapping).
@@ -385,6 +543,8 @@ fn run_fused(
         store_pos = store_end;
         stored_windows += 1;
     }
+    cx.fault_fired |= cta.fault_fired();
+    result?;
 
     if stored_windows > 0 {
         let prev_weight = metrics.recompute_frac; // merge across segments conservatively
@@ -407,14 +567,21 @@ fn run_sequential(
     seg: &Segment,
     basis: &Basis,
     env: &mut HashMap<StreamId, BitStream>,
-    config: &ExecConfig,
-    metrics: &mut ExecMetrics,
-    stream_len: usize,
-) {
-    let passes = stream_len.div_ceil(config.window_bits()) as u64;
+    cx: &mut ExecCtx<'_>,
+) -> Result<(), ExecError> {
+    let stream_len = cx.stream_len;
+    let passes = stream_len.div_ceil(cx.config.window_bits()) as u64;
     let words = stream_len.div_ceil(WORD_BITS) as u64;
-    let mut seq = SeqExec { basis, env, metrics, stream_len, passes, words };
-    seq.run(&seg.stmts);
+    let mut seq = SeqExec {
+        basis,
+        env,
+        metrics: &mut *cx.metrics,
+        stream_len,
+        passes,
+        words,
+        ctl: cx.ctl,
+    };
+    seq.run(&seg.stmts)
 }
 
 struct SeqExec<'a> {
@@ -426,36 +593,43 @@ struct SeqExec<'a> {
     passes: u64,
     /// 32-bit words per full stream.
     words: u64,
+    ctl: &'a RunControl,
 }
 
 impl SeqExec<'_> {
-    fn run(&mut self, stmts: &[Stmt]) {
+    fn run(&mut self, stmts: &[Stmt]) -> Result<(), ExecError> {
         for stmt in stmts {
+            if !self.ctl.is_unlimited() {
+                self.ctl.check()?;
+            }
             match stmt {
-                Stmt::Op(op) => self.exec(op),
+                Stmt::Op(op) => self.exec(op)?,
                 Stmt::If { cond, body } => {
                     self.metrics.counters.reductions += 1;
-                    if self.get(*cond).any() {
-                        self.run(body);
+                    if self.get(*cond)?.any() {
+                        self.run(body)?;
                     } else {
                         self.metrics.counters.skipped_ops += count_ops(body) * self.passes;
                     }
                 }
                 Stmt::While { cond, body } => {
                     let mut fuel = self.stream_len + 2;
-                    while self.get(*cond).any() {
-                        assert!(fuel > 0, "sequential while exceeded fixpoint bound");
+                    while self.get(*cond)?.any() {
+                        if fuel == 0 {
+                            return Err(ExecError::FixpointDiverged);
+                        }
                         fuel -= 1;
                         self.metrics.counters.reductions += 1;
-                        self.run(body);
+                        self.run(body)?;
                     }
                     self.metrics.counters.reductions += 1;
                 }
             }
         }
+        Ok(())
     }
 
-    fn exec(&mut self, op: &Op) {
+    fn exec(&mut self, op: &Op) -> Result<(), ExecError> {
         // Issue and traffic accounting first (Fig. 5: one loop per
         // instruction; shifts load two adjacent blocks per block).
         let (alu, loads) = match op {
@@ -479,24 +653,23 @@ impl SeqExec<'_> {
             Op::MatchCc { class, .. } => {
                 compile_class(class).eval(self.basis).resized(self.stream_len)
             }
-            Op::And { a, b, .. } => self.get(*a).and(self.get(*b)),
-            Op::Or { a, b, .. } => self.get(*a).or(self.get(*b)),
-            Op::Add { a, b, .. } => self.get(*a).add(self.get(*b)),
-            Op::Xor { a, b, .. } => self.get(*a).xor(self.get(*b)),
-            Op::Not { src, .. } => self.get(*src).not(),
-            Op::Advance { src, amount, .. } => self.get(*src).advance(*amount as usize),
-            Op::Retreat { src, amount, .. } => self.get(*src).retreat(*amount as usize),
-            Op::Assign { src, .. } => self.get(*src).clone(),
+            Op::And { a, b, .. } => self.get(*a)?.and(self.get(*b)?),
+            Op::Or { a, b, .. } => self.get(*a)?.or(self.get(*b)?),
+            Op::Add { a, b, .. } => self.get(*a)?.add(self.get(*b)?),
+            Op::Xor { a, b, .. } => self.get(*a)?.xor(self.get(*b)?),
+            Op::Not { src, .. } => self.get(*src)?.not(),
+            Op::Advance { src, amount, .. } => self.get(*src)?.advance(*amount as usize),
+            Op::Retreat { src, amount, .. } => self.get(*src)?.retreat(*amount as usize),
+            Op::Assign { src, .. } => self.get(*src)?.clone(),
             Op::Zero { .. } => BitStream::zeros(self.stream_len),
             Op::Ones { .. } => BitStream::ones(self.stream_len),
         };
         self.env.insert(op.dst(), value);
+        Ok(())
     }
 
-    fn get(&self, id: StreamId) -> &BitStream {
-        self.env
-            .get(&id)
-            .unwrap_or_else(|| panic!("sequential read of unwritten stream {id}"))
+    fn get(&self, id: StreamId) -> Result<&BitStream, ExecError> {
+        self.env.get(&id).ok_or(ExecError::UnwrittenStream { id })
     }
 }
 
@@ -760,5 +933,110 @@ mod tests {
             let out = execute(&prog, &basis, &ExecConfig::for_scheme(scheme)).unwrap();
             assert!(!out.outputs[0].any());
         }
+    }
+
+    #[test]
+    fn cancellation_stops_both_paths() {
+        use bitgen_ir::CancelToken;
+        let input: Vec<u8> = b"abcbcd".iter().cycle().take(600).copied().collect();
+        let basis = Basis::transpose(&input);
+        let token = CancelToken::new();
+        token.cancel();
+        let ctl = RunControl::unlimited().with_cancel(token);
+        for scheme in [Scheme::Zbs, Scheme::Sequential] {
+            let mut prog = lower(&parse("a(bc)*d").unwrap());
+            let config = ExecConfig { scheme, threads: 4, ..ExecConfig::default() };
+            apply_transforms(&mut prog, &config);
+            let err =
+                execute_prepared_ctl(&prog, &basis, &config, &mut ExecScratch::new(), &ctl)
+                    .unwrap_err();
+            assert_eq!(err, ExecError::Cancelled, "scheme {scheme}");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_stops_execution() {
+        use std::time::{Duration, Instant};
+        let input: Vec<u8> = b"abcbcd".iter().cycle().take(600).copied().collect();
+        let basis = Basis::transpose(&input);
+        let mut prog = lower(&parse("a(bc)*d").unwrap());
+        let config = ExecConfig { threads: 4, ..ExecConfig::default() };
+        apply_transforms(&mut prog, &config);
+        let expired =
+            RunControl::unlimited().with_deadline(Instant::now() - Duration::from_secs(1));
+        let err = execute_prepared_ctl(&prog, &basis, &config, &mut ExecScratch::new(), &expired)
+            .unwrap_err();
+        assert_eq!(err, ExecError::DeadlineExceeded);
+        // A lax deadline leaves results untouched.
+        let lax = RunControl::unlimited().deadline_in(Duration::from_secs(3600));
+        let out = execute_prepared_ctl(&prog, &basis, &config, &mut ExecScratch::new(), &lax)
+            .unwrap();
+        assert_eq!(out.outputs, execute_prepared(&prog, &basis, &config).unwrap().outputs);
+    }
+
+    #[test]
+    fn cross_check_passes_on_clean_runs() {
+        let input: Vec<u8> = b"abcbcd".iter().cycle().take(300).copied().collect();
+        let basis = Basis::transpose(&input);
+        let prog = lower(&parse("a(bc)*d").unwrap());
+        let config = ExecConfig { threads: 4, cross_check: true, ..ExecConfig::default() };
+        let out = execute(&prog, &basis, &config).unwrap();
+        assert!(!out.fault_fired);
+        assert_eq!(
+            out.outputs[0].positions(),
+            interpret(&prog, &basis).outputs[0].positions()
+        );
+    }
+
+    #[test]
+    fn counter_fault_is_always_detected() {
+        use bitgen_gpu::{FaultKind, FaultPlan};
+        let input: Vec<u8> = b"abcbcd".iter().cycle().take(300).copied().collect();
+        let basis = Basis::transpose(&input);
+        let prog = lower(&parse("a(bc)*d").unwrap());
+        let config = ExecConfig {
+            threads: 4,
+            fault: Some(FaultPlan { kind: FaultKind::CorruptCounter, trigger: 1, seed: 9 }),
+            ..ExecConfig::default()
+        };
+        let err = execute(&prog, &basis, &config).unwrap_err();
+        assert!(matches!(err, ExecError::CounterMismatch { .. }), "got {err}");
+    }
+
+    #[test]
+    fn injected_faults_never_pass_silently() {
+        // The tentpole property at the exec layer: for a seeded sweep of
+        // fault plans, every run either errors or produces output
+        // bit-identical to the clean run (the fault was masked).
+        use bitgen_gpu::FaultPlan;
+        let input: Vec<u8> = b"abcbcd".iter().cycle().take(300).copied().collect();
+        let basis = Basis::transpose(&input);
+        let mut prog = lower(&parse("a(bc)*d").unwrap());
+        let base = ExecConfig { threads: 4, cross_check: true, ..ExecConfig::default() };
+        apply_transforms(&mut prog, &base);
+        let clean = execute_prepared(&prog, &basis, &base).unwrap();
+        let mut fired = 0;
+        let mut detected = 0;
+        for seed in 0..40u64 {
+            let plan = FaultPlan::from_seed(seed);
+            if plan.kind == bitgen_gpu::FaultKind::Panic {
+                continue; // panic isolation is the session layer's job
+            }
+            let config = ExecConfig { fault: Some(plan), ..base };
+            match execute_prepared(&prog, &basis, &config) {
+                Err(_) => detected += 1,
+                Ok(out) => {
+                    if out.fault_fired {
+                        fired += 1;
+                        assert_eq!(
+                            out.outputs, clean.outputs,
+                            "seed {seed}: fault fired, no error, but outputs differ — silent corruption"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(detected > 0, "sweep produced no detections at all");
+        assert!(fired + detected > 10, "sweep barely exercised the fault machinery");
     }
 }

@@ -25,9 +25,13 @@ mod segment;
 
 pub use blit::blit_or;
 pub use engine::{
-    apply_transforms, execute, execute_prepared, execute_prepared_with, ExecConfig, ExecError,
-    ExecOutcome, ExecScratch, FallbackPolicy,
+    apply_transforms, execute, execute_prepared, execute_prepared_ctl, execute_prepared_with,
+    ExecConfig, ExecError, ExecOutcome, ExecScratch, FallbackPolicy,
 };
 pub use metrics::ExecMetrics;
 pub use scheme::Scheme;
+// Convenience re-exports so executor callers can drive cancellation and
+// fault drills without importing the defining crates.
+pub use bitgen_gpu::{FaultKind, FaultPlan};
+pub use bitgen_ir::{CancelToken, RunControl};
 pub use segment::{intermediate_count, segment_program, Segment, SegmentKind};

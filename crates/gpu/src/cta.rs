@@ -15,6 +15,7 @@
 //! (`bitgen-exec`); the emulator only runs the kernel faithfully.
 
 use crate::counters::CtaCounters;
+use crate::fault::{FaultKind, FaultPlan};
 use bitgen_bitstream::BitStream;
 use bitgen_kernel::{KOp, KStmt, Kernel, WORD_BITS};
 use std::error::Error;
@@ -71,6 +72,10 @@ pub struct Cta {
     /// Per-slot epoch flags for race checking.
     stored_since_barrier: Vec<bool>,
     read_since_barrier: Vec<bool>,
+    /// Armed fault, its remaining event countdown, and whether it fired.
+    fault: Option<FaultPlan>,
+    fault_countdown: u32,
+    fault_fired: bool,
 }
 
 impl Cta {
@@ -87,7 +92,41 @@ impl Cta {
             smem: vec![vec![0; threads]; kernel.num_slots as usize],
             stored_since_barrier: vec![false; kernel.num_slots as usize],
             read_since_barrier: vec![false; kernel.num_slots as usize],
+            fault: None,
+            fault_countdown: 0,
+            fault_fired: false,
         }
+    }
+
+    /// Arms a single-shot [`FaultPlan`]: the trigger-th occurrence of the
+    /// plan's event is corrupted, once, across all subsequent windows.
+    pub fn arm_fault(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+        self.fault_countdown = plan.trigger.max(1);
+        self.fault_fired = false;
+    }
+
+    /// Whether the armed fault has corrupted an event yet. A plan whose
+    /// trigger exceeds the events the run produces never fires — it
+    /// injected nothing.
+    pub fn fault_fired(&self) -> bool {
+        self.fault_fired
+    }
+
+    /// Counts down toward the armed fault on one occurrence of `kind`'s
+    /// event; returns the plan's mixed seed bits exactly once, at the
+    /// firing occurrence.
+    fn fault_due(&mut self, kind: FaultKind) -> Option<u64> {
+        let plan = self.fault?;
+        if plan.kind != kind || self.fault_fired {
+            return None;
+        }
+        self.fault_countdown -= 1;
+        if self.fault_countdown > 0 {
+            return None;
+        }
+        self.fault_fired = true;
+        Some(plan.seed)
     }
 
     /// Window width in bits.
@@ -121,11 +160,27 @@ impl Cta {
         // barrier elided at the end of one iteration races with the first
         // shared-memory store of the next.
         counters.window_iterations += 1;
+        if self.fault_due(FaultKind::Panic).is_some() {
+            panic!("injected fault: forced panic on window entry");
+        }
         let mut out = WindowOutput {
             words: vec![vec![0; self.threads]; kernel.num_outputs as usize],
             loop_trips: vec![0; kernel.num_sites as usize],
         };
         self.run_stmts(kernel.stmts.as_slice(), inputs, start, counters, &mut out)?;
+        if let Some(bits) = self.fault_due(FaultKind::CorruptTrips) {
+            // Zero a recorded trip count: under-reporting the dynamic
+            // reach is the dangerous direction (over-reporting only makes
+            // the executor more conservative).
+            if !out.loop_trips.is_empty() {
+                let i = bits as usize % out.loop_trips.len();
+                out.loop_trips[i] = 0;
+            }
+        }
+        if let Some(bits) = self.fault_due(FaultKind::CorruptCounter) {
+            counters.window_iterations =
+                counters.window_iterations.wrapping_add(1 + bits % 3);
+        }
         for (slot, trips) in out.loop_trips.iter().enumerate() {
             if let Some(t) = counters.loop_trips.get_mut(slot) {
                 *t += trips;
@@ -260,9 +315,19 @@ impl Cta {
                 }
                 self.stored_since_barrier[s] = true;
                 self.smem[s].clone_from(&self.regs[src.0 as usize]);
+                if let Some(bits) = self.fault_due(FaultKind::SmemFlip) {
+                    let word = bits as usize % self.threads;
+                    let bit = (bits >> 8) % 32;
+                    self.smem[s][word] ^= 1 << bit;
+                }
             }
             KOp::Barrier => {
+                // A skipped barrier still costs a barrier on hardware; only
+                // its synchronisation effect (the flag clearing) is lost.
                 counters.barriers += 1;
+                if self.fault_due(FaultKind::SkipBarrier).is_some() {
+                    return Ok(());
+                }
                 self.stored_since_barrier.iter_mut().for_each(|f| *f = false);
                 self.read_since_barrier.iter_mut().for_each(|f| *f = false);
             }
@@ -550,6 +615,103 @@ mod tests {
         assert!(c.loop_trips[0] >= 2, "two (bc) passes: {:?}", c.loop_trips);
         assert!(c.global_load_words > 0);
         assert!(c.global_store_words > 0);
+    }
+
+    #[test]
+    fn unarmed_cta_never_fires() {
+        let prog = lower(&parse("cat").unwrap());
+        let compiled = compile(&prog, &[], &[], &CodegenOptions::default());
+        let basis = basis_for(b"bobcat");
+        let mut cta = Cta::new(&compiled.kernel, 2);
+        let mut c = CtaCounters::new(0);
+        cta.run_window(&compiled.kernel, WindowInputs { basis: &basis, globals: &[] }, 0, &mut c)
+            .unwrap();
+        assert!(!cta.fault_fired());
+    }
+
+    #[test]
+    fn smem_flip_fires_once_and_changes_output() {
+        // a(bc)*d routes data through shared memory (shifts), so a flipped
+        // smem bit must perturb the output words of the faulted run.
+        let prog = lower(&parse("a(bc)*d").unwrap());
+        let compiled = compile(&prog, &[], &[], &CodegenOptions::default());
+        let basis = basis_for(b"abcbcd");
+        let run = |plan: Option<FaultPlan>| {
+            let mut cta = Cta::new(&compiled.kernel, 2);
+            if let Some(p) = plan {
+                cta.arm_fault(p);
+            }
+            let mut c = CtaCounters::new(compiled.kernel.num_sites as usize);
+            let out = cta
+                .run_window(
+                    &compiled.kernel,
+                    WindowInputs { basis: &basis, globals: &[] },
+                    0,
+                    &mut c,
+                )
+                .unwrap();
+            (out.words, cta.fault_fired())
+        };
+        let (clean, fired) = run(None);
+        assert!(!fired);
+        // A flip in a word past the input (or one the kernel masks off) is
+        // harmless, so scan a few seeds: at least one must corrupt the
+        // output, and every fired plan must replay identically.
+        let mut corrupted = 0;
+        for seed in 0..8 {
+            let plan = FaultPlan { kind: FaultKind::SmemFlip, trigger: 1, seed };
+            let (faulted, fired) = run(Some(plan));
+            assert!(fired, "the kernel stores to smem, so trigger 1 must fire");
+            assert_eq!(run(Some(plan)).0, faulted, "same plan must corrupt identically");
+            if faulted != clean {
+                corrupted += 1;
+            }
+        }
+        assert!(corrupted > 0, "no seed's smem flip reached the output");
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault")]
+    fn panic_fault_panics_on_window_entry() {
+        let prog = lower(&parse("cat").unwrap());
+        let compiled = compile(&prog, &[], &[], &CodegenOptions::default());
+        let basis = basis_for(b"bobcat");
+        let mut cta = Cta::new(&compiled.kernel, 2);
+        cta.arm_fault(FaultPlan { kind: FaultKind::Panic, trigger: 1, seed: 0 });
+        let mut c = CtaCounters::new(0);
+        let _ = cta.run_window(
+            &compiled.kernel,
+            WindowInputs { basis: &basis, globals: &[] },
+            0,
+            &mut c,
+        );
+    }
+
+    #[test]
+    fn counter_fault_inflates_window_iterations() {
+        let prog = lower(&parse("cat").unwrap());
+        let compiled = compile(&prog, &[], &[], &CodegenOptions::default());
+        let basis = basis_for(b"bobcat");
+        let mut cta = Cta::new(&compiled.kernel, 2);
+        cta.arm_fault(FaultPlan { kind: FaultKind::CorruptCounter, trigger: 1, seed: 3 });
+        let mut c = CtaCounters::new(0);
+        cta.run_window(&compiled.kernel, WindowInputs { basis: &basis, globals: &[] }, 0, &mut c)
+            .unwrap();
+        assert!(cta.fault_fired());
+        assert!(c.window_iterations > 1, "counter must be inflated past the true 1");
+    }
+
+    #[test]
+    fn high_trigger_fault_never_fires() {
+        let prog = lower(&parse("cat").unwrap());
+        let compiled = compile(&prog, &[], &[], &CodegenOptions::default());
+        let basis = basis_for(b"bobcat");
+        let mut cta = Cta::new(&compiled.kernel, 2);
+        cta.arm_fault(FaultPlan { kind: FaultKind::Panic, trigger: 1000, seed: 0 });
+        let mut c = CtaCounters::new(0);
+        cta.run_window(&compiled.kernel, WindowInputs { basis: &basis, globals: &[] }, 0, &mut c)
+            .unwrap();
+        assert!(!cta.fault_fired());
     }
 
     #[test]

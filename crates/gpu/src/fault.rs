@@ -1,0 +1,101 @@
+//! Deterministic fault injection for the CTA emulator.
+//!
+//! The emulator's claim to correctness rests on its checks: the barrier
+//! race detector, the executor's overlap validation, and the cross-check
+//! against the reference interpreter. A [`FaultPlan`] corrupts execution
+//! on purpose — flipping a shared-memory bit, skipping a barrier, lying
+//! about loop trips or counters, or panicking outright — so tests can
+//! prove those checks actually fire instead of trusting them by
+//! construction.
+//!
+//! Plans are deterministic: the same `(plan, kernel, input)` triple
+//! corrupts the same event on every run, so a failing seed reproduces
+//! exactly. Each plan fires **at most once** (window retries re-run the
+//! same instructions; a refiring fault would corrupt a different event on
+//! the retry and break reproducibility).
+//!
+//! Because the emulator executes threads sequentially, a skipped barrier
+//! never produces the silent corruption real hardware would: it either
+//! trips the race detector on a later shared-memory access or the elision
+//! was harmless. Every other kind corrupts real state and must be caught
+//! downstream (or proven masked — bit-identical output to a clean run).
+
+/// Which part of CTA execution a [`FaultPlan`] corrupts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Flip one bit of the slot written by the trigger-th `SmemStore`.
+    SmemFlip,
+    /// Skip the flag-clearing of the trigger-th `Barrier` (the event
+    /// counters still see the barrier, as hardware would execute it).
+    SkipBarrier,
+    /// Zero one recorded loop-trip / carry-run entry at the end of the
+    /// trigger-th window, under-reporting the dynamic overlap reach.
+    CorruptTrips,
+    /// Inflate the window-iteration counter at the end of the trigger-th
+    /// window.
+    CorruptCounter,
+    /// Panic on entry to the trigger-th window, as a hard emulator bug
+    /// would.
+    Panic,
+}
+
+/// A single deterministic fault: corrupt `kind`'s trigger-th event, with
+/// `seed` selecting which word/bit/entry to hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// What to corrupt.
+    pub kind: FaultKind,
+    /// Which occurrence of the relevant event fires the fault (1-based;
+    /// 0 is treated as 1).
+    pub trigger: u32,
+    /// Entropy for picking the corrupted word/bit/entry.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// Derives a plan from a bare seed, cycling through every [`FaultKind`]
+    /// and a spread of triggers — the shape seeded sweeps iterate over.
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        let kind = match seed % 5 {
+            0 => FaultKind::SmemFlip,
+            1 => FaultKind::SkipBarrier,
+            2 => FaultKind::CorruptTrips,
+            3 => FaultKind::CorruptCounter,
+            _ => FaultKind::Panic,
+        };
+        FaultPlan { kind, trigger: 1 + ((seed / 5) % 6) as u32, seed: mix(seed) }
+    }
+}
+
+/// SplitMix64 finalizer: decorrelates the fault target bits from the
+/// low-entropy sweep seeds (0, 1, 2, ...).
+pub(crate) fn mix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_seed_is_deterministic_and_covers_all_kinds() {
+        let mut kinds = std::collections::HashSet::new();
+        for seed in 0..30 {
+            let a = FaultPlan::from_seed(seed);
+            let b = FaultPlan::from_seed(seed);
+            assert_eq!(a, b);
+            assert!(a.trigger >= 1);
+            kinds.insert(format!("{:?}", a.kind));
+        }
+        assert_eq!(kinds.len(), 5, "sweep must exercise every fault kind");
+    }
+
+    #[test]
+    fn mix_spreads_consecutive_seeds() {
+        assert_ne!(mix(0) >> 32, mix(1) >> 32);
+        assert_ne!(mix(1), mix(2));
+    }
+}

@@ -16,10 +16,12 @@ mod cost;
 mod counters;
 mod cta;
 mod device;
+mod fault;
 mod report;
 
 pub use cost::{throughput_mbps, CostBreakdown, CtaWork};
 pub use counters::CtaCounters;
 pub use cta::{read_window_words, Cta, RaceError, WindowInputs, WindowOutput};
 pub use device::DeviceConfig;
+pub use fault::{FaultKind, FaultPlan};
 pub use report::profile_report;

@@ -31,12 +31,24 @@ pub struct ProgramBuilder {
     frames: Vec<Vec<Stmt>>,
     cc_cache: HashMap<ByteSet, StreamId>,
     outputs: Vec<StreamId>,
+    ops: usize,
 }
 
 impl ProgramBuilder {
     /// Creates an empty builder.
     pub fn new() -> ProgramBuilder {
-        ProgramBuilder { next: 0, frames: vec![Vec::new()], cc_cache: HashMap::new(), outputs: Vec::new() }
+        ProgramBuilder {
+            next: 0,
+            frames: vec![Vec::new()],
+            cc_cache: HashMap::new(),
+            outputs: Vec::new(),
+            ops: 0,
+        }
+    }
+
+    /// Instructions emitted so far — what compile budgets meter.
+    pub fn ops_emitted(&self) -> usize {
+        self.ops
     }
 
     /// Allocates a fresh stream variable.
@@ -47,6 +59,7 @@ impl ProgramBuilder {
     }
 
     fn emit(&mut self, op: Op) {
+        self.ops += 1;
         self.frames.last_mut().expect("frame stack never empty").push(Stmt::Op(op));
     }
 

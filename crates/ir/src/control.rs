@@ -1,0 +1,127 @@
+//! Cooperative cancellation and deadlines for long-running scans.
+//!
+//! A scan over gigabytes of input can run for a long time; a pathological
+//! pattern can make even a small input slow. [`RunControl`] carries an
+//! optional [`CancelToken`] and an optional deadline, and the interpreter
+//! and execution engines poll it at word-chunk granularity — often enough
+//! to stop within microseconds, rarely enough that the check is free.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shareable flag that requests a run to stop.
+///
+/// Clones share the same flag; any clone may cancel, and all observers see
+/// it. Cancellation is cooperative — workers notice at their next poll.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a token in the not-cancelled state.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a cooperative run stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interrupt {
+    /// The run's [`CancelToken`] was triggered.
+    Cancelled,
+    /// The run's deadline passed.
+    DeadlineExceeded,
+}
+
+/// Per-run control block: an optional cancel token and an optional
+/// deadline, polled cooperatively by the interpreter and the executors.
+#[derive(Debug, Clone, Default)]
+pub struct RunControl {
+    cancel: Option<CancelToken>,
+    deadline: Option<Instant>,
+}
+
+impl RunControl {
+    /// A control block that never interrupts.
+    pub fn unlimited() -> RunControl {
+        RunControl::default()
+    }
+
+    /// Attaches a cancel token.
+    pub fn with_cancel(mut self, token: CancelToken) -> RunControl {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Sets an absolute deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> RunControl {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets a deadline `timeout` from now.
+    pub fn deadline_in(self, timeout: Duration) -> RunControl {
+        self.with_deadline(Instant::now() + timeout)
+    }
+
+    /// Whether this control block can ever interrupt (lets hot loops skip
+    /// the poll entirely).
+    pub fn is_unlimited(&self) -> bool {
+        self.cancel.is_none() && self.deadline.is_none()
+    }
+
+    /// Polls the token and the clock.
+    pub fn check(&self) -> Result<(), Interrupt> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(Interrupt::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(Interrupt::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_interrupts() {
+        let ctl = RunControl::unlimited();
+        assert!(ctl.is_unlimited());
+        assert_eq!(ctl.check(), Ok(()));
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let token = CancelToken::new();
+        let ctl = RunControl::unlimited().with_cancel(token.clone());
+        assert_eq!(ctl.check(), Ok(()));
+        token.cancel();
+        assert_eq!(ctl.check(), Err(Interrupt::Cancelled));
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn past_deadline_interrupts() {
+        let ctl = RunControl::unlimited().with_deadline(Instant::now() - Duration::from_secs(1));
+        assert_eq!(ctl.check(), Err(Interrupt::DeadlineExceeded));
+        let far = RunControl::unlimited().deadline_in(Duration::from_secs(3600));
+        assert_eq!(far.check(), Ok(()));
+    }
+}

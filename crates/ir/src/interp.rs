@@ -5,8 +5,10 @@
 //! with. Also records the loop trip counts used to validate the dynamic
 //! overlap analysis.
 
+use crate::control::{Interrupt, RunControl};
 use crate::program::{Op, Program, Stmt, StreamId};
 use bitgen_bitstream::{compile_class, Basis, BitStream};
+use std::fmt;
 
 /// Result of interpreting a program.
 #[derive(Debug, Clone)]
@@ -56,6 +58,67 @@ impl InterpResult {
 /// assert_eq!(result.match_ends(0), vec![6]);
 /// ```
 pub fn interpret(program: &Program, basis: &Basis) -> InterpResult {
+    match try_interpret(program, basis, &RunControl::unlimited()) {
+        Ok(r) => r,
+        Err(InterpError::UnwrittenStream { id }) => panic!("read of unwritten stream {id}"),
+        Err(InterpError::FixpointDiverged) => panic!("while loop exceeded its fixpoint bound"),
+        // Unreachable: an unlimited RunControl never interrupts.
+        Err(e) => panic!("uncontrolled interpretation stopped: {e}"),
+    }
+}
+
+/// Why [`try_interpret`] stopped without a result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterpError {
+    /// The run's [`CancelToken`](crate::CancelToken) was triggered.
+    Cancelled,
+    /// The run's deadline passed.
+    DeadlineExceeded,
+    /// The program read a stream before writing it — a malformed program
+    /// that [`verify`](crate::verify) would reject.
+    UnwrittenStream {
+        /// The stream that was read while undefined.
+        id: StreamId,
+    },
+    /// A `while` loop ran past the fixpoint bound (`stream_len + 2`
+    /// trips) — only possible for a miscompiled or corrupted program.
+    FixpointDiverged,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::Cancelled => write!(f, "interpretation cancelled"),
+            InterpError::DeadlineExceeded => write!(f, "interpretation deadline exceeded"),
+            InterpError::UnwrittenStream { id } => write!(f, "read of unwritten stream {id}"),
+            InterpError::FixpointDiverged => {
+                write!(f, "while loop exceeded its fixpoint bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+impl From<Interrupt> for InterpError {
+    fn from(i: Interrupt) -> InterpError {
+        match i {
+            Interrupt::Cancelled => InterpError::Cancelled,
+            Interrupt::DeadlineExceeded => InterpError::DeadlineExceeded,
+        }
+    }
+}
+
+/// [`interpret`] with typed errors and cooperative interruption.
+///
+/// `ctl` is polled once per executed statement — each statement processes
+/// a whole stream, so the poll is amortised over kilobytes of work while
+/// cancellation still lands promptly.
+pub fn try_interpret(
+    program: &Program,
+    basis: &Basis,
+    ctl: &RunControl,
+) -> Result<InterpResult, InterpError> {
     let len = Program::stream_len(basis.len());
     let mut env = Env {
         vars: vec![None; program.num_streams() as usize],
@@ -64,13 +127,12 @@ pub fn interpret(program: &Program, basis: &Basis) -> InterpResult {
         loop_trips: 0,
         ops_executed: 0,
     };
-    env.run(program.stmts());
-    let outputs = program
-        .outputs()
-        .iter()
-        .map(|&id| env.get(id).clone())
-        .collect();
-    InterpResult { outputs, loop_trips: env.loop_trips, ops_executed: env.ops_executed }
+    env.run(program.stmts(), ctl)?;
+    let mut outputs = Vec::with_capacity(program.outputs().len());
+    for &id in program.outputs() {
+        outputs.push(env.get(id)?.clone());
+    }
+    Ok(InterpResult { outputs, loop_trips: env.loop_trips, ops_executed: env.ops_executed })
 }
 
 struct Env<'a> {
@@ -82,13 +144,16 @@ struct Env<'a> {
 }
 
 impl Env<'_> {
-    fn run(&mut self, stmts: &[Stmt]) {
+    fn run(&mut self, stmts: &[Stmt], ctl: &RunControl) -> Result<(), InterpError> {
         for stmt in stmts {
+            if !ctl.is_unlimited() {
+                ctl.check()?;
+            }
             match stmt {
-                Stmt::Op(op) => self.exec(op),
+                Stmt::Op(op) => self.exec(op)?,
                 Stmt::If { cond, body } => {
-                    if self.get(*cond).any() {
-                        self.run(body);
+                    if self.get(*cond)?.any() {
+                        self.run(body, ctl)?;
                     }
                 }
                 Stmt::While { cond, body } => {
@@ -96,41 +161,45 @@ impl Env<'_> {
                     // transforms: a marker fixpoint can never need more
                     // trips than there are positions.
                     let mut fuel = self.len + 2;
-                    while self.get(*cond).any() {
-                        assert!(fuel > 0, "while loop exceeded its fixpoint bound");
+                    while self.get(*cond)?.any() {
+                        if fuel == 0 {
+                            return Err(InterpError::FixpointDiverged);
+                        }
                         fuel -= 1;
                         self.loop_trips += 1;
-                        self.run(body);
+                        self.run(body, ctl)?;
                     }
                 }
             }
         }
+        Ok(())
     }
 
-    fn exec(&mut self, op: &Op) {
+    fn exec(&mut self, op: &Op) -> Result<(), InterpError> {
         self.ops_executed += 1;
         let value = match op {
             Op::MatchCc { class, .. } => {
                 compile_class(class).eval(self.basis).resized(self.len)
             }
-            Op::And { a, b, .. } => self.get(*a).and(self.get(*b)),
-            Op::Or { a, b, .. } => self.get(*a).or(self.get(*b)),
-            Op::Add { a, b, .. } => self.get(*a).add(self.get(*b)),
-            Op::Xor { a, b, .. } => self.get(*a).xor(self.get(*b)),
-            Op::Not { src, .. } => self.get(*src).not(),
-            Op::Advance { src, amount, .. } => self.get(*src).advance(*amount as usize),
-            Op::Retreat { src, amount, .. } => self.get(*src).retreat(*amount as usize),
-            Op::Assign { src, .. } => self.get(*src).clone(),
+            Op::And { a, b, .. } => self.get(*a)?.and(self.get(*b)?),
+            Op::Or { a, b, .. } => self.get(*a)?.or(self.get(*b)?),
+            Op::Add { a, b, .. } => self.get(*a)?.add(self.get(*b)?),
+            Op::Xor { a, b, .. } => self.get(*a)?.xor(self.get(*b)?),
+            Op::Not { src, .. } => self.get(*src)?.not(),
+            Op::Advance { src, amount, .. } => self.get(*src)?.advance(*amount as usize),
+            Op::Retreat { src, amount, .. } => self.get(*src)?.retreat(*amount as usize),
+            Op::Assign { src, .. } => self.get(*src)?.clone(),
             Op::Zero { .. } => BitStream::zeros(self.len),
             Op::Ones { .. } => BitStream::ones(self.len),
         };
         self.vars[op.dst().index()] = Some(value);
+        Ok(())
     }
 
-    fn get(&self, id: StreamId) -> &BitStream {
+    fn get(&self, id: StreamId) -> Result<&BitStream, InterpError> {
         self.vars[id.index()]
             .as_ref()
-            .unwrap_or_else(|| panic!("read of unwritten stream {id}"))
+            .ok_or(InterpError::UnwrittenStream { id })
     }
 }
 
@@ -226,5 +295,45 @@ mod tests {
             vec![StreamId(1)],
         );
         interpret(&prog, &Basis::transpose(b"x"));
+    }
+
+    #[test]
+    fn try_interpret_reports_unwritten_stream() {
+        use crate::program::{Program, Stmt, Op, StreamId};
+        let prog = Program::new(
+            vec![Stmt::Op(Op::Not { dst: StreamId(1), src: StreamId(0) })],
+            2,
+            vec![StreamId(1)],
+        );
+        let err = try_interpret(&prog, &Basis::transpose(b"x"), &RunControl::unlimited())
+            .unwrap_err();
+        assert_eq!(err, InterpError::UnwrittenStream { id: StreamId(0) });
+    }
+
+    #[test]
+    fn try_interpret_honours_cancellation() {
+        use crate::control::CancelToken;
+        let prog = lower(&parse("a(bc)*d").unwrap());
+        let basis = Basis::transpose(b"abcbcbcd");
+        let token = CancelToken::new();
+        token.cancel();
+        let ctl = RunControl::unlimited().with_cancel(token);
+        assert_eq!(try_interpret(&prog, &basis, &ctl).unwrap_err(), InterpError::Cancelled);
+    }
+
+    #[test]
+    fn try_interpret_honours_deadlines() {
+        use std::time::{Duration, Instant};
+        let prog = lower(&parse("a(bc)*d").unwrap());
+        let basis = Basis::transpose(b"abcbcbcd");
+        let expired = RunControl::unlimited().with_deadline(Instant::now() - Duration::from_secs(1));
+        assert_eq!(
+            try_interpret(&prog, &basis, &expired).unwrap_err(),
+            InterpError::DeadlineExceeded
+        );
+        // A generous deadline changes nothing.
+        let lax = RunControl::unlimited().deadline_in(Duration::from_secs(3600));
+        let r = try_interpret(&prog, &basis, &lax).unwrap();
+        assert_eq!(r.outputs[0].positions(), interpret(&prog, &basis).outputs[0].positions());
     }
 }

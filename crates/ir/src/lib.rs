@@ -31,7 +31,9 @@
 
 mod analysis;
 mod builder;
+mod control;
 mod interp;
+mod limits;
 mod lower;
 mod pretty;
 mod program;
@@ -40,8 +42,12 @@ mod verify;
 
 pub use analysis::DefUse;
 pub use builder::ProgramBuilder;
-pub use interp::{interpret, InterpResult};
-pub use lower::{lower, lower_group, lower_group_with, strip_nullable, LowerOptions};
+pub use control::{CancelToken, Interrupt, RunControl};
+pub use interp::{interpret, try_interpret, InterpError, InterpResult};
+pub use limits::{CompileLimits, LimitError};
+pub use lower::{
+    lower, lower_group, lower_group_checked, lower_group_with, strip_nullable, LowerOptions,
+};
 pub use pretty::pretty;
 pub use program::{Op, Program, Stmt, StreamId};
 pub use stats::ProgramStats;

@@ -1,0 +1,117 @@
+//! Compile budgets bounding pathological patterns.
+//!
+//! Untrusted rule sets can encode enormous amounts of compile-time work in
+//! a few bytes: nested counted repetitions multiply unrolled instructions,
+//! and the nullable rewrite duplicates concat suffixes. [`CompileLimits`]
+//! caps the three quantities that grow — AST nodes, distinct character
+//! classes, and emitted IR instructions — and the checked lowering aborts
+//! *before* performing over-budget work, so compile time stays proportional
+//! to the limits rather than to the input.
+
+use std::fmt;
+
+/// Caps on the compile-time work one pattern group may demand.
+///
+/// Enforced by [`lower_group_checked`](crate::lower_group_checked); the
+/// unchecked entry points behave as if every cap were infinite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileLimits {
+    /// Maximum total AST nodes in the group, counted both as parsed and as
+    /// rewritten by `strip_nullable` (which can grow the tree).
+    pub max_ast_nodes: usize,
+    /// Maximum distinct character classes in the group (each becomes a
+    /// materialised stream held live across the whole program).
+    pub max_classes: usize,
+    /// Maximum IR instructions emitted when lowering the group.
+    pub max_ir_ops: usize,
+}
+
+impl CompileLimits {
+    /// No caps: every budget is `usize::MAX`.
+    pub const fn unbounded() -> CompileLimits {
+        CompileLimits {
+            max_ast_nodes: usize::MAX,
+            max_classes: usize::MAX,
+            max_ir_ops: usize::MAX,
+        }
+    }
+
+    /// Production defaults: two orders of magnitude above the paper's
+    /// largest rule-set groups, far below anything that stalls a compile.
+    pub const fn standard() -> CompileLimits {
+        CompileLimits { max_ast_nodes: 100_000, max_classes: 4_096, max_ir_ops: 1_000_000 }
+    }
+}
+
+impl Default for CompileLimits {
+    fn default() -> CompileLimits {
+        CompileLimits::standard()
+    }
+}
+
+/// A compile budget was exceeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitError {
+    /// The group holds (or the nullable rewrite would create) more AST
+    /// nodes than allowed. `nodes` is a lower bound when the rewrite
+    /// aborted early.
+    AstNodes {
+        /// Observed node count when the budget tripped.
+        nodes: usize,
+        /// The configured cap.
+        max: usize,
+    },
+    /// The group uses more distinct character classes than allowed.
+    Classes {
+        /// Distinct classes in the group.
+        classes: usize,
+        /// The configured cap.
+        max: usize,
+    },
+    /// Lowering emitted more IR instructions than allowed.
+    IrOps {
+        /// Instructions emitted when the budget tripped.
+        ops: usize,
+        /// The configured cap.
+        max: usize,
+    },
+}
+
+impl fmt::Display for LimitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LimitError::AstNodes { nodes, max } => {
+                write!(f, "pattern group needs {nodes}+ AST nodes, limit is {max}")
+            }
+            LimitError::Classes { classes, max } => {
+                write!(f, "pattern group uses {classes} character classes, limit is {max}")
+            }
+            LimitError::IrOps { ops, max } => {
+                write!(f, "lowering emitted {ops}+ IR instructions, limit is {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LimitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_budget() {
+        let e = LimitError::AstNodes { nodes: 12, max: 10 };
+        assert!(e.to_string().contains("AST nodes"));
+        let e = LimitError::Classes { classes: 9, max: 4 };
+        assert!(e.to_string().contains("character classes"));
+        let e = LimitError::IrOps { ops: 101, max: 100 };
+        assert!(e.to_string().contains("IR instructions"));
+    }
+
+    #[test]
+    fn standard_is_default_and_below_unbounded() {
+        assert_eq!(CompileLimits::default(), CompileLimits::standard());
+        assert!(CompileLimits::standard().max_ir_ops < CompileLimits::unbounded().max_ir_ops);
+    }
+}

@@ -15,8 +15,10 @@
 //! reported — the same convention as the validation oracle.
 
 use crate::builder::ProgramBuilder;
+use crate::limits::{CompileLimits, LimitError};
 use crate::program::{Program, StreamId};
 use bitgen_regex::Ast;
+use std::collections::HashSet;
 
 /// Options controlling the lowering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -65,10 +67,45 @@ pub fn lower_group(asts: &[Ast]) -> Program {
 
 /// Lowers a group of regexes with explicit [`LowerOptions`].
 pub fn lower_group_with(asts: &[Ast], options: LowerOptions) -> Program {
+    lower_group_checked(asts, options, &CompileLimits::unbounded())
+        .expect("unbounded compile limits can never be exceeded")
+}
+
+/// Lowers a group of regexes while enforcing [`CompileLimits`].
+///
+/// The checks abort *before* the over-budget work is performed — the node
+/// budget is verified before the nullable rewrite runs (and charged as the
+/// rewrite grows the tree), and the instruction budget is polled on every
+/// recursion step — so compile time stays proportional to the limits, not
+/// to the pathological input.
+pub fn lower_group_checked(
+    asts: &[Ast],
+    options: LowerOptions,
+    limits: &CompileLimits,
+) -> Result<Program, LimitError> {
+    let nodes: usize = asts.iter().map(Ast::node_count).sum();
+    if nodes > limits.max_ast_nodes {
+        return Err(LimitError::AstNodes { nodes, max: limits.max_ast_nodes });
+    }
+    // The nullable rewrite duplicates concat suffixes, so its output is
+    // charged against the same node budget as the parse tree.
+    let mut stripped = Vec::with_capacity(asts.len());
+    for ast in asts {
+        let mut budget = limits.max_ast_nodes;
+        stripped.push(strip_nullable_within(ast, &mut budget, limits.max_ast_nodes)?);
+    }
+    let mut distinct = HashSet::new();
+    for ast in stripped.iter().flatten() {
+        ast.for_each_class(&mut |cc| {
+            distinct.insert(*cc);
+        });
+    }
+    if distinct.len() > limits.max_classes {
+        return Err(LimitError::Classes { classes: distinct.len(), max: limits.max_classes });
+    }
     let mut b = ProgramBuilder::new();
     // Hoist all character-class matches to the top of the program, exactly
     // as Listing 3 does — they are loop-invariant and shared.
-    let stripped: Vec<Option<Ast>> = asts.iter().map(strip_nullable).collect();
     for ast in stripped.iter().flatten() {
         ast.for_each_class(&mut |cc| {
             b.match_cc(*cc);
@@ -78,7 +115,7 @@ pub fn lower_group_with(asts: &[Ast], options: LowerOptions) -> Program {
     for ast in &stripped {
         match ast {
             Some(ast) => {
-                let cursors = lower_node(&mut b, ast, init, options);
+                let cursors = lower_node(&mut b, ast, init, options, limits)?;
                 // A cursor at position p means the match consumed input[..p],
                 // i.e. ended at byte p-1: retreat by one gives match ends.
                 let ends = b.retreat(cursors, 1);
@@ -92,7 +129,7 @@ pub fn lower_group_with(asts: &[Ast], options: LowerOptions) -> Program {
             }
         }
     }
-    b.finish()
+    Ok(b.finish())
 }
 
 /// Lowers a single regex into a bitstream program with one output.
@@ -100,11 +137,30 @@ pub fn lower(ast: &Ast) -> Program {
     lower_group(std::slice::from_ref(ast))
 }
 
+/// Aborts the lowering once the instruction budget is spent.
+///
+/// Polled at every recursion step, so unrolled repetitions stop within one
+/// body's worth of instructions of the cap.
+fn check_ops(b: &ProgramBuilder, limits: &CompileLimits) -> Result<(), LimitError> {
+    if b.ops_emitted() > limits.max_ir_ops {
+        Err(LimitError::IrOps { ops: b.ops_emitted(), max: limits.max_ir_ops })
+    } else {
+        Ok(())
+    }
+}
+
 /// Recursively lowers `ast`, advancing the cursor stream `cursors`.
 ///
 /// Returns the stream of cursors after a successful match of `ast`.
-fn lower_node(b: &mut ProgramBuilder, ast: &Ast, cursors: StreamId, opts: LowerOptions) -> StreamId {
-    match ast {
+fn lower_node(
+    b: &mut ProgramBuilder,
+    ast: &Ast,
+    cursors: StreamId,
+    opts: LowerOptions,
+    limits: &CompileLimits,
+) -> Result<StreamId, LimitError> {
+    check_ops(b, limits)?;
+    Ok(match ast {
         Ast::Empty => cursors,
         Ast::Class(cc) => {
             let s_cc = b.match_cc(*cc);
@@ -114,14 +170,14 @@ fn lower_node(b: &mut ProgramBuilder, ast: &Ast, cursors: StreamId, opts: LowerO
         Ast::Concat(parts) => {
             let mut cur = cursors;
             for p in parts {
-                cur = lower_node(b, p, cur, opts);
+                cur = lower_node(b, p, cur, opts, limits)?;
             }
             cur
         }
         Ast::Alt(parts) => {
             let mut acc: Option<StreamId> = None;
             for p in parts {
-                let r = lower_node(b, p, cursors, opts);
+                let r = lower_node(b, p, cursors, opts, limits)?;
                 acc = Some(match acc {
                     None => r,
                     Some(a) => b.or(a, r),
@@ -129,13 +185,13 @@ fn lower_node(b: &mut ProgramBuilder, ast: &Ast, cursors: StreamId, opts: LowerO
             }
             acc.unwrap_or(cursors)
         }
-        Ast::Star(inner) => lower_star(b, inner, cursors, opts),
+        Ast::Star(inner) => lower_star(b, inner, cursors, opts, limits)?,
         Ast::Plus(inner) => {
-            let first = lower_node(b, inner, cursors, opts);
-            lower_star(b, inner, first, opts)
+            let first = lower_node(b, inner, cursors, opts, limits)?;
+            lower_star(b, inner, first, opts, limits)?
         }
         Ast::Opt(inner) => {
-            let taken = lower_node(b, inner, cursors, opts);
+            let taken = lower_node(b, inner, cursors, opts, limits)?;
             b.or(cursors, taken)
         }
         Ast::Repeat { node, min, max } => {
@@ -145,36 +201,42 @@ fn lower_node(b: &mut ProgramBuilder, ast: &Ast, cursors: StreamId, opts: LowerO
                     cur = lower_repeat_log(b, *cc, cur, *min);
                 } else {
                     for _ in 0..*min {
-                        cur = lower_node(b, node, cur, opts);
+                        cur = lower_node(b, node, cur, opts, limits)?;
                     }
                 }
             } else {
                 for _ in 0..*min {
-                    cur = lower_node(b, node, cur, opts);
+                    cur = lower_node(b, node, cur, opts, limits)?;
                 }
             }
             match max {
-                None => lower_star(b, node, cur, opts),
+                None => lower_star(b, node, cur, opts, limits)?,
                 Some(m) => {
                     // Fig. 2d: unroll the optional repetitions, OR-ing each
                     // intermediate cursor set into the result.
                     let mut acc = cur;
                     for _ in *min..*m {
-                        cur = lower_node(b, node, cur, opts);
+                        cur = lower_node(b, node, cur, opts, limits)?;
                         acc = b.or(acc, cur);
                     }
                     acc
                 }
             }
         }
-    }
+    })
 }
 
 /// Kleene star: the Parabix `MatchStar` identity when the body is a single
 /// character class (and the option is on), otherwise the Fig. 2e fixpoint
 /// loop — all cursors reachable from `start` by zero or more passes
 /// through `inner`.
-fn lower_star(b: &mut ProgramBuilder, inner: &Ast, start: StreamId, opts: LowerOptions) -> StreamId {
+fn lower_star(
+    b: &mut ProgramBuilder,
+    inner: &Ast,
+    start: StreamId,
+    opts: LowerOptions,
+    limits: &CompileLimits,
+) -> Result<StreamId, LimitError> {
     if opts.match_star {
         if let Ast::Class(cc) = inner {
             // MatchStar(M, C) = (((M & C) + C) ^ C) | M: a marker sitting
@@ -192,20 +254,30 @@ fn lower_star(b: &mut ProgramBuilder, inner: &Ast, start: StreamId, opts: LowerO
                 let x = b.xor(sum, c);
                 b.assign_to(ripple, x);
             });
-            return b.or(ripple, start);
+            return Ok(b.or(ripple, start));
         }
     }
     let accum = b.assign_new(start);
     let frontier = b.assign_new(start);
+    // The closure API cannot return early, so a budget trip inside the
+    // loop body is parked and re-raised once the frame is closed.
+    let mut over_budget = None;
     b.while_loop(frontier, |b| {
-        let stepped = lower_node(b, inner, frontier, opts);
-        let not_acc = b.not(accum);
-        // Only genuinely new cursors continue; this is what guarantees the
-        // fixpoint terminates.
-        b.and_into(frontier, stepped, not_acc);
-        b.or_into(accum, frontier);
+        match lower_node(b, inner, frontier, opts, limits) {
+            Ok(stepped) => {
+                let not_acc = b.not(accum);
+                // Only genuinely new cursors continue; this is what
+                // guarantees the fixpoint terminates.
+                b.and_into(frontier, stepped, not_acc);
+                b.or_into(accum, frontier);
+            }
+            Err(e) => over_budget = Some(e),
+        }
     });
-    accum
+    match over_budget {
+        Some(e) => Err(e),
+        None => Ok(accum),
+    }
 }
 
 /// Advances `cursors` through exactly `n` characters of class `cc` with
@@ -260,10 +332,37 @@ fn lower_repeat_log(b: &mut ProgramBuilder, cc: bitgen_regex::ByteSet, cursors: 
 /// - for nullable `R`, `R{n,m} ≡ R{0,m}`, so
 ///   `nonempty(R{n,m}) = nonempty(R) R{0,m-1}`.
 pub fn strip_nullable(ast: &Ast) -> Option<Ast> {
-    if !ast.is_nullable() {
-        return Some(ast.clone());
+    let mut budget = usize::MAX;
+    strip_nullable_within(ast, &mut budget, usize::MAX)
+        .expect("an unbounded node budget can never be exhausted")
+}
+
+/// Deducts `cost` nodes from the rewrite budget, aborting when spent.
+fn charge(budget: &mut usize, cost: usize, max: usize) -> Result<(), LimitError> {
+    if *budget < cost {
+        // The rewrite stops before materialising the clone, so only a
+        // lower bound on the final size is known.
+        return Err(LimitError::AstNodes { nodes: max.saturating_add(1), max });
     }
-    match ast {
+    *budget -= cost;
+    Ok(())
+}
+
+/// [`strip_nullable`] with every constructed node charged against `budget`.
+///
+/// The concat rule duplicates suffixes, so a nest of nullable concats can
+/// grow multiplicatively; charging before each clone bounds both the
+/// output size and the rewrite's own running time by `max`.
+fn strip_nullable_within(
+    ast: &Ast,
+    budget: &mut usize,
+    max: usize,
+) -> Result<Option<Ast>, LimitError> {
+    if !ast.is_nullable() {
+        charge(budget, ast.node_count(), max)?;
+        return Ok(Some(ast.clone()));
+    }
+    Ok(match ast {
         Ast::Empty => None,
         Ast::Class(_) => unreachable!("classes are never nullable"),
         Ast::Concat(parts) => {
@@ -274,7 +373,9 @@ pub fn strip_nullable(ast: &Ast) -> Option<Ast> {
             // prefix contributes nothing once stripped to its empty match.
             let mut branches = Vec::new();
             for (i, p) in parts.iter().enumerate() {
-                if let Some(ne) = strip_nullable(p) {
+                if let Some(ne) = strip_nullable_within(p, budget, max)? {
+                    let suffix: usize = parts[i + 1..].iter().map(Ast::node_count).sum();
+                    charge(budget, suffix + 1, max)?;
                     let mut seq = vec![ne];
                     seq.extend(parts[i + 1..].iter().cloned());
                     branches.push(if seq.len() == 1 {
@@ -293,36 +394,48 @@ pub fn strip_nullable(ast: &Ast) -> Option<Ast> {
             }
         }
         Ast::Alt(parts) => {
-            let branches: Vec<Ast> = parts.iter().filter_map(strip_nullable).collect();
+            let mut branches = Vec::new();
+            for p in parts {
+                if let Some(ne) = strip_nullable_within(p, budget, max)? {
+                    branches.push(ne);
+                }
+            }
             match branches.len() {
                 0 => None,
-                1 => Some(branches.into_iter().next().expect("one element")),
+                1 => Some(branches.pop().expect("one element")),
                 _ => Some(Ast::Alt(branches)),
             }
         }
-        Ast::Star(inner) => {
-            let ne = strip_nullable(inner)?;
-            Some(Ast::Concat(vec![ne, Ast::Star(inner.clone())]))
-        }
-        Ast::Plus(inner) => {
-            let ne = strip_nullable(inner)?;
-            Some(Ast::Concat(vec![ne, Ast::Star(inner.clone())]))
-        }
-        Ast::Opt(inner) => strip_nullable(inner),
-        Ast::Repeat { node, max, .. } => {
+        Ast::Star(inner) | Ast::Plus(inner) => match strip_nullable_within(inner, budget, max)? {
+            None => None,
+            Some(ne) => {
+                charge(budget, inner.node_count() + 2, max)?;
+                Some(Ast::Concat(vec![ne, Ast::Star(inner.clone())]))
+            }
+        },
+        Ast::Opt(inner) => strip_nullable_within(inner, budget, max)?,
+        Ast::Repeat { node, max: repeat_max, .. } => {
             // The whole repeat is nullable, so either min == 0 or node is
             // nullable; in both cases R{n,m} ≡ R{0,m}.
-            let ne = strip_nullable(node)?;
-            match max {
-                None => Some(Ast::Concat(vec![ne, Ast::Star(node.clone())])),
-                Some(m) if *m <= 1 => Some(ne),
-                Some(m) => Some(Ast::Concat(vec![
-                    ne,
-                    Ast::Repeat { node: node.clone(), min: 0, max: Some(m - 1) },
-                ])),
+            match strip_nullable_within(node, budget, max)? {
+                None => None,
+                Some(ne) => match repeat_max {
+                    None => {
+                        charge(budget, node.node_count() + 2, max)?;
+                        Some(Ast::Concat(vec![ne, Ast::Star(node.clone())]))
+                    }
+                    Some(m) if *m <= 1 => Some(ne),
+                    Some(m) => {
+                        charge(budget, node.node_count() + 2, max)?;
+                        Some(Ast::Concat(vec![
+                            ne,
+                            Ast::Repeat { node: node.clone(), min: 0, max: Some(m - 1) },
+                        ]))
+                    }
+                },
             }
         }
-    }
+    })
 }
 
 #[cfg(test)]
@@ -506,5 +619,75 @@ mod tests {
     fn open_repeat_uses_loop() {
         let prog = lower(&parse("a{2,}").unwrap());
         assert_eq!(prog.while_count(), 1);
+    }
+
+    #[test]
+    fn checked_lowering_matches_unchecked_under_unbounded_limits() {
+        let asts = vec![parse("a(bc)*d").unwrap(), parse("x?y?z?").unwrap()];
+        let unchecked = lower_group_with(&asts, LowerOptions::default());
+        let checked =
+            lower_group_checked(&asts, LowerOptions::default(), &CompileLimits::unbounded())
+                .unwrap();
+        assert_eq!(crate::pretty(&unchecked), crate::pretty(&checked));
+    }
+
+    #[test]
+    fn node_budget_rejects_large_groups() {
+        let limits = CompileLimits { max_ast_nodes: 8, ..CompileLimits::unbounded() };
+        let asts = vec![parse("abcdefghijkl").unwrap()];
+        let err = lower_group_checked(&asts, LowerOptions::default(), &limits).unwrap_err();
+        assert!(matches!(err, LimitError::AstNodes { nodes: 13, max: 8 }));
+    }
+
+    #[test]
+    fn node_budget_bounds_nullable_rewrite_growth() {
+        // Nested nullable concats multiply under strip_nullable; the parse
+        // tree itself stays small, so only the rewrite charge can trip.
+        let pat = "(?:a?b?c?d?)(?:e?f?g?h?)(?:i?j?k?l?)(?:m?n?o?p?)";
+        let ast = parse(pat).unwrap();
+        let small = CompileLimits { max_ast_nodes: ast.node_count() + 8, ..CompileLimits::unbounded() };
+        let err = lower_group_checked(
+            std::slice::from_ref(&ast),
+            LowerOptions::default(),
+            &small,
+        )
+        .unwrap_err();
+        assert!(matches!(err, LimitError::AstNodes { .. }));
+    }
+
+    #[test]
+    fn class_budget_rejects_wide_groups() {
+        let limits = CompileLimits { max_classes: 3, ..CompileLimits::unbounded() };
+        let asts = vec![parse("abcd").unwrap()];
+        let err = lower_group_checked(&asts, LowerOptions::default(), &limits).unwrap_err();
+        assert!(matches!(err, LimitError::Classes { classes: 4, max: 3 }));
+        // Repeated classes are deduplicated before the check.
+        let ok = vec![parse("abcabcabc").unwrap()];
+        assert!(lower_group_checked(&ok, LowerOptions::default(), &limits).is_ok());
+    }
+
+    #[test]
+    fn ir_budget_stops_nested_repetition_blowup() {
+        // ~60 AST nodes, ~40k instructions when unrolled: the op budget
+        // must stop the unrolling long before it completes.
+        let limits = CompileLimits { max_ir_ops: 500, ..CompileLimits::unbounded() };
+        let asts = vec![parse("(?:(?:ab){100}){100}").unwrap()];
+        let err = lower_group_checked(&asts, LowerOptions::default(), &limits).unwrap_err();
+        match err {
+            LimitError::IrOps { ops, max } => {
+                assert_eq!(max, 500);
+                // Aborted within one recursion step of the cap.
+                assert!(ops <= 520, "kept emitting past the budget: {ops}");
+            }
+            other => panic!("expected IrOps, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ir_budget_stops_fixpoint_loop_bodies() {
+        let limits = CompileLimits { max_ir_ops: 50, ..CompileLimits::unbounded() };
+        let asts = vec![parse("(?:(?:ab){40})*").unwrap()];
+        let err = lower_group_checked(&asts, LowerOptions::default(), &limits).unwrap_err();
+        assert!(matches!(err, LimitError::IrOps { .. }));
     }
 }

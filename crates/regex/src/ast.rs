@@ -134,6 +134,21 @@ impl Ast {
         }
     }
 
+    /// Total number of AST nodes in the tree (leaves and combinators).
+    ///
+    /// This is the quantity compile budgets cap: parse work, optimizer
+    /// work, and the `strip_nullable` rewrite are all bounded by it.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Ast::Empty | Ast::Class(_) => 1,
+            Ast::Concat(parts) | Ast::Alt(parts) => {
+                1 + parts.iter().map(Ast::node_count).sum::<usize>()
+            }
+            Ast::Star(inner) | Ast::Plus(inner) | Ast::Opt(inner) => 1 + inner.node_count(),
+            Ast::Repeat { node, .. } => 1 + node.node_count(),
+        }
+    }
+
     /// Returns `true` if the regex contains an unbounded repetition
     /// (`*`, `+`, or `{n,}`), which lowers to a `while` loop.
     pub fn has_unbounded_repeat(&self) -> bool {

@@ -44,6 +44,10 @@ pub enum ParseErrorKind {
     BadEscape,
     /// An empty `[]` class (or a fully-negated one).
     EmptyClass,
+    /// Groups nested deeper than [`MAX_NESTING`] — a pathological (or
+    /// adversarial) pattern that would otherwise exhaust the stack of the
+    /// recursive-descent parser and every recursive pass after it.
+    NestingTooDeep,
     /// Syntax the engine does not support (anchors, backreferences, ...).
     Unsupported(&'static str),
 }
@@ -90,6 +94,9 @@ impl fmt::Display for ParseError {
             ParseErrorKind::NothingToRepeat => write!(f, "quantifier with nothing to repeat at {p}"),
             ParseErrorKind::BadEscape => write!(f, "invalid escape sequence at {p}"),
             ParseErrorKind::EmptyClass => write!(f, "empty character class at {p}"),
+            ParseErrorKind::NestingTooDeep => {
+                write!(f, "groups nested deeper than {MAX_NESTING} at {p}")
+            }
             ParseErrorKind::Unsupported(what) => write!(f, "unsupported syntax ({what}) at {p}"),
         }
     }
@@ -102,6 +109,13 @@ impl Error for ParseError {}
 /// Bounded repetitions are unrolled during lowering (Fig. 2d), so gigantic
 /// bounds would explode the program; real rule sets stay far below this.
 pub const MAX_REPEAT: u32 = 1000;
+
+/// Deepest group nesting the parser accepts.
+///
+/// The parser, the lowering, and the AST passes are all recursive; a cap
+/// keeps `(((((...)))))` from overflowing the stack. Real rule sets nest a
+/// handful of levels deep.
+pub const MAX_NESTING: usize = 200;
 
 /// Parses a regular expression into an [`Ast`].
 ///
@@ -132,7 +146,7 @@ pub fn parse(pattern: &str) -> Result<Ast, ParseError> {
 ///
 /// Returns a [`ParseError`] describing the first problem found.
 pub fn parse_bytes(pattern: &[u8]) -> Result<Ast, ParseError> {
-    let mut p = Parser { input: pattern, pos: 0 };
+    let mut p = Parser { input: pattern, pos: 0, depth: 0 };
     let ast = p.alternation()?;
     match p.peek() {
         None => Ok(ast),
@@ -144,6 +158,8 @@ pub fn parse_bytes(pattern: &[u8]) -> Result<Ast, ParseError> {
 struct Parser<'a> {
     input: &'a [u8],
     pos: usize,
+    /// Current group-nesting depth, capped at [`MAX_NESTING`].
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -309,6 +325,9 @@ impl<'a> Parser<'a> {
             Some(b'(') => {
                 let open = self.pos;
                 self.bump();
+                if self.depth >= MAX_NESTING {
+                    return Err(self.err(ParseErrorKind::NestingTooDeep));
+                }
                 // Swallow `?:` of non-capturing groups; reject other `(?`
                 // extensions.
                 if self.peek() == Some(b'?') {
@@ -317,7 +336,9 @@ impl<'a> Parser<'a> {
                         return Err(self.err(ParseErrorKind::Unsupported("(?...) extension")));
                     }
                 }
+                self.depth += 1;
                 let inner = self.alternation()?;
+                self.depth -= 1;
                 if !self.eat(b')') {
                     return Err(ParseError {
                         kind: ParseErrorKind::UnclosedParen,
@@ -676,5 +697,20 @@ mod tests {
                 Ast::Class(ByteSet::singleton(0xff)),
             ])
         );
+    }
+
+    #[test]
+    fn nesting_at_the_limit_parses() {
+        let pat = format!("{}a{}", "(".repeat(MAX_NESTING), ")".repeat(MAX_NESTING));
+        assert!(parse(&pat).is_ok());
+    }
+
+    #[test]
+    fn nesting_past_the_limit_is_a_typed_error() {
+        // Must return NestingTooDeep, not blow the parser's stack.
+        let pat = format!("{}a{}", "(".repeat(50_000), ")".repeat(50_000));
+        let err = parse(&pat).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::NestingTooDeep);
+        assert!(err.to_string().contains("nested deeper"));
     }
 }

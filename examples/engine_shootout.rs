@@ -32,7 +32,8 @@ fn main() {
         let engine = BitGen::from_asts(
             w.asts.clone(),
             EngineConfig::default().with_scheme(scheme).with_cta_threads(64).with_cta_count(4),
-        );
+        )
+        .expect("rules compile within budget");
         let report = engine.find(&w.input).expect("scan succeeds");
         let alu: u64 = report.metrics.iter().map(|m| m.counters.alu_ops).sum();
         let dram: u64 = report.metrics.iter().map(|m| m.counters.global_words() * 4).sum();

@@ -25,7 +25,8 @@ fn main() {
     let engine = BitGen::from_asts(
         w.asts.clone(),
         EngineConfig::default().with_cta_threads(128).with_scheme(Scheme::Zbs),
-    );
+    )
+    .expect("rules compile within budget");
     let report = engine.find(&w.input).expect("scan succeeds");
     println!(
         "BitGen (modelled {}):   {:>8.1} MB/s, {} alerts",

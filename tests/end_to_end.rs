@@ -31,7 +31,8 @@ fn faster_devices_model_faster() {
         let engine = BitGen::from_asts(
             w.asts.clone(),
             EngineConfig { device, cta_count: 4, ..Default::default() },
-        );
+        )
+        .expect("workloads compile within budget");
         engine.find(&w.input).unwrap().seconds
     };
     let t3090 = time_on(DeviceConfig::rtx3090());

@@ -42,7 +42,8 @@ fn extensions_on_generated_workloads() {
             kind,
             &WorkloadConfig { regexes: 8, input_len: 6000, ..WorkloadConfig::default() },
         );
-        let plain = BitGen::from_asts(w.asts.clone(), EngineConfig::default());
+        let plain = BitGen::from_asts(w.asts.clone(), EngineConfig::default())
+            .expect("workloads compile within budget");
         let expect = plain.find(&w.input).unwrap().matches.positions();
         let extended = BitGen::from_asts(
             w.asts.clone(),
@@ -52,7 +53,8 @@ fn extensions_on_generated_workloads() {
                 optimize_patterns: true,
                 ..EngineConfig::default()
             },
-        );
+        )
+        .expect("workloads compile within budget");
         let got = extended.find(&w.input).unwrap().matches.positions();
         assert_eq!(got, expect, "{kind:?}");
     }

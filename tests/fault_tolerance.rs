@@ -1,0 +1,199 @@
+//! Fault-injection drills over the whole scan pipeline.
+//!
+//! A seeded [`FaultPlan`] corrupts one CTA's execution — shared-memory
+//! bit flips, skipped barriers, corrupted trip counts and counters,
+//! forced panics — and the pipeline's checks (race detector, counter
+//! invariant, interpreter cross-check, panic isolation) must catch it.
+//! The contract under test: **no injected fault ever yields a silently
+//! incorrect ScanReport.** Every case either returns a typed error or
+//! produces matches bit-identical to an unfaulted run (the fault was
+//! masked).
+
+use bitgen::{
+    BitGen, CancelToken, EngineConfig, Error, ExecError, FaultKind, FaultPlan, RecoveryPolicy,
+};
+use std::sync::Once;
+use std::time::{Duration, Instant};
+
+/// Injected panics are part of the drill; keep their default-hook
+/// stderr spew out of the test output. Real panics still print.
+fn quiet_injected_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            if !msg.contains("injected fault") {
+                default(info);
+            }
+        }));
+    });
+}
+
+const PATTERNS: [&str; 3] = ["a(bc)*d", "cat", "[0-9]+x"];
+
+/// Four workload shapes the seeded sweep cycles through.
+fn workload(case: usize) -> Vec<u8> {
+    let blocks: [&[u8]; 4] = [b"abcbcd cat 42x ", b"zzzzzzzz ", b"abcbcbcbcd 7x ", b"catcatd "];
+    let mut input = Vec::new();
+    for i in 0..40 + (case % 7) * 11 {
+        input.extend_from_slice(blocks[(case + i) % 4]);
+    }
+    input
+}
+
+fn engine(recovery: RecoveryPolicy) -> BitGen {
+    let config = EngineConfig::default()
+        .with_cta_count(2)
+        .with_threads(2)
+        .with_cross_check(true)
+        .with_recovery(recovery);
+    BitGen::compile_with(&PATTERNS, config).unwrap()
+}
+
+/// The acceptance sweep: ≥100 seeded (fault, workload) cases, each
+/// arming one deterministic fault on one (stream, group) CTA. A case
+/// counts as *detected* when the scan returns a typed error, *masked*
+/// when it succeeds with matches bit-identical to the clean run.
+/// Anything else — success with different matches — is silent
+/// corruption and fails the test.
+#[test]
+fn seeded_fault_sweep_has_no_silent_corruption() {
+    quiet_injected_panics();
+    let engine = engine(RecoveryPolicy::Fail);
+    let groups = engine.group_count();
+    let mut detected = 0usize;
+    let mut masked = 0usize;
+    for seed in 0..120u64 {
+        let input = workload(seed as usize);
+        let clean = engine.find(&input).unwrap().matches;
+        let mut session = engine.session();
+        session.inject_fault(0, seed as usize % groups, FaultPlan::from_seed(seed));
+        match session.scan(&input) {
+            Err(_) => detected += 1,
+            Ok(report) => {
+                assert_eq!(
+                    report.matches, clean,
+                    "seed {seed}: fault passed silently with corrupted matches"
+                );
+                assert!(!report.degraded, "Fail policy must not degrade");
+                masked += 1;
+            }
+        }
+    }
+    assert_eq!(detected + masked, 120);
+    // The sweep must genuinely exercise the checks: panics alone are a
+    // fifth of the plans, so a healthy run detects well above that.
+    assert!(detected >= 24, "only {detected}/120 detections — injector is not firing");
+}
+
+/// A worker panic in one (group × stream) CTA surfaces as a typed
+/// error naming the slot, and a rerun without the fault is unharmed —
+/// the panic corrupted nothing outside its slot.
+#[test]
+fn worker_panic_is_isolated_and_typed() {
+    quiet_injected_panics();
+    let engine = engine(RecoveryPolicy::Fail);
+    let inputs: Vec<Vec<u8>> = (0..4).map(workload).collect();
+    let slices: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+    let clean = engine.find_many(&slices).unwrap();
+
+    let plan = FaultPlan { kind: FaultKind::Panic, trigger: 1, seed: 7 };
+    let mut session = engine.session();
+    session.inject_fault(2, 1, plan);
+    let err = session.scan_many(&slices).unwrap_err();
+    assert_eq!(
+        err,
+        Error::WorkerPanicked { group: 1, stream: 2 },
+        "panic must name the faulted slot"
+    );
+
+    // The same session, fault cleared, recovers fully: the panicked
+    // worker's scratch was discarded, every stream is bit-identical.
+    session.clear_fault();
+    let again = session.scan_many(&slices).unwrap();
+    for (a, b) in clean.iter().zip(&again) {
+        assert_eq!(a.matches, b.matches);
+        assert_eq!(a.per_pattern, b.per_pattern);
+    }
+}
+
+/// Under [`RecoveryPolicy::Degrade`] a faulted CTA falls back to the
+/// CPU bitstream baseline: the scan succeeds, the affected stream is
+/// flagged degraded, and every stream's matches — including the
+/// recovered one — are bit-identical to a clean run.
+#[test]
+fn degradation_recovers_exact_matches_on_cpu() {
+    quiet_injected_panics();
+    let engine = engine(RecoveryPolicy::Degrade);
+    let inputs: Vec<Vec<u8>> = (0..3).map(workload).collect();
+    let slices: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+    let clean = engine.find_many(&slices).unwrap();
+    assert!(clean.iter().all(|r| !r.degraded));
+
+    for kind in [FaultKind::Panic, FaultKind::CorruptCounter] {
+        let mut session = engine.session();
+        session.inject_fault(1, 0, FaultPlan { kind, trigger: 1, seed: 3 });
+        let reports = session.scan_many(&slices).unwrap();
+        assert!(reports[1].degraded, "{kind:?}: faulted stream must be flagged");
+        assert!(!reports[0].degraded && !reports[2].degraded, "{kind:?}: blast radius");
+        for (i, (clean_r, got)) in clean.iter().zip(&reports).enumerate() {
+            assert_eq!(clean_r.matches, got.matches, "{kind:?}: stream {i} matches");
+        }
+    }
+}
+
+/// Cancellation and deadlines surface as typed errors, cooperatively.
+#[test]
+fn cancellation_and_deadline_are_typed_errors() {
+    let engine = engine(RecoveryPolicy::Fail);
+    let input = workload(0);
+
+    let token = CancelToken::new();
+    token.cancel();
+    let mut session = engine.session();
+    session.set_cancel_token(token);
+    let err = session.scan(&input).unwrap_err();
+    assert_eq!(err, Error::Exec(ExecError::Cancelled));
+
+    let mut session = engine.session();
+    session.set_timeout(Some(Duration::ZERO));
+    let start = Instant::now();
+    let err = session.scan(&input).unwrap_err();
+    assert_eq!(err, Error::Exec(ExecError::DeadlineExceeded));
+    assert!(start.elapsed() < Duration::from_secs(5), "deadline must abort promptly");
+
+    // A generous deadline changes nothing.
+    let mut session = engine.session();
+    session.set_timeout(Some(Duration::from_secs(3600)));
+    let report = session.scan(&input).unwrap();
+    assert_eq!(report.matches, engine.find(&input).unwrap().matches);
+}
+
+/// Degradation never overrides the caller's request to stop: a
+/// cancelled scan is a typed error even under Degrade (every slot
+/// fails identically, and "recovering" them all on the CPU would hide
+/// the cancel entirely).
+#[test]
+fn degrade_policy_does_not_swallow_cancellation() {
+    let degrade = engine(RecoveryPolicy::Degrade);
+    let input = workload(5);
+
+    let token = CancelToken::new();
+    token.cancel();
+    let mut session = degrade.session();
+    session.set_cancel_token(token);
+    assert_eq!(session.scan(&input).unwrap_err(), Error::Exec(ExecError::Cancelled));
+
+    // And a clean scan under Degrade is not degraded at all.
+    let fail = engine(RecoveryPolicy::Fail);
+    let a = degrade.find(&input).unwrap();
+    let b = fail.find(&input).unwrap();
+    assert!(!a.degraded);
+    assert_eq!(a.matches, b.matches);
+}

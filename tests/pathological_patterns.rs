@@ -1,0 +1,97 @@
+//! Compile-budget robustness: pathological pattern shapes — deep
+//! nesting, nested counted repetitions, nullable chains that explode
+//! under the strip-nullable rewrite, giant classes — must either
+//! compile within budget or fail with a typed error. Never a panic,
+//! never a stack overflow, never unbounded memory or time.
+
+use bitgen::{BitGen, CompileLimits, EngineConfig, Error};
+use proptest::prelude::*;
+
+/// A tight budget so over-limit cases trip fast, during lowering,
+/// before the scheme's (super-linear) compile-time transforms run.
+fn tight_limits() -> CompileLimits {
+    CompileLimits { max_ast_nodes: 5_000, max_classes: 256, max_ir_ops: 1_500 }
+}
+
+/// Pathological pattern families, scaled by proptest-chosen sizes.
+/// In-budget families stay small enough that the full ZBS compile is
+/// cheap; the over-budget family is always past `max_ir_ops`, so it
+/// must abort inside lowering.
+fn pathological_pattern() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // Deep group nesting — past 200 the parser itself refuses.
+        (1usize..400).prop_map(|depth| {
+            format!("{}a{}", "(".repeat(depth), ")".repeat(depth))
+        }),
+        // Nested counted repetition, small enough to finish compiling.
+        (2u32..8, 2u32..8).prop_map(|(n, m)| format!("(?:(?:ab){{{n}}}){{{m}}}")),
+        // Nested counted repetition whose IR cost (≥ 1600 copies of
+        // "ab") always blows the 1.5k-op budget: exercises the abort.
+        (40u32..120, 40u32..120).prop_map(|(n, m)| format!("(?:(?:ab){{{n}}}){{{m}}}")),
+        // Nullable concatenation chains: the strip-nullable rewrite is
+        // quadratic in the chain length without a budget.
+        (1usize..5).prop_map(|n| "(?:a?b?c?)".repeat(n)),
+        // Counted repetition of a big class.
+        (1u32..64, 0u8..3).prop_map(|(n, cls)| {
+            let class = ["[a-z]", "[0-9a-f]", "[^x]"][cls as usize % 3];
+            format!("{class}{{1,{n}}}")
+        }),
+        // Wide alternations of short literals.
+        (2usize..300).prop_map(|n| {
+            let alts: Vec<String> = (0..n).map(|i| format!("p{}q", i % 10)).collect();
+            alts.join("|")
+        }),
+        // Stars stacked on optionals — nullable and loopy at once.
+        (1usize..30).prop_map(|n| format!("(?:(?:a?)*b){{1,{n}}}")),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Every pathological pattern either compiles (and scans a small
+    /// input) or fails with a typed parse/budget error. The proptest
+    /// harness turns a panic, hang, or overflow into a test failure
+    /// with the offending pattern minimised.
+    #[test]
+    fn pathological_patterns_never_panic(pattern in pathological_pattern()) {
+        let config = EngineConfig::default().with_limits(tight_limits()).with_cta_count(1);
+        match BitGen::compile_with(&[pattern.as_str()], config) {
+            Ok(engine) => {
+                // Within budget: the engine must also scan cleanly.
+                let report = engine.find(b"abababab p1q 42 zzz").expect("scan succeeds");
+                let _ = report.match_count();
+            }
+            Err(Error::Compile(_)) | Err(Error::LimitExceeded(_)) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {other}"),
+        }
+    }
+}
+
+#[test]
+fn over_budget_is_limit_exceeded_not_panic() {
+    // n*m = 10_000 repetitions of "ab" is far past 1.5k IR ops.
+    let config = EngineConfig::default().with_limits(tight_limits());
+    let err = BitGen::compile_with(&["(?:(?:ab){100}){100}"], config).unwrap_err();
+    assert!(matches!(err, Error::LimitExceeded(_)), "got {err}");
+    assert!(err.to_string().contains("compile budget exceeded"), "{err}");
+}
+
+#[test]
+fn unbounded_limits_disable_enforcement() {
+    // 8×8 = 64 repetitions exceeds a 100-op budget but compiles fine
+    // without one.
+    let small = EngineConfig::default()
+        .with_limits(CompileLimits { max_ir_ops: 100, ..CompileLimits::standard() });
+    assert!(BitGen::compile_with(&["(?:(?:ab){8}){8}"], small).is_err());
+    let config = EngineConfig::default().with_limits(CompileLimits::unbounded());
+    let engine = BitGen::compile_with(&["(?:(?:ab){8}){8}"], config).unwrap();
+    assert_eq!(engine.pattern_count(), 1);
+}
+
+#[test]
+fn deep_nesting_is_a_parse_error() {
+    let pattern = format!("{}a{}", "(".repeat(50_000), ")".repeat(50_000));
+    let err = BitGen::compile(&[pattern.as_str()]).unwrap_err();
+    assert!(matches!(err, Error::Compile(_)), "got {err}");
+}

@@ -21,7 +21,8 @@ fn all_apps_all_engines_agree() {
         let engine = BitGen::from_asts(
             w.asts.clone(),
             EngineConfig { cta_count: 3, threads: 8, ..Default::default() },
-        );
+        )
+        .expect("workloads compile within budget");
         let bitgen = engine.find(&w.input).unwrap().matches.positions();
         assert_eq!(bitgen, expect, "{kind:?}: BitGen vs NFA");
 
@@ -58,7 +59,8 @@ fn devices_change_time_not_matches() {
         let engine = BitGen::from_asts(
             w.asts.clone(),
             EngineConfig { device, cta_count: 2, threads: 8, ..Default::default() },
-        );
+        )
+        .expect("workloads compile within budget");
         let report = engine.find(&w.input).unwrap();
         let got = report.matches.positions();
         match &baseline {
