@@ -10,6 +10,15 @@ cargo test -q
 # seeds baked into the tests) and pathological-pattern budgets.
 cargo test -q -p bitgen --test fault_tolerance --test pathological_patterns
 
+# Transform-pipeline safety net: differential agreement (ZBS-on vs
+# ZBS-off vs oracle) and the visit-counter complexity bounds.
+cargo test -q -p bitgen --test zbs_differential --test pass_complexity
+
+# Compile-pipeline bench smoke: one abbreviated run so a pathological
+# compile-time regression fails CI instead of only slowing nightly
+# benches. (The bench binary itself keeps sample counts low.)
+cargo bench -q -p bitgen-bench --bench compile_pipeline
+
 cargo clippy --workspace -- -D warnings
 
 # Panic-hygiene pass over the library crates: unwrap/expect are flagged

@@ -1,8 +1,9 @@
 //! Compilation pipeline benchmarks: lowering, passes, kernel generation.
 
-use bitgen_ir::lower_group;
+use bitgen_ir::{lower, lower_group};
 use bitgen_kernel::{compile, CodegenOptions};
 use bitgen_passes::{insert_zero_skips, rebalance, OverlapInfo, ZbsConfig};
+use bitgen_regex::parse;
 use bitgen_workloads::{generate, AppKind, WorkloadConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -33,12 +34,40 @@ fn bench_compile(c: &mut Criterion) {
     });
 }
 
+/// The nested-repetition family `(?:(?:ab){N}){N}`: deep chains of
+/// AND/SHIFT that made the old pass pipeline super-linear (N=20 took
+/// ~21s with ZBS on). Benchmarked per pass so a complexity regression
+/// shows up in the pass that regressed.
+fn bench_nested_repetition(c: &mut Criterion) {
+    for n in [10usize, 20] {
+        let pattern = format!("(?:(?:ab){{{n}}}){{{n}}}");
+        let prog = lower(&parse(&pattern).expect("family member parses"));
+        c.bench_function(format!("nested_rep_n{n}/rebalance"), |b| {
+            b.iter(|| {
+                let mut p = prog.clone();
+                rebalance(&mut p)
+            })
+        });
+        let mut balanced = prog.clone();
+        rebalance(&mut balanced);
+        c.bench_function(format!("nested_rep_n{n}/zero_block_skipping"), |b| {
+            b.iter(|| {
+                let mut p = balanced.clone();
+                insert_zero_skips(&mut p, ZbsConfig::default())
+            })
+        });
+        c.bench_function(format!("nested_rep_n{n}/overlap_analysis"), |b| {
+            b.iter(|| OverlapInfo::analyze(&balanced))
+        });
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_compile
+    targets = bench_compile, bench_nested_repetition
 }
 criterion_main!(benches);

@@ -10,7 +10,7 @@ use crate::error::Error;
 use crate::group::{group_regexes, GroupingStrategy};
 use bitgen_baselines::CpuBitstreamEngine;
 use bitgen_bitstream::BitStream;
-use bitgen_exec::{apply_transforms, ExecConfig, ExecMetrics, FallbackPolicy, Scheme};
+use bitgen_exec::{apply_transforms, ExecConfig, ExecMetrics, FallbackPolicy, PassMetrics, Scheme};
 use bitgen_gpu::{CostBreakdown, DeviceConfig};
 use bitgen_ir::{lower_group_checked, CompileLimits, LowerOptions, Program};
 use bitgen_regex::{parse, Ast, ParseError};
@@ -218,6 +218,9 @@ pub struct BitGen {
     /// `recovery` is [`RecoveryPolicy::Degrade`] so the fallback path
     /// never compiles under failure.
     pub(crate) cpu_fallback: Option<CpuBitstreamEngine>,
+    /// Transform-pipeline metrics per group, recorded when the programs
+    /// were prepared at compile time.
+    pub(crate) pass_metrics: Vec<PassMetrics>,
     pattern_count: usize,
     /// Longest possible match span across all patterns, `None` when some
     /// pattern is unbounded. Drives the streaming scanner's carry-over.
@@ -265,6 +268,10 @@ pub struct ScanReport {
     pub cost: CostBreakdown,
     /// Per-CTA execution metrics.
     pub metrics: Vec<ExecMetrics>,
+    /// Per-group transform-pipeline metrics, copied from the engine's
+    /// compile-time record ([`BitGen::pass_metrics`]) — the same for
+    /// every scan the engine performs.
+    pub pass_metrics: Vec<PassMetrics>,
     /// True when at least one of this stream's CTAs failed on the
     /// kernel scheme and was recovered on the CPU baseline
     /// ([`RecoveryPolicy::Degrade`]). Matches are still exact; `seconds`
@@ -428,6 +435,7 @@ impl BitGen {
             groups,
             programs,
             cpu_fallback: None,
+            pass_metrics: Vec::new(),
             pattern_count: asts.len(),
             max_span,
             config,
@@ -436,7 +444,7 @@ impl BitGen {
         // scan reuses the prepared programs.
         let exec_config = engine.exec_config();
         for prog in &mut engine.programs {
-            apply_transforms(prog, &exec_config);
+            engine.pass_metrics.push(apply_transforms(prog, &exec_config));
         }
         if engine.config.recovery == RecoveryPolicy::Degrade {
             // The fallback interprets the *prepared* programs — the
@@ -467,6 +475,12 @@ impl BitGen {
     /// The compiled bitstream programs, one per group.
     pub fn programs(&self) -> &[Program] {
         &self.programs
+    }
+
+    /// Transform-pipeline metrics per group, recorded once at compile
+    /// time (scans reuse the prepared programs and pay nothing).
+    pub fn pass_metrics(&self) -> &[PassMetrics] {
+        &self.pass_metrics
     }
 
     /// The engine configuration.

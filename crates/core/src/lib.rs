@@ -71,7 +71,7 @@ pub use session::ScanSession;
 pub use stream_scan::{StreamError, StreamScanner};
 
 // Re-export the pieces users need to configure or extend the engine.
-pub use bitgen_exec::{ExecConfig, ExecError, ExecMetrics, FallbackPolicy, Scheme};
+pub use bitgen_exec::{ExecConfig, ExecError, ExecMetrics, FallbackPolicy, PassMetrics, Scheme};
 pub use bitgen_gpu::{CostBreakdown, DeviceConfig, FaultKind, FaultPlan};
 pub use bitgen_ir::{CancelToken, CompileLimits, LimitError, RunControl};
 pub use bitgen_regex::{parse, Ast, ByteSet, ParseError};

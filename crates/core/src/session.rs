@@ -404,6 +404,7 @@ impl ScanSession<'_> {
                 throughput_mbps: throughput_mbps(total_bytes, seconds),
                 cost: cost.clone(),
                 metrics,
+                pass_metrics: engine.pass_metrics.clone(),
                 degraded,
             })
             .collect()

@@ -8,9 +8,13 @@ use crate::scheme::Scheme;
 use crate::segment::{intermediate_count, segment_program, Segment, SegmentKind};
 use bitgen_bitstream::{compile_class, Basis, BitStream};
 use bitgen_gpu::{Cta, FaultPlan, RaceError, WindowInputs};
-use bitgen_ir::{try_interpret, InterpError, Interrupt, Op, Program, RunControl, Stmt, StreamId};
+use bitgen_ir::{
+    try_interpret, DefUse, InterpError, Interrupt, Op, Program, RunControl, Stmt, StreamId,
+};
 use bitgen_kernel::{compile, CodegenOptions, WORD_BITS};
-use bitgen_passes::{insert_zero_skips, rebalance, Hull, OverlapInfo, ZbsConfig};
+use bitgen_passes::{
+    insert_zero_skips_with, rebalance_with, Hull, OverlapInfo, PassMetrics, ZbsConfig,
+};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -277,28 +281,47 @@ impl ExecOutcome {
 /// ```
 pub fn execute(program: &Program, basis: &Basis, config: &ExecConfig) -> Result<ExecOutcome, ExecError> {
     let mut prog = program.clone();
-    apply_transforms(&mut prog, config);
-    execute_prepared(&prog, basis, config)
+    let passes = apply_transforms(&mut prog, config);
+    let mut out = execute_prepared(&prog, basis, config)?;
+    out.metrics.passes = passes;
+    Ok(out)
 }
 
 /// Applies the scheme's compile-time transforms (shift rebalancing,
-/// zero-block skipping) to `program` in place.
+/// zero-block skipping) to `program` in place, returning what they did
+/// and what they cost.
 ///
 /// [`execute`] does this internally; engines that scan many inputs with
 /// one program should call this once and then [`execute_prepared`] per
-/// scan — the passes are not cheap on large programs.
-pub fn apply_transforms(program: &mut Program, config: &ExecConfig) {
-    if config.scheme.uses_rebalancing() {
-        rebalance(program);
-    }
-    if config.scheme.uses_zbs() {
-        insert_zero_skips(program, ZbsConfig { interval: config.interval, min_range: 2 });
+/// scan. The def/use analysis is computed once and threaded through both
+/// passes rather than recomputed per pass.
+pub fn apply_transforms(program: &mut Program, config: &ExecConfig) -> PassMetrics {
+    let mut metrics = PassMetrics::default();
+    let wants_rebalance = config.scheme.uses_rebalancing();
+    let wants_zbs = config.scheme.uses_zbs();
+    if wants_rebalance || wants_zbs {
+        let mut du = DefUse::of(program);
+        if wants_rebalance {
+            let start = std::time::Instant::now();
+            metrics.rebalance = rebalance_with(program, &mut du);
+            metrics.rebalance_nanos = start.elapsed().as_nanos() as u64;
+        }
+        if wants_zbs {
+            let start = std::time::Instant::now();
+            metrics.zbs = insert_zero_skips_with(
+                program,
+                ZbsConfig { interval: config.interval, min_range: 2 },
+                &du,
+            );
+            metrics.zbs_nanos = start.elapsed().as_nanos() as u64;
+        }
     }
     debug_assert_eq!(
         bitgen_ir::verify(program).map_err(|e| e.to_string()),
         Ok(()),
         "transform passes must preserve program well-formedness"
     );
+    metrics
 }
 
 /// Executes a program whose transforms were already applied by

@@ -28,6 +28,7 @@ pub use engine::{
     apply_transforms, execute, execute_prepared, execute_prepared_ctl, execute_prepared_with,
     ExecConfig, ExecError, ExecOutcome, ExecScratch, FallbackPolicy,
 };
+pub use bitgen_passes::PassMetrics;
 pub use metrics::ExecMetrics;
 pub use scheme::Scheme;
 // Convenience re-exports so executor callers can drive cancellation and

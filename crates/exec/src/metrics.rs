@@ -1,10 +1,19 @@
 //! Execution metrics: everything Tables 4–6 report, per program run.
 
 use bitgen_gpu::CtaCounters;
+use bitgen_passes::PassMetrics;
 
 /// Metrics of one program execution (one CTA's worth of work).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExecMetrics {
+    /// Compile-time transform pipeline cost. Filled by [`execute`], which
+    /// runs the passes itself; the `execute_prepared*` family leaves it at
+    /// default (the caller transformed the program, so only the caller
+    /// knows what that cost) — which also keeps metrics comparable across
+    /// runs that share one prepared program.
+    ///
+    /// [`execute`]: crate::execute
+    pub passes: PassMetrics,
     /// Counted hardware events across all segments and windows.
     pub counters: CtaCounters,
     /// Number of blockwise passes the compiled code makes over the data —

@@ -1,6 +1,6 @@
 //! Def/use analysis helpers shared by the transformation passes.
 
-use crate::program::{Program, Stmt, StreamId};
+use crate::program::{Op, Program, Stmt, StreamId};
 
 /// Per-variable definition and use counts for a program.
 ///
@@ -63,6 +63,45 @@ impl DefUse {
     pub fn is_linear_temp(&self, id: StreamId) -> bool {
         self.def_count(id) == 1 && self.use_count(id) == 1
     }
+
+    /// Grows the tables to cover stream ids below `n` (new ids start at
+    /// zero counts). Passes that allocate fresh streams call this before
+    /// recording ops that mention them.
+    pub fn ensure_streams(&mut self, n: u32) {
+        let n = n as usize;
+        if self.defs.len() < n {
+            self.defs.resize(n, 0);
+            self.uses.resize(n, 0);
+        }
+    }
+
+    /// Records an instruction added to the analysed program, keeping the
+    /// counts exact without a recompute. Tables grow as needed.
+    pub fn note_op_added(&mut self, op: &Op) {
+        self.ensure_streams(op.dst().0 + 1);
+        self.defs[op.dst().index()] += 1;
+        for s in op.sources() {
+            self.ensure_streams(s.0 + 1);
+            self.uses[s.index()] += 1;
+        }
+    }
+
+    /// Records an instruction removed from the analysed program.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the op was never counted: that means
+    /// the cache no longer describes the program.
+    pub fn note_op_removed(&mut self, op: &Op) {
+        let d = op.dst().index();
+        debug_assert!(self.defs.get(d).is_some_and(|&c| c > 0), "removing an uncounted def");
+        self.defs[d] -= 1;
+        for s in op.sources() {
+            let s = s.index();
+            debug_assert!(self.uses.get(s).is_some_and(|&c| c > 0), "removing an uncounted use");
+            self.uses[s] -= 1;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -84,6 +123,40 @@ mod tests {
         assert!(du.is_linear_temp(y));
         assert_eq!(du.use_count(z), 1, "output counts as a use");
         assert!(!du.is_linear_temp(x));
+    }
+
+    #[test]
+    fn incremental_updates_match_recompute() {
+        let mut b = ProgramBuilder::new();
+        let x = b.ones();
+        let y = b.advance(x, 1);
+        let z = b.and(x, y);
+        b.mark_output(z);
+        let prog = b.finish();
+        let mut du = DefUse::of(&prog);
+        // Simulate a rewrite: drop `y = x >> 1`, add `t = x << 1` on a
+        // fresh id, and check against ground truth built the same way.
+        let t = StreamId(prog.num_streams());
+        du.note_op_removed(&Op::Advance { dst: y, src: x, amount: 1 });
+        du.note_op_added(&Op::Retreat { dst: t, src: x, amount: 1 });
+        assert_eq!(du.def_count(y), 0);
+        assert_eq!(du.use_count(x), 2, "one use moved from the advance to the retreat");
+        assert_eq!(du.def_count(t), 1);
+        assert!(du.use_count(t) == 0 && du.def_count(z) == 1);
+    }
+
+    #[test]
+    fn ensure_streams_grows_tables() {
+        let mut b = ProgramBuilder::new();
+        let x = b.ones();
+        b.mark_output(x);
+        let mut du = DefUse::of(&b.finish());
+        let far = StreamId(100);
+        assert_eq!(du.def_count(far), 0);
+        du.note_op_added(&Op::Zero { dst: far });
+        assert_eq!(du.def_count(far), 1);
+        du.ensure_streams(50); // never shrinks
+        assert_eq!(du.def_count(far), 1);
     }
 
     #[test]

@@ -17,10 +17,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod metrics;
 mod overlap;
 mod rebalance;
 mod zbs;
 
+pub use metrics::PassMetrics;
 pub use overlap::{Hull, LoopId, OverlapInfo, BASE_TRIPS};
-pub use rebalance::{rebalance, RebalanceStats};
-pub use zbs::{insert_zero_skips, ZbsConfig, ZbsStats};
+pub use rebalance::{rebalance, rebalance_with, RebalanceStats};
+pub use zbs::{insert_zero_skips, insert_zero_skips_with, ZbsConfig, ZbsStats};

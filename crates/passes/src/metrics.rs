@@ -1,0 +1,72 @@
+//! Compile-time metrics for the transform pipeline.
+
+use crate::{RebalanceStats, ZbsStats};
+
+/// What the transform pipeline did to one program and what it cost.
+///
+/// Wall times make compile-time regressions measurable; the visit
+/// counters pin the complexity *class* without flaky wall-clock
+/// assertions — both passes are near-linear in program size by
+/// construction, and the regression suite asserts the visit/op ratio
+/// stays flat as patterns grow.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassMetrics {
+    /// Shift-rebalancing outcome (zeroed when the scheme skips the pass).
+    pub rebalance: RebalanceStats,
+    /// Wall time of the rebalancing pass, in nanoseconds.
+    pub rebalance_nanos: u64,
+    /// Zero-block-skipping outcome (zeroed when the scheme skips the
+    /// pass).
+    pub zbs: ZbsStats,
+    /// Wall time of the zero-block-skipping pass, in nanoseconds.
+    pub zbs_nanos: u64,
+}
+
+impl PassMetrics {
+    /// Instructions examined across all passes — the pipeline's total
+    /// work counter.
+    pub fn total_visits(&self) -> u64 {
+        self.rebalance.visits + self.zbs.visits
+    }
+
+    /// Total wall time spent in transform passes, in nanoseconds.
+    pub fn total_nanos(&self) -> u64 {
+        self.rebalance_nanos + self.zbs_nanos
+    }
+
+    /// Folds another program's pipeline metrics into this one (engines
+    /// compile one program per pattern group).
+    pub fn absorb(&mut self, other: &PassMetrics) {
+        self.rebalance.rewrites += other.rebalance.rewrites;
+        self.rebalance.merges += other.rebalance.merges;
+        self.rebalance.iterations += other.rebalance.iterations;
+        self.rebalance.visits += other.rebalance.visits;
+        self.rebalance_nanos += other.rebalance_nanos;
+        self.zbs.guards += other.zbs.guards;
+        self.zbs.guarded_ops += other.zbs.guarded_ops;
+        self.zbs.prezeros += other.zbs.prezeros;
+        self.zbs.visits += other.zbs.visits;
+        self.zbs_nanos += other.zbs_nanos;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_absorb() {
+        let mut a = PassMetrics {
+            rebalance: RebalanceStats { rewrites: 1, merges: 2, iterations: 3, visits: 10 },
+            rebalance_nanos: 100,
+            zbs: ZbsStats { guards: 4, guarded_ops: 5, prezeros: 6, visits: 20 },
+            zbs_nanos: 200,
+        };
+        assert_eq!(a.total_visits(), 30);
+        assert_eq!(a.total_nanos(), 300);
+        a.absorb(&a.clone());
+        assert_eq!(a.total_visits(), 60);
+        assert_eq!(a.zbs.guards, 8);
+        assert_eq!(a.rebalance_nanos, 200);
+    }
+}

@@ -20,6 +20,7 @@
 //! large enough (falling back when it was not).
 
 use bitgen_ir::{Op, Program, Stmt};
+use std::collections::HashMap;
 
 /// Window requirement of a value: `left` positions before and `right`
 /// positions after must be present (and correct) in the window.
@@ -107,6 +108,7 @@ impl OverlapInfo {
     pub fn analyze(program: &Program) -> OverlapInfo {
         let mut an = Analyzer {
             hulls: vec![Hull::ZERO; program.num_streams() as usize],
+            scopes: Vec::new(),
             loop_growth: Vec::new(),
             next_slot: 0,
         };
@@ -151,6 +153,13 @@ impl OverlapInfo {
 
 struct Analyzer {
     hulls: Vec<Hull>,
+    /// Undo log per open control-flow scope: the hull each index held when
+    /// the scope was entered, recorded on first write inside the scope.
+    /// Closing a scope only touches the indices the body wrote, instead of
+    /// cloning and re-joining every stream's hull per `if`/`while` —
+    /// guarded (ZBS) programs have an `if` per skip interval, which made
+    /// the old whole-vector clones quadratic in program size.
+    scopes: Vec<HashMap<usize, Hull>>,
     loop_growth: Vec<Hull>,
     /// Structural pre-order cursor into `loop_growth`; rewound between the
     /// two measuring passes over a body so nested loops keep stable slots.
@@ -174,35 +183,57 @@ impl Analyzer {
                 Stmt::If { body, .. } => {
                     // The body may or may not run: join its effect with the
                     // incoming state.
-                    let before = self.hulls.clone();
+                    self.scopes.push(HashMap::new());
                     self.run(body);
-                    for (h, b) in self.hulls.iter_mut().zip(before) {
-                        *h = h.join(b);
-                    }
+                    self.pop_scope_join();
                 }
                 Stmt::While { body, .. } => {
                     let slot = self.alloc_slot();
                     let watermark = self.next_slot;
 
-                    let before = self.hulls.clone();
+                    self.scopes.push(HashMap::new());
                     // First trip.
                     self.run(body);
-                    let after_one = self.hulls.clone();
+                    // Both trips walk the same statements, so their write
+                    // sets coincide: the trip-1 undo log lists everything
+                    // the growth computation has to look at.
+                    let after_one: Vec<(usize, Hull)> = self
+                        .scopes
+                        .last()
+                        .expect("scope just pushed")
+                        .keys()
+                        .map(|&i| (i, self.hulls[i]))
+                        .collect();
                     // Second trip over the same body: rewind the slot
                     // cursor so nested loops reuse their slots, and take
-                    // the delta as the per-trip growth.
+                    // the delta as the per-trip growth. The trip-2 scope is
+                    // discarded without a join (trip-2 values stand), and
+                    // its undo entries are already covered by trip 1's.
                     self.next_slot = watermark;
+                    self.scopes.push(HashMap::new());
                     self.run(body);
+                    self.scopes.pop();
                     let mut growth = Hull::ZERO;
-                    for (h2, h1) in self.hulls.iter().zip(&after_one) {
-                        growth = growth.join(h2.growth_from(*h1));
+                    for &(i, h1) in &after_one {
+                        growth = growth.join(self.hulls[i].growth_from(h1));
                     }
                     self.loop_growth[slot] = self.loop_growth[slot].join(growth);
                     // Zero-trip executions keep the pre-state: join it in.
-                    for (h, b) in self.hulls.iter_mut().zip(before) {
-                        *h = h.join(b);
-                    }
+                    self.pop_scope_join();
                 }
+            }
+        }
+    }
+
+    /// Closes the innermost scope: every index written inside it joins its
+    /// value from scope entry (the body may not have run at all), and the
+    /// entry value propagates to the enclosing scope's undo log.
+    fn pop_scope_join(&mut self) {
+        let scope = self.scopes.pop().expect("scope underflow");
+        for (i, before) in scope {
+            self.hulls[i] = self.hulls[i].join(before);
+            if let Some(parent) = self.scopes.last_mut() {
+                parent.entry(i).or_insert(before);
             }
         }
     }
@@ -229,7 +260,11 @@ impl Analyzer {
             Op::Advance { src, amount, .. } => self.hull(*src).advance(*amount as u64),
             Op::Retreat { src, amount, .. } => self.hull(*src).retreat(*amount as u64),
         };
-        self.hulls[op.dst().index()] = h;
+        let i = op.dst().index();
+        if let Some(scope) = self.scopes.last_mut() {
+            scope.entry(i).or_insert(self.hulls[i]);
+        }
+        self.hulls[i] = h;
     }
 
     fn hull(&self, id: bitgen_ir::StreamId) -> Hull {

@@ -34,6 +34,9 @@ pub struct RebalanceStats {
     pub merges: usize,
     /// Fixpoint iterations taken.
     pub iterations: usize,
+    /// Instructions examined across all sweeps — the pass's work
+    /// counter, asserted near-linear by the complexity suite.
+    pub visits: u64,
 }
 
 /// Iteration cap; real programs converge in a handful of passes.
@@ -53,14 +56,29 @@ const MAX_ITERATIONS: usize = 32;
 /// assert!(stats.rewrites >= 2); // the Fig. 8 example
 /// ```
 pub fn rebalance(program: &mut Program) -> RebalanceStats {
+    let mut du = DefUse::of(program);
+    rebalance_with(program, &mut du)
+}
+
+/// [`rebalance`] with a caller-provided def/use cache.
+///
+/// `du` must describe `program` on entry; on return it describes the
+/// rebalanced program — the pass maintains it incrementally instead of
+/// recomputing the analysis every fixpoint iteration, so a pipeline can
+/// hand the same cache to the next pass.
+pub fn rebalance_with(program: &mut Program, du: &mut DefUse) -> RebalanceStats {
     let mut stats = RebalanceStats::default();
     for _ in 0..MAX_ITERATIONS {
         stats.iterations += 1;
-        let du = DefUse::of(program);
+        // Rewrites within one iteration consult the iteration-start
+        // snapshot (fresh temporaries deliberately look non-linear until
+        // the next iteration — that is what staggers rewrite vs merge),
+        // while the live cache absorbs every op added or removed.
+        let snapshot = du.clone();
         let mut changed = false;
         let mut fresh = Fresh { program_next: program.num_streams() };
         let mut stmts = std::mem::take(program.stmts_mut());
-        rewrite_stmts(&mut stmts, &du, &mut fresh, &mut stats, &mut changed);
+        rewrite_stmts(&mut stmts, &snapshot, du, &mut fresh, &mut stats, &mut changed);
         *program.stmts_mut() = stmts;
         while program.num_streams() < fresh.program_next {
             program.fresh_stream();
@@ -87,6 +105,7 @@ impl Fresh {
 fn rewrite_stmts(
     stmts: &mut Vec<Stmt>,
     du: &DefUse,
+    live: &mut DefUse,
     fresh: &mut Fresh,
     stats: &mut RebalanceStats,
     changed: &mut bool,
@@ -102,21 +121,23 @@ fn rewrite_stmts(
         match stmt {
             Stmt::Op(op) => run.push(op),
             mut ctl => {
-                flush_run(&mut run, stmts, du, fresh, stats, changed);
+                flush_run(&mut run, stmts, du, live, fresh, stats, changed);
                 if let Stmt::If { body, .. } = &mut ctl {
-                    rewrite_stmts(body, du, fresh, stats, changed);
+                    rewrite_stmts(body, du, live, fresh, stats, changed);
                 }
                 stmts.push(ctl);
             }
         }
     }
-    flush_run(&mut run, stmts, du, fresh, stats, changed);
+    flush_run(&mut run, stmts, du, live, fresh, stats, changed);
 }
 
+#[allow(clippy::too_many_arguments)]
 fn flush_run(
     run: &mut Vec<Op>,
     out: &mut Vec<Stmt>,
     du: &DefUse,
+    live: &mut DefUse,
     fresh: &mut Fresh,
     stats: &mut RebalanceStats,
     changed: &mut bool,
@@ -125,43 +146,115 @@ fn flush_run(
         return;
     }
     let mut block = std::mem::take(run);
-    if rewrite_block(&mut block, du, fresh, stats) {
+    if rewrite_block(&mut block, du, live, fresh, stats) {
         *changed = true;
     }
-    if merge_shifts(&mut block, du, stats) {
+    if merge_shifts(&mut block, du, live, stats) {
         *changed = true;
     }
     out.extend(block.into_iter().map(Stmt::Op));
 }
 
-/// One rewriting sweep over a straight-line block. Returns `true` if any
-/// rewrite fired.
-fn rewrite_block(block: &mut Vec<Op>, du: &DefUse, fresh: &mut Fresh, stats: &mut RebalanceStats) -> bool {
-    let mut changed = false;
-    loop {
-        let def_pos = block_defs(block);
-        let depth = block_depths(block, &def_pos);
-        let mut fired = false;
-        for i in 0..block.len() {
-            if let Some(rw) = find_rewrite(block, i, du, &def_pos, &depth) {
-                apply_rewrite(block, rw, fresh);
-                stats.rewrites += 1;
-                changed = true;
-                fired = true;
-                // Positions shifted; rebuild the maps before continuing.
-                break;
+/// An emitted block under construction. Rewrites remove an *earlier*
+/// instruction (the folded shift), so emitted slots are tombstoned in
+/// place rather than shifted: indices stay stable and the def/depth maps
+/// never need rebuilding — the rescans that made this pass quadratic.
+struct Emitted {
+    slots: Vec<Option<Op>>,
+    /// Defining slot of each id defined so far (dead ids are evicted when
+    /// their slot is tombstoned).
+    def_pos: HashMap<StreamId, usize>,
+    /// Topological depth per emitted slot: `1 + max(depth of in-block
+    /// source definitions)`; sources defined outside the block count 0.
+    depth: Vec<usize>,
+}
+
+impl Emitted {
+    fn with_capacity(n: usize) -> Emitted {
+        Emitted { slots: Vec::with_capacity(n), def_pos: HashMap::new(), depth: Vec::new() }
+    }
+
+    fn push(&mut self, op: Op) {
+        let mut d = 0;
+        for s in op.sources() {
+            if let Some(&j) = self.def_pos.get(&s) {
+                d = d.max(self.depth[j] + 1);
             }
         }
-        if !fired {
-            return changed;
-        }
+        self.def_pos.insert(op.dst(), self.slots.len());
+        self.depth.push(d);
+        self.slots.push(Some(op));
+    }
+
+    fn remove(&mut self, j: usize) -> Op {
+        let op = self.slots[j].take().expect("tombstoning a live slot");
+        self.def_pos.remove(&op.dst());
+        op
+    }
+
+    fn var_depth(&self, v: StreamId) -> usize {
+        self.def_pos.get(&v).map_or(0, |&p| self.depth[p] + 1)
+    }
+
+    fn finish(self) -> Vec<Op> {
+        self.slots.into_iter().flatten().collect()
     }
 }
 
-/// A planned rewrite of the AND at `and_pos` whose operand `shift_pos`
+/// One rewriting sweep over a straight-line block, to fixpoint. Returns
+/// `true` if any rewrite fired.
+///
+/// A single forward pass is the fixpoint: a rewrite only changes the
+/// instruction it replaces and removes a shift whose sole use was that
+/// instruction, so no instruction before the rewrite can newly match —
+/// only the replacement AND needs re-examination, which happens
+/// naturally as it is emitted through the same worklist.
+fn rewrite_block(
+    block: &mut Vec<Op>,
+    du: &DefUse,
+    live: &mut DefUse,
+    fresh: &mut Fresh,
+    stats: &mut RebalanceStats,
+) -> bool {
+    let mut changed = false;
+    let mut out = Emitted::with_capacity(block.len());
+    let mut pending: Vec<Op> = Vec::new();
+    for op in block.drain(..) {
+        pending.push(op);
+        while let Some(op) = pending.pop() {
+            stats.visits += 1;
+            let Some(rw) = find_rewrite(&op, du, &out) else {
+                out.push(op);
+                continue;
+            };
+            // Replace `sh = x >> n; ...; dst = sh & b` with
+            // `...; t = b << n; u = x & t; dst = u >> n`.
+            let shift = out.remove(rw.shift_pos);
+            live.note_op_removed(&shift);
+            live.note_op_removed(&op);
+            let t = fresh.next();
+            let u = fresh.next();
+            let seq = [
+                Op::Retreat { dst: t, src: rw.b, amount: rw.amount },
+                Op::And { dst: u, a: rw.x, b: t },
+                Op::Advance { dst: rw.dst, src: u, amount: rw.amount },
+            ];
+            for new_op in &seq {
+                live.note_op_added(new_op);
+            }
+            // Re-examine in order: the new AND may itself be rewritable.
+            pending.extend(seq.into_iter().rev());
+            stats.rewrites += 1;
+            changed = true;
+        }
+    }
+    *block = out.finish();
+    changed
+}
+
+/// A planned rewrite of an AND whose operand at emitted slot `shift_pos`
 /// (an `Advance`) is pushed below the AND.
 struct Rewrite {
-    and_pos: usize,
     shift_pos: usize,
     /// Source of the shift (the paper's `A`).
     x: StreamId,
@@ -171,25 +264,16 @@ struct Rewrite {
     dst: StreamId,
 }
 
-fn find_rewrite(
-    block: &[Op],
-    i: usize,
-    du: &DefUse,
-    def_pos: &HashMap<StreamId, usize>,
-    depth: &[usize],
-) -> Option<Rewrite> {
-    let Op::And { dst, a, b } = block[i] else { return None };
+fn find_rewrite(op: &Op, du: &DefUse, out: &Emitted) -> Option<Rewrite> {
+    let &Op::And { dst, a, b } = op else { return None };
     // Try each operand as the shifted one; prefer the deeper.
     let mut candidates: Vec<(StreamId, StreamId)> = vec![(a, b), (b, a)];
     candidates.sort_by_key(|&(sh, _)| {
-        std::cmp::Reverse(def_pos.get(&sh).map_or(0, |&p| depth[p]))
+        std::cmp::Reverse(out.def_pos.get(&sh).map_or(0, |&p| out.depth[p]))
     });
     for (sh_operand, other) in candidates {
-        let Some(&j) = def_pos.get(&sh_operand) else { continue };
-        if j >= i {
-            continue;
-        }
-        let Op::Advance { src: x, amount, dst: sdst } = block[j] else { continue };
+        let Some(&j) = out.def_pos.get(&sh_operand) else { continue };
+        let Some(Op::Advance { src: x, amount, dst: sdst }) = out.slots[j] else { continue };
         debug_assert_eq!(sdst, sh_operand);
         // Only single-def single-use temporaries may be folded away.
         if !du.is_linear_temp(sh_operand) {
@@ -205,100 +289,59 @@ fn find_rewrite(
         }
         // The paper's criterion: move the shift when its source is at
         // least as deep as the other operand (ties rewrite, as in Fig. 8).
-        let depth_x = var_depth(x, def_pos, depth);
-        let depth_b = var_depth(other, def_pos, depth);
-        if depth_x < depth_b {
+        if out.var_depth(x) < out.var_depth(other) {
             continue;
         }
-        return Some(Rewrite { and_pos: i, shift_pos: j, x, b: other, amount, dst });
+        return Some(Rewrite { shift_pos: j, x, b: other, amount, dst });
     }
     None
 }
 
-fn apply_rewrite(block: &mut Vec<Op>, rw: Rewrite, fresh: &mut Fresh) {
-    // Replace `sh = x >> n; ...; dst = sh & b` with
-    // `...; t = b << n; u = x & t; dst = u >> n`.
-    let t = fresh.next();
-    let u = fresh.next();
-    let seq = [
-        Op::Retreat { dst: t, src: rw.b, amount: rw.amount },
-        Op::And { dst: u, a: rw.x, b: t },
-        Op::Advance { dst: rw.dst, src: u, amount: rw.amount },
-    ];
-    block.splice(rw.and_pos..rw.and_pos + 1, seq);
-    block.remove(rw.shift_pos);
-}
-
 /// Merges `dst = (x >> a) >> b` into `dst = x >> (a+b)` (and the retreat
-/// twin) when the inner result is a linear temporary.
-fn merge_shifts(block: &mut Vec<Op>, du: &DefUse, stats: &mut RebalanceStats) -> bool {
+/// twin) when the inner result is a linear temporary. Same single forward
+/// pass as [`rewrite_block`]: a merge removes an instruction whose sole
+/// use was the merged one, so only the merged shift itself can chain.
+fn merge_shifts(
+    block: &mut Vec<Op>,
+    du: &DefUse,
+    live: &mut DefUse,
+    stats: &mut RebalanceStats,
+) -> bool {
     let mut changed = false;
-    loop {
-        let def_pos = block_defs(block);
-        let mut fired = false;
-        for i in 0..block.len() {
-            let (inner_id, outer_amount, advance) = match block[i] {
+    let mut out = Emitted::with_capacity(block.len());
+    for mut op in block.drain(..) {
+        loop {
+            stats.visits += 1;
+            let (inner_id, outer_amount, advance) = match op {
                 Op::Advance { src, amount, .. } => (src, amount, true),
                 Op::Retreat { src, amount, .. } => (src, amount, false),
-                _ => continue,
+                _ => break,
             };
-            let Some(&j) = def_pos.get(&inner_id) else { continue };
-            if j >= i || !du.is_linear_temp(inner_id) {
-                continue;
+            let Some(&j) = out.def_pos.get(&inner_id) else { break };
+            if !du.is_linear_temp(inner_id) {
+                break;
             }
-            let merged = match (&block[j], advance) {
-                (&Op::Advance { src, amount, .. }, true) => {
-                    Op::Advance { dst: block[i].dst(), src, amount: amount + outer_amount }
+            let merged = match (&out.slots[j], advance) {
+                (&Some(Op::Advance { src, amount, .. }), true) => {
+                    Op::Advance { dst: op.dst(), src, amount: amount + outer_amount }
                 }
-                (&Op::Retreat { src, amount, .. }, false) => {
-                    Op::Retreat { dst: block[i].dst(), src, amount: amount + outer_amount }
+                (&Some(Op::Retreat { src, amount, .. }), false) => {
+                    Op::Retreat { dst: op.dst(), src, amount: amount + outer_amount }
                 }
-                _ => continue,
+                _ => break,
             };
-            block[i] = merged;
-            block.remove(j);
+            let inner = out.remove(j);
+            live.note_op_removed(&inner);
+            live.note_op_removed(&op);
+            live.note_op_added(&merged);
+            op = merged;
             stats.merges += 1;
             changed = true;
-            fired = true;
-            break;
         }
-        if !fired {
-            return changed;
-        }
+        out.push(op);
     }
-}
-
-/// Position of the defining instruction of each variable defined in the
-/// block (last definition wins; multi-def variables are filtered by the
-/// callers through [`DefUse`]).
-fn block_defs(block: &[Op]) -> HashMap<StreamId, usize> {
-    let mut m = HashMap::new();
-    for (i, op) in block.iter().enumerate() {
-        m.insert(op.dst(), i);
-    }
-    m
-}
-
-/// Topological depth of each instruction: `1 + max(depth of in-block
-/// source definitions)`; sources defined outside the block count 0.
-fn block_depths(block: &[Op], def_pos: &HashMap<StreamId, usize>) -> Vec<usize> {
-    let mut depth = vec![0usize; block.len()];
-    for (i, op) in block.iter().enumerate() {
-        let mut d = 0;
-        for s in op.sources() {
-            if let Some(&j) = def_pos.get(&s) {
-                if j < i {
-                    d = d.max(depth[j] + 1);
-                }
-            }
-        }
-        depth[i] = d;
-    }
-    depth
-}
-
-fn var_depth(v: StreamId, def_pos: &HashMap<StreamId, usize>, depth: &[usize]) -> usize {
-    def_pos.get(&v).map_or(0, |&p| depth[p] + 1)
+    *block = out.finish();
+    changed
 }
 
 #[cfg(test)]
@@ -412,6 +455,23 @@ mod tests {
         let mut prog = b.finish();
         let stats = rebalance(&mut prog);
         assert_eq!(stats.rewrites, 0, "{}", bitgen_ir::pretty(&prog));
+    }
+
+    #[test]
+    fn def_use_cache_stays_exact() {
+        // `rebalance_with` promises the caller's cache describes the
+        // rebalanced program on return; verify against a recompute.
+        for pat in ["abb", "abcdefgh", "a(bc)*d", "(ab|ba)+", "(?:(?:ab){4}){3}"] {
+            let mut prog = lower(&parse(pat).unwrap());
+            let mut du = DefUse::of(&prog);
+            rebalance_with(&mut prog, &mut du);
+            let truth = DefUse::of(&prog);
+            for id in 0..prog.num_streams() {
+                let id = StreamId(id);
+                assert_eq!(du.def_count(id), truth.def_count(id), "defs of {id:?} in {pat:?}");
+                assert_eq!(du.use_count(id), truth.use_count(id), "uses of {id:?} in {pat:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,51 @@
+//! Golden snapshots of pretty-printed guarded IR.
+//!
+//! Guard *placement* is part of the ZBS pass's observable behaviour (it
+//! determines how much work a skip saves), but stats alone can't show a
+//! placement regression. These snapshots make any change to the emitted
+//! structure reviewable as a plain diff. Regenerate intentionally with
+//! `UPDATE_GOLDEN=1 cargo test -p bitgen-passes --test zbs_golden`.
+
+use bitgen_ir::{lower, pretty};
+use bitgen_passes::{insert_zero_skips, rebalance, ZbsConfig};
+use bitgen_regex::parse;
+
+/// (snapshot name, pattern, interval, rebalance before zbs)
+const CASES: &[(&str, &str, usize, bool)] = &[
+    ("literal_i8", "abcdefgh", 8, false),
+    ("literal_i2", "abcdefgh", 2, false),
+    ("kleene_i4", "a(bc)*d", 4, false),
+    ("alt_i8", "(ab|cd)ef", 8, false),
+    ("alt_tail_i8", "abcd|x", 8, false),
+    ("rebalanced_i4", "abcdefgh", 4, true),
+];
+
+fn guarded_ir(pattern: &str, interval: usize, rebalance_first: bool) -> String {
+    let mut prog = lower(&parse(pattern).expect("test patterns parse"));
+    if rebalance_first {
+        rebalance(&mut prog);
+    }
+    insert_zero_skips(&mut prog, ZbsConfig { interval, min_range: 2 });
+    pretty(&prog)
+}
+
+#[test]
+fn golden_guarded_ir() {
+    let dir = format!("{}/tests/golden", env!("CARGO_MANIFEST_DIR"));
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    for &(name, pattern, interval, rebalance_first) in CASES {
+        let actual = guarded_ir(pattern, interval, rebalance_first);
+        let path = format!("{dir}/{name}.ir");
+        if update {
+            std::fs::write(&path, &actual).expect("write golden");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden {path}: {e}"));
+        assert_eq!(
+            actual, expected,
+            "guarded IR changed for {name} ({pattern:?}, interval {interval});\n\
+             if intentional, regenerate with UPDATE_GOLDEN=1\n--- actual ---\n{actual}"
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Differential safety net for the zero-block-skipping rewrite.
+//!
+//! For random patterns and inputs, three independent answers must agree
+//! on match positions: the ZBS-transformed program, the untransformed
+//! program, and the set-based oracle. Any disagreement prints the
+//! pretty-printed guarded IR so the failing guard placement is readable
+//! straight from the test log.
+//!
+//! Runs 256 cases by default (`PROPTEST_CASES` scales it); each case
+//! checks two guard intervals, with and without rebalancing first.
+
+use bitgen_bitstream::Basis;
+use bitgen_ir::{interpret, lower, pretty};
+use bitgen_passes::{insert_zero_skips, rebalance, ZbsConfig};
+use bitgen_regex::{match_ends, Ast, ByteSet};
+use proptest::prelude::*;
+
+/// Random AST over the alphabet {a, b, c}, with bounded depth and size.
+fn arb_ast() -> impl Strategy<Value = Ast> {
+    let leaf = prop_oneof![
+        prop::sample::select(vec![b'a', b'b', b'c']).prop_map(|b| Ast::Class(ByteSet::singleton(b))),
+        prop::sample::select(vec![(b'a', b'b'), (b'b', b'c'), (b'a', b'c')])
+            .prop_map(|(lo, hi)| Ast::Class(ByteSet::range(lo, hi))),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Ast::Concat),
+            prop::collection::vec(inner.clone(), 2..3).prop_map(Ast::Alt),
+            inner.clone().prop_map(|a| Ast::Star(Box::new(a))),
+            inner.clone().prop_map(|a| Ast::Plus(Box::new(a))),
+            inner.clone().prop_map(|a| Ast::Opt(Box::new(a))),
+            (inner, 1u32..4, 0u32..3).prop_map(|(a, min, extra)| Ast::Repeat {
+                node: Box::new(a),
+                min,
+                max: Some(min + extra),
+            }),
+        ]
+    })
+}
+
+/// Inputs biased toward long zero runs (bytes outside the alphabet), the
+/// regime zero-block skipping actually skips in.
+fn arb_input() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(b"abcx_____".to_vec()), 0..160)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn zbs_on_off_and_oracle_agree(ast in arb_ast(), input in arb_input()) {
+        let expect = match_ends(&ast, &input);
+        let prog = lower(&ast);
+        let basis = Basis::transpose(&input);
+
+        // ZBS-off reference.
+        let plain = interpret(&prog, &basis).outputs[0].positions();
+        prop_assert_eq!(&plain, &expect, "untransformed program vs oracle for {}", ast);
+
+        // ZBS-on, across intervals and with/without rebalancing first —
+        // the pass pipeline the schemes actually run.
+        for rebalance_first in [false, true] {
+            for interval in [2usize, 8] {
+                let mut guarded = prog.clone();
+                if rebalance_first {
+                    rebalance(&mut guarded);
+                }
+                insert_zero_skips(&mut guarded, ZbsConfig { interval, min_range: 2 });
+                let got = interpret(&guarded, &basis).outputs[0].positions();
+                prop_assert_eq!(
+                    &got, &expect,
+                    "ZBS (interval {}, rebalance {}) vs oracle for {}\n\
+                     input: {:?}\nguarded IR:\n{}",
+                    interval, rebalance_first, ast,
+                    String::from_utf8_lossy(&input), pretty(&guarded)
+                );
+            }
+        }
+    }
+}
