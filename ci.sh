@@ -14,10 +14,19 @@ cargo test -q -p bitgen --test fault_tolerance --test pathological_patterns
 # ZBS-off vs oracle) and the visit-counter complexity bounds.
 cargo test -q -p bitgen --test zbs_differential --test pass_complexity
 
+# Streaming safety net: the carry-propagating scanner must stay
+# bit-identical to batch scans under random patterns × random chunkings
+# (unbounded repetitions and empty pushes included).
+cargo test -q -p bitgen --test stream_carry
+
 # Compile-pipeline bench smoke: one abbreviated run so a pathological
 # compile-time regression fails CI instead of only slowing nightly
 # benches. (The bench binary itself keeps sample counts low.)
 cargo bench -q -p bitgen-bench --bench compile_pipeline
+
+# Streaming bench smoke: chunked-vs-batch and the O(chunk) push-cost
+# sweep (the bench binary keeps sample counts low).
+cargo bench -q -p bitgen-bench --bench stream_scan
 
 cargo clippy --workspace -- -D warnings
 

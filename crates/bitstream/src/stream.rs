@@ -273,6 +273,97 @@ impl BitStream {
         out
     }
 
+    /// [`BitStream::advance`] with carry injection: the `k` vacated low
+    /// positions are filled from `hist`, the last `k` bits of the stream's
+    /// history before this window (bit *i* of `hist` is the stream's value
+    /// at global position `window_start - k + i`).
+    ///
+    /// This is the streaming form of the paper's cross-block shift
+    /// dependency: the carry-out of chunk *k* becomes the carry-in of
+    /// chunk *k+1*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hist.len() != k`.
+    pub fn advance_with_carry(&self, k: usize, hist: &BitStream) -> BitStream {
+        assert_eq!(hist.len, k, "carry history holds {} bits, shift needs {k}", hist.len);
+        let mut out = self.advance(k);
+        // The low min(k, len) positions of `out` are zero, and `hist` keeps
+        // bits past its length masked, so a word-wise OR injects the carry.
+        let n = out.words.len().min(hist.words.len());
+        for i in 0..n {
+            out.words[i] |= hist.words[i];
+        }
+        out.mask_tail();
+        out
+    }
+
+    /// Rolls a shift-carry history forward by one window: returns the last
+    /// `prev.len()` bits of the sequence `prev ++ self[0..consumed)`.
+    ///
+    /// `prev` is the history entering this window and `consumed` is how
+    /// many positions of `self` became final (the chunk length — the
+    /// window's provisional peek position is excluded).
+    pub fn history_tail(&self, prev: &BitStream, consumed: usize) -> BitStream {
+        let k = prev.len;
+        if consumed >= k {
+            return self.slice(consumed - k, k);
+        }
+        let mut next = prev.slice(consumed, k);
+        next.or_at(k - consumed, &self.slice(0, consumed));
+        next
+    }
+
+    /// [`BitStream::add`] with an explicit carry bit injected below bit 0,
+    /// also reporting the carry *into* bit `boundary` (computed from bits
+    /// `0..boundary` plus `carry_in` only, at word granularity with a
+    /// partial-word mask).
+    ///
+    /// Streaming uses `boundary = len - 1` (the window's peek position):
+    /// that carry is exactly the carry-in the next window must inject at
+    /// its bit 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or `boundary >= len`.
+    pub fn add_with_carry(
+        &self,
+        other: &BitStream,
+        carry_in: bool,
+        boundary: usize,
+    ) -> (BitStream, bool) {
+        assert_eq!(
+            self.len, other.len,
+            "bitstream length mismatch: {} vs {}",
+            self.len, other.len
+        );
+        assert!(boundary < self.len, "carry boundary {boundary} out of range for {}", self.len);
+        let bword = boundary >> 6;
+        let bbit = boundary & 63;
+        let mut words = Vec::with_capacity(self.words.len());
+        let mut carry = carry_in as u64;
+        let mut boundary_carry = false;
+        for (i, (&a, &b)) in self.words.iter().zip(&other.words).enumerate() {
+            if i == bword {
+                boundary_carry = if bbit == 0 {
+                    carry != 0
+                } else {
+                    // (a & mask) + (b & mask) + carry < 2^(bbit+1), so bit
+                    // `bbit` of the masked sum is the carry into `boundary`.
+                    let mask = (1u64 << bbit) - 1;
+                    ((a & mask) + (b & mask) + carry) >> bbit & 1 == 1
+                };
+            }
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            words.push(s2);
+            carry = (c1 | c2) as u64;
+        }
+        let mut s = BitStream { words, len: self.len };
+        s.mask_tail();
+        (s, boundary_carry)
+    }
+
     /// Extracts `len` bits starting at `start` into a new stream.
     ///
     /// Positions past the end of `self` read as zero, so windows may extend
@@ -606,6 +697,111 @@ mod tests {
     fn debug_uses_paper_notation() {
         let s = BitStream::from_positions(6, &[5]);
         assert_eq!(format!("{s:?}"), "BitStream<6>[.....1]");
+    }
+
+    #[test]
+    fn advance_with_carry_fills_vacated_positions() {
+        let s = BitStream::from_positions(8, &[0, 5]);
+        let hist = BitStream::from_positions(3, &[1]);
+        // advance(3) gives {3}, carry injects hist bit 1 at position 1.
+        assert_eq!(s.advance_with_carry(3, &hist).positions(), vec![1, 3]);
+        // Shift larger than the window: only the low window-size bits of
+        // the history land; the rest stays in the rolled history.
+        let wide = BitStream::from_positions(10, &[0, 9]);
+        assert_eq!(BitStream::zeros(4).advance_with_carry(10, &wide).positions(), vec![0]);
+        // Zero-length history == plain advance.
+        assert_eq!(s.advance_with_carry(0, &BitStream::zeros(0)), s);
+    }
+
+    #[test]
+    fn advance_with_carry_word_boundaries() {
+        let s = BitStream::from_positions(200, &[0, 68]);
+        let hist = BitStream::from_positions(70, &[0, 63, 69]);
+        let out = s.advance_with_carry(70, &hist);
+        assert_eq!(out.positions(), vec![0, 63, 69, 70, 138]);
+    }
+
+    #[test]
+    fn history_tail_rolls_forward() {
+        // Window consumed more bits than the history is wide: pure slice.
+        let w = BitStream::from_positions(10, &[2, 7, 9]);
+        let prev = BitStream::from_positions(3, &[0]);
+        // consumed = 9 of 10 (last bit is the peek): last 3 of bits 0..9.
+        assert_eq!(w.history_tail(&prev, 9).positions(), vec![1]); // bit 7 -> index 1
+        // Chunk smaller than the shift: old history shifts down, new bits
+        // append at the top.
+        let tiny = BitStream::from_positions(2, &[0]);
+        let prev5 = BitStream::from_positions(5, &[0, 4]);
+        // sequence = prev5 ++ tiny[0..1) = 1,0,0,0,1,1 — last 5 = 0,0,0,1,1.
+        let next = tiny.history_tail(&prev5, 1);
+        // prev5 bits 1..5 = {4}->index 3; appended tiny[0]=1 at index 4.
+        assert_eq!(next.positions(), vec![3, 4]);
+        // Consuming zero positions leaves the history untouched.
+        assert_eq!(tiny.history_tail(&prev5, 0), prev5);
+    }
+
+    #[test]
+    fn add_with_carry_matches_plain_add_without_carry() {
+        let a = BitStream::from_positions(130, &(0..64).collect::<Vec<_>>());
+        let b = BitStream::from_positions(130, &[0]);
+        let (sum, _) = a.add_with_carry(&b, false, 129);
+        assert_eq!(sum, a.add(&b));
+    }
+
+    #[test]
+    fn add_with_carry_injects_low_bit() {
+        // 0b0011 + 0 + carry = 0b0100.
+        let a = BitStream::from_positions(8, &[0, 1]);
+        let z = BitStream::zeros(8);
+        let (sum, _) = a.add_with_carry(&z, true, 7);
+        assert_eq!(sum.positions(), vec![2]);
+    }
+
+    #[test]
+    fn add_with_carry_reports_boundary_carry() {
+        // Ripple 0..=5 plus a marker at 0 carries into bit 6.
+        let a = BitStream::from_positions(8, &(0..6).collect::<Vec<_>>());
+        let b = BitStream::from_positions(8, &[0]);
+        let (_, c6) = a.add_with_carry(&b, false, 6);
+        assert!(c6);
+        let (_, c7) = a.add_with_carry(&b, false, 7);
+        assert!(!c7);
+        // Boundary on an exact word edge: the chain carry out of word 0.
+        let long = BitStream::from_positions(130, &(0..64).collect::<Vec<_>>());
+        let one = BitStream::from_positions(130, &[0]);
+        let (_, c64) = long.add_with_carry(&one, false, 64);
+        assert!(c64);
+        let (_, c65) = long.add_with_carry(&one, false, 65);
+        assert!(!c65);
+        // The boundary carry must ignore bits at and above the boundary.
+        let hi = BitStream::from_positions(130, &[100]);
+        let (_, c) = hi.add_with_carry(&hi, false, 100);
+        assert!(!c);
+    }
+
+    #[test]
+    fn add_with_carry_chains_across_windows() {
+        // Splitting an addition at any boundary and re-injecting the
+        // boundary carry reproduces the unsplit sum.
+        let a = BitStream::from_positions(96, &(10..70).collect::<Vec<_>>());
+        let b = BitStream::from_positions(96, &[10]);
+        let whole = a.add(&b);
+        for split in [11usize, 40, 63, 64, 65, 69, 80] {
+            let (lo_a, hi_a) = (a.slice(0, split), a.slice(split, 96 - split));
+            let (lo_b, hi_b) = (b.slice(0, split), b.slice(split, 96 - split));
+            // Low window: boundary carry at `split` (its end).
+            let (lo_sum, carry) = lo_a.resized(split + 1).add_with_carry(
+                &lo_b.resized(split + 1),
+                false,
+                split,
+            );
+            let (hi_sum, _) = hi_a.add_with_carry(&hi_b, carry, 96 - split - 1);
+            let mut glued = lo_sum.resized(96);
+            // Drop the low window's provisional peek bit before gluing.
+            glued.set(split, false);
+            glued.or_at(split, &hi_sum);
+            assert_eq!(glued, whole, "split at {split}");
+        }
     }
 
     #[test]

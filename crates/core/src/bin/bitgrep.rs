@@ -17,12 +17,19 @@
 //!   --profile           print an Nsight-style launch profile to stderr
 //! ```
 //!
-//! Reads FILE, or stdin when no file is given.
+//! Reads FILE, or stdin when no file is given. The default `bitgen`
+//! engine streams the input in fixed 64 KiB chunks through the engine's
+//! carry-propagating [`StreamScanner`], so stdin pipes and files larger
+//! than memory scan in constant space; the baseline engines and
+//! `--profile` (which needs a whole-launch report) read the input up
+//! front instead.
 //!
 //! Exit codes follow grep convention, extended so scripts can tell the
 //! failure stages apart: 0 matches found, 1 no matches, 2 usage or I/O
 //! error, 3 pattern failed to compile (including blown compile budgets),
 //! 4 execution failed.
+//!
+//! [`StreamScanner`]: bitgen::StreamScanner
 
 use bitgen::{BitGen, DeviceConfig, EngineConfig, Scheme};
 use bitgen_baselines::{CpuBitstreamEngine, DfaEngine, HybridEngine, MultiNfa};
@@ -158,17 +165,143 @@ fn read_input(file: &Option<String>) -> std::io::Result<Vec<u8>> {
     }
 }
 
+fn engine_config(opts: &Options) -> EngineConfig {
+    EngineConfig::default()
+        .with_scheme(opts.scheme)
+        .with_device(opts.device.clone())
+        .with_cta_threads(opts.threads)
+        .with_threads(opts.scan_threads)
+        .with_match_star(opts.match_star)
+}
+
+/// Streaming chunk size for the bitgen engine: large enough to amortise
+/// per-push overhead, small enough to keep memory flat.
+const STREAM_CHUNK: usize = 64 * 1024;
+
+/// Incremental match-to-line mapper: consumes chunks plus their global
+/// match ends and emits grep-style output as each line completes,
+/// retaining only the current (possibly chunk-spanning) line. Reproduces
+/// the batch mapping exactly: a line matches when some match end falls
+/// in `[line_start, next_line_start)` — its own trailing newline
+/// included.
+struct LinePrinter<'o> {
+    opts: &'o Options,
+    line_no: usize,
+    line_buf: Vec<u8>,
+    line_matched: bool,
+    matched_lines: usize,
+    any_match: bool,
+}
+
+impl<'o> LinePrinter<'o> {
+    fn new(opts: &'o Options) -> LinePrinter<'o> {
+        LinePrinter {
+            opts,
+            line_no: 1,
+            line_buf: Vec::new(),
+            line_matched: false,
+            matched_lines: 0,
+            any_match: false,
+        }
+    }
+
+    /// Consumes the next chunk (starting at global byte `offset`) and
+    /// the ascending global match ends that fell inside it.
+    fn feed(&mut self, chunk: &[u8], ends: &[u64], offset: u64) {
+        self.any_match |= !ends.is_empty();
+        if self.opts.positions {
+            for e in ends {
+                println!("{e}");
+            }
+            return;
+        }
+        let mut ei = 0usize;
+        let mut start = 0usize;
+        while let Some(rel) = chunk[start..].iter().position(|&b| b == b'\n') {
+            let nl = start + rel;
+            while ei < ends.len() && ends[ei] <= offset + nl as u64 {
+                self.line_matched = true;
+                ei += 1;
+            }
+            self.line_buf.extend_from_slice(&chunk[start..nl]);
+            self.flush_line();
+            start = nl + 1;
+        }
+        self.line_buf.extend_from_slice(&chunk[start..]);
+        if ei < ends.len() {
+            // Remaining ends all land in the still-open line.
+            self.line_matched = true;
+        }
+    }
+
+    fn flush_line(&mut self) {
+        if self.line_matched {
+            self.matched_lines += 1;
+            if !self.opts.count {
+                if self.opts.line_numbers {
+                    print!("{}:", self.line_no);
+                }
+                println!("{}", String::from_utf8_lossy(&self.line_buf));
+            }
+        }
+        self.line_buf.clear();
+        self.line_matched = false;
+        self.line_no += 1;
+    }
+
+    /// Flushes the final newline-less line and returns the exit code.
+    fn finish(mut self) -> ExitCode {
+        if !self.line_buf.is_empty() || self.line_matched {
+            self.flush_line();
+        }
+        if self.opts.positions {
+            return if self.any_match { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        }
+        if self.opts.count {
+            println!("{}", self.matched_lines);
+        }
+        if self.matched_lines == 0 { ExitCode::FAILURE } else { ExitCode::SUCCESS }
+    }
+}
+
+/// The streaming path for the bitgen engine: fixed-size chunks through a
+/// carry-propagating [`bitgen::StreamScanner`], constant memory in the
+/// input length.
+fn run_streaming(opts: &Options) -> Result<ExitCode, ScanFailure> {
+    let pats: Vec<&str> = opts.patterns.iter().map(String::as_str).collect();
+    let engine = BitGen::compile_with(&pats, engine_config(opts))
+        .map_err(|e| ScanFailure::Compile(e.to_string()))?;
+    let mut scanner = engine.streamer().map_err(|e| ScanFailure::Exec(e.to_string()))?;
+    let mut reader: Box<dyn std::io::Read> = match &opts.file {
+        Some(path) => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| ScanFailure::Usage(format!("{path}: {e}")))?;
+            Box::new(file)
+        }
+        None => Box::new(std::io::stdin()),
+    };
+    let mut printer = LinePrinter::new(opts);
+    let mut buf = vec![0u8; STREAM_CHUNK];
+    loop {
+        let n = match reader.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ScanFailure::Usage(e.to_string())),
+        };
+        let offset = scanner.consumed();
+        let ends =
+            scanner.push(&buf[..n]).map_err(|e| ScanFailure::Exec(e.to_string()))?;
+        printer.feed(&buf[..n], &ends, offset);
+    }
+    Ok(printer.finish())
+}
+
 fn scan(opts: &Options, input: &[u8]) -> Result<BitStream, ScanFailure> {
     let pats: Vec<&str> = opts.patterns.iter().map(String::as_str).collect();
     match opts.engine.as_str() {
         "bitgen" => {
-            let config = EngineConfig::default()
-                .with_scheme(opts.scheme)
-                .with_device(opts.device.clone())
-                .with_cta_threads(opts.threads)
-                .with_threads(opts.scan_threads)
-                .with_match_star(opts.match_star);
-            let engine = BitGen::compile_with(&pats, config)
+            let engine = BitGen::compile_with(&pats, engine_config(opts))
                 .map_err(|e| ScanFailure::Compile(e.to_string()))?;
             let report =
                 engine.find(input).map_err(|e| ScanFailure::Exec(e.to_string()))?;
@@ -205,6 +338,22 @@ fn scan(opts: &Options, input: &[u8]) -> Result<BitStream, ScanFailure> {
 
 fn main() -> ExitCode {
     let opts = parse_args();
+    // The bitgen engine streams; `--profile` needs the whole-launch
+    // report, so it (and every baseline engine) scans in one batch.
+    if opts.engine == "bitgen" && !opts.profile {
+        return match run_streaming(&opts) {
+            Ok(code) => code,
+            Err(failure) => {
+                let (msg, code) = match failure {
+                    ScanFailure::Usage(m) => (m, exit::USAGE),
+                    ScanFailure::Compile(m) => (m, exit::COMPILE),
+                    ScanFailure::Exec(m) => (m, exit::EXEC),
+                };
+                eprintln!("bitgrep: {msg}");
+                ExitCode::from(code)
+            }
+        };
+    }
     let input = match read_input(&opts.file) {
         Ok(i) => i,
         Err(e) => {

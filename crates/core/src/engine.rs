@@ -214,6 +214,13 @@ impl std::error::Error for CompileError {}
 pub struct BitGen {
     pub(crate) groups: Vec<Vec<usize>>,
     pub(crate) programs: Vec<Program>,
+    /// Untransformed twins of `programs` for the streaming scanner:
+    /// same grouping and output combination, but lowered with fixpoint
+    /// loops instead of `MatchStar` (no additions inside loops) and
+    /// never run through the scheme transforms (shift rebalancing
+    /// introduces non-causal retreats that cannot carry across chunk
+    /// boundaries). See DESIGN.md §10.
+    pub(crate) stream_programs: Vec<Program>,
     /// CPU interpreter over the same programs, built eagerly when
     /// `recovery` is [`RecoveryPolicy::Degrade`] so the fallback path
     /// never compiles under failure.
@@ -325,14 +332,11 @@ impl ScanReport {
         hits.into_iter()
     }
 
-    /// Match-end positions of one pattern, ascending, or `None` when the
-    /// engine ran with combined outputs (no per-pattern attribution).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `pattern_id` is out of range for the compiled set.
+    /// Match-end positions of one pattern, ascending. `None` when the
+    /// engine ran with combined outputs (no per-pattern attribution) or
+    /// when `pattern_id` is out of range for the compiled set.
     pub fn matches_for(&self, pattern_id: usize) -> Option<Vec<usize>> {
-        self.per_pattern.as_ref().map(|per| per[pattern_id].positions())
+        self.per_pattern.as_ref()?.get(pattern_id).map(BitStream::positions)
     }
 
     /// Renders an Nsight-style profile of the launch (per-CTA events and
@@ -409,31 +413,44 @@ impl BitGen {
             match_star: config.match_star,
             log_repetition: config.log_repetition,
         };
-        let programs = groups
-            .iter()
-            .map(|g| {
-                let members: Vec<Ast> = g.iter().map(|&i| asts[i].clone()).collect();
-                if config.combine_outputs && config.optimize_patterns && members.len() > 1 {
-                    // Only the union matters: lower the whole group as one
-                    // alternation so the optimizer can factor prefixes
-                    // *across* rules (Hyperscan-style set compilation).
-                    let combined = bitgen_regex::optimize(&Ast::Alt(members));
-                    return lower_group_checked(
-                        std::slice::from_ref(&combined),
-                        lower_opts,
-                        &config.limits,
-                    );
-                }
-                let mut prog = lower_group_checked(&members, lower_opts, &config.limits)?;
-                if config.combine_outputs {
-                    prog.combine_outputs();
-                }
-                Ok(prog)
-            })
-            .collect::<Result<Vec<Program>, _>>()?;
+        let lower_groups = |opts: LowerOptions| {
+            groups
+                .iter()
+                .map(|g| {
+                    let members: Vec<Ast> = g.iter().map(|&i| asts[i].clone()).collect();
+                    if config.combine_outputs && config.optimize_patterns && members.len() > 1 {
+                        // Only the union matters: lower the whole group as one
+                        // alternation so the optimizer can factor prefixes
+                        // *across* rules (Hyperscan-style set compilation).
+                        let combined = bitgen_regex::optimize(&Ast::Alt(members));
+                        return lower_group_checked(
+                            std::slice::from_ref(&combined),
+                            opts,
+                            &config.limits,
+                        );
+                    }
+                    let mut prog = lower_group_checked(&members, opts, &config.limits)?;
+                    if config.combine_outputs {
+                        prog.combine_outputs();
+                    }
+                    Ok(prog)
+                })
+                .collect::<Result<Vec<Program>, _>>()
+        };
+        let programs = lower_groups(lower_opts)?;
+        // Streaming twins: identical grouping, but fixpoint-loop stars
+        // (MatchStar's long additions inside loops cannot carry across
+        // chunks) and no scheme transforms. Cloned while `programs` is
+        // still untransformed when the lowerings coincide.
+        let stream_programs = if config.match_star {
+            lower_groups(LowerOptions { match_star: false, log_repetition: config.log_repetition })?
+        } else {
+            programs.clone()
+        };
         let mut engine = BitGen {
             groups,
             programs,
+            stream_programs,
             cpu_fallback: None,
             pass_metrics: Vec::new(),
             pattern_count: asts.len(),
@@ -637,6 +654,16 @@ mod tests {
             hits.iter().map(|m| m.end).collect::<Vec<_>>(),
             report.matches.positions()
         );
+    }
+
+    #[test]
+    fn matches_for_out_of_range_is_none() {
+        let config = EngineConfig::default().with_combine_outputs(false);
+        let engine = BitGen::compile_with(&["ab"], config).unwrap();
+        let report = engine.find(b"abab").unwrap();
+        assert_eq!(report.matches_for(0), Some(vec![1, 3]));
+        assert_eq!(report.matches_for(1), None);
+        assert_eq!(report.matches_for(usize::MAX), None);
     }
 
     #[test]

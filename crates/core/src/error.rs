@@ -3,16 +3,15 @@
 //! compilation, scanning, and streaming.
 
 use crate::engine::CompileError;
-use crate::stream_scan::StreamError;
 use bitgen_exec::ExecError;
 use bitgen_ir::LimitError;
 use std::fmt;
 
 /// Any failure a `bitgen` entry point can return.
 ///
-/// Wraps the stage-specific errors ([`CompileError`], [`ExecError`],
-/// [`StreamError`]) so pipelines mixing compilation, scanning, and
-/// streaming can use `?` throughout:
+/// Wraps the stage-specific errors ([`CompileError`], [`ExecError`])
+/// so pipelines mixing compilation, scanning, and streaming can use
+/// `?` throughout:
 ///
 /// ```
 /// use bitgen::BitGen;
@@ -47,8 +46,6 @@ pub enum Error {
         /// Index of the input stream whose CTA panicked.
         stream: usize,
     },
-    /// A streaming scanner could not be constructed.
-    Stream(StreamError),
 }
 
 impl fmt::Display for Error {
@@ -60,7 +57,6 @@ impl fmt::Display for Error {
             Error::WorkerPanicked { group, stream } => {
                 write!(f, "scan worker panicked on group {group}, stream {stream}")
             }
-            Error::Stream(e) => write!(f, "streaming error: {e}"),
         }
     }
 }
@@ -72,7 +68,6 @@ impl std::error::Error for Error {
             Error::LimitExceeded(e) => Some(e),
             Error::Exec(e) => Some(e),
             Error::WorkerPanicked { .. } => None,
-            Error::Stream(e) => Some(e),
         }
     }
 }
@@ -95,12 +90,6 @@ impl From<ExecError> for Error {
     }
 }
 
-impl From<StreamError> for Error {
-    fn from(e: StreamError) -> Error {
-        Error::Stream(e)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,8 +102,8 @@ mod tests {
         assert!(e.to_string().contains("compile error"));
         assert!(e.source().is_some());
 
-        let stream = Error::from(StreamError::UnboundedPattern);
-        assert!(stream.to_string().contains("streaming error"));
-        assert!(stream.source().is_some());
+        let exec = Error::from(bitgen_exec::ExecError::Cancelled);
+        assert!(exec.to_string().contains("execution error"));
+        assert!(exec.source().is_some());
     }
 }

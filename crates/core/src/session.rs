@@ -22,7 +22,7 @@ use bitgen_exec::{
     execute_prepared_ctl, ExecConfig, ExecError, ExecMetrics, ExecOutcome, ExecScratch,
 };
 use bitgen_gpu::{throughput_mbps, FaultPlan};
-use bitgen_ir::{CancelToken, RunControl};
+use bitgen_ir::{CancelToken, CarryState, RunControl};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
@@ -40,6 +40,17 @@ type StreamPartial = (BitStream, Option<Vec<BitStream>>, Vec<ExecMetrics>, bool)
 enum SlotFailure {
     Exec(ExecError),
     Panicked,
+}
+
+/// Result of one streaming window ([`ScanSession::scan_chunk`]): the
+/// union match stream clipped to the chunk, plus the window's modelled
+/// device cost.
+pub(crate) struct ChunkScan {
+    /// Union match-end stream over the chunk (bit *i* ⇔ some pattern
+    /// matches ending at chunk byte *i*).
+    pub matches: BitStream,
+    /// Modelled seconds for this window (kernel + transpose).
+    pub seconds: f64,
 }
 
 /// Everything a worker needs to run grid slots, shared read-only across
@@ -199,6 +210,62 @@ impl ScanSession<'_> {
         Ok(self.merge(inputs, outcomes))
     }
 
+    /// Scans one streaming window: executes every group's *streaming*
+    /// program over the chunk with its per-group carry state, then
+    /// rotates the carries so this window's carry-out feeds the next.
+    ///
+    /// Runs the engine's untransformed `stream_programs` sequentially —
+    /// carry propagation makes each group's windows a chain, and the
+    /// per-push work is one chunk, not a grid. The session's transpose
+    /// target and executor scratch are reused across windows, so a
+    /// steady-state push allocates nothing.
+    ///
+    /// On error the affected carry state is part-way through a window
+    /// and the stream is poisoned; [`crate::StreamScanner`] surfaces
+    /// that contract.
+    pub(crate) fn scan_chunk(
+        &mut self,
+        chunk: &[u8],
+        carries: &mut [CarryState],
+    ) -> Result<ChunkScan, Error> {
+        debug_assert_eq!(carries.len(), self.engine.stream_programs.len());
+        if self.bases.is_empty() {
+            self.bases.push(Basis::empty());
+        }
+        if self.scratches.is_empty() {
+            self.scratches.push(ExecScratch::new());
+        }
+        self.bases[0].transpose_into(chunk);
+        let mut ctl = RunControl::unlimited();
+        if let Some(token) = &self.cancel {
+            ctl = ctl.with_cancel(token.clone());
+        }
+        if let Some(budget) = self.timeout {
+            ctl = ctl.with_deadline(Instant::now() + budget);
+        }
+        let mut union = BitStream::zeros(chunk.len());
+        let mut works = Vec::with_capacity(carries.len());
+        for (prog, carry) in self.engine.stream_programs.iter().zip(carries.iter_mut()) {
+            let outcome = execute_prepared_ctl(
+                prog,
+                &self.bases[0],
+                &self.exec_config,
+                &mut self.scratches[0],
+                &ctl,
+                Some(carry),
+            )?;
+            for out in &outcome.outputs {
+                union = union.or(&out.resized(chunk.len()));
+            }
+            works.push(outcome.metrics.cta_work());
+            carry.rotate();
+        }
+        let device = &self.engine.config().device;
+        let cost = device.estimate(&works);
+        let seconds = cost.seconds + device.transpose_seconds(chunk.len());
+        Ok(ChunkScan { matches: union, seconds })
+    }
+
     /// Phase 1: fill `bases[..s]` from the inputs, sharded across
     /// workers by contiguous chunks.
     fn transpose_streams(&mut self, inputs: &[&[u8]]) {
@@ -244,6 +311,7 @@ impl ScanSession<'_> {
                 &config,
                 scratch,
                 cx.ctl,
+                None,
             )
         }));
         match run {
@@ -372,8 +440,8 @@ impl ScanSession<'_> {
             };
             let mut metrics = Vec::with_capacity(g);
             let mut degraded = false;
-            for group in &engine.groups {
-                let (outcome, slot_degraded) =
+            for (gi, group) in engine.groups.iter().enumerate() {
+                let (mut outcome, slot_degraded) =
                     outcomes.next().expect("one outcome per slot");
                 degraded |= slot_degraded;
                 for (oi, out) in outcome.outputs.iter().enumerate() {
@@ -384,6 +452,12 @@ impl ScanSession<'_> {
                     }
                 }
                 works.push(outcome.metrics.cta_work());
+                // Prepared runs execute programs transformed at compile
+                // time, so their per-CTA `passes` comes from the engine's
+                // compile-time record — the same data the one-shot
+                // `execute` path measures itself, keeping `passes`
+                // populated consistently across both entry points.
+                outcome.metrics.passes = engine.pass_metrics[gi];
                 metrics.push(outcome.metrics);
             }
             partial.push((union, per_pattern, metrics, degraded));
@@ -440,7 +514,18 @@ mod tests {
             assert_eq!(x.per_pattern, y.per_pattern);
             assert_eq!(x.seconds.to_bits(), y.seconds.to_bits());
             assert_eq!(x.cost.seconds.to_bits(), y.cost.seconds.to_bits());
-            assert_eq!(x.metrics, y.metrics);
+            assert_eq!(x.metrics.len(), y.metrics.len());
+            for (mx, my) in x.metrics.iter().zip(&y.metrics) {
+                // The compile-time pass record carries wall-clock nanos,
+                // which legitimately differ between separately compiled
+                // engines; everything else must be bit-identical.
+                let (mut mx, mut my) = (mx.clone(), my.clone());
+                mx.passes.rebalance_nanos = 0;
+                mx.passes.zbs_nanos = 0;
+                my.passes.rebalance_nanos = 0;
+                my.passes.zbs_nanos = 0;
+                assert_eq!(mx, my);
+            }
         }
     }
 
@@ -496,6 +581,19 @@ mod tests {
         // Smaller batches fit in the same buffers too.
         session.scan(slices[0]).unwrap();
         assert_eq!(session.buffer_capacity_words(), warm);
+    }
+
+    #[test]
+    fn prepared_scans_populate_pass_metrics() {
+        // Session scans run prepared programs, so each CTA's `passes`
+        // must be the engine's compile-time record, not the default the
+        // raw `execute_prepared*` family reports.
+        let engine = BitGen::compile(&["a(bc)*d", "cat"]).unwrap();
+        let report = engine.find(b"abcbcd cat").unwrap();
+        assert_eq!(report.metrics.len(), engine.pass_metrics().len());
+        for (m, p) in report.metrics.iter().zip(engine.pass_metrics()) {
+            assert_eq!(&m.passes, p);
+        }
     }
 
     #[test]

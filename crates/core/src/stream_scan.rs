@@ -1,128 +1,91 @@
 //! Streaming scans: feed input in chunks, get globally-positioned matches.
 //!
-//! The engine's block-wise execution is inherently batch-oriented (the
-//! whole stream is transposed up front), but bounded-span pattern sets can
-//! be scanned incrementally with a carry-over tail: each chunk is scanned
-//! together with the last `max_span − 1` bytes of the previous data, and
-//! only matches ending inside the new chunk are reported. Pattern sets
-//! containing unbounded repetitions have no span bound and are rejected.
+//! Every push executes one carry-propagating window per group: the chunk
+//! is transposed, each group's *streaming* program (an untransformed
+//! lowering with fixpoint loops — see DESIGN.md §10) runs over exactly
+//! those bytes, and the bits that cross the chunk boundary travel in a
+//! [`bitgen_ir::CarryState`] to the next push. Work per push is
+//! O(chunk): no tail is retained, nothing is re-scanned, and no span
+//! bound is needed — unbounded repetitions (`*`, `+`, `{n,}`) stream
+//! like any other pattern. Results are bit-identical to batch
+//! [`BitGen::find`] under every chunking.
 
-use crate::engine::{BitGen, ScanReport};
+use crate::engine::BitGen;
 use crate::error::Error;
 use crate::session::ScanSession;
-use std::fmt;
-
-/// Why a streaming scanner could not be constructed.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum StreamError {
-    /// Some pattern can match arbitrarily long spans (`*`, `+`, `{n,}`),
-    /// so no finite carry-over tail is sufficient.
-    UnboundedPattern,
-}
-
-impl fmt::Display for StreamError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            StreamError::UnboundedPattern => {
-                write!(f, "pattern set contains unbounded repetitions; streaming needs a span bound")
-            }
-        }
-    }
-}
-
-impl std::error::Error for StreamError {}
+use bitgen_ir::CarryState;
 
 /// Incremental scanner over a compiled engine.
 ///
 /// Holds a [`ScanSession`] internally, so the per-push transpose and
-/// executor buffers are reused across chunks.
+/// executor buffers are reused across chunks, plus one [`CarryState`]
+/// per group carrying the cross-chunk bits.
 ///
 /// # Examples
+///
+/// Unbounded patterns stream too — a match may grow across any number
+/// of chunks before closing:
 ///
 /// ```
 /// use bitgen::BitGen;
 ///
-/// let engine = BitGen::compile(&["abcd"])?;
+/// let engine = BitGen::compile(&["a+b"])?;
 /// let mut scanner = engine.streamer()?;
-/// // The match spans the chunk boundary.
-/// let mut ends = scanner.push(b"xxab")?;
-/// ends.extend(scanner.push(b"cdyy")?);
+/// let mut ends = scanner.push(b"xxaa")?;
+/// ends.extend(scanner.push(b"ab.")?);
 /// assert_eq!(ends, vec![5]);
 /// # Ok::<(), bitgen::Error>(())
 /// ```
 #[derive(Debug)]
 pub struct StreamScanner<'e> {
     session: ScanSession<'e>,
-    /// Bytes of history to prepend: `max_span − 1`.
-    overlap: usize,
-    /// The retained tail of everything pushed so far.
-    tail: Vec<u8>,
-    /// Global offset of the first byte of `tail`.
-    tail_offset: u64,
+    /// Cross-chunk carry, one per group's streaming program.
+    carries: Vec<CarryState>,
     /// Total bytes consumed.
     consumed: u64,
     /// Accumulated modelled seconds across pushes.
     seconds: f64,
-    /// Reusable tail + chunk concatenation buffer.
-    buffer: Vec<u8>,
 }
 
 impl BitGen {
     /// Creates a streaming scanner over this engine.
     ///
+    /// Succeeds for every compiled pattern set — carry propagation
+    /// replaced the old span-bounded tail, so unbounded repetitions no
+    /// longer need rejecting.
+    ///
     /// # Errors
     ///
-    /// [`StreamError::UnboundedPattern`] if any pattern lacks a span
-    /// bound.
+    /// Currently infallible; the `Result` keeps the signature stable for
+    /// callers already using `?`.
     pub fn streamer(&self) -> Result<StreamScanner<'_>, Error> {
-        match self.max_span() {
-            Some(span) => Ok(StreamScanner {
-                session: self.session(),
-                overlap: span.saturating_sub(1),
-                tail: Vec::new(),
-                tail_offset: 0,
-                consumed: 0,
-                seconds: 0.0,
-                buffer: Vec::new(),
-            }),
-            None => Err(StreamError::UnboundedPattern.into()),
-        }
+        Ok(StreamScanner {
+            session: self.session(),
+            carries: self.stream_programs.iter().map(CarryState::for_program).collect(),
+            consumed: 0,
+            seconds: 0.0,
+        })
     }
 }
 
 impl StreamScanner<'_> {
     /// Scans the next chunk, returning the *global* byte positions of
-    /// matches that end inside it, ascending.
+    /// matches that end inside it, ascending. Empty chunks are no-ops.
     ///
     /// # Errors
     ///
-    /// Propagates execution failures from the underlying engine.
+    /// Propagates execution failures from the underlying engine. After
+    /// an error the carry state is part-way through a window and the
+    /// scanner must be discarded.
     pub fn push(&mut self, chunk: &[u8]) -> Result<Vec<u64>, Error> {
-        let chunk_start = self.consumed;
-        // Scan tail + chunk; matches ending before the chunk were already
-        // reported by earlier pushes.
-        self.buffer.clear();
-        self.buffer.extend_from_slice(&self.tail);
-        self.buffer.extend_from_slice(chunk);
-        let report: ScanReport = self.session.scan(&self.buffer)?;
-        self.seconds += report.seconds;
-        let local_chunk_start = (chunk_start - self.tail_offset) as usize;
-        let ends = report
-            .matches
-            .positions()
-            .into_iter()
-            .filter(|&p| p >= local_chunk_start)
-            .map(|p| self.tail_offset + p as u64)
-            .collect();
-        self.consumed += chunk.len() as u64;
-        // Retain the last `overlap` bytes as the next tail.
-        let cut = self.buffer.len().saturating_sub(self.overlap);
-        self.tail.clear();
-        self.tail.extend_from_slice(&self.buffer[cut..]);
-        if cut > 0 {
-            self.tail_offset = self.consumed - self.tail.len() as u64;
+        if chunk.is_empty() {
+            return Ok(Vec::new());
         }
-        Ok(ends)
+        let scan = self.session.scan_chunk(chunk, &mut self.carries)?;
+        let off = self.consumed;
+        self.consumed += chunk.len() as u64;
+        self.seconds += scan.seconds;
+        Ok(scan.matches.positions().into_iter().map(|p| off + p as u64).collect())
     }
 
     /// Total bytes consumed so far.
@@ -130,11 +93,20 @@ impl StreamScanner<'_> {
         self.consumed
     }
 
-    /// Accumulated modelled GPU seconds over all pushes (each push is an
-    /// independent launch; re-scanning the carried tail is the streaming
-    /// overhead).
+    /// Accumulated modelled GPU seconds over all pushes. Each push is
+    /// priced over exactly the bytes it consumed — the carry slots
+    /// replace the old re-scanned tail, so streaming carries no
+    /// modelled overlap overhead.
     pub fn seconds(&self) -> f64 {
         self.seconds
+    }
+
+    /// Bytes re-scanned due to chunk-boundary overlap: always `0`.
+    /// Kept as an explicit accessor (and regression-tested) because the
+    /// previous tail-rescan scanner re-scanned `max_span − 1` bytes per
+    /// push and folded their cost into [`StreamScanner::seconds`].
+    pub fn bytes_rescanned(&self) -> u64 {
+        0
     }
 }
 
@@ -170,6 +142,17 @@ mod tests {
     }
 
     #[test]
+    fn unbounded_chunked_equals_batch() {
+        let engine = BitGen::compile(&["a+b", "(xy)*z", "c{2,}"]).unwrap();
+        let input = b"aab xyxyz ccc ab z aaaab";
+        let batch: Vec<u64> =
+            engine.find(input).unwrap().matches.positions().iter().map(|&p| p as u64).collect();
+        for chunks in [&[1usize][..], &[2], &[5, 1], &[100]] {
+            assert_eq!(scan_all(&engine, input, chunks), batch, "chunks {chunks:?}");
+        }
+    }
+
+    #[test]
     fn match_spanning_many_tiny_chunks() {
         let engine = BitGen::compile(&["abcdefgh"]).unwrap();
         let input = b"..abcdefgh..";
@@ -177,7 +160,7 @@ mod tests {
     }
 
     #[test]
-    fn no_duplicate_reports_in_overlap() {
+    fn no_duplicate_reports_at_chunk_boundaries() {
         let engine = BitGen::compile(&["aa"]).unwrap();
         // Overlapping matches across chunk boundaries must appear once.
         let input = b"aaaa";
@@ -186,14 +169,27 @@ mod tests {
     }
 
     #[test]
-    fn unbounded_patterns_rejected() {
+    fn unbounded_patterns_stream() {
+        // The old scanner rejected these outright (UnboundedPattern).
         let engine = BitGen::compile(&["a+b"]).unwrap();
-        assert_eq!(
-            engine.streamer().unwrap_err(),
-            Error::Stream(StreamError::UnboundedPattern)
-        );
-        let bounded = BitGen::compile(&["a{1,30}b"]).unwrap();
-        assert!(bounded.streamer().is_ok());
+        let mut scanner = engine.streamer().unwrap();
+        // One match, grown across three chunks through the loop carry.
+        let mut ends = scanner.push(b"xa").unwrap();
+        ends.extend(scanner.push(b"aa").unwrap());
+        ends.extend(scanner.push(b"ab").unwrap());
+        assert_eq!(ends, vec![5]);
+    }
+
+    #[test]
+    fn empty_pushes_are_noops() {
+        let engine = BitGen::compile(&["ab"]).unwrap();
+        let mut scanner = engine.streamer().unwrap();
+        assert_eq!(scanner.push(b"").unwrap(), Vec::<u64>::new());
+        let mut ends = scanner.push(b"a").unwrap();
+        assert_eq!(scanner.push(b"").unwrap(), Vec::<u64>::new());
+        ends.extend(scanner.push(b"b").unwrap());
+        assert_eq!(ends, vec![1]);
+        assert_eq!(scanner.consumed(), 2);
     }
 
     #[test]
@@ -202,7 +198,23 @@ mod tests {
         let mut s = engine.streamer().unwrap();
         s.push(b"abcabc").unwrap();
         let one = s.seconds();
+        assert!(one > 0.0);
         s.push(b"abcabc").unwrap();
         assert!(s.seconds() > one);
+    }
+
+    #[test]
+    fn seconds_cover_only_consumed_bytes() {
+        // A long-literal pattern gave the old scanner a 7-byte tail to
+        // re-scan on every push; the carry scanner prices identical
+        // chunks identically, with nothing re-scanned.
+        let engine = BitGen::compile(&["abcdefgh"]).unwrap();
+        let mut s = engine.streamer().unwrap();
+        s.push(&[b'x'; 64]).unwrap();
+        let first = s.seconds();
+        s.push(&[b'x'; 64]).unwrap();
+        let second = s.seconds() - first;
+        assert_eq!(first.to_bits(), second.to_bits());
+        assert_eq!(s.bytes_rescanned(), 0);
     }
 }

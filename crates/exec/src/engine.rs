@@ -9,7 +9,8 @@ use crate::segment::{intermediate_count, segment_program, Segment, SegmentKind};
 use bitgen_bitstream::{compile_class, Basis, BitStream};
 use bitgen_gpu::{Cta, FaultPlan, RaceError, WindowInputs};
 use bitgen_ir::{
-    try_interpret, DefUse, InterpError, Interrupt, Op, Program, RunControl, Stmt, StreamId,
+    carry_slot_count, try_interpret, try_interpret_chunk, CarryState, DefUse, InterpError,
+    Interrupt, Op, Program, RunControl, Stmt, StreamId,
 };
 use bitgen_kernel::{compile, CodegenOptions, WORD_BITS};
 use bitgen_passes::{
@@ -335,7 +336,7 @@ pub fn execute_prepared(
     basis: &Basis,
     config: &ExecConfig,
 ) -> Result<ExecOutcome, ExecError> {
-    execute_prepared_with(prog, basis, config, &mut ExecScratch::new())
+    execute_prepared_with(prog, basis, config, &mut ExecScratch::new(), None)
 }
 
 /// Re-entrant variant of [`execute_prepared`] drawing its intermediate
@@ -345,6 +346,16 @@ pub fn execute_prepared(
 /// scratch only changes where buffers are allocated. Scan sessions hold
 /// one scratch per worker thread and reuse it across calls.
 ///
+/// With `carry: Some(..)` the call executes one *streaming window*: the
+/// basis is a single chunk of a longer input, shift/add carries are read
+/// from and accumulated into the [`CarryState`]
+/// (built by [`CarryState::for_program`] and
+/// [rotated](CarryState::rotate) between windows by the caller), and the
+/// whole program runs on the sequential instruction-at-a-time path —
+/// fused windowed execution assumes whole-stream inputs and is skipped.
+/// Streaming callers must pass *untransformed* programs (shift
+/// rebalancing introduces non-causal retreats that cannot stream).
+///
 /// # Errors
 ///
 /// Same as [`execute`].
@@ -353,8 +364,9 @@ pub fn execute_prepared_with(
     basis: &Basis,
     config: &ExecConfig,
     scratch: &mut ExecScratch,
+    carry: Option<&mut CarryState>,
 ) -> Result<ExecOutcome, ExecError> {
-    execute_prepared_ctl(prog, basis, config, scratch, &RunControl::unlimited())
+    execute_prepared_ctl(prog, basis, config, scratch, &RunControl::unlimited(), carry)
 }
 
 /// Fully-controlled execution: [`execute_prepared_with`] plus a
@@ -378,7 +390,11 @@ pub fn execute_prepared_ctl(
     config: &ExecConfig,
     scratch: &mut ExecScratch,
     ctl: &RunControl,
+    carry: Option<&mut CarryState>,
 ) -> Result<ExecOutcome, ExecError> {
+    if let Some(carry) = carry {
+        return execute_streaming_window(prog, basis, config, scratch, ctl, carry);
+    }
     let segments = segment_program(prog, config.scheme);
     let stream_len = Program::stream_len(basis.len());
     let mut metrics = ExecMetrics {
@@ -443,6 +459,57 @@ pub fn execute_prepared_ctl(
         }
     }
     Ok(ExecOutcome { outputs, metrics, fault_fired })
+}
+
+/// One streaming window of `prog` over a chunk basis: the whole program
+/// runs sequentially (instruction at a time) with cross-chunk carries —
+/// the carry-parameterised branch of [`execute_prepared_ctl`].
+///
+/// On error the carry state may hold a partially-accumulated window;
+/// the stream must be considered dead (callers cannot resume it).
+fn execute_streaming_window(
+    prog: &Program,
+    basis: &Basis,
+    config: &ExecConfig,
+    scratch: &mut ExecScratch,
+    ctl: &RunControl,
+    carry: &mut CarryState,
+) -> Result<ExecOutcome, ExecError> {
+    let stream_len = Program::stream_len(basis.len());
+    let mut metrics = ExecMetrics { segments: 1, threads: config.threads, ..ExecMetrics::default() };
+    scratch.env.clear();
+    let reference = config.cross_check.then(|| carry.fork());
+    {
+        let mut seq = SeqExec {
+            basis,
+            env: &mut scratch.env,
+            metrics: &mut metrics,
+            stream_len,
+            passes: stream_len.div_ceil(config.window_bits()) as u64,
+            words: stream_len.div_ceil(WORD_BITS) as u64,
+            ctl,
+            carry: Some(SeqCarry { state: carry, next: 0 }),
+        };
+        seq.run(prog.stmts())?;
+    }
+    let resident: usize = scratch.env.values().map(|s| s.len().div_ceil(8)).sum();
+    metrics.peak_materialized_bytes = metrics.peak_materialized_bytes.max(resident);
+    let outputs: Vec<BitStream> = prog
+        .outputs()
+        .iter()
+        .map(|id| scratch.env.get(id).cloned().unwrap_or_else(|| BitStream::zeros(stream_len)))
+        .collect();
+    scratch.recycle();
+    if let Some(mut fork) = reference {
+        let want = try_interpret_chunk(prog, basis, ctl, &mut fork)?;
+        for (i, (got, want)) in outputs.iter().zip(&want.outputs).enumerate() {
+            if got != want {
+                return Err(ExecError::CrossCheckMismatch { output: i });
+            }
+        }
+        debug_assert_eq!(fork, *carry, "streaming carry state diverged from the reference");
+    }
+    Ok(ExecOutcome { outputs, metrics, fault_fired: false })
 }
 
 /// Mutable state threaded through one execution: the run's metrics, its
@@ -603,8 +670,24 @@ fn run_sequential(
         passes,
         words,
         ctl: cx.ctl,
+        carry: None,
     };
     seq.run(&seg.stmts)
+}
+
+/// Streaming slot walk mirrored by [`SeqExec`] — see
+/// [`CarryState::for_program`] for the layout contract.
+struct SeqCarry<'a> {
+    state: &'a mut CarryState,
+    next: usize,
+}
+
+impl SeqCarry<'_> {
+    fn take_slot(&mut self) -> usize {
+        let s = self.next;
+        self.next += 1;
+        s
+    }
 }
 
 struct SeqExec<'a> {
@@ -617,6 +700,9 @@ struct SeqExec<'a> {
     /// 32-bit words per full stream.
     words: u64,
     ctl: &'a RunControl,
+    /// `Some` when executing one streaming window with cross-chunk
+    /// carries; `None` for ordinary whole-stream sequential segments.
+    carry: Option<SeqCarry<'a>>,
 }
 
 impl SeqExec<'_> {
@@ -629,15 +715,31 @@ impl SeqExec<'_> {
                 Stmt::Op(op) => self.exec(op)?,
                 Stmt::If { cond, body } => {
                     self.metrics.counters.reductions += 1;
-                    if self.get(*cond)?.any() {
+                    // Streaming: a pending carry inside the body means a
+                    // marker crossed the chunk boundary, so the body must
+                    // run even when its guard is locally empty.
+                    let (pending, layout) = self.body_carry(body);
+                    if self.get(*cond)?.any() || pending {
                         self.run(body)?;
                     } else {
                         self.metrics.counters.skipped_ops += count_ops(body) * self.passes;
+                        if let (Some(c), Some((start, count))) = (&mut self.carry, layout) {
+                            c.next = start + count;
+                        }
                     }
                 }
                 Stmt::While { cond, body } => {
-                    let mut fuel = self.stream_len + 2;
-                    while self.get(*cond)?.any() {
+                    let (pending, layout) = self.body_carry(body);
+                    let mut force = pending;
+                    let mut fuel = self.stream_len + 2 + usize::from(force);
+                    loop {
+                        if let (Some(c), Some((start, _))) = (&mut self.carry, layout) {
+                            c.next = start;
+                        }
+                        if !(self.get(*cond)?.any() || force) {
+                            break;
+                        }
+                        force = false;
                         if fuel == 0 {
                             return Err(ExecError::FixpointDiverged);
                         }
@@ -646,10 +748,26 @@ impl SeqExec<'_> {
                         self.run(body)?;
                     }
                     self.metrics.counters.reductions += 1;
+                    if let (Some(c), Some((start, count))) = (&mut self.carry, layout) {
+                        c.next = start + count;
+                    }
                 }
             }
         }
         Ok(())
+    }
+
+    /// Slot-walk bookkeeping for a guarded body: whether any of its
+    /// incoming carries are pending and where its slots start.
+    fn body_carry(&mut self, body: &[Stmt]) -> (bool, Option<(usize, usize)>) {
+        match &self.carry {
+            None => (false, None),
+            Some(c) => {
+                let start = c.next;
+                let count = carry_slot_count(body);
+                (c.state.pending(start..start + count), Some((start, count)))
+            }
+        }
     }
 
     fn exec(&mut self, op: &Op) -> Result<(), ExecError> {
@@ -678,10 +796,29 @@ impl SeqExec<'_> {
             }
             Op::And { a, b, .. } => self.get(*a)?.and(self.get(*b)?),
             Op::Or { a, b, .. } => self.get(*a)?.or(self.get(*b)?),
-            Op::Add { a, b, .. } => self.get(*a)?.add(self.get(*b)?),
+            Op::Add { a, b, .. } => {
+                let (sa, sb) = (fetch(self.env, *a)?, fetch(self.env, *b)?);
+                match &mut self.carry {
+                    Some(c) => {
+                        let slot = c.take_slot();
+                        c.state.add_through(slot, sa, sb)
+                    }
+                    None => sa.add(sb),
+                }
+            }
             Op::Xor { a, b, .. } => self.get(*a)?.xor(self.get(*b)?),
             Op::Not { src, .. } => self.get(*src)?.not(),
-            Op::Advance { src, amount, .. } => self.get(*src)?.advance(*amount as usize),
+            Op::Advance { src, amount, .. } => {
+                let k = *amount as usize;
+                let s = fetch(self.env, *src)?;
+                match &mut self.carry {
+                    Some(c) => {
+                        let slot = c.take_slot();
+                        c.state.advance_through(slot, s, k)
+                    }
+                    None => s.advance(k),
+                }
+            }
             Op::Retreat { src, amount, .. } => self.get(*src)?.retreat(*amount as usize),
             Op::Assign { src, .. } => self.get(*src)?.clone(),
             Op::Zero { .. } => BitStream::zeros(self.stream_len),
@@ -692,8 +829,14 @@ impl SeqExec<'_> {
     }
 
     fn get(&self, id: StreamId) -> Result<&BitStream, ExecError> {
-        self.env.get(&id).ok_or(ExecError::UnwrittenStream { id })
+        fetch(self.env, id)
     }
+}
+
+/// [`SeqExec::get`] without borrowing the whole executor, so carry ops
+/// can hold a stream reference while mutating the carry walk.
+fn fetch(env: &HashMap<StreamId, BitStream>, id: StreamId) -> Result<&BitStream, ExecError> {
+    env.get(&id).ok_or(ExecError::UnwrittenStream { id })
 }
 
 fn count_ops(stmts: &[Stmt]) -> u64 {
@@ -934,11 +1077,11 @@ mod tests {
         // Warm the scratch, record its footprint, then re-scan: outputs
         // and metrics must match the fresh path bit for bit, and the
         // pooled capacity must stop growing.
-        let first = execute_prepared_with(&prog, &basis, &config, &mut scratch).unwrap();
+        let first = execute_prepared_with(&prog, &basis, &config, &mut scratch, None).unwrap();
         let warm_words = scratch.pooled_words();
         let warm_streams = scratch.pooled_streams();
         for _ in 0..3 {
-            let again = execute_prepared_with(&prog, &basis, &config, &mut scratch).unwrap();
+            let again = execute_prepared_with(&prog, &basis, &config, &mut scratch, None).unwrap();
             assert_eq!(again.outputs, fresh.outputs);
             assert_eq!(again.metrics, fresh.metrics);
             assert_eq!(scratch.pooled_words(), warm_words);
@@ -971,7 +1114,7 @@ mod tests {
             let config = ExecConfig { scheme, threads: 4, ..ExecConfig::default() };
             apply_transforms(&mut prog, &config);
             let err =
-                execute_prepared_ctl(&prog, &basis, &config, &mut ExecScratch::new(), &ctl)
+                execute_prepared_ctl(&prog, &basis, &config, &mut ExecScratch::new(), &ctl, None)
                     .unwrap_err();
             assert_eq!(err, ExecError::Cancelled, "scheme {scheme}");
         }
@@ -987,14 +1130,81 @@ mod tests {
         apply_transforms(&mut prog, &config);
         let expired =
             RunControl::unlimited().with_deadline(Instant::now() - Duration::from_secs(1));
-        let err = execute_prepared_ctl(&prog, &basis, &config, &mut ExecScratch::new(), &expired)
+        let err = execute_prepared_ctl(&prog, &basis, &config, &mut ExecScratch::new(), &expired, None)
             .unwrap_err();
         assert_eq!(err, ExecError::DeadlineExceeded);
         // A lax deadline leaves results untouched.
         let lax = RunControl::unlimited().deadline_in(Duration::from_secs(3600));
-        let out = execute_prepared_ctl(&prog, &basis, &config, &mut ExecScratch::new(), &lax)
+        let out = execute_prepared_ctl(&prog, &basis, &config, &mut ExecScratch::new(), &lax, None)
             .unwrap();
         assert_eq!(out.outputs, execute_prepared(&prog, &basis, &config).unwrap().outputs);
+    }
+
+    fn stream_in_chunks(
+        prog: &Program,
+        input: &[u8],
+        chunk: usize,
+        config: &ExecConfig,
+    ) -> Vec<usize> {
+        let mut carry = CarryState::for_program(prog);
+        let mut scratch = ExecScratch::new();
+        let mut ends = Vec::new();
+        let mut off = 0usize;
+        for c in input.chunks(chunk.max(1)) {
+            let basis = Basis::transpose(c);
+            let out = execute_prepared_with(prog, &basis, config, &mut scratch, Some(&mut carry))
+                .unwrap();
+            ends.extend(out.union().positions().into_iter().filter(|&p| p < c.len()).map(|p| off + p));
+            carry.rotate();
+            off += c.len();
+        }
+        ends
+    }
+
+    #[test]
+    fn streaming_windows_match_batch_execution() {
+        // The carry-parameterised executor path agrees with whole-stream
+        // interpretation under every chunking, unbounded patterns included.
+        for (pat, input) in [
+            ("a+b", &b"xaaab aab b ab"[..]),
+            ("a(bc)*d", b"adxabcd.abcbcbcd"),
+            ("a{2,}", b"aaaa a aaa"),
+            ("(a|bb)*c", b"abbac bbc c"),
+        ] {
+            let prog = lower(&parse(pat).unwrap());
+            let batch = interpret(&prog, &Basis::transpose(input)).union().positions();
+            for chunk in [1usize, 2, 3, 7, 64] {
+                // cross_check = true replays every window through the
+                // reference chunk interpreter.
+                let config = ExecConfig { cross_check: true, ..ExecConfig::default() };
+                assert_eq!(
+                    stream_in_chunks(&prog, input, chunk, &config),
+                    batch,
+                    "pattern {pat:?} chunk {chunk}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_window_errors_propagate() {
+        use bitgen_ir::CancelToken;
+        let prog = lower(&parse("a+b").unwrap());
+        let basis = Basis::transpose(b"aaab");
+        let mut carry = CarryState::for_program(&prog);
+        let token = CancelToken::new();
+        token.cancel();
+        let ctl = RunControl::unlimited().with_cancel(token);
+        let err = execute_prepared_ctl(
+            &prog,
+            &basis,
+            &ExecConfig::default(),
+            &mut ExecScratch::new(),
+            &ctl,
+            Some(&mut carry),
+        )
+        .unwrap_err();
+        assert_eq!(err, ExecError::Cancelled);
     }
 
     #[test]

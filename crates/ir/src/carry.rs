@@ -1,0 +1,267 @@
+//! Cross-chunk carry state for streaming execution.
+//!
+//! Batch execution sees the whole input at once, so every `Advance` can
+//! read arbitrarily far back and every `while` runs to a global fixpoint.
+//! Streaming hands the executor one chunk at a time; the only state that
+//! must survive between chunks is, per shift-like instruction, the bits
+//! that cross the chunk boundary — the same cross-block dependency the
+//! paper's windows resolve, lifted to the host-streaming layer.
+//!
+//! A [`CarryState`] holds one slot per carry-bearing instruction:
+//!
+//! - `Advance(src, k)` keeps the last `k` bits of `src`'s history (the
+//!   bits a shift would pull in from before the current window);
+//! - `Add(a, b)` keeps a single bit: the carry of the long addition into
+//!   the window boundary.
+//!
+//! `Retreat` gets **no** slot: lowering only ever emits `retreat(_, 1)`
+//! at top level to normalise cursor streams into match-end outputs, and
+//! the one-past-the-chunk "peek" position every window carries (see
+//! `Program::stream_len`) makes that read exact — [`CarryState::for_program`]
+//! enforces the structural invariant.
+//!
+//! Executors walk a program's carry-bearing ops in pre-order, mirroring
+//! the slot layout built here; while-loop bodies rewind to their first
+//! slot on every trip, and slots written inside a loop accumulate their
+//! carry-out across trips by OR (sound because the loop computes a
+//! monotone reachability closure — see DESIGN.md §10).
+
+use crate::program::{Op, Program, Stmt};
+use bitgen_bitstream::BitStream;
+use std::ops::Range;
+
+/// Per-instruction carry slots threaded between consecutive chunks.
+///
+/// The state is double-buffered: during a window the executor *reads*
+/// each slot's incoming carry (produced by the previous window) and
+/// *accumulates* its outgoing carry; [`CarryState::rotate`] flips the
+/// buffers once the window completes. A freshly built state has all
+/// slots zero, which is exactly the before-start-of-stream semantics of
+/// batch execution (shifts pull in zeros, additions start carry-less).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CarryState {
+    slots: Vec<Slot>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Slot {
+    /// Carry entering the current window; read-only while executing.
+    incoming: BitStream,
+    /// Carry accumulated for the next window.
+    outgoing: BitStream,
+}
+
+impl Slot {
+    fn new(width: usize) -> Slot {
+        Slot { incoming: BitStream::zeros(width), outgoing: BitStream::zeros(width) }
+    }
+}
+
+impl CarryState {
+    /// Builds a zeroed carry state with one slot per carry-bearing
+    /// instruction of `program`, in pre-order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program is not streamable: every `Retreat` must be
+    /// the top-level `retreat(cursors, 1)` output normalisation that
+    /// lowering emits (amount 1, destination is an output that is never
+    /// read back). Transformed programs (shift rebalancing introduces
+    /// non-causal retreats) must not be streamed — stream the untransformed
+    /// lowering instead.
+    pub fn for_program(program: &Program) -> CarryState {
+        let mut reads = vec![false; program.num_streams() as usize];
+        program.for_each_op(&mut |op| {
+            for src in op.sources() {
+                reads[src.index()] = true;
+            }
+        });
+        let mut slots = Vec::new();
+        build_slots(program.stmts(), true, &mut |op, top_level| match op {
+            Op::Advance { amount, .. } => slots.push(Slot::new(*amount as usize)),
+            Op::Add { .. } => slots.push(Slot::new(1)),
+            Op::Retreat { dst, amount, .. } => {
+                assert!(
+                    top_level
+                        && *amount == 1
+                        && program.outputs().contains(dst)
+                        && !reads[dst.index()],
+                    "program is not streamable: Retreat is only supported as the \
+                     top-level output normalisation `retreat(cursors, 1)`"
+                );
+            }
+            _ => {}
+        });
+        CarryState { slots }
+    }
+
+    /// Number of carry slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Flips the buffers after a window: this window's carry-out becomes
+    /// the next window's carry-in, and the outgoing side is zeroed.
+    pub fn rotate(&mut self) {
+        for s in &mut self.slots {
+            std::mem::swap(&mut s.incoming, &mut s.outgoing);
+            let w = s.outgoing.len();
+            s.outgoing.reset_zeros(w);
+        }
+    }
+
+    /// A copy with the same incoming carries and zeroed outgoing side —
+    /// lets a reference interpreter replay the window for cross-checking
+    /// without disturbing the live state.
+    pub fn fork(&self) -> CarryState {
+        let mut f = self.clone();
+        for s in &mut f.slots {
+            let w = s.outgoing.len();
+            s.outgoing.reset_zeros(w);
+        }
+        f
+    }
+
+    /// `true` if any incoming carry in `range` is pending. Guards use
+    /// this to run a body whose condition is locally empty but which owes
+    /// work to a marker that crossed the chunk boundary.
+    pub fn pending(&self, range: Range<usize>) -> bool {
+        self.slots[range].iter().any(|s| s.incoming.any())
+    }
+
+    /// Executes `Advance(src, k)` through slot `slot`: injects the
+    /// incoming history into the vacated low positions and accumulates
+    /// the outgoing history (the last `k` bits of the window, excluding
+    /// the provisional peek position).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot width disagrees with `k` (wrong slot walk) or
+    /// the window is empty.
+    pub fn advance_through(&mut self, slot: usize, src: &BitStream, k: usize) -> BitStream {
+        let s = &mut self.slots[slot];
+        debug_assert_eq!(s.incoming.len(), k, "carry slot width mismatch");
+        let out = src.advance_with_carry(k, &s.incoming);
+        let consumed = src.len().checked_sub(1).expect("window must hold the peek position");
+        s.outgoing = s.outgoing.or(&src.history_tail(&s.incoming, consumed));
+        out
+    }
+
+    /// Executes `Add(a, b)` through slot `slot`: injects the incoming
+    /// carry below bit 0 and accumulates the carry into the window
+    /// boundary (the peek position) as carry-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn add_through(&mut self, slot: usize, a: &BitStream, b: &BitStream) -> BitStream {
+        let s = &mut self.slots[slot];
+        let boundary = a.len().checked_sub(1).expect("window must hold the peek position");
+        let (sum, carry_out) = a.add_with_carry(b, s.incoming.get(0), boundary);
+        if carry_out {
+            s.outgoing.set(0, true);
+        }
+        sum
+    }
+}
+
+/// Number of carry slots the statements would occupy — the executor's
+/// counterpart to [`CarryState::for_program`]'s layout, used to skip or
+/// rewind over `if`/`while` bodies.
+pub fn carry_slot_count(stmts: &[Stmt]) -> usize {
+    let mut n = 0;
+    build_slots(stmts, false, &mut |op, _| {
+        if matches!(op, Op::Advance { .. } | Op::Add { .. }) {
+            n += 1;
+        }
+    });
+    n
+}
+
+fn build_slots(stmts: &[Stmt], top_level: bool, f: &mut impl FnMut(&Op, bool)) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Op(op) => f(op, top_level),
+            Stmt::If { body, .. } | Stmt::While { body, .. } => build_slots(body, false, f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{lower, lower_group_with, LowerOptions};
+    use bitgen_regex::parse;
+
+    #[test]
+    fn slot_layout_counts_shifts_and_adds() {
+        let prog = lower(&parse("a(bc)*d").unwrap());
+        let state = CarryState::for_program(&prog);
+        // Every Advance in the program gets a slot; the lone Retreat
+        // (output normalisation) gets none.
+        let mut advances = 0;
+        prog.for_each_op(&mut |op| {
+            if matches!(op, Op::Advance { .. } | Op::Add { .. }) {
+                advances += 1;
+            }
+        });
+        assert_eq!(state.slot_count(), advances);
+        assert_eq!(carry_slot_count(prog.stmts()), advances);
+    }
+
+    #[test]
+    fn match_star_programs_have_add_slots() {
+        let asts = vec![parse("a*b").unwrap()];
+        let opts = LowerOptions { match_star: true, ..LowerOptions::default() };
+        let prog = lower_group_with(&asts, opts);
+        let state = CarryState::for_program(&prog);
+        assert!(state.slot_count() > 0);
+    }
+
+    #[test]
+    fn rotate_moves_outgoing_to_incoming() {
+        let prog = lower(&parse("ab").unwrap());
+        let mut state = CarryState::for_program(&prog);
+        assert!(state.slot_count() > 0);
+        let window = BitStream::from_positions(5, &[3]);
+        let out = state.advance_through(0, &window, 1);
+        assert_eq!(out.positions(), vec![4]);
+        // Bit 3 is the last consumed position (4 is the peek), so the
+        // outgoing history for a 1-bit slot is the bit at position 3.
+        assert!(!state.pending(0..1));
+        state.rotate();
+        assert!(state.pending(0..1));
+        let next = state.advance_through(0, &BitStream::zeros(5), 1);
+        assert_eq!(next.positions(), vec![0]);
+    }
+
+    #[test]
+    fn fork_keeps_incoming_only() {
+        let prog = lower(&parse("ab").unwrap());
+        let mut state = CarryState::for_program(&prog);
+        let window = BitStream::from_positions(5, &[3]);
+        state.advance_through(0, &window, 1);
+        state.rotate();
+        state.advance_through(0, &window, 1);
+        let fork = state.fork();
+        assert!(fork.pending(0..1));
+        let mut replay = fork.clone();
+        replay.advance_through(0, &window, 1);
+        assert_eq!(replay, state);
+    }
+
+    #[test]
+    #[should_panic(expected = "not streamable")]
+    fn rejects_non_output_retreats() {
+        use crate::program::{Op, Program, Stmt, StreamId};
+        let prog = Program::new(
+            vec![
+                Stmt::Op(Op::Ones { dst: StreamId(0) }),
+                Stmt::Op(Op::Retreat { dst: StreamId(1), src: StreamId(0), amount: 2 }),
+            ],
+            2,
+            vec![StreamId(1)],
+        );
+        CarryState::for_program(&prog);
+    }
+}

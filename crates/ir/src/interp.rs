@@ -5,6 +5,7 @@
 //! with. Also records the loop trip counts used to validate the dynamic
 //! overlap analysis.
 
+use crate::carry::{carry_slot_count, CarryState};
 use crate::control::{Interrupt, RunControl};
 use crate::program::{Op, Program, Stmt, StreamId};
 use bitgen_bitstream::{compile_class, Basis, BitStream};
@@ -119,6 +120,63 @@ pub fn try_interpret(
     basis: &Basis,
     ctl: &RunControl,
 ) -> Result<InterpResult, InterpError> {
+    run_env(program, basis, ctl, None)
+}
+
+/// Interprets one streaming window of `program` with cross-chunk carries.
+///
+/// `basis` is the transposition of a single chunk; all streams span
+/// `chunk.len() + 1` positions, the last being a provisional *peek*
+/// position whose class bits are unknown (zero). Shift and add carries
+/// are read from and accumulated into `carry`
+/// (see [`CarryState::for_program`]); the caller must
+/// [`rotate`](CarryState::rotate) the state between consecutive windows.
+///
+/// Only output bits below `chunk.len()` are final for this window — the
+/// peek position is recomputed as position 0 of the next window, and the
+/// final window's peek coincides with the batch sentinel, so streaming a
+/// whole input chunk by chunk reproduces batch interpretation bit for bit
+/// with no flush step. While-loops run to a *local* fixpoint per window;
+/// bodies whose condition is locally empty still execute once when a
+/// carry slot inside them is pending.
+///
+/// # Examples
+///
+/// ```
+/// use bitgen_regex::parse;
+/// use bitgen_ir::{lower, try_interpret_chunk, CarryState, RunControl};
+/// use bitgen_bitstream::Basis;
+///
+/// let prog = lower(&parse("a+b").unwrap()); // unbounded: fine to stream
+/// let mut carry = CarryState::for_program(&prog);
+/// let mut ends = Vec::new();
+/// let mut off = 0;
+/// for chunk in [&b"xa"[..], b"aa", b"b."] {
+///     let r = try_interpret_chunk(&prog, &Basis::transpose(chunk),
+///                                 &RunControl::unlimited(), &mut carry)?;
+///     ends.extend(r.union().positions().into_iter()
+///         .filter(|&p| p < chunk.len()).map(|p| off + p));
+///     carry.rotate();
+///     off += chunk.len();
+/// }
+/// assert_eq!(ends, vec![4]); // the `b` of "xaaab."
+/// # Ok::<(), bitgen_ir::InterpError>(())
+/// ```
+pub fn try_interpret_chunk(
+    program: &Program,
+    basis: &Basis,
+    ctl: &RunControl,
+    carry: &mut CarryState,
+) -> Result<InterpResult, InterpError> {
+    run_env(program, basis, ctl, Some(CarryRun { state: carry, next: 0 }))
+}
+
+fn run_env(
+    program: &Program,
+    basis: &Basis,
+    ctl: &RunControl,
+    carry: Option<CarryRun<'_>>,
+) -> Result<InterpResult, InterpError> {
     let len = Program::stream_len(basis.len());
     let mut env = Env {
         vars: vec![None; program.num_streams() as usize],
@@ -126,6 +184,7 @@ pub fn try_interpret(
         len,
         loop_trips: 0,
         ops_executed: 0,
+        carry,
     };
     env.run(program.stmts(), ctl)?;
     let mut outputs = Vec::with_capacity(program.outputs().len());
@@ -135,12 +194,26 @@ pub fn try_interpret(
     Ok(InterpResult { outputs, loop_trips: env.loop_trips, ops_executed: env.ops_executed })
 }
 
+struct CarryRun<'a> {
+    state: &'a mut CarryState,
+    next: usize,
+}
+
+impl CarryRun<'_> {
+    fn take_slot(&mut self) -> usize {
+        let s = self.next;
+        self.next += 1;
+        s
+    }
+}
+
 struct Env<'a> {
     vars: Vec<Option<BitStream>>,
     basis: &'a Basis,
     len: usize,
     loop_trips: usize,
     ops_executed: usize,
+    carry: Option<CarryRun<'a>>,
 }
 
 impl Env<'_> {
@@ -152,22 +225,45 @@ impl Env<'_> {
             match stmt {
                 Stmt::Op(op) => self.exec(op)?,
                 Stmt::If { cond, body } => {
-                    if self.get(*cond)?.any() {
+                    // A pending carry inside the body means a marker
+                    // crossed the chunk boundary: the body must run even
+                    // if the guard is locally empty. Skipping leaves the
+                    // body's outgoing carries zero, which is exactly the
+                    // no-marker semantics.
+                    let (pending, layout) = self.body_carry(body);
+                    if self.get(*cond)?.any() || pending {
                         self.run(body, ctl)?;
+                    } else if let (Some(run), Some((start, count))) =
+                        (&mut self.carry, layout)
+                    {
+                        run.next = start + count;
                     }
                 }
                 Stmt::While { cond, body } => {
                     // Defend against non-terminating programs from bad
                     // transforms: a marker fixpoint can never need more
-                    // trips than there are positions.
-                    let mut fuel = self.len + 2;
-                    while self.get(*cond)?.any() {
+                    // trips than there are positions (plus one forced
+                    // trip when a cross-chunk carry is pending).
+                    let (pending, layout) = self.body_carry(body);
+                    let mut force = pending;
+                    let mut fuel = self.len + 2 + usize::from(force);
+                    loop {
+                        if let (Some(run), Some((start, _))) = (&mut self.carry, layout) {
+                            run.next = start;
+                        }
+                        if !(self.get(*cond)?.any() || force) {
+                            break;
+                        }
+                        force = false;
                         if fuel == 0 {
                             return Err(InterpError::FixpointDiverged);
                         }
                         fuel -= 1;
                         self.loop_trips += 1;
                         self.run(body, ctl)?;
+                    }
+                    if let (Some(run), Some((start, count))) = (&mut self.carry, layout) {
+                        run.next = start + count;
                     }
                 }
             }
@@ -183,10 +279,29 @@ impl Env<'_> {
             }
             Op::And { a, b, .. } => self.get(*a)?.and(self.get(*b)?),
             Op::Or { a, b, .. } => self.get(*a)?.or(self.get(*b)?),
-            Op::Add { a, b, .. } => self.get(*a)?.add(self.get(*b)?),
+            Op::Add { a, b, .. } => {
+                let (sa, sb) = (fetch(&self.vars, *a)?, fetch(&self.vars, *b)?);
+                match &mut self.carry {
+                    Some(run) => {
+                        let slot = run.take_slot();
+                        run.state.add_through(slot, sa, sb)
+                    }
+                    None => sa.add(sb),
+                }
+            }
             Op::Xor { a, b, .. } => self.get(*a)?.xor(self.get(*b)?),
             Op::Not { src, .. } => self.get(*src)?.not(),
-            Op::Advance { src, amount, .. } => self.get(*src)?.advance(*amount as usize),
+            Op::Advance { src, amount, .. } => {
+                let k = *amount as usize;
+                let s = fetch(&self.vars, *src)?;
+                match &mut self.carry {
+                    Some(run) => {
+                        let slot = run.take_slot();
+                        run.state.advance_through(slot, s, k)
+                    }
+                    None => s.advance(k),
+                }
+            }
             Op::Retreat { src, amount, .. } => self.get(*src)?.retreat(*amount as usize),
             Op::Assign { src, .. } => self.get(*src)?.clone(),
             Op::Zero { .. } => BitStream::zeros(self.len),
@@ -196,11 +311,28 @@ impl Env<'_> {
         Ok(())
     }
 
-    fn get(&self, id: StreamId) -> Result<&BitStream, InterpError> {
-        self.vars[id.index()]
-            .as_ref()
-            .ok_or(InterpError::UnwrittenStream { id })
+    /// Slot-walk bookkeeping for a guarded body: whether any of its
+    /// incoming carries are pending and where its slots start.
+    fn body_carry(&mut self, body: &[Stmt]) -> (bool, Option<(usize, usize)>) {
+        match &self.carry {
+            None => (false, None),
+            Some(run) => {
+                let start = run.next;
+                let count = carry_slot_count(body);
+                (run.state.pending(start..start + count), Some((start, count)))
+            }
+        }
     }
+
+    fn get(&self, id: StreamId) -> Result<&BitStream, InterpError> {
+        fetch(&self.vars, id)
+    }
+}
+
+/// [`Env::get`] without borrowing the whole environment, so ops can hold
+/// a stream reference while mutating the carry state.
+fn fetch(vars: &[Option<BitStream>], id: StreamId) -> Result<&BitStream, InterpError> {
+    vars[id.index()].as_ref().ok_or(InterpError::UnwrittenStream { id })
 }
 
 #[cfg(test)]
@@ -308,6 +440,89 @@ mod tests {
         let err = try_interpret(&prog, &Basis::transpose(b"x"), &RunControl::unlimited())
             .unwrap_err();
         assert_eq!(err, InterpError::UnwrittenStream { id: StreamId(0) });
+    }
+
+    fn chunked_union(prog: &crate::program::Program, input: &[u8], sizes: &[usize]) -> Vec<usize> {
+        let mut carry = CarryState::for_program(prog);
+        let mut ends = Vec::new();
+        let mut off = 0usize;
+        let mut rest = input;
+        let mut i = 0usize;
+        while !rest.is_empty() {
+            let take = sizes[i % sizes.len()].min(rest.len());
+            i += 1;
+            if take == 0 {
+                continue;
+            }
+            let (chunk, tail) = rest.split_at(take);
+            rest = tail;
+            let r = try_interpret_chunk(
+                prog,
+                &Basis::transpose(chunk),
+                &RunControl::unlimited(),
+                &mut carry,
+            )
+            .unwrap();
+            ends.extend(
+                r.union().positions().into_iter().filter(|&p| p < chunk.len()).map(|p| off + p),
+            );
+            carry.rotate();
+            off += chunk.len();
+        }
+        ends
+    }
+
+    #[test]
+    fn chunked_interpretation_matches_batch() {
+        for (pat, input) in [
+            ("a+b", &b"xaaab aab b ab"[..]),
+            ("a(bc)*d", b"adxabcd.abcbcbcd"),
+            ("a{2,}", b"aaaa a aaa"),
+            ("(a|bb)*c", b"abbac bbc c"),
+            (".a.", b"xaxya\n a"),
+            ("ab", b"xxab"),
+            ("[a-c]+[0-9]", b"abc9 x1 c2"),
+        ] {
+            let prog = lower(&parse(pat).unwrap());
+            let batch = interpret(&prog, &Basis::transpose(input)).union().positions();
+            for sizes in [&[1usize][..], &[2], &[3], &[5, 1], &[7, 2], &[64], &[100]] {
+                let got = chunked_union(&prog, input, sizes);
+                assert_eq!(got, batch, "pattern {pat:?} chunk sizes {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_match_star_carries_additions() {
+        use crate::lower::{lower_group_with, LowerOptions};
+        let opts = LowerOptions { match_star: true, ..LowerOptions::default() };
+        for (pat, input) in [("a*b", &b"baaab aab"[..]), ("x[ab]*y", b"xy xabay xaaaaay")] {
+            let prog = lower_group_with(&[parse(pat).unwrap()], opts);
+            let batch = interpret(&prog, &Basis::transpose(input)).union().positions();
+            for sizes in [&[1usize][..], &[2], &[3, 1], &[5]] {
+                assert_eq!(
+                    chunked_union(&prog, input, sizes),
+                    batch,
+                    "pattern {pat:?} chunk sizes {sizes:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_chunk_equals_batch_interpretation() {
+        let prog = lower(&parse("a(bc)*d").unwrap());
+        let input = b"abcbcd ad";
+        let batch = interpret(&prog, &Basis::transpose(input));
+        let mut carry = CarryState::for_program(&prog);
+        let chunked = try_interpret_chunk(
+            &prog,
+            &Basis::transpose(input),
+            &RunControl::unlimited(),
+            &mut carry,
+        )
+        .unwrap();
+        assert_eq!(chunked.outputs, batch.outputs);
     }
 
     #[test]

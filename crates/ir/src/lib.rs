@@ -31,6 +31,7 @@
 
 mod analysis;
 mod builder;
+mod carry;
 mod control;
 mod interp;
 mod limits;
@@ -42,8 +43,9 @@ mod verify;
 
 pub use analysis::DefUse;
 pub use builder::ProgramBuilder;
+pub use carry::{carry_slot_count, CarryState};
 pub use control::{CancelToken, Interrupt, RunControl};
-pub use interp::{interpret, try_interpret, InterpError, InterpResult};
+pub use interp::{interpret, try_interpret, try_interpret_chunk, InterpError, InterpResult};
 pub use limits::{CompileLimits, LimitError};
 pub use lower::{
     lower, lower_group, lower_group_checked, lower_group_with, strip_nullable, LowerOptions,

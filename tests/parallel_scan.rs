@@ -54,7 +54,18 @@ fn assert_reports_identical(a: &[ScanReport], b: &[ScanReport], what: &str) {
             y.cost.barrier_stall_frac.to_bits(),
             "{what}: barrier stall of stream {i}"
         );
-        assert_eq!(x.metrics, y.metrics, "{what}: metrics of stream {i}");
+        // Per-CTA metrics carry the engine's compile-time pass record,
+        // whose wall-clock nanos legitimately differ between separately
+        // compiled engines; everything else must agree to the bit.
+        assert_eq!(x.metrics.len(), y.metrics.len(), "{what}: metric count of stream {i}");
+        for (mx, my) in x.metrics.iter().zip(&y.metrics) {
+            let (mut mx, mut my) = (mx.clone(), my.clone());
+            mx.passes.rebalance_nanos = 0;
+            mx.passes.zbs_nanos = 0;
+            my.passes.rebalance_nanos = 0;
+            my.passes.zbs_nanos = 0;
+            assert_eq!(mx, my, "{what}: metrics of stream {i}");
+        }
         assert_eq!(
             x.throughput_mbps.to_bits(),
             y.throughput_mbps.to_bits(),
