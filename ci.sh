@@ -19,6 +19,25 @@ cargo test -q -p bitgen --test zbs_differential --test pass_complexity
 # (unbounded repetitions and empty pushes included).
 cargo test -q -p bitgen --test stream_carry
 
+# Checkpointed-streaming drills: the seeded mid-stream fault sweep plus
+# the retry/degrade/suspend-resume differentials (random faults with a
+# RetryPolicy must stay bit-identical to batch; checkpoints must restore
+# at any chunk boundary).
+cargo test -q -p bitgen --test stream_recovery
+
+# Cross-process checkpoint smoke: suspend a stream in one process,
+# resume it in another, and require the combined match count to equal an
+# uninterrupted batch scan.
+CKPT="$(mktemp)"
+trap 'rm -f "$CKPT"' EXIT
+BATCH="$(cargo run -q --release -p bitgen --example checkpoint_resume -- batch)"
+cargo run -q --release -p bitgen --example checkpoint_resume -- first "$CKPT" > /dev/null
+RESUMED="$(cargo run -q --release -p bitgen --example checkpoint_resume -- second "$CKPT")"
+if [ "$BATCH" != "$RESUMED" ]; then
+  echo "checkpoint smoke: batch '$BATCH' != resumed '$RESUMED'" >&2
+  exit 1
+fi
+
 # Compile-pipeline bench smoke: one abbreviated run so a pathological
 # compile-time regression fails CI instead of only slowing nightly
 # benches. (The bench binary itself keeps sample counts low.)

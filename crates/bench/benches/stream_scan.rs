@@ -12,8 +12,11 @@
 //!   keeps the program size near-constant). The old tail-rescan scanner
 //!   did O(chunk + max_span) work per push; the carry scanner's push
 //!   cost must stay flat as the span grows.
+//! - `stream_recovery_256k`: the price of the robustness machinery —
+//!   the transactional snapshot/validate work a resilient policy adds
+//!   per push, and serializing a full checkpoint after every chunk.
 
-use bitgen::{BitGen, EngineConfig};
+use bitgen::{BitGen, EngineConfig, RetryPolicy};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn synth_input(len: usize) -> Vec<u8> {
@@ -73,5 +76,51 @@ fn bench_push_cost_vs_span(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_chunked_vs_batch, bench_push_cost_vs_span);
+fn bench_recovery_overhead(c: &mut Criterion) {
+    let input = synth_input(256 * 1024);
+    let engine = BitGen::compile(&["a+b", "x[0-9]{2}y", "c{3,}d"]).unwrap();
+    let mut group = c.benchmark_group("stream_recovery_256k");
+    group.throughput(Throughput::Bytes(input.len() as u64));
+    group.sample_size(10);
+    // Baseline: fail-fast streaming, 64 KiB chunks (as above).
+    group.bench_function("fail_fast", |b| {
+        b.iter(|| {
+            let mut scanner = engine.streamer().unwrap();
+            let mut n = 0usize;
+            for c in input.chunks(64 * 1024) {
+                n += scanner.push(c).unwrap().len();
+            }
+            n
+        })
+    });
+    // The resilient policy's steady-state tax: the same pushes plus the
+    // per-push carry validation and rollback snapshot (no faults fire).
+    group.bench_function("resilient_policy", |b| {
+        b.iter(|| {
+            let mut scanner = engine.streamer().unwrap();
+            scanner.set_retry_policy(RetryPolicy::resilient());
+            let mut n = 0usize;
+            for c in input.chunks(64 * 1024) {
+                n += scanner.push(c).unwrap().len();
+            }
+            n
+        })
+    });
+    // Suspend-everywhere: serialize a full checkpoint after every chunk
+    // (what `bitgrep --checkpoint` does, minus the disk write).
+    group.bench_function("checkpoint_every_chunk", |b| {
+        b.iter(|| {
+            let mut scanner = engine.streamer().unwrap();
+            let mut bytes = 0usize;
+            for c in input.chunks(64 * 1024) {
+                scanner.push(c).unwrap();
+                bytes += scanner.checkpoint().to_bytes().len();
+            }
+            bytes
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_chunked_vs_batch, bench_push_cost_vs_span, bench_recovery_overhead);
 criterion_main!(benches);

@@ -15,6 +15,10 @@
 //!   --scan-threads N    host threads for the scan (default: all cores)
 //!   --match-star        use the MatchStar (while-free) star lowering
 //!   --profile           print an Nsight-style launch profile to stderr
+//!   --checkpoint FILE   resume from FILE if present; keep it current while
+//!                       scanning (bitgen engine only)
+//!   --max-bytes N       stop after scanning N bytes this run, leaving the
+//!                       checkpoint in place for the next run
 //! ```
 //!
 //! Reads FILE, or stdin when no file is given. The default `bitgen`
@@ -24,17 +28,40 @@
 //! `--profile` (which needs a whole-launch report) read the input up
 //! front instead.
 //!
+//! The streaming path runs with [`RetryPolicy::resilient`]: a window
+//! that faults is replayed on fresh scratch and, if it keeps failing,
+//! the chunk falls back to the exact CPU interpreter (a note on stderr
+//! reports how many chunks degraded — matches are never silently
+//! wrong).
+//!
+//! With `--checkpoint FILE` the scanner's state is persisted (atomic
+//! tmp-file + rename) after every chunk. A rerun with the same flag
+//! resumes where the previous run stopped — after `--max-bytes`, a
+//! closed output pipe, a crash, or a scan failure (failed pushes roll
+//! back to the last good chunk boundary first). On a file input the
+//! resumed run seeks to the checkpoint offset; on stdin the caller must
+//! re-feed the stream from the beginning and the already-consumed bytes
+//! are read and discarded. The checkpoint file is removed when the scan
+//! reaches a clean end of input. Note that resuming restarts line
+//! numbering and line reassembly at the checkpoint boundary — match
+//! *positions* (`--positions`) are exact across suspend/resume.
+//!
 //! Exit codes follow grep convention, extended so scripts can tell the
 //! failure stages apart: 0 matches found, 1 no matches, 2 usage or I/O
 //! error, 3 pattern failed to compile (including blown compile budgets),
-//! 4 execution failed.
+//! 4 execution failed. A downstream consumer closing our stdout (EPIPE,
+//! e.g. `bitgrep ... | head`) is a normal way for a pipeline to finish
+//! and exits 0.
 //!
 //! [`StreamScanner`]: bitgen::StreamScanner
+//! [`RetryPolicy::resilient`]: bitgen::RetryPolicy::resilient
 
-use bitgen::{BitGen, DeviceConfig, EngineConfig, Scheme};
+use bitgen::{
+    BitGen, DeviceConfig, EngineConfig, RetryPolicy, Scheme, StreamCheckpoint, StreamScanner,
+};
 use bitgen_baselines::{CpuBitstreamEngine, DfaEngine, HybridEngine, MultiNfa};
 use bitgen_bitstream::BitStream;
-use std::io::Read as _;
+use std::io::{Read as _, Seek as _, Write as _};
 use std::process::ExitCode;
 
 struct Options {
@@ -50,6 +77,8 @@ struct Options {
     scan_threads: usize,
     match_star: bool,
     profile: bool,
+    checkpoint: Option<String>,
+    max_bytes: Option<u64>,
 }
 
 /// bitgrep's exit codes, grep-compatible for 0/1/2.
@@ -73,7 +102,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: bitgrep -e PATTERN [-e PATTERN ...] [-f FILE ...] [FILE] \
          [--count] [--line-number] [--positions] [--engine E] [--scheme S] \
-         [--device D] [--threads N] [--scan-threads N] [--match-star] [--profile]"
+         [--device D] [--threads N] [--scan-threads N] [--match-star] \
+         [--profile] [--checkpoint FILE] [--max-bytes N]"
     );
     std::process::exit(exit::USAGE as i32);
 }
@@ -92,6 +122,8 @@ fn parse_args() -> Options {
         scan_threads: 0,
         match_star: false,
         profile: false,
+        checkpoint: None,
+        max_bytes: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -141,6 +173,13 @@ fn parse_args() -> Options {
             }
             "--match-star" => opts.match_star = true,
             "--profile" => opts.profile = true,
+            "--checkpoint" => {
+                opts.checkpoint = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "--max-bytes" => {
+                opts.max_bytes =
+                    Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
+            }
             "-h" | "--help" => usage(),
             other if !other.starts_with('-') && opts.file.is_none() => {
                 opts.file = Some(other.to_string());
@@ -150,6 +189,10 @@ fn parse_args() -> Options {
     }
     if opts.patterns.is_empty() {
         usage();
+    }
+    if (opts.checkpoint.is_some() || opts.max_bytes.is_some()) && opts.engine != "bitgen" {
+        eprintln!("bitgrep: --checkpoint/--max-bytes require the bitgen engine");
+        std::process::exit(exit::USAGE as i32);
     }
     opts
 }
@@ -183,9 +226,12 @@ const STREAM_CHUNK: usize = 64 * 1024;
 /// retaining only the current (possibly chunk-spanning) line. Reproduces
 /// the batch mapping exactly: a line matches when some match end falls
 /// in `[line_start, next_line_start)` — its own trailing newline
-/// included.
-struct LinePrinter<'o> {
+/// included. Writes through an [`std::io::Write`] so a closed pipe
+/// surfaces as an error the caller can map to a clean exit instead of a
+/// panic.
+struct LinePrinter<'o, W: std::io::Write> {
     opts: &'o Options,
+    out: W,
     line_no: usize,
     line_buf: Vec<u8>,
     line_matched: bool,
@@ -193,10 +239,11 @@ struct LinePrinter<'o> {
     any_match: bool,
 }
 
-impl<'o> LinePrinter<'o> {
-    fn new(opts: &'o Options) -> LinePrinter<'o> {
+impl<'o, W: std::io::Write> LinePrinter<'o, W> {
+    fn new(opts: &'o Options, out: W) -> LinePrinter<'o, W> {
         LinePrinter {
             opts,
+            out,
             line_no: 1,
             line_buf: Vec::new(),
             line_matched: false,
@@ -207,13 +254,13 @@ impl<'o> LinePrinter<'o> {
 
     /// Consumes the next chunk (starting at global byte `offset`) and
     /// the ascending global match ends that fell inside it.
-    fn feed(&mut self, chunk: &[u8], ends: &[u64], offset: u64) {
+    fn feed(&mut self, chunk: &[u8], ends: &[u64], offset: u64) -> std::io::Result<()> {
         self.any_match |= !ends.is_empty();
         if self.opts.positions {
             for e in ends {
-                println!("{e}");
+                writeln!(self.out, "{e}")?;
             }
-            return;
+            return Ok(());
         }
         let mut ei = 0usize;
         let mut start = 0usize;
@@ -224,7 +271,7 @@ impl<'o> LinePrinter<'o> {
                 ei += 1;
             }
             self.line_buf.extend_from_slice(&chunk[start..nl]);
-            self.flush_line();
+            self.flush_line()?;
             start = nl + 1;
         }
         self.line_buf.extend_from_slice(&chunk[start..]);
@@ -232,69 +279,206 @@ impl<'o> LinePrinter<'o> {
             // Remaining ends all land in the still-open line.
             self.line_matched = true;
         }
+        Ok(())
     }
 
-    fn flush_line(&mut self) {
+    fn flush_line(&mut self) -> std::io::Result<()> {
         if self.line_matched {
             self.matched_lines += 1;
             if !self.opts.count {
                 if self.opts.line_numbers {
-                    print!("{}:", self.line_no);
+                    write!(self.out, "{}:", self.line_no)?;
                 }
-                println!("{}", String::from_utf8_lossy(&self.line_buf));
+                writeln!(self.out, "{}", String::from_utf8_lossy(&self.line_buf))?;
             }
         }
         self.line_buf.clear();
         self.line_matched = false;
         self.line_no += 1;
+        Ok(())
     }
 
     /// Flushes the final newline-less line and returns the exit code.
-    fn finish(mut self) -> ExitCode {
+    fn finish(mut self) -> std::io::Result<ExitCode> {
         if !self.line_buf.is_empty() || self.line_matched {
-            self.flush_line();
+            self.flush_line()?;
         }
         if self.opts.positions {
-            return if self.any_match { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+            self.out.flush()?;
+            return Ok(if self.any_match { ExitCode::SUCCESS } else { ExitCode::FAILURE });
         }
         if self.opts.count {
-            println!("{}", self.matched_lines);
+            writeln!(self.out, "{}", self.matched_lines)?;
         }
-        if self.matched_lines == 0 { ExitCode::FAILURE } else { ExitCode::SUCCESS }
+        self.out.flush()?;
+        Ok(if self.matched_lines == 0 { ExitCode::FAILURE } else { ExitCode::SUCCESS })
     }
+}
+
+/// Opens the input for a streaming scan, positioned `skip` bytes in. A
+/// file is seeked; stdin has the already-scanned prefix read and
+/// discarded (the checkpoint remembers match state, not the bytes).
+fn open_reader(
+    file: &Option<String>,
+    skip: u64,
+) -> Result<Box<dyn std::io::Read>, ScanFailure> {
+    match file {
+        Some(path) => {
+            let mut f = std::fs::File::open(path)
+                .map_err(|e| ScanFailure::Usage(format!("{path}: {e}")))?;
+            f.seek(std::io::SeekFrom::Start(skip))
+                .map_err(|e| ScanFailure::Usage(format!("{path}: seek: {e}")))?;
+            Ok(Box::new(f))
+        }
+        None => {
+            let mut stdin = std::io::stdin();
+            let mut left = skip;
+            let mut buf = [0u8; 8192];
+            while left > 0 {
+                let want = buf.len().min(left as usize);
+                match stdin.read(&mut buf[..want]) {
+                    Ok(0) => {
+                        return Err(ScanFailure::Usage(format!(
+                            "checkpoint is {skip} bytes in, but stdin ended after {} \
+                             bytes; re-feed the original stream to resume",
+                            skip - left
+                        )));
+                    }
+                    Ok(n) => left -= n as u64,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(ScanFailure::Usage(e.to_string())),
+                }
+            }
+            Ok(Box::new(stdin))
+        }
+    }
+}
+
+/// Writes the scanner's current checkpoint to `path` atomically
+/// (tmp-file then rename), so a crash mid-write never clobbers the
+/// previous good checkpoint.
+fn persist_checkpoint(path: &str, scanner: &StreamScanner<'_>) -> Result<(), ScanFailure> {
+    let tmp = format!("{path}.tmp");
+    let write = std::fs::write(&tmp, scanner.checkpoint().to_bytes())
+        .and_then(|()| std::fs::rename(&tmp, path));
+    write.map_err(|e| ScanFailure::Usage(format!("{path}: {e}")))
+}
+
+/// `true` for the I/O errors that mean "our reader went away" — a
+/// normal pipeline shutdown, not a failure.
+fn is_closed_output(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::BrokenPipe | std::io::ErrorKind::ConnectionReset
+    )
 }
 
 /// The streaming path for the bitgen engine: fixed-size chunks through a
 /// carry-propagating [`bitgen::StreamScanner`], constant memory in the
-/// input length.
+/// input length. Recovery story: resilient retry policy, per-chunk
+/// checkpointing under `--checkpoint`, and EPIPE-as-success.
 fn run_streaming(opts: &Options) -> Result<ExitCode, ScanFailure> {
     let pats: Vec<&str> = opts.patterns.iter().map(String::as_str).collect();
     let engine = BitGen::compile_with(&pats, engine_config(opts))
         .map_err(|e| ScanFailure::Compile(e.to_string()))?;
-    let mut scanner = engine.streamer().map_err(|e| ScanFailure::Exec(e.to_string()))?;
-    let mut reader: Box<dyn std::io::Read> = match &opts.file {
-        Some(path) => {
-            let file = std::fs::File::open(path)
-                .map_err(|e| ScanFailure::Usage(format!("{path}: {e}")))?;
-            Box::new(file)
-        }
-        None => Box::new(std::io::stdin()),
+    let mut scanner = match &opts.checkpoint {
+        Some(path) => match std::fs::read(path) {
+            Ok(bytes) => {
+                let ckpt = StreamCheckpoint::from_bytes(&bytes)
+                    .map_err(|e| ScanFailure::Usage(format!("{path}: {e}")))?;
+                let scanner =
+                    engine.resume(&ckpt).map_err(|e| ScanFailure::Usage(format!("{path}: {e}")))?;
+                eprintln!("bitgrep: resuming at byte {} from {path}", scanner.consumed());
+                scanner
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                engine.streamer().map_err(|e| ScanFailure::Exec(e.to_string()))?
+            }
+            Err(e) => return Err(ScanFailure::Usage(format!("{path}: {e}"))),
+        },
+        None => engine.streamer().map_err(|e| ScanFailure::Exec(e.to_string()))?,
     };
-    let mut printer = LinePrinter::new(opts);
+    scanner.set_retry_policy(RetryPolicy::resilient());
+    let mut reader = open_reader(&opts.file, scanner.consumed())?;
+    let mut printer = LinePrinter::new(opts, std::io::BufWriter::new(std::io::stdout().lock()));
     let mut buf = vec![0u8; STREAM_CHUNK];
+    let mut budget = opts.max_bytes;
+    let mut stopped_early = false;
     loop {
-        let n = match reader.read(&mut buf) {
+        let want = match budget {
+            Some(0) => {
+                stopped_early = true;
+                break;
+            }
+            Some(b) => STREAM_CHUNK.min(b as usize),
+            None => STREAM_CHUNK,
+        };
+        let n = match reader.read(&mut buf[..want]) {
             Ok(0) => break,
             Ok(n) => n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(e) => return Err(ScanFailure::Usage(e.to_string())),
         };
+        if let Some(b) = &mut budget {
+            *b -= n as u64;
+        }
         let offset = scanner.consumed();
-        let ends =
-            scanner.push(&buf[..n]).map_err(|e| ScanFailure::Exec(e.to_string()))?;
-        printer.feed(&buf[..n], &ends, offset);
+        let ends = match scanner.push(&buf[..n]) {
+            Ok(ends) => ends,
+            Err(e) => {
+                // The push rolled back to the last chunk boundary; keep
+                // the checkpoint current so a rerun resumes there.
+                if let Some(path) = &opts.checkpoint {
+                    persist_checkpoint(path, &scanner)?;
+                }
+                return Err(ScanFailure::Exec(e.to_string()));
+            }
+        };
+        if let Some(path) = &opts.checkpoint {
+            persist_checkpoint(path, &scanner)?;
+        }
+        match printer.feed(&buf[..n], &ends, offset) {
+            Ok(()) => {}
+            Err(e) if is_closed_output(&e) => {
+                // Downstream closed our stdout (e.g. `| head`): a normal
+                // pipeline finish. The checkpoint stays for a rerun.
+                report_degraded(&scanner);
+                return Ok(ExitCode::SUCCESS);
+            }
+            Err(e) => return Err(ScanFailure::Usage(e.to_string())),
+        }
     }
-    Ok(printer.finish())
+    if let Some(path) = &opts.checkpoint {
+        if stopped_early {
+            persist_checkpoint(path, &scanner)?;
+            eprintln!(
+                "bitgrep: stopped after {} bytes; checkpoint kept at {path}",
+                scanner.consumed()
+            );
+        } else {
+            // Clean end of input: the stream is complete, drop the file.
+            let _ = std::fs::remove_file(path);
+        }
+    }
+    report_degraded(&scanner);
+    match printer.finish() {
+        Ok(code) => Ok(code),
+        Err(e) if is_closed_output(&e) => Ok(ExitCode::SUCCESS),
+        Err(e) => Err(ScanFailure::Usage(e.to_string())),
+    }
+}
+
+/// Tells the operator when chunks were recovered on the CPU path —
+/// matches are exact either way, but the device path is misbehaving.
+fn report_degraded(scanner: &StreamScanner<'_>) {
+    if scanner.degraded_chunks() > 0 {
+        eprintln!(
+            "bitgrep: note: {} chunk(s) recovered on the CPU interpreter \
+             ({} window retries); matches are exact",
+            scanner.degraded_chunks(),
+            scanner.retries()
+        );
+    }
 }
 
 fn scan(opts: &Options, input: &[u8]) -> Result<BitStream, ScanFailure> {
@@ -336,6 +520,45 @@ fn scan(opts: &Options, input: &[u8]) -> Result<BitStream, ScanFailure> {
     }
 }
 
+/// Prints the batch-path results; a closed stdout maps to success at
+/// the caller, matching the streaming path.
+fn print_batch(opts: &Options, input: &[u8], ends: &BitStream) -> std::io::Result<ExitCode> {
+    let mut out = std::io::BufWriter::new(std::io::stdout().lock());
+    if opts.positions {
+        for p in ends.positions() {
+            writeln!(out, "{p}")?;
+        }
+        out.flush()?;
+        return Ok(if ends.any() { ExitCode::SUCCESS } else { ExitCode::FAILURE });
+    }
+    // Map match ends to lines, grep-style (single pass over sorted ends).
+    let positions = ends.positions();
+    let mut pos_idx = 0usize;
+    let mut matching_lines = 0usize;
+    let mut line_start = 0usize;
+    for (i, chunk) in input.split(|&b| b == b'\n').enumerate() {
+        let next_line_start = line_start + chunk.len() + 1;
+        while pos_idx < positions.len() && positions[pos_idx] < line_start {
+            pos_idx += 1;
+        }
+        if pos_idx < positions.len() && positions[pos_idx] < next_line_start {
+            matching_lines += 1;
+            if !opts.count {
+                if opts.line_numbers {
+                    write!(out, "{}:", i + 1)?;
+                }
+                writeln!(out, "{}", String::from_utf8_lossy(chunk))?;
+            }
+        }
+        line_start = next_line_start;
+    }
+    if opts.count {
+        writeln!(out, "{matching_lines}")?;
+    }
+    out.flush()?;
+    Ok(if matching_lines == 0 { ExitCode::FAILURE } else { ExitCode::SUCCESS })
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     // The bitgen engine streams; `--profile` needs the whole-launch
@@ -373,36 +596,12 @@ fn main() -> ExitCode {
             return ExitCode::from(code);
         }
     };
-    if opts.positions {
-        for p in ends.positions() {
-            println!("{p}");
-        }
-        return if ends.any() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
-    }
-    // Map match ends to lines, grep-style (single pass over sorted ends).
-    let positions = ends.positions();
-    let mut pos_idx = 0usize;
-    let mut matching_lines = Vec::new();
-    let mut line_start = 0usize;
-    for (i, chunk) in input.split(|&b| b == b'\n').enumerate() {
-        let next_line_start = line_start + chunk.len() + 1;
-        while pos_idx < positions.len() && positions[pos_idx] < line_start {
-            pos_idx += 1;
-        }
-        if pos_idx < positions.len() && positions[pos_idx] < next_line_start {
-            matching_lines.push((i + 1, chunk.to_vec()));
-        }
-        line_start = next_line_start;
-    }
-    if opts.count {
-        println!("{}", matching_lines.len());
-    } else {
-        for (no, line) in &matching_lines {
-            if opts.line_numbers {
-                print!("{no}:");
-            }
-            println!("{}", String::from_utf8_lossy(line));
+    match print_batch(&opts, &input, &ends) {
+        Ok(code) => code,
+        Err(e) if is_closed_output(&e) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bitgrep: {e}");
+            ExitCode::from(exit::USAGE)
         }
     }
-    if matching_lines.is_empty() { ExitCode::FAILURE } else { ExitCode::SUCCESS }
 }

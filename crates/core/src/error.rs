@@ -4,7 +4,7 @@
 
 use crate::engine::CompileError;
 use bitgen_exec::ExecError;
-use bitgen_ir::LimitError;
+use bitgen_ir::{CarryError, LimitError};
 use std::fmt;
 
 /// Any failure a `bitgen` entry point can return.
@@ -46,6 +46,38 @@ pub enum Error {
         /// Index of the input stream whose CTA panicked.
         stream: usize,
     },
+    /// A [`crate::StreamScanner`] was used again after an unrecovered
+    /// push failure. The failed push rolled the carry state back to the
+    /// last good boundary, so [`crate::StreamScanner::checkpoint`] is
+    /// still valid — restore it with [`crate::BitGen::resume`] and
+    /// re-push the failed chunk — but `push` itself stays fenced off so
+    /// accidental reuse can never execute from a suspect state.
+    StreamPoisoned,
+    /// A stream's carry state failed its integrity check (checksum,
+    /// layout, or boundary invariant) before a window executed. The
+    /// corruption happened *between* pushes; nothing was executed on the
+    /// bad state.
+    CarryCorrupted {
+        /// Index of the regex group whose carry failed validation.
+        group: usize,
+        /// What the integrity check tripped over.
+        error: CarryError,
+    },
+    /// Serialized checkpoint bytes could not be parsed (bad magic,
+    /// unsupported version, truncation, or payload digest mismatch).
+    CheckpointInvalid {
+        /// What the parser tripped over.
+        reason: String,
+    },
+    /// A checkpoint's engine fingerprint does not match the engine asked
+    /// to resume it — the pattern set or streaming compile differs, so
+    /// the carry layout cannot be trusted to line up.
+    CheckpointMismatch {
+        /// Fingerprint of the engine asked to resume.
+        expected: u64,
+        /// Fingerprint recorded in the checkpoint.
+        found: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -57,6 +89,21 @@ impl fmt::Display for Error {
             Error::WorkerPanicked { group, stream } => {
                 write!(f, "scan worker panicked on group {group}, stream {stream}")
             }
+            Error::StreamPoisoned => write!(
+                f,
+                "stream scanner poisoned by an earlier unrecovered failure; \
+                 resume from its checkpoint to continue"
+            ),
+            Error::CarryCorrupted { group, error } => {
+                write!(f, "stream carry state corrupted on group {group}: {error}")
+            }
+            Error::CheckpointInvalid { reason } => {
+                write!(f, "invalid stream checkpoint: {reason}")
+            }
+            Error::CheckpointMismatch { expected, found } => write!(
+                f,
+                "checkpoint fingerprint {found:#018x} does not match engine {expected:#018x}"
+            ),
         }
     }
 }
@@ -67,7 +114,11 @@ impl std::error::Error for Error {
             Error::Compile(e) => Some(e),
             Error::LimitExceeded(e) => Some(e),
             Error::Exec(e) => Some(e),
-            Error::WorkerPanicked { .. } => None,
+            Error::CarryCorrupted { error, .. } => Some(error),
+            Error::WorkerPanicked { .. }
+            | Error::StreamPoisoned
+            | Error::CheckpointInvalid { .. }
+            | Error::CheckpointMismatch { .. } => None,
         }
     }
 }

@@ -68,7 +68,7 @@ pub use error::Error;
 pub use fold::fold_case;
 pub use group::{group_regexes, GroupingStrategy};
 pub use session::ScanSession;
-pub use stream_scan::StreamScanner;
+pub use stream_scan::{RetryPolicy, StreamCheckpoint, StreamScanner};
 
 // Re-export the pieces users need to configure or extend the engine.
 pub use bitgen_exec::{ExecConfig, ExecError, ExecMetrics, FallbackPolicy, PassMetrics, Scheme};

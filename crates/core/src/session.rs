@@ -42,17 +42,6 @@ enum SlotFailure {
     Panicked,
 }
 
-/// Result of one streaming window ([`ScanSession::scan_chunk`]): the
-/// union match stream clipped to the chunk, plus the window's modelled
-/// device cost.
-pub(crate) struct ChunkScan {
-    /// Union match-end stream over the chunk (bit *i* ⇔ some pattern
-    /// matches ending at chunk byte *i*).
-    pub matches: BitStream,
-    /// Modelled seconds for this window (kernel + transpose).
-    pub seconds: f64,
-}
-
 /// Everything a worker needs to run grid slots, shared read-only across
 /// threads.
 #[derive(Clone, Copy)]
@@ -210,25 +199,16 @@ impl ScanSession<'_> {
         Ok(self.merge(inputs, outcomes))
     }
 
-    /// Scans one streaming window: executes every group's *streaming*
-    /// program over the chunk with its per-group carry state, then
-    /// rotates the carries so this window's carry-out feeds the next.
-    ///
-    /// Runs the engine's untransformed `stream_programs` sequentially —
-    /// carry propagation makes each group's windows a chain, and the
-    /// per-push work is one chunk, not a grid. The session's transpose
-    /// target and executor scratch are reused across windows, so a
-    /// steady-state push allocates nothing.
-    ///
-    /// On error the affected carry state is part-way through a window
-    /// and the stream is poisoned; [`crate::StreamScanner`] surfaces
-    /// that contract.
-    pub(crate) fn scan_chunk(
-        &mut self,
-        chunk: &[u8],
-        carries: &mut [CarryState],
-    ) -> Result<ChunkScan, Error> {
-        debug_assert_eq!(carries.len(), self.engine.stream_programs.len());
+    /// The engine this session scans with — streaming needs it for the
+    /// per-group programs and the device cost model.
+    pub(crate) fn engine(&self) -> &BitGen {
+        self.engine
+    }
+
+    /// Streaming phase 0: transposes one chunk into the session's stream
+    /// slot and makes sure the streaming scratch exists. The buffers are
+    /// reused across windows, so a steady-state push allocates nothing.
+    pub(crate) fn stream_transpose(&mut self, chunk: &[u8]) {
         if self.bases.is_empty() {
             self.bases.push(Basis::empty());
         }
@@ -236,6 +216,12 @@ impl ScanSession<'_> {
             self.scratches.push(ExecScratch::new());
         }
         self.bases[0].transpose_into(chunk);
+    }
+
+    /// Interruption control for one streaming push, from the session's
+    /// cancel token and timeout. Built once per push: retries of a window
+    /// share the push's deadline rather than getting fresh budgets.
+    pub(crate) fn stream_ctl(&self) -> RunControl {
         let mut ctl = RunControl::unlimited();
         if let Some(token) = &self.cancel {
             ctl = ctl.with_cancel(token.clone());
@@ -243,27 +229,60 @@ impl ScanSession<'_> {
         if let Some(budget) = self.timeout {
             ctl = ctl.with_deadline(Instant::now() + budget);
         }
-        let mut union = BitStream::zeros(chunk.len());
-        let mut works = Vec::with_capacity(carries.len());
-        for (prog, carry) in self.engine.stream_programs.iter().zip(carries.iter_mut()) {
-            let outcome = execute_prepared_ctl(
-                prog,
-                &self.bases[0],
-                &self.exec_config,
-                &mut self.scratches[0],
-                &ctl,
-                Some(carry),
-            )?;
-            for out in &outcome.outputs {
-                union = union.or(&out.resized(chunk.len()));
+        ctl
+    }
+
+    /// Runs one group's *streaming* program (untransformed, fixpoint
+    /// loops — see DESIGN.md §10) over the prepared chunk, with the same
+    /// panic isolation the batch grid gives each CTA slot: a panicking
+    /// window (or injected [`FaultPlan`]) is caught, its scratch — in an
+    /// unknown state mid-unwind — is discarded, and the failure surfaces
+    /// as a typed [`Error::WorkerPanicked`].
+    ///
+    /// Does **not** rotate the carry; the caller owns the
+    /// snapshot/rotate transaction around this window.
+    pub(crate) fn run_stream_window(
+        &mut self,
+        group: usize,
+        ctl: &RunControl,
+        carry: &mut CarryState,
+        fault: Option<FaultPlan>,
+    ) -> Result<ExecOutcome, Error> {
+        let prog = &self.engine.stream_programs[group];
+        let mut config = self.exec_config;
+        config.fault = fault;
+        let basis = &self.bases[0];
+        let scratch = &mut self.scratches[0];
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            execute_prepared_ctl(prog, basis, &config, scratch, ctl, Some(carry))
+        }));
+        match run {
+            Ok(Ok(outcome)) => Ok(outcome),
+            Ok(Err(e)) => Err(Error::Exec(e)),
+            Err(_) => {
+                self.scratches[0] = ExecScratch::new();
+                Err(Error::WorkerPanicked { group, stream: 0 })
             }
-            works.push(outcome.metrics.cta_work());
-            carry.rotate();
         }
-        let device = &self.engine.config().device;
-        let cost = device.estimate(&works);
-        let seconds = cost.seconds + device.transpose_seconds(chunk.len());
-        Ok(ChunkScan { matches: union, seconds })
+    }
+
+    /// Replays one group's window on the reference interpreter — the
+    /// per-chunk degradation path. Exact matches by construction; the
+    /// device cost model sees no work (mirroring how degraded batch
+    /// slots contribute default metrics).
+    ///
+    /// Like [`ScanSession::run_stream_window`], leaves the rotate to the
+    /// caller's transaction.
+    pub(crate) fn interpret_stream_window(
+        &mut self,
+        group: usize,
+        ctl: &RunControl,
+        carry: &mut CarryState,
+    ) -> Result<Vec<BitStream>, Error> {
+        let prog = &self.engine.stream_programs[group];
+        let result = bitgen_ir::try_interpret_chunk(prog, &self.bases[0], ctl, carry)
+            .map_err(|e| Error::Exec(ExecError::from(e)))?;
+        Ok(result.outputs)
     }
 
     /// Phase 1: fill `bases[..s]` from the inputs, sharded across

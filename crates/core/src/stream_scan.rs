@@ -9,17 +9,109 @@
 //! bound is needed — unbounded repetitions (`*`, `+`, `{n,}`) stream
 //! like any other pattern. Results are bit-identical to batch
 //! [`BitGen::find`] under every chunking.
+//!
+//! # Pushes are transactions
+//!
+//! Before any window executes, the scanner snapshots every group's carry
+//! state; a push either commits whole (all groups' windows succeeded —
+//! possibly after retries or CPU degradation under a [`RetryPolicy`] —
+//! carries rotated, counters advanced, matches returned) or rolls back
+//! whole (carries restored to the pre-push boundary, `consumed()` and
+//! `seconds()` untouched). Interrupts ([`bitgen_exec::ExecError::Cancelled`],
+//! [`bitgen_exec::ExecError::DeadlineExceeded`]) roll back and leave the
+//! scanner usable; any other unrecovered failure rolls back and
+//! *poisons* it — further pushes return [`Error::StreamPoisoned`] — but
+//! the rolled-back state is still consistent, so
+//! [`StreamScanner::checkpoint`] remains valid and [`BitGen::resume`]
+//! rebuilds a live scanner from it.
+//!
+//! # Suspend and resume
+//!
+//! [`StreamScanner::checkpoint`] captures the stream at the current
+//! chunk boundary as a versioned, self-describing [`StreamCheckpoint`]:
+//! carry slots (checksummed per slot), byte/seconds counters, and an
+//! engine fingerprint so the checkpoint only restores onto a compatible
+//! streaming compile. `bitgrep --checkpoint FILE` builds on it to make
+//! interrupted stdin/file scans restartable.
 
 use crate::engine::BitGen;
 use crate::error::Error;
 use crate::session::ScanSession;
-use bitgen_ir::CarryState;
+use bitgen_bitstream::BitStream;
+use bitgen_exec::{ExecError, ExecMetrics};
+use bitgen_gpu::FaultPlan;
+use bitgen_ir::{pretty, CancelToken, CarryState};
+use std::time::Duration;
+
+/// How a [`StreamScanner`] responds to a detected fault inside a push.
+///
+/// The default (`RetryPolicy::default()` == [`RetryPolicy::none`]) is
+/// fail-fast: one attempt, no degradation — the push rolls back and the
+/// scanner poisons, exactly the pre-policy behaviour. Production streams
+/// typically want [`RetryPolicy::resilient`]: transient faults replay on
+/// fresh scratch, persistent ones degrade the chunk to the reference
+/// CPU interpreter (exact matches, surfaced via
+/// [`StreamScanner::degraded_chunks`] — never silent corruption).
+///
+/// Interrupts (cancellation, deadlines) are never retried or degraded:
+/// the caller asked the scan to stop, and honouring that by rolling the
+/// push back keeps the scanner resumable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total executor attempts per group window (≥ 1; `0` is treated as
+    /// `1`). Each retry restores the pre-window carry snapshot first.
+    pub max_attempts: u32,
+    /// After the attempts are exhausted, replay the chunk on the CPU
+    /// reference interpreter instead of failing the push.
+    pub degrade: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::none()
+    }
+}
+
+impl RetryPolicy {
+    /// Fail-fast: one attempt, no degradation.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { max_attempts: 1, degrade: false }
+    }
+
+    /// Recover-everything: three attempts, then CPU degradation.
+    pub fn resilient() -> RetryPolicy {
+        RetryPolicy { max_attempts: 3, degrade: true }
+    }
+
+    /// Builder: sets the attempt budget.
+    pub fn with_attempts(mut self, max_attempts: u32) -> RetryPolicy {
+        self.max_attempts = max_attempts;
+        self
+    }
+
+    /// Builder: sets whether exhausted windows degrade to the CPU.
+    pub fn with_degrade(mut self, degrade: bool) -> RetryPolicy {
+        self.degrade = degrade;
+        self
+    }
+}
+
+/// A fault armed on a scanner's upcoming windows (drill hook).
+#[derive(Debug, Clone, Copy)]
+struct StreamFaultArm {
+    group: usize,
+    plan: FaultPlan,
+    /// Window executions of `group` still to be armed; `u32::MAX` means
+    /// every one (a persistent fault).
+    windows: u32,
+}
 
 /// Incremental scanner over a compiled engine.
 ///
 /// Holds a [`ScanSession`] internally, so the per-push transpose and
 /// executor buffers are reused across chunks, plus one [`CarryState`]
-/// per group carrying the cross-chunk bits.
+/// per group carrying the cross-chunk bits. See the
+/// [module docs](self) for the push transaction and recovery contract.
 ///
 /// # Examples
 ///
@@ -45,6 +137,16 @@ pub struct StreamScanner<'e> {
     consumed: u64,
     /// Accumulated modelled seconds across pushes.
     seconds: f64,
+    /// Fault response policy for pushes.
+    retry: RetryPolicy,
+    /// Window retries performed across all committed pushes.
+    retries: u64,
+    /// Pushes in which at least one group degraded to the CPU interpreter.
+    degraded_chunks: u64,
+    /// Set after an unrecovered failure; fences `push` off.
+    poisoned: bool,
+    /// Armed drill fault, if any.
+    fault: Option<StreamFaultArm>,
 }
 
 impl BitGen {
@@ -64,7 +166,76 @@ impl BitGen {
             carries: self.stream_programs.iter().map(CarryState::for_program).collect(),
             consumed: 0,
             seconds: 0.0,
+            retry: RetryPolicy::default(),
+            retries: 0,
+            degraded_chunks: 0,
+            poisoned: false,
+            fault: None,
         })
+    }
+
+    /// Rebuilds a streaming scanner from a [`StreamCheckpoint`], picking
+    /// the stream up at the byte boundary where the checkpoint was
+    /// taken. The next [`StreamScanner::push`] must feed the bytes that
+    /// follow [`StreamCheckpoint::consumed`] in the original stream;
+    /// matches then come back bit-identical to an uninterrupted scan.
+    ///
+    /// The restored scanner starts with the default (fail-fast)
+    /// [`RetryPolicy`]; set a different one with
+    /// [`StreamScanner::set_retry_policy`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::CheckpointMismatch`] when the checkpoint was taken on an
+    /// engine with a different streaming compile (different patterns,
+    /// grouping, or lowering), [`Error::CheckpointInvalid`] /
+    /// [`Error::CarryCorrupted`] when its carry states fail validation
+    /// against this engine's programs.
+    pub fn resume(&self, checkpoint: &StreamCheckpoint) -> Result<StreamScanner<'_>, Error> {
+        let expected = self.stream_fingerprint();
+        if checkpoint.fingerprint != expected {
+            return Err(Error::CheckpointMismatch { expected, found: checkpoint.fingerprint });
+        }
+        if checkpoint.carries.len() != self.stream_programs.len() {
+            return Err(Error::CheckpointInvalid {
+                reason: format!(
+                    "checkpoint holds {} carry states, engine has {} groups",
+                    checkpoint.carries.len(),
+                    self.stream_programs.len()
+                ),
+            });
+        }
+        for (group, (carry, prog)) in
+            checkpoint.carries.iter().zip(&self.stream_programs).enumerate()
+        {
+            carry.validate(prog).map_err(|error| Error::CarryCorrupted { group, error })?;
+        }
+        Ok(StreamScanner {
+            session: self.session(),
+            carries: checkpoint.carries.clone(),
+            consumed: checkpoint.consumed,
+            seconds: checkpoint.seconds,
+            retry: RetryPolicy::default(),
+            retries: checkpoint.retries,
+            degraded_chunks: checkpoint.degraded_chunks,
+            poisoned: false,
+            fault: None,
+        })
+    }
+
+    /// A fingerprint of this engine's streaming compile: the group
+    /// count plus every streaming program's full rendering. Two engines
+    /// agree exactly when their streaming programs (and hence carry
+    /// layouts and match semantics) agree, so a [`StreamCheckpoint`]
+    /// restores only onto a compatible compile. Stable across processes.
+    pub fn stream_fingerprint(&self) -> u64 {
+        let mut h = fnv_bytes(FNV_OFFSET, &CHECKPOINT_VERSION.to_le_bytes());
+        h = fnv_bytes(h, &(self.stream_programs.len() as u64).to_le_bytes());
+        for prog in &self.stream_programs {
+            h = fnv_bytes(h, pretty(prog).as_bytes());
+            h = fnv_bytes(h, &u64::from(prog.num_streams()).to_le_bytes());
+        }
+        h
     }
 }
 
@@ -72,20 +243,175 @@ impl StreamScanner<'_> {
     /// Scans the next chunk, returning the *global* byte positions of
     /// matches that end inside it, ascending. Empty chunks are no-ops.
     ///
+    /// The push is a transaction: on any error the carry state and the
+    /// [`StreamScanner::consumed`] / [`StreamScanner::seconds`] counters
+    /// are exactly as they were before the call (never double-counted,
+    /// never half-advanced). See the [module docs](self) for how the
+    /// [`RetryPolicy`] turns detected faults into retries or CPU
+    /// degradation instead of failures.
+    ///
     /// # Errors
     ///
-    /// Propagates execution failures from the underlying engine. After
-    /// an error the carry state is part-way through a window and the
-    /// scanner must be discarded.
+    /// [`Error::StreamPoisoned`] if an earlier push failed unrecovered;
+    /// [`Error::CarryCorrupted`] if the carry state was corrupted between
+    /// pushes (checksum/layout validation runs before every window);
+    /// otherwise the underlying execution failure after the policy's
+    /// attempts are exhausted. Cancellation and deadline errors always
+    /// surface (they are rolled back, not retried) and do **not** poison
+    /// the scanner.
     pub fn push(&mut self, chunk: &[u8]) -> Result<Vec<u64>, Error> {
+        if self.poisoned {
+            return Err(Error::StreamPoisoned);
+        }
         if chunk.is_empty() {
             return Ok(Vec::new());
         }
-        let scan = self.session.scan_chunk(chunk, &mut self.carries)?;
+        self.session.stream_transpose(chunk);
+        let ctl = self.session.stream_ctl();
+        // The transaction snapshot: every group's pre-push carry. Any
+        // failure restores all of them, so the scanner never advances
+        // part-way through a push.
+        let snapshot = self.carries.clone();
+        let groups = self.carries.len();
+        let mut union = BitStream::zeros(chunk.len());
+        let mut works = Vec::with_capacity(groups);
+        let mut retried = 0u64;
+        let mut degraded = false;
+        for group in 0..groups {
+            if let Err(error) = self.carries[group].validate(&self.session.engine().stream_programs[group])
+            {
+                // Corruption arrived between pushes; nothing ran on the
+                // bad state, and nothing trustworthy remains to roll
+                // back to, so poison rather than execute.
+                self.poisoned = true;
+                return Err(Error::CarryCorrupted { group, error });
+            }
+            let mut attempt = 0u32;
+            loop {
+                attempt += 1;
+                let fault = self.take_fault_shot(group);
+                match self.session.run_stream_window(group, &ctl, &mut self.carries[group], fault)
+                {
+                    Ok(outcome) => {
+                        for out in &outcome.outputs {
+                            union = union.or(&out.resized(chunk.len()));
+                        }
+                        works.push(outcome.metrics.cta_work());
+                        self.carries[group].rotate();
+                        break;
+                    }
+                    Err(e) => {
+                        // The failed window may have half-accumulated its
+                        // carry; restore this group's snapshot before
+                        // deciding what to do next.
+                        self.carries[group] = snapshot[group].clone();
+                        if is_interrupt(&e) {
+                            self.carries = snapshot;
+                            return Err(e);
+                        }
+                        if attempt < self.retry.max_attempts.max(1) {
+                            retried += 1;
+                            continue;
+                        }
+                        if self.retry.degrade {
+                            match self.session.interpret_stream_window(
+                                group,
+                                &ctl,
+                                &mut self.carries[group],
+                            ) {
+                                Ok(outputs) => {
+                                    for out in &outputs {
+                                        union = union.or(&out.resized(chunk.len()));
+                                    }
+                                    // Degraded windows contribute no device
+                                    // work, mirroring degraded batch slots.
+                                    works.push(ExecMetrics::default().cta_work());
+                                    self.carries[group].rotate();
+                                    degraded = true;
+                                    break;
+                                }
+                                Err(ie) => {
+                                    self.carries = snapshot;
+                                    if !is_interrupt(&ie) {
+                                        self.poisoned = true;
+                                    }
+                                    return Err(ie);
+                                }
+                            }
+                        }
+                        self.carries = snapshot;
+                        self.poisoned = true;
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        // Commit: counters advance exactly once per successful push.
+        self.retries += retried;
+        if degraded {
+            self.degraded_chunks += 1;
+        }
+        let device = &self.session.engine().config().device;
+        let cost = device.estimate(&works);
+        self.seconds += cost.seconds + device.transpose_seconds(chunk.len());
         let off = self.consumed;
         self.consumed += chunk.len() as u64;
-        self.seconds += scan.seconds;
-        Ok(scan.matches.positions().into_iter().map(|p| off + p as u64).collect())
+        Ok(union.positions().into_iter().map(|p| off + p as u64).collect())
+    }
+
+    /// Captures the stream at the current chunk boundary. Always valid:
+    /// failed pushes roll back to the last boundary first, so even a
+    /// poisoned scanner checkpoints its last good state (that is the
+    /// recovery path — [`BitGen::resume`] the checkpoint and re-push).
+    pub fn checkpoint(&self) -> StreamCheckpoint {
+        StreamCheckpoint {
+            fingerprint: self.session.engine().stream_fingerprint(),
+            consumed: self.consumed,
+            seconds: self.seconds,
+            retries: self.retries,
+            degraded_chunks: self.degraded_chunks,
+            carries: self.carries.clone(),
+        }
+    }
+
+    /// Sets the fault response policy for subsequent pushes.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// The active fault response policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Arms a deterministic fault on the next `windows` window
+    /// executions of `group` (`u32::MAX` = every one until
+    /// [`StreamScanner::clear_fault`]). Retries count: with `windows ==
+    /// 1` the first attempt is corrupted and the retry runs clean — the
+    /// drill hook the streaming fault-tolerance suite is built on.
+    pub fn inject_fault(&mut self, group: usize, plan: FaultPlan, windows: u32) {
+        self.fault = Some(StreamFaultArm { group, plan, windows });
+    }
+
+    /// Disarms a previously injected fault.
+    pub fn clear_fault(&mut self) {
+        self.fault = None;
+    }
+
+    /// Sets a cancellation token polled cooperatively during pushes; a
+    /// cancelled push rolls back and returns
+    /// [`bitgen_exec::ExecError::Cancelled`] without poisoning the
+    /// scanner.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.session.set_cancel_token(token);
+    }
+
+    /// Gives every subsequent push a wall-clock budget; overrunning it
+    /// rolls the push back and returns
+    /// [`bitgen_exec::ExecError::DeadlineExceeded`] without poisoning
+    /// the scanner. `None` removes the budget.
+    pub fn set_timeout(&mut self, budget: Option<Duration>) {
+        self.session.set_timeout(budget);
     }
 
     /// Total bytes consumed so far.
@@ -108,6 +434,185 @@ impl StreamScanner<'_> {
     pub fn bytes_rescanned(&self) -> u64 {
         0
     }
+
+    /// Window retries performed across all committed pushes (failed
+    /// pushes roll their tally back along with everything else).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Pushes in which at least one group's window was recovered on the
+    /// CPU reference interpreter. Matches stay exact; the field exists
+    /// so operators can see that the device path is misbehaving.
+    pub fn degraded_chunks(&self) -> u64 {
+        self.degraded_chunks
+    }
+
+    /// `true` once an unrecovered failure has fenced this scanner off;
+    /// see [`Error::StreamPoisoned`].
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Consumes one armed fault shot for `group`, if any.
+    fn take_fault_shot(&mut self, group: usize) -> Option<FaultPlan> {
+        let arm = self.fault.as_mut()?;
+        if arm.group != group || arm.windows == 0 {
+            return None;
+        }
+        if arm.windows != u32::MAX {
+            arm.windows -= 1;
+        }
+        Some(arm.plan)
+    }
+}
+
+fn is_interrupt(e: &Error) -> bool {
+    matches!(e, Error::Exec(ExecError::Cancelled | ExecError::DeadlineExceeded))
+}
+
+/// Version tag written into checkpoint bytes (and folded into
+/// [`BitGen::stream_fingerprint`], so a format bump also invalidates
+/// fingerprints from older writers).
+const CHECKPOINT_VERSION: u32 = 1;
+
+/// Magic prefix of serialized checkpoints: "BitGen Stream Checkpoint".
+const CHECKPOINT_MAGIC: [u8; 4] = *b"BGSC";
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A suspended stream: everything [`BitGen::resume`] needs to continue
+/// scanning from a chunk boundary in another scanner — or another
+/// process.
+///
+/// The serialized form ([`StreamCheckpoint::to_bytes`]) is versioned and
+/// self-describing: magic + version header, the engine fingerprint, the
+/// counters, each group's carry slots (individually checksummed), and a
+/// whole-payload digest. [`StreamCheckpoint::from_bytes`] refuses
+/// truncated, tampered, or foreign bytes with a typed error rather than
+/// restoring a suspect stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamCheckpoint {
+    fingerprint: u64,
+    consumed: u64,
+    seconds: f64,
+    retries: u64,
+    degraded_chunks: u64,
+    carries: Vec<CarryState>,
+}
+
+impl StreamCheckpoint {
+    /// Fingerprint of the streaming compile this checkpoint belongs to;
+    /// compare with [`BitGen::stream_fingerprint`].
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Bytes the suspended stream had consumed — the offset the next
+    /// push must continue from.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Modelled seconds the suspended stream had accumulated.
+    pub fn seconds(&self) -> f64 {
+        self.seconds
+    }
+
+    /// Serializes the checkpoint. The format is stable for a given
+    /// `CHECKPOINT_VERSION`; newer readers reject older versions with a
+    /// typed error rather than misparsing them.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend(CHECKPOINT_MAGIC);
+        out.extend(CHECKPOINT_VERSION.to_le_bytes());
+        out.extend(self.fingerprint.to_le_bytes());
+        out.extend(self.consumed.to_le_bytes());
+        out.extend(self.seconds.to_bits().to_le_bytes());
+        out.extend(self.retries.to_le_bytes());
+        out.extend(self.degraded_chunks.to_le_bytes());
+        out.extend((self.carries.len() as u32).to_le_bytes());
+        for carry in &self.carries {
+            carry.write_bytes(&mut out);
+        }
+        let digest = fnv_bytes(FNV_OFFSET, &out);
+        out.extend(digest.to_le_bytes());
+        out
+    }
+
+    /// Parses bytes produced by [`StreamCheckpoint::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::CheckpointInvalid`] on truncation, bad magic, an
+    /// unsupported version, a digest mismatch, or malformed carry bytes.
+    /// Compatibility with a *specific engine* is checked later, by
+    /// [`BitGen::resume`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<StreamCheckpoint, Error> {
+        let invalid = |reason: &str| Error::CheckpointInvalid { reason: reason.to_string() };
+        if bytes.len() < CHECKPOINT_MAGIC.len() + 12 {
+            return Err(invalid("truncated header"));
+        }
+        let (payload, digest_bytes) = bytes.split_at(bytes.len() - 8);
+        let digest = u64::from_le_bytes(digest_bytes.try_into().expect("8-byte split"));
+        if fnv_bytes(FNV_OFFSET, payload) != digest {
+            return Err(invalid("payload digest mismatch"));
+        }
+        if payload[..4] != CHECKPOINT_MAGIC {
+            return Err(invalid("bad magic"));
+        }
+        let mut cursor = 4usize;
+        let version = read_u32(payload, &mut cursor).ok_or_else(|| invalid("truncated"))?;
+        if version != CHECKPOINT_VERSION {
+            return Err(invalid("unsupported checkpoint version"));
+        }
+        let fingerprint = read_u64(payload, &mut cursor).ok_or_else(|| invalid("truncated"))?;
+        let consumed = read_u64(payload, &mut cursor).ok_or_else(|| invalid("truncated"))?;
+        let seconds =
+            f64::from_bits(read_u64(payload, &mut cursor).ok_or_else(|| invalid("truncated"))?);
+        let retries = read_u64(payload, &mut cursor).ok_or_else(|| invalid("truncated"))?;
+        let degraded_chunks =
+            read_u64(payload, &mut cursor).ok_or_else(|| invalid("truncated"))?;
+        let group_count =
+            read_u32(payload, &mut cursor).ok_or_else(|| invalid("truncated"))? as usize;
+        if group_count > payload.len() {
+            return Err(invalid("group count exceeds payload size"));
+        }
+        let mut carries = Vec::with_capacity(group_count);
+        for _ in 0..group_count {
+            let carry = CarryState::read_bytes(payload, &mut cursor).map_err(|e| {
+                Error::CheckpointInvalid { reason: format!("carry state: {e}") }
+            })?;
+            carries.push(carry);
+        }
+        if cursor != payload.len() {
+            return Err(invalid("trailing bytes after carry states"));
+        }
+        Ok(StreamCheckpoint { fingerprint, consumed, seconds, retries, degraded_chunks, carries })
+    }
+}
+
+fn read_u32(bytes: &[u8], cursor: &mut usize) -> Option<u32> {
+    let end = cursor.checked_add(4).filter(|&e| e <= bytes.len())?;
+    let v = u32::from_le_bytes(bytes[*cursor..end].try_into().ok()?);
+    *cursor = end;
+    Some(v)
+}
+
+fn read_u64(bytes: &[u8], cursor: &mut usize) -> Option<u64> {
+    let end = cursor.checked_add(8).filter(|&e| e <= bytes.len())?;
+    let v = u64::from_le_bytes(bytes[*cursor..end].try_into().ok()?);
+    *cursor = end;
+    Some(v)
 }
 
 #[cfg(test)]
@@ -216,5 +721,27 @@ mod tests {
         let second = s.seconds() - first;
         assert_eq!(first.to_bits(), second.to_bits());
         assert_eq!(s.bytes_rescanned(), 0);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_bytes() {
+        let engine = BitGen::compile(&["a+b", "cat"]).unwrap();
+        let mut scanner = engine.streamer().unwrap();
+        scanner.push(b"xxaa cat a").unwrap();
+        let ckpt = scanner.checkpoint();
+        let bytes = ckpt.to_bytes();
+        let back = StreamCheckpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back, ckpt);
+        assert_eq!(back.consumed(), 10);
+        assert_eq!(back.fingerprint(), engine.stream_fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_compiles_and_agrees_with_itself() {
+        let a = BitGen::compile(&["a+b", "cat"]).unwrap();
+        let a2 = BitGen::compile(&["a+b", "cat"]).unwrap();
+        let b = BitGen::compile(&["a+b"]).unwrap();
+        assert_eq!(a.stream_fingerprint(), a2.stream_fingerprint());
+        assert_ne!(a.stream_fingerprint(), b.stream_fingerprint());
     }
 }

@@ -7,7 +7,7 @@ use crate::metrics::ExecMetrics;
 use crate::scheme::Scheme;
 use crate::segment::{intermediate_count, segment_program, Segment, SegmentKind};
 use bitgen_bitstream::{compile_class, Basis, BitStream};
-use bitgen_gpu::{Cta, FaultPlan, RaceError, WindowInputs};
+use bitgen_gpu::{Cta, FaultKind, FaultPlan, RaceError, WindowInputs};
 use bitgen_ir::{
     carry_slot_count, try_interpret, try_interpret_chunk, CarryState, DefUse, InterpError,
     Interrupt, Op, Program, RunControl, Stmt, StreamId,
@@ -120,13 +120,31 @@ pub enum ExecError {
         /// Index of the first differing output stream.
         output: usize,
     },
+    /// A streaming window's carry-out disagrees with the reference
+    /// interpreter's replay ([`ExecConfig::cross_check`]): this window's
+    /// outputs were right but the state handed to the *next* window is
+    /// corrupted, so executing on would poison all later matches.
+    CarryDiverged,
     /// The emulator's window-iteration counter disagrees with the
     /// executor's own count of windows launched — counter corruption.
+    /// For streaming windows the same variant reports a corrupted carry
+    /// slot walk (pre-order slots consumed vs. the program's layout).
     CounterMismatch {
         /// Windows the executor launched.
         expected: u64,
         /// Iterations the emulator's counters claim.
         observed: u64,
+    },
+    /// A streaming window committed fewer stores than instructions it
+    /// issued — a lost store. Without this check a dropped write leaves
+    /// a stale value in the destination stream, which is silent
+    /// corruption whenever the stream was written by an earlier trip of
+    /// the same window.
+    StoreElided {
+        /// Instructions the window issued.
+        issued: u64,
+        /// Stores that actually committed.
+        stored: u64,
     },
 }
 
@@ -150,9 +168,16 @@ impl fmt::Display for ExecError {
             ExecError::CrossCheckMismatch { output } => {
                 write!(f, "output {output} disagrees with the reference interpreter")
             }
+            ExecError::CarryDiverged => {
+                write!(f, "streaming carry-out diverged from the reference interpreter")
+            }
             ExecError::CounterMismatch { expected, observed } => write!(
                 f,
                 "window counter corrupted: launched {expected} windows, counters claim {observed}"
+            ),
+            ExecError::StoreElided { issued, stored } => write!(
+                f,
+                "streaming window issued {issued} instructions but committed {stored} stores"
             ),
         }
     }
@@ -465,8 +490,17 @@ pub fn execute_prepared_ctl(
 /// runs sequentially (instruction at a time) with cross-chunk carries —
 /// the carry-parameterised branch of [`execute_prepared_ctl`].
 ///
+/// Hardening mirrors the batch path: an armed [`ExecConfig::fault`]
+/// corrupts the window deterministically (see [`StreamFault`]), the
+/// carry slot walk is verified against the program's layout on every
+/// run ([`ExecError::CounterMismatch`]), and with
+/// [`ExecConfig::cross_check`] both the outputs *and the carry-out* are
+/// replayed on the reference interpreter
+/// ([`ExecError::CrossCheckMismatch`] / [`ExecError::CarryDiverged`]).
+///
 /// On error the carry state may hold a partially-accumulated window;
-/// the stream must be considered dead (callers cannot resume it).
+/// callers that want to survive must restore a pre-window snapshot
+/// (that is exactly what `bitgen`'s `StreamScanner` transaction does).
 fn execute_streaming_window(
     prog: &Program,
     basis: &Basis,
@@ -479,7 +513,8 @@ fn execute_streaming_window(
     let mut metrics = ExecMetrics { segments: 1, threads: config.threads, ..ExecMetrics::default() };
     scratch.env.clear();
     let reference = config.cross_check.then(|| carry.fork());
-    {
+    let expected_slots = carry.slot_count() as u64;
+    let (run_result, walk_end, fault_state, issued, stored) = {
         let mut seq = SeqExec {
             basis,
             env: &mut scratch.env,
@@ -489,8 +524,28 @@ fn execute_streaming_window(
             words: stream_len.div_ceil(WORD_BITS) as u64,
             ctl,
             carry: Some(SeqCarry { state: carry, next: 0 }),
+            fault: config.fault.map(StreamFault::new),
+            issued: 0,
+            stored: 0,
         };
-        seq.run(prog.stmts())?;
+        let result = seq.run(prog.stmts());
+        let walk = seq.carry.as_ref().map_or(0, |c| c.next) as u64;
+        (result, walk, seq.fault.take(), seq.issued, seq.stored)
+    };
+    run_result?;
+    // Always-on lost-store invariant: every issued instruction commits
+    // exactly one store; a shortfall means a write was dropped, leaving
+    // a stale value behind that no later check can tell from a real one.
+    if issued != stored {
+        return Err(ExecError::StoreElided { issued, stored });
+    }
+    // Always-on walk invariant: a clean window consumes exactly the
+    // program's slots in pre-order; any other count means the walk (or a
+    // corrupted counter) desynchronised from the layout, and the carries
+    // that were read/written are untrustworthy.
+    let observed = walk_end + fault_state.as_ref().map_or(0, |f| f.counter_bump);
+    if observed != expected_slots {
+        return Err(ExecError::CounterMismatch { expected: expected_slots, observed });
     }
     let resident: usize = scratch.env.values().map(|s| s.len().div_ceil(8)).sum();
     metrics.peak_materialized_bytes = metrics.peak_materialized_bytes.max(resident);
@@ -507,9 +562,12 @@ fn execute_streaming_window(
                 return Err(ExecError::CrossCheckMismatch { output: i });
             }
         }
-        debug_assert_eq!(fork, *carry, "streaming carry state diverged from the reference");
+        if fork != *carry {
+            return Err(ExecError::CarryDiverged);
+        }
     }
-    Ok(ExecOutcome { outputs, metrics, fault_fired: false })
+    let fault_fired = fault_state.as_ref().is_some_and(|f| f.fired);
+    Ok(ExecOutcome { outputs, metrics, fault_fired })
 }
 
 /// Mutable state threaded through one execution: the run's metrics, its
@@ -671,8 +729,41 @@ fn run_sequential(
         words,
         ctl: cx.ctl,
         carry: None,
+        fault: None,
+        issued: 0,
+        stored: 0,
     };
     seq.run(&seg.stmts)
+}
+
+/// Deterministic fault injection for the sequential streaming executor —
+/// the streaming counterpart of the CTA emulator's `arm_fault`. The plan's
+/// `trigger` counts *executed ops* (loop trips re-count their bodies, so
+/// the firing point is deterministic for a given program and chunk) and
+/// each kind maps onto this path's failure surface:
+///
+/// - `SmemFlip`: flips one seed-selected bit of the op's computed value
+///   (caught by cross-check, or masked if the bit is dead);
+/// - `SkipBarrier`: drops the op's write — a lost store (caught by the
+///   always-on store-count invariant as [`ExecError::StoreElided`]);
+/// - `CorruptTrips`: flips a bit in a carry slot's *outgoing* buffer via
+///   [`CarryState::corrupt_outgoing`] (caught by the cross-check carry
+///   replay as [`ExecError::CarryDiverged`]);
+/// - `CorruptCounter`: inflates the slot-walk count reported after the
+///   window (caught by the always-on walk invariant);
+/// - `Panic`: panics mid-window (isolated by the caller's `catch_unwind`).
+struct StreamFault {
+    plan: FaultPlan,
+    ops_seen: u32,
+    fired: bool,
+    /// `CorruptCounter`: added to the observed slot-walk count.
+    counter_bump: u64,
+}
+
+impl StreamFault {
+    fn new(plan: FaultPlan) -> StreamFault {
+        StreamFault { plan, ops_seen: 0, fired: false, counter_bump: 0 }
+    }
 }
 
 /// Streaming slot walk mirrored by [`SeqExec`] — see
@@ -703,6 +794,15 @@ struct SeqExec<'a> {
     /// `Some` when executing one streaming window with cross-chunk
     /// carries; `None` for ordinary whole-stream sequential segments.
     carry: Option<SeqCarry<'a>>,
+    /// Armed fault, streaming windows only ([`execute_streaming_window`]
+    /// sets it from [`ExecConfig::fault`]); batch sequential segments run
+    /// their drills through the CTA emulator instead.
+    fault: Option<StreamFault>,
+    /// Instructions issued by [`SeqExec::exec`]; paired with `stored`
+    /// for the streaming lost-store invariant.
+    issued: u64,
+    /// Stores committed to the environment.
+    stored: u64,
 }
 
 impl SeqExec<'_> {
@@ -790,7 +890,8 @@ impl SeqExec<'_> {
         c.global_store_words += self.words;
         // One barrier between consecutive instruction loops (Fig. 5b).
         c.barriers += 1;
-        let value = match op {
+        self.issued += 1;
+        let mut value = match op {
             Op::MatchCc { class, .. } => {
                 compile_class(class).eval(self.basis).resized(self.stream_len)
             }
@@ -824,13 +925,47 @@ impl SeqExec<'_> {
             Op::Zero { .. } => BitStream::zeros(self.stream_len),
             Op::Ones { .. } => BitStream::ones(self.stream_len),
         };
+        if let Some(fault) = &mut self.fault {
+            if !fault.fired {
+                fault.ops_seen += 1;
+                if fault.ops_seen >= fault.plan.trigger.max(1) {
+                    fault.fired = true;
+                    match fault.plan.kind {
+                        FaultKind::Panic => panic!("injected fault: streaming window panic"),
+                        FaultKind::SmemFlip => flip_bit(&mut value, fault.plan.seed),
+                        // A lost store: the destination simply never gets
+                        // this window's value.
+                        FaultKind::SkipBarrier => return Ok(()),
+                        FaultKind::CorruptTrips => match &mut self.carry {
+                            Some(c) => c.state.corrupt_outgoing(fault.plan.seed),
+                            None => flip_bit(&mut value, fault.plan.seed),
+                        },
+                        FaultKind::CorruptCounter => {
+                            fault.counter_bump = 1 + fault.plan.seed % 3;
+                        }
+                    }
+                }
+            }
+        }
         self.env.insert(op.dst(), value);
+        self.stored += 1;
         Ok(())
     }
 
     fn get(&self, id: StreamId) -> Result<&BitStream, ExecError> {
         fetch(self.env, id)
     }
+}
+
+/// Flips one seed-selected bit of `value` (no-op on empty streams) —
+/// the bit-corruption primitive shared by the streaming fault kinds.
+fn flip_bit(value: &mut BitStream, seed: u64) {
+    if value.is_empty() {
+        return;
+    }
+    let bit = seed as usize % value.len();
+    let cur = value.get(bit);
+    value.set(bit, !cur);
 }
 
 /// [`SeqExec::get`] without borrowing the whole executor, so carry ops

@@ -28,7 +28,76 @@
 
 use crate::program::{Op, Program, Stmt};
 use bitgen_bitstream::BitStream;
+use std::fmt;
 use std::ops::Range;
+
+/// Why a [`CarryState`] failed integrity validation or deserialization.
+///
+/// Returned by [`CarryState::validate`] and [`CarryState::read_bytes`];
+/// every variant means the state must not be executed — running a
+/// corrupted carry would silently poison all downstream matches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CarryError {
+    /// The slot count differs from the program's carry layout.
+    SlotCountMismatch {
+        /// Slots the program's layout requires.
+        expected: usize,
+        /// Slots the state actually holds.
+        found: usize,
+    },
+    /// One slot's width differs from the instruction it belongs to.
+    SlotWidthMismatch {
+        /// Pre-order index of the offending slot.
+        slot: usize,
+        /// Width the instruction requires.
+        expected: usize,
+        /// Width the slot actually has.
+        found: usize,
+    },
+    /// The recorded checksum does not cover the incoming carry bits —
+    /// the state was corrupted after its last rotate.
+    ChecksumMismatch {
+        /// Checksum the state carries.
+        expected: u64,
+        /// Checksum recomputed over the current bits.
+        found: u64,
+    },
+    /// An outgoing buffer holds bits at a window boundary; the
+    /// post-window rotate must have zeroed it, so something scribbled on
+    /// the state between pushes.
+    DirtyOutgoing {
+        /// Pre-order index of the offending slot.
+        slot: usize,
+    },
+    /// Serialized bytes were truncated or structurally malformed.
+    Malformed {
+        /// What the parser tripped over.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for CarryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CarryError::SlotCountMismatch { expected, found } => {
+                write!(f, "carry slot count mismatch: program needs {expected}, state has {found}")
+            }
+            CarryError::SlotWidthMismatch { slot, expected, found } => {
+                write!(f, "carry slot {slot} width mismatch: needs {expected} bits, has {found}")
+            }
+            CarryError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "carry checksum mismatch: recorded {expected:#018x}, recomputed {found:#018x}"
+            ),
+            CarryError::DirtyOutgoing { slot } => {
+                write!(f, "carry slot {slot} has a dirty outgoing buffer at a window boundary")
+            }
+            CarryError::Malformed { reason } => write!(f, "malformed carry bytes: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CarryError {}
 
 /// Per-instruction carry slots threaded between consecutive chunks.
 ///
@@ -41,6 +110,13 @@ use std::ops::Range;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CarryState {
     slots: Vec<Slot>,
+    /// Checksum over the incoming carries, refreshed by [`CarryState::rotate`].
+    ///
+    /// During a window only the outgoing buffers mutate, so the seal
+    /// stays valid from one rotate to the next; [`CarryState::validate`]
+    /// recomputes it to detect corruption that happened *between*
+    /// pushes (stray writes, bitrot in a deserialized checkpoint).
+    seal: u64,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -92,7 +168,8 @@ impl CarryState {
             }
             _ => {}
         });
-        CarryState { slots }
+        let seal = seal_of(&slots);
+        CarryState { slots, seal }
     }
 
     /// Number of carry slots.
@@ -108,6 +185,134 @@ impl CarryState {
             let w = s.outgoing.len();
             s.outgoing.reset_zeros(w);
         }
+        self.seal = seal_of(&self.slots);
+    }
+
+    /// The integrity checksum recorded at the last rotate (or at
+    /// construction / deserialization).
+    pub fn seal(&self) -> u64 {
+        self.seal
+    }
+
+    /// Checks this state against `program`'s carry layout and its own
+    /// checksum: slot count, per-slot widths, zeroed outgoing buffers,
+    /// and the incoming-carry seal must all hold.
+    ///
+    /// Valid only at a window boundary (right after construction,
+    /// [`CarryState::rotate`], or [`CarryState::read_bytes`]) — mid-window
+    /// the outgoing side is legitimately dirty.
+    ///
+    /// # Errors
+    ///
+    /// The first [`CarryError`] found, in slot order.
+    pub fn validate(&self, program: &Program) -> Result<(), CarryError> {
+        let expected = expected_widths(program);
+        if expected.len() != self.slots.len() {
+            return Err(CarryError::SlotCountMismatch {
+                expected: expected.len(),
+                found: self.slots.len(),
+            });
+        }
+        for (slot, (s, &w)) in self.slots.iter().zip(&expected).enumerate() {
+            if s.incoming.len() != w {
+                return Err(CarryError::SlotWidthMismatch {
+                    slot,
+                    expected: w,
+                    found: s.incoming.len(),
+                });
+            }
+            if s.outgoing.len() != w {
+                return Err(CarryError::SlotWidthMismatch {
+                    slot,
+                    expected: w,
+                    found: s.outgoing.len(),
+                });
+            }
+            if s.outgoing.any() {
+                return Err(CarryError::DirtyOutgoing { slot });
+            }
+        }
+        let found = seal_of(&self.slots);
+        if found != self.seal {
+            return Err(CarryError::ChecksumMismatch { expected: self.seal, found });
+        }
+        Ok(())
+    }
+
+    /// Serializes the state into `out`: slot count, each slot's incoming
+    /// carry (width + words), then the seal. Only the incoming side is
+    /// written — at a window boundary the outgoing buffers are zero by
+    /// contract ([`CarryState::validate`] enforces it), so they carry no
+    /// information.
+    pub fn write_bytes(&self, out: &mut Vec<u8>) {
+        out.extend((self.slots.len() as u32).to_le_bytes());
+        for s in &self.slots {
+            out.extend((s.incoming.len() as u64).to_le_bytes());
+            for &w in s.incoming.as_words() {
+                out.extend(w.to_le_bytes());
+            }
+        }
+        out.extend(self.seal.to_le_bytes());
+    }
+
+    /// Parses a state previously written by [`CarryState::write_bytes`],
+    /// advancing `cursor` past the consumed bytes and re-verifying the
+    /// seal over the parsed bits.
+    ///
+    /// The result is layout-agnostic; callers restoring a stream must
+    /// still [`CarryState::validate`] it against the program it will run.
+    ///
+    /// # Errors
+    ///
+    /// [`CarryError::Malformed`] on truncated or implausible bytes,
+    /// [`CarryError::ChecksumMismatch`] when the stored seal does not
+    /// cover the stored bits.
+    pub fn read_bytes(bytes: &[u8], cursor: &mut usize) -> Result<CarryState, CarryError> {
+        let n = read_u32(bytes, cursor)? as usize;
+        if n > bytes.len() {
+            return Err(CarryError::Malformed { reason: "slot count exceeds payload size" });
+        }
+        let mut slots = Vec::with_capacity(n);
+        for _ in 0..n {
+            let width = read_u64(bytes, cursor)? as usize;
+            // An Advance slot is as wide as its shift amount; anything
+            // approaching the payload size is corruption, and bounding it
+            // keeps a flipped length byte from forcing a huge allocation.
+            if width > bytes.len().saturating_mul(8) {
+                return Err(CarryError::Malformed { reason: "carry slot implausibly wide" });
+            }
+            let words = (0..width.div_ceil(64))
+                .map(|_| read_u64(bytes, cursor))
+                .collect::<Result<Vec<u64>, CarryError>>()?;
+            let incoming = BitStream::from_words(words, width);
+            slots.push(Slot { outgoing: BitStream::zeros(width), incoming });
+        }
+        let seal = read_u64(bytes, cursor)?;
+        let found = seal_of(&slots);
+        if found != seal {
+            return Err(CarryError::ChecksumMismatch { expected: seal, found });
+        }
+        Ok(CarryState { slots, seal })
+    }
+
+    /// Fault-drill hook: flips one seed-selected bit of one slot's
+    /// *outgoing* buffer, simulating mid-window carry corruption (the
+    /// streaming analogue of the CTA emulator's `CorruptTrips`). A no-op
+    /// when the state has no slots. Detected by the cross-check replay's
+    /// carry comparison; never call it outside fault drills.
+    pub fn corrupt_outgoing(&mut self, seed: u64) {
+        if self.slots.is_empty() {
+            return;
+        }
+        let slot = seed as usize % self.slots.len();
+        let s = &mut self.slots[slot];
+        let width = s.outgoing.len();
+        if width == 0 {
+            return;
+        }
+        let bit = (seed >> 16) as usize % width;
+        let cur = s.outgoing.get(bit);
+        s.outgoing.set(bit, !cur);
     }
 
     /// A copy with the same incoming carries and zeroed outgoing side —
@@ -176,6 +381,66 @@ pub fn carry_slot_count(stmts: &[Stmt]) -> usize {
         }
     });
     n
+}
+
+/// FNV-1a over the incoming carries: slot count, then each slot's width
+/// and words. Cheap (one multiply per byte over a few machine words) and
+/// stable across processes, which checkpoint serialization relies on.
+fn seal_of(slots: &[Slot]) -> u64 {
+    let mut h = fnv_word(FNV_OFFSET, slots.len() as u64);
+    for s in slots {
+        h = fnv_word(h, s.incoming.len() as u64);
+        for &w in s.incoming.as_words() {
+            h = fnv_word(h, w);
+        }
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_word(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Slot widths `program`'s carry layout requires, in pre-order — the
+/// validation counterpart of [`CarryState::for_program`] (which also
+/// asserts streamability; this never panics).
+fn expected_widths(program: &Program) -> Vec<usize> {
+    let mut widths = Vec::new();
+    build_slots(program.stmts(), false, &mut |op, _| match op {
+        Op::Advance { amount, .. } => widths.push(*amount as usize),
+        Op::Add { .. } => widths.push(1),
+        _ => {}
+    });
+    widths
+}
+
+fn read_u32(bytes: &[u8], cursor: &mut usize) -> Result<u32, CarryError> {
+    let end = cursor
+        .checked_add(4)
+        .filter(|&e| e <= bytes.len())
+        .ok_or(CarryError::Malformed { reason: "truncated" })?;
+    let mut buf = [0u8; 4];
+    buf.copy_from_slice(&bytes[*cursor..end]);
+    *cursor = end;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64(bytes: &[u8], cursor: &mut usize) -> Result<u64, CarryError> {
+    let end = cursor
+        .checked_add(8)
+        .filter(|&e| e <= bytes.len())
+        .ok_or(CarryError::Malformed { reason: "truncated" })?;
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(&bytes[*cursor..end]);
+    *cursor = end;
+    Ok(u64::from_le_bytes(buf))
 }
 
 fn build_slots(stmts: &[Stmt], top_level: bool, f: &mut impl FnMut(&Op, bool)) {
@@ -248,6 +513,91 @@ mod tests {
         let mut replay = fork.clone();
         replay.advance_through(0, &window, 1);
         assert_eq!(replay, state);
+    }
+
+    #[test]
+    fn validate_accepts_fresh_and_rotated_states() {
+        let prog = lower(&parse("a(bc)*d").unwrap());
+        let mut state = CarryState::for_program(&prog);
+        state.validate(&prog).unwrap();
+        let window = BitStream::from_positions(6, &[2, 4]);
+        state.advance_through(0, &window, 1);
+        state.rotate();
+        state.validate(&prog).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_foreign_layouts() {
+        let a = lower(&parse("a(bc)*d").unwrap());
+        let b = lower(&parse("x").unwrap());
+        let state = CarryState::for_program(&a);
+        assert!(matches!(
+            state.validate(&b),
+            Err(CarryError::SlotCountMismatch { .. } | CarryError::SlotWidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_dirty_outgoing() {
+        let prog = lower(&parse("ab").unwrap());
+        let mut state = CarryState::for_program(&prog);
+        state.corrupt_outgoing(0);
+        assert!(matches!(state.validate(&prog), Err(CarryError::DirtyOutgoing { .. })));
+    }
+
+    #[test]
+    fn bytes_round_trip_preserves_state_and_seal() {
+        let prog = lower(&parse("a(bc)*d").unwrap());
+        let mut state = CarryState::for_program(&prog);
+        let window = BitStream::from_positions(9, &[1, 3, 7]);
+        state.advance_through(0, &window, 1);
+        state.rotate();
+        let mut bytes = Vec::new();
+        state.write_bytes(&mut bytes);
+        let mut cursor = 0;
+        let back = CarryState::read_bytes(&bytes, &mut cursor).unwrap();
+        assert_eq!(cursor, bytes.len());
+        assert_eq!(back, state);
+        back.validate(&prog).unwrap();
+    }
+
+    #[test]
+    fn tampered_bytes_are_rejected() {
+        let prog = lower(&parse("a{2,}").unwrap());
+        let mut state = CarryState::for_program(&prog);
+        state.advance_through(0, &BitStream::from_positions(5, &[1]), 1);
+        state.rotate();
+        let mut bytes = Vec::new();
+        state.write_bytes(&mut bytes);
+        // Flip one bit in every byte position in turn: each parse must
+        // fail with a typed error (never panic, never accept silently)
+        // unless the flipped bit is semantically dead (a masked tail bit
+        // of a partial word), in which case the parse may still succeed —
+        // but must then decode to the identical state.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 1;
+            let mut cursor = 0;
+            if let Ok(parsed) = CarryState::read_bytes(&bad, &mut cursor) {
+                assert_eq!(parsed, state, "byte {i} flip changed state but was accepted");
+            }
+        }
+        // Truncations fail typed too.
+        for cut in 0..bytes.len() {
+            let mut cursor = 0;
+            assert!(CarryState::read_bytes(&bytes[..cut], &mut cursor).is_err());
+        }
+    }
+
+    #[test]
+    fn corrupt_outgoing_diverges_from_clean_replay() {
+        // The hook must actually corrupt something a fork-replay compare
+        // can see — that is what the streaming CorruptTrips drill relies on.
+        let prog = lower(&parse("ab").unwrap());
+        let mut live = CarryState::for_program(&prog);
+        let fork = live.fork();
+        live.corrupt_outgoing(7);
+        assert_ne!(live, fork);
     }
 
     #[test]

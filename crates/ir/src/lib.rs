@@ -43,7 +43,7 @@ mod verify;
 
 pub use analysis::DefUse;
 pub use builder::ProgramBuilder;
-pub use carry::{carry_slot_count, CarryState};
+pub use carry::{carry_slot_count, CarryError, CarryState};
 pub use control::{CancelToken, Interrupt, RunControl};
 pub use interp::{interpret, try_interpret, try_interpret_chunk, InterpError, InterpResult};
 pub use limits::{CompileLimits, LimitError};

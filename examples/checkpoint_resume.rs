@@ -1,0 +1,106 @@
+//! Suspend/resume across processes: scan half a stream, checkpoint to a
+//! file, and finish the scan in a *different process* — with matches
+//! bit-identical to one uninterrupted batch scan.
+//!
+//! ```text
+//! cargo run --release --example checkpoint_resume            # whole story in-process
+//! cargo run --release --example checkpoint_resume -- first CKPT   # scan half, write CKPT
+//! cargo run --release --example checkpoint_resume -- second CKPT  # resume CKPT, finish
+//! ```
+//!
+//! The `first`/`second` modes are the cross-process smoke test `ci.sh`
+//! runs: each mode is its own process, so the checkpoint really does
+//! travel through serialized bytes on disk, and `second` prints the
+//! total match count for the driver to compare against `batch` mode.
+
+use bitgen::{BitGen, RetryPolicy, StreamCheckpoint};
+
+const PATTERNS: [&str; 3] = ["GET /[a-z]+ ", "err[0-9]+", "a(bc)*d"];
+
+fn input() -> Vec<u8> {
+    let mut input = Vec::new();
+    for i in 0..600 {
+        match i % 4 {
+            0 => input.extend_from_slice(b"GET /index HTTP\n"),
+            1 => input.extend_from_slice(b"err4042 handled abcbcd\n"),
+            2 => input.extend_from_slice(b"abcbcbcd then err7\n"),
+            _ => input.extend_from_slice(b"nothing to see....\n"),
+        }
+    }
+    input
+}
+
+/// The halves meet at a byte offset that is *not* chunk-aligned overall:
+/// the first process stops mid-pattern so real carry state crosses the
+/// checkpoint.
+fn split_point(len: usize) -> usize {
+    len / 2 + 7
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let engine = BitGen::compile(&PATTERNS)?;
+    let input = input();
+    let cut = split_point(input.len());
+    match args.first().map(String::as_str) {
+        // One uninterrupted scan: the ground truth.
+        Some("batch") => {
+            println!("matches: {}", engine.find(&input)?.match_count());
+        }
+        // Process 1: stream the first half in 4 KiB chunks, then
+        // suspend to the checkpoint file.
+        Some("first") => {
+            let path = args.get(1).expect("usage: first CKPT");
+            let mut scanner = engine.streamer()?;
+            scanner.set_retry_policy(RetryPolicy::resilient());
+            let mut count = 0usize;
+            for chunk in input[..cut].chunks(4096) {
+                count += scanner.push(chunk)?.len();
+            }
+            std::fs::write(path, scanner.checkpoint().to_bytes())?;
+            println!("first half: {count} matches, suspended at byte {}", scanner.consumed());
+        }
+        // Process 2: resume from the file and finish the stream.
+        Some("second") => {
+            let path = args.get(1).expect("usage: second CKPT");
+            let ckpt = StreamCheckpoint::from_bytes(&std::fs::read(path)?)?;
+            let mut scanner = engine.resume(&ckpt)?;
+            let skip = ckpt.consumed() as usize;
+            // `second` recomputes the first half's count for the total;
+            // a real pipeline would have persisted its own tally.
+            let first_count = {
+                let mut s = engine.streamer()?;
+                let mut n = 0usize;
+                for chunk in input[..skip].chunks(4096) {
+                    n += s.push(chunk)?.len();
+                }
+                n
+            };
+            let mut count = first_count;
+            for chunk in input[skip..].chunks(4096) {
+                count += scanner.push(chunk)?.len();
+            }
+            println!("matches: {count}");
+        }
+        // No mode: demonstrate the whole story in one process.
+        _ => {
+            let batch = engine.find(&input)?.match_count();
+            let mut first = engine.streamer()?;
+            let mut streamed = Vec::new();
+            for chunk in input[..cut].chunks(4096) {
+                streamed.extend(first.push(chunk)?);
+            }
+            let bytes = first.checkpoint().to_bytes();
+            drop(first);
+            println!("suspended at byte {cut} ({} checkpoint bytes)", bytes.len());
+            let ckpt = StreamCheckpoint::from_bytes(&bytes)?;
+            let mut second = engine.resume(&ckpt)?;
+            for chunk in input[cut..].chunks(4096) {
+                streamed.extend(second.push(chunk)?);
+            }
+            assert_eq!(streamed.len(), batch, "resumed stream must equal batch");
+            println!("resumed and finished: {} matches == batch {batch}", streamed.len());
+        }
+    }
+    Ok(())
+}

@@ -11,6 +11,7 @@
 
 use bitgen::{
     BitGen, CancelToken, EngineConfig, Error, ExecError, FaultKind, FaultPlan, RecoveryPolicy,
+    RetryPolicy,
 };
 use std::sync::Once;
 use std::time::{Duration, Instant};
@@ -90,6 +91,163 @@ fn seeded_fault_sweep_has_no_silent_corruption() {
     // The sweep must genuinely exercise the checks: panics alone are a
     // fifth of the plans, so a healthy run detects well above that.
     assert!(detected >= 24, "only {detected}/120 detections — injector is not firing");
+}
+
+/// Batch match ends as global offsets — the streaming ground truth.
+fn batch_ends(engine: &BitGen, input: &[u8]) -> Vec<u64> {
+    engine.find(input).unwrap().matches.positions().iter().map(|&p| p as u64).collect()
+}
+
+/// The streaming acceptance sweep: ≥120 seeded faults armed *mid-stream*
+/// (one clean chunk, then the fault on the victim group's next window).
+/// Scanners run fail-fast (default [`RetryPolicy`]), so each case either
+/// returns a typed error — after which the scanner must be poisoned and
+/// refuse reuse — or completes with matches bit-identical to batch
+/// [`BitGen::find`]. Success with different matches is silent corruption
+/// and fails the test.
+#[test]
+fn streaming_seeded_fault_sweep_has_no_silent_corruption() {
+    quiet_injected_panics();
+    let engine = engine(RecoveryPolicy::Fail);
+    let groups = engine.group_count();
+    let mut detected = 0usize;
+    let mut masked = 0usize;
+    for seed in 0..120u64 {
+        let input = workload(seed as usize);
+        let clean = batch_ends(&engine, &input);
+        let mut scanner = engine.streamer().unwrap();
+        let sizes = [61 + seed as usize % 77, 40, 129];
+        let first = sizes[0].min(input.len());
+        let mut ends = scanner.push(&input[..first]).unwrap();
+        scanner.inject_fault(seed as usize % groups, FaultPlan::from_seed(seed), 1);
+        let mut pos = first;
+        let mut i = 1usize;
+        let mut failed = None;
+        while pos < input.len() {
+            let size = sizes[i % sizes.len()].min(input.len() - pos);
+            match scanner.push(&input[pos..pos + size]) {
+                Ok(more) => ends.extend(more),
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            }
+            pos += size;
+            i += 1;
+        }
+        match failed {
+            Some(_) => {
+                detected += 1;
+                // An unrecovered failure poisons the scanner: reuse is
+                // fenced off with the dedicated error, not re-executed.
+                assert!(scanner.is_poisoned(), "seed {seed}: failed scanner not poisoned");
+                assert_eq!(
+                    scanner.push(b"more").unwrap_err(),
+                    Error::StreamPoisoned,
+                    "seed {seed}: reuse after failure must be StreamPoisoned"
+                );
+            }
+            None => {
+                assert_eq!(
+                    ends, clean,
+                    "seed {seed}: fault passed silently with corrupted stream matches"
+                );
+                assert_eq!(scanner.degraded_chunks(), 0, "fail-fast must not degrade");
+                masked += 1;
+            }
+        }
+    }
+    assert_eq!(detected + masked, 120);
+    // Panics alone are a fifth of the plans; a healthy run detects more.
+    assert!(detected >= 24, "only {detected}/120 detections — injector is not firing");
+}
+
+/// A transient fault (one corrupted window execution) is absorbed by a
+/// retry: the push succeeds on fresh scratch, matches stay bit-identical
+/// to batch, and the recovery is visible in [`StreamScanner::retries`].
+#[test]
+fn streaming_retry_recovers_transient_faults() {
+    quiet_injected_panics();
+    let engine = engine(RecoveryPolicy::Fail);
+    let input = workload(2);
+    let clean = batch_ends(&engine, &input);
+    // These kinds are deterministically detected (panic isolation, the
+    // always-on slot-walk counter invariant, carry cross-check).
+    for kind in [FaultKind::Panic, FaultKind::CorruptCounter, FaultKind::CorruptTrips] {
+        let mut scanner = engine.streamer().unwrap();
+        scanner.set_retry_policy(RetryPolicy::none().with_attempts(3));
+        let mut ends = scanner.push(&input[..100]).unwrap();
+        scanner.inject_fault(0, FaultPlan { kind, trigger: 1, seed: 11 }, 1);
+        for chunk in input[100..].chunks(97) {
+            ends.extend(scanner.push(chunk).unwrap());
+        }
+        assert_eq!(ends, clean, "{kind:?}: retried stream must match batch");
+        assert_eq!(scanner.retries(), 1, "{kind:?}: exactly one retry");
+        assert_eq!(scanner.degraded_chunks(), 0, "{kind:?}: no degradation needed");
+        assert!(!scanner.is_poisoned(), "{kind:?}: recovered scanner stays live");
+        assert_eq!(scanner.consumed(), input.len() as u64);
+    }
+}
+
+/// A persistent fault (armed on every window of its group) exhausts the
+/// retry budget every push; under a degrading policy each affected chunk
+/// falls back to the CPU interpreter with exact matches, and the
+/// degradation is reported — never silent.
+#[test]
+fn streaming_degradation_recovers_persistent_faults() {
+    quiet_injected_panics();
+    let engine = engine(RecoveryPolicy::Fail);
+    let input = workload(3);
+    let clean = batch_ends(&engine, &input);
+    let mut scanner = engine.streamer().unwrap();
+    scanner.set_retry_policy(RetryPolicy::resilient());
+    let plan = FaultPlan { kind: FaultKind::Panic, trigger: 1, seed: 5 };
+    scanner.inject_fault(0, plan, u32::MAX);
+    let mut ends = Vec::new();
+    let mut pushes = 0u64;
+    for chunk in input.chunks(113) {
+        ends.extend(scanner.push(chunk).unwrap());
+        pushes += 1;
+    }
+    assert_eq!(ends, clean, "degraded stream must match batch exactly");
+    assert_eq!(scanner.degraded_chunks(), pushes, "every chunk was recovered on the CPU");
+    assert_eq!(scanner.retries(), 2 * pushes, "two failed retries per degraded push");
+    assert!(!scanner.is_poisoned());
+    scanner.clear_fault();
+    // Fault cleared: the stream keeps going on the device path.
+    let before = scanner.degraded_chunks();
+    scanner.push(b"abcbcd cat 42x ").unwrap();
+    assert_eq!(scanner.degraded_chunks(), before);
+}
+
+/// Cancellation mid-stream rolls the push back without poisoning: the
+/// scanner stays usable, and re-pushing the same chunk after clearing
+/// the token yields exactly the matches an uninterrupted stream gets.
+#[test]
+fn streaming_cancellation_rolls_back_without_poisoning() {
+    let engine = engine(RecoveryPolicy::Fail);
+    let input = workload(4);
+    let clean = batch_ends(&engine, &input);
+    let mut scanner = engine.streamer().unwrap();
+    let mut ends = scanner.push(&input[..200]).unwrap();
+    let consumed = scanner.consumed();
+    let seconds = scanner.seconds();
+    let token = CancelToken::new();
+    token.cancel();
+    scanner.set_cancel_token(token);
+    assert_eq!(
+        scanner.push(&input[200..400]).unwrap_err(),
+        Error::Exec(ExecError::Cancelled)
+    );
+    assert!(!scanner.is_poisoned(), "interrupts must not poison");
+    assert_eq!(scanner.consumed(), consumed, "failed push must not count bytes");
+    assert_eq!(scanner.seconds().to_bits(), seconds.to_bits(), "or seconds");
+    scanner.set_cancel_token(CancelToken::new());
+    ends.extend(scanner.push(&input[200..400]).unwrap());
+    for chunk in input[400..].chunks(256) {
+        ends.extend(scanner.push(chunk).unwrap());
+    }
+    assert_eq!(ends, clean, "post-cancel replay must be bit-identical to batch");
 }
 
 /// A worker panic in one (group × stream) CTA surfaces as a typed
