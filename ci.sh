@@ -47,6 +47,20 @@ cargo bench -q -p bitgen-bench --bench compile_pipeline
 # sweep (the bench binary keeps sample counts low).
 cargo bench -q -p bitgen-bench --bench stream_scan
 
+# Trajectory barometer: run the smoke matrix (modelled engines only —
+# deterministic cost-model seconds, so the gate is noise-free) and
+# compare against the checked-in baseline. Fails on any modelled
+# regression beyond the threshold or any match-count drift. After an
+# intentional perf change, regenerate the baseline with:
+#   cargo run --release -p bitgen-bench --bin bitgen-bench -- \
+#     run --smoke --modelled-only --out results/BENCH_smoke.json
+SMOKE="$(mktemp -t bench_smoke.XXXXXX.json)"
+trap 'rm -f "$CKPT" "$SMOKE"' EXIT
+cargo run -q --release -p bitgen-bench --bin bitgen-bench -- \
+  run --smoke --modelled-only --out "$SMOKE" > /dev/null
+cargo run -q --release -p bitgen-bench --bin bitgen-bench -- \
+  compare results/BENCH_smoke.json "$SMOKE" --modelled-only
+
 cargo clippy --workspace -- -D warnings
 
 # Panic-hygiene pass over the library crates: unwrap/expect are flagged

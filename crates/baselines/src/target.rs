@@ -1,0 +1,175 @@
+//! [`BenchTarget`]: the one face every engine shows a benchmark loop.
+//!
+//! The trajectory harness (`bitgen-bench`), the repro tables, and the
+//! examples all time engines through this trait, so there is exactly one
+//! timing loop in the tree. A target is *prepared* (compiled, built)
+//! before timing starts; [`BenchTarget::scan`] then does one complete
+//! scan of the input and reports what it found.
+//!
+//! Engines split into two timing regimes:
+//!
+//! - **modelled** ([`BenchTarget::modelled`] is `true`): the scan's cost
+//!   comes from the deterministic device cost model, returned in
+//!   [`TargetRun::modelled_seconds`]. Bit-identical across hosts and
+//!   thread counts — safe to compare across CI revisions.
+//! - **measured**: the engine really runs on the host CPU and the
+//!   harness wall-clocks the `scan` call. Host-dependent and noisy —
+//!   cross-checked for match counts, compared only informationally.
+
+use crate::{
+    run_gpu_nfa, AhoCorasick, CpuBitstreamEngine, DfaEngine, GpuNfaModel, HybridEngine, HybridMt,
+    MultiNfa,
+};
+use bitgen_gpu::DeviceConfig;
+
+/// What one [`BenchTarget::scan`] call produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetRun {
+    /// Match-end positions found (whatever "match" means for the
+    /// engine; literal engines count literal hits).
+    pub matches: u64,
+    /// Modelled seconds for the scan, when the target is modelled;
+    /// `None` means "wall-clock me".
+    pub modelled_seconds: Option<f64>,
+}
+
+/// An engine prepared to scan inputs under a benchmark loop.
+pub trait BenchTarget {
+    /// Stable identifier recorded in trajectory files (`"hybrid"`,
+    /// `"gpu_nfa"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// `true` when [`TargetRun::modelled_seconds`] carries the timing
+    /// (deterministic cost model); `false` when the harness must
+    /// wall-clock the call.
+    fn modelled(&self) -> bool {
+        false
+    }
+
+    /// Scans `input` once, end to end.
+    fn scan(&mut self, input: &[u8]) -> TargetRun;
+}
+
+impl BenchTarget for HybridEngine {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn scan(&mut self, input: &[u8]) -> TargetRun {
+        TargetRun { matches: self.run(input).count_ones() as u64, modelled_seconds: None }
+    }
+}
+
+impl BenchTarget for HybridMt {
+    fn name(&self) -> &'static str {
+        "hybrid_mt"
+    }
+
+    fn scan(&mut self, input: &[u8]) -> TargetRun {
+        TargetRun { matches: self.run(input).count_ones() as u64, modelled_seconds: None }
+    }
+}
+
+impl BenchTarget for CpuBitstreamEngine {
+    fn name(&self) -> &'static str {
+        "cpu_bitstream"
+    }
+
+    fn scan(&mut self, input: &[u8]) -> TargetRun {
+        TargetRun { matches: self.run(input).count_ones() as u64, modelled_seconds: None }
+    }
+}
+
+impl BenchTarget for DfaEngine {
+    fn name(&self) -> &'static str {
+        "dfa"
+    }
+
+    fn scan(&mut self, input: &[u8]) -> TargetRun {
+        TargetRun { matches: self.run(input).ends.count_ones() as u64, modelled_seconds: None }
+    }
+}
+
+impl BenchTarget for AhoCorasick {
+    fn name(&self) -> &'static str {
+        "aho"
+    }
+
+    fn scan(&mut self, input: &[u8]) -> TargetRun {
+        TargetRun { matches: self.find_all(input).len() as u64, modelled_seconds: None }
+    }
+}
+
+/// The ngAP-style GPU NFA baseline as a bench target: the NFA really
+/// runs (measured transitions), but its reported time comes from the
+/// latency/bandwidth device model, so the target is modelled.
+#[derive(Debug)]
+pub struct GpuNfaTarget {
+    nfa: MultiNfa,
+    device: DeviceConfig,
+    model: GpuNfaModel,
+}
+
+impl GpuNfaTarget {
+    /// Prepares the NFA for `device` under `model`.
+    pub fn new(nfa: MultiNfa, device: DeviceConfig, model: GpuNfaModel) -> GpuNfaTarget {
+        GpuNfaTarget { nfa, device, model }
+    }
+}
+
+impl BenchTarget for GpuNfaTarget {
+    fn name(&self) -> &'static str {
+        "gpu_nfa"
+    }
+
+    fn modelled(&self) -> bool {
+        true
+    }
+
+    fn scan(&mut self, input: &[u8]) -> TargetRun {
+        let report = run_gpu_nfa(&self.nfa, input, &self.device, &self.model);
+        TargetRun {
+            matches: report.ends.count_ones() as u64,
+            modelled_seconds: Some(report.seconds),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitgen_regex::parse;
+
+    #[test]
+    fn baseline_targets_agree_through_the_trait() {
+        let asts = vec![parse("ab").unwrap(), parse("c+d").unwrap()];
+        let input = b"abcd ccd ab";
+        let expected = HybridEngine::new(&asts).run(input).count_ones() as u64;
+        let mut targets: Vec<Box<dyn BenchTarget>> = vec![
+            Box::new(HybridEngine::new(&asts)),
+            Box::new(HybridMt::new(&asts, 2)),
+            Box::new(DfaEngine::new(&asts)),
+            Box::new(CpuBitstreamEngine::new(&[asts.clone()])),
+            Box::new(GpuNfaTarget::new(
+                MultiNfa::build(&asts),
+                DeviceConfig::rtx3090(),
+                GpuNfaModel::default(),
+            )),
+        ];
+        for t in &mut targets {
+            let run = t.scan(input);
+            assert_eq!(run.matches, expected, "{}", t.name());
+            assert_eq!(run.modelled_seconds.is_some(), t.modelled(), "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn aho_counts_literal_hits() {
+        // `AhoCorasick` has an inherent callback-style `scan`; go
+        // through the trait explicitly, as harness loops do.
+        let mut ac = AhoCorasick::new(&[b"ab".to_vec(), b"bc".to_vec()]);
+        let run = BenchTarget::scan(&mut ac, b"abc abc");
+        assert_eq!(run.matches, 4);
+        assert!(!ac.modelled());
+    }
+}

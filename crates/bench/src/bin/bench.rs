@@ -1,0 +1,239 @@
+//! `bitgen-bench` — the trajectory barometer.
+//!
+//! ```text
+//! bitgen-bench run     [--smoke] [--modelled-only] [--samples N] [--out PATH]
+//! bitgen-bench compare <OLD.json> <NEW.json> [--threshold PCT] [--modelled-only]
+//! bitgen-bench list    [--smoke]
+//! ```
+//!
+//! `run` executes the curated matrix (engines × workload signatures)
+//! and writes a self-describing `BENCH_<rev>.json`; `compare` diffs two
+//! such files and exits nonzero when the new one regresses beyond the
+//! noise floor (or changes match counts); `list` prints the matrix
+//! without running it. Exit codes: 0 clean, 1 regression or correctness
+//! mismatch, 2 usage/parse error.
+
+use bitgen_bench::trajectory::{BenchFile, CompareConfig, Verdict};
+use bitgen_bench::{compare, matrix, run_matrix, MatrixConfig, Table};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("list") => cmd_list(&args[1..]),
+        _ => {
+            print_usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: bitgen-bench run [--smoke] [--modelled-only] [--samples N] [--out PATH]\n\
+         \x20      bitgen-bench compare <OLD.json> <NEW.json> [--threshold PCT] [--modelled-only]\n\
+         \x20      bitgen-bench list [--smoke]"
+    );
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("bitgen-bench: {message}");
+    print_usage();
+    ExitCode::from(2)
+}
+
+/// Best-effort short git revision of the working tree.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut config = MatrixConfig { git_rev: git_rev(), ..MatrixConfig::default() };
+    let mut out: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => config.smoke = true,
+            "--modelled-only" => config.modelled_only = true,
+            "--samples" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => config.samples_measured = n,
+                    _ => return usage_error("--samples needs a positive integer"),
+                }
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out = Some(PathBuf::from(p)),
+                    None => return usage_error("--out needs a path"),
+                }
+            }
+            other => return usage_error(&format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    let out = out.unwrap_or_else(|| PathBuf::from(format!("BENCH_{}.json", config.git_rev)));
+
+    eprintln!(
+        "# bitgen-bench run: {} matrix, rev {}{}",
+        if config.smoke { "smoke" } else { "full" },
+        config.git_rev,
+        if config.modelled_only { ", modelled engines only" } else { "" },
+    );
+    let file = run_matrix(&config);
+
+    let mut t = Table::new(
+        "Trajectory run",
+        &["Entry", "Kind", "Median s", "MAD s", "MB/s", "Matches"],
+    );
+    for e in &file.entries {
+        t.row(vec![
+            e.id.clone(),
+            if e.modelled { "modelled" } else { "measured" }.to_string(),
+            format!("{:.3e}", e.median_seconds),
+            format!("{:.1e}", e.mad_seconds),
+            format!("{:.1}", e.mbps),
+            e.matches.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+
+    if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("bitgen-bench: cannot create {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    }
+    let mut text = file.to_json_string();
+    text.push('\n');
+    if let Err(e) = std::fs::write(&out, text) {
+        eprintln!("bitgen-bench: cannot write {}: {e}", out.display());
+        return ExitCode::from(2);
+    }
+    eprintln!("# wrote {} ({} entries)", out.display(), file.entries.len());
+    ExitCode::SUCCESS
+}
+
+fn load(path: &str) -> Result<BenchFile, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    BenchFile::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_compare(args: &[String]) -> ExitCode {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut config = CompareConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--modelled-only" => config.modelled_only = true,
+            "--threshold" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<f64>().ok()) {
+                    Some(pct) if pct > 0.0 => config.threshold = pct / 100.0,
+                    _ => return usage_error("--threshold needs a positive percentage"),
+                }
+            }
+            flag if flag.starts_with("--") => {
+                return usage_error(&format!("unknown flag {flag:?}"))
+            }
+            path => paths.push(path),
+        }
+        i += 1;
+    }
+    let [old_path, new_path] = paths[..] else {
+        return usage_error("compare needs exactly two trajectory files");
+    };
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bitgen-bench: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if old.engine_fingerprint != new.engine_fingerprint {
+        eprintln!(
+            "# note: engine fingerprints differ ({} vs {}) — compiles changed between revisions",
+            old.engine_fingerprint, new.engine_fingerprint
+        );
+    }
+
+    let report = compare(&old, &new, &config);
+    let mut t = Table::new(
+        &format!("Compare {} → {}", old.git_rev, new.git_rev),
+        &["Entry", "Old s", "New s", "Delta", "Floor", "Verdict"],
+    );
+    for e in &report.entries {
+        let verdict = match e.verdict {
+            Verdict::Regression => "REGRESSION",
+            Verdict::Improvement => "improvement",
+            Verdict::WithinNoise => "within noise",
+            Verdict::Informational => "info",
+        };
+        let flag = if e.match_mismatch { " MATCH-MISMATCH" } else { "" };
+        t.row(vec![
+            e.id.clone(),
+            format!("{:.3e}", e.old_seconds),
+            format!("{:.3e}", e.new_seconds),
+            format!("{:+.1}%", e.rel_change * 100.0),
+            format!("{:.1}%", e.noise_floor * 100.0),
+            format!("{verdict}{flag}"),
+        ]);
+    }
+    print!("{}", t.render());
+    for id in &report.only_in_old {
+        println!("# only in old: {id}");
+    }
+    for id in &report.only_in_new {
+        println!("# only in new: {id}");
+    }
+    let regressions = report.regressions().count();
+    let mismatches = report.mismatches().count();
+    println!(
+        "# {} cells: {} regressions, {} improvements, {} match mismatches",
+        report.entries.len(),
+        regressions,
+        report.improvements().count(),
+        mismatches,
+    );
+    if report.passes() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bitgen-bench: FAIL ({regressions} regressions, {mismatches} match mismatches)");
+        ExitCode::from(1)
+    }
+}
+
+fn cmd_list(args: &[String]) -> ExitCode {
+    let smoke = match args {
+        [] => false,
+        [flag] if flag == "--smoke" => true,
+        _ => return usage_error("list takes only --smoke"),
+    };
+    let specs = if smoke { matrix::smoke_specs() } else { matrix::full_specs() };
+    let mut t = Table::new(
+        if smoke { "Smoke matrix" } else { "Full matrix" },
+        &["Label", "Signature"],
+    );
+    for s in &specs {
+        t.row(vec![s.label.to_string(), s.workload().meta.signature()]);
+    }
+    print!("{}", t.render());
+    println!(
+        "# engines: bitgen, bitgen_prepared, bitgen_stream, gpu_nfa (modelled); \
+         hybrid, hybrid_mt, dfa, cpu_bitstream, aho (measured)"
+    );
+    ExitCode::SUCCESS
+}

@@ -308,7 +308,7 @@ fn table4(config: &HarnessConfig, out: &Path) {
         for kind in AppKind::ALL {
             let w = config.workload(kind);
             let (_, metrics) = run_bitgen(&w, config, scheme);
-            for m in &metrics {
+            for m in &metrics.ctas {
                 loops.push(m.segments as f64);
                 inter.push(m.intermediates as f64);
                 rd.push(m.counters.dram_read_bytes() as f64 / 1e6);
@@ -338,14 +338,15 @@ fn table5(config: &HarnessConfig, out: &Path) {
     for kind in AppKind::ALL {
         let w = config.workload(kind);
         let (_, metrics) = run_bitgen(&w, config, Scheme::Zbs);
-        let n = metrics.len().max(1) as f64;
-        let static_avg = metrics.iter().map(|m| m.static_overlap as f64).sum::<f64>() / n;
-        let dyn_avg = metrics.iter().map(|m| m.dynamic_overlap_avg).sum::<f64>() / n;
-        let dyn_max = metrics.iter().map(|m| m.dynamic_overlap_max).max().unwrap_or(0);
-        let recompute = metrics.iter().map(|m| m.recompute_frac).sum::<f64>() / n * 100.0;
-        let iters = metrics.iter().map(|m| m.window_iterations as f64).sum::<f64>() / n;
-        let retries: u64 = metrics.iter().map(|m| m.retries).sum();
-        let fallbacks: u64 = metrics.iter().map(|m| m.fallbacks).sum();
+        let ctas = &metrics.ctas;
+        let n = ctas.len().max(1) as f64;
+        let static_avg = ctas.iter().map(|m| m.static_overlap as f64).sum::<f64>() / n;
+        let dyn_avg = ctas.iter().map(|m| m.dynamic_overlap_avg).sum::<f64>() / n;
+        let dyn_max = ctas.iter().map(|m| m.dynamic_overlap_max).max().unwrap_or(0);
+        let recompute = ctas.iter().map(|m| m.recompute_frac).sum::<f64>() / n * 100.0;
+        let iters = ctas.iter().map(|m| m.window_iterations as f64).sum::<f64>() / n;
+        let retries: u64 = ctas.iter().map(|m| m.retries).sum();
+        let fallbacks: u64 = ctas.iter().map(|m| m.fallbacks).sum();
         t.row(vec![
             kind.name().to_string(),
             f1(static_avg),
@@ -404,8 +405,8 @@ fn fig13(config: &HarnessConfig, out: &Path, figure: bool) {
                     bitgen::BitGen::from_asts(w.asts.clone(), c.engine_config(Scheme::Sr))
                         .expect("workloads compile within budget");
                 let report = engine.find(&w.input).unwrap();
-                stall.push(report.cost.barrier_stall_frac * 100.0);
-                for mt in &report.metrics {
+                stall.push(report.metrics.cost.barrier_stall_frac * 100.0);
+                for mt in &report.metrics.ctas {
                     sync.push(2.0 * mt.shift_groups as f64);
                     smem_kb.push(mt.smem_bytes as f64 / 1024.0);
                     smem_mb.push(mt.counters.smem_accesses() as f64 * mt.threads as f64 * 4.0 / 1e6);
@@ -588,7 +589,7 @@ fn ablations(config: &HarnessConfig, out: &Path) {
                 ec.grouping = grouping;
                 let engine = bitgen::BitGen::from_asts(w.asts.clone(), ec)
                     .expect("workloads compile within budget");
-                engine.find(&w.input).unwrap().throughput_mbps
+                engine.find(&w.input).unwrap().throughput_mbps()
             })),
         ]);
     }
@@ -624,7 +625,7 @@ fn ablations(config: &HarnessConfig, out: &Path) {
                 ec.optimize_patterns = optimize_patterns;
                 let engine = bitgen::BitGen::from_asts(w.asts.clone(), ec)
                     .expect("workloads compile within budget");
-                engine.find(&w.input).unwrap().throughput_mbps
+                engine.find(&w.input).unwrap().throughput_mbps()
             })),
         ]);
     }
@@ -637,7 +638,7 @@ fn ablations(config: &HarnessConfig, out: &Path) {
                 ec.match_star = match_star;
                 let engine = bitgen::BitGen::from_asts(w.asts.clone(), ec)
                     .expect("workloads compile within budget");
-                engine.find(&w.input).unwrap().throughput_mbps
+                engine.find(&w.input).unwrap().throughput_mbps()
             })),
         ]);
     }

@@ -1,7 +1,17 @@
 //! Engine runners and aggregation for the reproduction harness.
+//!
+//! Every engine — bitgen's three modes and all five baselines — is
+//! timed through [`bitgen_baselines::BenchTarget`] by [`time_target`],
+//! the **only** timing loop in the tree: modelled targets report
+//! deterministic device-model seconds, measured targets are
+//! wall-clocked around one `scan` call. The repro tables, the
+//! `bitgen-bench` trajectory harness, and the examples all go through
+//! it, so numbers are comparable no matter who collected them.
 
-use bitgen::{BitGen, EngineConfig, ExecMetrics, Scheme};
-use bitgen_baselines::{run_gpu_nfa, CpuBitstreamEngine, GpuNfaModel, HybridEngine, HybridMt, MultiNfa};
+use bitgen::{BitGen, EngineConfig, Metrics, Scheme};
+use bitgen_baselines::{
+    BenchTarget, CpuBitstreamEngine, GpuNfaModel, GpuNfaTarget, HybridEngine, HybridMt, MultiNfa,
+};
 use bitgen_gpu::DeviceConfig;
 use bitgen_workloads::{generate, AppKind, Workload, WorkloadConfig};
 use std::time::Instant;
@@ -100,40 +110,60 @@ pub struct AppRun {
     pub ngap: EngineResult,
     /// icgrep-like CPU bitstream, measured.
     pub icgrep: EngineResult,
-    /// BitGen execution metrics per CTA.
-    pub metrics: Vec<ExecMetrics>,
+    /// BitGen's unified metrics record for the run.
+    pub metrics: Metrics,
 }
 
-/// Runs BitGen on a workload with a scheme, returning `(MB/s, matches,
-/// metrics)`.
+/// The one timing loop: scans `input` once through `target` and
+/// returns `(seconds, matches)`. Modelled targets report their
+/// deterministic device-model seconds; everything else is wall-clocked
+/// around the single `scan` call (floored at 1 ns so throughput stays
+/// finite).
+pub fn time_target(target: &mut dyn BenchTarget, input: &[u8]) -> (f64, u64) {
+    let start = Instant::now();
+    let run = target.scan(input);
+    let wall = start.elapsed().as_secs_f64();
+    let seconds = if target.modelled() {
+        run.modelled_seconds.expect("modelled targets report modelled seconds")
+    } else {
+        wall
+    };
+    (seconds.max(1e-9), run.matches)
+}
+
+/// Times one scan and folds it into an [`EngineResult`].
+pub fn measure(target: &mut dyn BenchTarget, input: &[u8]) -> EngineResult {
+    let (seconds, matches) = time_target(target, input);
+    EngineResult { mbps: input.len() as f64 / 1e6 / seconds, matches: matches as usize }
+}
+
+/// Runs BitGen (one-shot) on a workload with a scheme, returning the
+/// throughput/match summary plus the run's unified [`Metrics`].
 pub fn run_bitgen(
     w: &Workload,
     config: &HarnessConfig,
     scheme: Scheme,
-) -> (EngineResult, Vec<ExecMetrics>) {
+) -> (EngineResult, Metrics) {
     let engine = BitGen::from_asts(w.asts.clone(), config.engine_config(scheme))
         .expect("workloads compile within budget");
+    let result = measure(&mut engine.bench_one_shot(), &w.input);
     let report = engine.find(&w.input).expect("harness workloads execute");
-    (
-        EngineResult { mbps: report.throughput_mbps, matches: report.match_count() },
-        report.metrics,
-    )
+    (result, report.metrics)
 }
 
 /// Runs the ngAP-like model.
 pub fn run_ngap(w: &Workload, config: &HarnessConfig) -> EngineResult {
-    let nfa = MultiNfa::build(&w.asts);
-    let report = run_gpu_nfa(&nfa, &w.input, &config.device, &GpuNfaModel::default());
-    EngineResult { mbps: report.throughput_mbps(), matches: report.ends.count_ones() }
+    let mut target = GpuNfaTarget::new(
+        MultiNfa::build(&w.asts),
+        config.device.clone(),
+        GpuNfaModel::default(),
+    );
+    measure(&mut target, &w.input)
 }
 
 /// Runs the Hyperscan-like engine single-threaded (wall-clock).
 pub fn run_hybrid_st(w: &Workload) -> EngineResult {
-    let engine = HybridEngine::new(&w.asts);
-    let start = Instant::now();
-    let ends = engine.run(&w.input);
-    let secs = start.elapsed().as_secs_f64().max(1e-9);
-    EngineResult { mbps: w.input.len() as f64 / 1e6 / secs, matches: ends.count_ones() }
+    measure(&mut HybridEngine::new(&w.asts), &w.input)
 }
 
 /// Runs the Hyperscan-like engine multi-threaded, sweeping shard counts
@@ -143,13 +173,9 @@ pub fn run_hybrid_st(w: &Workload) -> EngineResult {
 pub fn run_hybrid_mt(w: &Workload) -> EngineResult {
     let mut best = EngineResult { mbps: 0.0, matches: 0 };
     for shards in [1usize, 2, 4, 8] {
-        let engine = HybridMt::new(&w.asts, shards);
-        let start = Instant::now();
-        let ends = engine.run(&w.input);
-        let secs = start.elapsed().as_secs_f64().max(1e-9);
-        let mbps = w.input.len() as f64 / 1e6 / secs;
-        if mbps > best.mbps {
-            best = EngineResult { mbps, matches: ends.count_ones() };
+        let run = measure(&mut HybridMt::new(&w.asts, shards), &w.input);
+        if run.mbps > best.mbps {
+            best = run;
         }
     }
     best
@@ -167,11 +193,7 @@ pub fn run_cpu_bitstream(w: &Workload, config: &HarnessConfig) -> EngineResult {
         .iter()
         .map(|g| g.iter().map(|&i| w.asts[i].clone()).collect())
         .collect();
-    let engine = CpuBitstreamEngine::new(&grouped);
-    let start = Instant::now();
-    let ends = engine.run(&w.input);
-    let secs = start.elapsed().as_secs_f64().max(1e-9);
-    EngineResult { mbps: w.input.len() as f64 / 1e6 / secs, matches: ends.count_ones() }
+    measure(&mut CpuBitstreamEngine::new(&grouped), &w.input)
 }
 
 /// Geometric mean of positive values (zero for an empty slice).
@@ -202,6 +224,17 @@ mod tests {
         assert_eq!(bg.matches, ng.matches);
         assert_eq!(bg.matches, hs.matches);
         assert_eq!(bg.matches, ic.matches);
+    }
+
+    #[test]
+    fn modelled_targets_time_deterministically() {
+        let config = tiny();
+        let w = config.workload(AppKind::ExactMatch);
+        let engine =
+            BitGen::from_asts(w.asts.clone(), config.engine_config(Scheme::Zbs)).unwrap();
+        let (a, _) = time_target(&mut engine.bench_one_shot(), &w.input);
+        let (b, _) = time_target(&mut engine.bench_one_shot(), &w.input);
+        assert_eq!(a.to_bits(), b.to_bits());
     }
 
     #[test]

@@ -1,17 +1,26 @@
-//! Shared harness for regenerating the paper's tables and figures.
+//! Shared harness for regenerating the paper's tables and figures, and
+//! for tracking performance across revisions.
 //!
-//! The `repro` binary drives everything; this library holds the pieces:
-//! workload preparation, engine runners (modelled GPU engines, wall-clock
-//! CPU baselines), aggregation, and plain-text/CSV table output.
+//! Two binaries drive it: `repro` regenerates the paper's tables, and
+//! `bitgen-bench` runs the curated trajectory matrix ([`matrix`]) and
+//! writes/compares `BENCH_<rev>.json` files ([`trajectory`]). Both time
+//! every engine through [`harness::time_target`] — the single timing
+//! loop in the tree, fed by [`bitgen_baselines::BenchTarget`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod harness;
+pub mod json;
+pub mod matrix;
 pub mod table;
+pub mod trajectory;
 
 pub use harness::{
-    geomean, prepare, run_bitgen, run_cpu_bitstream, run_hybrid_mt, run_hybrid_st, run_ngap,
-    AppRun, EngineResult, HarnessConfig,
+    geomean, measure, prepare, run_bitgen, run_cpu_bitstream, run_hybrid_mt, run_hybrid_st,
+    run_ngap, time_target, AppRun, EngineResult, HarnessConfig,
 };
+pub use json::Json;
+pub use matrix::{run_matrix, BenchSpec, MatrixConfig};
 pub use table::Table;
+pub use trajectory::{compare, BenchEntry, BenchFile, CompareConfig, CompareReport, Verdict};

@@ -1,0 +1,250 @@
+//! The curated benchmark matrix behind `bitgen-bench run`.
+//!
+//! The matrix crosses a small set of workload signatures — sweeping
+//! pattern count, match density, and input size around a common base
+//! point — with every engine: bitgen's three execution modes and the
+//! modelled GPU NFA (deterministic, CI-gateable) plus the measured CPU
+//! baselines (informational). One run produces one [`BenchFile`] ready
+//! to be written as `BENCH_<rev>.json`.
+
+use crate::harness::time_target;
+use crate::json::Json;
+use crate::trajectory::{BenchEntry, BenchFile, SCHEMA_VERSION};
+use bitgen::{BenchTarget, BitGen, EngineConfig, Scheme};
+use bitgen_baselines::{
+    AhoCorasick, CpuBitstreamEngine, DfaEngine, GpuNfaModel, GpuNfaTarget, HybridEngine, HybridMt,
+    MultiNfa,
+};
+use bitgen_gpu::DeviceConfig;
+use bitgen_workloads::{generate, AppKind, Workload, WorkloadConfig};
+
+/// Seed shared by every matrix workload; part of each signature, so a
+/// different seed yields visibly different entry ids rather than
+/// silently incomparable numbers.
+pub const MATRIX_SEED: u64 = 0xb17;
+
+/// Streaming chunk size used by the `bitgen_stream` column.
+pub const STREAM_CHUNK: usize = 4096;
+
+/// One cell row of the matrix: a workload recipe.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchSpec {
+    /// Human label (the signature, not this, is the join key).
+    pub label: &'static str,
+    /// Application generator.
+    pub kind: AppKind,
+    /// Rules to generate.
+    pub regexes: usize,
+    /// Input bytes.
+    pub input_len: usize,
+    /// Planted witness density.
+    pub density: f64,
+}
+
+impl BenchSpec {
+    /// Generates this spec's workload (deterministic under
+    /// [`MATRIX_SEED`]).
+    pub fn workload(&self) -> Workload {
+        generate(
+            self.kind,
+            &WorkloadConfig {
+                regexes: self.regexes,
+                input_len: self.input_len,
+                seed: MATRIX_SEED,
+                witness_density: self.density,
+            },
+        )
+    }
+}
+
+/// The full curated matrix: a base point plus one-axis sweeps of
+/// pattern count (16 → 48 → 12), match density (0 → 0.05 → 0.25), and
+/// input size (64 KiB → 256 KiB) across distinct rule families.
+pub fn full_specs() -> Vec<BenchSpec> {
+    vec![
+        BenchSpec { label: "tcp-base", kind: AppKind::Tcp, regexes: 16, input_len: 1 << 16, density: 0.05 },
+        BenchSpec { label: "snort-dense", kind: AppKind::Snort, regexes: 16, input_len: 1 << 16, density: 0.25 },
+        BenchSpec { label: "exact-sparse", kind: AppKind::ExactMatch, regexes: 16, input_len: 1 << 16, density: 0.0 },
+        BenchSpec { label: "yara-wide", kind: AppKind::Yara, regexes: 48, input_len: 1 << 16, density: 0.05 },
+        BenchSpec { label: "dotstar-long", kind: AppKind::Dotstar, regexes: 16, input_len: 1 << 18, density: 0.05 },
+        BenchSpec { label: "clamav-base", kind: AppKind::ClamAv, regexes: 12, input_len: 1 << 16, density: 0.05 },
+    ]
+}
+
+/// The CI smoke subset: four signatures at reduced scale, covering the
+/// same three axes, sized to finish (with compiles) in seconds.
+pub fn smoke_specs() -> Vec<BenchSpec> {
+    vec![
+        BenchSpec { label: "tcp-base", kind: AppKind::Tcp, regexes: 8, input_len: 1 << 14, density: 0.05 },
+        BenchSpec { label: "snort-dense", kind: AppKind::Snort, regexes: 8, input_len: 1 << 14, density: 0.25 },
+        BenchSpec { label: "exact-sparse", kind: AppKind::ExactMatch, regexes: 8, input_len: 1 << 14, density: 0.0 },
+        BenchSpec { label: "clamav-base", kind: AppKind::ClamAv, regexes: 8, input_len: 1 << 15, density: 0.05 },
+    ]
+}
+
+/// Knobs for one matrix run.
+#[derive(Debug, Clone)]
+pub struct MatrixConfig {
+    /// Use [`smoke_specs`] instead of [`full_specs`].
+    pub smoke: bool,
+    /// Skip the measured (wall-clocked) baselines entirely.
+    pub modelled_only: bool,
+    /// Samples per measured cell (modelled cells always take one
+    /// sample — they are bit-deterministic).
+    pub samples_measured: usize,
+    /// Git revision recorded in the file.
+    pub git_rev: String,
+    /// Device the modelled engines run on.
+    pub device: DeviceConfig,
+}
+
+impl Default for MatrixConfig {
+    fn default() -> MatrixConfig {
+        MatrixConfig {
+            smoke: false,
+            modelled_only: false,
+            samples_measured: 5,
+            git_rev: "unknown".to_string(),
+            device: DeviceConfig::rtx3090(),
+        }
+    }
+}
+
+fn engine_config(device: &DeviceConfig) -> EngineConfig {
+    EngineConfig {
+        cta_count: 4,
+        threads: 64,
+        merge_size: 8,
+        interval: 8,
+        scheme: Scheme::Zbs,
+        device: device.clone(),
+        ..EngineConfig::default()
+    }
+}
+
+/// Samples one target `samples` times through the harness's single
+/// timing loop and folds the result into a [`BenchEntry`].
+fn bench_cell(
+    target: &mut dyn BenchTarget,
+    workload: &Workload,
+    samples: usize,
+    metrics: Option<Json>,
+) -> BenchEntry {
+    let mut seconds = Vec::with_capacity(samples);
+    let mut matches = 0u64;
+    for _ in 0..samples.max(1) {
+        let (s, m) = time_target(target, &workload.input);
+        seconds.push(s);
+        matches = m;
+    }
+    BenchEntry::from_samples(
+        target.name(),
+        &workload.meta.signature(),
+        target.modelled(),
+        seconds,
+        workload.input.len() as u64,
+        matches,
+        metrics,
+    )
+}
+
+/// Runs the matrix and assembles the trajectory file.
+///
+/// Per workload: compiles one bitgen engine (shared by the three
+/// bitgen modes), builds each baseline, and benches every cell. The
+/// file-level `engine_fingerprint` folds each workload's streaming
+/// compile fingerprint in matrix order, so two files with equal
+/// fingerprints benched byte-identical compiles.
+pub fn run_matrix(config: &MatrixConfig) -> BenchFile {
+    let specs = if config.smoke { smoke_specs() } else { full_specs() };
+    let mut entries = Vec::new();
+    let mut fingerprint: u64 = 0xcbf2_9ce4_8422_2325;
+    for spec in &specs {
+        let w = spec.workload();
+        let engine = BitGen::from_asts(w.asts.clone(), engine_config(&config.device))
+            .expect("matrix workloads compile within budget");
+        fingerprint = fingerprint
+            .rotate_left(13)
+            .wrapping_mul(0x1000_0000_01b3)
+            ^ engine.stream_fingerprint();
+
+        let report = engine.find(&w.input).expect("matrix workloads scan");
+        let metrics = Json::parse(&report.metrics.to_json()).expect("Metrics::to_json is valid");
+        entries.push(bench_cell(&mut engine.bench_one_shot(), &w, 1, Some(metrics)));
+        entries.push(bench_cell(&mut engine.bench_prepared(), &w, 1, None));
+        entries.push(bench_cell(&mut engine.bench_streaming(STREAM_CHUNK), &w, 1, None));
+        entries.push(bench_cell(
+            &mut GpuNfaTarget::new(
+                MultiNfa::build(&w.asts),
+                config.device.clone(),
+                GpuNfaModel::default(),
+            ),
+            &w,
+            1,
+            None,
+        ));
+
+        if !config.modelled_only {
+            let n = config.samples_measured;
+            entries.push(bench_cell(&mut HybridEngine::new(&w.asts), &w, n, None));
+            entries.push(bench_cell(&mut HybridMt::new(&w.asts, 4), &w, n, None));
+            entries.push(bench_cell(&mut DfaEngine::new(&w.asts), &w, n, None));
+            entries.push(bench_cell(
+                &mut CpuBitstreamEngine::new(std::slice::from_ref(&w.asts)),
+                &w,
+                n,
+                None,
+            ));
+            entries.push(bench_cell(&mut AhoCorasick::new(&w.witnesses), &w, n, None));
+        }
+    }
+    BenchFile {
+        schema_version: SCHEMA_VERSION,
+        git_rev: config.git_rev.clone(),
+        engine_fingerprint: format!("{fingerprint:#018x}"),
+        host_os: std::env::consts::OS.to_string(),
+        host_arch: std::env::consts::ARCH.to_string(),
+        host_threads: std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
+        entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_matrix_covers_engines_and_signatures() {
+        let config = MatrixConfig { smoke: true, modelled_only: true, ..Default::default() };
+        let file = run_matrix(&config);
+        let engines: std::collections::BTreeSet<&str> =
+            file.entries.iter().map(|e| e.engine.as_str()).collect();
+        let workloads: std::collections::BTreeSet<&str> =
+            file.entries.iter().map(|e| e.workload.as_str()).collect();
+        assert!(engines.len() >= 3, "engines: {engines:?}");
+        assert!(workloads.len() >= 4, "workloads: {workloads:?}");
+        // Every bitgen entry agrees with its siblings on match count.
+        for w in &workloads {
+            let counts: std::collections::BTreeSet<u64> = file
+                .entries
+                .iter()
+                .filter(|e| e.workload == *w && e.engine.starts_with("bitgen"))
+                .map(|e| e.matches)
+                .collect();
+            assert_eq!(counts.len(), 1, "bitgen modes disagree on {w}");
+        }
+    }
+
+    #[test]
+    fn modelled_matrix_is_deterministic() {
+        let config = MatrixConfig { smoke: true, modelled_only: true, ..Default::default() };
+        let a = run_matrix(&config);
+        let b = run_matrix(&config);
+        assert_eq!(a.engine_fingerprint, b.engine_fingerprint);
+        for (x, y) in a.entries.iter().zip(&b.entries) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.median_seconds.to_bits(), y.median_seconds.to_bits(), "{}", x.id);
+            assert_eq!(x.matches, y.matches, "{}", x.id);
+        }
+    }
+}

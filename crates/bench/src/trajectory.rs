@@ -1,0 +1,475 @@
+//! The `BENCH_<rev>.json` trajectory format and the revision comparer.
+//!
+//! One trajectory file records one revision's trip through the
+//! benchmark matrix: file-level provenance (schema version, git rev,
+//! engine fingerprint, host info) plus one entry per (engine ×
+//! workload) cell with per-sample seconds and their median/MAD. Files
+//! are diffable — flat entries, stable key order — and self-describing:
+//! every entry names the exact corpus it measured via
+//! [`bitgen_workloads::WorkloadMeta::signature`].
+//!
+//! [`compare`] joins two files on entry id and classifies each cell as
+//! regression / improvement / within-noise against a threshold that
+//! widens with measured noise (3×MAD). Modelled entries are
+//! bit-deterministic, so their noise floor is exactly the configured
+//! relative threshold; measured entries additionally require the delta
+//! to clear the sampled noise. Match-count disagreements are reported
+//! separately — a perf diff must never silently absorb a correctness
+//! change.
+
+use crate::json::{obj, Json};
+
+/// Format version written into every file; bump on breaking layout
+/// changes so old comparers fail loudly instead of misreading.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One revision's benchmark results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchFile {
+    /// Layout version ([`SCHEMA_VERSION`] when written by this build).
+    pub schema_version: u64,
+    /// Git revision the numbers belong to (`"unknown"` outside a repo).
+    pub git_rev: String,
+    /// Folded fingerprint of every bitgen engine the matrix compiled —
+    /// two files with equal fingerprints ran identical compiles.
+    pub engine_fingerprint: String,
+    /// Host OS (`std::env::consts::OS`).
+    pub host_os: String,
+    /// Host architecture.
+    pub host_arch: String,
+    /// Hardware threads available during the run.
+    pub host_threads: u64,
+    /// One entry per (engine × workload) cell.
+    pub entries: Vec<BenchEntry>,
+}
+
+/// One (engine × workload) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Join key: `"<engine>@<workload signature>"`.
+    pub id: String,
+    /// Engine name ([`bitgen_baselines::BenchTarget::name`]).
+    pub engine: String,
+    /// Workload signature (seed and generation parameters included).
+    pub workload: String,
+    /// Whether seconds are modelled (deterministic) or wall-clocked.
+    pub modelled: bool,
+    /// Per-sample seconds, in collection order.
+    pub samples_seconds: Vec<f64>,
+    /// Median of the samples.
+    pub median_seconds: f64,
+    /// Median absolute deviation of the samples.
+    pub mad_seconds: f64,
+    /// Throughput at the median, MB/s.
+    pub mbps: f64,
+    /// Match-end count (identical across samples by construction).
+    pub matches: u64,
+    /// The engine's unified metrics record as a JSON object (bitgen
+    /// engines only; [`bitgen::Metrics::to_json`] output).
+    pub metrics: Option<Json>,
+}
+
+/// Median of a non-empty slice (mean of middle pair for even lengths).
+pub fn median(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "median of empty sample set");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// Median absolute deviation around the median.
+pub fn mad(values: &[f64]) -> f64 {
+    let m = median(values);
+    let deviations: Vec<f64> = values.iter().map(|v| (v - m).abs()).collect();
+    median(&deviations)
+}
+
+impl BenchEntry {
+    /// Builds an entry from raw per-sample seconds.
+    pub fn from_samples(
+        engine: &str,
+        workload: &str,
+        modelled: bool,
+        samples_seconds: Vec<f64>,
+        input_bytes: u64,
+        matches: u64,
+        metrics: Option<Json>,
+    ) -> BenchEntry {
+        let median_seconds = median(&samples_seconds);
+        let mad_seconds = mad(&samples_seconds);
+        BenchEntry {
+            id: format!("{engine}@{workload}"),
+            engine: engine.to_string(),
+            workload: workload.to_string(),
+            modelled,
+            samples_seconds,
+            median_seconds,
+            mad_seconds,
+            mbps: input_bytes as f64 / 1e6 / median_seconds.max(1e-12),
+            matches,
+            metrics,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("id", Json::Str(self.id.clone())),
+            ("engine", Json::Str(self.engine.clone())),
+            ("workload", Json::Str(self.workload.clone())),
+            ("modelled", Json::Bool(self.modelled)),
+            (
+                "samples_seconds",
+                Json::Arr(self.samples_seconds.iter().map(|&s| Json::Num(s)).collect()),
+            ),
+            ("median_seconds", Json::Num(self.median_seconds)),
+            ("mad_seconds", Json::Num(self.mad_seconds)),
+            ("mbps", Json::Num(self.mbps)),
+            ("matches", Json::Num(self.matches as f64)),
+        ];
+        if let Some(m) = &self.metrics {
+            pairs.push(("metrics", m.clone()));
+        }
+        obj(pairs)
+    }
+
+    fn from_json(v: &Json) -> Result<BenchEntry, String> {
+        let str_field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("entry missing string field {k:?}"))
+        };
+        let num_field = |k: &str| {
+            v.get(k).and_then(Json::as_f64).ok_or_else(|| format!("entry missing number {k:?}"))
+        };
+        let samples_seconds: Vec<f64> = v
+            .get("samples_seconds")
+            .and_then(Json::as_arr)
+            .ok_or("entry missing samples_seconds")?
+            .iter()
+            .map(|s| s.as_f64().ok_or("non-numeric sample"))
+            .collect::<Result<_, _>>()?;
+        if samples_seconds.is_empty() {
+            return Err("entry has no samples".to_string());
+        }
+        Ok(BenchEntry {
+            id: str_field("id")?,
+            engine: str_field("engine")?,
+            workload: str_field("workload")?,
+            modelled: matches!(v.get("modelled"), Some(Json::Bool(true))),
+            samples_seconds,
+            median_seconds: num_field("median_seconds")?,
+            mad_seconds: num_field("mad_seconds")?,
+            mbps: num_field("mbps")?,
+            matches: v.get("matches").and_then(Json::as_u64).ok_or("entry missing matches")?,
+            metrics: v.get("metrics").cloned(),
+        })
+    }
+}
+
+impl BenchFile {
+    /// Serializes the file (compact JSON, stable key order).
+    pub fn to_json_string(&self) -> String {
+        obj(vec![
+            ("schema_version", Json::Num(self.schema_version as f64)),
+            ("git_rev", Json::Str(self.git_rev.clone())),
+            ("engine_fingerprint", Json::Str(self.engine_fingerprint.clone())),
+            ("host_os", Json::Str(self.host_os.clone())),
+            ("host_arch", Json::Str(self.host_arch.clone())),
+            ("host_threads", Json::Num(self.host_threads as f64)),
+            ("entries", Json::Arr(self.entries.iter().map(BenchEntry::to_json).collect())),
+        ])
+        .to_string()
+    }
+
+    /// Parses a trajectory file.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed field, or an unsupported
+    /// schema version.
+    pub fn parse(text: &str) -> Result<BenchFile, String> {
+        let v = Json::parse(text)?;
+        let version = v
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("missing schema_version")?;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema version {version} (this build reads {SCHEMA_VERSION})"
+            ));
+        }
+        let str_field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field {k:?}"))
+        };
+        let entries = v
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or("missing entries array")?
+            .iter()
+            .map(BenchEntry::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BenchFile {
+            schema_version: version,
+            git_rev: str_field("git_rev")?,
+            engine_fingerprint: str_field("engine_fingerprint")?,
+            host_os: str_field("host_os")?,
+            host_arch: str_field("host_arch")?,
+            host_threads: v
+                .get("host_threads")
+                .and_then(Json::as_u64)
+                .ok_or("missing host_threads")?,
+            entries,
+        })
+    }
+}
+
+/// How [`compare`] decides what counts as a change.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompareConfig {
+    /// Relative change in median seconds below which a cell is noise
+    /// (default 5%).
+    pub threshold: f64,
+    /// Only judge modelled (deterministic) entries; measured cells
+    /// still cross-check match counts and report informational deltas.
+    pub modelled_only: bool,
+}
+
+impl Default for CompareConfig {
+    fn default() -> CompareConfig {
+        CompareConfig { threshold: 0.05, modelled_only: false }
+    }
+}
+
+/// Verdict on one joined cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Slower beyond the noise floor.
+    Regression,
+    /// Faster beyond the noise floor.
+    Improvement,
+    /// Inside the noise floor.
+    WithinNoise,
+    /// Not judged (measured entry under `modelled_only`).
+    Informational,
+}
+
+/// One joined cell of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareEntry {
+    /// The join key.
+    pub id: String,
+    /// Old median seconds.
+    pub old_seconds: f64,
+    /// New median seconds.
+    pub new_seconds: f64,
+    /// Relative change in median seconds (`> 0` = slower).
+    pub rel_change: f64,
+    /// The noise floor this cell was judged against (relative).
+    pub noise_floor: f64,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Match counts disagreed — a correctness signal, independent of
+    /// the perf verdict.
+    pub match_mismatch: bool,
+}
+
+/// A full two-file comparison.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompareReport {
+    /// Joined cells, in new-file entry order.
+    pub entries: Vec<CompareEntry>,
+    /// Ids present only in the old file.
+    pub only_in_old: Vec<String>,
+    /// Ids present only in the new file.
+    pub only_in_new: Vec<String>,
+}
+
+impl CompareReport {
+    /// Cells judged regressions.
+    pub fn regressions(&self) -> impl Iterator<Item = &CompareEntry> {
+        self.entries.iter().filter(|e| e.verdict == Verdict::Regression)
+    }
+
+    /// Cells judged improvements.
+    pub fn improvements(&self) -> impl Iterator<Item = &CompareEntry> {
+        self.entries.iter().filter(|e| e.verdict == Verdict::Improvement)
+    }
+
+    /// Cells whose match counts disagreed.
+    pub fn mismatches(&self) -> impl Iterator<Item = &CompareEntry> {
+        self.entries.iter().filter(|e| e.match_mismatch)
+    }
+
+    /// `true` when the new file holds no regression or correctness
+    /// mismatch — the CI gate.
+    pub fn passes(&self) -> bool {
+        self.regressions().next().is_none() && self.mismatches().next().is_none()
+    }
+}
+
+/// Joins two trajectory files on entry id and judges each cell.
+pub fn compare(old: &BenchFile, new: &BenchFile, config: &CompareConfig) -> CompareReport {
+    let mut report = CompareReport::default();
+    for e in &old.entries {
+        if !new.entries.iter().any(|n| n.id == e.id) {
+            report.only_in_old.push(e.id.clone());
+        }
+    }
+    for n in &new.entries {
+        let Some(o) = old.entries.iter().find(|o| o.id == n.id) else {
+            report.only_in_new.push(n.id.clone());
+            continue;
+        };
+        let rel_change = (n.median_seconds - o.median_seconds) / o.median_seconds.max(1e-12);
+        // Measured cells widen the floor by 3×MAD on either side;
+        // modelled cells are deterministic, so the configured
+        // threshold is the whole floor.
+        let sampled_noise =
+            3.0 * (o.mad_seconds + n.mad_seconds) / o.median_seconds.max(1e-12);
+        let noise_floor = config.threshold.max(sampled_noise);
+        let judged = !config.modelled_only || (o.modelled && n.modelled);
+        let verdict = if !judged {
+            Verdict::Informational
+        } else if rel_change > noise_floor {
+            Verdict::Regression
+        } else if rel_change < -noise_floor {
+            Verdict::Improvement
+        } else {
+            Verdict::WithinNoise
+        };
+        report.entries.push(CompareEntry {
+            id: n.id.clone(),
+            old_seconds: o.median_seconds,
+            new_seconds: n.median_seconds,
+            rel_change,
+            noise_floor,
+            verdict,
+            match_mismatch: o.matches != n.matches,
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: &str, seconds: f64, matches: u64) -> BenchEntry {
+        BenchEntry::from_samples(
+            id,
+            "w/r4/i4096/d0.050/s0xb17",
+            true,
+            vec![seconds; 3],
+            4096,
+            matches,
+            None,
+        )
+    }
+
+    fn file(entries: Vec<BenchEntry>) -> BenchFile {
+        BenchFile {
+            schema_version: SCHEMA_VERSION,
+            git_rev: "deadbeef".to_string(),
+            engine_fingerprint: "0x1".to_string(),
+            host_os: "linux".to_string(),
+            host_arch: "x86_64".to_string(),
+            host_threads: 1,
+            entries,
+        }
+    }
+
+    #[test]
+    fn median_and_mad() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(mad(&[1.0, 1.0, 5.0]), 0.0);
+        assert_eq!(mad(&[1.0, 2.0, 4.0]), 1.0);
+    }
+
+    #[test]
+    fn file_round_trips() {
+        let f = file(vec![entry("a", 0.5, 10), entry("b", 0.25, 3)]);
+        let text = f.to_json_string();
+        assert_eq!(BenchFile::parse(&text).unwrap(), f);
+    }
+
+    #[test]
+    fn rejects_future_schema() {
+        let f = file(vec![]);
+        let text = f.to_json_string().replace("\"schema_version\":1", "\"schema_version\":99");
+        assert!(BenchFile::parse(&text).unwrap_err().contains("unsupported schema"));
+    }
+
+    #[test]
+    fn compare_classifies_cells() {
+        let old = file(vec![entry("same", 1.0, 5), entry("slow", 1.0, 5), entry("fast", 1.0, 5)]);
+        let new = file(vec![entry("same", 1.01, 5), entry("slow", 1.5, 5), entry("fast", 0.5, 5)]);
+        let report = compare(&old, &new, &CompareConfig::default());
+        let verdict =
+            |id: &str| report.entries.iter().find(|e| e.id.starts_with(id)).unwrap().verdict;
+        assert_eq!(verdict("same"), Verdict::WithinNoise);
+        assert_eq!(verdict("slow"), Verdict::Regression);
+        assert_eq!(verdict("fast"), Verdict::Improvement);
+        assert!(!report.passes());
+    }
+
+    #[test]
+    fn match_mismatch_fails_the_gate_even_when_fast() {
+        let old = file(vec![entry("e", 1.0, 5)]);
+        let new = file(vec![entry("e", 0.5, 6)]);
+        let report = compare(&old, &new, &CompareConfig::default());
+        assert_eq!(report.mismatches().count(), 1);
+        assert!(!report.passes());
+    }
+
+    #[test]
+    fn measured_noise_widens_the_floor() {
+        let noisy_old = BenchEntry::from_samples(
+            "m",
+            "w",
+            false,
+            vec![1.0, 0.7, 1.3],
+            4096,
+            5,
+            None,
+        );
+        let noisy_new =
+            BenchEntry::from_samples("m", "w", false, vec![1.2, 0.9, 1.5], 4096, 5, None);
+        let report = compare(
+            &file(vec![noisy_old]),
+            &file(vec![noisy_new]),
+            &CompareConfig::default(),
+        );
+        // +20% median, but MAD 0.3 on both sides → floor 1.8 → noise.
+        assert_eq!(report.entries[0].verdict, Verdict::WithinNoise);
+    }
+
+    #[test]
+    fn modelled_only_demotes_measured_cells() {
+        let mut o = entry("e", 1.0, 5);
+        o.modelled = false;
+        let mut n = entry("e", 2.0, 5);
+        n.modelled = false;
+        let config = CompareConfig { modelled_only: true, ..CompareConfig::default() };
+        let report = compare(&file(vec![o]), &file(vec![n]), &config);
+        assert_eq!(report.entries[0].verdict, Verdict::Informational);
+        assert!(report.passes());
+    }
+
+    #[test]
+    fn disjoint_ids_are_reported() {
+        let report =
+            compare(&file(vec![entry("a", 1.0, 1)]), &file(vec![entry("b", 1.0, 1)]), &CompareConfig::default());
+        assert_eq!(report.only_in_old, vec!["a@w/r4/i4096/d0.050/s0xb17"]);
+        assert_eq!(report.only_in_new, vec!["b@w/r4/i4096/d0.050/s0xb17"]);
+    }
+}

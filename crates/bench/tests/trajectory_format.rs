@@ -1,0 +1,187 @@
+//! Stability of the `BENCH_*.json` trajectory format and the revision
+//! comparer: round-trips, a checked-in schema golden, and compare
+//! verdicts on synthetic regression / improvement / within-noise pairs.
+//!
+//! The golden file under `tests/golden/` is the contract: if writing or
+//! parsing drifts from it, past trajectory files become unreadable and
+//! these tests fail. Schema changes must bump
+//! [`bitgen_bench::trajectory::SCHEMA_VERSION`] and add a new golden.
+
+use bitgen_bench::trajectory::{BenchEntry, BenchFile, CompareConfig, SCHEMA_VERSION};
+use bitgen_bench::{compare, Json, MatrixConfig, Verdict};
+
+const GOLDEN: &str = include_str!("golden/bench_schema_v1.json");
+
+fn entry(engine: &str, samples: Vec<f64>, matches: u64) -> BenchEntry {
+    BenchEntry::from_samples(
+        engine,
+        "tcp/r8/i16384/d0.050/s0xb17",
+        true,
+        samples,
+        16384,
+        matches,
+        None,
+    )
+}
+
+fn file(entries: Vec<BenchEntry>) -> BenchFile {
+    BenchFile {
+        schema_version: SCHEMA_VERSION,
+        git_rev: "test".to_string(),
+        engine_fingerprint: "0xf".to_string(),
+        host_os: "linux".to_string(),
+        host_arch: "x86_64".to_string(),
+        host_threads: 4,
+        entries,
+    }
+}
+
+#[test]
+fn golden_file_parses_and_reserializes_identically() {
+    let parsed = BenchFile::parse(GOLDEN).expect("golden must stay readable");
+    assert_eq!(parsed.schema_version, SCHEMA_VERSION);
+    assert_eq!(parsed.entries.len(), 2);
+    // write → parse → write is a fixpoint, and matches the golden byte
+    // for byte (modulo the trailing newline the file carries).
+    let rewritten = parsed.to_json_string();
+    assert_eq!(rewritten, GOLDEN.trim_end());
+    assert_eq!(BenchFile::parse(&rewritten).unwrap(), parsed);
+}
+
+#[test]
+fn golden_entry_keys_are_the_schema() {
+    // The exact key set of a trajectory entry. Adding a key here is a
+    // schema extension (update the golden too); removing or renaming
+    // one is a break and needs a SCHEMA_VERSION bump.
+    let v = Json::parse(GOLDEN).unwrap();
+    let entries = v.get("entries").and_then(Json::as_arr).unwrap();
+    let keys = |e: &Json| -> Vec<String> {
+        match e {
+            Json::Obj(m) => m.keys().cloned().collect(),
+            _ => panic!("entry is not an object"),
+        }
+    };
+    assert_eq!(
+        keys(&entries[0]),
+        [
+            "engine",
+            "id",
+            "mad_seconds",
+            "matches",
+            "mbps",
+            "median_seconds",
+            "metrics",
+            "modelled",
+            "samples_seconds",
+            "workload",
+        ]
+    );
+    // Measured entries simply omit `metrics`.
+    let mut measured = keys(&entries[0]);
+    measured.retain(|k| k != "metrics");
+    assert_eq!(keys(&entries[1]), measured);
+}
+
+#[test]
+fn golden_metrics_keys_are_the_unified_record() {
+    // The flat Metrics::to_json schema embedded per bitgen entry.
+    let v = Json::parse(GOLDEN).unwrap();
+    let m = v.get("entries").and_then(Json::as_arr).unwrap()[0]
+        .get("metrics")
+        .cloned()
+        .expect("bitgen entry embeds metrics");
+    let Json::Obj(map) = m else { panic!("metrics is not an object") };
+    let keys: Vec<&str> = map.keys().map(String::as_str).collect();
+    assert_eq!(
+        keys,
+        [
+            "alu_ops",
+            "barrier_stall_frac",
+            "barriers",
+            "bytes_rescanned",
+            "bytes_scanned",
+            "compute_seconds",
+            "ctas",
+            "degraded",
+            "dram_bytes",
+            "kernel_seconds",
+            "match_count",
+            "memory_seconds",
+            "occupancy",
+            "pass_nanos",
+            "pass_visits",
+            "retries",
+            "skipped_ops",
+            "smem_accesses",
+            "transpose_seconds",
+            "wall_seconds",
+            "window_iterations",
+        ]
+    );
+}
+
+#[test]
+fn live_metrics_match_the_golden_schema() {
+    // A real engine's Metrics::to_json must carry exactly the keys the
+    // golden records — the embedded schema cannot drift silently.
+    let engine = bitgen::BitGen::compile(&["ab+c"]).unwrap();
+    let report = engine.find(b"abbc abc").unwrap();
+    let live = Json::parse(&report.metrics.to_json()).unwrap();
+    let golden = Json::parse(GOLDEN).unwrap();
+    let golden_metrics = golden.get("entries").and_then(Json::as_arr).unwrap()[0]
+        .get("metrics")
+        .cloned()
+        .unwrap();
+    let keys = |v: &Json| -> Vec<String> {
+        match v {
+            Json::Obj(m) => m.keys().cloned().collect(),
+            _ => panic!("not an object"),
+        }
+    };
+    assert_eq!(keys(&live), keys(&golden_metrics));
+}
+
+#[test]
+fn compare_flags_injected_regression() {
+    let old = file(vec![entry("bitgen", vec![1.0e-4], 41), entry("gpu_nfa", vec![2.0e-3], 41)]);
+    let mut slow = old.clone();
+    slow.entries[0] = entry("bitgen", vec![1.2e-4], 41); // +20%
+    let report = compare(&old, &slow, &CompareConfig::default());
+    assert_eq!(report.regressions().count(), 1);
+    assert!(!report.passes(), "a 20% slowdown must fail the gate");
+    assert_eq!(report.entries[1].verdict, Verdict::WithinNoise);
+}
+
+#[test]
+fn compare_accepts_improvement_and_noise() {
+    let old = file(vec![entry("bitgen", vec![1.0e-4], 41), entry("gpu_nfa", vec![2.0e-3], 41)]);
+    let mut new = old.clone();
+    new.entries[0] = entry("bitgen", vec![0.7e-4], 41); // -30%
+    new.entries[1] = entry("gpu_nfa", vec![2.02e-3], 41); // +1% < 5% floor
+    let report = compare(&old, &new, &CompareConfig::default());
+    assert_eq!(report.entries[0].verdict, Verdict::Improvement);
+    assert_eq!(report.entries[1].verdict, Verdict::WithinNoise);
+    assert!(report.passes());
+}
+
+#[test]
+fn compare_fails_on_match_count_drift() {
+    let old = file(vec![entry("bitgen", vec![1.0e-4], 41)]);
+    let new = file(vec![entry("bitgen", vec![1.0e-4], 40)]);
+    let report = compare(&old, &new, &CompareConfig::default());
+    assert_eq!(report.mismatches().count(), 1);
+    assert!(!report.passes(), "losing a match is a correctness failure, not noise");
+}
+
+#[test]
+fn smoke_matrix_round_trips_through_the_format() {
+    let config = MatrixConfig { smoke: true, modelled_only: true, ..Default::default() };
+    let ran = bitgen_bench::run_matrix(&config);
+    let parsed = BenchFile::parse(&ran.to_json_string()).unwrap();
+    assert_eq!(parsed, ran);
+    // And a self-compare is clean by construction.
+    let report = compare(&ran, &parsed, &CompareConfig::default());
+    assert!(report.passes());
+    assert_eq!(report.entries.len(), ran.entries.len());
+    assert!(report.only_in_old.is_empty() && report.only_in_new.is_empty());
+}

@@ -1,0 +1,141 @@
+//! BitGen's three execution modes as [`BenchTarget`]s.
+//!
+//! The trait lives in [`bitgen_baselines`] (alongside the baseline
+//! engines' impls) so one harness loop can time every engine; this
+//! module contributes the bitgen side: one-shot compile-held scans,
+//! prepared sessions with warm buffers, and chunked streaming. All
+//! three are *modelled* targets — their seconds come from the
+//! deterministic device cost model via [`crate::Metrics`], so their
+//! trajectory entries are bit-stable across hosts and safe to gate CI
+//! on.
+
+use crate::engine::BitGen;
+use crate::session::ScanSession;
+use bitgen_baselines::{BenchTarget, TargetRun};
+
+/// One-shot mode: every scan pays the full `find` path (fresh session,
+/// transpose, launch) on an already-compiled engine.
+#[derive(Debug)]
+pub struct OneShotTarget<'e> {
+    engine: &'e BitGen,
+}
+
+/// Prepared mode: one warm [`ScanSession`] reused across scans — the
+/// steady state of a resident matcher.
+#[derive(Debug)]
+pub struct PreparedTarget<'e> {
+    session: ScanSession<'e>,
+}
+
+/// Streaming mode: each scan feeds the input through a fresh
+/// [`crate::StreamScanner`] in fixed-size chunks.
+#[derive(Debug)]
+pub struct StreamTarget<'e> {
+    engine: &'e BitGen,
+    chunk_len: usize,
+}
+
+impl BitGen {
+    /// This engine as a one-shot bench target.
+    pub fn bench_one_shot(&self) -> OneShotTarget<'_> {
+        OneShotTarget { engine: self }
+    }
+
+    /// This engine as a prepared-session bench target.
+    pub fn bench_prepared(&self) -> PreparedTarget<'_> {
+        PreparedTarget { session: self.session() }
+    }
+
+    /// This engine as a streaming bench target pushing `chunk_len`-byte
+    /// chunks (minimum 1).
+    pub fn bench_streaming(&self, chunk_len: usize) -> StreamTarget<'_> {
+        StreamTarget { engine: self, chunk_len: chunk_len.max(1) }
+    }
+}
+
+impl BenchTarget for OneShotTarget<'_> {
+    fn name(&self) -> &'static str {
+        "bitgen"
+    }
+
+    fn modelled(&self) -> bool {
+        true
+    }
+
+    fn scan(&mut self, input: &[u8]) -> TargetRun {
+        let report = self.engine.find(input).expect("bench workloads scan");
+        TargetRun {
+            matches: report.metrics.match_count,
+            modelled_seconds: Some(report.metrics.wall_seconds),
+        }
+    }
+}
+
+impl BenchTarget for PreparedTarget<'_> {
+    fn name(&self) -> &'static str {
+        "bitgen_prepared"
+    }
+
+    fn modelled(&self) -> bool {
+        true
+    }
+
+    fn scan(&mut self, input: &[u8]) -> TargetRun {
+        let report = self.session.scan(input).expect("bench workloads scan");
+        TargetRun {
+            matches: report.metrics.match_count,
+            modelled_seconds: Some(report.metrics.wall_seconds),
+        }
+    }
+}
+
+impl BenchTarget for StreamTarget<'_> {
+    fn name(&self) -> &'static str {
+        "bitgen_stream"
+    }
+
+    fn modelled(&self) -> bool {
+        true
+    }
+
+    fn scan(&mut self, input: &[u8]) -> TargetRun {
+        let mut scanner = self.engine.streamer().expect("streaming always compiles");
+        for chunk in input.chunks(self.chunk_len) {
+            scanner.push(chunk).expect("bench workloads stream");
+        }
+        let m = scanner.metrics();
+        TargetRun { matches: m.match_count, modelled_seconds: Some(m.wall_seconds) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_modes_agree_on_matches() {
+        let engine = BitGen::compile(&["a(bc)*d", "cat"]).unwrap();
+        let input = b"abcbcd cat abcd";
+        let mut targets: Vec<Box<dyn BenchTarget + '_>> = vec![
+            Box::new(engine.bench_one_shot()),
+            Box::new(engine.bench_prepared()),
+            Box::new(engine.bench_streaming(4)),
+        ];
+        let expected = engine.find(input).unwrap().metrics.match_count;
+        for t in &mut targets {
+            let run = t.scan(input);
+            assert_eq!(run.matches, expected, "{}", t.name());
+            assert!(t.modelled());
+            assert!(run.modelled_seconds.unwrap() > 0.0, "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn prepared_target_reuses_buffers_across_scans() {
+        let engine = BitGen::compile(&["ab+c"]).unwrap();
+        let mut target = engine.bench_prepared();
+        let first = target.scan(b"abbc abc xx");
+        let again = target.scan(b"abbc abc xx");
+        assert_eq!(first, again);
+    }
+}

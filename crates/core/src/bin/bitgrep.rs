@@ -471,12 +471,12 @@ fn run_streaming(opts: &Options) -> Result<ExitCode, ScanFailure> {
 /// Tells the operator when chunks were recovered on the CPU path —
 /// matches are exact either way, but the device path is misbehaving.
 fn report_degraded(scanner: &StreamScanner<'_>) {
-    if scanner.degraded_chunks() > 0 {
+    let m = scanner.metrics();
+    if m.is_degraded() {
         eprintln!(
             "bitgrep: note: {} chunk(s) recovered on the CPU interpreter \
              ({} window retries); matches are exact",
-            scanner.degraded_chunks(),
-            scanner.retries()
+            m.degraded, m.retries
         );
     }
 }
@@ -493,8 +493,8 @@ fn scan(opts: &Options, input: &[u8]) -> Result<BitStream, ScanFailure> {
                 eprint!("{}", report.profile(&opts.device));
                 eprintln!(
                     "modelled: {:.3} ms, {:.1} MB/s",
-                    report.seconds * 1e3,
-                    report.throughput_mbps
+                    report.seconds() * 1e3,
+                    report.throughput_mbps()
                 );
             }
             Ok(report.matches)

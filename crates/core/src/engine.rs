@@ -10,7 +10,9 @@ use crate::error::Error;
 use crate::group::{group_regexes, GroupingStrategy};
 use bitgen_baselines::CpuBitstreamEngine;
 use bitgen_bitstream::BitStream;
-use bitgen_exec::{apply_transforms, ExecConfig, ExecMetrics, FallbackPolicy, PassMetrics, Scheme};
+use bitgen_exec::{
+    apply_transforms, ExecConfig, ExecMetrics, FallbackPolicy, Metrics, PassMetrics, Scheme,
+};
 use bitgen_gpu::{CostBreakdown, DeviceConfig};
 use bitgen_ir::{lower_group_checked, CompileLimits, LowerOptions, Program};
 use bitgen_regex::{parse, Ast, ParseError};
@@ -258,7 +260,13 @@ impl Match {
     pub const UNATTRIBUTED: usize = usize::MAX;
 }
 
-/// Result of scanning one input.
+/// Result of scanning one input: the match streams plus one unified
+/// [`Metrics`] record.
+///
+/// Everything the report used to expose through individual fields
+/// (`seconds`, `throughput_mbps`, `cost`, per-CTA metrics,
+/// `pass_metrics`, `degraded`) now lives inside [`ScanReport::metrics`];
+/// the accessor methods here are thin views over that one record.
 #[derive(Debug, Clone)]
 pub struct ScanReport {
     /// Union match-end stream: bit *i* set ⇔ some pattern matches ending
@@ -267,29 +275,50 @@ pub struct ScanReport {
     /// Per-pattern match-end streams (only when `combine_outputs` is
     /// off), indexed like the compiled patterns.
     pub per_pattern: Option<Vec<BitStream>>,
-    /// Modelled end-to-end seconds (transpose + kernel) on the device.
-    pub seconds: f64,
-    /// Modelled throughput in MB/s.
-    pub throughput_mbps: f64,
-    /// Device cost breakdown.
-    pub cost: CostBreakdown,
-    /// Per-CTA execution metrics.
-    pub metrics: Vec<ExecMetrics>,
-    /// Per-group transform-pipeline metrics, copied from the engine's
-    /// compile-time record ([`BitGen::pass_metrics`]) — the same for
-    /// every scan the engine performs.
-    pub pass_metrics: Vec<PassMetrics>,
-    /// True when at least one of this stream's CTAs failed on the
-    /// kernel scheme and was recovered on the CPU baseline
-    /// ([`RecoveryPolicy::Degrade`]). Matches are still exact; `seconds`
-    /// and `metrics` undercount the recovered slots.
-    pub degraded: bool,
+    /// The unified metrics record of the launch this report came from:
+    /// timings, volume, counters, pass totals, and per-CTA detail. For a
+    /// multi-stream [`BitGen::find_many`] launch, the timing and byte
+    /// totals describe the *whole* launch (the streams share the
+    /// device); `match_count` and the per-CTA slice are this stream's.
+    pub metrics: Metrics,
 }
 
 impl ScanReport {
     /// Number of match-end positions.
     pub fn match_count(&self) -> usize {
         self.matches.count_ones()
+    }
+
+    /// Modelled end-to-end seconds (transpose + kernel) on the device.
+    /// View over [`Metrics::wall_seconds`].
+    pub fn seconds(&self) -> f64 {
+        self.metrics.wall_seconds
+    }
+
+    /// Modelled throughput in MB/s. View over
+    /// [`Metrics::throughput_mbps`].
+    pub fn throughput_mbps(&self) -> f64 {
+        self.metrics.throughput_mbps()
+    }
+
+    /// Device cost breakdown of the launch. View over [`Metrics::cost`].
+    pub fn cost(&self) -> &CostBreakdown {
+        &self.metrics.cost
+    }
+
+    /// Per-CTA execution metrics, one per group. View over
+    /// [`Metrics::ctas`].
+    pub fn cta_metrics(&self) -> &[ExecMetrics] {
+        &self.metrics.ctas
+    }
+
+    /// True when at least one of this stream's CTAs failed on the
+    /// kernel scheme and was recovered on the CPU baseline
+    /// ([`RecoveryPolicy::Degrade`]). Matches are still exact; timings
+    /// and counters undercount the recovered slots. View over
+    /// [`Metrics::is_degraded`].
+    pub fn degraded(&self) -> bool {
+        self.metrics.is_degraded()
     }
 
     /// Iterates over match occurrences ordered by end position (ties by
@@ -344,8 +373,8 @@ impl ScanReport {
     /// was configured with.
     pub fn profile(&self, device: &DeviceConfig) -> String {
         let works: Vec<bitgen_gpu::CtaWork> =
-            self.metrics.iter().map(ExecMetrics::cta_work).collect();
-        bitgen_gpu::profile_report(device, &works, &self.cost)
+            self.metrics.ctas.iter().map(ExecMetrics::cta_work).collect();
+        bitgen_gpu::profile_report(device, &works, &self.metrics.cost)
     }
 }
 
@@ -574,8 +603,8 @@ mod tests {
         let report = engine.find(input).unwrap();
         let asts: Vec<Ast> = ["ab", "bc", "c+d"].iter().map(|p| parse(p).unwrap()).collect();
         assert_eq!(report.matches.positions(), multi_match_ends(&asts, input));
-        assert!(report.seconds > 0.0);
-        assert!(report.throughput_mbps > 0.0);
+        assert!(report.seconds() > 0.0);
+        assert!(report.throughput_mbps() > 0.0);
     }
 
     #[test]
@@ -686,10 +715,10 @@ mod tests {
         }
         // Batch launch amortises: total time under the sum of solo times.
         let solo_total: f64 =
-            inputs.iter().map(|i| engine.find(i).unwrap().seconds).sum();
-        assert!(batch[0].seconds < solo_total, "{} vs {}", batch[0].seconds, solo_total);
+            inputs.iter().map(|i| engine.find(i).unwrap().seconds()).sum();
+        assert!(batch[0].seconds() < solo_total, "{} vs {}", batch[0].seconds(), solo_total);
         // All reports describe the same launch.
-        assert_eq!(batch[0].seconds, batch[1].seconds);
+        assert_eq!(batch[0].seconds(), batch[1].seconds());
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! // All-match semantics: every end of `GET /[a-z]+` is reported
 //! // (positions 5..=9), plus the end of `a(bc)*d` at 16.
 //! assert_eq!(report.matches.positions(), vec![5, 6, 7, 8, 9, 16]);
-//! println!("modelled throughput: {:.1} MB/s", report.throughput_mbps);
+//! println!("modelled throughput: {:.1} MB/s", report.throughput_mbps());
 //! # Ok::<(), bitgen::Error>(())
 //! ```
 //!
@@ -56,6 +56,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod bench_target;
 mod engine;
 mod error;
 mod fold;
@@ -63,6 +64,7 @@ mod group;
 mod session;
 mod stream_scan;
 
+pub use bench_target::{OneShotTarget, PreparedTarget, StreamTarget};
 pub use engine::{BitGen, CompileError, EngineConfig, Match, RecoveryPolicy, ScanReport};
 pub use error::Error;
 pub use fold::fold_case;
@@ -71,7 +73,10 @@ pub use session::ScanSession;
 pub use stream_scan::{RetryPolicy, StreamCheckpoint, StreamScanner};
 
 // Re-export the pieces users need to configure or extend the engine.
-pub use bitgen_exec::{ExecConfig, ExecError, ExecMetrics, FallbackPolicy, PassMetrics, Scheme};
+pub use bitgen_baselines::{BenchTarget, TargetRun};
+pub use bitgen_exec::{
+    ExecConfig, ExecError, ExecMetrics, FallbackPolicy, Metrics, PassMetrics, Scheme,
+};
 pub use bitgen_gpu::{CostBreakdown, DeviceConfig, FaultKind, FaultPlan};
 pub use bitgen_ir::{CancelToken, CompileLimits, LimitError, RunControl};
 pub use bitgen_regex::{parse, Ast, ByteSet, ParseError};

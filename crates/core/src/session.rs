@@ -19,9 +19,9 @@ use crate::engine::{BitGen, ScanReport};
 use crate::error::Error;
 use bitgen_bitstream::{Basis, BitStream};
 use bitgen_exec::{
-    execute_prepared_ctl, ExecConfig, ExecError, ExecMetrics, ExecOutcome, ExecScratch,
+    execute_prepared_ctl, ExecConfig, ExecError, ExecMetrics, ExecOutcome, ExecScratch, Metrics,
 };
-use bitgen_gpu::{throughput_mbps, FaultPlan};
+use bitgen_gpu::FaultPlan;
 use bitgen_ir::{CancelToken, CarryState, RunControl};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
@@ -34,8 +34,8 @@ enum SlotRun {
 }
 
 /// Per-stream accumulator used by `merge`: the union match stream,
-/// optional per-pattern streams, per-group metrics, degraded flag.
-type StreamPartial = (BitStream, Option<Vec<BitStream>>, Vec<ExecMetrics>, bool);
+/// optional per-pattern streams, per-group metrics, degraded slots.
+type StreamPartial = (BitStream, Option<Vec<BitStream>>, Vec<ExecMetrics>, u64);
 
 enum SlotFailure {
     Exec(ExecError),
@@ -458,11 +458,11 @@ impl ScanSession<'_> {
                 Some(vec![BitStream::zeros(input.len()); engine.pattern_count()])
             };
             let mut metrics = Vec::with_capacity(g);
-            let mut degraded = false;
+            let mut degraded = 0u64;
             for (gi, group) in engine.groups.iter().enumerate() {
                 let (mut outcome, slot_degraded) =
                     outcomes.next().expect("one outcome per slot");
-                degraded |= slot_degraded;
+                degraded += u64::from(slot_degraded);
                 for (oi, out) in outcome.outputs.iter().enumerate() {
                     let clipped = out.resized(input.len());
                     union = union.or(&clipped);
@@ -488,17 +488,31 @@ impl ScanSession<'_> {
         let cost = device.estimate(&works);
         let transpose: f64 = inputs.iter().map(|i| device.transpose_seconds(i.len())).sum();
         let seconds = cost.seconds + transpose;
+        let mut passes = bitgen_passes::PassMetrics::default();
+        for p in &engine.pass_metrics {
+            passes.absorb(p);
+        }
         partial
             .into_iter()
-            .map(|(matches, per_pattern, metrics, degraded)| ScanReport {
-                matches,
-                per_pattern,
-                seconds,
-                throughput_mbps: throughput_mbps(total_bytes, seconds),
-                cost: cost.clone(),
-                metrics,
-                pass_metrics: engine.pass_metrics.clone(),
-                degraded,
+            .map(|(matches, per_pattern, ctas, degraded)| {
+                let match_count = matches.count_ones() as u64;
+                ScanReport {
+                    matches,
+                    per_pattern,
+                    metrics: Metrics {
+                        wall_seconds: seconds,
+                        kernel_seconds: cost.seconds,
+                        transpose_seconds: transpose,
+                        bytes_scanned: total_bytes as u64,
+                        bytes_rescanned: 0,
+                        match_count,
+                        passes,
+                        retries: 0,
+                        degraded,
+                        cost: cost.clone(),
+                        ctas,
+                    },
+                }
             })
             .collect()
     }
@@ -531,10 +545,10 @@ mod tests {
         for (x, y) in a.iter().zip(b) {
             assert_eq!(x.matches, y.matches);
             assert_eq!(x.per_pattern, y.per_pattern);
-            assert_eq!(x.seconds.to_bits(), y.seconds.to_bits());
-            assert_eq!(x.cost.seconds.to_bits(), y.cost.seconds.to_bits());
-            assert_eq!(x.metrics.len(), y.metrics.len());
-            for (mx, my) in x.metrics.iter().zip(&y.metrics) {
+            assert_eq!(x.seconds().to_bits(), y.seconds().to_bits());
+            assert_eq!(x.metrics.cost.seconds.to_bits(), y.metrics.cost.seconds.to_bits());
+            assert_eq!(x.metrics.ctas.len(), y.metrics.ctas.len());
+            for (mx, my) in x.metrics.ctas.iter().zip(&y.metrics.ctas) {
                 // The compile-time pass record carries wall-clock nanos,
                 // which legitimately differ between separately compiled
                 // engines; everything else must be bit-identical.
@@ -609,8 +623,8 @@ mod tests {
         // raw `execute_prepared*` family reports.
         let engine = BitGen::compile(&["a(bc)*d", "cat"]).unwrap();
         let report = engine.find(b"abcbcd cat").unwrap();
-        assert_eq!(report.metrics.len(), engine.pass_metrics().len());
-        for (m, p) in report.metrics.iter().zip(engine.pass_metrics()) {
+        assert_eq!(report.metrics.ctas.len(), engine.pass_metrics().len());
+        for (m, p) in report.metrics.ctas.iter().zip(engine.pass_metrics()) {
             assert_eq!(&m.passes, p);
         }
     }

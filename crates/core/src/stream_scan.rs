@@ -16,8 +16,9 @@
 //! state; a push either commits whole (all groups' windows succeeded —
 //! possibly after retries or CPU degradation under a [`RetryPolicy`] —
 //! carries rotated, counters advanced, matches returned) or rolls back
-//! whole (carries restored to the pre-push boundary, `consumed()` and
-//! `seconds()` untouched). Interrupts ([`bitgen_exec::ExecError::Cancelled`],
+//! whole (carries restored to the pre-push boundary, the
+//! [`StreamScanner::metrics`] record untouched). Interrupts
+//! ([`bitgen_exec::ExecError::Cancelled`],
 //! [`bitgen_exec::ExecError::DeadlineExceeded`]) roll back and leave the
 //! scanner usable; any other unrecovered failure rolls back and
 //! *poisons* it — further pushes return [`Error::StreamPoisoned`] — but
@@ -38,7 +39,7 @@ use crate::engine::BitGen;
 use crate::error::Error;
 use crate::session::ScanSession;
 use bitgen_bitstream::BitStream;
-use bitgen_exec::{ExecError, ExecMetrics};
+use bitgen_exec::{ExecError, ExecMetrics, Metrics};
 use bitgen_gpu::FaultPlan;
 use bitgen_ir::{pretty, CancelToken, CarryState};
 use std::time::Duration;
@@ -50,8 +51,8 @@ use std::time::Duration;
 /// scanner poisons, exactly the pre-policy behaviour. Production streams
 /// typically want [`RetryPolicy::resilient`]: transient faults replay on
 /// fresh scratch, persistent ones degrade the chunk to the reference
-/// CPU interpreter (exact matches, surfaced via
-/// [`StreamScanner::degraded_chunks`] — never silent corruption).
+/// CPU interpreter (exact matches, surfaced via the `degraded` counter
+/// of [`StreamScanner::metrics`] — never silent corruption).
 ///
 /// Interrupts (cancellation, deadlines) are never retried or degraded:
 /// the caller asked the scan to stop, and honouring that by rolling the
@@ -133,16 +134,13 @@ pub struct StreamScanner<'e> {
     session: ScanSession<'e>,
     /// Cross-chunk carry, one per group's streaming program.
     carries: Vec<CarryState>,
-    /// Total bytes consumed.
-    consumed: u64,
-    /// Accumulated modelled seconds across pushes.
-    seconds: f64,
+    /// The unified per-scan record, advanced once per committed push.
+    /// `bytes_scanned` doubles as the consumed-byte offset;
+    /// `metrics.ctas` holds one per-group accumulator whose counted
+    /// events sum across pushes.
+    metrics: Metrics,
     /// Fault response policy for pushes.
     retry: RetryPolicy,
-    /// Window retries performed across all committed pushes.
-    retries: u64,
-    /// Pushes in which at least one group degraded to the CPU interpreter.
-    degraded_chunks: u64,
     /// Set after an unrecovered failure; fences `push` off.
     poisoned: bool,
     /// Armed drill fault, if any.
@@ -164,11 +162,11 @@ impl BitGen {
         Ok(StreamScanner {
             session: self.session(),
             carries: self.stream_programs.iter().map(CarryState::for_program).collect(),
-            consumed: 0,
-            seconds: 0.0,
+            metrics: Metrics {
+                ctas: vec![ExecMetrics::default(); self.stream_programs.len()],
+                ..Metrics::default()
+            },
             retry: RetryPolicy::default(),
-            retries: 0,
-            degraded_chunks: 0,
             poisoned: false,
             fault: None,
         })
@@ -213,11 +211,21 @@ impl BitGen {
         Ok(StreamScanner {
             session: self.session(),
             carries: checkpoint.carries.clone(),
-            consumed: checkpoint.consumed,
-            seconds: checkpoint.seconds,
+            // Scalar counters restore exactly; the per-group counter
+            // accumulators restart at zero — checkpoints carry the
+            // stream's state, not its diagnostic history.
+            metrics: Metrics {
+                wall_seconds: checkpoint.kernel_seconds + checkpoint.transpose_seconds,
+                kernel_seconds: checkpoint.kernel_seconds,
+                transpose_seconds: checkpoint.transpose_seconds,
+                bytes_scanned: checkpoint.consumed,
+                match_count: checkpoint.match_count,
+                retries: checkpoint.retries,
+                degraded: checkpoint.degraded_chunks,
+                ctas: vec![ExecMetrics::default(); self.stream_programs.len()],
+                ..Metrics::default()
+            },
             retry: RetryPolicy::default(),
-            retries: checkpoint.retries,
-            degraded_chunks: checkpoint.degraded_chunks,
             poisoned: false,
             fault: None,
         })
@@ -244,9 +252,9 @@ impl StreamScanner<'_> {
     /// matches that end inside it, ascending. Empty chunks are no-ops.
     ///
     /// The push is a transaction: on any error the carry state and the
-    /// [`StreamScanner::consumed`] / [`StreamScanner::seconds`] counters
-    /// are exactly as they were before the call (never double-counted,
-    /// never half-advanced). See the [module docs](self) for how the
+    /// whole [`StreamScanner::metrics`] record are exactly as they were
+    /// before the call (never double-counted, never half-advanced). See
+    /// the [module docs](self) for how the
     /// [`RetryPolicy`] turns detected faults into retries or CPU
     /// degradation instead of failures.
     ///
@@ -275,6 +283,7 @@ impl StreamScanner<'_> {
         let groups = self.carries.len();
         let mut union = BitStream::zeros(chunk.len());
         let mut works = Vec::with_capacity(groups);
+        let mut window_metrics: Vec<(usize, ExecMetrics)> = Vec::with_capacity(groups);
         let mut retried = 0u64;
         let mut degraded = false;
         for group in 0..groups {
@@ -297,6 +306,7 @@ impl StreamScanner<'_> {
                             union = union.or(&out.resized(chunk.len()));
                         }
                         works.push(outcome.metrics.cta_work());
+                        window_metrics.push((group, outcome.metrics));
                         self.carries[group].rotate();
                         break;
                     }
@@ -346,17 +356,34 @@ impl StreamScanner<'_> {
                 }
             }
         }
-        // Commit: counters advance exactly once per successful push.
-        self.retries += retried;
-        if degraded {
-            self.degraded_chunks += 1;
-        }
+        // Commit: the metrics record advances exactly once per
+        // successful push.
         let device = &self.session.engine().config().device;
         let cost = device.estimate(&works);
-        self.seconds += cost.seconds + device.transpose_seconds(chunk.len());
-        let off = self.consumed;
-        self.consumed += chunk.len() as u64;
-        Ok(union.positions().into_iter().map(|p| off + p as u64).collect())
+        let transpose = device.transpose_seconds(chunk.len());
+        let m = &mut self.metrics;
+        m.retries += retried;
+        m.degraded += u64::from(degraded);
+        m.kernel_seconds += cost.seconds;
+        m.transpose_seconds += transpose;
+        m.wall_seconds = m.kernel_seconds + m.transpose_seconds;
+        // Additive cost components sum across pushes; the utilisation
+        // figures describe the most recent push (a per-stream average
+        // would need weights the model doesn't produce).
+        m.cost.seconds += cost.seconds;
+        m.cost.compute_seconds += cost.compute_seconds;
+        m.cost.memory_seconds += cost.memory_seconds;
+        m.cost.barrier_stall_frac = cost.barrier_stall_frac;
+        m.cost.occupancy = cost.occupancy;
+        for (group, wm) in window_metrics {
+            absorb_window(&mut m.ctas[group], &wm);
+        }
+        let off = m.bytes_scanned;
+        m.bytes_scanned += chunk.len() as u64;
+        let ends: Vec<u64> =
+            union.positions().into_iter().map(|p| off + p as u64).collect();
+        m.match_count += ends.len() as u64;
+        Ok(ends)
     }
 
     /// Captures the stream at the current chunk boundary. Always valid:
@@ -366,10 +393,12 @@ impl StreamScanner<'_> {
     pub fn checkpoint(&self) -> StreamCheckpoint {
         StreamCheckpoint {
             fingerprint: self.session.engine().stream_fingerprint(),
-            consumed: self.consumed,
-            seconds: self.seconds,
-            retries: self.retries,
-            degraded_chunks: self.degraded_chunks,
+            consumed: self.metrics.bytes_scanned,
+            kernel_seconds: self.metrics.kernel_seconds,
+            transpose_seconds: self.metrics.transpose_seconds,
+            match_count: self.metrics.match_count,
+            retries: self.metrics.retries,
+            degraded_chunks: self.metrics.degraded,
             carries: self.carries.clone(),
         }
     }
@@ -416,36 +445,28 @@ impl StreamScanner<'_> {
 
     /// Total bytes consumed so far.
     pub fn consumed(&self) -> u64 {
-        self.consumed
+        self.metrics.bytes_scanned
     }
 
-    /// Accumulated modelled GPU seconds over all pushes. Each push is
-    /// priced over exactly the bytes it consumed — the carry slots
-    /// replace the old re-scanned tail, so streaming carries no
-    /// modelled overlap overhead.
-    pub fn seconds(&self) -> f64 {
-        self.seconds
-    }
-
-    /// Bytes re-scanned due to chunk-boundary overlap: always `0`.
-    /// Kept as an explicit accessor (and regression-tested) because the
-    /// previous tail-rescan scanner re-scanned `max_span − 1` bytes per
-    /// push and folded their cost into [`StreamScanner::seconds`].
-    pub fn bytes_rescanned(&self) -> u64 {
-        0
-    }
-
-    /// Window retries performed across all committed pushes (failed
-    /// pushes roll their tally back along with everything else).
-    pub fn retries(&self) -> u64 {
-        self.retries
-    }
-
-    /// Pushes in which at least one group's window was recovered on the
-    /// CPU reference interpreter. Matches stay exact; the field exists
-    /// so operators can see that the device path is misbehaving.
-    pub fn degraded_chunks(&self) -> u64 {
-        self.degraded_chunks
+    /// The unified metrics record accumulated over all committed pushes
+    /// (failed pushes roll back without touching it). Replaces the old
+    /// `seconds()` / `bytes_rescanned()` / `retries()` /
+    /// `degraded_chunks()` accessors:
+    ///
+    /// - `wall_seconds` is the accumulated modelled time, each push
+    ///   priced over exactly the bytes it consumed — the carry slots
+    ///   replace the old re-scanned tail, so `bytes_rescanned` is
+    ///   always `0` (and regression-tested, because the previous
+    ///   tail-rescan scanner re-scanned `max_span − 1` bytes per push);
+    /// - `retries` counts window replays across committed pushes;
+    /// - `degraded` counts pushes in which at least one group's window
+    ///   was recovered on the CPU reference interpreter — matches stay
+    ///   exact, the counter exists so operators can see the device path
+    ///   misbehaving;
+    /// - `ctas[group]` accumulates each group's counted hardware events
+    ///   (see [`Metrics::counters_total`]).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// `true` once an unrecovered failure has fenced this scanner off;
@@ -471,10 +492,45 @@ fn is_interrupt(e: &Error) -> bool {
     matches!(e, Error::Exec(ExecError::Cancelled | ExecError::DeadlineExceeded))
 }
 
+/// Folds one committed window's per-CTA record into the per-group
+/// streaming accumulator: counted events sum across pushes, static
+/// shape fields (threads, shared memory, shift groups) describe the
+/// program and are refreshed in place, and peak figures keep their
+/// maximum.
+fn absorb_window(acc: &mut ExecMetrics, window: &ExecMetrics) {
+    let c = &mut acc.counters;
+    let w = &window.counters;
+    c.alu_ops += w.alu_ops;
+    c.smem_stores += w.smem_stores;
+    c.smem_loads += w.smem_loads;
+    c.barriers += w.barriers;
+    c.global_load_words += w.global_load_words;
+    c.global_store_words += w.global_store_words;
+    c.reductions += w.reductions;
+    c.skipped_ops += w.skipped_ops;
+    c.window_iterations += w.window_iterations;
+    acc.window_iterations += window.window_iterations;
+    acc.retries += window.retries;
+    acc.fallbacks += window.fallbacks;
+    acc.peak_materialized_bytes =
+        acc.peak_materialized_bytes.max(window.peak_materialized_bytes);
+    acc.dynamic_overlap_max = acc.dynamic_overlap_max.max(window.dynamic_overlap_max);
+    acc.segments = window.segments;
+    acc.intermediates = window.intermediates;
+    acc.static_overlap = window.static_overlap;
+    acc.shift_groups = window.shift_groups;
+    acc.smem_bytes = window.smem_bytes;
+    acc.regs_per_thread = window.regs_per_thread;
+    acc.threads = window.threads;
+}
+
 /// Version tag written into checkpoint bytes (and folded into
 /// [`BitGen::stream_fingerprint`], so a format bump also invalidates
-/// fingerprints from older writers).
-const CHECKPOINT_VERSION: u32 = 1;
+/// fingerprints from older writers). Version 2 split the accumulated
+/// seconds into kernel/transpose components and added the match count,
+/// so a resumed scanner reports the same [`Metrics`] scalars an
+/// uninterrupted one would.
+const CHECKPOINT_VERSION: u32 = 2;
 
 /// Magic prefix of serialized checkpoints: "BitGen Stream Checkpoint".
 const CHECKPOINT_MAGIC: [u8; 4] = *b"BGSC";
@@ -504,7 +560,9 @@ fn fnv_bytes(mut h: u64, bytes: &[u8]) -> u64 {
 pub struct StreamCheckpoint {
     fingerprint: u64,
     consumed: u64,
-    seconds: f64,
+    kernel_seconds: f64,
+    transpose_seconds: f64,
+    match_count: u64,
     retries: u64,
     degraded_chunks: u64,
     carries: Vec<CarryState>,
@@ -523,9 +581,15 @@ impl StreamCheckpoint {
         self.consumed
     }
 
-    /// Modelled seconds the suspended stream had accumulated.
+    /// Modelled seconds the suspended stream had accumulated
+    /// (kernel + transpose components summed).
     pub fn seconds(&self) -> f64 {
-        self.seconds
+        self.kernel_seconds + self.transpose_seconds
+    }
+
+    /// Match-end positions the suspended stream had reported.
+    pub fn match_count(&self) -> u64 {
+        self.match_count
     }
 
     /// Serializes the checkpoint. The format is stable for a given
@@ -537,7 +601,9 @@ impl StreamCheckpoint {
         out.extend(CHECKPOINT_VERSION.to_le_bytes());
         out.extend(self.fingerprint.to_le_bytes());
         out.extend(self.consumed.to_le_bytes());
-        out.extend(self.seconds.to_bits().to_le_bytes());
+        out.extend(self.kernel_seconds.to_bits().to_le_bytes());
+        out.extend(self.transpose_seconds.to_bits().to_le_bytes());
+        out.extend(self.match_count.to_le_bytes());
         out.extend(self.retries.to_le_bytes());
         out.extend(self.degraded_chunks.to_le_bytes());
         out.extend((self.carries.len() as u32).to_le_bytes());
@@ -577,8 +643,11 @@ impl StreamCheckpoint {
         }
         let fingerprint = read_u64(payload, &mut cursor).ok_or_else(|| invalid("truncated"))?;
         let consumed = read_u64(payload, &mut cursor).ok_or_else(|| invalid("truncated"))?;
-        let seconds =
+        let kernel_seconds =
             f64::from_bits(read_u64(payload, &mut cursor).ok_or_else(|| invalid("truncated"))?);
+        let transpose_seconds =
+            f64::from_bits(read_u64(payload, &mut cursor).ok_or_else(|| invalid("truncated"))?);
+        let match_count = read_u64(payload, &mut cursor).ok_or_else(|| invalid("truncated"))?;
         let retries = read_u64(payload, &mut cursor).ok_or_else(|| invalid("truncated"))?;
         let degraded_chunks =
             read_u64(payload, &mut cursor).ok_or_else(|| invalid("truncated"))?;
@@ -597,7 +666,16 @@ impl StreamCheckpoint {
         if cursor != payload.len() {
             return Err(invalid("trailing bytes after carry states"));
         }
-        Ok(StreamCheckpoint { fingerprint, consumed, seconds, retries, degraded_chunks, carries })
+        Ok(StreamCheckpoint {
+            fingerprint,
+            consumed,
+            kernel_seconds,
+            transpose_seconds,
+            match_count,
+            retries,
+            degraded_chunks,
+            carries,
+        })
     }
 }
 
@@ -698,14 +776,21 @@ mod tests {
     }
 
     #[test]
-    fn seconds_accumulate() {
+    fn metrics_accumulate_across_pushes() {
         let engine = BitGen::compile_with(&["abc"], EngineConfig::default()).unwrap();
         let mut s = engine.streamer().unwrap();
         s.push(b"abcabc").unwrap();
-        let one = s.seconds();
+        let one = s.metrics().wall_seconds;
         assert!(one > 0.0);
+        let ops = s.metrics().counters_total().alu_ops;
+        assert!(ops > 0);
         s.push(b"abcabc").unwrap();
-        assert!(s.seconds() > one);
+        let m = s.metrics();
+        assert!(m.wall_seconds > one);
+        assert!(m.counters_total().alu_ops > ops);
+        assert_eq!(m.bytes_scanned, 12);
+        assert_eq!(m.match_count, 4);
+        assert_eq!(m.wall_seconds.to_bits(), (m.kernel_seconds + m.transpose_seconds).to_bits());
     }
 
     #[test]
@@ -716,11 +801,11 @@ mod tests {
         let engine = BitGen::compile(&["abcdefgh"]).unwrap();
         let mut s = engine.streamer().unwrap();
         s.push(&[b'x'; 64]).unwrap();
-        let first = s.seconds();
+        let first = s.metrics().wall_seconds;
         s.push(&[b'x'; 64]).unwrap();
-        let second = s.seconds() - first;
+        let second = s.metrics().wall_seconds - first;
         assert_eq!(first.to_bits(), second.to_bits());
-        assert_eq!(s.bytes_rescanned(), 0);
+        assert_eq!(s.metrics().bytes_rescanned, 0);
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub use engine::{
     ExecConfig, ExecError, ExecOutcome, ExecScratch, FallbackPolicy,
 };
 pub use bitgen_passes::PassMetrics;
-pub use metrics::ExecMetrics;
+pub use metrics::{ExecMetrics, Metrics};
 pub use scheme::Scheme;
 // Convenience re-exports so executor callers can drive cancellation and
 // fault drills without importing the defining crates.

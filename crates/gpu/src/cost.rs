@@ -24,7 +24,7 @@ pub struct CtaWork {
 }
 
 /// Cost estimate for one kernel launch over a set of CTAs.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CostBreakdown {
     /// End-to-end seconds (max of compute makespan and DRAM time).
     pub seconds: f64,

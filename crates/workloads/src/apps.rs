@@ -8,7 +8,7 @@
 //! Dotstar, alternation-heavy Protomata, long binary signatures ClamAV),
 //! and an input generator with planted witnesses at a controlled density.
 
-use crate::gen::PatternBuilder;
+use crate::gen::{PatternBuilder, WorkloadMeta};
 use bitgen_regex::{parse, Ast};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -141,6 +141,8 @@ pub struct Workload {
     pub witnesses: Vec<Vec<u8>>,
     /// The generated input stream.
     pub input: Vec<u8>,
+    /// The generation parameters that produced this corpus.
+    pub meta: WorkloadMeta,
 }
 
 impl Workload {
@@ -179,6 +181,8 @@ impl Workload {
 /// let w = generate(AppKind::Snort, &config);
 /// assert_eq!(w.asts.len(), 8);
 /// assert_eq!(w.input.len(), 4096);
+/// // The metadata names exactly this corpus: same signature, same bytes.
+/// assert_eq!(w.meta.signature(), generate(AppKind::Snort, &config).meta.signature());
 /// ```
 pub fn generate(kind: AppKind, config: &WorkloadConfig) -> Workload {
     let mut rng = SmallRng::seed_from_u64(config.seed ^ (kind as u64) << 32);
@@ -193,7 +197,14 @@ pub fn generate(kind: AppKind, config: &WorkloadConfig) -> Workload {
         witnesses.push(wit);
     }
     let input = gen_input(kind, &witnesses, config, &mut rng);
-    Workload { kind, patterns, asts, witnesses, input }
+    let meta = WorkloadMeta {
+        app: kind.name().to_lowercase(),
+        regexes: config.regexes,
+        input_len: config.input_len,
+        seed: config.seed,
+        witness_density: config.witness_density,
+    };
+    Workload { kind, patterns, asts, witnesses, input, meta }
 }
 
 fn gen_rule(kind: AppKind, rng: &mut SmallRng) -> (String, Vec<u8>) {

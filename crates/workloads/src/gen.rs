@@ -8,6 +8,36 @@
 use rand::rngs::SmallRng;
 use rand::Rng;
 
+/// The identity of one generated corpus: every parameter that
+/// determined its bytes. Generators are seeded and deterministic, so
+/// two workloads with equal metadata are byte-identical — a trajectory
+/// entry recording a [`WorkloadMeta::signature`] names exactly the
+/// corpus it measured, reproducible on any host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadMeta {
+    /// Application name (lowercased [`crate::AppKind`] name).
+    pub app: String,
+    /// Number of generated rules.
+    pub regexes: usize,
+    /// Input length in bytes.
+    pub input_len: usize,
+    /// RNG seed the generator ran under.
+    pub seed: u64,
+    /// Requested fraction of input bytes coming from planted witnesses.
+    pub witness_density: f64,
+}
+
+impl WorkloadMeta {
+    /// Compact one-token signature, e.g. `tcp/r16/i65536/d0.050/s0xb17`
+    /// — the workload identifier `BENCH_*.json` entries record.
+    pub fn signature(&self) -> String {
+        format!(
+            "{}/r{}/i{}/d{:.3}/s{:#x}",
+            self.app, self.regexes, self.input_len, self.witness_density, self.seed
+        )
+    }
+}
+
 /// A regex under construction, paired with a matching witness.
 #[derive(Debug, Clone, Default)]
 pub struct PatternBuilder {
@@ -291,6 +321,18 @@ mod tests {
             b.finish()
         };
         assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn workload_meta_signature_is_stable() {
+        let meta = WorkloadMeta {
+            app: "tcp".to_string(),
+            regexes: 16,
+            input_len: 65536,
+            seed: 0xb17,
+            witness_density: 0.05,
+        };
+        assert_eq!(meta.signature(), "tcp/r16/i65536/d0.050/s0xb17");
     }
 
     #[test]

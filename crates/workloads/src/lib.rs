@@ -13,4 +13,4 @@ mod apps;
 mod gen;
 
 pub use apps::{generate, AppKind, Workload, WorkloadConfig};
-pub use gen::{escape_byte, PatternBuilder};
+pub use gen::{escape_byte, PatternBuilder, WorkloadMeta};

@@ -47,8 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "modelled GPU time: {:.3} ms ({:.0} MB/s on {})",
-        report.seconds * 1e3,
-        report.throughput_mbps,
+        report.seconds() * 1e3,
+        report.throughput_mbps(),
         engine.config().device.name
     );
     Ok(())

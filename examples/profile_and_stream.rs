@@ -34,9 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let log_report = log_engine.find(&input)?;
     assert_eq!(log_report.match_count(), report.match_count());
-    let alu = |r: &bitgen::ScanReport| -> u64 {
-        r.metrics.iter().map(|m| m.counters.alu_ops).sum()
-    };
+    let alu = |r: &bitgen::ScanReport| -> u64 { r.metrics.counters_total().alu_ops };
     println!(
         "log-repetition lowering: ALU issues {} -> {} (same {} matches)\n",
         alu(&report),
@@ -57,14 +55,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         streamed.extend(scanner.push(chunk)?);
     }
     assert_eq!(streamed.len(), batch_count);
-    assert_eq!(scanner.bytes_rescanned(), 0);
+    let m = scanner.metrics();
+    assert_eq!(m.bytes_rescanned, 0);
     println!(
         "streaming: {} matches across {} chunks, modelled {:.3} ms total \
          ({} bytes consumed, 0 re-scanned)",
         streamed.len(),
         input.len().div_ceil(1024),
-        scanner.seconds() * 1e3,
-        scanner.consumed(),
+        m.wall_seconds * 1e3,
+        m.bytes_scanned,
     );
     Ok(())
 }

@@ -21,8 +21,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "modelled on {}: {:.3} ms, {:.1} MB/s",
         engine.config().device.name,
-        report.seconds * 1e3,
-        report.throughput_mbps
+        report.seconds() * 1e3,
+        report.throughput_mbps()
     );
 
     // Per-pattern matches need combine_outputs = false.
@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let slow_report = slow.find(input)?;
     println!(
         "Base scheme needs {:.1}x the modelled time of full BitGen",
-        slow_report.seconds / report.seconds
+        slow_report.seconds() / report.seconds()
     );
     Ok(())
 }

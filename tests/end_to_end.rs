@@ -8,11 +8,13 @@ fn report_fields_are_consistent() {
     let input: Vec<u8> = b"abc x42y abcbcd ".iter().cycle().take(4096).copied().collect();
     let report = engine.find(&input).unwrap();
     assert!(report.match_count() > 0);
-    assert!(report.seconds > 0.0);
-    let implied = input.len() as f64 / 1e6 / report.seconds;
-    assert!((implied - report.throughput_mbps).abs() / implied < 1e-9);
-    assert_eq!(report.metrics.len(), engine.group_count());
-    assert!(report.cost.seconds <= report.seconds, "transpose time is added");
+    assert!(report.seconds() > 0.0);
+    let implied = input.len() as f64 / 1e6 / report.seconds();
+    assert!((implied - report.throughput_mbps()).abs() / implied < 1e-9);
+    assert_eq!(report.metrics.ctas.len(), engine.group_count());
+    assert!(report.metrics.cost.seconds <= report.seconds(), "transpose time is added");
+    assert_eq!(report.metrics.match_count, report.match_count() as u64);
+    assert_eq!(report.metrics.bytes_scanned, input.len() as u64);
 }
 
 #[test]
@@ -33,7 +35,7 @@ fn faster_devices_model_faster() {
             EngineConfig { device, cta_count: 4, ..Default::default() },
         )
         .expect("workloads compile within budget");
-        engine.find(&w.input).unwrap().seconds
+        engine.find(&w.input).unwrap().seconds()
     };
     let t3090 = time_on(DeviceConfig::rtx3090());
     let th100 = time_on(DeviceConfig::h100());
@@ -85,7 +87,7 @@ fn fallback_policy_error_surfaces_overflow() {
     .unwrap();
     let report = engine.find(&input).unwrap();
     assert_eq!(report.matches.positions(), vec![input.len() - 1]);
-    assert!(report.metrics.iter().any(|m| m.fallbacks > 0));
+    assert!(report.metrics.ctas.iter().any(|m| m.fallbacks > 0));
 }
 
 #[test]
@@ -98,7 +100,7 @@ fn merge_size_and_interval_are_plumbed_through() {
             EngineConfig { merge_size, scheme: Scheme::Sr, threads: 8, ..Default::default() },
         )
         .unwrap();
-        engine.find(&input).unwrap().metrics[0].counters.barriers
+        engine.find(&input).unwrap().metrics.ctas[0].counters.barriers
     };
     assert!(barriers(16) < barriers(1), "merge size must reach the kernels");
 }
@@ -110,5 +112,5 @@ fn scan_is_repeatable() {
     let a = engine.find(input).unwrap();
     let b = engine.find(input).unwrap();
     assert_eq!(a.matches.positions(), b.matches.positions());
-    assert_eq!(a.seconds, b.seconds, "the model is deterministic");
+    assert_eq!(a.seconds(), b.seconds(), "the model is deterministic");
 }

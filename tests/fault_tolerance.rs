@@ -82,7 +82,7 @@ fn seeded_fault_sweep_has_no_silent_corruption() {
                     report.matches, clean,
                     "seed {seed}: fault passed silently with corrupted matches"
                 );
-                assert!(!report.degraded, "Fail policy must not degrade");
+                assert!(!report.degraded(), "Fail policy must not degrade");
                 masked += 1;
             }
         }
@@ -152,7 +152,7 @@ fn streaming_seeded_fault_sweep_has_no_silent_corruption() {
                     ends, clean,
                     "seed {seed}: fault passed silently with corrupted stream matches"
                 );
-                assert_eq!(scanner.degraded_chunks(), 0, "fail-fast must not degrade");
+                assert_eq!(scanner.metrics().degraded, 0, "fail-fast must not degrade");
                 masked += 1;
             }
         }
@@ -182,8 +182,8 @@ fn streaming_retry_recovers_transient_faults() {
             ends.extend(scanner.push(chunk).unwrap());
         }
         assert_eq!(ends, clean, "{kind:?}: retried stream must match batch");
-        assert_eq!(scanner.retries(), 1, "{kind:?}: exactly one retry");
-        assert_eq!(scanner.degraded_chunks(), 0, "{kind:?}: no degradation needed");
+        assert_eq!(scanner.metrics().retries, 1, "{kind:?}: exactly one retry");
+        assert_eq!(scanner.metrics().degraded, 0, "{kind:?}: no degradation needed");
         assert!(!scanner.is_poisoned(), "{kind:?}: recovered scanner stays live");
         assert_eq!(scanner.consumed(), input.len() as u64);
     }
@@ -210,14 +210,14 @@ fn streaming_degradation_recovers_persistent_faults() {
         pushes += 1;
     }
     assert_eq!(ends, clean, "degraded stream must match batch exactly");
-    assert_eq!(scanner.degraded_chunks(), pushes, "every chunk was recovered on the CPU");
-    assert_eq!(scanner.retries(), 2 * pushes, "two failed retries per degraded push");
+    assert_eq!(scanner.metrics().degraded, pushes, "every chunk was recovered on the CPU");
+    assert_eq!(scanner.metrics().retries, 2 * pushes, "two failed retries per degraded push");
     assert!(!scanner.is_poisoned());
     scanner.clear_fault();
     // Fault cleared: the stream keeps going on the device path.
-    let before = scanner.degraded_chunks();
+    let before = scanner.metrics().degraded;
     scanner.push(b"abcbcd cat 42x ").unwrap();
-    assert_eq!(scanner.degraded_chunks(), before);
+    assert_eq!(scanner.metrics().degraded, before);
 }
 
 /// Cancellation mid-stream rolls the push back without poisoning: the
@@ -231,7 +231,7 @@ fn streaming_cancellation_rolls_back_without_poisoning() {
     let mut scanner = engine.streamer().unwrap();
     let mut ends = scanner.push(&input[..200]).unwrap();
     let consumed = scanner.consumed();
-    let seconds = scanner.seconds();
+    let seconds = scanner.metrics().wall_seconds;
     let token = CancelToken::new();
     token.cancel();
     scanner.set_cancel_token(token);
@@ -241,7 +241,7 @@ fn streaming_cancellation_rolls_back_without_poisoning() {
     );
     assert!(!scanner.is_poisoned(), "interrupts must not poison");
     assert_eq!(scanner.consumed(), consumed, "failed push must not count bytes");
-    assert_eq!(scanner.seconds().to_bits(), seconds.to_bits(), "or seconds");
+    assert_eq!(scanner.metrics().wall_seconds.to_bits(), seconds.to_bits(), "or seconds");
     scanner.set_cancel_token(CancelToken::new());
     ends.extend(scanner.push(&input[200..400]).unwrap());
     for chunk in input[400..].chunks(256) {
@@ -292,14 +292,14 @@ fn degradation_recovers_exact_matches_on_cpu() {
     let inputs: Vec<Vec<u8>> = (0..3).map(workload).collect();
     let slices: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
     let clean = engine.find_many(&slices).unwrap();
-    assert!(clean.iter().all(|r| !r.degraded));
+    assert!(clean.iter().all(|r| !r.degraded()));
 
     for kind in [FaultKind::Panic, FaultKind::CorruptCounter] {
         let mut session = engine.session();
         session.inject_fault(1, 0, FaultPlan { kind, trigger: 1, seed: 3 });
         let reports = session.scan_many(&slices).unwrap();
-        assert!(reports[1].degraded, "{kind:?}: faulted stream must be flagged");
-        assert!(!reports[0].degraded && !reports[2].degraded, "{kind:?}: blast radius");
+        assert!(reports[1].degraded(), "{kind:?}: faulted stream must be flagged");
+        assert!(!reports[0].degraded() && !reports[2].degraded(), "{kind:?}: blast radius");
         for (i, (clean_r, got)) in clean.iter().zip(&reports).enumerate() {
             assert_eq!(clean_r.matches, got.matches, "{kind:?}: stream {i} matches");
         }
@@ -352,6 +352,6 @@ fn degrade_policy_does_not_swallow_cancellation() {
     let fail = engine(RecoveryPolicy::Fail);
     let a = degrade.find(&input).unwrap();
     let b = fail.find(&input).unwrap();
-    assert!(!a.degraded);
+    assert!(!a.degraded());
     assert_eq!(a.matches, b.matches);
 }

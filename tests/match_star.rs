@@ -117,7 +117,7 @@ fn match_star_reduces_work_on_star_heavy_patterns() {
         )
         .unwrap();
         let r = engine.find(&input).unwrap();
-        (r.matches.count_ones(), r.metrics[0].counters.barriers, r.seconds)
+        (r.matches.count_ones(), r.metrics.ctas[0].counters.barriers, r.seconds())
     };
     let (m_loop, barriers_loop, sec_loop) = run(false);
     let (m_star, barriers_star, sec_star) = run(true);

@@ -40,25 +40,29 @@ fn assert_reports_identical(a: &[ScanReport], b: &[ScanReport], what: &str) {
         assert_eq!(x.matches, y.matches, "{what}: matches of stream {i}");
         assert_eq!(x.per_pattern, y.per_pattern, "{what}: per-pattern streams of stream {i}");
         assert_eq!(
-            x.seconds.to_bits(),
-            y.seconds.to_bits(),
+            x.seconds().to_bits(),
+            y.seconds().to_bits(),
             "{what}: modelled seconds of stream {i}"
         );
         assert_eq!(
-            x.cost.seconds.to_bits(),
-            y.cost.seconds.to_bits(),
+            x.metrics.cost.seconds.to_bits(),
+            y.metrics.cost.seconds.to_bits(),
             "{what}: cost seconds of stream {i}"
         );
         assert_eq!(
-            x.cost.barrier_stall_frac.to_bits(),
-            y.cost.barrier_stall_frac.to_bits(),
+            x.metrics.cost.barrier_stall_frac.to_bits(),
+            y.metrics.cost.barrier_stall_frac.to_bits(),
             "{what}: barrier stall of stream {i}"
         );
         // Per-CTA metrics carry the engine's compile-time pass record,
         // whose wall-clock nanos legitimately differ between separately
         // compiled engines; everything else must agree to the bit.
-        assert_eq!(x.metrics.len(), y.metrics.len(), "{what}: metric count of stream {i}");
-        for (mx, my) in x.metrics.iter().zip(&y.metrics) {
+        assert_eq!(
+            x.metrics.ctas.len(),
+            y.metrics.ctas.len(),
+            "{what}: metric count of stream {i}"
+        );
+        for (mx, my) in x.metrics.ctas.iter().zip(&y.metrics.ctas) {
             let (mut mx, mut my) = (mx.clone(), my.clone());
             mx.passes.rebalance_nanos = 0;
             mx.passes.zbs_nanos = 0;
@@ -67,8 +71,8 @@ fn assert_reports_identical(a: &[ScanReport], b: &[ScanReport], what: &str) {
             assert_eq!(mx, my, "{what}: metrics of stream {i}");
         }
         assert_eq!(
-            x.throughput_mbps.to_bits(),
-            y.throughput_mbps.to_bits(),
+            x.throughput_mbps().to_bits(),
+            y.throughput_mbps().to_bits(),
             "{what}: throughput of stream {i}"
         );
     }

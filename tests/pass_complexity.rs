@@ -91,6 +91,9 @@ fn metrics_surface_through_engine_and_report() {
     assert!(total.total_visits() > 0, "{total:?}");
 
     let report = engine.find(b"ababababxabc").unwrap();
-    assert_eq!(report.pass_metrics, compiled, "report reproduces compile-time metrics");
+    assert_eq!(
+        report.metrics.passes, total,
+        "the report's unified metrics aggregate the compile-time pass record"
+    );
     assert!(report.match_count() > 0);
 }

@@ -2,7 +2,7 @@
 //! for random pattern sets — unbounded repetitions included — and random
 //! chunkings (sizes 1..64, empty pushes interleaved), streamed matches
 //! must be bit-identical to batch [`BitGen::find`], the scanner must
-//! consume every byte exactly once (`bytes_rescanned() == 0`), and a
+//! consume every byte exactly once (`metrics().bytes_rescanned == 0`), and a
 //! match spanning many chunks through a while-loop must be reported
 //! exactly once.
 
@@ -26,7 +26,7 @@ fn stream_all(engine: &BitGen, input: &[u8], sizes: &[usize]) -> Vec<u64> {
         }
     }
     assert_eq!(scanner.consumed(), pos as u64);
-    assert_eq!(scanner.bytes_rescanned(), 0, "carry streaming never re-scans");
+    assert_eq!(scanner.metrics().bytes_rescanned, 0, "carry streaming never re-scans");
     ends
 }
 
@@ -153,9 +153,9 @@ fn streaming_seconds_track_consumed_bytes_not_span() {
     let engine = BitGen::compile(&["a{1,40}b"]).unwrap();
     let mut s = engine.streamer().unwrap();
     s.push(&[b'.'; 256]).unwrap();
-    let first = s.seconds();
+    let first = s.metrics().wall_seconds;
     s.push(&[b'.'; 256]).unwrap();
-    let delta = s.seconds() - first;
+    let delta = s.metrics().wall_seconds - first;
     assert_eq!(first.to_bits(), delta.to_bits());
-    assert_eq!(s.bytes_rescanned(), 0);
+    assert_eq!(s.metrics().bytes_rescanned, 0);
 }

@@ -1,7 +1,7 @@
 //! Recovery properties of checkpointed streaming: (1) a scanner under a
 //! [`RetryPolicy`] absorbs injected faults — transient or persistent —
 //! with matches bit-identical to batch [`BitGen::find`], surfacing the
-//! recovery in `retries()`/`degraded_chunks()` instead of corrupting
+//! recovery in `metrics().retries`/`metrics().degraded` instead of corrupting
 //! output; (2) a stream suspended at *any* chunk boundary via
 //! [`StreamScanner::checkpoint`], serialized, and resumed (same process
 //! or not) finishes with exactly the matches of an uninterrupted scan;
@@ -98,12 +98,12 @@ proptest! {
         prop_assert_eq!(&ends, &batch,
             "patterns {:?} seed {} chunking {:?}: resilient stream diverged \
              (retries {}, degraded {})",
-            patterns, seed, sizes, scanner.retries(), scanner.degraded_chunks());
+            patterns, seed, sizes, scanner.metrics().retries, scanner.metrics().degraded);
         prop_assert!(!scanner.is_poisoned());
         // A persistent fault that was ever detected must have degraded
         // at least one chunk (retries alone cannot outlast it).
-        if persistent && scanner.retries() > 0 {
-            prop_assert!(scanner.degraded_chunks() > 0,
+        if persistent && scanner.metrics().retries > 0 {
+            prop_assert!(scanner.metrics().degraded > 0,
                 "persistent fault retried but never degraded");
         }
     }
@@ -192,12 +192,12 @@ fn retried_push_does_not_double_count() {
         clean_ends.extend(clean.push(chunk).unwrap());
         faulty_ends.extend(faulty.push(chunk).unwrap());
     }
-    assert_eq!(faulty.retries(), 1, "the drill must actually have retried");
+    assert_eq!(faulty.metrics().retries, 1, "the drill must actually have retried");
     assert_eq!(faulty_ends, clean_ends);
     assert_eq!(faulty.consumed(), clean.consumed(), "retry must not re-count bytes");
     assert_eq!(
-        faulty.seconds().to_bits(),
-        clean.seconds().to_bits(),
+        faulty.metrics().wall_seconds.to_bits(),
+        clean.metrics().wall_seconds.to_bits(),
         "the failed attempt must contribute zero modelled seconds"
     );
 }
@@ -223,12 +223,12 @@ fn degraded_push_counts_bytes_once_and_is_reported() {
     }
     assert_eq!(degraded_ends, clean_ends, "degraded matches stay exact");
     assert_eq!(degraded.consumed(), clean.consumed());
-    assert!(degraded.degraded_chunks() > 0);
+    assert!(degraded.metrics().degraded > 0);
     assert!(
-        degraded.seconds() <= clean.seconds(),
+        degraded.metrics().wall_seconds <= clean.metrics().wall_seconds,
         "degraded windows contribute no device work: {} > {}",
-        degraded.seconds(),
-        clean.seconds()
+        degraded.metrics().wall_seconds,
+        clean.metrics().wall_seconds
     );
 }
 
@@ -242,13 +242,13 @@ fn failed_push_rolls_counters_back() {
     let mut scanner = engine.streamer().unwrap();
     scanner.push(b"cat and more cat").unwrap();
     let consumed = scanner.consumed();
-    let seconds = scanner.seconds();
+    let seconds = scanner.metrics().wall_seconds;
     scanner.inject_fault(0, FaultPlan { kind: FaultKind::Panic, trigger: 1, seed: 4 }, 1);
     scanner.push(b"catcatcat").unwrap_err();
     assert_eq!(scanner.consumed(), consumed);
-    assert_eq!(scanner.seconds().to_bits(), seconds.to_bits());
-    assert_eq!(scanner.retries(), 0);
-    assert_eq!(scanner.degraded_chunks(), 0);
+    assert_eq!(scanner.metrics().wall_seconds.to_bits(), seconds.to_bits());
+    assert_eq!(scanner.metrics().retries, 0);
+    assert_eq!(scanner.metrics().degraded, 0);
 }
 
 /// Checkpoints are engine-bound: resuming onto a different pattern set
