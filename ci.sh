@@ -25,11 +25,35 @@ cargo test -q -p bitgen --test stream_carry
 # at any chunk boundary).
 cargo test -q -p bitgen --test stream_recovery
 
+# Hot-swap safety net: the two-phase rule-swap differential (swap at b
+# must equal old-rules prefix ∪ new-rules-fresh suffix under random
+# patterns × chunkings), the swap-window fault sweep (recovered windows
+# keep the differential, unrecovered ones roll back to the old
+# generation — zero silent corruption), and the checkpoint-bytes fuzz
+# suite (mutated checkpoints decode identically or fail typed, never
+# panic).
+cargo test -q -p bitgen --test rule_swap --test swap_recovery --test checkpoint_fuzz
+
+# Cross-process swap drill: a bitgrep run with --swap-rules must emit
+# exactly the union of a prefix scanned under the old rules and a
+# suffix scanned (offset-rebased) under the new.
+SWAPDIR="$(mktemp -d)"
+trap 'rm -rf "$SWAPDIR"' EXIT
+printf 'cat dog cat cat dog xx' > "$SWAPDIR/input.bin"
+printf 'dog\n' > "$SWAPDIR/new.rules"
+GOT="$(cargo run -q --release -p bitgen --bin bitgrep -- \
+  -e cat --swap-rules "$SWAPDIR/new.rules@12" --positions "$SWAPDIR/input.bin" 2>/dev/null)"
+WANT="$(printf '2\n10\n18\n')"
+if [ "$GOT" != "$WANT" ]; then
+  echo "swap drill: positions '$GOT' != expected '$WANT'" >&2
+  exit 1
+fi
+
 # Cross-process checkpoint smoke: suspend a stream in one process,
 # resume it in another, and require the combined match count to equal an
 # uninterrupted batch scan.
 CKPT="$(mktemp)"
-trap 'rm -f "$CKPT"' EXIT
+trap 'rm -rf "$SWAPDIR"; rm -f "$CKPT"' EXIT
 BATCH="$(cargo run -q --release -p bitgen --example checkpoint_resume -- batch)"
 cargo run -q --release -p bitgen --example checkpoint_resume -- first "$CKPT" > /dev/null
 RESUMED="$(cargo run -q --release -p bitgen --example checkpoint_resume -- second "$CKPT")"
@@ -55,7 +79,7 @@ cargo bench -q -p bitgen-bench --bench stream_scan
 #   cargo run --release -p bitgen-bench --bin bitgen-bench -- \
 #     run --smoke --modelled-only --out results/BENCH_smoke.json
 SMOKE="$(mktemp -t bench_smoke.XXXXXX.json)"
-trap 'rm -f "$CKPT" "$SMOKE"' EXIT
+trap 'rm -rf "$SWAPDIR"; rm -f "$CKPT" "$SMOKE"' EXIT
 cargo run -q --release -p bitgen-bench --bin bitgen-bench -- \
   run --smoke --modelled-only --out "$SMOKE" > /dev/null
 cargo run -q --release -p bitgen-bench --bin bitgen-bench -- \

@@ -113,6 +113,8 @@ fn golden_metrics_keys_are_the_unified_record() {
             "retries",
             "skipped_ops",
             "smem_accesses",
+            "swap_rollbacks",
+            "swaps",
             "transpose_seconds",
             "wall_seconds",
             "window_iterations",

@@ -19,6 +19,10 @@
 //!                       scanning (bitgen engine only)
 //!   --max-bytes N       stop after scanning N bytes this run, leaving the
 //!                       checkpoint in place for the next run
+//!   --swap-rules FILE@OFFSET
+//!                       hot-swap to the patterns in FILE (one per line)
+//!                       once OFFSET bytes have been scanned (bitgen
+//!                       engine only)
 //! ```
 //!
 //! Reads FILE, or stdin when no file is given. The default `bitgen`
@@ -46,6 +50,16 @@
 //! numbering and line reassembly at the checkpoint boundary — match
 //! *positions* (`--positions`) are exact across suspend/resume.
 //!
+//! `--swap-rules FILE@OFFSET` drives the engine's two-phase live rule
+//! swap: the new pattern set is compiled up front (phase 1 — a bad rule
+//! file fails the run before any scanning), and the scanner adopts it at
+//! a chunk boundary placed exactly at OFFSET (phase 2). Matches before
+//! OFFSET come from the original patterns, matches from OFFSET on from
+//! the new ones, with no bytes dropped or rescanned. Checkpoints record
+//! the rule-set generation, so a `--checkpoint` rerun resumes on
+//! whichever side of the swap it stopped — pass the same `--swap-rules`
+//! flag again.
+//!
 //! Exit codes follow grep convention, extended so scripts can tell the
 //! failure stages apart: 0 matches found, 1 no matches, 2 usage or I/O
 //! error, 3 pattern failed to compile (including blown compile budgets),
@@ -57,7 +71,8 @@
 //! [`RetryPolicy::resilient`]: bitgen::RetryPolicy::resilient
 
 use bitgen::{
-    BitGen, DeviceConfig, EngineConfig, RetryPolicy, Scheme, StreamCheckpoint, StreamScanner,
+    BitGen, DeviceConfig, EngineConfig, RetryPolicy, Scheme, StagedRules, StreamCheckpoint,
+    StreamScanner,
 };
 use bitgen_baselines::{CpuBitstreamEngine, DfaEngine, HybridEngine, MultiNfa};
 use bitgen_bitstream::BitStream;
@@ -79,6 +94,8 @@ struct Options {
     profile: bool,
     checkpoint: Option<String>,
     max_bytes: Option<u64>,
+    /// `(rules file, byte offset)` for a mid-stream rule-set swap.
+    swap_rules: Option<(String, u64)>,
 }
 
 /// bitgrep's exit codes, grep-compatible for 0/1/2.
@@ -103,7 +120,8 @@ fn usage() -> ! {
         "usage: bitgrep -e PATTERN [-e PATTERN ...] [-f FILE ...] [FILE] \
          [--count] [--line-number] [--positions] [--engine E] [--scheme S] \
          [--device D] [--threads N] [--scan-threads N] [--match-star] \
-         [--profile] [--checkpoint FILE] [--max-bytes N]"
+         [--profile] [--checkpoint FILE] [--max-bytes N] \
+         [--swap-rules FILE@OFFSET]"
     );
     std::process::exit(exit::USAGE as i32);
 }
@@ -124,6 +142,7 @@ fn parse_args() -> Options {
         profile: false,
         checkpoint: None,
         max_bytes: None,
+        swap_rules: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -180,6 +199,12 @@ fn parse_args() -> Options {
                 opts.max_bytes =
                     Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
             }
+            "--swap-rules" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                let (file, offset) = spec.rsplit_once('@').unwrap_or_else(|| usage());
+                let offset: u64 = offset.parse().unwrap_or_else(|_| usage());
+                opts.swap_rules = Some((file.to_string(), offset));
+            }
             "-h" | "--help" => usage(),
             other if !other.starts_with('-') && opts.file.is_none() => {
                 opts.file = Some(other.to_string());
@@ -190,8 +215,14 @@ fn parse_args() -> Options {
     if opts.patterns.is_empty() {
         usage();
     }
-    if (opts.checkpoint.is_some() || opts.max_bytes.is_some()) && opts.engine != "bitgen" {
-        eprintln!("bitgrep: --checkpoint/--max-bytes require the bitgen engine");
+    if (opts.checkpoint.is_some() || opts.max_bytes.is_some() || opts.swap_rules.is_some())
+        && opts.engine != "bitgen"
+    {
+        eprintln!("bitgrep: --checkpoint/--max-bytes/--swap-rules require the bitgen engine");
+        std::process::exit(exit::USAGE as i32);
+    }
+    if opts.swap_rules.is_some() && opts.profile {
+        eprintln!("bitgrep: --swap-rules needs the streaming path; drop --profile");
         std::process::exit(exit::USAGE as i32);
     }
     opts
@@ -381,14 +412,49 @@ fn run_streaming(opts: &Options) -> Result<ExitCode, ScanFailure> {
     let pats: Vec<&str> = opts.patterns.iter().map(String::as_str).collect();
     let engine = BitGen::compile_with(&pats, engine_config(opts))
         .map_err(|e| ScanFailure::Compile(e.to_string()))?;
+    // Phase 1 of `--swap-rules`: compile the replacement set up front,
+    // under the same config and budgets. A bad rules file fails the run
+    // here, before a byte is scanned.
+    let swap: Option<(StagedRules, u64)> = match &opts.swap_rules {
+        Some((path, offset)) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| ScanFailure::Usage(format!("{path}: {e}")))?;
+            let new_pats: Vec<&str> = text.lines().filter(|l| !l.is_empty()).collect();
+            if new_pats.is_empty() {
+                return Err(ScanFailure::Usage(format!("{path}: no patterns")));
+            }
+            let staged = engine
+                .prepare_swap(&new_pats)
+                .map_err(|e| ScanFailure::Compile(format!("{path}: {e}")))?;
+            Some((staged, *offset))
+        }
+        None => None,
+    };
+    // Whether the scanner is already past the commit (set when resuming
+    // a post-swap checkpoint, or once the boundary is reached below).
+    let mut swapped = false;
     let mut scanner = match &opts.checkpoint {
         Some(path) => match std::fs::read(path) {
             Ok(bytes) => {
                 let ckpt = StreamCheckpoint::from_bytes(&bytes)
                     .map_err(|e| ScanFailure::Usage(format!("{path}: {e}")))?;
-                let scanner =
-                    engine.resume(&ckpt).map_err(|e| ScanFailure::Usage(format!("{path}: {e}")))?;
-                eprintln!("bitgrep: resuming at byte {} from {path}", scanner.consumed());
+                // A post-swap checkpoint lives on the staged generation;
+                // resume it there (the original engine would refuse it).
+                let resume_on = match &swap {
+                    Some((staged, _)) if ckpt.generation() == staged.generation() => {
+                        swapped = true;
+                        staged.engine()
+                    }
+                    _ => &engine,
+                };
+                let scanner = resume_on
+                    .resume(&ckpt)
+                    .map_err(|e| ScanFailure::Usage(format!("{path}: {e}")))?;
+                eprintln!(
+                    "bitgrep: resuming at byte {} (rule generation {}) from {path}",
+                    scanner.consumed(),
+                    scanner.generation()
+                );
                 scanner
             }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
@@ -405,7 +471,7 @@ fn run_streaming(opts: &Options) -> Result<ExitCode, ScanFailure> {
     let mut budget = opts.max_bytes;
     let mut stopped_early = false;
     loop {
-        let want = match budget {
+        let mut want = match budget {
             Some(0) => {
                 stopped_early = true;
                 break;
@@ -413,6 +479,25 @@ fn run_streaming(opts: &Options) -> Result<ExitCode, ScanFailure> {
             Some(b) => STREAM_CHUNK.min(b as usize),
             None => STREAM_CHUNK,
         };
+        if let Some((staged, at)) = &swap {
+            // Phase 2: adopt the staged generation once the stream
+            // reaches the requested offset. Until then, cap reads so a
+            // chunk boundary lands exactly on it.
+            if !swapped && scanner.consumed() >= *at {
+                scanner
+                    .commit_swap(staged)
+                    .map_err(|e| ScanFailure::Exec(e.to_string()))?;
+                swapped = true;
+                eprintln!(
+                    "bitgrep: rule-set swapped to generation {} at byte {}",
+                    scanner.generation(),
+                    scanner.consumed()
+                );
+            }
+            if !swapped {
+                want = want.min((*at - scanner.consumed()) as usize);
+            }
+        }
         let n = match reader.read(&mut buf[..want]) {
             Ok(0) => break,
             Ok(n) => n,

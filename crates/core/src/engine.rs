@@ -234,6 +234,13 @@ pub struct BitGen {
     /// Longest possible match span across all patterns, `None` when some
     /// pattern is unbounded. Drives the streaming scanner's carry-over.
     max_span: Option<usize>,
+    /// Rule-set generation in a hot-swap lineage: `0` for a fresh
+    /// compile, parent + 1 for an engine staged by
+    /// [`BitGen::prepare_swap`]. Checked (alongside the stream
+    /// fingerprint) when resuming a [`crate::StreamCheckpoint`], so a
+    /// stream suspended after a swap only restores onto the generation
+    /// it was actually serving.
+    pub(crate) generation: u64,
     config: EngineConfig,
 }
 
@@ -484,6 +491,7 @@ impl BitGen {
             pass_metrics: Vec::new(),
             pattern_count: asts.len(),
             max_span,
+            generation: 0,
             config,
         };
         // Apply the scheme's compile-time transforms once, here, so every
@@ -511,6 +519,13 @@ impl BitGen {
     /// Number of compiled patterns.
     pub fn pattern_count(&self) -> usize {
         self.pattern_count
+    }
+
+    /// Rule-set generation in a hot-swap lineage: `0` for a fresh
+    /// compile, parent + 1 for an engine produced by
+    /// [`BitGen::prepare_swap`]. See [`crate::StagedRules`].
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Number of groups (CTAs) the patterns were partitioned into.

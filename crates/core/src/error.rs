@@ -78,6 +78,28 @@ pub enum Error {
         /// Fingerprint recorded in the checkpoint.
         found: u64,
     },
+    /// A checkpoint's rule-set generation does not match the engine asked
+    /// to resume it: the stream had hot-swapped a different number of
+    /// times than the engine's lineage records, so its byte counters and
+    /// match history belong to a different rule timeline. Rebuild the
+    /// engine for the checkpoint's generation (compile the original
+    /// rules, then replay the [`crate::BitGen::prepare_swap`] chain) and
+    /// resume on that.
+    GenerationMismatch {
+        /// Generation of the engine asked to resume.
+        expected: u64,
+        /// Generation recorded in the checkpoint.
+        found: u64,
+    },
+    /// A staged rule-set swap ([`crate::StagedRules`]) was committed onto
+    /// a scanner it was not prepared for — wrong parent engine, wrong
+    /// generation, or a previous swap still awaiting its first window.
+    /// The scanner is untouched: commit is atomic and rejects before
+    /// adopting anything.
+    SwapMismatch {
+        /// Why the commit was refused.
+        reason: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -104,6 +126,14 @@ impl fmt::Display for Error {
                 f,
                 "checkpoint fingerprint {found:#018x} does not match engine {expected:#018x}"
             ),
+            Error::GenerationMismatch { expected, found } => write!(
+                f,
+                "checkpoint is at rule-set generation {found}, engine is at {expected}; \
+                 resume onto the engine for that generation"
+            ),
+            Error::SwapMismatch { reason } => {
+                write!(f, "staged rule-set swap refused: {reason}")
+            }
         }
     }
 }
@@ -118,7 +148,9 @@ impl std::error::Error for Error {
             Error::WorkerPanicked { .. }
             | Error::StreamPoisoned
             | Error::CheckpointInvalid { .. }
-            | Error::CheckpointMismatch { .. } => None,
+            | Error::CheckpointMismatch { .. }
+            | Error::GenerationMismatch { .. }
+            | Error::SwapMismatch { .. } => None,
         }
     }
 }

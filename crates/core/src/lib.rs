@@ -63,6 +63,7 @@ mod fold;
 mod group;
 mod session;
 mod stream_scan;
+pub mod swap;
 
 pub use bench_target::{OneShotTarget, PreparedTarget, StreamTarget};
 pub use engine::{BitGen, CompileError, EngineConfig, Match, RecoveryPolicy, ScanReport};
@@ -71,6 +72,7 @@ pub use fold::fold_case;
 pub use group::{group_regexes, GroupingStrategy};
 pub use session::ScanSession;
 pub use stream_scan::{RetryPolicy, StreamCheckpoint, StreamScanner};
+pub use swap::StagedRules;
 
 // Re-export the pieces users need to configure or extend the engine.
 pub use bitgen_baselines::{BenchTarget, TargetRun};

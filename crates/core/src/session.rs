@@ -121,6 +121,23 @@ impl BitGen {
     }
 }
 
+impl<'e> ScanSession<'e> {
+    /// Repoints the session at another engine — the streaming hot-swap
+    /// commit (and its rollback). The transpose targets and executor
+    /// scratch are program-agnostic and stay warm; the execution config
+    /// is refreshed from the new engine.
+    pub(crate) fn set_engine(&mut self, engine: &'e BitGen) {
+        self.engine = engine;
+        self.exec_config = engine.exec_config();
+    }
+
+    /// The stored engine reference at the session's full lifetime —
+    /// what a swap rollback stashes so it can repoint the session later.
+    pub(crate) fn engine_ref(&self) -> &'e BitGen {
+        self.engine
+    }
+}
+
 impl ScanSession<'_> {
     /// The resolved worker thread count.
     pub fn threads(&self) -> usize {
@@ -509,6 +526,8 @@ impl ScanSession<'_> {
                         passes,
                         retries: 0,
                         degraded,
+                        swaps: 0,
+                        swap_rollbacks: 0,
                         cost: cost.clone(),
                         ctas,
                     },

@@ -38,6 +38,7 @@
 use crate::engine::BitGen;
 use crate::error::Error;
 use crate::session::ScanSession;
+use crate::swap::StagedRules;
 use bitgen_bitstream::BitStream;
 use bitgen_exec::{ExecError, ExecMetrics, Metrics};
 use bitgen_gpu::FaultPlan;
@@ -60,7 +61,9 @@ use std::time::Duration;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total executor attempts per group window (≥ 1; `0` is treated as
-    /// `1`). Each retry restores the pre-window carry snapshot first.
+    /// `1` — a zero budget would make every window unexecutable, so
+    /// both [`RetryPolicy::with_attempts`] and the push loop clamp it).
+    /// Each retry restores the pre-window carry snapshot first.
     pub max_attempts: u32,
     /// After the attempts are exhausted, replay the chunk on the CPU
     /// reference interpreter instead of failing the push.
@@ -84,9 +87,12 @@ impl RetryPolicy {
         RetryPolicy { max_attempts: 3, degrade: true }
     }
 
-    /// Builder: sets the attempt budget.
+    /// Builder: sets the attempt budget. `0` is clamped to `1`: the
+    /// budget counts *total* attempts (first try included), so a zero
+    /// budget would leave every window unexecutable and fail each push
+    /// before any work ran.
     pub fn with_attempts(mut self, max_attempts: u32) -> RetryPolicy {
-        self.max_attempts = max_attempts;
+        self.max_attempts = max_attempts.max(1);
         self
     }
 
@@ -105,6 +111,21 @@ struct StreamFaultArm {
     /// Window executions of `group` still to be armed; `u32::MAX` means
     /// every one (a persistent fault).
     windows: u32,
+}
+
+/// Everything needed to undo a committed swap whose first post-swap
+/// window fails unrecoverably: the previous generation's engine, its
+/// boundary carries, and its per-group accounting. Held from
+/// [`StreamScanner::commit_swap`] until the first post-swap push
+/// commits; an unrecoverable failure in that window restores all of it
+/// (instead of poisoning the scanner) so the old generation keeps
+/// serving exactly as if the swap had never been committed.
+#[derive(Debug)]
+struct SwapRollback<'e> {
+    engine: &'e BitGen,
+    carries: Vec<CarryState>,
+    ctas: Vec<ExecMetrics>,
+    generation: u64,
 }
 
 /// Incremental scanner over a compiled engine.
@@ -145,6 +166,12 @@ pub struct StreamScanner<'e> {
     poisoned: bool,
     /// Armed drill fault, if any.
     fault: Option<StreamFaultArm>,
+    /// Rule-set generation this stream is serving; bumped by each
+    /// committed [`StreamScanner::commit_swap`], restored by a rollback.
+    generation: u64,
+    /// Pending swap window: present between a committed swap and the end
+    /// of its first successfully pushed window.
+    rollback: Option<SwapRollback<'e>>,
 }
 
 impl BitGen {
@@ -169,6 +196,8 @@ impl BitGen {
             retry: RetryPolicy::default(),
             poisoned: false,
             fault: None,
+            generation: self.generation,
+            rollback: None,
         })
     }
 
@@ -186,13 +215,22 @@ impl BitGen {
     ///
     /// [`Error::CheckpointMismatch`] when the checkpoint was taken on an
     /// engine with a different streaming compile (different patterns,
-    /// grouping, or lowering), [`Error::CheckpointInvalid`] /
-    /// [`Error::CarryCorrupted`] when its carry states fail validation
-    /// against this engine's programs.
+    /// grouping, or lowering), [`Error::GenerationMismatch`] when the
+    /// fingerprints agree but the checkpoint sits at a different rule-set
+    /// generation (the stream had hot-swapped; rebuild its
+    /// [`crate::StagedRules`] lineage and resume on that engine),
+    /// [`Error::CheckpointInvalid`] / [`Error::CarryCorrupted`] when its
+    /// carry states fail validation against this engine's programs.
     pub fn resume(&self, checkpoint: &StreamCheckpoint) -> Result<StreamScanner<'_>, Error> {
         let expected = self.stream_fingerprint();
         if checkpoint.fingerprint != expected {
             return Err(Error::CheckpointMismatch { expected, found: checkpoint.fingerprint });
+        }
+        if checkpoint.generation != self.generation {
+            return Err(Error::GenerationMismatch {
+                expected: self.generation,
+                found: checkpoint.generation,
+            });
         }
         if checkpoint.carries.len() != self.stream_programs.len() {
             return Err(Error::CheckpointInvalid {
@@ -222,12 +260,16 @@ impl BitGen {
                 match_count: checkpoint.match_count,
                 retries: checkpoint.retries,
                 degraded: checkpoint.degraded_chunks,
+                swaps: checkpoint.swaps,
+                swap_rollbacks: checkpoint.swap_rollbacks,
                 ctas: vec![ExecMetrics::default(); self.stream_programs.len()],
                 ..Metrics::default()
             },
             retry: RetryPolicy::default(),
             poisoned: false,
             fault: None,
+            generation: self.generation,
+            rollback: None,
         })
     }
 
@@ -247,7 +289,95 @@ impl BitGen {
     }
 }
 
+impl<'e> StreamScanner<'e> {
+    /// Phase 2 of a live rule-set swap: adopts a [`StagedRules`]
+    /// generation at the current chunk boundary. See the
+    /// [`crate::swap`] module docs for the full protocol.
+    ///
+    /// Pre-swap matches, byte offsets, and the accumulated
+    /// [`StreamScanner::metrics`] scalars are all preserved; the carry
+    /// state is reset to the new programs' layout, so every subsequent
+    /// match is bit-identical to a fresh scan under the new rules
+    /// starting at [`StreamScanner::consumed`]. The commit arms a swap
+    /// window: until the next push commits, an unrecoverable failure
+    /// rolls the scanner back to the old generation (counted in
+    /// [`bitgen_exec::Metrics::swap_rollbacks`]) instead of poisoning
+    /// it.
+    ///
+    /// The staged generation must outlive the scanner (it is what the
+    /// scanner executes after the commit), and one staged generation
+    /// can be committed onto any number of scanners serving its parent.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::StreamPoisoned`] on a poisoned scanner;
+    /// [`Error::SwapMismatch`] when `staged` was prepared from a
+    /// different engine or generation than this scanner is serving, or
+    /// when a previous swap is still awaiting its first pushed window.
+    /// In every error case the scanner is untouched — commit adopts all
+    /// of the new generation or none of it.
+    pub fn commit_swap(&mut self, staged: &'e StagedRules) -> Result<(), Error> {
+        if self.poisoned {
+            return Err(Error::StreamPoisoned);
+        }
+        if self.rollback.is_some() {
+            return Err(Error::SwapMismatch {
+                reason: "a previous swap is still awaiting its first pushed window".to_string(),
+            });
+        }
+        staged.check_parent(self.session.engine(), self.generation)?;
+        let engine = staged.engine();
+        // Atomic adopt: stash everything the old generation needs to
+        // keep serving (engine, boundary carries, per-group accounting),
+        // then repoint the scanner at the new generation wholesale.
+        let rollback = SwapRollback {
+            engine: self.session.engine_ref(),
+            carries: std::mem::replace(
+                &mut self.carries,
+                engine.stream_programs.iter().map(CarryState::for_program).collect(),
+            ),
+            ctas: std::mem::replace(
+                &mut self.metrics.ctas,
+                vec![ExecMetrics::default(); engine.stream_programs.len()],
+            ),
+            generation: self.generation,
+        };
+        self.session.set_engine(engine);
+        self.generation = staged.generation();
+        self.metrics.swaps += 1;
+        self.rollback = Some(rollback);
+        Ok(())
+    }
+}
+
 impl StreamScanner<'_> {
+    /// Rule-set generation this scanner is serving: `0` until a
+    /// [`StreamScanner::commit_swap`], then the committed
+    /// [`StagedRules::generation`] — or back to the previous value if
+    /// the swap window rolled back.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Undoes a pending swap window: repoints the session at the
+    /// previous generation's engine and restores its boundary carries
+    /// and per-group accounting. Returns `true` when a window was armed
+    /// (the caller surfaces the error *without* poisoning — the old
+    /// generation keeps serving as if the swap had never committed).
+    fn swap_rollback(&mut self) -> bool {
+        match self.rollback.take() {
+            Some(rb) => {
+                self.session.set_engine(rb.engine);
+                self.carries = rb.carries;
+                self.metrics.ctas = rb.ctas;
+                self.generation = rb.generation;
+                self.metrics.swap_rollbacks += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Scans the next chunk, returning the *global* byte positions of
     /// matches that end inside it, ascending. Empty chunks are no-ops.
     ///
@@ -290,8 +420,13 @@ impl StreamScanner<'_> {
             if let Err(error) = self.carries[group].validate(&self.session.engine().stream_programs[group])
             {
                 // Corruption arrived between pushes; nothing ran on the
-                // bad state, and nothing trustworthy remains to roll
-                // back to, so poison rather than execute.
+                // bad state. Inside a swap window the previous
+                // generation's boundary is still trustworthy, so fall
+                // back to it; otherwise nothing trustworthy remains and
+                // the scanner poisons rather than execute.
+                if self.swap_rollback() {
+                    return Err(Error::CarryCorrupted { group, error });
+                }
                 self.poisoned = true;
                 return Err(Error::CarryCorrupted { group, error });
             }
@@ -342,7 +477,7 @@ impl StreamScanner<'_> {
                                 }
                                 Err(ie) => {
                                     self.carries = snapshot;
-                                    if !is_interrupt(&ie) {
+                                    if !is_interrupt(&ie) && !self.swap_rollback() {
                                         self.poisoned = true;
                                     }
                                     return Err(ie);
@@ -350,14 +485,19 @@ impl StreamScanner<'_> {
                             }
                         }
                         self.carries = snapshot;
-                        self.poisoned = true;
+                        if !self.swap_rollback() {
+                            self.poisoned = true;
+                        }
                         return Err(e);
                     }
                 }
             }
         }
         // Commit: the metrics record advances exactly once per
-        // successful push.
+        // successful push. A committed window also closes any pending
+        // swap window — the new generation has now served cleanly, so
+        // the fallback to the old one is released.
+        self.rollback = None;
         let device = &self.session.engine().config().device;
         let cost = device.estimate(&works);
         let transpose = device.transpose_seconds(chunk.len());
@@ -390,15 +530,23 @@ impl StreamScanner<'_> {
     /// failed pushes roll back to the last boundary first, so even a
     /// poisoned scanner checkpoints its last good state (that is the
     /// recovery path — [`BitGen::resume`] the checkpoint and re-push).
+    ///
+    /// A checkpoint taken inside a pending swap window records the *new*
+    /// generation (its fingerprint, generation counter, and fresh
+    /// carries): persisting the boundary commits to it, so resuming
+    /// treats the swap as done rather than resurrecting the rollback.
     pub fn checkpoint(&self) -> StreamCheckpoint {
         StreamCheckpoint {
             fingerprint: self.session.engine().stream_fingerprint(),
+            generation: self.generation,
             consumed: self.metrics.bytes_scanned,
             kernel_seconds: self.metrics.kernel_seconds,
             transpose_seconds: self.metrics.transpose_seconds,
             match_count: self.metrics.match_count,
             retries: self.metrics.retries,
             degraded_chunks: self.metrics.degraded,
+            swaps: self.metrics.swaps,
+            swap_rollbacks: self.metrics.swap_rollbacks,
             carries: self.carries.clone(),
         }
     }
@@ -425,6 +573,15 @@ impl StreamScanner<'_> {
     /// Disarms a previously injected fault.
     pub fn clear_fault(&mut self) {
         self.fault = None;
+    }
+
+    /// Fault-drill hook: scribbles on one carry slot of `group` between
+    /// pushes (via [`CarryState::corrupt_outgoing`]), simulating stray
+    /// writes or bitrot at a chunk boundary. The next push's validation
+    /// detects it before anything executes. Never call it outside fault
+    /// drills.
+    pub fn corrupt_carry(&mut self, group: usize, seed: u64) {
+        self.carries[group].corrupt_outgoing(seed);
     }
 
     /// Sets a cancellation token polled cooperatively during pushes; a
@@ -529,8 +686,10 @@ fn absorb_window(acc: &mut ExecMetrics, window: &ExecMetrics) {
 /// fingerprints from older writers). Version 2 split the accumulated
 /// seconds into kernel/transpose components and added the match count,
 /// so a resumed scanner reports the same [`Metrics`] scalars an
-/// uninterrupted one would.
-const CHECKPOINT_VERSION: u32 = 2;
+/// uninterrupted one would. Version 3 added the rule-set generation
+/// (so [`BitGen::resume`] can fence hot-swapped streams onto the right
+/// rule timeline) and the swap/rollback counters.
+const CHECKPOINT_VERSION: u32 = 3;
 
 /// Magic prefix of serialized checkpoints: "BitGen Stream Checkpoint".
 const CHECKPOINT_MAGIC: [u8; 4] = *b"BGSC";
@@ -559,12 +718,15 @@ fn fnv_bytes(mut h: u64, bytes: &[u8]) -> u64 {
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamCheckpoint {
     fingerprint: u64,
+    generation: u64,
     consumed: u64,
     kernel_seconds: f64,
     transpose_seconds: f64,
     match_count: u64,
     retries: u64,
     degraded_chunks: u64,
+    swaps: u64,
+    swap_rollbacks: u64,
     carries: Vec<CarryState>,
 }
 
@@ -573,6 +735,14 @@ impl StreamCheckpoint {
     /// compare with [`BitGen::stream_fingerprint`].
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
+    }
+
+    /// Rule-set generation the suspended stream was serving (`0` if it
+    /// never hot-swapped). [`BitGen::resume`] requires the resuming
+    /// engine to be at the same generation; after a swap that means
+    /// resuming on the [`crate::StagedRules`] engine, not the original.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Bytes the suspended stream had consumed — the offset the next
@@ -600,12 +770,15 @@ impl StreamCheckpoint {
         out.extend(CHECKPOINT_MAGIC);
         out.extend(CHECKPOINT_VERSION.to_le_bytes());
         out.extend(self.fingerprint.to_le_bytes());
+        out.extend(self.generation.to_le_bytes());
         out.extend(self.consumed.to_le_bytes());
         out.extend(self.kernel_seconds.to_bits().to_le_bytes());
         out.extend(self.transpose_seconds.to_bits().to_le_bytes());
         out.extend(self.match_count.to_le_bytes());
         out.extend(self.retries.to_le_bytes());
         out.extend(self.degraded_chunks.to_le_bytes());
+        out.extend(self.swaps.to_le_bytes());
+        out.extend(self.swap_rollbacks.to_le_bytes());
         out.extend((self.carries.len() as u32).to_le_bytes());
         for carry in &self.carries {
             carry.write_bytes(&mut out);
@@ -642,6 +815,7 @@ impl StreamCheckpoint {
             return Err(invalid("unsupported checkpoint version"));
         }
         let fingerprint = read_u64(payload, &mut cursor).ok_or_else(|| invalid("truncated"))?;
+        let generation = read_u64(payload, &mut cursor).ok_or_else(|| invalid("truncated"))?;
         let consumed = read_u64(payload, &mut cursor).ok_or_else(|| invalid("truncated"))?;
         let kernel_seconds =
             f64::from_bits(read_u64(payload, &mut cursor).ok_or_else(|| invalid("truncated"))?);
@@ -651,9 +825,17 @@ impl StreamCheckpoint {
         let retries = read_u64(payload, &mut cursor).ok_or_else(|| invalid("truncated"))?;
         let degraded_chunks =
             read_u64(payload, &mut cursor).ok_or_else(|| invalid("truncated"))?;
+        let swaps = read_u64(payload, &mut cursor).ok_or_else(|| invalid("truncated"))?;
+        let swap_rollbacks =
+            read_u64(payload, &mut cursor).ok_or_else(|| invalid("truncated"))?;
         let group_count =
             read_u32(payload, &mut cursor).ok_or_else(|| invalid("truncated"))? as usize;
-        if group_count > payload.len() {
+        // Each carry record is at least a slot count (4 bytes) plus a
+        // seal (8 bytes); bounding the group count by the bytes actually
+        // remaining keeps a forged header from pre-allocating anything
+        // the payload could never back.
+        const MIN_CARRY_RECORD_BYTES: usize = 12;
+        if group_count > payload.len().saturating_sub(cursor) / MIN_CARRY_RECORD_BYTES {
             return Err(invalid("group count exceeds payload size"));
         }
         let mut carries = Vec::with_capacity(group_count);
@@ -668,12 +850,15 @@ impl StreamCheckpoint {
         }
         Ok(StreamCheckpoint {
             fingerprint,
+            generation,
             consumed,
             kernel_seconds,
             transpose_seconds,
             match_count,
             retries,
             degraded_chunks,
+            swaps,
+            swap_rollbacks,
             carries,
         })
     }
@@ -806,6 +991,23 @@ mod tests {
         let second = s.metrics().wall_seconds - first;
         assert_eq!(first.to_bits(), second.to_bits());
         assert_eq!(s.metrics().bytes_rescanned, 0);
+    }
+
+    #[test]
+    fn zero_attempt_budget_clamps_to_one() {
+        let p = RetryPolicy::none().with_attempts(0);
+        assert_eq!(p.max_attempts, 1);
+        assert_eq!(p, RetryPolicy::none().with_attempts(1));
+        // The clamped policy still executes windows normally.
+        let engine = BitGen::compile(&["ab"]).unwrap();
+        let mut s = engine.streamer().unwrap();
+        s.set_retry_policy(p);
+        assert_eq!(s.push(b"ab").unwrap(), vec![1]);
+        // A raw zero written into the field is clamped by the push loop
+        // too (construction sites outside the builder).
+        let mut raw = engine.streamer().unwrap();
+        raw.set_retry_policy(RetryPolicy { max_attempts: 0, degrade: false });
+        assert_eq!(raw.push(b"ab").unwrap(), vec![1]);
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Live rule-set hot-swap: replace the patterns a running stream
+//! matches against, without tearing the stream down.
+//!
+//! A production matcher (IDS/WAF-style) receives rule updates while
+//! streams are live. The protocol here is a two-phase commit:
+//!
+//! 1. **Prepare** ([`BitGen::prepare_swap`]): compile the new pattern
+//!    set — in the background, on any thread — under the serving
+//!    engine's existing configuration and [`CompileLimits`] budgets,
+//!    into a [`StagedRules`] generation. A parse failure or budget
+//!    overrun surfaces here as a typed error and touches nothing: the
+//!    live streams never see a half-built engine.
+//! 2. **Commit** ([`crate::StreamScanner::commit_swap`]): a scanner
+//!    adopts the staged generation at its current chunk boundary. Its
+//!    carry state is reset to the new programs' layout, so every
+//!    post-swap match is bit-identical to a fresh scan under the new
+//!    rules starting at that byte offset; pre-swap matches, byte
+//!    offsets, and the accumulated [`Metrics`] scalars are preserved.
+//!
+//! Commit arms a **swap window**: until the first post-swap push
+//! commits, the scanner keeps everything needed to fall back to the old
+//! generation. A fault inside that window goes through the scanner's
+//! normal [`crate::RetryPolicy`] replay/degrade path *against the new
+//! generation*; if the window still fails unrecoverably, the scanner
+//! rolls back to the old generation — old programs, old carries, old
+//! per-group accounting — instead of poisoning, and keeps serving as if
+//! the swap had never been committed. Both outcomes are visible in
+//! [`Metrics::swaps`] / [`Metrics::swap_rollbacks`].
+//!
+//! Generations are fenced end to end: each committed swap bumps the
+//! stream's generation counter, checkpoints record it, and
+//! [`BitGen::resume`] refuses a checkpoint whose generation differs
+//! from the engine's ([`crate::Error::GenerationMismatch`]) even when
+//! the fingerprints agree — a stream that swapped is on a different
+//! rule timeline than a fresh compile of the same patterns.
+//!
+//! [`CompileLimits`]: bitgen_ir::CompileLimits
+//! [`Metrics`]: bitgen_exec::Metrics
+//! [`Metrics::swaps`]: bitgen_exec::Metrics::swaps
+//! [`Metrics::swap_rollbacks`]: bitgen_exec::Metrics::swap_rollbacks
+//!
+//! # Examples
+//!
+//! ```
+//! use bitgen::BitGen;
+//!
+//! let old = BitGen::compile(&["cat"])?;
+//! let mut scanner = old.streamer()?;
+//! let mut ends = scanner.push(b"cat dog ")?;
+//!
+//! // Phase 1: compile the new rules off to the side (may fail; the
+//! // stream is untouched either way).
+//! let staged = old.prepare_swap(&["dog"])?;
+//!
+//! // Phase 2: adopt them at the chunk boundary.
+//! scanner.commit_swap(&staged)?;
+//! ends.extend(scanner.push(b"cat dog ")?);
+//!
+//! // "cat" matched only before the swap, "dog" only after.
+//! assert_eq!(ends, vec![2, 14]);
+//! assert_eq!(scanner.generation(), 1);
+//! # Ok::<(), bitgen::Error>(())
+//! ```
+
+use crate::engine::BitGen;
+use crate::error::Error;
+
+/// A compiled rule-set generation staged for a hot swap — the output of
+/// phase 1 ([`BitGen::prepare_swap`]), the input of phase 2
+/// ([`crate::StreamScanner::commit_swap`]).
+///
+/// Owns a fully compiled engine one generation above its parent, plus
+/// the parent's identity so a commit onto the wrong scanner is refused
+/// ([`crate::Error::SwapMismatch`]) instead of silently cross-wiring
+/// rule timelines. Staging does not disturb the parent or any scanner;
+/// dropping an uncommitted `StagedRules` is a no-op abort.
+///
+/// One staged generation can be committed onto many scanners serving
+/// the same parent engine — each commit borrows it, none consume it.
+#[derive(Debug)]
+pub struct StagedRules {
+    engine: BitGen,
+    /// Stream fingerprint of the engine this generation was prepared
+    /// from; commit verifies the scanner is actually serving it.
+    parent_fingerprint: u64,
+    /// Generation of the parent engine; the staged engine is one above.
+    parent_generation: u64,
+}
+
+impl BitGen {
+    /// Phase 1 of a live rule-set swap: compiles `patterns` into a
+    /// staged generation, under this engine's configuration and
+    /// [`CompileLimits`](bitgen_ir::CompileLimits) budgets.
+    ///
+    /// Safe to run on a background thread while streams keep scanning;
+    /// nothing observes the staged engine until a scanner commits it.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Compile`] when a pattern fails to parse,
+    /// [`Error::LimitExceeded`] when the set blows a compile budget —
+    /// in both cases no staged generation exists and every live stream
+    /// is untouched.
+    pub fn prepare_swap(&self, patterns: &[&str]) -> Result<StagedRules, Error> {
+        let mut engine = BitGen::compile_with(patterns, self.config().clone())?;
+        engine.generation = self.generation + 1;
+        Ok(StagedRules {
+            engine,
+            parent_fingerprint: self.stream_fingerprint(),
+            parent_generation: self.generation,
+        })
+    }
+}
+
+impl StagedRules {
+    /// The staged engine: generation parent + 1, compiled and
+    /// transform-prepared. Use it directly to batch-scan with the new
+    /// rules, or to [`BitGen::resume`] a checkpoint taken after the
+    /// swap committed (its generation and fingerprint are the ones such
+    /// checkpoints record).
+    pub fn engine(&self) -> &BitGen {
+        &self.engine
+    }
+
+    /// Generation this staged rule set carries (parent + 1).
+    pub fn generation(&self) -> u64 {
+        self.engine.generation
+    }
+
+    /// Checks that `current` is the engine this generation was prepared
+    /// from, at the generation the scanner is serving.
+    pub(crate) fn check_parent(
+        &self,
+        current: &BitGen,
+        serving_generation: u64,
+    ) -> Result<(), Error> {
+        if self.parent_fingerprint != current.stream_fingerprint() {
+            return Err(Error::SwapMismatch {
+                reason: format!(
+                    "staged against engine {:#018x}, scanner is serving {:#018x}",
+                    self.parent_fingerprint,
+                    current.stream_fingerprint()
+                ),
+            });
+        }
+        if self.parent_generation != serving_generation {
+            return Err(Error::SwapMismatch {
+                reason: format!(
+                    "staged from generation {}, scanner is serving generation {}",
+                    self.parent_generation, serving_generation
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitgen_ir::CompileLimits;
+
+    #[test]
+    fn prepare_increments_generation_and_keeps_config() {
+        let base = BitGen::compile_with(
+            &["ab"],
+            crate::EngineConfig::default().with_cta_threads(32),
+        )
+        .unwrap();
+        assert_eq!(base.generation(), 0);
+        let staged = base.prepare_swap(&["cd", "e+f"]).unwrap();
+        assert_eq!(staged.generation(), 1);
+        assert_eq!(staged.engine().generation(), 1);
+        assert_eq!(staged.engine().config().threads, 32);
+        // Chained: a second swap stages generation 2 from the first.
+        let next = staged.engine().prepare_swap(&["gh"]).unwrap();
+        assert_eq!(next.generation(), 2);
+    }
+
+    #[test]
+    fn prepare_failures_are_typed_and_stage_nothing() {
+        let base = BitGen::compile(&["ab"]).unwrap();
+        assert!(matches!(base.prepare_swap(&["(oops"]), Err(Error::Compile(_))));
+
+        let tight = BitGen::compile_with(
+            &["ab"],
+            crate::EngineConfig::default()
+                .with_limits(CompileLimits { max_ir_ops: 8, ..CompileLimits::standard() }),
+        )
+        .unwrap();
+        assert!(matches!(
+            tight.prepare_swap(&["a[0-9]{3,8}z(qq|rr)+"]),
+            Err(Error::LimitExceeded(_))
+        ));
+    }
+
+    #[test]
+    fn check_parent_rejects_foreign_engines_and_generations() {
+        let a = BitGen::compile(&["ab"]).unwrap();
+        let b = BitGen::compile(&["xy"]).unwrap();
+        let staged = a.prepare_swap(&["cd"]).unwrap();
+        assert!(staged.check_parent(&a, 0).is_ok());
+        assert!(matches!(
+            staged.check_parent(&b, 0),
+            Err(Error::SwapMismatch { .. })
+        ));
+        assert!(matches!(
+            staged.check_parent(&a, 1),
+            Err(Error::SwapMismatch { .. })
+        ));
+    }
+}

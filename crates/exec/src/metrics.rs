@@ -120,6 +120,15 @@ pub struct Metrics {
     /// reference interpreter after a device-path failure. Matches stay
     /// exact; timings undercount the recovered work.
     pub degraded: u64,
+    /// Rule-set generations committed onto a live stream (hot swaps),
+    /// including any later rolled back; `0` for batch scans. Each swap
+    /// resets the carry state so post-swap matches are bit-identical to
+    /// a fresh scan under the new rules from that byte offset.
+    pub swaps: u64,
+    /// Committed swaps whose first post-swap window failed unrecoverably
+    /// and were rolled back to the previous generation (the stream keeps
+    /// serving the old rules instead of poisoning). Always ≤ `swaps`.
+    pub swap_rollbacks: u64,
     /// Device cost breakdown of the launch (zeroed per-push accumulation
     /// for streaming scans).
     pub cost: CostBreakdown,
@@ -181,6 +190,8 @@ impl Metrics {
         field(&mut s, "match_count", &self.match_count.to_string());
         field(&mut s, "retries", &self.retries.to_string());
         field(&mut s, "degraded", &self.degraded.to_string());
+        field(&mut s, "swaps", &self.swaps.to_string());
+        field(&mut s, "swap_rollbacks", &self.swap_rollbacks.to_string());
         field(&mut s, "compute_seconds", &json_f64(self.cost.compute_seconds));
         field(&mut s, "memory_seconds", &json_f64(self.cost.memory_seconds));
         field(&mut s, "barrier_stall_frac", &json_f64(self.cost.barrier_stall_frac));

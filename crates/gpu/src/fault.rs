@@ -67,6 +67,24 @@ impl FaultPlan {
     }
 }
 
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FaultKind::SmemFlip => "smem-flip",
+            FaultKind::SkipBarrier => "skip-barrier",
+            FaultKind::CorruptTrips => "corrupt-trips",
+            FaultKind::CorruptCounter => "corrupt-counter",
+            FaultKind::Panic => "panic",
+        })
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} @ event {} (seed {:#x})", self.kind, self.trigger, self.seed)
+    }
+}
+
 /// SplitMix64 finalizer: decorrelates the fault target bits from the
 /// low-entropy sweep seeds (0, 1, 2, ...).
 pub(crate) fn mix(seed: u64) -> u64 {
@@ -91,6 +109,13 @@ mod tests {
             kinds.insert(format!("{:?}", a.kind));
         }
         assert_eq!(kinds.len(), 5, "sweep must exercise every fault kind");
+    }
+
+    #[test]
+    fn display_names_the_fault() {
+        let plan = FaultPlan { kind: FaultKind::Panic, trigger: 2, seed: 0x10 };
+        assert_eq!(plan.to_string(), "panic @ event 2 (seed 0x10)");
+        assert_eq!(FaultKind::SmemFlip.to_string(), "smem-flip");
     }
 
     #[test]

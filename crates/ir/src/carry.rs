@@ -269,16 +269,21 @@ impl CarryState {
     /// cover the stored bits.
     pub fn read_bytes(bytes: &[u8], cursor: &mut usize) -> Result<CarryState, CarryError> {
         let n = read_u32(bytes, cursor)? as usize;
-        if n > bytes.len() {
+        // Each slot record is at least its 8-byte width header, so the
+        // bytes remaining past the cursor bound how many slots can
+        // follow — a flipped count byte must not drive
+        // `Vec::with_capacity` beyond what the payload could encode.
+        if n > bytes.len().saturating_sub(*cursor) / 8 {
             return Err(CarryError::Malformed { reason: "slot count exceeds payload size" });
         }
         let mut slots = Vec::with_capacity(n);
         for _ in 0..n {
             let width = read_u64(bytes, cursor)? as usize;
-            // An Advance slot is as wide as its shift amount; anything
-            // approaching the payload size is corruption, and bounding it
+            // A slot's words must actually follow it: `width` bits is
+            // `width/64` words of 8 bytes each, so a width wider than
+            // the remaining bytes can encode is corruption. Bounding it
             // keeps a flipped length byte from forcing a huge allocation.
-            if width > bytes.len().saturating_mul(8) {
+            if width > bytes.len().saturating_sub(*cursor).saturating_mul(8) {
                 return Err(CarryError::Malformed { reason: "carry slot implausibly wide" });
             }
             let words = (0..width.div_ceil(64))

@@ -1,0 +1,229 @@
+//! Fault drills inside the swap window: the first post-swap window is
+//! the one moment a stream is serving a generation that has never
+//! executed. Seeded faults there must either be absorbed by the
+//! scanner's [`RetryPolicy`] against the *new* generation (matches
+//! bit-identical to the swap differential) or, when unrecoverable, roll
+//! the scanner back to the old generation — never poison it, never
+//! corrupt output silently.
+
+use bitgen::{
+    BitGen, CancelToken, Error, ExecError, FaultKind, FaultPlan, RetryPolicy, StreamScanner,
+};
+use proptest::prelude::*;
+use std::sync::Once;
+
+fn quiet_injected_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            if !msg.contains("injected fault") {
+                default(info);
+            }
+        }));
+    });
+}
+
+const POOL: &[&str] =
+    &["a+b", "(ab)*c", ".{0,3}x", "a{2,}", "ab", "a(bc)*d", "(a|bb)+c", "x[ab]{1,4}y"];
+
+fn arb_patterns() -> impl Strategy<Value = Vec<&'static str>> {
+    prop::collection::vec(prop::sample::select(POOL.to_vec()), 1..4)
+}
+
+fn arb_input() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(b"aabbccdxy. ".to_vec()), 2..140)
+}
+
+fn arb_chunking() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..64, 1..6)
+}
+
+fn batch_ends(engine: &BitGen, input: &[u8]) -> Vec<u64> {
+    engine.find(input).unwrap().matches.positions().iter().map(|&p| p as u64).collect()
+}
+
+fn stream_rest(scanner: &mut StreamScanner<'_>, input: &[u8], sizes: &[usize]) -> Vec<u64> {
+    let mut ends = Vec::new();
+    let mut pos = 0usize;
+    let mut i = 0usize;
+    while pos < input.len() {
+        let size = sizes[i % sizes.len()].max(1).min(input.len() - pos);
+        ends.extend(scanner.push(&input[pos..pos + size]).unwrap());
+        pos += size;
+        i += 1;
+    }
+    ends
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The swap-window fault sweep: a resilient scanner takes a seeded
+    /// fault — transient or persistent — in the first windows after the
+    /// commit, and must still report exactly the swap differential (old
+    /// rules on the prefix, new rules fresh from the boundary), with
+    /// the recovery visible in its counters and no rollback consumed.
+    #[test]
+    fn faulted_swap_window_with_retry_equals_differential(
+        old_patterns in arb_patterns(),
+        new_patterns in arb_patterns(),
+        input in arb_input(),
+        sizes in arb_chunking(),
+        cut in 0usize..140,
+        seed in 0u64..400,
+        persistent in any::<bool>(),
+    ) {
+        quiet_injected_panics();
+        let config = bitgen::EngineConfig::default().with_cross_check(true);
+        let engine = BitGen::compile_with(&old_patterns, config).unwrap();
+        let staged = engine.prepare_swap(&new_patterns).unwrap();
+        let mut scanner = engine.streamer().unwrap();
+        scanner.set_retry_policy(RetryPolicy::resilient());
+        let mut ends = Vec::new();
+        let mut pos = 0usize;
+        let mut i = 0usize;
+        while pos < input.len().min(cut) {
+            let size = sizes[i % sizes.len()].max(1).min(input.len().min(cut) - pos);
+            ends.extend(scanner.push(&input[pos..pos + size]).unwrap());
+            pos += size;
+            i += 1;
+        }
+        scanner.commit_swap(&staged).unwrap();
+        // Arm the fault on the first window(s) the new generation runs.
+        let group = seed as usize % staged.engine().group_count();
+        let windows = if persistent { u32::MAX } else { 1 };
+        scanner.inject_fault(group, FaultPlan::from_seed(seed), windows);
+        ends.extend(stream_rest(&mut scanner, &input[pos..], &sizes));
+        let mut expected = batch_ends(&engine, &input[..pos]);
+        let fresh = BitGen::compile(&new_patterns).unwrap();
+        expected.extend(batch_ends(&fresh, &input[pos..]).into_iter().map(|p| p + pos as u64));
+        prop_assert_eq!(&ends, &expected,
+            "old {:?} new {:?} swap at {} seed {}: faulted swap window diverged \
+             (retries {}, degraded {})",
+            old_patterns, new_patterns, pos, seed,
+            scanner.metrics().retries, scanner.metrics().degraded);
+        prop_assert!(!scanner.is_poisoned());
+        prop_assert_eq!(scanner.metrics().swaps, 1);
+        prop_assert_eq!(scanner.metrics().swap_rollbacks, 0,
+            "a resilient policy must absorb the fault, not consume the rollback");
+    }
+}
+
+/// The rollback drill: a fail-fast scanner commits a swap whose first
+/// window hits a persistent panic. The push fails — but instead of
+/// poisoning, the scanner falls back to the old generation and keeps
+/// serving *identically to never having swapped*.
+#[test]
+fn unrecoverable_swap_window_rolls_back_to_old_generation() {
+    quiet_injected_panics();
+    let engine = BitGen::compile(&["a+b", "cat"]).unwrap();
+    let staged = engine.prepare_swap(&["x[ab]{1,4}y"]).unwrap();
+    let input: Vec<u8> = b"cat aab xaby ".repeat(8);
+    let batch = batch_ends(&engine, &input);
+
+    let mut scanner = engine.streamer().unwrap();
+    let mut ends = scanner.push(&input[..52]).unwrap();
+    scanner.commit_swap(&staged).unwrap();
+    assert_eq!(scanner.generation(), 1);
+    scanner.inject_fault(0, FaultPlan { kind: FaultKind::Panic, trigger: 1, seed: 7 }, u32::MAX);
+    let err = scanner.push(&input[52..78]).unwrap_err();
+    assert!(matches!(err, Error::WorkerPanicked { .. }), "got {err:?}");
+
+    // Rolled back, not poisoned: old generation, old carries, counter.
+    assert!(!scanner.is_poisoned());
+    assert_eq!(scanner.generation(), 0);
+    assert_eq!(scanner.metrics().swaps, 1);
+    assert_eq!(scanner.metrics().swap_rollbacks, 1);
+    assert_eq!(scanner.consumed(), 52, "the failed window must not consume bytes");
+
+    // With the (new-generation) fault gone, re-push the same chunk and
+    // finish the stream: bit-identical to never having swapped.
+    scanner.clear_fault();
+    ends.extend(stream_rest(&mut scanner, &input[52..], &[26]));
+    assert_eq!(ends, batch, "post-rollback stream must equal the never-swapped scan");
+    assert_eq!(scanner.metrics().match_count, batch.len() as u64);
+}
+
+/// Carry corruption detected in the first post-swap validation also
+/// consumes the rollback instead of poisoning: the old generation's
+/// boundary is still trustworthy, so the stream falls back to it.
+#[test]
+fn corrupted_swap_window_carry_rolls_back() {
+    let engine = BitGen::compile(&["a+b", "cat"]).unwrap();
+    let staged = engine.prepare_swap(&["ab"]).unwrap();
+    let input: Vec<u8> = b"cat aab ".repeat(8);
+    let batch = batch_ends(&engine, &input);
+    let mut scanner = engine.streamer().unwrap();
+    let mut ends = scanner.push(&input[..32]).unwrap();
+    scanner.commit_swap(&staged).unwrap();
+    scanner.corrupt_carry(0, 3);
+    let err = scanner.push(&input[32..48]).unwrap_err();
+    assert!(matches!(err, Error::CarryCorrupted { .. }), "got {err:?}");
+    assert!(!scanner.is_poisoned());
+    assert_eq!(scanner.generation(), 0);
+    assert_eq!(scanner.metrics().swap_rollbacks, 1);
+    ends.extend(stream_rest(&mut scanner, &input[32..], &[16]));
+    assert_eq!(ends, batch);
+}
+
+/// An interrupt in the swap window is not a failure: the push rolls
+/// back (as every interrupted push does) but the swap stays committed
+/// and pending, and the stream finishes under the new rules once
+/// resumed.
+#[test]
+fn cancelled_swap_window_keeps_the_swap_pending() {
+    let engine = BitGen::compile(&["cat"]).unwrap();
+    let staged = engine.prepare_swap(&["dog"]).unwrap();
+    let mut scanner = engine.streamer().unwrap();
+    let mut ends = scanner.push(b"cat ").unwrap();
+    scanner.commit_swap(&staged).unwrap();
+
+    let token = CancelToken::new();
+    token.cancel();
+    scanner.set_cancel_token(token);
+    let err = scanner.push(b"dog ").unwrap_err();
+    assert_eq!(err, Error::Exec(ExecError::Cancelled));
+    assert!(!scanner.is_poisoned());
+    assert_eq!(scanner.generation(), 1, "an interrupt must not roll the swap back");
+    assert_eq!(scanner.metrics().swap_rollbacks, 0);
+
+    // Still pending: a second commit is refused until a window lands.
+    let staged2 = staged.engine().prepare_swap(&["fish"]).unwrap();
+    assert!(matches!(scanner.commit_swap(&staged2), Err(Error::SwapMismatch { .. })));
+
+    scanner.set_cancel_token(CancelToken::new());
+    ends.extend(scanner.push(b"dog ").unwrap());
+    assert_eq!(ends, vec![2, 6]);
+    // The window landed; the chained swap can now commit.
+    scanner.commit_swap(&staged2).unwrap();
+    ends.extend(scanner.push(b"fish").unwrap());
+    assert_eq!(ends, vec![2, 6, 11]);
+}
+
+/// Once the first post-swap window has committed, the rollback is
+/// released: a later unrecoverable failure poisons the scanner exactly
+/// as it would on a never-swapped stream (the old generation's boundary
+/// no longer describes the stream).
+#[test]
+fn rollback_window_closes_after_first_committed_push() {
+    quiet_injected_panics();
+    let engine = BitGen::compile(&["cat"]).unwrap();
+    let staged = engine.prepare_swap(&["dog"]).unwrap();
+    let mut scanner = engine.streamer().unwrap();
+    scanner.push(b"cat ").unwrap();
+    scanner.commit_swap(&staged).unwrap();
+    scanner.push(b"dog ").unwrap();
+    scanner.inject_fault(0, FaultPlan { kind: FaultKind::Panic, trigger: 1, seed: 3 }, u32::MAX);
+    let err = scanner.push(b"dog ").unwrap_err();
+    assert!(matches!(err, Error::WorkerPanicked { .. }), "got {err:?}");
+    assert!(scanner.is_poisoned(), "past the swap window, failures poison as usual");
+    assert_eq!(scanner.generation(), 1, "poisoning must not un-swap the stream");
+    assert_eq!(scanner.metrics().swap_rollbacks, 0);
+}
