@@ -19,6 +19,24 @@ cargo test -q -p bitgen --test zbs_differential --test pass_complexity
 # (unbounded repetitions and empty pushes included).
 cargo test -q -p bitgen --test stream_carry
 
+# Lane-width differential matrix: every workload at lane widths
+# {1,2,4,8} × chunk sizes {1, 7, 64 KiB} must be bit-identical to the
+# scalar path, batch and streaming, match counts included.
+cargo test -q -p bitgen --test simd_differential
+
+# The full tier-1 suite again with the wide-word kernels pinned to both
+# extremes of BITGEN_LANES, so a width-dependent bug cannot hide behind
+# the in-process default. The simd_differential smoke subset rides along
+# at each extreme to cross-check the pinned width against the others.
+BITGEN_LANES=1 cargo test -q
+BITGEN_LANES=1 cargo test -q -p bitgen --test simd_differential smoke_
+BITGEN_LANES=max cargo test -q
+BITGEN_LANES=max cargo test -q -p bitgen --test simd_differential smoke_
+
+# The bitstream kernels once more with the explicit-SIMD arch path
+# compiled in (off by default), so the intrinsics differential runs.
+cargo test -q -p bitgen-bitstream --features simd-arch
+
 # Checkpointed-streaming drills: the seeded mid-stream fault sweep plus
 # the retry/degrade/suspend-resume differentials (random faults with a
 # RetryPolicy must stay bit-identical to batch; checkpoints must restore
@@ -84,6 +102,17 @@ cargo run -q --release -p bitgen-bench --bin bitgen-bench -- \
   run --smoke --modelled-only --out "$SMOKE" > /dev/null
 cargo run -q --release -p bitgen-bench --bin bitgen-bench -- \
   compare results/BENCH_smoke.json "$SMOKE" --modelled-only
+
+# The same smoke matrix pinned to scalar lanes, compared against the
+# default-width baseline: `compare` fails on any match-count drift, so
+# this gates the wide-word kernels producing different matches than the
+# scalar path at the bench level too.
+SMOKE_X1="$(mktemp -t bench_smoke_x1.XXXXXX.json)"
+trap 'rm -rf "$SWAPDIR"; rm -f "$CKPT" "$SMOKE" "$SMOKE_X1"' EXIT
+BITGEN_LANES=1 cargo run -q --release -p bitgen-bench --bin bitgen-bench -- \
+  run --smoke --modelled-only --out "$SMOKE_X1" > /dev/null
+cargo run -q --release -p bitgen-bench --bin bitgen-bench -- \
+  compare results/BENCH_smoke.json "$SMOKE_X1" --modelled-only
 
 cargo clippy --workspace -- -D warnings
 

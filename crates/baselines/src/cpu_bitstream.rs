@@ -3,8 +3,11 @@
 //! icgrep compiles regexes to bitstream programs and executes them on the
 //! CPU, one instruction at a time over full-length streams. This engine
 //! reuses the exact lowering of `bitgen-ir` and its whole-stream
-//! interpreter on `u64` words — the same algorithm class without the SIMD
-//! intrinsics, measured in wall-clock time by the harness.
+//! interpreter, which now runs on the `w64xN` wide-word kernels of
+//! `bitgen-bitstream` — so the stand-in is SIMD-shaped like icgrep
+//! itself (group-unrolled word loops plus the SWAR s2p transpose),
+//! measured in wall-clock time by the harness. `BITGEN_LANES=1` pins it
+//! back to the scalar reference path.
 
 use bitgen_bitstream::{Basis, BitStream};
 use bitgen_ir::{interpret, lower_group, Program};
@@ -72,8 +75,8 @@ impl CpuBitstreamEngine {
         for prog in &self.programs {
             let r = interpret(prog, &basis);
             for out in &r.outputs {
-                // Stream length is input+1; match bits only occupy [0, n).
-                ends = ends.or(&out.resized(input.len()));
+                // Stream length is input+1; or_clipped drops the peek bit.
+                ends.or_clipped(out);
             }
         }
         ends
@@ -124,7 +127,7 @@ mod tests {
         let mut union = BitStream::zeros(input.len());
         for g in 0..engine.program_count() {
             for out in engine.run_group(g, &basis) {
-                union = union.or(&out.resized(input.len()));
+                union.or_clipped(&out);
             }
         }
         assert_eq!(union.positions(), CpuBitstreamEngine::new(&groups).run(input).positions());

@@ -149,7 +149,7 @@ mod tests {
             Box::new(HybridEngine::new(&asts)),
             Box::new(HybridMt::new(&asts, 2)),
             Box::new(DfaEngine::new(&asts)),
-            Box::new(CpuBitstreamEngine::new(&[asts.clone()])),
+            Box::new(CpuBitstreamEngine::new(std::slice::from_ref(&asts))),
             Box::new(GpuNfaTarget::new(
                 MultiNfa::build(&asts),
                 DeviceConfig::rtx3090(),

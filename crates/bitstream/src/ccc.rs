@@ -8,7 +8,8 @@
 //! that is smaller).
 
 use crate::stream::BitStream;
-use crate::transpose::Basis;
+use crate::transpose::{Basis, BASIS_COUNT};
+use crate::wide::{self, LaneWidth};
 use bitgen_regex::ByteSet;
 use std::fmt;
 
@@ -85,13 +86,84 @@ impl CcExpr {
     /// Evaluates the circuit position-wise over transposed input, producing
     /// the character-class bitstream.
     pub fn eval(&self, basis: &Basis) -> BitStream {
+        let mut out = BitStream::zeros(basis.len());
+        self.eval_into(basis, &mut out);
+        out
+    }
+
+    /// Evaluates the circuit into `out` without allocating a temporary
+    /// stream per circuit node: the whole circuit runs one word-group
+    /// at a time over the basis words (the interleaved-execution shape,
+    /// at the active lane width).
+    ///
+    /// `out` is cleared first; positions at and past `basis.len()` end
+    /// up zero, so executors can pass their `len + 1` window stream
+    /// directly and the provisional peek position stays clear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than `basis.len()` bits.
+    pub fn eval_into(&self, basis: &Basis, out: &mut BitStream) {
+        assert!(
+            out.len() >= basis.len(),
+            "output stream holds {} bits, basis covers {}",
+            out.len(),
+            basis.len()
+        );
+        let len = out.len();
+        out.reset_zeros(len);
+        let words: [&[u64]; BASIS_COUNT] =
+            std::array::from_fn(|k| basis.stream(k).as_words());
+        let nwords = basis.len().div_ceil(64);
+        let out_words = out.words_mut();
+        match wide::lane_width() {
+            LaneWidth::X1 => fill_groups::<1>(self, &words, out_words, nwords),
+            LaneWidth::X2 => fill_groups::<2>(self, &words, out_words, nwords),
+            LaneWidth::X4 => fill_groups::<4>(self, &words, out_words, nwords),
+            LaneWidth::X8 => fill_groups::<8>(self, &words, out_words, nwords),
+        }
+        // Positions past basis.len() within the last basis word belong
+        // to the padding (e.g. a Not circuit turns them on); clear them.
+        let rem = basis.len() & 63;
+        if rem != 0 {
+            out_words[nwords - 1] &= wide::low_mask(rem);
+        }
+    }
+
+    /// Evaluates the circuit over one word-group: `N` consecutive basis
+    /// words at index `wi`, producing `N` output words. Intermediate
+    /// values live in stack registers, never heap streams.
+    fn eval_group<const N: usize>(
+        &self,
+        words: &[&[u64]; BASIS_COUNT],
+        wi: usize,
+        out: &mut [u64; N],
+    ) {
         match self {
-            CcExpr::Const(false) => BitStream::zeros(basis.len()),
-            CcExpr::Const(true) => BitStream::ones(basis.len()),
-            CcExpr::Basis(k) => basis.stream(*k as usize).clone(),
-            CcExpr::Not(e) => e.eval(basis).not(),
-            CcExpr::And(a, b) => a.eval(basis).and(&b.eval(basis)),
-            CcExpr::Or(a, b) => a.eval(basis).or(&b.eval(basis)),
+            CcExpr::Const(b) => *out = [if *b { u64::MAX } else { 0 }; N],
+            CcExpr::Basis(k) => out.copy_from_slice(&words[*k as usize][wi..wi + N]),
+            CcExpr::Not(e) => {
+                e.eval_group(words, wi, out);
+                for w in out.iter_mut() {
+                    *w = !*w;
+                }
+            }
+            CcExpr::And(a, b) => {
+                a.eval_group(words, wi, out);
+                let mut rhs = [0u64; N];
+                b.eval_group(words, wi, &mut rhs);
+                for (w, r) in out.iter_mut().zip(rhs) {
+                    *w &= r;
+                }
+            }
+            CcExpr::Or(a, b) => {
+                a.eval_group(words, wi, out);
+                let mut rhs = [0u64; N];
+                b.eval_group(words, wi, &mut rhs);
+                for (w, r) in out.iter_mut().zip(rhs) {
+                    *w |= r;
+                }
+            }
         }
     }
 
@@ -138,6 +210,29 @@ impl fmt::Display for CcExpr {
             CcExpr::And(a, b) => write!(f, "({a} & {b})"),
             CcExpr::Or(a, b) => write!(f, "({a} | {b})"),
         }
+    }
+}
+
+/// Grouped evaluation driver: full `N`-word groups, then a one-word
+/// tail so every basis word is covered exactly once.
+fn fill_groups<const N: usize>(
+    expr: &CcExpr,
+    words: &[&[u64]; BASIS_COUNT],
+    out: &mut [u64],
+    nwords: usize,
+) {
+    let mut wi = 0;
+    while wi + N <= nwords {
+        let mut group = [0u64; N];
+        expr.eval_group(words, wi, &mut group);
+        out[wi..wi + N].copy_from_slice(&group);
+        wi += N;
+    }
+    while wi < nwords {
+        let mut one = [0u64; 1];
+        expr.eval_group(words, wi, &mut one);
+        out[wi] = one[0];
+        wi += 1;
     }
 }
 
@@ -351,6 +446,49 @@ mod tests {
         for (i, &b) in input.iter().enumerate() {
             assert_eq!(s.get(i), set.contains(b), "position {i} byte {:?}", b as char);
         }
+    }
+
+    #[test]
+    fn eval_into_longer_stream_keeps_peek_clear() {
+        // Executors evaluate into a len+1 window stream; the sentinel
+        // position must stay zero even for negated (Not-rooted) circuits
+        // that turn the padding on.
+        let set = ByteSet::range(b'a', b'z').complement();
+        let e = compile_class(&set);
+        for input in [&b"abc"[..], &b"ABC"[..], &[b'!'; 64][..], &[b'a'; 127][..]] {
+            let basis = Basis::transpose(input);
+            let mut out = BitStream::zeros(input.len() + 1);
+            e.eval_into(&basis, &mut out);
+            assert_eq!(out, e.eval(&basis).resized(input.len() + 1), "len {}", input.len());
+            assert!(!out.get(input.len()), "peek bit must stay clear");
+        }
+    }
+
+    #[test]
+    fn eval_into_const_true_masks_padding() {
+        let basis = Basis::transpose(&[0u8; 70]);
+        let mut out = BitStream::zeros(71);
+        CcExpr::Const(true).eval_into(&basis, &mut out);
+        assert_eq!(out.count_ones(), 70);
+        assert!(!out.get(70));
+    }
+
+    #[test]
+    fn eval_into_reuses_allocation() {
+        let e = compile_class(&ByteSet::word());
+        let big: Vec<u8> = (0..500u32).map(|i| (i % 256) as u8).collect();
+        let basis = Basis::transpose(&big);
+        let mut out = BitStream::zeros(big.len());
+        e.eval_into(&basis, &mut out);
+        let cap = out.capacity_words();
+        let small = Basis::transpose(&big[..100]);
+        out.reset_zeros(100);
+        e.eval_into(&small, &mut out);
+        assert_eq!(out, e.eval(&small));
+        e.eval_into(&basis, &mut BitStream::zeros(big.len()));
+        out.reset_zeros(big.len());
+        e.eval_into(&basis, &mut out);
+        assert_eq!(out.capacity_words(), cap);
     }
 
     #[test]

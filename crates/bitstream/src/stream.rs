@@ -6,6 +6,7 @@
 //! here that operation is called [`BitStream::advance`] (and the opposite
 //! direction [`BitStream::retreat`]) to keep the direction unambiguous.
 
+use crate::wide::{self, BitOp};
 use std::fmt;
 
 /// A fixed-length sequence of bits, one per text position.
@@ -121,7 +122,7 @@ impl BitStream {
     ///
     /// Panics if lengths differ.
     pub fn and(&self, other: &BitStream) -> BitStream {
-        self.zip(other, |a, b| a & b)
+        self.zip(other, BitOp::And)
     }
 
     /// Bitwise OR.
@@ -130,7 +131,7 @@ impl BitStream {
     ///
     /// Panics if lengths differ.
     pub fn or(&self, other: &BitStream) -> BitStream {
-        self.zip(other, |a, b| a | b)
+        self.zip(other, BitOp::Or)
     }
 
     /// Bitwise XOR.
@@ -139,7 +140,7 @@ impl BitStream {
     ///
     /// Panics if lengths differ.
     pub fn xor(&self, other: &BitStream) -> BitStream {
-        self.zip(other, |a, b| a ^ b)
+        self.zip(other, BitOp::Xor)
     }
 
     /// `self & !other` (AND-NOT).
@@ -148,7 +149,137 @@ impl BitStream {
     ///
     /// Panics if lengths differ.
     pub fn and_not(&self, other: &BitStream) -> BitStream {
-        self.zip(other, |a, b| a & !b)
+        self.zip(other, BitOp::AndNot)
+    }
+
+    /// [`BitStream::and`] into a reusable output: `out` is reshaped to
+    /// this stream's length (reusing its allocation) and overwritten.
+    /// `out` must not alias either operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn and_into(&self, other: &BitStream, out: &mut BitStream) {
+        self.zip_reuse(other, out, BitOp::And)
+    }
+
+    /// [`BitStream::or`] into a reusable output (see [`BitStream::and_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn or_into(&self, other: &BitStream, out: &mut BitStream) {
+        self.zip_reuse(other, out, BitOp::Or)
+    }
+
+    /// [`BitStream::xor`] into a reusable output (see [`BitStream::and_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn xor_into(&self, other: &BitStream, out: &mut BitStream) {
+        self.zip_reuse(other, out, BitOp::Xor)
+    }
+
+    /// [`BitStream::and_not`] into a reusable output (see
+    /// [`BitStream::and_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn and_not_into(&self, other: &BitStream, out: &mut BitStream) {
+        self.zip_reuse(other, out, BitOp::AndNot)
+    }
+
+    /// [`BitStream::not`] into a reusable output.
+    pub fn not_into(&self, out: &mut BitStream) {
+        out.reshape(self.len);
+        for (o, &w) in out.words.iter_mut().zip(&self.words) {
+            *o = !w;
+        }
+        out.mask_tail();
+    }
+
+    /// [`BitStream::add`] into a reusable output. `out` must not alias
+    /// either operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn add_into(&self, other: &BitStream, out: &mut BitStream) {
+        assert_eq!(
+            self.len, other.len,
+            "bitstream length mismatch: {} vs {}",
+            self.len, other.len
+        );
+        out.reshape(self.len);
+        wide::add_into(&self.words, &other.words, &mut out.words, false);
+        out.mask_tail();
+    }
+
+    /// [`BitStream::advance`] into a reusable output. `out` must not
+    /// alias `self`.
+    pub fn advance_into(&self, k: usize, out: &mut BitStream) {
+        out.reshape(self.len);
+        if k == 0 {
+            out.words.copy_from_slice(&self.words);
+            return;
+        }
+        if k >= self.len {
+            out.words.fill(0);
+            return;
+        }
+        let ws = k >> 6;
+        // The kernel writes every word at or above `ws`; only the
+        // vacated low words need explicit zeros on a reused buffer.
+        out.words[..ws].fill(0);
+        wide::advance_into(&self.words, &mut out.words, ws, (k & 63) as u32);
+        out.mask_tail();
+    }
+
+    /// [`BitStream::retreat`] into a reusable output. `out` must not
+    /// alias `self`.
+    pub fn retreat_into(&self, k: usize, out: &mut BitStream) {
+        out.reshape(self.len);
+        if k == 0 {
+            out.words.copy_from_slice(&self.words);
+            return;
+        }
+        if k >= self.len {
+            out.words.fill(0);
+            return;
+        }
+        let ws = k >> 6;
+        // The kernel writes words below `len - ws`; the vacated high
+        // words need explicit zeros on a reused buffer.
+        let m = self.words.len() - ws;
+        out.words[m..].fill(0);
+        wide::retreat_into(&self.words, &mut out.words, ws, (k & 63) as u32);
+    }
+
+    /// Copies `other` into `self`, reusing `self`'s allocation.
+    pub fn copy_from(&mut self, other: &BitStream) {
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+        self.len = other.len;
+    }
+
+    /// Resizes to `len` bit positions reusing the allocation, leaving
+    /// existing word contents arbitrary — callers overwrite every word.
+    fn reshape(&mut self, len: usize) {
+        self.words.resize(len.div_ceil(64), 0);
+        self.len = len;
+    }
+
+    fn zip_reuse(&self, other: &BitStream, out: &mut BitStream, op: BitOp) {
+        assert_eq!(
+            self.len, other.len,
+            "bitstream length mismatch: {} vs {}",
+            self.len, other.len
+        );
+        out.reshape(self.len);
+        wide::zip_into(&self.words, &other.words, &mut out.words, op);
+        out.mask_tail();
     }
 
     /// Long-stream addition: treats both streams as little-endian
@@ -165,14 +296,8 @@ impl BitStream {
             "bitstream length mismatch: {} vs {}",
             self.len, other.len
         );
-        let mut words = Vec::with_capacity(self.words.len());
-        let mut carry = 0u64;
-        for (&a, &b) in self.words.iter().zip(&other.words) {
-            let (s1, c1) = a.overflowing_add(b);
-            let (s2, c2) = s1.overflowing_add(carry);
-            words.push(s2);
-            carry = (c1 | c2) as u64;
-        }
+        let mut words = vec![0u64; self.words.len()];
+        wide::add_into(&self.words, &other.words, &mut words, false);
         let mut s = BitStream { words, len: self.len };
         s.mask_tail();
         s
@@ -218,24 +343,7 @@ impl BitStream {
         if k >= self.len {
             return out;
         }
-        let word_shift = k >> 6;
-        let bit_shift = k & 63;
-        let n = self.words.len();
-        if bit_shift == 0 {
-            for i in (word_shift..n).rev() {
-                out.words[i] = self.words[i - word_shift];
-            }
-        } else {
-            for i in (word_shift..n).rev() {
-                let lo = self.words[i - word_shift] << bit_shift;
-                let hi = if i > word_shift {
-                    self.words[i - word_shift - 1] >> (64 - bit_shift)
-                } else {
-                    0
-                };
-                out.words[i] = lo | hi;
-            }
-        }
+        wide::advance_into(&self.words, &mut out.words, k >> 6, (k & 63) as u32);
         out.mask_tail();
         out
     }
@@ -252,24 +360,7 @@ impl BitStream {
         if k >= self.len {
             return out;
         }
-        let word_shift = k >> 6;
-        let bit_shift = k & 63;
-        let n = self.words.len();
-        if bit_shift == 0 {
-            for i in 0..n - word_shift {
-                out.words[i] = self.words[i + word_shift];
-            }
-        } else {
-            for i in 0..n - word_shift {
-                let lo = self.words[i + word_shift] >> bit_shift;
-                let hi = if i + word_shift + 1 < n {
-                    self.words[i + word_shift + 1] << (64 - bit_shift)
-                } else {
-                    0
-                };
-                out.words[i] = lo | hi;
-            }
-        }
+        wide::retreat_into(&self.words, &mut out.words, k >> 6, (k & 63) as u32);
         out
     }
 
@@ -340,25 +431,23 @@ impl BitStream {
         assert!(boundary < self.len, "carry boundary {boundary} out of range for {}", self.len);
         let bword = boundary >> 6;
         let bbit = boundary & 63;
-        let mut words = Vec::with_capacity(self.words.len());
-        let mut carry = carry_in as u64;
-        let mut boundary_carry = false;
-        for (i, (&a, &b)) in self.words.iter().zip(&other.words).enumerate() {
-            if i == bword {
-                boundary_carry = if bbit == 0 {
-                    carry != 0
-                } else {
-                    // (a & mask) + (b & mask) + carry < 2^(bbit+1), so bit
-                    // `bbit` of the masked sum is the carry into `boundary`.
-                    let mask = (1u64 << bbit) - 1;
-                    ((a & mask) + (b & mask) + carry) >> bbit & 1 == 1
-                };
-            }
-            let (s1, c1) = a.overflowing_add(b);
-            let (s2, c2) = s1.overflowing_add(carry);
-            words.push(s2);
-            carry = (c1 | c2) as u64;
-        }
+        let mut words = vec![0u64; self.words.len()];
+        // Add in two word-group runs split at the boundary word: the
+        // carry entering that word is exact, and the boundary carry is
+        // recovered from it with a partial-word masked sum.
+        let carry =
+            wide::add_into(&self.words[..bword], &other.words[..bword], &mut words[..bword], carry_in);
+        let boundary_carry = if bbit == 0 {
+            carry
+        } else {
+            // (a & mask) + (b & mask) + carry < 2^(bbit+1), so bit
+            // `bbit` of the masked sum is the carry into `boundary`.
+            let mask = (1u64 << bbit) - 1;
+            let a = self.words[bword];
+            let b = other.words[bword];
+            ((a & mask) + (b & mask) + u64::from(carry)) >> bbit & 1 == 1
+        };
+        wide::add_into(&self.words[bword..], &other.words[bword..], &mut words[bword..], carry);
         let mut s = BitStream { words, len: self.len };
         s.mask_tail();
         (s, boundary_carry)
@@ -371,24 +460,83 @@ impl BitStream {
     /// right-overlap extension).
     pub fn slice(&self, start: usize, len: usize) -> BitStream {
         let mut out = BitStream::zeros(len);
-        for i in 0..len {
-            let src = start + i;
-            if src < self.len && self.get(src) {
-                out.set(i, true);
-            }
+        // Word-wise funnel gather; bits past the end of `self` read zero
+        // both from the buffer bound and from the tail-masking invariant.
+        for (i, w) in out.words.iter_mut().enumerate() {
+            *w = wide::gather_word(&self.words, start + (i << 6));
         }
+        out.mask_tail();
         out
     }
 
     /// ORs `src` into `self` at offset `dst_start`; bits of `src` that fall
     /// past the end of `self` are dropped.
     pub fn or_at(&mut self, dst_start: usize, src: &BitStream) {
-        for p in src.positions() {
-            let d = dst_start + p;
-            if d < self.len {
-                self.set(d, true);
+        if src.len == 0 || dst_start >= self.len {
+            return;
+        }
+        let base = dst_start >> 6;
+        let off = (dst_start & 63) as u32;
+        let nd = self.words.len();
+        for (i, &w) in src.words.iter().enumerate() {
+            let d = base + i;
+            if d >= nd {
+                break;
+            }
+            if off == 0 {
+                self.words[d] |= w;
+            } else {
+                self.words[d] |= w << off;
+                if d + 1 < nd {
+                    self.words[d + 1] |= w >> (64 - off);
+                }
             }
         }
+        self.mask_tail();
+    }
+
+    /// ORs the first `min(self.len(), other.len())` bits of `other` into
+    /// `self`.
+    ///
+    /// This is the one shared home of final-partial-word clipping: a
+    /// window stream one peek position longer than its chunk (or any
+    /// other overhanging stream) is accumulated into a chunk-length
+    /// union by masking the overhang out of the last word — previously
+    /// duplicated as `resized`-then-`or` by the executor and the
+    /// `cpu_bitstream` baseline, with an allocation per call.
+    pub fn or_clipped(&mut self, other: &BitStream) {
+        let nbits = self.len.min(other.len);
+        let full = nbits >> 6;
+        let rem = nbits & 63;
+        wide::zip_assign(&mut self.words[..full], &other.words[..full], BitOp::Or);
+        if rem != 0 {
+            self.words[full] |= other.words[full] & wide::low_mask(rem);
+        }
+    }
+
+    /// In-place [`BitStream::or`]: `self |= other` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn or_assign(&mut self, other: &BitStream) {
+        assert_eq!(
+            self.len, other.len,
+            "bitstream length mismatch: {} vs {}",
+            self.len, other.len
+        );
+        wide::zip_assign(&mut self.words, &other.words, BitOp::Or);
+    }
+
+    /// ORs a raw word into word `idx` (bit positions `idx * 64 ..`);
+    /// bits past the logical length are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range for the stream's word count.
+    pub fn or_word(&mut self, idx: usize, word: u64) {
+        self.words[idx] |= word;
+        self.mask_tail();
     }
 
     /// Returns a copy with the given length: truncating drops high
@@ -455,20 +603,29 @@ impl BitStream {
         self.words.capacity()
     }
 
-    fn zip(&self, other: &BitStream, f: impl Fn(u64, u64) -> u64) -> BitStream {
+    fn zip(&self, other: &BitStream, op: BitOp) -> BitStream {
         assert_eq!(
             self.len, other.len,
             "bitstream length mismatch: {} vs {}",
             self.len, other.len
         );
-        let words = self.words.iter().zip(&other.words).map(|(&a, &b)| f(a, b)).collect();
+        let mut words = vec![0u64; self.words.len()];
+        wide::zip_into(&self.words, &other.words, &mut words, op);
         let mut s = BitStream { words, len: self.len };
         s.mask_tail();
         s
     }
 
+    /// Mutable view of the underlying words for same-crate kernels that
+    /// fill a stream word-wise (the class-circuit evaluator); callers
+    /// must re-establish the tail-masking invariant via
+    /// [`BitStream::mask_tail`] when they touch the last word.
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
     /// Clears any bits beyond the logical length.
-    fn mask_tail(&mut self) {
+    pub(crate) fn mask_tail(&mut self) {
         let rem = self.len & 63;
         if rem != 0 {
             if let Some(last) = self.words.last_mut() {
@@ -801,6 +958,108 @@ mod tests {
             glued.set(split, false);
             glued.or_at(split, &hi_sum);
             assert_eq!(glued, whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn or_clipped_drops_overhang() {
+        // The usual shape: a window stream one peek bit longer than the
+        // chunk-length union it accumulates into.
+        let mut union = BitStream::zeros(10);
+        let mut win = BitStream::from_positions(11, &[0, 9]);
+        win.set(10, true); // provisional peek bit — must be clipped.
+        union.or_clipped(&win);
+        assert_eq!(union.positions(), vec![0, 9]);
+        // Accumulation is an OR, not an overwrite.
+        union.or_clipped(&BitStream::from_positions(11, &[5]));
+        assert_eq!(union.positions(), vec![0, 5, 9]);
+    }
+
+    #[test]
+    fn or_clipped_zero_remainder_edge() {
+        // min(len) is an exact word multiple: no partial-word mask, and
+        // the overhanging word of the source must not leak.
+        let mut union = BitStream::zeros(64);
+        let mut src = BitStream::from_positions(65, &[0, 63]);
+        src.set(64, true);
+        union.or_clipped(&src);
+        assert_eq!(union.positions(), vec![0, 63]);
+        // 128-bit variant crossing a full word.
+        let mut u2 = BitStream::zeros(128);
+        let mut s2 = BitStream::from_positions(130, &[64, 127]);
+        s2.set(128, true);
+        s2.set(129, true);
+        u2.or_clipped(&s2);
+        assert_eq!(u2.positions(), vec![64, 127]);
+    }
+
+    #[test]
+    fn or_clipped_63_remainder_edge() {
+        // min(len) % 64 == 63: every bit of the last word except the
+        // top one survives the clip.
+        let mut union = BitStream::zeros(63);
+        let src = BitStream::from_positions(64, &[0, 61, 62, 63]);
+        union.or_clipped(&src);
+        assert_eq!(union.positions(), vec![0, 61, 62]);
+        let mut u2 = BitStream::zeros(127);
+        let s2 = BitStream::from_positions(128, &[63, 125, 126, 127]);
+        u2.or_clipped(&s2);
+        assert_eq!(u2.positions(), vec![63, 125, 126]);
+    }
+
+    #[test]
+    fn or_clipped_shorter_source_is_plain_or() {
+        let mut dst = BitStream::from_positions(100, &[99]);
+        dst.or_clipped(&BitStream::from_positions(70, &[0, 69]));
+        assert_eq!(dst.positions(), vec![0, 69, 99]);
+    }
+
+    #[test]
+    fn or_assign_matches_or() {
+        let a = BitStream::from_positions(130, &[0, 64, 129]);
+        let b = BitStream::from_positions(130, &[1, 64, 100]);
+        let mut c = a.clone();
+        c.or_assign(&b);
+        assert_eq!(c, a.or(&b));
+    }
+
+    #[test]
+    fn or_word_masks_tail() {
+        let mut s = BitStream::zeros(68);
+        s.or_word(1, u64::MAX);
+        assert_eq!(s.count_ones(), 4);
+        s.or_word(0, 0b101);
+        assert_eq!(s.positions(), vec![0, 2, 64, 65, 66, 67]);
+    }
+
+    #[test]
+    fn or_at_offset_word_crossings() {
+        // Offsets straddling word boundaries, destination shorter than
+        // the shifted source.
+        for off in [0usize, 1, 31, 63, 64, 65] {
+            let src = BitStream::from_positions(70, &[0, 1, 63, 64, 69]);
+            let mut dst = BitStream::zeros(100);
+            dst.or_at(off, &src);
+            let expect: Vec<usize> =
+                [0usize, 1, 63, 64, 69].iter().map(|p| p + off).filter(|&p| p < 100).collect();
+            assert_eq!(dst.positions(), expect, "offset {off}");
+        }
+    }
+
+    #[test]
+    fn slice_wide_agrees_with_bitwise() {
+        let s = BitStream::from_positions(300, &[0, 1, 63, 64, 65, 127, 128, 200, 299]);
+        for start in [0usize, 1, 37, 63, 64, 65, 290, 300, 400] {
+            for len in [0usize, 1, 63, 64, 65, 130] {
+                let got = s.slice(start, len);
+                let mut expect = BitStream::zeros(len);
+                for i in 0..len {
+                    if start + i < s.len() && s.get(start + i) {
+                        expect.set(i, true);
+                    }
+                }
+                assert_eq!(got, expect, "start={start} len={len}");
+            }
         }
     }
 

@@ -10,6 +10,7 @@
 //! GPU model accounts separately (see `bitgen-gpu`).
 
 use crate::stream::BitStream;
+use crate::wide;
 
 /// Number of basis bitstreams (one per bit of a byte).
 pub const BASIS_COUNT: usize = 8;
@@ -36,7 +37,9 @@ pub struct Basis {
 impl Basis {
     /// Transposes `input` into eight basis bitstreams.
     ///
-    /// Runs 64 bytes at a time, accumulating each basis word branchlessly.
+    /// Runs 64 bytes at a time through the SWAR s2p kernel (one basis
+    /// word per block per stream), word-groups of blocks at the active
+    /// lane width.
     pub fn transpose(input: &[u8]) -> Basis {
         let mut basis = Basis::empty();
         basis.transpose_into(input);
@@ -61,18 +64,14 @@ impl Basis {
         for s in self.streams.iter_mut() {
             s.reset_zeros(len);
         }
-        for (wi, chunk) in input.chunks(64).enumerate() {
-            let mut acc = [0u64; BASIS_COUNT];
-            for (bi, &byte) in chunk.iter().enumerate() {
-                // b_k = bit (7-k) of the byte; bit index bi within the word.
-                for (k, a) in acc.iter_mut().enumerate() {
-                    *a |= (((byte >> (7 - k)) & 1) as u64) << bi;
-                }
+        let streams = &mut self.streams;
+        wide::s2p_into(input, &mut |wi, words| {
+            // set_word re-masks the tail, which drops the zero-padding
+            // of a final partial block past `len`.
+            for (k, w) in words.into_iter().enumerate() {
+                streams[k].set_word(wi, w);
             }
-            for (k, a) in acc.into_iter().enumerate() {
-                self.streams[k].set_word(wi, a);
-            }
-        }
+        });
     }
 
     /// The number of positions (equal to the input length in bytes).

@@ -1,0 +1,660 @@
+//! Wide-word (`w64xN`) kernels behind the [`BitStream`] hot paths.
+//!
+//! The paper's CPU reference point (icgrep / Parabix) is a SIMD engine:
+//! every bitstream operation runs over a whole SIMD register of `u64`
+//! lanes at a time, with shifts and long-stream additions carrying
+//! across lane boundaries. This module reproduces that shape on the
+//! host. A *word-group* is `N` consecutive `u64` words (`N` ∈ {1, 2,
+//! 4, 8}); each kernel walks a stream one word-group at a time with the
+//! per-lane body unrolled at compile time, which is exactly the code
+//! shape LLVM auto-vectorizes into SSE2/AVX2 register ops. `N = 1` is
+//! the scalar fallback and the semantic reference: for every kernel the
+//! lane-to-lane combination inside a group is *identical* to the
+//! word-to-word combination between groups, so the produced bits are
+//! the same at every lane width. That invariant is what keeps streaming
+//! carries, checkpoints, and hot-swap generations byte-for-byte
+//! untouched — lane width is an execution detail, never stream state.
+//!
+//! The active width is process-global: resolved once from the
+//! `BITGEN_LANES` environment variable (`1`, `2`, `4`, `8`, or `max`)
+//! and overridable at runtime via [`set_lane_width`] — differential
+//! tests sweep it to prove the widths agree.
+//!
+//! An optional `simd-arch` cargo feature (off by default) adds an
+//! explicit `core::arch` SSE2 path for the bitwise zip kernels on
+//! x86_64; everything else relies on auto-vectorization of the grouped
+//! scalar code, which keeps the crate `forbid(unsafe_code)` in its
+//! default configuration.
+
+#[cfg(doc)]
+use crate::stream::BitStream;
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Number of `u64` lanes a word-group holds: the `N` of `w64xN`.
+///
+/// All widths compute bit-identical results; the width only changes how
+/// many words each kernel iteration touches (and therefore how well the
+/// loop vectorizes). `X1` is the scalar reference path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum LaneWidth {
+    /// One lane: scalar `u64` reference path.
+    X1 = 1,
+    /// Two lanes: one 128-bit (SSE2-shaped) group.
+    X2 = 2,
+    /// Four lanes: one 256-bit (AVX2-shaped) group.
+    X4 = 4,
+    /// Eight lanes: one 512-bit group (or two 256-bit registers).
+    X8 = 8,
+}
+
+impl LaneWidth {
+    /// Every supported width, narrowest first — the sweep order the
+    /// differential tests use.
+    pub const ALL: [LaneWidth; 4] =
+        [LaneWidth::X1, LaneWidth::X2, LaneWidth::X4, LaneWidth::X8];
+
+    /// Number of `u64` lanes in a word-group.
+    pub fn lanes(self) -> usize {
+        self as usize
+    }
+
+    /// The width with exactly `n` lanes, if `n` is one of 1/2/4/8.
+    pub fn from_lanes(n: usize) -> Option<LaneWidth> {
+        match n {
+            1 => Some(LaneWidth::X1),
+            2 => Some(LaneWidth::X2),
+            4 => Some(LaneWidth::X4),
+            8 => Some(LaneWidth::X8),
+            _ => None,
+        }
+    }
+
+    /// Resolves the width requested by the `BITGEN_LANES` environment
+    /// variable: `1`, `2`, `4`, `8`, or `max`. Unset or unrecognized
+    /// values select the widest group (the default).
+    pub fn from_env() -> LaneWidth {
+        match std::env::var("BITGEN_LANES").ok().as_deref().map(str::trim) {
+            Some("1") => LaneWidth::X1,
+            Some("2") => LaneWidth::X2,
+            Some("4") => LaneWidth::X4,
+            Some("8") => LaneWidth::X8,
+            Some(s) if s.eq_ignore_ascii_case("max") => LaneWidth::X8,
+            _ => LaneWidth::X8,
+        }
+    }
+}
+
+impl fmt::Display for LaneWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w64x{}", self.lanes())
+    }
+}
+
+/// The process-wide active width; 0 means "not yet resolved from the
+/// environment". Relaxed ordering suffices because every width computes
+/// the same bits — a racing reader merely runs a different-shaped loop.
+static ACTIVE_LANES: AtomicU8 = AtomicU8::new(0);
+
+/// The lane width the kernels currently dispatch to.
+///
+/// Resolved from `BITGEN_LANES` on first use (see
+/// [`LaneWidth::from_env`]), after which it is sticky until
+/// [`set_lane_width`] overrides it.
+pub fn lane_width() -> LaneWidth {
+    match ACTIVE_LANES.load(Ordering::Relaxed) {
+        0 => {
+            let w = LaneWidth::from_env();
+            ACTIVE_LANES.store(w as u8, Ordering::Relaxed);
+            w
+        }
+        n => LaneWidth::from_lanes(n as usize).unwrap_or(LaneWidth::X8),
+    }
+}
+
+/// Overrides the process-wide lane width.
+///
+/// Because every width is bit-identical this is safe to flip at any
+/// point, even mid-stream; it exists so tests can pin the scalar
+/// reference path or sweep all widths within one process.
+pub fn set_lane_width(width: LaneWidth) {
+    ACTIVE_LANES.store(width as u8, Ordering::Relaxed);
+}
+
+/// Runs `$f::<N>(args…)` with `N` bound to the active lane width.
+macro_rules! dispatch_lanes {
+    ($f:ident ( $($arg:expr),* $(,)? )) => {
+        match lane_width() {
+            LaneWidth::X1 => $f::<1>($($arg),*),
+            LaneWidth::X2 => $f::<2>($($arg),*),
+            LaneWidth::X4 => $f::<4>($($arg),*),
+            LaneWidth::X8 => $f::<8>($($arg),*),
+        }
+    };
+}
+
+/// A bitwise zip operation, named so the `core::arch` path can select
+/// the matching intrinsic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BitOp {
+    /// `a & b`.
+    And,
+    /// `a | b`.
+    Or,
+    /// `a ^ b`.
+    Xor,
+    /// `a & !b`.
+    AndNot,
+}
+
+impl BitOp {
+    // Only the `core::arch` remainder loop needs the dynamic form; the
+    // scalar dispatch specializes per-op closures instead.
+    #[cfg_attr(not(all(feature = "simd-arch", target_arch = "x86_64")), allow(dead_code))]
+    #[inline(always)]
+    fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            BitOp::And => a & b,
+            BitOp::Or => a | b,
+            BitOp::Xor => a ^ b,
+            BitOp::AndNot => a & !b,
+        }
+    }
+}
+
+/// A mask with the `n` lowest bits set (`n <= 64`).
+#[inline(always)]
+pub(crate) fn low_mask(n: usize) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Extracts the 64 bits starting at bit `start` of a word buffer; bits
+/// past the end of the buffer read as zero.
+#[inline(always)]
+pub(crate) fn gather_word(words: &[u64], start: usize) -> u64 {
+    let idx = start >> 6;
+    let off = (start & 63) as u32;
+    let lo = words.get(idx).copied().unwrap_or(0);
+    if off == 0 {
+        lo
+    } else {
+        let hi = words.get(idx + 1).copied().unwrap_or(0);
+        (lo >> off) | (hi << (64 - off))
+    }
+}
+
+/// `out[i] = op(a[i], b[i])` over `min(len)` words, word-group at a
+/// time.
+pub(crate) fn zip_into(a: &[u64], b: &[u64], out: &mut [u64], op: BitOp) {
+    #[cfg(all(feature = "simd-arch", target_arch = "x86_64"))]
+    if lane_width().lanes() > 1 {
+        arch::zip(a, b, out, op);
+        return;
+    }
+    match op {
+        BitOp::And => dispatch_lanes!(zip_n(a, b, out, |x, y| x & y)),
+        BitOp::Or => dispatch_lanes!(zip_n(a, b, out, |x, y| x | y)),
+        BitOp::Xor => dispatch_lanes!(zip_n(a, b, out, |x, y| x ^ y)),
+        BitOp::AndNot => dispatch_lanes!(zip_n(a, b, out, |x, y| x & !y)),
+    }
+}
+
+/// `dst[i] = op(dst[i], src[i])` in place over `min(len)` words.
+pub(crate) fn zip_assign(dst: &mut [u64], src: &[u64], op: BitOp) {
+    match op {
+        BitOp::And => dispatch_lanes!(zip_assign_n(dst, src, |x, y| x & y)),
+        BitOp::Or => dispatch_lanes!(zip_assign_n(dst, src, |x, y| x | y)),
+        BitOp::Xor => dispatch_lanes!(zip_assign_n(dst, src, |x, y| x ^ y)),
+        BitOp::AndNot => dispatch_lanes!(zip_assign_n(dst, src, |x, y| x & !y)),
+    }
+}
+
+fn zip_n<const N: usize>(
+    a: &[u64],
+    b: &[u64],
+    out: &mut [u64],
+    f: impl Fn(u64, u64) -> u64 + Copy,
+) {
+    let mut oc = out.chunks_exact_mut(N);
+    let mut ac = a.chunks_exact(N);
+    let mut bc = b.chunks_exact(N);
+    for ((o, x), y) in (&mut oc).zip(&mut ac).zip(&mut bc) {
+        for ((slot, &xv), &yv) in o.iter_mut().zip(x).zip(y) {
+            *slot = f(xv, yv);
+        }
+    }
+    for ((slot, &x), &y) in
+        oc.into_remainder().iter_mut().zip(ac.remainder()).zip(bc.remainder())
+    {
+        *slot = f(x, y);
+    }
+}
+
+fn zip_assign_n<const N: usize>(
+    dst: &mut [u64],
+    src: &[u64],
+    f: impl Fn(u64, u64) -> u64 + Copy,
+) {
+    let mut dc = dst.chunks_exact_mut(N);
+    let mut sc = src.chunks_exact(N);
+    for (d, s) in (&mut dc).zip(&mut sc) {
+        for (slot, &sv) in d.iter_mut().zip(s) {
+            *slot = f(*slot, sv);
+        }
+    }
+    for (slot, &s) in dc.into_remainder().iter_mut().zip(sc.remainder()) {
+        *slot = f(*slot, s);
+    }
+}
+
+/// Long-stream addition `out = a + b + carry_in`, returning the carry
+/// out of the last word. The ripple chains lane-to-lane inside each
+/// word-group exactly as it chains word-to-word between groups, so the
+/// sum — and every streaming boundary carry derived from it — is
+/// independent of the lane width.
+pub(crate) fn add_into(a: &[u64], b: &[u64], out: &mut [u64], carry_in: bool) -> bool {
+    dispatch_lanes!(add_n(a, b, out, carry_in))
+}
+
+fn add_n<const N: usize>(a: &[u64], b: &[u64], out: &mut [u64], carry_in: bool) -> bool {
+    let mut carry = u64::from(carry_in);
+    let mut oc = out.chunks_exact_mut(N);
+    let mut ac = a.chunks_exact(N);
+    let mut bc = b.chunks_exact(N);
+    for ((o, x), y) in (&mut oc).zip(&mut ac).zip(&mut bc) {
+        for ((slot, &xv), &yv) in o.iter_mut().zip(x).zip(y) {
+            let (s1, c1) = xv.overflowing_add(yv);
+            let (s2, c2) = s1.overflowing_add(carry);
+            *slot = s2;
+            carry = u64::from(c1 | c2);
+        }
+    }
+    for ((slot, &x), &y) in
+        oc.into_remainder().iter_mut().zip(ac.remainder()).zip(bc.remainder())
+    {
+        let (s1, c1) = x.overflowing_add(y);
+        let (s2, c2) = s1.overflowing_add(carry);
+        *slot = s2;
+        carry = u64::from(c1 | c2);
+    }
+    carry != 0
+}
+
+/// Funnel-shifts `src` toward higher bit positions by
+/// `word_shift * 64 + bit_shift` into `out` (same length as `src`).
+/// Words below `word_shift` are left untouched — the caller passes a
+/// zeroed buffer so vacated positions read zero.
+pub(crate) fn advance_into(src: &[u64], out: &mut [u64], word_shift: usize, bit_shift: u32) {
+    dispatch_lanes!(advance_n(src, out, word_shift, bit_shift))
+}
+
+fn advance_n<const N: usize>(src: &[u64], out: &mut [u64], word_shift: usize, bit_shift: u32) {
+    let n = out.len();
+    if word_shift >= n {
+        return;
+    }
+    if bit_shift == 0 {
+        out[word_shift..].copy_from_slice(&src[..n - word_shift]);
+        return;
+    }
+    let inv = 64 - bit_shift;
+    out[word_shift] = src[0] << bit_shift;
+    // Funnel body: out[ws + 1 + i] = (hi[i] << bs) | (lo[i] >> inv),
+    // where lo/hi are adjacent windows of src, word-group at a time.
+    let m = n - word_shift - 1;
+    let lo = &src[..m];
+    let hi = &src[1..m + 1];
+    let mut dc = out[word_shift + 1..].chunks_exact_mut(N);
+    let mut lc = lo.chunks_exact(N);
+    let mut hc = hi.chunks_exact(N);
+    for ((d, l), h) in (&mut dc).zip(&mut lc).zip(&mut hc) {
+        for ((slot, &lv), &hv) in d.iter_mut().zip(l).zip(h) {
+            *slot = (hv << bit_shift) | (lv >> inv);
+        }
+    }
+    for ((slot, &lv), &hv) in
+        dc.into_remainder().iter_mut().zip(lc.remainder()).zip(hc.remainder())
+    {
+        *slot = (hv << bit_shift) | (lv >> inv);
+    }
+}
+
+/// Funnel-shifts `src` toward lower bit positions by
+/// `word_shift * 64 + bit_shift` into `out`; words above
+/// `len - word_shift` are left untouched (callers pass zeros).
+pub(crate) fn retreat_into(src: &[u64], out: &mut [u64], word_shift: usize, bit_shift: u32) {
+    dispatch_lanes!(retreat_n(src, out, word_shift, bit_shift))
+}
+
+fn retreat_n<const N: usize>(src: &[u64], out: &mut [u64], word_shift: usize, bit_shift: u32) {
+    let n = src.len();
+    if word_shift >= n {
+        return;
+    }
+    let m = n - word_shift;
+    if bit_shift == 0 {
+        out[..m].copy_from_slice(&src[word_shift..]);
+        return;
+    }
+    let inv = 64 - bit_shift;
+    // Funnel body: out[i] = (lo[i] >> bs) | (hi[i] << inv) over adjacent
+    // windows of src; the last output word has no higher neighbour.
+    let lo = &src[word_shift..n - 1];
+    let hi = &src[word_shift + 1..];
+    let mut dc = out[..m - 1].chunks_exact_mut(N);
+    let mut lc = lo.chunks_exact(N);
+    let mut hc = hi.chunks_exact(N);
+    for ((d, l), h) in (&mut dc).zip(&mut lc).zip(&mut hc) {
+        for ((slot, &lv), &hv) in d.iter_mut().zip(l).zip(h) {
+            *slot = (lv >> bit_shift) | (hv << inv);
+        }
+    }
+    for ((slot, &lv), &hv) in
+        dc.into_remainder().iter_mut().zip(lc.remainder()).zip(hc.remainder())
+    {
+        *slot = (lv >> bit_shift) | (hv << inv);
+    }
+    out[m - 1] = src[n - 1] >> bit_shift;
+}
+
+/// The byte-replication and bit-gather constants of the serial-to-
+/// parallel (s2p) transpose: `LSB8` isolates one bit column of eight
+/// bytes, `PACK8` is the multiplier whose partial products deposit the
+/// eight isolated bits contiguously in the top byte.
+const LSB8: u64 = 0x0101_0101_0101_0101;
+const PACK8: u64 = 0x0102_0408_1020_4080;
+
+/// Transposes one 64-byte block into its eight basis words (basis `k`
+/// holds bit `7 - k` of every byte — `b_0` is the MSB).
+///
+/// This is the SWAR form of Parabix s2p: for each group of eight input
+/// bytes (one `u64` read), a shift + AND isolates one bit column into
+/// the low bit of each byte, and a single multiply-shift packs those
+/// eight column bits into eight contiguous output bits. Every partial
+/// product of `PACK8` lands on a distinct bit position, so the multiply
+/// is carry-free. ~10 word ops per 8 bytes replaces 64 shift/or pairs.
+pub(crate) fn s2p_block(block: &[u8; 64]) -> [u64; 8] {
+    let mut lanes = [0u64; 8];
+    for (g, chunk) in block.chunks_exact(8).enumerate() {
+        let x = u64::from_le_bytes(chunk.try_into().expect("8-byte group"));
+        for (k, lane) in lanes.iter_mut().enumerate() {
+            let column = (x >> (7 - k)) & LSB8;
+            *lane |= (column.wrapping_mul(PACK8) >> 56) << (8 * g);
+        }
+    }
+    lanes
+}
+
+/// Transposes `input` block-by-block, handing each finished 64-byte
+/// block's basis words to `sink(word_index, words)`. The final partial
+/// block (if any) is zero-padded; the sink's stream masking drops the
+/// padding. Blocks are processed `N` at a time so the per-block SWAR
+/// pipelines across a word-group.
+pub(crate) fn s2p_into(input: &[u8], sink: &mut impl FnMut(usize, [u64; 8])) {
+    dispatch_lanes!(s2p_n(input, sink))
+}
+
+fn s2p_n<const N: usize>(input: &[u8], sink: &mut impl FnMut(usize, [u64; 8])) {
+    let mut wi = 0usize;
+    let mut groups = input.chunks_exact(64 * N);
+    for group in &mut groups {
+        let mut words = [[0u64; 8]; N];
+        for (slot, block) in words.iter_mut().zip(group.chunks_exact(64)) {
+            *slot = s2p_block(block.try_into().expect("64-byte block"));
+        }
+        for w in words {
+            sink(wi, w);
+            wi += 1;
+        }
+    }
+    let mut rest = groups.remainder().chunks_exact(64);
+    for block in &mut rest {
+        sink(wi, s2p_block(block.try_into().expect("64-byte block")));
+        wi += 1;
+    }
+    let rem = rest.remainder();
+    if !rem.is_empty() {
+        let mut block = [0u8; 64];
+        block[..rem.len()].copy_from_slice(rem);
+        sink(wi, s2p_block(&block));
+    }
+}
+
+/// Explicit `core::arch` SSE2 kernels (x86_64, `simd-arch` feature).
+///
+/// SSE2 is part of the x86_64 baseline, so the intrinsics need no
+/// runtime feature detection; the only unsafety is the unaligned
+/// 128-bit loads/stores, which stay in bounds by construction.
+#[cfg(all(feature = "simd-arch", target_arch = "x86_64"))]
+mod arch {
+    #![allow(unsafe_code)]
+
+    use super::BitOp;
+    use core::arch::x86_64::{
+        __m128i, _mm_and_si128, _mm_andnot_si128, _mm_loadu_si128, _mm_or_si128,
+        _mm_storeu_si128, _mm_xor_si128,
+    };
+
+    pub(super) fn zip(a: &[u64], b: &[u64], out: &mut [u64], op: BitOp) {
+        let n = out.len().min(a.len()).min(b.len());
+        let pairs = n / 2;
+        // SAFETY: every pointer is `2 * i < 2 * pairs <= n` words into a
+        // slice at least `n` words long, and loadu/storeu tolerate any
+        // alignment.
+        unsafe {
+            for i in 0..pairs {
+                let pa = a.as_ptr().add(2 * i) as *const __m128i;
+                let pb = b.as_ptr().add(2 * i) as *const __m128i;
+                let po = out.as_mut_ptr().add(2 * i) as *mut __m128i;
+                let va = _mm_loadu_si128(pa);
+                let vb = _mm_loadu_si128(pb);
+                let v = match op {
+                    BitOp::And => _mm_and_si128(va, vb),
+                    BitOp::Or => _mm_or_si128(va, vb),
+                    BitOp::Xor => _mm_xor_si128(va, vb),
+                    // `_mm_andnot_si128(x, y)` computes `!x & y`.
+                    BitOp::AndNot => _mm_andnot_si128(vb, va),
+                };
+                _mm_storeu_si128(po, v);
+            }
+        }
+        for i in pairs * 2..n {
+            out[i] = op.apply(a[i], b[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random words (64-bit LCG) — no RNG dep.
+    fn words(seed: u64, n: usize) -> Vec<u64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x
+            })
+            .collect()
+    }
+
+    #[test]
+    fn low_mask_edges() {
+        assert_eq!(low_mask(0), 0);
+        assert_eq!(low_mask(1), 1);
+        assert_eq!(low_mask(63), u64::MAX >> 1);
+        assert_eq!(low_mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn gather_word_reads_zero_past_end() {
+        let w = [u64::MAX, 0b1011];
+        assert_eq!(gather_word(&w, 0), u64::MAX);
+        assert_eq!(gather_word(&w, 4), (u64::MAX >> 4) | (0b1011 << 60));
+        assert_eq!(gather_word(&w, 64), 0b1011);
+        assert_eq!(gather_word(&w, 65), 0b101);
+        assert_eq!(gather_word(&w, 128), 0);
+        assert_eq!(gather_word(&w, 1000), 0);
+    }
+
+    #[test]
+    fn zip_widths_agree() {
+        for n in [0usize, 1, 2, 3, 7, 8, 9, 16, 33] {
+            let a = words(3, n);
+            let b = words(99, n);
+            for f in [
+                |x: u64, y: u64| x & y,
+                |x: u64, y: u64| x | y,
+                |x: u64, y: u64| x ^ y,
+                |x: u64, y: u64| x & !y,
+            ] {
+                let mut reference = vec![0u64; n];
+                zip_n::<1>(&a, &b, &mut reference, f);
+                for (l, e) in
+                    a.iter().zip(&b).map(|(&x, &y)| f(x, y)).zip(&reference)
+                {
+                    assert_eq!(l, *e);
+                }
+                let mut wide2 = vec![0u64; n];
+                zip_n::<2>(&a, &b, &mut wide2, f);
+                let mut wide4 = vec![0u64; n];
+                zip_n::<4>(&a, &b, &mut wide4, f);
+                let mut wide8 = vec![0u64; n];
+                zip_n::<8>(&a, &b, &mut wide8, f);
+                assert_eq!(reference, wide2, "n={n}");
+                assert_eq!(reference, wide4, "n={n}");
+                assert_eq!(reference, wide8, "n={n}");
+                let mut assigned = a.clone();
+                zip_assign_n::<4>(&mut assigned, &b, f);
+                assert_eq!(reference, assigned, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_widths_agree_and_carry_ripples() {
+        for n in [1usize, 2, 3, 7, 8, 9, 17] {
+            let a = words(11, n);
+            let b = words(42, n);
+            let mut reference = vec![0u64; n];
+            let c1 = add_n::<1>(&a, &b, &mut reference, true);
+            let mut wide8 = vec![0u64; n];
+            let c8 = add_n::<8>(&a, &b, &mut wide8, true);
+            let mut wide4 = vec![0u64; n];
+            let c4 = add_n::<4>(&a, &b, &mut wide4, true);
+            assert_eq!(reference, wide8, "n={n}");
+            assert_eq!(reference, wide4, "n={n}");
+            assert_eq!(c1, c8);
+            assert_eq!(c1, c4);
+        }
+        // An all-ones stream plus an injected carry ripples through every
+        // lane boundary and out the top, at every width.
+        let ones = vec![u64::MAX; 9];
+        let zero = vec![0u64; 9];
+        for width_out in [
+            {
+                let mut o = vec![0u64; 9];
+                assert!(add_n::<1>(&ones, &zero, &mut o, true));
+                o
+            },
+            {
+                let mut o = vec![0u64; 9];
+                assert!(add_n::<8>(&ones, &zero, &mut o, true));
+                o
+            },
+        ] {
+            assert_eq!(width_out, vec![0u64; 9]);
+        }
+    }
+
+    #[test]
+    fn shift_widths_agree() {
+        for n in [1usize, 2, 5, 9, 16, 21] {
+            let src = words(7, n);
+            for k in [0usize, 1, 5, 63, 64, 65, 130] {
+                let (ws, bs) = (k >> 6, (k & 63) as u32);
+                let mut adv1 = vec![0u64; n];
+                advance_n::<1>(&src, &mut adv1, ws, bs);
+                let mut adv8 = vec![0u64; n];
+                advance_n::<8>(&src, &mut adv8, ws, bs);
+                assert_eq!(adv1, adv8, "advance n={n} k={k}");
+                let mut ret1 = vec![0u64; n];
+                retreat_n::<1>(&src, &mut ret1, ws, bs);
+                let mut ret8 = vec![0u64; n];
+                retreat_n::<8>(&src, &mut ret8, ws, bs);
+                assert_eq!(ret1, ret8, "retreat n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn s2p_block_matches_naive() {
+        let mut block = [0u8; 64];
+        for (i, b) in block.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(37).wrapping_add(11);
+        }
+        let lanes = s2p_block(&block);
+        for (k, lane) in lanes.iter().enumerate() {
+            let mut expect = 0u64;
+            for (bi, &byte) in block.iter().enumerate() {
+                expect |= u64::from((byte >> (7 - k)) & 1) << bi;
+            }
+            assert_eq!(*lane, expect, "basis {k}");
+        }
+    }
+
+    #[test]
+    fn s2p_driver_widths_agree() {
+        let input: Vec<u8> = (0..1000u32).map(|i| (i.wrapping_mul(131) % 256) as u8).collect();
+        for take in [0usize, 1, 63, 64, 65, 512, 513, 1000] {
+            let mut reference = Vec::new();
+            s2p_n::<1>(&input[..take], &mut |wi, w| reference.push((wi, w)));
+            for_widths(&input[..take], &reference);
+        }
+    }
+
+    fn for_widths(input: &[u8], reference: &[(usize, [u64; 8])]) {
+        let mut got2 = Vec::new();
+        s2p_n::<2>(input, &mut |wi, w| got2.push((wi, w)));
+        let mut got4 = Vec::new();
+        s2p_n::<4>(input, &mut |wi, w| got4.push((wi, w)));
+        let mut got8 = Vec::new();
+        s2p_n::<8>(input, &mut |wi, w| got8.push((wi, w)));
+        assert_eq!(reference, got2.as_slice());
+        assert_eq!(reference, got4.as_slice());
+        assert_eq!(reference, got8.as_slice());
+    }
+
+    #[test]
+    fn env_parse_named_widths() {
+        // from_env reads the real environment; only exercise the pure
+        // parts here (the CI matrix drives the env var end-to-end).
+        assert_eq!(LaneWidth::from_lanes(1), Some(LaneWidth::X1));
+        assert_eq!(LaneWidth::from_lanes(8), Some(LaneWidth::X8));
+        assert_eq!(LaneWidth::from_lanes(3), None);
+        assert_eq!(LaneWidth::X4.to_string(), "w64x4");
+        assert_eq!(LaneWidth::ALL.map(LaneWidth::lanes), [1, 2, 4, 8]);
+    }
+
+    #[cfg(all(feature = "simd-arch", target_arch = "x86_64"))]
+    #[test]
+    fn arch_zip_matches_scalar() {
+        for n in [0usize, 1, 2, 3, 9, 32, 33] {
+            let a = words(5, n);
+            let b = words(77, n);
+            for op in [BitOp::And, BitOp::Or, BitOp::Xor, BitOp::AndNot] {
+                let mut reference = vec![0u64; n];
+                zip_n::<1>(&a, &b, &mut reference, |x, y| op.apply(x, y));
+                let mut simd = vec![0u64; n];
+                super::arch::zip(&a, &b, &mut simd, op);
+                assert_eq!(reference, simd, "n={n} op={op:?}");
+            }
+        }
+    }
+}

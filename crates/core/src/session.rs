@@ -481,10 +481,12 @@ impl ScanSession<'_> {
                     outcomes.next().expect("one outcome per slot");
                 degraded += u64::from(slot_degraded);
                 for (oi, out) in outcome.outputs.iter().enumerate() {
-                    let clipped = out.resized(input.len());
-                    union = union.or(&clipped);
+                    // or_clipped is the shared final-partial-word clip:
+                    // the window stream is one peek bit longer than the
+                    // input-length union.
+                    union.or_clipped(out);
                     if let Some(per) = per_pattern.as_mut() {
-                        per[group[oi]] = clipped;
+                        per[group[oi]] = out.resized(input.len());
                     }
                 }
                 works.push(outcome.metrics.cta_work());

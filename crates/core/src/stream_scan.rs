@@ -438,7 +438,7 @@ impl StreamScanner<'_> {
                 {
                     Ok(outcome) => {
                         for out in &outcome.outputs {
-                            union = union.or(&out.resized(chunk.len()));
+                            union.or_clipped(out);
                         }
                         works.push(outcome.metrics.cta_work());
                         window_metrics.push((group, outcome.metrics));
@@ -466,7 +466,7 @@ impl StreamScanner<'_> {
                             ) {
                                 Ok(outputs) => {
                                     for out in &outputs {
-                                        union = union.or(&out.resized(chunk.len()));
+                                        union.or_clipped(out);
                                     }
                                     // Degraded windows contribute no device
                                     // work, mirroring degraded batch slots.

@@ -9,23 +9,30 @@ use bitgen_bitstream::BitStream;
 /// executors to store a window's valid region into an output stream.
 pub fn blit_or(dst: &mut BitStream, dst_start: usize, src: &[u32], src_start: usize, nbits: usize) {
     let len = dst.len();
+    if dst_start >= len {
+        return;
+    }
+    let nbits = nbits.min(len - dst_start);
+    // Walk the destination a whole aligned word at a time: gather up to
+    // 64 source bits, mask to the copy width, and OR them in with a
+    // single word store — no per-bit loop, whatever the bit population.
     let mut copied = 0usize;
     while copied < nbits {
         let d = dst_start + copied;
-        if d >= len {
-            break;
+        let off = d & 63;
+        let take = (64 - off).min(nbits - copied);
+        let bits = gather64(src, src_start + copied) & mask64(take);
+        if bits != 0 {
+            dst.or_word(d >> 6, bits << off);
         }
-        let chunk = (nbits - copied).min(32).min(len - d);
-        let word = gather32(src, src_start + copied) & mask32(chunk);
-        if word != 0 {
-            for j in 0..chunk {
-                if word >> j & 1 == 1 {
-                    dst.set(d + j, true);
-                }
-            }
-        }
-        copied += chunk;
+        copied += take;
     }
+}
+
+/// Extracts 64 bits from a `u32` word buffer starting at bit `start`
+/// (bits past the end read as zero).
+fn gather64(words: &[u32], start: usize) -> u64 {
+    u64::from(gather32(words, start)) | (u64::from(gather32(words, start + 32)) << 32)
 }
 
 /// Extracts 32 bits from a `u32` word buffer starting at bit `start`
@@ -45,11 +52,11 @@ fn gather32(words: &[u32], start: usize) -> u32 {
     (lo >> off) | (hi << (32 - off))
 }
 
-fn mask32(bits: usize) -> u32 {
-    if bits >= 32 {
-        u32::MAX
+fn mask64(bits: usize) -> u64 {
+    if bits >= 64 {
+        u64::MAX
     } else {
-        (1u32 << bits) - 1
+        (1u64 << bits) - 1
     }
 }
 
@@ -99,6 +106,34 @@ mod tests {
         let mut dst = BitStream::from_positions(32, &[0]);
         blit_or(&mut dst, 0, &[0b10], 0, 32);
         assert_eq!(dst.positions(), vec![0, 1]);
+    }
+
+    #[test]
+    fn word_wise_blit_matches_bitwise_reference() {
+        // Sweep misaligned source/destination offsets against a per-bit
+        // reference implementation.
+        let src: Vec<u32> = (0..8u32).map(|i| i.wrapping_mul(0x9e37_79b9) | 1).collect();
+        let total = src.len() * 32;
+        for dst_start in [0usize, 1, 31, 32, 33, 63, 64, 65, 90] {
+            for src_start in [0usize, 5, 32, 40, 200] {
+                for nbits in [0usize, 1, 33, 64, 65, 130, 300] {
+                    let mut got = BitStream::zeros(200);
+                    blit_or(&mut got, dst_start, &src, src_start, nbits);
+                    let mut expect = BitStream::zeros(200);
+                    for j in 0..nbits {
+                        let s = src_start + j;
+                        let d = dst_start + j;
+                        if d < 200 && s < total && src[s / 32] >> (s % 32) & 1 == 1 {
+                            expect.set(d, true);
+                        }
+                    }
+                    assert_eq!(
+                        got, expect,
+                        "dst_start={dst_start} src_start={src_start} nbits={nbits}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

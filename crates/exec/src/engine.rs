@@ -274,7 +274,11 @@ impl ExecOutcome {
     /// Union of all output streams.
     pub fn union(&self) -> BitStream {
         let len = self.outputs.first().map_or(0, BitStream::len);
-        self.outputs.iter().fold(BitStream::zeros(len), |acc, s| acc.or(s))
+        let mut acc = BitStream::zeros(len);
+        for s in &self.outputs {
+            acc.or_assign(s);
+        }
+        acc
     }
 }
 
@@ -893,7 +897,11 @@ impl SeqExec<'_> {
         self.issued += 1;
         let mut value = match op {
             Op::MatchCc { class, .. } => {
-                compile_class(class).eval(self.basis).resized(self.stream_len)
+                // Word-group circuit evaluation straight into the
+                // window-length stream (peek position stays clear).
+                let mut s = BitStream::zeros(self.stream_len);
+                compile_class(class).eval_into(self.basis, &mut s);
+                s
             }
             Op::And { a, b, .. } => self.get(*a)?.and(self.get(*b)?),
             Op::Or { a, b, .. } => self.get(*a)?.or(self.get(*b)?),

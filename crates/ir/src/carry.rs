@@ -353,7 +353,8 @@ impl CarryState {
         debug_assert_eq!(s.incoming.len(), k, "carry slot width mismatch");
         let out = src.advance_with_carry(k, &s.incoming);
         let consumed = src.len().checked_sub(1).expect("window must hold the peek position");
-        s.outgoing = s.outgoing.or(&src.history_tail(&s.incoming, consumed));
+        let tail = src.history_tail(&s.incoming, consumed);
+        s.outgoing.or_assign(&tail);
         out
     }
 

@@ -8,7 +8,7 @@
 use crate::carry::{carry_slot_count, CarryState};
 use crate::control::{Interrupt, RunControl};
 use crate::program::{Op, Program, Stmt, StreamId};
-use bitgen_bitstream::{compile_class, Basis, BitStream};
+use bitgen_bitstream::{compile_class, Basis, BitStream, CcExpr};
 use std::fmt;
 
 /// Result of interpreting a program.
@@ -29,7 +29,7 @@ impl InterpResult {
         let len = self.outputs.first().map_or(0, BitStream::len);
         let mut acc = BitStream::zeros(len);
         for s in &self.outputs {
-            acc = acc.or(s);
+            acc.or_assign(s);
         }
         acc
     }
@@ -180,6 +180,7 @@ fn run_env(
     let len = Program::stream_len(basis.len());
     let mut env = Env {
         vars: vec![None; program.num_streams() as usize],
+        cc: vec![None; program.num_streams() as usize],
         basis,
         len,
         loop_trips: 0,
@@ -209,11 +210,32 @@ impl CarryRun<'_> {
 
 struct Env<'a> {
     vars: Vec<Option<BitStream>>,
+    /// Per-destination compiled class circuits, keyed by the address of
+    /// the `MatchCc` op's class (stable for the duration of the run):
+    /// loop trips re-execute the same op many times, so the circuit is
+    /// compiled once and revalidated by key on each hit.
+    cc: Vec<Option<(usize, CcExpr)>>,
     basis: &'a Basis,
     len: usize,
     loop_trips: usize,
     ops_executed: usize,
     carry: Option<CarryRun<'a>>,
+}
+
+/// Whether `op` reads the stream it writes — in that case the
+/// destination's old buffer is an operand and cannot be recycled.
+fn reads_own_dst(op: &Op, dst: usize) -> bool {
+    match op {
+        Op::And { a, b, .. }
+        | Op::Or { a, b, .. }
+        | Op::Xor { a, b, .. }
+        | Op::Add { a, b, .. } => a.index() == dst || b.index() == dst,
+        Op::Not { src, .. }
+        | Op::Advance { src, .. }
+        | Op::Retreat { src, .. }
+        | Op::Assign { src, .. } => src.index() == dst,
+        Op::MatchCc { .. } | Op::Zero { .. } | Op::Ones { .. } => false,
+    }
 }
 
 impl Env<'_> {
@@ -273,12 +295,38 @@ impl Env<'_> {
 
     fn exec(&mut self, op: &Op) -> Result<(), InterpError> {
         self.ops_executed += 1;
+        let dst = op.dst().index();
+        // Loop trips rewrite the same destinations over and over, so the
+        // destination's previous buffer is recycled as the output unless
+        // the op also reads it.
+        let mut reuse =
+            if reads_own_dst(op, dst) { None } else { self.vars[dst].take() };
+        let mut out = reuse.take().unwrap_or_else(|| BitStream::zeros(self.len));
         let value = match op {
             Op::MatchCc { class, .. } => {
-                compile_class(class).eval(self.basis).resized(self.len)
+                // Evaluated straight into a window-length stream: the
+                // circuit runs word-group at a time with no per-node
+                // temporaries, and the peek position stays clear. The
+                // compiled circuit is cached per destination.
+                if out.len() != self.len {
+                    out.reset_zeros(self.len);
+                }
+                let key = class as *const _ as usize;
+                if self.cc[dst].as_ref().map(|(k, _)| *k) != Some(key) {
+                    self.cc[dst] = Some((key, compile_class(class)));
+                }
+                let (_, cc) = self.cc[dst].as_ref().expect("circuit cached above");
+                cc.eval_into(self.basis, &mut out);
+                out
             }
-            Op::And { a, b, .. } => self.get(*a)?.and(self.get(*b)?),
-            Op::Or { a, b, .. } => self.get(*a)?.or(self.get(*b)?),
+            Op::And { a, b, .. } => {
+                fetch(&self.vars, *a)?.and_into(fetch(&self.vars, *b)?, &mut out);
+                out
+            }
+            Op::Or { a, b, .. } => {
+                fetch(&self.vars, *a)?.or_into(fetch(&self.vars, *b)?, &mut out);
+                out
+            }
             Op::Add { a, b, .. } => {
                 let (sa, sb) = (fetch(&self.vars, *a)?, fetch(&self.vars, *b)?);
                 match &mut self.carry {
@@ -286,11 +334,20 @@ impl Env<'_> {
                         let slot = run.take_slot();
                         run.state.add_through(slot, sa, sb)
                     }
-                    None => sa.add(sb),
+                    None => {
+                        sa.add_into(sb, &mut out);
+                        out
+                    }
                 }
             }
-            Op::Xor { a, b, .. } => self.get(*a)?.xor(self.get(*b)?),
-            Op::Not { src, .. } => self.get(*src)?.not(),
+            Op::Xor { a, b, .. } => {
+                fetch(&self.vars, *a)?.xor_into(fetch(&self.vars, *b)?, &mut out);
+                out
+            }
+            Op::Not { src, .. } => {
+                fetch(&self.vars, *src)?.not_into(&mut out);
+                out
+            }
             Op::Advance { src, amount, .. } => {
                 let k = *amount as usize;
                 let s = fetch(&self.vars, *src)?;
@@ -299,15 +356,27 @@ impl Env<'_> {
                         let slot = run.take_slot();
                         run.state.advance_through(slot, s, k)
                     }
-                    None => s.advance(k),
+                    None => {
+                        s.advance_into(k, &mut out);
+                        out
+                    }
                 }
             }
-            Op::Retreat { src, amount, .. } => self.get(*src)?.retreat(*amount as usize),
-            Op::Assign { src, .. } => self.get(*src)?.clone(),
-            Op::Zero { .. } => BitStream::zeros(self.len),
+            Op::Retreat { src, amount, .. } => {
+                fetch(&self.vars, *src)?.retreat_into(*amount as usize, &mut out);
+                out
+            }
+            Op::Assign { src, .. } => {
+                out.copy_from(fetch(&self.vars, *src)?);
+                out
+            }
+            Op::Zero { .. } => {
+                out.reset_zeros(self.len);
+                out
+            }
             Op::Ones { .. } => BitStream::ones(self.len),
         };
-        self.vars[op.dst().index()] = Some(value);
+        self.vars[dst] = Some(value);
         Ok(())
     }
 

@@ -1,0 +1,184 @@
+//! Lane-width differential matrix: the wide-word (`w64xN`) kernels must
+//! be an execution detail, never an observable one. Every workload —
+//! generated application corpora and random pattern/input/chunking
+//! triples — runs at lane widths {1, 2, 4, 8} and chunk sizes
+//! {1, 7, 64 KiB}, and every width must report bit-identical match
+//! positions and identical [`bitgen::Metrics`] match counts as the
+//! scalar (`w64x1`) reference path, batch and streaming alike —
+//! including streaming pushes that straddle lane-group boundaries.
+//!
+//! The `smoke_`-prefixed tests are the deterministic subset `ci.sh`
+//! re-runs under `BITGEN_LANES=1` and `BITGEN_LANES=max`.
+
+use bitgen::{set_lane_width, BitGen, LaneWidth};
+use bitgen_workloads::{generate, AppKind, WorkloadConfig};
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard};
+
+/// The chunk sizes of the ISSUE matrix: single bytes, a prime that
+/// misaligns every word boundary, and the bitgrep streaming chunk.
+const CHUNKS: [usize; 3] = [1, 7, 64 * 1024];
+
+/// Serializes lane-width flips within this test binary. The width is
+/// process-global; since all widths compute identical bits a racing
+/// test would still pass, but pinning it keeps failures attributable.
+/// A poisoned lock just means another matrix case failed first.
+static LANE_LOCK: Mutex<()> = Mutex::new(());
+
+fn lane_guard() -> MutexGuard<'static, ()> {
+    LANE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Everything a width can observably influence: batch positions, batch
+/// match count, and per-chunking streamed ends + streamed match count.
+#[derive(Debug, PartialEq, Eq)]
+struct Observed {
+    batch: Vec<usize>,
+    batch_count: u64,
+    streamed: Vec<(usize, Vec<u64>, u64)>,
+}
+
+fn observe(engine: &BitGen, input: &[u8], chunk_sizes: &[usize]) -> Observed {
+    let report = engine.find(input).expect("batch scan succeeds");
+    let batch = report.matches.positions();
+    let batch_count = report.metrics.match_count;
+    let mut streamed = Vec::new();
+    for &cs in chunk_sizes {
+        let mut scanner = engine.streamer().expect("streamer constructs");
+        let mut ends = Vec::new();
+        for chunk in input.chunks(cs) {
+            ends.extend(scanner.push(chunk).expect("push succeeds"));
+        }
+        streamed.push((cs, ends, scanner.metrics().match_count));
+    }
+    Observed { batch, batch_count, streamed }
+}
+
+/// Runs the full width sweep for one engine/input/chunking combination
+/// and asserts every lane width observes exactly what scalar does (and
+/// that streaming agrees with batch in the first place).
+fn assert_width_invariant(engine: &BitGen, input: &[u8], chunk_sizes: &[usize], label: &str) {
+    let _guard = lane_guard();
+    set_lane_width(LaneWidth::X1);
+    let reference = observe(engine, input, chunk_sizes);
+    assert_eq!(reference.batch.len() as u64, reference.batch_count, "{label}: count vs stream");
+    for (cs, ends, count) in &reference.streamed {
+        let as_u64: Vec<u64> = reference.batch.iter().map(|&p| p as u64).collect();
+        assert_eq!(ends, &as_u64, "{label}: streaming(chunk={cs}) vs batch at w64x1");
+        assert_eq!(*count, reference.batch_count, "{label}: stream count at chunk={cs}");
+    }
+    for width in [LaneWidth::X2, LaneWidth::X4, LaneWidth::X8] {
+        set_lane_width(width);
+        let got = observe(engine, input, chunk_sizes);
+        assert_eq!(got, reference, "{label}: {width} diverged from w64x1");
+    }
+    set_lane_width(LaneWidth::from_env());
+}
+
+/// Pattern pool shared with the streaming differentials: literals,
+/// bounded/unbounded repetition, alternation, classes.
+const POOL: &[&str] = &[
+    "a+b",
+    "(ab)*c",
+    ".{0,3}x",
+    "a{2,}",
+    "ab",
+    "a(bc)*d",
+    "(a|bb)+c",
+    "x[ab]{1,4}y",
+    "c{3,}d",
+    "(a*b)+",
+];
+
+/// Every generated application corpus, batch + streamed at the full
+/// chunk matrix, at every lane width.
+#[test]
+fn smoke_generated_workloads_all_widths() {
+    for kind in AppKind::ALL {
+        let w = generate(
+            kind,
+            &WorkloadConfig { regexes: 6, input_len: 512, ..WorkloadConfig::default() },
+        );
+        let engine = BitGen::from_asts(w.asts.clone(), Default::default())
+            .expect("workloads compile within budget");
+        assert_width_invariant(&engine, &w.input, &CHUNKS, w.meta.signature().as_str());
+    }
+}
+
+/// Pushes sized to straddle word and lane-group boundaries: a w64x8
+/// group covers 512 stream positions (= 512 input bytes), a word 64;
+/// sizes one below/at/above those edges force carries to cross both
+/// word-to-word and lane-to-lane seams, plus primes that drift across
+/// every alignment.
+#[test]
+fn smoke_lane_group_straddling_pushes() {
+    let patterns = ["a+b", "(a|bb)+c", "x[ab]{1,4}y", "c{3,}d"];
+    let engine = BitGen::compile(&patterns).unwrap();
+    let input: Vec<u8> = (0..1500u32)
+        .map(|i| b"aabbccdxy. "[(i.wrapping_mul(2654435761) >> 7) as usize % 11])
+        .collect();
+    let straddles = [8usize, 15, 16, 17, 63, 64, 65, 127, 128, 129, 511, 512, 513];
+    assert_width_invariant(&engine, &input, &straddles, "lane-group straddles");
+}
+
+/// A multi-chunk 64 KiB streaming run whose pushes straddle the 64 KiB
+/// chunk boundary itself, on a generated corpus large enough to need
+/// more than one push.
+#[test]
+fn smoke_large_input_64k_chunk_straddle() {
+    let w = generate(
+        AppKind::Tcp,
+        &WorkloadConfig { regexes: 4, input_len: 80_000, ..WorkloadConfig::default() },
+    );
+    let engine = BitGen::from_asts(w.asts.clone(), Default::default())
+        .expect("workloads compile within budget");
+    assert_width_invariant(&engine, &w.input, &[64 * 1024], "tcp 80k / 64KiB chunks");
+}
+
+/// Mid-stream width flips must not disturb a scan: lane width is not
+/// stream state, so a scanner that crosses every width between pushes
+/// still reproduces the scalar batch result.
+#[test]
+fn smoke_width_flip_mid_stream_is_invisible() {
+    let _guard = lane_guard();
+    let engine = BitGen::compile(&["a+b", "(ab)*c", "c{3,}d"]).unwrap();
+    let input: Vec<u8> = (0..700u32).map(|i| b"abcd ab ccc"[i as usize % 11]).collect();
+    set_lane_width(LaneWidth::X1);
+    let batch: Vec<u64> =
+        engine.find(&input).unwrap().matches.positions().iter().map(|&p| p as u64).collect();
+    let mut scanner = engine.streamer().unwrap();
+    let mut ends = Vec::new();
+    for (i, chunk) in input.chunks(37).enumerate() {
+        set_lane_width(LaneWidth::ALL[i % LaneWidth::ALL.len()]);
+        ends.extend(scanner.push(chunk).unwrap());
+    }
+    set_lane_width(LaneWidth::from_env());
+    assert_eq!(ends, batch);
+}
+
+fn arb_patterns() -> impl Strategy<Value = Vec<&'static str>> {
+    prop::collection::vec(prop::sample::select(POOL.to_vec()), 1..4)
+}
+
+fn arb_input() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(b"aabbccdxy. ".to_vec()), 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The proptest face of the matrix: random pattern sets and inputs,
+    /// every width × the {1, 7, 64 KiB} chunkings plus a random chunk
+    /// size that lands anywhere relative to the lane-group seams.
+    #[test]
+    fn random_workloads_are_width_invariant(
+        patterns in arb_patterns(),
+        input in arb_input(),
+        extra_chunk in 1usize..96,
+    ) {
+        let engine = BitGen::compile(&patterns).unwrap();
+        let chunks = [CHUNKS[0], CHUNKS[1], CHUNKS[2], extra_chunk];
+        assert_width_invariant(&engine, &input, &chunks,
+            &format!("patterns {patterns:?} extra_chunk {extra_chunk}"));
+    }
+}

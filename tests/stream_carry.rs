@@ -6,7 +6,7 @@
 //! match spanning many chunks through a while-loop must be reported
 //! exactly once.
 
-use bitgen::{BitGen, EngineConfig};
+use bitgen::{set_lane_width, BitGen, EngineConfig, LaneWidth, StreamCheckpoint};
 use proptest::prelude::*;
 
 /// Streams `input` through `engine` using the given chunking plan,
@@ -140,6 +140,72 @@ fn unbounded_repetition_spanning_chunks() {
     for sizes in [&[1usize][..], &[2], &[3, 0, 1], &[64]] {
         assert_eq!(stream_all(&engine, input, sizes), batch, "chunking {sizes:?}");
     }
+}
+
+/// Checkpoint streams are `BitStream` words, and every lane width
+/// computes identical words — so the serialized checkpoint taken at any
+/// push boundary must be byte-for-byte identical whatever
+/// `BITGEN_LANES` was while streaming. This is what makes lane width an
+/// execution detail rather than stream state.
+#[test]
+fn checkpoint_bytes_identical_across_lane_widths() {
+    let engine = BitGen::compile(&["a+b", "(a|bb)+c", "c{3,}d", "x[ab]{1,4}y"]).unwrap();
+    let input: Vec<u8> = (0..700u32).map(|i| b"aabbccdxy. "[i as usize * 7 % 11]).collect();
+    let snapshots = |width: LaneWidth| -> Vec<Vec<u8>> {
+        set_lane_width(width);
+        let mut scanner = engine.streamer().unwrap();
+        let mut snaps = Vec::new();
+        for chunk in input.chunks(53) {
+            scanner.push(chunk).unwrap();
+            snaps.push(scanner.checkpoint().to_bytes());
+        }
+        snaps
+    };
+    let reference = snapshots(LaneWidth::X1);
+    for width in [LaneWidth::X2, LaneWidth::X4, LaneWidth::X8] {
+        assert_eq!(snapshots(width), reference, "{width} checkpoint bytes diverged from w64x1");
+    }
+    set_lane_width(LaneWidth::from_env());
+}
+
+/// A checkpoint written under one lane width resumes bit-identically
+/// under another, including cuts right at word (64) and w64x8
+/// lane-group (512) boundaries where the carry seams live. The resumed
+/// stream must replay to the batch answer with nothing rejected and
+/// nothing re-scanned.
+#[test]
+fn checkpoint_resumes_across_lane_widths() {
+    let engine = BitGen::compile(&["a+b", "(ab)*c", "c{3,}d"]).unwrap();
+    let input: Vec<u8> = (0..900u32).map(|i| b"abcd ab ccc"[i as usize * 3 % 11]).collect();
+    set_lane_width(LaneWidth::X1);
+    let batch = batch_ends(&engine, &input);
+    let pairs = [
+        (LaneWidth::X1, LaneWidth::X8),
+        (LaneWidth::X8, LaneWidth::X1),
+        (LaneWidth::X2, LaneWidth::X4),
+        (LaneWidth::X4, LaneWidth::X2),
+    ];
+    for cut in [63usize, 64, 65, 511, 512, 513] {
+        for (save_width, resume_width) in pairs {
+            set_lane_width(save_width);
+            let mut first = engine.streamer().unwrap();
+            let mut ends = first.push(&input[..cut]).unwrap();
+            let bytes = first.checkpoint().to_bytes();
+            let ckpt = StreamCheckpoint::from_bytes(&bytes)
+                .expect("a width flip must never invalidate a checkpoint");
+            set_lane_width(resume_width);
+            let mut second = engine.resume(&ckpt).unwrap();
+            for chunk in input[cut..].chunks(37) {
+                ends.extend(second.push(chunk).unwrap());
+            }
+            assert_eq!(
+                ends, batch,
+                "cut {cut}: saved at {save_width}, resumed at {resume_width}"
+            );
+            assert_eq!(second.metrics().bytes_rescanned, 0);
+        }
+    }
+    set_lane_width(LaneWidth::from_env());
 }
 
 #[test]
