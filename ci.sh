@@ -59,7 +59,7 @@ SWAPDIR="$(mktemp -d)"
 trap 'rm -rf "$SWAPDIR"' EXIT
 printf 'cat dog cat cat dog xx' > "$SWAPDIR/input.bin"
 printf 'dog\n' > "$SWAPDIR/new.rules"
-GOT="$(cargo run -q --release -p bitgen --bin bitgrep -- \
+GOT="$(cargo run -q --release -p bitgen-serve --bin bitgrep -- \
   -e cat --swap-rules "$SWAPDIR/new.rules@12" --positions "$SWAPDIR/input.bin" 2>/dev/null)"
 WANT="$(printf '2\n10\n18\n')"
 if [ "$GOT" != "$WANT" ]; then
@@ -80,6 +80,53 @@ if [ "$BATCH" != "$RESUMED" ]; then
   exit 1
 fi
 
+# Serve smoke: boot the bitgen-serve daemon on a Unix socket and run 8
+# concurrent clients against it — the even ones sharing a pattern set
+# (the compiled-pattern cache must report hits), the odd ones split
+# across distinct sets — requiring every client's output to be
+# byte-identical to `bitgrep --positions` on the same input, at least
+# one cache hit in the STATS counters, and a clean daemon exit
+# (status 0) after SHUTDOWN.
+SERVEDIR="$(mktemp -d)"
+SOCK="$SERVEDIR/bitgen.sock"
+printf 'cat dog aab cat xaby dooog aab xx %.0s' 1 2 3 4 > "$SERVEDIR/in0.bin"
+printf 'aab xaby cat cat dog aab dooog yy %.0s' 1 2 3 4 5 > "$SERVEDIR/in1.bin"
+target/release/bitgen-serve serve --socket "$SOCK" -e cat 2>/dev/null &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$SWAPDIR" "$SERVEDIR"; rm -f "$CKPT"' EXIT
+for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.05; done
+[ -S "$SOCK" ] || { echo "serve smoke: daemon never bound $SOCK" >&2; exit 1; }
+CLIENT_PIDS=()
+for i in 0 1 2 3 4 5 6 7; do
+  case $i in
+    0|2|4|6) PATS=(-e 'cat' -e 'do+g') ;;
+    1|5)     PATS=(-e 'a+b') ;;
+    3)       PATS=(-e 'x[ab]{1,4}y') ;;
+    7)       PATS=(-e 'a+b' -e 'x[ab]{1,4}y') ;;
+  esac
+  IN="$SERVEDIR/in$((i % 2)).bin"
+  target/release/bitgen-serve scan --socket "$SOCK" --tenant "t$i" \
+    --chunk $((7 + i)) "${PATS[@]}" "$IN" > "$SERVEDIR/got$i" 2>/dev/null &
+  CLIENT_PIDS+=($!)
+  target/release/bitgrep "${PATS[@]}" --positions "$IN" > "$SERVEDIR/want$i"
+done
+for pid in "${CLIENT_PIDS[@]}"; do
+  wait "$pid" || { echo "serve smoke: a client failed" >&2; exit 1; }
+done
+for i in 0 1 2 3 4 5 6 7; do
+  if ! cmp -s "$SERVEDIR/got$i" "$SERVEDIR/want$i"; then
+    echo "serve smoke: client $i drifted from bitgrep --positions" >&2
+    exit 1
+  fi
+done
+STATS_JSON="$(target/release/bitgen-serve stats --socket "$SOCK")"
+case "$STATS_JSON" in
+  *'"cache_hits":0,'*) echo "serve smoke: no cache hits: $STATS_JSON" >&2; exit 1 ;;
+esac
+target/release/bitgen-serve shutdown --socket "$SOCK"
+wait "$SERVE_PID" || { echo "serve smoke: daemon exited nonzero" >&2; exit 1; }
+trap 'rm -rf "$SWAPDIR" "$SERVEDIR"; rm -f "$CKPT"' EXIT
+
 # Compile-pipeline bench smoke: one abbreviated run so a pathological
 # compile-time regression fails CI instead of only slowing nightly
 # benches. (The bench binary itself keeps sample counts low.)
@@ -97,7 +144,7 @@ cargo bench -q -p bitgen-bench --bench stream_scan
 #   cargo run --release -p bitgen-bench --bin bitgen-bench -- \
 #     run --smoke --modelled-only --out results/BENCH_smoke.json
 SMOKE="$(mktemp -t bench_smoke.XXXXXX.json)"
-trap 'rm -rf "$SWAPDIR"; rm -f "$CKPT" "$SMOKE"' EXIT
+trap 'rm -rf "$SWAPDIR" "$SERVEDIR"; rm -f "$CKPT" "$SMOKE"' EXIT
 cargo run -q --release -p bitgen-bench --bin bitgen-bench -- \
   run --smoke --modelled-only --out "$SMOKE" > /dev/null
 cargo run -q --release -p bitgen-bench --bin bitgen-bench -- \
@@ -108,7 +155,7 @@ cargo run -q --release -p bitgen-bench --bin bitgen-bench -- \
 # this gates the wide-word kernels producing different matches than the
 # scalar path at the bench level too.
 SMOKE_X1="$(mktemp -t bench_smoke_x1.XXXXXX.json)"
-trap 'rm -rf "$SWAPDIR"; rm -f "$CKPT" "$SMOKE" "$SMOKE_X1"' EXIT
+trap 'rm -rf "$SWAPDIR" "$SERVEDIR"; rm -f "$CKPT" "$SMOKE" "$SMOKE_X1"' EXIT
 BITGEN_LANES=1 cargo run -q --release -p bitgen-bench --bin bitgen-bench -- \
   run --smoke --modelled-only --out "$SMOKE_X1" > /dev/null
 cargo run -q --release -p bitgen-bench --bin bitgen-bench -- \
@@ -118,5 +165,6 @@ cargo clippy --workspace -- -D warnings
 
 # Panic-hygiene pass over the library crates: unwrap/expect are flagged
 # (warnings only — documented invariants remain, but new ones get seen).
-cargo clippy -q -p bitgen-ir -p bitgen-exec -p bitgen-gpu -p bitgen-baselines -p bitgen -- \
+cargo clippy -q -p bitgen-ir -p bitgen-exec -p bitgen-gpu -p bitgen-baselines -p bitgen \
+  -p bitgen-serve -- \
   -W clippy::unwrap_used -W clippy::expect_used

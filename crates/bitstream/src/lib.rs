@@ -38,4 +38,4 @@ mod wide;
 pub use ccc::{compile_class, CcExpr};
 pub use stream::BitStream;
 pub use transpose::{Basis, BASIS_COUNT};
-pub use wide::{lane_width, set_lane_width, LaneWidth};
+pub use wide::{lane_width, set_lane_width, InvalidLaneWidth, LaneWidth};

@@ -71,20 +71,91 @@ impl LaneWidth {
         }
     }
 
-    /// Resolves the width requested by the `BITGEN_LANES` environment
-    /// variable: `1`, `2`, `4`, `8`, or `max`. Unset or unrecognized
-    /// values select the widest group (the default).
-    pub fn from_env() -> LaneWidth {
-        match std::env::var("BITGEN_LANES").ok().as_deref().map(str::trim) {
-            Some("1") => LaneWidth::X1,
-            Some("2") => LaneWidth::X2,
-            Some("4") => LaneWidth::X4,
-            Some("8") => LaneWidth::X8,
-            Some(s) if s.eq_ignore_ascii_case("max") => LaneWidth::X8,
-            _ => LaneWidth::X8,
+    /// Parses a `BITGEN_LANES`-style width request: `1`, `2`, `4`, `8`,
+    /// or `max` (case-insensitive), with surrounding whitespace ignored.
+    ///
+    /// # Errors
+    ///
+    /// [`InvalidLaneWidth`] carrying the rejected value for anything
+    /// else — `3`, the empty string, garbage. Nothing is a silent
+    /// default here; that choice belongs to the caller.
+    pub fn parse(value: &str) -> Result<LaneWidth, InvalidLaneWidth> {
+        match value.trim() {
+            "1" => Ok(LaneWidth::X1),
+            "2" => Ok(LaneWidth::X2),
+            "4" => Ok(LaneWidth::X4),
+            "8" => Ok(LaneWidth::X8),
+            s if s.eq_ignore_ascii_case("max") => Ok(LaneWidth::X8),
+            other => Err(InvalidLaneWidth { value: other.to_string() }),
         }
     }
+
+    /// The pure core of [`LaneWidth::from_env`], testable without
+    /// touching the process environment: resolves an optional raw
+    /// `BITGEN_LANES` value to the width to run plus the validation
+    /// error to surface, if any.
+    ///
+    /// An *unset* variable (`None`) is the ordinary case and silently
+    /// selects the widest group. A *set but invalid* value also falls
+    /// back to the widest group — every width computes identical bits,
+    /// so refusing to run would punish a typo with an outage — but the
+    /// returned [`InvalidLaneWidth`] is `Some` and the caller must
+    /// surface it; swallowing it re-creates the silent-default bug.
+    pub fn resolve_env_value(raw: Option<&str>) -> (LaneWidth, Option<InvalidLaneWidth>) {
+        match raw {
+            None => (LaneWidth::X8, None),
+            Some(value) => match LaneWidth::parse(value) {
+                Ok(width) => (width, None),
+                Err(invalid) => (LaneWidth::X8, Some(invalid)),
+            },
+        }
+    }
+
+    /// Resolves the width requested by the `BITGEN_LANES` environment
+    /// variable: `1`, `2`, `4`, `8`, or `max`. Unset selects the widest
+    /// group (the default).
+    ///
+    /// A set-but-invalid value (`BITGEN_LANES=3`, an empty string,
+    /// garbage) is **loud**: the process falls back to the widest group
+    /// — results are bit-identical at every width, so matching stays
+    /// correct — and a single warning naming the rejected value is
+    /// printed to stderr, once per process. Use [`LaneWidth::parse`]
+    /// directly to turn an invalid value into a typed error instead.
+    pub fn from_env() -> LaneWidth {
+        let raw = std::env::var("BITGEN_LANES").ok();
+        let (width, invalid) = LaneWidth::resolve_env_value(raw.as_deref());
+        if let Some(error) = invalid {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!("bitgen: warning: {error}; falling back to {width}");
+            });
+        }
+        width
+    }
 }
+
+/// A `BITGEN_LANES` value that names no lane width — anything other
+/// than `1`, `2`, `4`, `8`, or `max`.
+///
+/// Returned by [`LaneWidth::parse`]; [`LaneWidth::from_env`] reports it
+/// on stderr (once) and falls back to the widest group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidLaneWidth {
+    /// The rejected value, trimmed, as found in the environment.
+    pub value: String,
+}
+
+impl fmt::Display for InvalidLaneWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid BITGEN_LANES value {:?} (expected 1, 2, 4, 8, or max)",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for InvalidLaneWidth {}
 
 impl fmt::Display for LaneWidth {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -640,6 +711,43 @@ mod tests {
         assert_eq!(LaneWidth::from_lanes(3), None);
         assert_eq!(LaneWidth::X4.to_string(), "w64x4");
         assert_eq!(LaneWidth::ALL.map(LaneWidth::lanes), [1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn parse_accepts_every_documented_width_and_nothing_else() {
+        assert_eq!(LaneWidth::parse("1"), Ok(LaneWidth::X1));
+        assert_eq!(LaneWidth::parse("2"), Ok(LaneWidth::X2));
+        assert_eq!(LaneWidth::parse("4"), Ok(LaneWidth::X4));
+        assert_eq!(LaneWidth::parse("8"), Ok(LaneWidth::X8));
+        assert_eq!(LaneWidth::parse("max"), Ok(LaneWidth::X8));
+        assert_eq!(LaneWidth::parse(" MAX "), Ok(LaneWidth::X8));
+        // The typed-error path: each rejected value comes back verbatim
+        // (trimmed) inside the error, ready for a diagnostic.
+        for bad in ["3", "", "  ", "16", "0", "eight", "1 2", "-1"] {
+            let err = LaneWidth::parse(bad).unwrap_err();
+            assert_eq!(err.value, bad.trim());
+            let msg = err.to_string();
+            assert!(msg.contains("BITGEN_LANES"), "unhelpful message: {msg}");
+            assert!(msg.contains("expected 1, 2, 4, 8, or max"));
+        }
+    }
+
+    #[test]
+    fn env_resolution_is_silent_when_unset_and_loud_when_invalid() {
+        // Unset: the ordinary default, no warning to surface.
+        assert_eq!(LaneWidth::resolve_env_value(None), (LaneWidth::X8, None));
+        // Valid values resolve silently.
+        let (w, invalid) = LaneWidth::resolve_env_value(Some("2"));
+        assert_eq!((w, invalid), (LaneWidth::X2, None));
+        // Invalid values (the old silent-default bug: 3, empty string,
+        // garbage) still fall back to the widest group — every width is
+        // bit-identical — but hand the caller an error to surface.
+        for bad in ["3", "", "garbage"] {
+            let (width, invalid) = LaneWidth::resolve_env_value(Some(bad));
+            assert_eq!(width, LaneWidth::X8);
+            let invalid = invalid.expect("invalid value must produce an error");
+            assert_eq!(invalid, InvalidLaneWidth { value: bad.trim().to_string() });
+        }
     }
 
     #[cfg(all(feature = "simd-arch", target_arch = "x86_64"))]

@@ -192,6 +192,26 @@ impl EngineConfig {
         self.cross_check = cross_check;
         self
     }
+
+    /// An in-process fingerprint over every knob in the configuration.
+    ///
+    /// Two configs with the same fingerprint compile the same patterns
+    /// into interchangeable engines, so serving layers key compiled-
+    /// pattern caches on `(config fingerprint, patterns, generation)`.
+    /// The value hashes the `Debug` rendering: stable within a build of
+    /// this crate, **not** across versions — never persist it (that is
+    /// what [`BitGen::stream_fingerprint`]-carrying checkpoints are
+    /// for).
+    pub fn fingerprint(&self) -> u64 {
+        let rendered = format!("{self:?}");
+        // FNV-1a, same construction the checkpoint codec uses.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in rendered.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
 }
 
 /// Pattern `index` failed to parse.

@@ -100,6 +100,16 @@ pub enum Error {
         /// Why the commit was refused.
         reason: String,
     },
+    /// A serving layer refused to take on more work: an admission,
+    /// stream, or queued request would have exceeded a configured bound
+    /// (worker-pool queue depth, per-tenant stream or queue budget).
+    /// Nothing was buffered and no stream state changed — retry later,
+    /// shed load, or raise the budget. This is backpressure, not a
+    /// failure of any scan.
+    Overloaded {
+        /// Which bound the request hit.
+        reason: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -134,6 +144,9 @@ impl fmt::Display for Error {
             Error::SwapMismatch { reason } => {
                 write!(f, "staged rule-set swap refused: {reason}")
             }
+            Error::Overloaded { reason } => {
+                write!(f, "service overloaded, request rejected: {reason}")
+            }
         }
     }
 }
@@ -150,7 +163,8 @@ impl std::error::Error for Error {
             | Error::CheckpointInvalid { .. }
             | Error::CheckpointMismatch { .. }
             | Error::GenerationMismatch { .. }
-            | Error::SwapMismatch { .. } => None,
+            | Error::SwapMismatch { .. }
+            | Error::Overloaded { .. } => None,
         }
     }
 }

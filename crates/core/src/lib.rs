@@ -76,7 +76,7 @@ pub use swap::StagedRules;
 
 // Re-export the pieces users need to configure or extend the engine.
 pub use bitgen_baselines::{BenchTarget, TargetRun};
-pub use bitgen_bitstream::{lane_width, set_lane_width, LaneWidth};
+pub use bitgen_bitstream::{lane_width, set_lane_width, InvalidLaneWidth, LaneWidth};
 pub use bitgen_exec::{
     ExecConfig, ExecError, ExecMetrics, FallbackPolicy, Metrics, PassMetrics, Scheme,
 };

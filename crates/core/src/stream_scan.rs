@@ -420,10 +420,14 @@ impl StreamScanner<'_> {
             if let Err(error) = self.carries[group].validate(&self.session.engine().stream_programs[group])
             {
                 // Corruption arrived between pushes; nothing ran on the
-                // bad state. Inside a swap window the previous
-                // generation's boundary is still trustworthy, so fall
-                // back to it; otherwise nothing trustworthy remains and
-                // the scanner poisons rather than execute.
+                // bad state. Groups earlier in this push already rotated,
+                // so put the whole boundary back before bailing — the
+                // transaction contract holds even for validation errors.
+                // Inside a swap window the previous generation's boundary
+                // is still trustworthy, so fall back to it; otherwise
+                // nothing trustworthy remains and the scanner poisons
+                // rather than execute.
+                self.carries = snapshot;
                 if self.swap_rollback() {
                     return Err(Error::CarryCorrupted { group, error });
                 }

@@ -127,6 +127,17 @@ impl StagedRules {
         self.engine.generation
     }
 
+    /// Consumes the staging wrapper and hands back the compiled engine.
+    ///
+    /// Serving layers use this after the last scanner has committed the
+    /// generation: the engine goes into a shared cache (e.g. behind an
+    /// `Arc`) so later resumes of post-swap checkpoints don't recompile.
+    /// The parent identity is discarded — the returned engine can no
+    /// longer be committed onto anything.
+    pub fn into_engine(self) -> BitGen {
+        self.engine
+    }
+
     /// Checks that `current` is the engine this generation was prepared
     /// from, at the generation the scanner is serving.
     pub(crate) fn check_parent(

@@ -1,0 +1,224 @@
+//! `bitgen-serve` — the scan daemon and its command-line client.
+//!
+//! ```text
+//! bitgen-serve serve --socket PATH [--workers N] [--queue N] [--cache N]
+//!                    [-e PATTERN ...] [-f FILE]
+//!     Run the daemon until a client sends SHUTDOWN; -e/-f patterns
+//!     pre-warm the compiled-pattern cache. Exits 0 on clean shutdown.
+//!
+//! bitgen-serve scan --socket PATH [--tenant NAME] (-e PATTERN ... | -f FILE)
+//!                   [--chunk N] [FILE]
+//!     Open a stream, push FILE (or stdin) through it in chunks, print
+//!     match-end byte offsets one per line (the same output as
+//!     `bitgrep --positions`). Prints `cache: hit|miss` and the final
+//!     totals to stderr. Exit 0 matches found, 1 none, 2 I/O or
+//!     daemon-reported error.
+//!
+//! bitgen-serve stats --socket PATH
+//!     Print the daemon's service counters as one JSON object.
+//!
+//! bitgen-serve shutdown --socket PATH
+//!     Ask the daemon to exit cleanly.
+//! ```
+
+use bitgen_serve::{Client, ScanService, ServeConfig};
+use std::io::Read as _;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bitgen-serve serve --socket PATH [--workers N] [--queue N] [--cache N] \
+         [-e PAT ...] [-f FILE]\n\
+         \x20      bitgen-serve scan --socket PATH [--tenant NAME] (-e PAT ... | -f FILE) \
+         [--chunk N] [FILE]\n\
+         \x20      bitgen-serve stats --socket PATH\n\
+         \x20      bitgen-serve shutdown --socket PATH"
+    );
+    std::process::exit(2);
+}
+
+#[derive(Default)]
+struct Options {
+    socket: Option<String>,
+    tenant: String,
+    patterns: Vec<String>,
+    chunk: usize,
+    workers: usize,
+    queue: usize,
+    cache: usize,
+    file: Option<String>,
+}
+
+fn parse_options(args: &mut std::env::Args) -> Options {
+    let mut opts = Options {
+        tenant: "default".to_string(),
+        chunk: 64 * 1024,
+        ..Options::default()
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => opts.socket = Some(args.next().unwrap_or_else(|| usage())),
+            "--tenant" => opts.tenant = args.next().unwrap_or_else(|| usage()),
+            "-e" | "--regexp" => opts.patterns.push(args.next().unwrap_or_else(|| usage())),
+            "-f" | "--file" => {
+                let path = args.next().unwrap_or_else(|| usage());
+                let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("bitgen-serve: {path}: {e}");
+                    std::process::exit(2);
+                });
+                opts.patterns
+                    .extend(text.lines().filter(|l| !l.is_empty()).map(String::from));
+            }
+            "--chunk" => {
+                opts.chunk =
+                    args.next().and_then(|v| v.parse().ok()).filter(|n| *n > 0).unwrap_or_else(
+                        || usage(),
+                    );
+            }
+            "--workers" => {
+                opts.workers =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--queue" => {
+                opts.queue = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--cache" => {
+                opts.cache = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "-h" | "--help" => usage(),
+            other if !other.starts_with('-') && opts.file.is_none() => {
+                opts.file = Some(other.to_string());
+            }
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn socket_of(opts: &Options) -> &Path {
+    match &opts.socket {
+        Some(path) => Path::new(path),
+        None => usage(),
+    }
+}
+
+fn run_serve(opts: &Options) -> ExitCode {
+    let mut config = ServeConfig::default();
+    if opts.workers > 0 {
+        config.workers = opts.workers;
+    }
+    if opts.queue > 0 {
+        config.queue_capacity = opts.queue;
+    }
+    if opts.cache > 0 {
+        config.cache_capacity = opts.cache;
+    }
+    let service = ScanService::start(config);
+    if !opts.patterns.is_empty() {
+        let pats: Vec<&str> = opts.patterns.iter().map(String::as_str).collect();
+        if let Err(e) = service.warm(&pats) {
+            eprintln!("bitgen-serve: {e}");
+            return ExitCode::from(3);
+        }
+    }
+    let socket = socket_of(opts);
+    eprintln!("bitgen-serve: serving on {}", socket.display());
+    match bitgen_serve::serve_unix(socket, service) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bitgen-serve: {}: {e}", socket.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_scan(opts: &Options) -> ExitCode {
+    if opts.patterns.is_empty() {
+        usage();
+    }
+    let input = match &opts.file {
+        Some(path) => match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                eprintln!("bitgen-serve: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            let mut buf = Vec::new();
+            if let Err(e) = std::io::stdin().read_to_end(&mut buf) {
+                eprintln!("bitgen-serve: stdin: {e}");
+                return ExitCode::from(2);
+            }
+            buf
+        }
+    };
+    let outcome = (|| -> std::io::Result<(u64, u64)> {
+        let mut client = Client::connect(socket_of(opts))?;
+        let pats: Vec<&str> = opts.patterns.iter().map(String::as_str).collect();
+        let (id, hit) = client.open(&opts.tenant, &pats)?;
+        eprintln!("bitgen-serve: cache: {}", if hit { "hit" } else { "miss" });
+        let mut total = 0u64;
+        for chunk in input.chunks(opts.chunk) {
+            for end in client.push(id, chunk)? {
+                println!("{end}");
+                total += 1;
+            }
+        }
+        let (consumed, matches) = client.close(id)?;
+        debug_assert_eq!(matches, total);
+        Ok((consumed, matches))
+    })();
+    match outcome {
+        Ok((consumed, matches)) => {
+            eprintln!("bitgen-serve: {consumed} bytes scanned, {matches} matches");
+            if matches > 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("bitgen-serve: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_stats(opts: &Options) -> ExitCode {
+    match Client::connect(socket_of(opts)).and_then(|mut c| c.stats()) {
+        Ok(json) => {
+            println!("{json}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bitgen-serve: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_shutdown(opts: &Options) -> ExitCode {
+    match Client::connect(socket_of(opts)).and_then(|mut c| c.shutdown()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bitgen-serve: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args();
+    let _ = args.next();
+    let command = args.next().unwrap_or_else(|| usage());
+    let opts = parse_options(&mut args);
+    match command.as_str() {
+        "serve" => run_serve(&opts),
+        "scan" => run_scan(&opts),
+        "stats" => run_stats(&opts),
+        "shutdown" => run_shutdown(&opts),
+        _ => usage(),
+    }
+}

@@ -23,6 +23,9 @@
 //!                       hot-swap to the patterns in FILE (one per line)
 //!                       once OFFSET bytes have been scanned (bitgen
 //!                       engine only)
+//!   --serve SOCKET      run as a multi-tenant scan daemon on a Unix
+//!                       socket instead of scanning; any -e/-f patterns
+//!                       pre-warm the compiled-pattern cache
 //! ```
 //!
 //! Reads FILE, or stdin when no file is given. The default `bitgen`
@@ -60,6 +63,13 @@
 //! whichever side of the swap it stopped — pass the same `--swap-rules`
 //! flag again.
 //!
+//! `--serve SOCKET` turns the same engine configuration into a
+//! long-lived daemon (see [`bitgen_serve`]): clients open streams over
+//! the socket, tenants submitting the same pattern set share one
+//! compiled engine, and `bitgen-serve scan/stats/shutdown` is the
+//! matching client. The daemon runs until a client sends `SHUTDOWN`,
+//! then exits 0.
+//!
 //! Exit codes follow grep convention, extended so scripts can tell the
 //! failure stages apart: 0 matches found, 1 no matches, 2 usage or I/O
 //! error, 3 pattern failed to compile (including blown compile budgets),
@@ -96,6 +106,8 @@ struct Options {
     max_bytes: Option<u64>,
     /// `(rules file, byte offset)` for a mid-stream rule-set swap.
     swap_rules: Option<(String, u64)>,
+    /// Unix socket path: run as a scan daemon instead of scanning.
+    serve: Option<String>,
 }
 
 /// bitgrep's exit codes, grep-compatible for 0/1/2.
@@ -121,7 +133,7 @@ fn usage() -> ! {
          [--count] [--line-number] [--positions] [--engine E] [--scheme S] \
          [--device D] [--threads N] [--scan-threads N] [--match-star] \
          [--profile] [--checkpoint FILE] [--max-bytes N] \
-         [--swap-rules FILE@OFFSET]"
+         [--swap-rules FILE@OFFSET] [--serve SOCKET]"
     );
     std::process::exit(exit::USAGE as i32);
 }
@@ -143,6 +155,7 @@ fn parse_args() -> Options {
         checkpoint: None,
         max_bytes: None,
         swap_rules: None,
+        serve: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -205,6 +218,9 @@ fn parse_args() -> Options {
                 let offset: u64 = offset.parse().unwrap_or_else(|_| usage());
                 opts.swap_rules = Some((file.to_string(), offset));
             }
+            "--serve" => {
+                opts.serve = Some(args.next().unwrap_or_else(|| usage()));
+            }
             "-h" | "--help" => usage(),
             other if !other.starts_with('-') && opts.file.is_none() => {
                 opts.file = Some(other.to_string());
@@ -212,8 +228,21 @@ fn parse_args() -> Options {
             _ => usage(),
         }
     }
-    if opts.patterns.is_empty() {
+    // Serving needs no patterns up front (clients bring their own);
+    // every other mode does.
+    if opts.patterns.is_empty() && opts.serve.is_none() {
         usage();
+    }
+    if opts.serve.is_some()
+        && (opts.engine != "bitgen"
+            || opts.profile
+            || opts.checkpoint.is_some()
+            || opts.max_bytes.is_some()
+            || opts.swap_rules.is_some()
+            || opts.file.is_some())
+    {
+        eprintln!("bitgrep: --serve runs a daemon; it takes only engine tuning flags");
+        std::process::exit(exit::USAGE as i32);
     }
     if (opts.checkpoint.is_some() || opts.max_bytes.is_some() || opts.swap_rules.is_some())
         && opts.engine != "bitgen"
@@ -644,8 +673,40 @@ fn print_batch(opts: &Options, input: &[u8], ends: &BitStream) -> std::io::Resul
     Ok(if matching_lines == 0 { ExitCode::FAILURE } else { ExitCode::SUCCESS })
 }
 
+/// `--serve`: run the multi-tenant daemon on a Unix socket under this
+/// invocation's engine configuration, pre-warming the pattern cache
+/// with any `-e`/`-f` patterns. Returns when a client sends `SHUTDOWN`.
+fn run_serve(opts: &Options, socket: &str) -> ExitCode {
+    let config = bitgen_serve::ServeConfig {
+        engine: engine_config(opts),
+        ..bitgen_serve::ServeConfig::default()
+    };
+    let service = bitgen_serve::ScanService::start(config);
+    if !opts.patterns.is_empty() {
+        // Warm the cache so the first client sharing this rule set pays
+        // no compile time — and fail fast on a bad rule set before the
+        // socket exists.
+        let pats: Vec<&str> = opts.patterns.iter().map(String::as_str).collect();
+        if let Err(e) = service.warm(&pats) {
+            eprintln!("bitgrep: {e}");
+            return ExitCode::from(exit::COMPILE);
+        }
+    }
+    eprintln!("bitgrep: serving on {socket}");
+    match bitgen_serve::serve_unix(std::path::Path::new(socket), service) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bitgrep: {socket}: {e}");
+            ExitCode::from(exit::USAGE)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
+    if let Some(socket) = opts.serve.clone() {
+        return run_serve(&opts, &socket);
+    }
     // The bitgen engine streams; `--profile` needs the whole-launch
     // report, so it (and every baseline engine) scans in one batch.
     if opts.engine == "bitgen" && !opts.profile {

@@ -1,0 +1,283 @@
+//! The Unix-socket daemon wrapping a [`ScanService`], plus the matching
+//! client.
+//!
+//! One connection is one client session speaking the [`crate::wire`]
+//! line protocol; streams opened on a connection that ends without
+//! closing them are closed by the daemon (no leaks from vanished
+//! clients). `SHUTDOWN` from any client stops the listener, hangs up
+//! every other connection (idle clients see EOF, not a hang), drains
+//! the worker pool, and returns from [`serve_unix`] — the binary
+//! exits 0.
+
+use crate::service::{ScanService, StreamId};
+use crate::wire::{self, Request};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::Shutdown;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Runs `service` behind a Unix socket at `path` until a client sends
+/// `SHUTDOWN`. The caller constructs (and may pre-[`warm`]) the
+/// service; this function owns it from here and shuts it down on the
+/// way out. Replaces any stale socket file at `path`, removes it again
+/// when done. Blocks the calling thread for the life of the daemon;
+/// connection handlers run on their own threads.
+///
+/// [`warm`]: ScanService::warm
+///
+/// # Errors
+///
+/// Socket creation/accept failures; protocol and scan errors go to the
+/// offending client as `ERR` lines instead.
+pub fn serve_unix(path: &Path, service: ScanService) -> io::Result<()> {
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    let stop = AtomicBool::new(false);
+    // One clone per live connection, so shutdown can hang up clients
+    // that are connected but idle — their handler threads are parked in
+    // a blocking read and would otherwise keep the scope from joining.
+    let peers: Mutex<Vec<UnixStream>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| -> io::Result<()> {
+        let result = (|| -> io::Result<()> {
+            for conn in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let stream = conn?;
+                if let Ok(clone) = stream.try_clone() {
+                    peers.lock().unwrap_or_else(|e| e.into_inner()).push(clone);
+                }
+                let service = &service;
+                let stop = &stop;
+                scope.spawn(move || handle_connection(stream, service, stop, path));
+            }
+            Ok(())
+        })();
+        for peer in peers.lock().unwrap_or_else(|e| e.into_inner()).drain(..) {
+            let _ = peer.shutdown(Shutdown::Both);
+        }
+        result
+    })?;
+    service.shutdown();
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+/// Serves one connection. Returns when the client disconnects or asks
+/// for shutdown; any stream the client left open is closed.
+fn handle_connection(stream: UnixStream, service: &ScanService, stop: &AtomicBool, path: &Path) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    let mut opened: Vec<StreamId> = Vec::new();
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (reply, done) = respond(&line, service, &mut opened);
+        if writer.write_all(reply.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+            break;
+        }
+        let _ = writer.flush();
+        if done {
+            stop.store(true, Ordering::SeqCst);
+            // The listener is blocked in accept(); poke it so the serve
+            // loop observes the stop flag and exits.
+            let _ = UnixStream::connect(path);
+            break;
+        }
+    }
+    for id in opened {
+        let _ = service.close_stream(id);
+    }
+}
+
+/// Computes the reply line for one request; the boolean asks the caller
+/// to begin daemon shutdown.
+fn respond(line: &str, service: &ScanService, opened: &mut Vec<StreamId>) -> (String, bool) {
+    let request = match wire::parse_request(line) {
+        Ok(r) => r,
+        Err(complaint) => return (wire::err_line(&complaint), false),
+    };
+    let reply = match request {
+        Request::Open { tenant, patterns } => {
+            let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
+            match service.open_stream(&tenant, &refs) {
+                Ok(admission) => {
+                    opened.push(admission.stream);
+                    let verdict = if admission.cache_hit { "HIT" } else { "MISS" };
+                    format!("OK {} {verdict}", admission.stream)
+                }
+                Err(e) => wire::err_line(&e.to_string()),
+            }
+        }
+        Request::Push { id, chunk } => match service.push_chunk(id, &chunk) {
+            Ok(ends) => {
+                let mut reply = format!("OK {}", ends.len());
+                for end in ends {
+                    reply.push(' ');
+                    reply.push_str(&end.to_string());
+                }
+                reply
+            }
+            Err(e) => wire::err_line(&e.to_string()),
+        },
+        Request::Swap { id, patterns } => {
+            let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
+            match service.swap_rules(id, &refs) {
+                Ok(generation) => format!("OK {generation}"),
+                Err(e) => wire::err_line(&e.to_string()),
+            }
+        }
+        Request::Cancel { id } => match service.cancel_stream(id) {
+            Ok(()) => "OK".to_string(),
+            Err(e) => wire::err_line(&e.to_string()),
+        },
+        Request::Reset { id } => match service.reset_cancel(id) {
+            Ok(()) => "OK".to_string(),
+            Err(e) => wire::err_line(&e.to_string()),
+        },
+        Request::Close { id } => match service.close_stream(id) {
+            Ok(stats) => {
+                opened.retain(|open| *open != id);
+                format!("OK {} {}", stats.consumed, stats.match_count)
+            }
+            Err(e) => wire::err_line(&e.to_string()),
+        },
+        Request::Stats => format!("OK {}", service.metrics().to_json()),
+        Request::Ping => "OK".to_string(),
+        Request::Shutdown => return ("OK".to_string(), true),
+    };
+    (reply, false)
+}
+
+/// A blocking client for the daemon's line protocol.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Client {
+    /// Connects to a daemon at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(path: &Path) -> io::Result<Client> {
+        let stream = UnixStream::connect(path)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    fn round_trip(&mut self, request: &str) -> io::Result<String> {
+        self.writer.write_all(request.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "daemon hung up"));
+        }
+        let reply = reply.trim_end().to_string();
+        if let Some(ok) = reply.strip_prefix("OK") {
+            return Ok(ok.trim_start().to_string());
+        }
+        let complaint = reply.strip_prefix("ERR ").unwrap_or(&reply);
+        Err(io::Error::other(complaint.to_string()))
+    }
+
+    /// Opens a stream; returns `(stream id, cache hit)`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or the daemon's `ERR` reply (overload,
+    /// compile failure) as [`io::ErrorKind::Other`].
+    pub fn open(&mut self, tenant: &str, patterns: &[&str]) -> io::Result<(u64, bool)> {
+        let mut request = format!("OPEN {}", wire::hex_encode(tenant.as_bytes()));
+        for pattern in patterns {
+            request.push(' ');
+            request.push_str(&wire::hex_encode(pattern.as_bytes()));
+        }
+        let reply = self.round_trip(&request)?;
+        let mut parts = reply.split_whitespace();
+        let id = parse_u64(parts.next())?;
+        Ok((id, parts.next() == Some("HIT")))
+    }
+
+    /// Pushes one chunk; returns the global match-end positions in it.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or the daemon's `ERR` reply.
+    pub fn push(&mut self, id: u64, chunk: &[u8]) -> io::Result<Vec<u64>> {
+        let reply = self.round_trip(&format!("PUSH {id} {}", wire::hex_encode(chunk)))?;
+        let mut parts = reply.split_whitespace();
+        let count = parse_u64(parts.next())?;
+        let ends: Vec<u64> = parts
+            .map(|p| parse_u64(Some(p)))
+            .collect::<io::Result<Vec<u64>>>()?;
+        if ends.len() as u64 != count {
+            return Err(io::Error::other("push reply count mismatch"));
+        }
+        Ok(ends)
+    }
+
+    /// Hot-swaps the stream onto a new pattern set; returns the new
+    /// generation.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or the daemon's `ERR` reply.
+    pub fn swap(&mut self, id: u64, patterns: &[&str]) -> io::Result<u64> {
+        let mut request = format!("SWAP {id}");
+        for pattern in patterns {
+            request.push(' ');
+            request.push_str(&wire::hex_encode(pattern.as_bytes()));
+        }
+        parse_u64(Some(&self.round_trip(&request)?))
+    }
+
+    /// Closes the stream; returns `(bytes consumed, match count)`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or the daemon's `ERR` reply.
+    pub fn close(&mut self, id: u64) -> io::Result<(u64, u64)> {
+        let reply = self.round_trip(&format!("CLOSE {id}"))?;
+        let mut parts = reply.split_whitespace();
+        Ok((parse_u64(parts.next())?, parse_u64(parts.next())?))
+    }
+
+    /// Fetches the service counters as a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or the daemon's `ERR` reply.
+    pub fn stats(&mut self) -> io::Result<String> {
+        self.round_trip("STATS")
+    }
+
+    /// Asks the daemon to exit cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or the daemon's `ERR` reply.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        self.round_trip("SHUTDOWN").map(|_| ())
+    }
+}
+
+fn parse_u64(token: Option<&str>) -> io::Result<u64> {
+    token
+        .ok_or_else(|| io::Error::other("truncated daemon reply"))?
+        .parse::<u64>()
+        .map_err(|_| io::Error::other("malformed daemon reply"))
+}

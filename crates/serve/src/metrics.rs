@@ -1,0 +1,191 @@
+//! Service-level counters: what the daemon did *around* the scans.
+//!
+//! Per-scan performance lives in [`bitgen_exec::Metrics`] (each stream
+//! accumulates its own record through its checkpoints). This module
+//! counts the serving layer itself — cache effectiveness, admission
+//! control, queue wait — the numbers an operator watches to size the
+//! pool and the budgets.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A point-in-time snapshot of the service counters, taken with
+/// [`crate::ScanService::metrics`]. All counters are totals since the
+/// service started.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeMetrics {
+    /// Admissions served by an already-compiled engine from the
+    /// pattern cache — the second tenant submitting a pattern set pays
+    /// no compile time.
+    pub cache_hits: u64,
+    /// Admissions that had to compile their pattern set. Equals the
+    /// number of engines ever built by the service (plus hot-swap
+    /// compiles, which are counted in [`ServeMetrics::hot_swaps`], not
+    /// here).
+    pub cache_misses: u64,
+    /// Engines dropped from the cache to respect its capacity bound.
+    /// Streams already holding the engine keep it alive (shared
+    /// ownership); eviction only forgets it for *future* admissions.
+    pub cache_evictions: u64,
+    /// Streams admitted, over all tenants.
+    pub streams_opened: u64,
+    /// Streams closed (explicitly or by a client connection ending).
+    pub streams_closed: u64,
+    /// Admissions refused with [`bitgen::Error::Overloaded`] — the
+    /// tenant was at its open-stream budget.
+    pub rejected_admissions: u64,
+    /// Pushes refused with [`bitgen::Error::Overloaded`] — the shared
+    /// queue or the tenant's queue slice was full. Nothing was
+    /// buffered; the stream state is untouched.
+    pub rejected_pushes: u64,
+    /// Pushes that ran to a committed chunk boundary.
+    pub pushes_completed: u64,
+    /// Pushes that ran but failed (cancelled, deadline, exhausted
+    /// retries). The stream stays at its previous boundary — the
+    /// per-push resume discards the failed attempt — so these are
+    /// retryable, not fatal.
+    pub pushes_failed: u64,
+    /// Total seconds pushes spent queued before a worker picked them
+    /// up. Divide by [`ServeMetrics::pushes_completed`] +
+    /// [`ServeMetrics::pushes_failed`] for the mean wait.
+    pub queue_wait_seconds: f64,
+    /// Longest single queue wait observed, in seconds.
+    pub queue_wait_max_seconds: f64,
+    /// Rule-set generations hot-swapped onto live streams through the
+    /// service.
+    pub hot_swaps: u64,
+    /// Bytes pushed through committed scans, over all streams.
+    pub bytes_scanned: u64,
+    /// Match ends reported, over all streams.
+    pub match_count: u64,
+}
+
+impl ServeMetrics {
+    /// Renders the snapshot as one flat JSON object with a stable key
+    /// order — same contract as [`bitgen_exec::Metrics::to_json`], so
+    /// the same tooling can diff both.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(384);
+        s.push('{');
+        let field = |s: &mut String, key: &str, value: &str| {
+            if s.len() > 1 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{key}\":{value}");
+        };
+        field(&mut s, "cache_hits", &self.cache_hits.to_string());
+        field(&mut s, "cache_misses", &self.cache_misses.to_string());
+        field(&mut s, "cache_evictions", &self.cache_evictions.to_string());
+        field(&mut s, "streams_opened", &self.streams_opened.to_string());
+        field(&mut s, "streams_closed", &self.streams_closed.to_string());
+        field(&mut s, "rejected_admissions", &self.rejected_admissions.to_string());
+        field(&mut s, "rejected_pushes", &self.rejected_pushes.to_string());
+        field(&mut s, "pushes_completed", &self.pushes_completed.to_string());
+        field(&mut s, "pushes_failed", &self.pushes_failed.to_string());
+        field(&mut s, "queue_wait_seconds", &json_f64(self.queue_wait_seconds));
+        field(&mut s, "queue_wait_max_seconds", &json_f64(self.queue_wait_max_seconds));
+        field(&mut s, "hot_swaps", &self.hot_swaps.to_string());
+        field(&mut s, "bytes_scanned", &self.bytes_scanned.to_string());
+        field(&mut s, "match_count", &self.match_count.to_string());
+        s.push('}');
+        s
+    }
+}
+
+/// Finite-safe JSON float rendering (JSON has no NaN/Inf literals).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        if s.contains('.') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// The live counter cells the service threads bump. Lock-free: every
+/// cell is an atomic, so workers never serialise on a metrics mutex.
+/// Queue waits are accumulated in nanoseconds to stay integral.
+#[derive(Debug, Default)]
+pub(crate) struct MetricCells {
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    pub cache_evictions: AtomicU64,
+    pub streams_opened: AtomicU64,
+    pub streams_closed: AtomicU64,
+    pub rejected_admissions: AtomicU64,
+    pub rejected_pushes: AtomicU64,
+    pub pushes_completed: AtomicU64,
+    pub pushes_failed: AtomicU64,
+    pub queue_wait_nanos: AtomicU64,
+    pub queue_wait_max_nanos: AtomicU64,
+    pub hot_swaps: AtomicU64,
+    pub bytes_scanned: AtomicU64,
+    pub match_count: AtomicU64,
+}
+
+impl MetricCells {
+    /// Records one request's time-in-queue.
+    pub fn note_queue_wait(&self, waited: Duration) {
+        let nanos = u64::try_from(waited.as_nanos()).unwrap_or(u64::MAX);
+        self.queue_wait_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.queue_wait_max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Snapshots every cell into the public record.
+    pub fn snapshot(&self) -> ServeMetrics {
+        let get = |cell: &AtomicU64| cell.load(Ordering::Relaxed);
+        ServeMetrics {
+            cache_hits: get(&self.cache_hits),
+            cache_misses: get(&self.cache_misses),
+            cache_evictions: get(&self.cache_evictions),
+            streams_opened: get(&self.streams_opened),
+            streams_closed: get(&self.streams_closed),
+            rejected_admissions: get(&self.rejected_admissions),
+            rejected_pushes: get(&self.rejected_pushes),
+            pushes_completed: get(&self.pushes_completed),
+            pushes_failed: get(&self.pushes_failed),
+            queue_wait_seconds: get(&self.queue_wait_nanos) as f64 / 1e9,
+            queue_wait_max_seconds: get(&self.queue_wait_max_nanos) as f64 / 1e9,
+            hot_swaps: get(&self.hot_swaps),
+            bytes_scanned: get(&self.bytes_scanned),
+            match_count: get(&self.match_count),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_json_are_flat_and_stable() {
+        let cells = MetricCells::default();
+        cells.cache_hits.store(3, Ordering::Relaxed);
+        cells.cache_misses.store(1, Ordering::Relaxed);
+        cells.note_queue_wait(Duration::from_millis(2));
+        cells.note_queue_wait(Duration::from_millis(5));
+        let snap = cells.snapshot();
+        assert_eq!(snap.cache_hits, 3);
+        assert_eq!(snap.cache_misses, 1);
+        assert!((snap.queue_wait_seconds - 0.007).abs() < 1e-9);
+        assert!((snap.queue_wait_max_seconds - 0.005).abs() < 1e-9);
+        let j = snap.to_json();
+        assert!(j.starts_with("{\"cache_hits\":3,"));
+        assert!(j.contains("\"queue_wait_max_seconds\":0.005"));
+        assert!(j.ends_with('}'));
+        // Flat schema, like the exec Metrics record.
+        assert_eq!(j.matches('{').count(), 1);
+    }
+
+    #[test]
+    fn json_floats_stay_parseable() {
+        assert_eq!(json_f64(0.25), "0.25");
+        assert_eq!(json_f64(1.0), "1.0");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+}

@@ -1,0 +1,667 @@
+//! The multi-tenant scan service: N client streams multiplexed over a
+//! bounded worker pool, sharing compiled engines through the pattern
+//! cache.
+//!
+//! # How a stream lives here
+//!
+//! A served stream is exactly two values: an `Arc<BitGen>` (shared with
+//! every other stream on the same rule set) and the
+//! [`StreamCheckpoint`] of its last committed chunk boundary. Every
+//! push job *resumes* the checkpoint, pushes one chunk, and stores the
+//! new checkpoint — workers are stateless, so any worker can run any
+//! stream's next chunk. "Checkpoint migration between workers" is not
+//! an event the service handles; it is the only thing the service ever
+//! does. Bit-identity with a standalone [`bitgen::StreamScanner`] falls
+//! out of the checkpoint contract, which the core test suite pins.
+//!
+//! A useful corollary: a *failed* push (cancelled, deadline overrun,
+//! exhausted retries) discards its scanner, so the stream simply stays
+//! at its previous boundary — the daemon never holds a poisoned
+//! scanner, and the client can retry the same bytes.
+//!
+//! # Admission, fairness, backpressure
+//!
+//! Tenants get budgets ([`TenantBudget`]): open-stream caps checked at
+//! admission, a queue slice, and an optional per-push deadline. Pushes
+//! flow through one bounded [`FairQueue`](crate::queue) that serves
+//! tenants round-robin; when a bound is hit, the request is rejected
+//! with [`Error::Overloaded`] — typed backpressure, never unbounded
+//! buffering.
+//!
+//! Pushes on one stream are serialised by the blocking API (a caller
+//! gets its result before it can send the next chunk). Two threads
+//! pushing the same stream concurrently are applied in queue order,
+//! each transactionally — the same contract as two writers on one
+//! socket.
+
+use crate::cache::{cache_key, PatternCache};
+use crate::metrics::{MetricCells, ServeMetrics};
+use crate::queue::FairQueue;
+use bitgen::{BitGen, CancelToken, EngineConfig, Error, RetryPolicy, StreamCheckpoint};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, SyncSender};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Handle for one admitted stream; unique for the service's lifetime.
+pub type StreamId = u64;
+
+/// Per-tenant serving limits. The default is permissive; tighten per
+/// tenant with [`ScanService::set_tenant_budget`].
+#[derive(Debug, Clone)]
+pub struct TenantBudget {
+    /// Open streams the tenant may hold at once; the excess admission
+    /// is rejected with [`Error::Overloaded`].
+    pub max_streams: usize,
+    /// The tenant's slice of the shared push queue; pushes beyond it
+    /// are rejected with [`Error::Overloaded`] even when the shared
+    /// queue has room.
+    pub max_queued: usize,
+    /// Wall-clock budget for each push ([`bitgen::StreamScanner::set_timeout`]);
+    /// an overrun rolls the push back and surfaces
+    /// [`bitgen_exec::ExecError::DeadlineExceeded`]. Applied to streams
+    /// opened after the budget is set; override a live stream with
+    /// [`ScanService::set_stream_deadline`].
+    pub deadline: Option<Duration>,
+}
+
+impl Default for TenantBudget {
+    fn default() -> TenantBudget {
+        TenantBudget { max_streams: 64, max_queued: 64, deadline: None }
+    }
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Engine configuration (including the serving
+    /// [`bitgen::CompileLimits`]) every cached compile runs under. Part
+    /// of the cache key: tenants share an engine only when the whole
+    /// config agrees.
+    pub engine: EngineConfig,
+    /// Worker threads draining the push queue; `0` means one per
+    /// available hardware thread.
+    pub workers: usize,
+    /// Shared bound on queued pushes across all tenants.
+    pub queue_capacity: usize,
+    /// Compiled engines the cache retains (LRU beyond it).
+    pub cache_capacity: usize,
+    /// Fault response applied to every served push.
+    pub retry: RetryPolicy,
+    /// Budget for tenants without an explicit one.
+    pub default_budget: TenantBudget,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            engine: EngineConfig::default(),
+            workers: 2,
+            queue_capacity: 256,
+            cache_capacity: 32,
+            retry: RetryPolicy::resilient(),
+            default_budget: TenantBudget::default(),
+        }
+    }
+}
+
+/// What [`ScanService::open_stream`] reports back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Admission {
+    /// Handle for the new stream.
+    pub stream: StreamId,
+    /// `true` when the pattern set was already compiled — the tenant
+    /// shares the cached engine and paid no compile time.
+    pub cache_hit: bool,
+    /// Rule-set generation the stream starts at.
+    pub generation: u64,
+    /// Streaming fingerprint of the serving engine
+    /// ([`BitGen::stream_fingerprint`]).
+    pub fingerprint: u64,
+}
+
+/// Final accounting returned by [`ScanService::close_stream`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Total bytes the stream scanned.
+    pub consumed: u64,
+    /// Total match ends the stream reported.
+    pub match_count: u64,
+    /// Rule-set generation the stream ended on.
+    pub generation: u64,
+}
+
+/// Failures of service operations, separating scan-layer errors from
+/// the service's own bookkeeping.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The underlying engine failed — compile, execution, checkpoint,
+    /// or a typed [`Error::Overloaded`] rejection from admission
+    /// control or the push queue.
+    Scan(Error),
+    /// No stream with this id is open (never admitted, or closed).
+    UnknownStream(StreamId),
+    /// The service shut down while the request was in flight.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Scan(e) => write!(f, "{e}"),
+            ServeError::UnknownStream(id) => write!(f, "unknown stream id {id}"),
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Scan(e) => Some(e),
+            ServeError::UnknownStream(_) | ServeError::ShuttingDown => None,
+        }
+    }
+}
+
+impl From<Error> for ServeError {
+    fn from(e: Error) -> ServeError {
+        ServeError::Scan(e)
+    }
+}
+
+/// One live stream: who owns it, how to interrupt it, and its state.
+#[derive(Debug)]
+struct StreamSlot {
+    tenant: String,
+    /// Per-push wall budget; replaceable while the stream is live.
+    deadline: Mutex<Option<Duration>>,
+    /// Cancellation for the in-flight (or next) push; replaced by
+    /// [`ScanService::reset_cancel`] since a fired token stays fired.
+    cancel: Mutex<CancelToken>,
+    /// The stream proper. Held for the whole of a push, so pushes on
+    /// one stream serialise and a hot swap is atomic against them.
+    state: Mutex<StreamState>,
+}
+
+#[derive(Debug)]
+struct StreamState {
+    engine: Arc<BitGen>,
+    checkpoint: StreamCheckpoint,
+}
+
+/// A queued push and the channel its caller is blocked on.
+#[derive(Debug)]
+struct Job {
+    slot: Arc<StreamSlot>,
+    chunk: Vec<u8>,
+    accepted: Instant,
+    reply: SyncSender<Result<Vec<u64>, Error>>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    config: ServeConfig,
+    cache: Mutex<PatternCache>,
+    streams: Mutex<HashMap<StreamId, Arc<StreamSlot>>>,
+    budgets: Mutex<HashMap<String, TenantBudget>>,
+    queue: FairQueue<Job>,
+    metrics: MetricCells,
+    next_id: AtomicU64,
+}
+
+/// Non-panicking lock acquisition: a worker that panicked mid-push
+/// abandons its scanner, but the slot's checkpoint (written only after
+/// success) is still the last committed boundary, so the state behind a
+/// poisoned mutex is valid by construction.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl Inner {
+    fn budget_for(&self, tenant: &str) -> TenantBudget {
+        lock(&self.budgets)
+            .get(tenant)
+            .cloned()
+            .unwrap_or_else(|| self.config.default_budget.clone())
+    }
+
+    fn note_cache_outcome(&self, hit: bool, evicted: u64) {
+        if hit {
+            self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        self.metrics.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Fetches or compiles the engine for `(patterns, generation)`
+    /// under the serving config, updating the cache counters.
+    fn engine_for(
+        &self,
+        patterns: &[&str],
+        generation: u64,
+    ) -> Result<(Arc<BitGen>, bool), Error> {
+        let key = cache_key(&self.config.engine, generation, patterns);
+        let (engine, hit, evicted) = lock(&self.cache).get_or_compile(key, || {
+            BitGen::compile_with(patterns, self.config.engine.clone())
+        })?;
+        self.note_cache_outcome(hit, evicted);
+        Ok((engine, hit))
+    }
+
+    /// The worker body: resume at the last boundary, push, commit the
+    /// new boundary. Failures leave the checkpoint untouched.
+    fn run_push(&self, slot: &StreamSlot, chunk: &[u8]) -> Result<Vec<u64>, Error> {
+        let mut state = lock(&slot.state);
+        let engine = state.engine.clone();
+        let mut scanner = engine.resume(&state.checkpoint)?;
+        scanner.set_retry_policy(self.config.retry);
+        scanner.set_cancel_token(lock(&slot.cancel).clone());
+        scanner.set_timeout(*lock(&slot.deadline));
+        let ends = scanner.push(chunk)?;
+        state.checkpoint = scanner.checkpoint();
+        Ok(ends)
+    }
+
+    fn worker_loop(&self) {
+        while let Some(job) = self.queue.dequeue() {
+            self.metrics.note_queue_wait(job.accepted.elapsed());
+            let result = self.run_push(&job.slot, &job.chunk);
+            match &result {
+                Ok(ends) => {
+                    self.metrics.pushes_completed.fetch_add(1, Ordering::Relaxed);
+                    self.metrics
+                        .bytes_scanned
+                        .fetch_add(job.chunk.len() as u64, Ordering::Relaxed);
+                    self.metrics.match_count.fetch_add(ends.len() as u64, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    self.metrics.pushes_failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // A vanished caller (disconnected client) is not an error;
+            // the push already committed or rolled back.
+            let _ = job.reply.send(result);
+        }
+    }
+}
+
+/// The service: construct with [`ScanService::start`], share by
+/// reference (all methods take `&self`), stop with
+/// [`ScanService::shutdown`] (also run on drop).
+#[derive(Debug)]
+pub struct ScanService {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ScanService {
+    /// Starts the worker pool and returns the running service.
+    pub fn start(config: ServeConfig) -> ScanService {
+        let worker_count = if config.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2)
+        } else {
+            config.workers
+        };
+        let inner = Arc::new(Inner {
+            cache: Mutex::new(PatternCache::new(config.cache_capacity)),
+            streams: Mutex::new(HashMap::new()),
+            budgets: Mutex::new(HashMap::new()),
+            queue: FairQueue::new(config.queue_capacity),
+            metrics: MetricCells::default(),
+            next_id: AtomicU64::new(0),
+            config,
+        });
+        let workers = (0..worker_count)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || inner.worker_loop())
+            })
+            .collect();
+        ScanService { inner, workers: Mutex::new(workers) }
+    }
+
+    /// Sets `tenant`'s budget. Applies to subsequent admissions and
+    /// queue checks; live streams keep the deadline they were opened
+    /// with (see [`ScanService::set_stream_deadline`]).
+    pub fn set_tenant_budget(&self, tenant: &str, budget: TenantBudget) {
+        lock(&self.inner.budgets).insert(tenant.to_string(), budget);
+    }
+
+    /// Admits a new stream for `tenant` on `patterns`, compiling them
+    /// only if no cached engine exists for the exact (patterns, config,
+    /// generation 0) key.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Overloaded`] (wrapped in [`ServeError::Scan`]) when the
+    /// tenant is at its open-stream budget; compile errors when the
+    /// pattern set is new and does not compile.
+    pub fn open_stream(&self, tenant: &str, patterns: &[&str]) -> Result<Admission, ServeError> {
+        let (engine, hit) = self.inner.engine_for(patterns, 0)?;
+        let checkpoint = engine.streamer()?.checkpoint();
+        self.admit(tenant, engine, hit, checkpoint)
+    }
+
+    /// Admits a stream that continues from `checkpoint` — the
+    /// migration path for streams checkpointed on another worker,
+    /// another service instance, or disk. The engine comes from the
+    /// cache under the checkpoint's generation (hot-swapped generations
+    /// are published there by [`ScanService::swap_rules`]); a fresh
+    /// compile serves generation 0 only, so a post-swap checkpoint
+    /// without its engine cached is a typed
+    /// [`Error::GenerationMismatch`], never a silent cross-wire.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ScanService::open_stream`] returns, plus the
+    /// [`BitGen::resume`] validation errors (fingerprint, generation,
+    /// carry integrity).
+    pub fn adopt_stream(
+        &self,
+        tenant: &str,
+        patterns: &[&str],
+        checkpoint: StreamCheckpoint,
+    ) -> Result<Admission, ServeError> {
+        let (engine, hit) = self.inner.engine_for(patterns, checkpoint.generation())?;
+        // Validate now so a bad checkpoint is refused at admission, not
+        // on the first push.
+        engine.resume(&checkpoint)?;
+        self.admit(tenant, engine, hit, checkpoint)
+    }
+
+    fn admit(
+        &self,
+        tenant: &str,
+        engine: Arc<BitGen>,
+        cache_hit: bool,
+        checkpoint: StreamCheckpoint,
+    ) -> Result<Admission, ServeError> {
+        let budget = self.inner.budget_for(tenant);
+        let admission = Admission {
+            stream: self.inner.next_id.fetch_add(1, Ordering::Relaxed) + 1,
+            cache_hit,
+            generation: checkpoint.generation(),
+            fingerprint: engine.stream_fingerprint(),
+        };
+        let slot = Arc::new(StreamSlot {
+            tenant: tenant.to_string(),
+            deadline: Mutex::new(budget.deadline),
+            cancel: Mutex::new(CancelToken::new()),
+            state: Mutex::new(StreamState { engine, checkpoint }),
+        });
+        {
+            let mut streams = lock(&self.inner.streams);
+            let open = streams.values().filter(|s| s.tenant == tenant).count();
+            if open >= budget.max_streams.max(1) {
+                self.inner.metrics.rejected_admissions.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Scan(Error::Overloaded {
+                    reason: format!(
+                        "tenant {tenant:?} is at its budget of {} open streams",
+                        budget.max_streams
+                    ),
+                }));
+            }
+            streams.insert(admission.stream, slot);
+        }
+        self.inner.metrics.streams_opened.fetch_add(1, Ordering::Relaxed);
+        Ok(admission)
+    }
+
+    fn slot(&self, id: StreamId) -> Result<Arc<StreamSlot>, ServeError> {
+        lock(&self.inner.streams).get(&id).cloned().ok_or(ServeError::UnknownStream(id))
+    }
+
+    /// Scans the next chunk of stream `id`, blocking until a worker has
+    /// run it. Returns the global byte positions of matches ending in
+    /// the chunk — exactly what a standalone
+    /// [`bitgen::StreamScanner::push`] of the same bytes returns.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Overloaded`] when the shared queue or the tenant's
+    /// slice is full (nothing was buffered; retry later); otherwise the
+    /// push's own failure (cancelled, deadline, exhausted retries), in
+    /// which case the stream stays at its previous chunk boundary and
+    /// the same bytes can be re-pushed.
+    pub fn push_chunk(&self, id: StreamId, chunk: &[u8]) -> Result<Vec<u64>, ServeError> {
+        let slot = self.slot(id)?;
+        let budget = self.inner.budget_for(&slot.tenant);
+        let (reply, result) = mpsc::sync_channel(1);
+        let tenant = slot.tenant.clone();
+        let job = Job { slot, chunk: chunk.to_vec(), accepted: Instant::now(), reply };
+        if let Err(rejected) = self.inner.queue.enqueue(&tenant, job, budget.max_queued) {
+            self.inner.metrics.rejected_pushes.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Scan(rejected));
+        }
+        match result.recv() {
+            Ok(outcome) => outcome.map_err(ServeError::Scan),
+            Err(_) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Cancels the in-flight (or next) push on stream `id`; it rolls
+    /// back and returns [`bitgen_exec::ExecError::Cancelled`]. The
+    /// stream stays at its boundary — [`ScanService::reset_cancel`]
+    /// re-arms it for further pushes.
+    pub fn cancel_stream(&self, id: StreamId) -> Result<(), ServeError> {
+        lock(&self.slot(id)?.cancel).cancel();
+        Ok(())
+    }
+
+    /// Replaces a fired cancellation token so the stream can push
+    /// again.
+    pub fn reset_cancel(&self, id: StreamId) -> Result<(), ServeError> {
+        *lock(&self.slot(id)?.cancel) = CancelToken::new();
+        Ok(())
+    }
+
+    /// Overrides the per-push wall budget of live stream `id` (`None`
+    /// removes it).
+    pub fn set_stream_deadline(
+        &self,
+        id: StreamId,
+        deadline: Option<Duration>,
+    ) -> Result<(), ServeError> {
+        *lock(&self.slot(id)?.deadline) = deadline;
+        Ok(())
+    }
+
+    /// The stream's last committed chunk boundary — persist it, ship it
+    /// to another service instance, and [`ScanService::adopt_stream`]
+    /// it there.
+    pub fn checkpoint(&self, id: StreamId) -> Result<StreamCheckpoint, ServeError> {
+        let slot = self.slot(id)?;
+        let state = lock(&slot.state);
+        Ok(state.checkpoint.clone())
+    }
+
+    /// Hot-swaps stream `id` onto `patterns` at its current boundary
+    /// (the full two-phase protocol of [`bitgen::swap`]), then
+    /// publishes the new generation's engine in the cache so siblings
+    /// resuming post-swap checkpoints share it. Returns the new
+    /// generation. Atomic against concurrent pushes on the stream.
+    ///
+    /// # Errors
+    ///
+    /// Compile or limit errors from staging (the stream is untouched),
+    /// or resume/commit failures.
+    pub fn swap_rules(&self, id: StreamId, patterns: &[&str]) -> Result<u64, ServeError> {
+        let slot = self.slot(id)?;
+        let mut state = lock(&slot.state);
+        let engine = state.engine.clone();
+        let staged = engine.prepare_swap(patterns)?;
+        let generation = staged.generation();
+        let committed = {
+            let mut scanner = engine.resume(&state.checkpoint)?;
+            scanner.commit_swap(&staged)?;
+            scanner.checkpoint()
+        };
+        let swapped = Arc::new(staged.into_engine());
+        let key = cache_key(&self.inner.config.engine, generation, patterns);
+        let evicted = lock(&self.inner.cache).insert(key, Arc::clone(&swapped));
+        self.inner.metrics.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
+        self.inner.metrics.hot_swaps.fetch_add(1, Ordering::Relaxed);
+        state.checkpoint = committed;
+        state.engine = swapped;
+        Ok(generation)
+    }
+
+    /// Closes stream `id` and returns its final accounting. A push
+    /// already queued for the stream still completes (its caller gets
+    /// the result); new requests see
+    /// [`ServeError::UnknownStream`].
+    pub fn close_stream(&self, id: StreamId) -> Result<StreamStats, ServeError> {
+        let slot =
+            lock(&self.inner.streams).remove(&id).ok_or(ServeError::UnknownStream(id))?;
+        self.inner.metrics.streams_closed.fetch_add(1, Ordering::Relaxed);
+        let state = lock(&slot.state);
+        Ok(StreamStats {
+            consumed: state.checkpoint.consumed(),
+            match_count: state.checkpoint.match_count(),
+            generation: state.checkpoint.generation(),
+        })
+    }
+
+    /// Drops `patterns`' generation-0 engine from the cache (an
+    /// operator pulled a rule set). Live streams keep scanning — they
+    /// hold the engine — but future admissions recompile. Returns
+    /// `true` when an entry was actually dropped.
+    pub fn invalidate_patterns(&self, patterns: &[&str]) -> bool {
+        let key = cache_key(&self.inner.config.engine, 0, patterns);
+        lock(&self.inner.cache).invalidate(key)
+    }
+
+    /// Pre-compiles `patterns` into the cache without opening a stream
+    /// (daemon warm-up). Returns `true` when they were already cached.
+    ///
+    /// # Errors
+    ///
+    /// The compile failure, when the set is new and does not compile.
+    pub fn warm(&self, patterns: &[&str]) -> Result<bool, ServeError> {
+        Ok(self.inner.engine_for(patterns, 0)?.1)
+    }
+
+    /// Snapshot of the service counters.
+    pub fn metrics(&self) -> ServeMetrics {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Stops accepting work, drains pushes already accepted (their
+    /// callers get results), and joins the worker pool. Idempotent;
+    /// also run on drop.
+    pub fn shutdown(&self) {
+        self.inner.queue.close();
+        let handles: Vec<JoinHandle<()>> = lock(&self.workers).drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ScanService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn served_stream_matches_standalone_scanner() {
+        let service = ScanService::start(ServeConfig::default());
+        let admission = service.open_stream("acme", &["cat", "do+g"]).unwrap();
+        assert!(!admission.cache_hit);
+        let input = b"cat dooog catalog dog".as_slice();
+        let mut served = Vec::new();
+        for chunk in input.chunks(5) {
+            served.extend(service.push_chunk(admission.stream, chunk).unwrap());
+        }
+        let stats = service.close_stream(admission.stream).unwrap();
+        assert_eq!(stats.consumed, input.len() as u64);
+        assert_eq!(stats.match_count, served.len() as u64);
+
+        let engine = BitGen::compile(&["cat", "do+g"]).unwrap();
+        let mut scanner = engine.streamer().unwrap();
+        let mut standalone = Vec::new();
+        for chunk in input.chunks(5) {
+            standalone.extend(scanner.push(chunk).unwrap());
+        }
+        assert_eq!(served, standalone);
+    }
+
+    #[test]
+    fn second_tenant_shares_the_compiled_engine() {
+        let service = ScanService::start(ServeConfig::default());
+        let a = service.open_stream("alpha", &["ab+c"]).unwrap();
+        let b = service.open_stream("beta", &["ab+c"]).unwrap();
+        assert!(!a.cache_hit);
+        assert!(b.cache_hit, "identical pattern set must be a cache hit");
+        assert_eq!(a.fingerprint, b.fingerprint);
+        let m = service.metrics();
+        assert_eq!((m.cache_misses, m.cache_hits), (1, 1));
+        assert_eq!(m.streams_opened, 2);
+    }
+
+    #[test]
+    fn admission_control_rejects_typed_overload() {
+        let service = ScanService::start(ServeConfig::default());
+        service.set_tenant_budget(
+            "small",
+            TenantBudget { max_streams: 2, ..TenantBudget::default() },
+        );
+        service.open_stream("small", &["aa"]).unwrap();
+        service.open_stream("small", &["aa"]).unwrap();
+        let err = service.open_stream("small", &["aa"]).unwrap_err();
+        assert!(matches!(err, ServeError::Scan(Error::Overloaded { .. })), "{err}");
+        // Another tenant is unaffected; closing frees the budget.
+        let other = service.open_stream("large", &["aa"]).unwrap();
+        assert!(other.cache_hit);
+        assert_eq!(service.metrics().rejected_admissions, 1);
+    }
+
+    #[test]
+    fn unknown_streams_are_typed() {
+        let service = ScanService::start(ServeConfig::default());
+        assert!(matches!(service.push_chunk(7, b"x"), Err(ServeError::UnknownStream(7))));
+        assert!(matches!(service.close_stream(7), Err(ServeError::UnknownStream(7))));
+    }
+
+    #[test]
+    fn cancelled_push_rolls_back_and_stream_recovers() {
+        let service = ScanService::start(ServeConfig::default());
+        let admission = service.open_stream("acme", &["needle"]).unwrap();
+        service.cancel_stream(admission.stream).unwrap();
+        let err = service.push_chunk(admission.stream, b"needle in a haystack").unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Scan(Error::Exec(bitgen_exec::ExecError::Cancelled))
+        ));
+        // Nothing advanced; re-arm and re-push the same bytes.
+        service.reset_cancel(admission.stream).unwrap();
+        let ends = service.push_chunk(admission.stream, b"needle in a haystack").unwrap();
+        assert_eq!(ends, vec![5]);
+        let m = service.metrics();
+        assert_eq!((m.pushes_failed, m.pushes_completed), (1, 1));
+    }
+
+    #[test]
+    fn zero_deadline_trips_and_can_be_lifted() {
+        let service = ScanService::start(ServeConfig::default());
+        let admission = service.open_stream("acme", &["xy"]).unwrap();
+        service.set_stream_deadline(admission.stream, Some(Duration::ZERO)).unwrap();
+        let err = service.push_chunk(admission.stream, b"xyxy").unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Scan(Error::Exec(bitgen_exec::ExecError::DeadlineExceeded))
+        ));
+        service.set_stream_deadline(admission.stream, None).unwrap();
+        assert_eq!(service.push_chunk(admission.stream, b"xyxy").unwrap(), vec![1, 3]);
+    }
+}

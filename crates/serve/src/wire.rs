@@ -1,0 +1,205 @@
+//! The daemon's line protocol: one request per line, one `OK`/`ERR`
+//! reply per request, all binary operands (tenant names, patterns,
+//! chunk bytes) lowercase-hex-encoded so the framing never collides
+//! with payload bytes.
+//!
+//! Requests:
+//!
+//! | line | reply |
+//! |---|---|
+//! | `OPEN <tenant-hex> <pattern-hex>…` | `OK <id> HIT\|MISS` |
+//! | `PUSH <id> <chunk-hex>` | `OK <n> <end>…` |
+//! | `SWAP <id> <pattern-hex>…` | `OK <generation>` |
+//! | `CANCEL <id>` / `RESET <id>` | `OK` |
+//! | `CLOSE <id>` | `OK <consumed> <matches>` |
+//! | `STATS` | `OK <json>` |
+//! | `PING` | `OK` |
+//! | `SHUTDOWN` | `OK` (daemon then exits cleanly) |
+//!
+//! An empty hex operand is spelled `-` so every token is non-empty.
+//! Errors come back as `ERR <message>` with the message flattened onto
+//! one line.
+
+/// Lowercase hex encoding; the empty payload is `-`.
+pub fn hex_encode(bytes: &[u8]) -> String {
+    if bytes.is_empty() {
+        return "-".to_string();
+    }
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for byte in bytes {
+        const DIGITS: &[u8; 16] = b"0123456789abcdef";
+        out.push(DIGITS[usize::from(byte >> 4)] as char);
+        out.push(DIGITS[usize::from(byte & 0xf)] as char);
+    }
+    out
+}
+
+/// Inverse of [`hex_encode`]; `None` on odd length or a non-hex digit.
+pub fn hex_decode(text: &str) -> Option<Vec<u8>> {
+    if text == "-" {
+        return Some(Vec::new());
+    }
+    let digits = text.as_bytes();
+    if !digits.len().is_multiple_of(2) {
+        return None;
+    }
+    let nibble = |d: u8| -> Option<u8> {
+        match d {
+            b'0'..=b'9' => Some(d - b'0'),
+            b'a'..=b'f' => Some(d - b'a' + 10),
+            b'A'..=b'F' => Some(d - b'A' + 10),
+            _ => None,
+        }
+    };
+    digits
+        .chunks_exact(2)
+        .map(|pair| Some(nibble(pair[0])? << 4 | nibble(pair[1])?))
+        .collect()
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Admit a stream: tenant name plus the pattern set.
+    Open {
+        /// Tenant the stream belongs to.
+        tenant: String,
+        /// The pattern set, in submission order.
+        patterns: Vec<String>,
+    },
+    /// Scan the next chunk of a stream.
+    Push {
+        /// Stream handle from `OPEN`.
+        id: u64,
+        /// The chunk bytes.
+        chunk: Vec<u8>,
+    },
+    /// Hot-swap a live stream onto a new pattern set.
+    Swap {
+        /// Stream handle from `OPEN`.
+        id: u64,
+        /// The new pattern set.
+        patterns: Vec<String>,
+    },
+    /// Cancel the stream's in-flight (or next) push.
+    Cancel {
+        /// Stream handle from `OPEN`.
+        id: u64,
+    },
+    /// Re-arm a cancelled stream.
+    Reset {
+        /// Stream handle from `OPEN`.
+        id: u64,
+    },
+    /// Close a stream and fetch its final accounting.
+    Close {
+        /// Stream handle from `OPEN`.
+        id: u64,
+    },
+    /// Fetch the service counters as JSON.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Ask the daemon to exit cleanly.
+    Shutdown,
+}
+
+/// Parses one request line; `Err` carries the complaint for an `ERR`
+/// reply.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut tokens = line.split_whitespace();
+    let verb = tokens.next().ok_or_else(|| "empty request".to_string())?;
+    let rest: Vec<&str> = tokens.collect();
+    let text_operand = |token: &str, what: &str| -> Result<String, String> {
+        let bytes =
+            hex_decode(token).ok_or_else(|| format!("{what} is not hex: {token:?}"))?;
+        String::from_utf8(bytes).map_err(|_| format!("{what} is not UTF-8"))
+    };
+    let id_operand = |token: Option<&&str>| -> Result<u64, String> {
+        token
+            .ok_or_else(|| "missing stream id".to_string())?
+            .parse::<u64>()
+            .map_err(|_| format!("bad stream id: {:?}", token.copied().unwrap_or("")))
+    };
+    let patterns_operand = |tokens: &[&str]| -> Result<Vec<String>, String> {
+        if tokens.is_empty() {
+            return Err("at least one pattern is required".to_string());
+        }
+        tokens.iter().map(|t| text_operand(t, "pattern")).collect()
+    };
+    match verb {
+        "OPEN" => {
+            let tenant = text_operand(
+                rest.first().ok_or_else(|| "missing tenant".to_string())?,
+                "tenant",
+            )?;
+            Ok(Request::Open { tenant, patterns: patterns_operand(&rest[1..])? })
+        }
+        "PUSH" => {
+            let id = id_operand(rest.first())?;
+            let chunk = hex_decode(rest.get(1).copied().unwrap_or("-"))
+                .ok_or_else(|| "chunk is not hex".to_string())?;
+            Ok(Request::Push { id, chunk })
+        }
+        "SWAP" => {
+            let id = id_operand(rest.first())?;
+            Ok(Request::Swap { id, patterns: patterns_operand(&rest[1..])? })
+        }
+        "CANCEL" => Ok(Request::Cancel { id: id_operand(rest.first())? }),
+        "RESET" => Ok(Request::Reset { id: id_operand(rest.first())? }),
+        "CLOSE" => Ok(Request::Close { id: id_operand(rest.first())? }),
+        "STATS" => Ok(Request::Stats),
+        "PING" => Ok(Request::Ping),
+        "SHUTDOWN" => Ok(Request::Shutdown),
+        other => Err(format!("unknown request {other:?}")),
+    }
+}
+
+/// Flattens an error message onto one `ERR` line.
+pub fn err_line(message: &str) -> String {
+    format!("ERR {}", message.replace(['\n', '\r'], " "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trips_including_empty() {
+        assert_eq!(hex_encode(b""), "-");
+        assert_eq!(hex_decode("-"), Some(Vec::new()));
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(hex_decode(&hex_encode(&bytes)), Some(bytes));
+        assert_eq!(hex_decode("0g"), None);
+        assert_eq!(hex_decode("abc"), None);
+    }
+
+    #[test]
+    fn parses_the_full_verb_set() {
+        let open = format!("OPEN {} {} {}", hex_encode(b"acme"), hex_encode(b"a b"), hex_encode(b"c+"));
+        assert_eq!(
+            parse_request(&open).unwrap(),
+            Request::Open {
+                tenant: "acme".to_string(),
+                patterns: vec!["a b".to_string(), "c+".to_string()],
+            }
+        );
+        assert_eq!(
+            parse_request(&format!("PUSH 3 {}", hex_encode(b"xyz"))).unwrap(),
+            Request::Push { id: 3, chunk: b"xyz".to_vec() }
+        );
+        assert_eq!(parse_request("PUSH 3 -").unwrap(), Request::Push { id: 3, chunk: vec![] });
+        assert_eq!(parse_request("CLOSE 9").unwrap(), Request::Close { id: 9 });
+        assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert_eq!(parse_request("SHUTDOWN").unwrap(), Request::Shutdown);
+        // Every malformed shape is a complaint, not a panic.
+        for bad in ["", "OPEN", "OPEN zz", "PUSH x", "PUSH 1 0g", "NOPE 1", "SWAP 1"] {
+            assert!(parse_request(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn err_lines_stay_single_line() {
+        assert_eq!(err_line("multi\nline\rmsg"), "ERR multi line msg");
+    }
+}

@@ -190,6 +190,31 @@ proptest! {
     }
 }
 
+/// The systematic truncation sweep: every strict prefix of valid
+/// checkpoint bytes — the empty buffer, the bare magic, a header cut
+/// mid-scalar, a carry record cut mid-slot, the payload without its
+/// digest — is refused with [`Error::CheckpointInvalid`]. No prefix
+/// length panics, and only the full buffer parses. (The proptest above
+/// *can* reach these lengths; this pins all of them, every run.)
+#[test]
+fn every_truncation_length_is_rejected_typed() {
+    // A multi-group pattern set, so the serialized form has several
+    // carry records and the sweep crosses every record boundary.
+    let bytes = checkpoint_bytes(POOL, b"xxaa cat aabbccdxy. x aab abbc xaby");
+    for len in 0..bytes.len() {
+        match StreamCheckpoint::from_bytes(&bytes[..len]) {
+            Err(Error::CheckpointInvalid { .. }) => {}
+            Ok(_) => panic!(
+                "a {len}-byte prefix of a {}-byte checkpoint must not parse",
+                bytes.len()
+            ),
+            Err(other) => panic!("prefix of {len} bytes must fail typed, got {other:?}"),
+        }
+    }
+    let ckpt = StreamCheckpoint::from_bytes(&bytes).expect("the full buffer still parses");
+    assert_eq!(ckpt.to_bytes(), bytes);
+}
+
 /// Untouched bytes still round-trip (the fuzz property's `Ok` arm is
 /// reachable, not vacuous).
 #[test]

@@ -173,6 +173,54 @@ fn corrupted_swap_window_carry_rolls_back() {
     assert_eq!(ends, batch);
 }
 
+/// The double-fault accounting drill: one push takes BOTH a degrade
+/// (persistent panic on group 0, absorbed by the resilient policy's
+/// interpreter fallback) and a carry-validation failure on group 1 —
+/// which lands *after* group 0 already retried, degraded, and rotated
+/// inside the same push. The push fails as a unit, so the counters
+/// must show the swap rollback exactly once and the retry/degrade not
+/// at all: a failed push commits none of its local accounting, and the
+/// rollback is guarded against double-counting.
+#[test]
+fn degrade_and_rollback_on_one_push_count_once() {
+    quiet_injected_panics();
+    let engine = BitGen::compile(&["a+b", "cat"]).unwrap();
+    let staged = engine.prepare_swap(&["ab", "x[ab]{1,4}y"]).unwrap();
+    // Both fault sites live in the post-swap layout: the drill needs
+    // the *new* engine to run two groups in one push.
+    assert!(staged.engine().group_count() >= 2, "the drill needs two post-swap groups");
+    let input: Vec<u8> = b"cat aab ".repeat(8);
+    let batch = batch_ends(&engine, &input);
+    let mut scanner = engine.streamer().unwrap();
+    scanner.set_retry_policy(RetryPolicy::resilient());
+    let mut ends = scanner.push(&input[..32]).unwrap();
+    scanner.commit_swap(&staged).unwrap();
+    scanner.inject_fault(0, FaultPlan { kind: FaultKind::Panic, trigger: 1, seed: 11 }, u32::MAX);
+    scanner.corrupt_carry(1, 5);
+    let err = scanner.push(&input[32..48]).unwrap_err();
+    assert!(matches!(err, Error::CarryCorrupted { group: 1, .. }), "got {err:?}");
+
+    let m = scanner.metrics();
+    assert!(!scanner.is_poisoned());
+    assert_eq!(scanner.generation(), 0, "the rollback fell back to the old generation");
+    assert_eq!(m.swaps, 1);
+    assert_eq!(m.swap_rollbacks, 1, "the rollback counts exactly once");
+    assert_eq!(
+        (m.retries, m.degraded),
+        (0, 0),
+        "a failed push must discard the retries and degrades it attempted"
+    );
+    assert_eq!(scanner.consumed(), 32, "the failed push must not consume bytes");
+
+    // With the fault cleared, the stream finishes bit-identical to
+    // never having swapped, and the one rollback stays one.
+    scanner.clear_fault();
+    ends.extend(stream_rest(&mut scanner, &input[32..], &[16]));
+    assert_eq!(ends, batch);
+    assert_eq!(scanner.metrics().swap_rollbacks, 1);
+    assert_eq!(scanner.metrics().match_count, batch.len() as u64);
+}
+
 /// An interrupt in the swap window is not a failure: the push rolls
 /// back (as every interrupted push does) but the swap stays committed
 /// and pending, and the stream finishes under the new rules once
