@@ -127,6 +127,46 @@ target/release/bitgen-serve shutdown --socket "$SOCK"
 wait "$SERVE_PID" || { echo "serve smoke: daemon exited nonzero" >&2; exit 1; }
 trap 'rm -rf "$SWAPDIR" "$SERVEDIR"; rm -f "$CKPT"' EXIT
 
+# Crash-tolerance drills: the drain/adopt handoff soak (64 streams
+# stitched across a daemon restart, bit-identical to standalone scans)
+# and the seeded wire-fault sweep (torn/truncated/garbage/delayed
+# replies survived by the retrying client with exact accounting).
+cargo test -q -p bitgen-serve --test drain_soak
+
+# Cross-process drain→adopt drill: a daemon is drained mid-scan, its
+# durable streams checkpointed into a manifest, and a fresh daemon on
+# the same socket adopts them; the retrying client rides across the
+# restart and its positions must still equal `bitgrep --positions`.
+DRAINDIR="$(mktemp -d)"
+trap 'rm -rf "$SWAPDIR" "$SERVEDIR" "$DRAINDIR"; rm -f "$CKPT"' EXIT
+DSOCK="$DRAINDIR/drain.sock"
+DMANIFEST="$DRAINDIR/drain.manifest"
+printf 'cat dog aab cat xaby dooog aab xx %.0s' $(seq 1 4096) > "$DRAINDIR/input.bin"
+target/release/bitgrep --serve "$DSOCK" --drain-manifest "$DMANIFEST" 2>/dev/null &
+DRAIN_PID=$!
+for _ in $(seq 1 100); do [ -S "$DSOCK" ] && break; sleep 0.05; done
+[ -S "$DSOCK" ] || { echo "drain drill: daemon never bound $DSOCK" >&2; exit 1; }
+target/release/bitgen-serve scan --socket "$DSOCK" --retry --tenant mover \
+  --chunk 96 -e 'cat' -e 'do+g' "$DRAINDIR/input.bin" > "$DRAINDIR/got" 2>/dev/null &
+SCAN_PID=$!
+sleep 0.2
+target/release/bitgen-serve drain --socket "$DSOCK" 2>/dev/null || true
+wait "$DRAIN_PID" || { echo "drain drill: drained daemon exited nonzero" >&2; exit 1; }
+# Restart on the same socket and manifest: durable streams are adopted
+# and the in-flight client resumes from its last acked offset.
+target/release/bitgrep --serve "$DSOCK" --drain-manifest "$DMANIFEST" 2>/dev/null &
+DRAIN_PID=$!
+trap 'kill "$DRAIN_PID" 2>/dev/null || true; rm -rf "$SWAPDIR" "$SERVEDIR" "$DRAINDIR"; rm -f "$CKPT"' EXIT
+wait "$SCAN_PID" || { echo "drain drill: the retrying client failed" >&2; exit 1; }
+target/release/bitgrep -e 'cat' -e 'do+g' --positions "$DRAINDIR/input.bin" > "$DRAINDIR/want"
+if ! cmp -s "$DRAINDIR/got" "$DRAINDIR/want"; then
+  echo "drain drill: positions drifted across the restart" >&2
+  exit 1
+fi
+target/release/bitgen-serve shutdown --socket "$DSOCK" 2>/dev/null
+wait "$DRAIN_PID" || { echo "drain drill: successor daemon exited nonzero" >&2; exit 1; }
+trap 'rm -rf "$SWAPDIR" "$SERVEDIR" "$DRAINDIR"; rm -f "$CKPT"' EXIT
+
 # Compile-pipeline bench smoke: one abbreviated run so a pathological
 # compile-time regression fails CI instead of only slowing nightly
 # benches. (The bench binary itself keeps sample counts low.)

@@ -110,6 +110,23 @@ pub enum Error {
         /// Which bound the request hit.
         reason: String,
     },
+    /// A serving layer is draining: it has stopped admitting new streams
+    /// and new pushes while it finishes in-flight work and checkpoints
+    /// every open stream for adoption elsewhere. No stream state changed
+    /// — retry against the successor instance (or the same one after it
+    /// restarts and adopts the drain manifest).
+    Draining,
+    /// A wire frame exceeded the transport's configured bound. The peer
+    /// sent more bytes in one frame than the daemon is willing to
+    /// buffer; the frame was discarded unread (bounded memory, never
+    /// unbounded buffering) and the connection is no longer in sync.
+    FrameTooLarge {
+        /// The configured maximum frame length in bytes.
+        limit: usize,
+        /// How many bytes had arrived when the bound tripped (the frame
+        /// was still unterminated, so the true length is at least this).
+        length: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -147,6 +164,15 @@ impl fmt::Display for Error {
             Error::Overloaded { reason } => {
                 write!(f, "service overloaded, request rejected: {reason}")
             }
+            Error::Draining => write!(
+                f,
+                "service is draining: in-flight streams are being checkpointed \
+                 for adoption; retry against the successor instance"
+            ),
+            Error::FrameTooLarge { limit, length } => write!(
+                f,
+                "wire frame too large: {length} bytes exceed the {limit}-byte bound"
+            ),
         }
     }
 }
@@ -164,7 +190,9 @@ impl std::error::Error for Error {
             | Error::CheckpointMismatch { .. }
             | Error::GenerationMismatch { .. }
             | Error::SwapMismatch { .. }
-            | Error::Overloaded { .. } => None,
+            | Error::Overloaded { .. }
+            | Error::Draining
+            | Error::FrameTooLarge { .. } => None,
         }
     }
 }
@@ -202,5 +230,17 @@ mod tests {
         let exec = Error::from(bitgen_exec::ExecError::Cancelled);
         assert!(exec.to_string().contains("execution error"));
         assert!(exec.source().is_some());
+    }
+
+    #[test]
+    fn serving_lifecycle_errors_display_their_shape() {
+        let draining = Error::Draining;
+        assert!(draining.to_string().contains("draining"));
+        assert!(draining.source().is_none());
+
+        let frame = Error::FrameTooLarge { limit: 1024, length: 1025 };
+        let text = frame.to_string();
+        assert!(text.contains("1024") && text.contains("1025"), "{text}");
+        assert!(frame.source().is_none());
     }
 }

@@ -62,7 +62,7 @@
 //! # Ok::<(), bitgen::Error>(())
 //! ```
 
-use crate::engine::BitGen;
+use crate::engine::{BitGen, EngineConfig};
 use crate::error::Error;
 
 /// A compiled rule-set generation staged for a hot swap — the output of
@@ -109,6 +109,40 @@ impl BitGen {
             parent_fingerprint: self.stream_fingerprint(),
             parent_generation: self.generation,
         })
+    }
+
+    /// Rebuilds the engine for a post-swap checkpoint from its pattern
+    /// lineage: `lineage[0]` is the generation-0 rule set, each later
+    /// entry the patterns a subsequent hot swap installed. The chain is
+    /// replayed — compile generation 0, then [`BitGen::prepare_swap`]
+    /// each successor — so the returned engine sits at generation
+    /// `lineage.len() - 1` with the exact fingerprint/generation pair a
+    /// checkpoint taken after those swaps records.
+    ///
+    /// This is the adoption path for checkpoints that outlive the
+    /// process that made them (drain manifests, disk handoff): a fresh
+    /// host has no staged generations to share, but the lineage is
+    /// enough to reconstruct one bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::CheckpointInvalid`] on an empty lineage; otherwise
+    /// whatever compiling any generation in the chain returns
+    /// ([`Error::Compile`], [`Error::LimitExceeded`]).
+    pub fn compile_lineage(
+        lineage: &[Vec<String>],
+        config: EngineConfig,
+    ) -> Result<BitGen, Error> {
+        let base = lineage.first().ok_or_else(|| Error::CheckpointInvalid {
+            reason: "pattern lineage is empty; nothing to compile".to_string(),
+        })?;
+        let refs: Vec<&str> = base.iter().map(String::as_str).collect();
+        let mut engine = BitGen::compile_with(&refs, config)?;
+        for patterns in &lineage[1..] {
+            let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
+            engine = engine.prepare_swap(&refs)?.into_engine();
+        }
+        Ok(engine)
     }
 }
 
@@ -202,6 +236,44 @@ mod tests {
         assert!(matches!(
             tight.prepare_swap(&["a[0-9]{3,8}z(qq|rr)+"]),
             Err(Error::LimitExceeded(_))
+        ));
+    }
+
+    #[test]
+    fn lineage_replay_resumes_post_swap_checkpoints_bit_identically() {
+        // Live timeline: gen 0 scans, swaps to gen 1, scans, checkpoints.
+        let base = BitGen::compile(&["cat"]).unwrap();
+        let staged = base.prepare_swap(&["dog", "a+b"]).unwrap();
+        let mut scanner = base.streamer().unwrap();
+        let mut ends = scanner.push(b"cat dog ").unwrap();
+        scanner.commit_swap(&staged).unwrap();
+        ends.extend(scanner.push(b"cat dog aab ").unwrap());
+        let checkpoint = scanner.checkpoint();
+
+        // A fresh host rebuilds the generation-1 engine from the lineage
+        // alone and continues the stream bit-identically.
+        let lineage = vec![vec!["cat".to_string()], vec!["dog".to_string(), "a+b".to_string()]];
+        let rebuilt =
+            BitGen::compile_lineage(&lineage, crate::EngineConfig::default()).unwrap();
+        assert_eq!(rebuilt.generation(), 1);
+        assert_eq!(rebuilt.stream_fingerprint(), staged.engine().stream_fingerprint());
+        let mut resumed = rebuilt.resume(&checkpoint).unwrap();
+        ends.extend(resumed.push(b"dog aab cat ").unwrap());
+
+        // Ground truth: one uninterrupted scan with the same swap point.
+        let truth_engine = BitGen::compile(&["cat"]).unwrap();
+        let truth_staged = truth_engine.prepare_swap(&["dog", "a+b"]).unwrap();
+        let mut truth = truth_engine.streamer().unwrap();
+        let mut want = truth.push(b"cat dog ").unwrap();
+        truth.commit_swap(&truth_staged).unwrap();
+        want.extend(truth.push(b"cat dog aab ").unwrap());
+        want.extend(truth.push(b"dog aab cat ").unwrap());
+        assert_eq!(ends, want);
+
+        // An empty lineage is a typed refusal, not a panic.
+        assert!(matches!(
+            BitGen::compile_lineage(&[], crate::EngineConfig::default()),
+            Err(Error::CheckpointInvalid { .. })
         ));
     }
 

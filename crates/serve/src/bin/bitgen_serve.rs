@@ -1,39 +1,79 @@
 //! `bitgen-serve` — the scan daemon and its command-line client.
 //!
 //! ```text
-//! bitgen-serve serve --socket PATH [--workers N] [--queue N] [--cache N]
+//! bitgen-serve serve (--socket PATH | --tcp ADDR) [--workers N] [--queue N]
+//!                    [--cache N] [--drain-manifest FILE] [--drain-deadline SECS]
 //!                    [-e PATTERN ...] [-f FILE]
-//!     Run the daemon until a client sends SHUTDOWN; -e/-f patterns
-//!     pre-warm the compiled-pattern cache. Exits 0 on clean shutdown.
+//!     Run the daemon; -e/-f patterns pre-warm the compiled-pattern
+//!     cache. SIGTERM/SIGINT (and the DRAIN wire verb) trigger a
+//!     graceful drain: in-flight pushes finish, every durable stream is
+//!     checkpointed into --drain-manifest, and a restart with the same
+//!     flags adopts them all. Exits 0 on clean shutdown or clean drain,
+//!     3 when the drain deadline forced in-flight pushes to cancel,
+//!     2 on startup/socket errors.
 //!
-//! bitgen-serve scan --socket PATH [--tenant NAME] (-e PATTERN ... | -f FILE)
-//!                   [--chunk N] [FILE]
+//! bitgen-serve scan (--socket PATH | --tcp ADDR) [--tenant NAME]
+//!                   (-e PATTERN ... | -f FILE) [--chunk N] [--retry] [FILE]
 //!     Open a stream, push FILE (or stdin) through it in chunks, print
 //!     match-end byte offsets one per line (the same output as
-//!     `bitgrep --positions`). Prints `cache: hit|miss` and the final
-//!     totals to stderr. Exit 0 matches found, 1 none, 2 I/O or
-//!     daemon-reported error.
+//!     `bitgrep --positions`). With --retry the stream is durable and
+//!     pushes survive daemon restarts: the client reconnects with
+//!     backoff and resumes idempotently from its last acked offset.
+//!     Exit 0 matches found, 1 none, 2 I/O or daemon-reported error.
 //!
-//! bitgen-serve stats --socket PATH
+//! bitgen-serve stats (--socket PATH | --tcp ADDR)
 //!     Print the daemon's service counters as one JSON object.
 //!
-//! bitgen-serve shutdown --socket PATH
-//!     Ask the daemon to exit cleanly.
+//! bitgen-serve drain (--socket PATH | --tcp ADDR)
+//!     Ask the daemon to drain (checkpoint durable streams and exit).
+//!
+//! bitgen-serve shutdown (--socket PATH | --tcp ADDR)
+//!     Ask the daemon to exit cleanly without draining.
 //! ```
 
-use bitgen_serve::{Client, ScanService, ServeConfig};
+use bitgen_serve::{Client, DaemonConfig, RetryConfig, ScanService, ServeConfig, ServeOutcome};
 use std::io::Read as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Set by the signal handler, polled by the daemon's accept loop.
+static DRAIN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_drain_signal(_signum: i32) {
+    // Only async-signal-safe work here: one atomic store.
+    DRAIN_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Routes `SIGTERM` and `SIGINT` into [`DRAIN_REQUESTED`] so an
+/// orchestrator's stop becomes a graceful drain instead of an abort.
+/// Raw FFI rather than a signal crate: the workspace carries no such
+/// dependency, and one `signal(2)` call per signal is all this needs.
+fn install_drain_signals() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // SAFETY: `signal` is the C library's own entry point; the handler
+    // is an `extern "C"` fn that performs a single atomic store, which
+    // is async-signal-safe.
+    unsafe {
+        signal(SIGINT, on_drain_signal);
+        signal(SIGTERM, on_drain_signal);
+    }
+}
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bitgen-serve serve --socket PATH [--workers N] [--queue N] [--cache N] \
-         [-e PAT ...] [-f FILE]\n\
-         \x20      bitgen-serve scan --socket PATH [--tenant NAME] (-e PAT ... | -f FILE) \
-         [--chunk N] [FILE]\n\
-         \x20      bitgen-serve stats --socket PATH\n\
-         \x20      bitgen-serve shutdown --socket PATH"
+        "usage: bitgen-serve serve (--socket PATH | --tcp ADDR) [--workers N] [--queue N] \
+         [--cache N] [--drain-manifest FILE] [--drain-deadline SECS] [-e PAT ...] [-f FILE]\n\
+         \x20      bitgen-serve scan (--socket PATH | --tcp ADDR) [--tenant NAME] \
+         (-e PAT ... | -f FILE) [--chunk N] [--retry] [FILE]\n\
+         \x20      bitgen-serve stats (--socket PATH | --tcp ADDR)\n\
+         \x20      bitgen-serve drain (--socket PATH | --tcp ADDR)\n\
+         \x20      bitgen-serve shutdown (--socket PATH | --tcp ADDR)"
     );
     std::process::exit(2);
 }
@@ -41,12 +81,16 @@ fn usage() -> ! {
 #[derive(Default)]
 struct Options {
     socket: Option<String>,
+    tcp: Option<String>,
     tenant: String,
     patterns: Vec<String>,
     chunk: usize,
     workers: usize,
     queue: usize,
     cache: usize,
+    retry: bool,
+    drain_manifest: Option<String>,
+    drain_deadline: Option<u64>,
     file: Option<String>,
 }
 
@@ -59,6 +103,7 @@ fn parse_options(args: &mut std::env::Args) -> Options {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--socket" => opts.socket = Some(args.next().unwrap_or_else(|| usage())),
+            "--tcp" => opts.tcp = Some(args.next().unwrap_or_else(|| usage())),
             "--tenant" => opts.tenant = args.next().unwrap_or_else(|| usage()),
             "-e" | "--regexp" => opts.patterns.push(args.next().unwrap_or_else(|| usage())),
             "-f" | "--file" => {
@@ -86,6 +131,14 @@ fn parse_options(args: &mut std::env::Args) -> Options {
             "--cache" => {
                 opts.cache = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
             }
+            "--retry" => opts.retry = true,
+            "--drain-manifest" => {
+                opts.drain_manifest = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "--drain-deadline" => {
+                opts.drain_deadline =
+                    Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
+            }
             "-h" | "--help" => usage(),
             other if !other.starts_with('-') && opts.file.is_none() => {
                 opts.file = Some(other.to_string());
@@ -93,13 +146,19 @@ fn parse_options(args: &mut std::env::Args) -> Options {
             _ => usage(),
         }
     }
+    if opts.socket.is_some() && opts.tcp.is_some() {
+        eprintln!("bitgen-serve: pick one of --socket and --tcp");
+        std::process::exit(2);
+    }
     opts
 }
 
-fn socket_of(opts: &Options) -> &Path {
-    match &opts.socket {
-        Some(path) => Path::new(path),
-        None => usage(),
+fn connect(opts: &Options) -> std::io::Result<Client> {
+    let retry = if opts.retry { RetryConfig::resilient() } else { RetryConfig::default() };
+    match (&opts.socket, &opts.tcp) {
+        (Some(path), None) => Client::connect_with(Path::new(path), retry),
+        (None, Some(addr)) => Client::connect_tcp_with(addr, retry),
+        _ => usage(),
     }
 }
 
@@ -119,15 +178,45 @@ fn run_serve(opts: &Options) -> ExitCode {
         let pats: Vec<&str> = opts.patterns.iter().map(String::as_str).collect();
         if let Err(e) = service.warm(&pats) {
             eprintln!("bitgen-serve: {e}");
-            return ExitCode::from(3);
+            return ExitCode::from(2);
         }
     }
-    let socket = socket_of(opts);
-    eprintln!("bitgen-serve: serving on {}", socket.display());
-    match bitgen_serve::serve_unix(socket, service) {
-        Ok(()) => ExitCode::SUCCESS,
+    install_drain_signals();
+    let mut daemon_config = DaemonConfig {
+        manifest_path: opts.drain_manifest.clone().map(PathBuf::from),
+        drain_signal: Some(&DRAIN_REQUESTED),
+        ..DaemonConfig::default()
+    };
+    if let Some(secs) = opts.drain_deadline {
+        daemon_config.drain_deadline = Duration::from_secs(secs);
+    }
+    let outcome = match (&opts.socket, &opts.tcp) {
+        (Some(path), None) => {
+            eprintln!("bitgen-serve: serving on {path}");
+            bitgen_serve::serve_unix_with(Path::new(path), service, daemon_config)
+        }
+        (None, Some(addr)) => {
+            eprintln!("bitgen-serve: serving on {addr}");
+            bitgen_serve::serve_tcp(addr, service, daemon_config)
+        }
+        _ => usage(),
+    };
+    match outcome {
+        Ok(ServeOutcome { drained: Some(manifest), forced }) => {
+            eprintln!(
+                "bitgen-serve: drained {} stream(s){}",
+                manifest.entries.len(),
+                if forced { " (deadline-forced)" } else { "" }
+            );
+            if forced {
+                ExitCode::from(3)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Ok(ServeOutcome { drained: None, .. }) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("bitgen-serve: {}: {e}", socket.display());
+            eprintln!("bitgen-serve: {e}");
             ExitCode::from(2)
         }
     }
@@ -155,9 +244,16 @@ fn run_scan(opts: &Options) -> ExitCode {
         }
     };
     let outcome = (|| -> std::io::Result<(u64, u64)> {
-        let mut client = Client::connect(socket_of(opts))?;
+        let mut client = connect(opts)?;
         let pats: Vec<&str> = opts.patterns.iter().map(String::as_str).collect();
-        let (id, hit) = client.open(&opts.tenant, &pats)?;
+        // A durable stream survives daemon restarts (the drain manifest
+        // carries it to the successor); a plain one is cheaper to
+        // reap if this process dies mid-scan.
+        let (id, hit) = if opts.retry {
+            client.open_durable(&opts.tenant, &pats)?
+        } else {
+            client.open(&opts.tenant, &pats)?
+        };
         eprintln!("bitgen-serve: cache: {}", if hit { "hit" } else { "miss" });
         let mut total = 0u64;
         for chunk in input.chunks(opts.chunk) {
@@ -187,7 +283,7 @@ fn run_scan(opts: &Options) -> ExitCode {
 }
 
 fn run_stats(opts: &Options) -> ExitCode {
-    match Client::connect(socket_of(opts)).and_then(|mut c| c.stats()) {
+    match connect(opts).and_then(|mut c| c.stats()) {
         Ok(json) => {
             println!("{json}");
             ExitCode::SUCCESS
@@ -199,8 +295,18 @@ fn run_stats(opts: &Options) -> ExitCode {
     }
 }
 
+fn run_drain(opts: &Options) -> ExitCode {
+    match connect(opts).and_then(|mut c| c.drain()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bitgen-serve: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn run_shutdown(opts: &Options) -> ExitCode {
-    match Client::connect(socket_of(opts)).and_then(|mut c| c.shutdown()) {
+    match connect(opts).and_then(|mut c| c.shutdown()) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("bitgen-serve: {e}");
@@ -218,6 +324,7 @@ fn main() -> ExitCode {
         "serve" => run_serve(&opts),
         "scan" => run_scan(&opts),
         "stats" => run_stats(&opts),
+        "drain" => run_drain(&opts),
         "shutdown" => run_shutdown(&opts),
         _ => usage(),
     }

@@ -108,6 +108,9 @@ struct Options {
     swap_rules: Option<(String, u64)>,
     /// Unix socket path: run as a scan daemon instead of scanning.
     serve: Option<String>,
+    /// With `--serve`: adopt a drain manifest found here at startup,
+    /// and checkpoint into it when asked to drain.
+    drain_manifest: Option<String>,
 }
 
 /// bitgrep's exit codes, grep-compatible for 0/1/2.
@@ -133,7 +136,7 @@ fn usage() -> ! {
          [--count] [--line-number] [--positions] [--engine E] [--scheme S] \
          [--device D] [--threads N] [--scan-threads N] [--match-star] \
          [--profile] [--checkpoint FILE] [--max-bytes N] \
-         [--swap-rules FILE@OFFSET] [--serve SOCKET]"
+         [--swap-rules FILE@OFFSET] [--serve SOCKET] [--drain-manifest FILE]"
     );
     std::process::exit(exit::USAGE as i32);
 }
@@ -156,6 +159,7 @@ fn parse_args() -> Options {
         max_bytes: None,
         swap_rules: None,
         serve: None,
+        drain_manifest: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -221,6 +225,9 @@ fn parse_args() -> Options {
             "--serve" => {
                 opts.serve = Some(args.next().unwrap_or_else(|| usage()));
             }
+            "--drain-manifest" => {
+                opts.drain_manifest = Some(args.next().unwrap_or_else(|| usage()));
+            }
             "-h" | "--help" => usage(),
             other if !other.starts_with('-') && opts.file.is_none() => {
                 opts.file = Some(other.to_string());
@@ -252,6 +259,10 @@ fn parse_args() -> Options {
     }
     if opts.swap_rules.is_some() && opts.profile {
         eprintln!("bitgrep: --swap-rules needs the streaming path; drop --profile");
+        std::process::exit(exit::USAGE as i32);
+    }
+    if opts.drain_manifest.is_some() && opts.serve.is_none() {
+        eprintln!("bitgrep: --drain-manifest only makes sense with --serve");
         std::process::exit(exit::USAGE as i32);
     }
     opts
@@ -675,7 +686,10 @@ fn print_batch(opts: &Options, input: &[u8], ends: &BitStream) -> std::io::Resul
 
 /// `--serve`: run the multi-tenant daemon on a Unix socket under this
 /// invocation's engine configuration, pre-warming the pattern cache
-/// with any `-e`/`-f` patterns. Returns when a client sends `SHUTDOWN`.
+/// with any `-e`/`-f` patterns. Returns when a client sends `SHUTDOWN`
+/// or `DRAIN`; with `--drain-manifest` the daemon adopts a manifest
+/// found at that path on startup and checkpoints into it on drain, so
+/// a restart with the same flags resumes every durable stream.
 fn run_serve(opts: &Options, socket: &str) -> ExitCode {
     let config = bitgen_serve::ServeConfig {
         engine: engine_config(opts),
@@ -693,8 +707,25 @@ fn run_serve(opts: &Options, socket: &str) -> ExitCode {
         }
     }
     eprintln!("bitgrep: serving on {socket}");
-    match bitgen_serve::serve_unix(std::path::Path::new(socket), service) {
-        Ok(()) => ExitCode::SUCCESS,
+    let daemon_config = bitgen_serve::DaemonConfig {
+        manifest_path: opts.drain_manifest.clone().map(std::path::PathBuf::from),
+        ..bitgen_serve::DaemonConfig::default()
+    };
+    match bitgen_serve::serve_unix_with(std::path::Path::new(socket), service, daemon_config) {
+        Ok(outcome) => {
+            if let Some(manifest) = &outcome.drained {
+                eprintln!(
+                    "bitgrep: drained {} stream(s){}",
+                    manifest.entries.len(),
+                    if outcome.forced { " (deadline-forced)" } else { "" }
+                );
+            }
+            if outcome.forced {
+                ExitCode::from(exit::EXEC)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
         Err(e) => {
             eprintln!("bitgrep: {socket}: {e}");
             ExitCode::from(exit::USAGE)

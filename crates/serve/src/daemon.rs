@@ -1,125 +1,462 @@
-//! The Unix-socket daemon wrapping a [`ScanService`], plus the matching
+//! The socket daemon wrapping a [`ScanService`] — Unix-domain or TCP,
+//! one code path ([`crate::transport`]) — plus the matching retrying
 //! client.
 //!
 //! One connection is one client session speaking the [`crate::wire`]
-//! line protocol; streams opened on a connection that ends without
-//! closing them are closed by the daemon (no leaks from vanished
-//! clients). `SHUTDOWN` from any client stops the listener, hangs up
+//! line protocol. Streams opened without the durable flag are closed
+//! when their connection ends (no leaks from vanished clients);
+//! durable streams outlive connections so clients can reconnect and
+//! resume. `SHUTDOWN` from any client stops the listener, hangs up
 //! every other connection (idle clients see EOF, not a hang), drains
-//! the worker pool, and returns from [`serve_unix`] — the binary
-//! exits 0.
+//! the worker pool, and returns. `DRAIN` — or the configured signal
+//! flag — instead runs the graceful-drain lifecycle: refuse new work
+//! with typed `DRAINING` errors, finish (or deadline-cancel) in-flight
+//! pushes, checkpoint every durable stream into a
+//! [`DrainManifest`], write it to the configured path, and return it
+//! in the [`ServeOutcome`] so a successor daemon (started with the
+//! same manifest path) adopts every stream bit-identically.
+//!
+//! Frames are bounded ([`DaemonConfig::max_line`]): a peer that
+//! streams bytes without a newline gets a typed `FRAME` error and a
+//! hangup, never unbounded buffering. A seeded [`WireFaultPlan`] can
+//! be installed to corrupt replies deterministically — the test
+//! harness for the client's retry/replay machinery.
 
-use crate::service::{ScanService, StreamId};
-use crate::wire::{self, Request};
-use std::io::{self, BufRead, BufReader, Write};
-use std::net::Shutdown;
+use crate::drain::DrainManifest;
+use crate::fault::{WireFaultKind, WireFaultPlan};
+use crate::metrics::ServeMetrics;
+use crate::service::{ScanService, ServeError, StreamId};
+use crate::transport::{Connection, Frame, LineReader, Listener};
+use crate::wire::{self, ErrCode, Request};
+use bitgen::Error;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
-/// Runs `service` behind a Unix socket at `path` until a client sends
-/// `SHUTDOWN`. The caller constructs (and may pre-[`warm`]) the
-/// service; this function owns it from here and shuts it down on the
-/// way out. Replaces any stale socket file at `path`, removes it again
-/// when done. Blocks the calling thread for the life of the daemon;
-/// connection handlers run on their own threads.
+/// How a daemon run behaves around the protocol itself: frame bounds,
+/// deadlines, the drain lifecycle, and (for tests) fault injection.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Longest request line accepted, in bytes (excluding the
+    /// newline). One-over is refused with a typed `FRAME` error and a
+    /// hangup. Chunk operands are hex, so the largest pushable chunk
+    /// is a bit under half this.
+    pub max_line: usize,
+    /// How long a peer may sit mid-frame (bytes sent, no newline)
+    /// before the connection is dropped. Idle connections — nothing
+    /// buffered — are never timed out.
+    pub read_timeout: Duration,
+    /// Bound on a single reply write; a peer that stops reading is
+    /// dropped instead of blocking a handler forever.
+    pub write_timeout: Option<Duration>,
+    /// How long a drain waits for in-flight pushes before cancelling
+    /// the stragglers (they roll back; nothing is half-scanned).
+    pub drain_deadline: Duration,
+    /// When set: a manifest found here at startup is adopted (and the
+    /// file removed) before serving, and a drain writes its manifest
+    /// here — so "same path, restart" is the whole handoff recipe.
+    pub manifest_path: Option<PathBuf>,
+    /// External drain trigger — a signal handler sets the flag, the
+    /// accept loop polls it. This is how `SIGTERM` becomes a graceful
+    /// drain in the `bitgen-serve` binary.
+    pub drain_signal: Option<&'static AtomicBool>,
+    /// Deterministic wire-fault schedule for tests; `None` in
+    /// production.
+    pub faults: Option<WireFaultPlan>,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            max_line: 4 * 1024 * 1024,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Some(Duration::from_secs(10)),
+            drain_deadline: Duration::from_secs(5),
+            manifest_path: None,
+            drain_signal: None,
+            faults: None,
+        }
+    }
+}
+
+/// How a daemon run ended.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// `Some` when the daemon drained (wire `DRAIN` or signal): the
+    /// manifest of checkpointed streams, also written to
+    /// [`DaemonConfig::manifest_path`] when one is set. `None` after a
+    /// plain `SHUTDOWN`.
+    pub drained: Option<DrainManifest>,
+    /// `true` when the drain overran its deadline and had to cancel
+    /// in-flight pushes (exit code 3 in the binary).
+    pub forced: bool,
+}
+
+/// Runs `service` behind a Unix socket at `path` with default
+/// [`DaemonConfig`] until a client sends `SHUTDOWN` or `DRAIN`. The
+/// caller constructs (and may pre-[`warm`]) the service; this function
+/// owns it from here and shuts it down on the way out. Replaces any
+/// stale socket file at `path`, removes it again when done. Blocks the
+/// calling thread for the life of the daemon; connection handlers run
+/// on their own threads.
 ///
 /// [`warm`]: ScanService::warm
 ///
 /// # Errors
 ///
-/// Socket creation/accept failures; protocol and scan errors go to the
-/// offending client as `ERR` lines instead.
-pub fn serve_unix(path: &Path, service: ScanService) -> io::Result<()> {
+/// Socket creation/accept failures and manifest adoption/write
+/// failures; protocol and scan errors go to the offending client as
+/// `ERR` lines instead.
+pub fn serve_unix(path: &Path, service: ScanService) -> io::Result<ServeOutcome> {
+    serve_unix_with(path, service, DaemonConfig::default())
+}
+
+/// [`serve_unix`] with an explicit [`DaemonConfig`].
+///
+/// # Errors
+///
+/// As [`serve_unix`].
+pub fn serve_unix_with(
+    path: &Path,
+    service: ScanService,
+    config: DaemonConfig,
+) -> io::Result<ServeOutcome> {
+    // Adopt before binding: the socket file appearing is the readiness
+    // signal, so a successor must not become visible until every
+    // manifest stream is resumable — and a corrupt manifest must
+    // refuse to serve before ever accepting a connection.
+    adopt_at_startup(&service, &config)?;
     let _ = std::fs::remove_file(path);
     let listener = UnixListener::bind(path)?;
-    let stop = AtomicBool::new(false);
-    // One clone per live connection, so shutdown can hang up clients
-    // that are connected but idle — their handler threads are parked in
-    // a blocking read and would otherwise keep the scope from joining.
-    let peers: Mutex<Vec<UnixStream>> = Mutex::new(Vec::new());
-    std::thread::scope(|scope| -> io::Result<()> {
-        let result = (|| -> io::Result<()> {
-            for conn in listener.incoming() {
-                if stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                let stream = conn?;
-                if let Ok(clone) = stream.try_clone() {
-                    peers.lock().unwrap_or_else(|e| e.into_inner()).push(clone);
-                }
-                let service = &service;
-                let stop = &stop;
-                scope.spawn(move || handle_connection(stream, service, stop, path));
-            }
-            Ok(())
-        })();
-        for peer in peers.lock().unwrap_or_else(|e| e.into_inner()).drain(..) {
-            let _ = peer.shutdown(Shutdown::Both);
-        }
-        result
-    })?;
-    service.shutdown();
+    listener.set_nonblocking(true)?;
+    let outcome = serve_loop(listener, service, config);
     let _ = std::fs::remove_file(path);
+    outcome
+}
+
+/// Runs `service` behind a TCP socket bound at `addr` (e.g.
+/// `"127.0.0.1:7700"`); same lifecycle as [`serve_unix_with`].
+///
+/// # Errors
+///
+/// As [`serve_unix`].
+pub fn serve_tcp(addr: &str, service: ScanService, config: DaemonConfig) -> io::Result<ServeOutcome> {
+    serve_tcp_listener(TcpListener::bind(addr)?, service, config)
+}
+
+/// [`serve_tcp`] over an already-bound listener — bind port 0 first
+/// when the test needs to learn the ephemeral port.
+///
+/// # Errors
+///
+/// As [`serve_unix`].
+pub fn serve_tcp_listener(
+    listener: TcpListener,
+    service: ScanService,
+    config: DaemonConfig,
+) -> io::Result<ServeOutcome> {
+    adopt_at_startup(&service, &config)?;
+    listener.set_nonblocking(true)?;
+    serve_loop(listener, service, config)
+}
+
+/// Adopts (then deletes) a drain manifest left by a predecessor, before
+/// the daemon starts accepting. Adoption failure is a hard refusal to
+/// serve — better down than up with silently lost streams.
+fn adopt_at_startup(service: &ScanService, config: &DaemonConfig) -> io::Result<()> {
+    if let Some(path) = &config.manifest_path {
+        if path.exists() {
+            let manifest = DrainManifest::load(path).map_err(io::Error::other)?;
+            service.adopt_manifest(&manifest).map_err(io::Error::other)?;
+            // Adopted; a crash from here re-checkpoints at drain time,
+            // so the stale manifest must not be re-adopted twice.
+            std::fs::remove_file(path)?;
+        }
+    }
     Ok(())
 }
 
-/// Serves one connection. Returns when the client disconnects or asks
-/// for shutdown; any stream the client left open is closed.
-fn handle_connection(stream: UnixStream, service: &ScanService, stop: &AtomicBool, path: &Path) {
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let reader = BufReader::new(stream);
+/// Shared references every connection handler holds.
+struct ConnCtx<'a> {
+    service: &'a ScanService,
+    stop: &'a AtomicBool,
+    drain: &'a AtomicBool,
+    closing: &'a AtomicBool,
+    config: &'a DaemonConfig,
+    index: u64,
+}
+
+fn serve_loop<L: Listener>(
+    listener: L,
+    service: ScanService,
+    config: DaemonConfig,
+) -> io::Result<ServeOutcome> {
+    let stop = AtomicBool::new(false);
+    let drain = AtomicBool::new(false);
+    let closing = AtomicBool::new(false);
+    let drained = std::thread::scope(|scope| -> io::Result<Option<(DrainManifest, bool)>> {
+        // Only this thread touches `peers`; handlers get their own
+        // split handles.
+        let mut peers: Vec<L::Conn> = Vec::new();
+        let mut conn_index = 0u64;
+        let accept_result = loop {
+            if stop.load(Ordering::SeqCst) {
+                break Ok(());
+            }
+            if config.drain_signal.is_some_and(|flag| flag.load(Ordering::SeqCst)) {
+                drain.store(true, Ordering::SeqCst);
+            }
+            if drain.load(Ordering::SeqCst) {
+                break Ok(());
+            }
+            match listener.poll_accept() {
+                Ok(Some(conn)) => {
+                    let Ok(writer) = conn.split() else { continue };
+                    if let Ok(peer) = conn.split() {
+                        peers.push(peer);
+                    }
+                    let ctx = ConnCtx {
+                        service: &service,
+                        stop: &stop,
+                        drain: &drain,
+                        closing: &closing,
+                        config: &config,
+                        index: conn_index,
+                    };
+                    conn_index += 1;
+                    scope.spawn(move || handle_connection(conn, writer, ctx));
+                }
+                Ok(None) => std::thread::sleep(Duration::from_millis(2)),
+                Err(e) => break Err(e),
+            }
+        };
+        // The drain runs while handler threads are still alive: late
+        // requests on open connections get the typed DRAINING refusal,
+        // and in-flight pushes finish (or cancel at the deadline)
+        // before the checkpoints are taken.
+        let mut drained = None;
+        let mut save_result = Ok(());
+        if accept_result.is_ok() && drain.load(Ordering::SeqCst) && !stop.load(Ordering::SeqCst)
+        {
+            let (manifest, forced) = service.drain(config.drain_deadline);
+            if let Some(path) = &config.manifest_path {
+                save_result = manifest.save(path);
+            }
+            drained = Some((manifest, forced));
+        }
+        closing.store(true, Ordering::SeqCst);
+        for peer in peers.drain(..) {
+            peer.hang_up();
+        }
+        accept_result.and(save_result).map(|()| drained)
+    })?;
+    service.shutdown();
+    Ok(ServeOutcome {
+        forced: drained.as_ref().is_some_and(|(_, forced)| *forced),
+        drained: drained.map(|(manifest, _)| manifest),
+    })
+}
+
+/// What a request asks the daemon lifecycle to do after the reply.
+enum Action {
+    None,
+    Drain,
+    Shutdown,
+}
+
+/// Serves one connection until EOF, a frame-bound trip, a mid-frame
+/// stall, shutdown, or daemon closing. Streams the client opened
+/// without the durable flag are closed on the way out.
+fn handle_connection<C: Connection>(conn: C, mut writer: C, ctx: ConnCtx<'_>) {
+    // The socket deadline is a short poll tick so the loop observes
+    // `closing`; the real mid-frame deadline is enforced below.
+    let poll = ctx.config.read_timeout.min(Duration::from_millis(100));
+    let _ = conn.set_read_deadline(Some(poll.max(Duration::from_millis(1))));
+    let _ = writer.set_write_deadline(ctx.config.write_timeout);
+    let mut reader = LineReader::new(conn, ctx.config.max_line);
     let mut opened: Vec<StreamId> = Vec::new();
-    for line in reader.lines() {
-        let line = match line {
-            Ok(l) => l,
+    let mut replies = 0u64;
+    let mut partial_since: Option<Instant> = None;
+    loop {
+        if ctx.closing.load(Ordering::SeqCst) {
+            break;
+        }
+        let frame = match reader.read_frame() {
+            Ok(frame) => frame,
+            Err(e @ Error::FrameTooLarge { .. }) => {
+                // The stream is out of sync past an oversized frame;
+                // reply typed, then hang up.
+                let _ = write_line(&mut writer, &wire::err_line(ErrCode::Frame, &e.to_string()));
+                break;
+            }
             Err(_) => break,
         };
+        let line = match frame {
+            Frame::Eof => break,
+            Frame::TimedOut => {
+                if reader.has_partial() {
+                    let since = *partial_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() >= ctx.config.read_timeout {
+                        let _ = write_line(
+                            &mut writer,
+                            &wire::err_line(ErrCode::Proto, "read deadline: frame never finished"),
+                        );
+                        break;
+                    }
+                } else {
+                    partial_since = None;
+                }
+                continue;
+            }
+            Frame::Line(line) => line,
+        };
+        partial_since = None;
         if line.trim().is_empty() {
             continue;
         }
-        let (reply, done) = respond(&line, service, &mut opened);
-        if writer.write_all(reply.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
-            break;
+        let (reply, action, exempt) = respond(&line, ctx.service, &mut opened);
+        let fault = if exempt {
+            None
+        } else {
+            ctx.config
+                .faults
+                .as_ref()
+                .and_then(|plan| plan.decide(ctx.index, replies).map(|kind| (kind, plan)))
+        };
+        let request_index = replies;
+        replies += 1;
+        let (sent, dropped) = match fault {
+            None => (write_line(&mut writer, &reply), false),
+            Some((kind, plan)) => {
+                apply_fault(&mut writer, &reply, kind, plan, ctx.index, request_index)
+            }
+        };
+        match action {
+            Action::Shutdown => {
+                ctx.stop.store(true, Ordering::SeqCst);
+                break;
+            }
+            Action::Drain => ctx.drain.store(true, Ordering::SeqCst),
+            Action::None => {}
         }
-        let _ = writer.flush();
-        if done {
-            stop.store(true, Ordering::SeqCst);
-            // The listener is blocked in accept(); poke it so the serve
-            // loop observes the stop flag and exits.
-            let _ = UnixStream::connect(path);
+        if sent.is_err() || dropped {
             break;
         }
     }
     for id in opened {
-        let _ = service.close_stream(id);
+        let _ = ctx.service.close_stream(id);
     }
 }
 
-/// Computes the reply line for one request; the boolean asks the caller
-/// to begin daemon shutdown.
-fn respond(line: &str, service: &ScanService, opened: &mut Vec<StreamId>) -> (String, bool) {
+fn write_line<W: Write>(writer: &mut W, line: &str) -> io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Injects one scheduled fault into a reply. Returns (write result,
+/// connection-must-drop).
+fn apply_fault<W: Write>(
+    writer: &mut W,
+    reply: &str,
+    kind: WireFaultKind,
+    plan: &WireFaultPlan,
+    connection: u64,
+    request: u64,
+) -> (io::Result<()>, bool) {
+    match kind {
+        WireFaultKind::DropMidFrame => {
+            let half = &reply.as_bytes()[..reply.len() / 2];
+            let result = writer.write_all(half).and_then(|()| writer.flush());
+            (result, true)
+        }
+        WireFaultKind::TruncateReply => {
+            let half = reply.get(..reply.len() / 2).unwrap_or(reply);
+            (write_line(writer, half), false)
+        }
+        WireFaultKind::GarbageBytes => {
+            (write_line(writer, &plan.garbage(connection, request)), false)
+        }
+        WireFaultKind::DelayReply => {
+            std::thread::sleep(plan.delay());
+            (write_line(writer, reply), false)
+        }
+    }
+}
+
+/// Maps a service failure onto its wire error line.
+fn error_reply(e: &ServeError, draining: bool) -> String {
+    match e {
+        ServeError::OffsetMismatch { expected, .. } => {
+            wire::err_line(ErrCode::Offset, &format!("{expected} {e}"))
+        }
+        ServeError::Scan(Error::Overloaded { .. }) => {
+            wire::err_line(ErrCode::Overloaded, &e.to_string())
+        }
+        ServeError::Scan(Error::Draining) => wire::err_line(ErrCode::Draining, &e.to_string()),
+        ServeError::Scan(Error::FrameTooLarge { .. }) => {
+            wire::err_line(ErrCode::Frame, &e.to_string())
+        }
+        // A push cancelled *by* the drain deadline rolled back cleanly;
+        // tell the client to retry against the successor, same as any
+        // other drain refusal.
+        ServeError::Scan(Error::Exec(bitgen_exec::ExecError::Cancelled)) if draining => {
+            wire::err_line(
+                ErrCode::Draining,
+                "push cancelled by the drain deadline and rolled back; \
+                 re-push these bytes to the successor",
+            )
+        }
+        ServeError::Scan(_) => wire::err_line(ErrCode::Scan, &e.to_string()),
+        ServeError::UnknownStream(_) => wire::err_line(ErrCode::UnknownStream, &e.to_string()),
+        ServeError::ShuttingDown => wire::err_line(ErrCode::Shutdown, &e.to_string()),
+    }
+}
+
+/// Computes the reply line for one request, the lifecycle action it
+/// demands, and whether the reply is exempt from fault injection
+/// (stream lifecycle replies stay exact so accounting reconciles; the
+/// push/ack path is where the faults belong).
+fn respond(
+    line: &str,
+    service: &ScanService,
+    opened: &mut Vec<StreamId>,
+) -> (String, Action, bool) {
     let request = match wire::parse_request(line) {
         Ok(r) => r,
-        Err(complaint) => return (wire::err_line(&complaint), false),
+        Err(complaint) => {
+            return (wire::err_line(ErrCode::Proto, &complaint), Action::None, false)
+        }
     };
+    let draining = service.is_draining();
+    let exempt = matches!(
+        request,
+        Request::Open { .. } | Request::Close { .. } | Request::Drain | Request::Shutdown
+    );
     let reply = match request {
-        Request::Open { tenant, patterns } => {
+        Request::Open { tenant, durable, patterns } => {
             let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
             match service.open_stream(&tenant, &refs) {
                 Ok(admission) => {
-                    opened.push(admission.stream);
+                    if durable {
+                        // Durable streams outlive this connection; the
+                        // service checkpoints them into the drain
+                        // manifest.
+                    } else {
+                        opened.push(admission.stream);
+                        let _ = service.set_durable(admission.stream, false);
+                    }
                     let verdict = if admission.cache_hit { "HIT" } else { "MISS" };
                     format!("OK {} {verdict}", admission.stream)
                 }
-                Err(e) => wire::err_line(&e.to_string()),
+                Err(e) => error_reply(&e, draining),
             }
         }
-        Request::Push { id, chunk } => match service.push_chunk(id, &chunk) {
+        Request::Push { id, offset, chunk } => match service.push_chunk_at(id, offset, &chunk) {
             Ok(ends) => {
                 let mut reply = format!("OK {}", ends.len());
                 for end in ends {
@@ -128,104 +465,402 @@ fn respond(line: &str, service: &ScanService, opened: &mut Vec<StreamId>) -> (St
                 }
                 reply
             }
-            Err(e) => wire::err_line(&e.to_string()),
+            Err(e) => error_reply(&e, draining),
         },
         Request::Swap { id, patterns } => {
             let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
             match service.swap_rules(id, &refs) {
                 Ok(generation) => format!("OK {generation}"),
-                Err(e) => wire::err_line(&e.to_string()),
+                Err(e) => error_reply(&e, draining),
             }
         }
         Request::Cancel { id } => match service.cancel_stream(id) {
             Ok(()) => "OK".to_string(),
-            Err(e) => wire::err_line(&e.to_string()),
+            Err(e) => error_reply(&e, draining),
         },
         Request::Reset { id } => match service.reset_cancel(id) {
             Ok(()) => "OK".to_string(),
-            Err(e) => wire::err_line(&e.to_string()),
+            Err(e) => error_reply(&e, draining),
         },
         Request::Close { id } => match service.close_stream(id) {
             Ok(stats) => {
                 opened.retain(|open| *open != id);
                 format!("OK {} {}", stats.consumed, stats.match_count)
             }
-            Err(e) => wire::err_line(&e.to_string()),
+            Err(e) => error_reply(&e, draining),
         },
         Request::Stats => format!("OK {}", service.metrics().to_json()),
         Request::Ping => "OK".to_string(),
-        Request::Shutdown => return ("OK".to_string(), true),
+        Request::Drain => return ("OK".to_string(), Action::Drain, true),
+        Request::Shutdown => return ("OK".to_string(), Action::Shutdown, true),
     };
-    (reply, false)
+    (reply, Action::None, exempt)
 }
 
-/// A blocking client for the daemon's line protocol.
+/// Retry/backoff policy for [`Client`]. The default performs no
+/// retries (one attempt, no read deadline) — the pre-fault-tolerance
+/// behavior. [`RetryConfig::resilient`] is the crash-tolerant profile.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryConfig {
+    /// Total attempts per operation (min 1).
+    pub attempts: u32,
+    /// First backoff sleep; doubles each retry.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+    /// Seed for the deterministic backoff jitter, so a test schedule
+    /// replays exactly.
+    pub seed: u64,
+    /// Per-read deadline on replies. A daemon that stalls past it is
+    /// treated as failed: the connection is dropped and the operation
+    /// retried on a fresh one.
+    pub io_timeout: Option<Duration>,
+}
+
+impl Default for RetryConfig {
+    fn default() -> RetryConfig {
+        RetryConfig {
+            attempts: 1,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(640),
+            seed: 0x5eed_u64,
+            io_timeout: None,
+        }
+    }
+}
+
+impl RetryConfig {
+    /// The crash-tolerant profile: 10 attempts, 10ms→640ms exponential
+    /// backoff with seeded jitter, 2s reply deadline.
+    pub fn resilient() -> RetryConfig {
+        RetryConfig {
+            attempts: 10,
+            io_timeout: Some(Duration::from_secs(2)),
+            ..RetryConfig::default()
+        }
+    }
+}
+
+/// Where a [`Client`] connects.
+#[derive(Debug, Clone)]
+enum Endpoint {
+    Unix(PathBuf),
+    Tcp(String),
+}
+
+/// One live connection: framed reader plus writer.
+struct ClientWire {
+    reader: LineReader<Box<dyn Read + Send>>,
+    writer: Box<dyn Write + Send>,
+}
+
+impl std::fmt::Debug for ClientWire {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ClientWire")
+    }
+}
+
+/// Replies the daemon can't send are still bounded client-side; STATS
+/// with many tenants and dense push replies stay far under this.
+const CLIENT_MAX_LINE: usize = 256 * 1024 * 1024;
+
+/// What one attempt produced (before retry classification).
+enum Attempt {
+    Ok(String),
+    Refused(ErrCode, String),
+}
+
+/// A blocking client for the daemon's line protocol, over Unix or TCP,
+/// with optional retry/backoff and idempotent push resume.
+///
+/// The client tracks each stream's byte offset (from
+/// [`Client::open`]/[`Client::open_durable`], or seeded with
+/// [`Client::set_offset`] after a reconnect) and sends it as the
+/// push's idempotency key. When a connection dies mid-push — ack lost
+/// — the retry reconnects and re-pushes the same boundary; the daemon
+/// replays the committed result instead of scanning twice, so retries
+/// can never duplicate or lose matches.
 #[derive(Debug)]
 pub struct Client {
-    reader: BufReader<UnixStream>,
-    writer: UnixStream,
+    endpoint: Endpoint,
+    retry: RetryConfig,
+    rng: u64,
+    wire: Option<ClientWire>,
+    offsets: HashMap<u64, u64>,
 }
 
 impl Client {
-    /// Connects to a daemon at `path`.
+    /// Connects to a Unix-socket daemon at `path` (no retries — the
+    /// pre-fault-tolerance profile; see [`Client::connect_with`]).
     ///
     /// # Errors
     ///
     /// Connection failures.
     pub fn connect(path: &Path) -> io::Result<Client> {
-        let stream = UnixStream::connect(path)?;
-        let writer = stream.try_clone()?;
-        Ok(Client { reader: BufReader::new(stream), writer })
+        Client::connect_with(path, RetryConfig::default())
     }
 
-    fn round_trip(&mut self, request: &str) -> io::Result<String> {
-        self.writer.write_all(request.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
-        let mut reply = String::new();
-        if self.reader.read_line(&mut reply)? == 0 {
-            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "daemon hung up"));
-        }
-        let reply = reply.trim_end().to_string();
-        if let Some(ok) = reply.strip_prefix("OK") {
-            return Ok(ok.trim_start().to_string());
-        }
-        let complaint = reply.strip_prefix("ERR ").unwrap_or(&reply);
-        Err(io::Error::other(complaint.to_string()))
-    }
-
-    /// Opens a stream; returns `(stream id, cache hit)`.
+    /// Connects to a Unix-socket daemon with an explicit retry policy.
     ///
     /// # Errors
     ///
-    /// Transport failures, or the daemon's `ERR` reply (overload,
-    /// compile failure) as [`io::ErrorKind::Other`].
-    pub fn open(&mut self, tenant: &str, patterns: &[&str]) -> io::Result<(u64, bool)> {
+    /// Connection failures.
+    pub fn connect_with(path: &Path, retry: RetryConfig) -> io::Result<Client> {
+        Client::from_endpoint(Endpoint::Unix(path.to_path_buf()), retry)
+    }
+
+    /// Connects to a TCP daemon at `addr` (e.g. `"127.0.0.1:7700"`).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect_tcp(addr: &str) -> io::Result<Client> {
+        Client::connect_tcp_with(addr, RetryConfig::default())
+    }
+
+    /// Connects to a TCP daemon with an explicit retry policy.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect_tcp_with(addr: &str, retry: RetryConfig) -> io::Result<Client> {
+        Client::from_endpoint(Endpoint::Tcp(addr.to_string()), retry)
+    }
+
+    fn from_endpoint(endpoint: Endpoint, retry: RetryConfig) -> io::Result<Client> {
+        let mut client = Client {
+            endpoint,
+            retry,
+            rng: retry.seed | 1,
+            wire: None,
+            offsets: HashMap::new(),
+        };
+        client.ensure_wire()?;
+        Ok(client)
+    }
+
+    /// Points the client at a different Unix socket; the next request
+    /// connects there. Stream offsets are kept — this is the "follow
+    /// the restarted daemon" move.
+    pub fn set_endpoint_unix(&mut self, path: &Path) {
+        self.endpoint = Endpoint::Unix(path.to_path_buf());
+        self.wire = None;
+    }
+
+    /// Points the client at a different TCP address; the next request
+    /// connects there. Stream offsets are kept.
+    pub fn set_endpoint_tcp(&mut self, addr: &str) {
+        self.endpoint = Endpoint::Tcp(addr.to_string());
+        self.wire = None;
+    }
+
+    /// The client's record of `id`'s byte offset, when it tracks one.
+    pub fn offset(&self, id: u64) -> Option<u64> {
+        self.offsets.get(&id).copied()
+    }
+
+    /// Seeds the offset record for a stream this client did not open —
+    /// after reconnecting to a successor daemon that adopted the
+    /// stream, say. Subsequent pushes carry the offset as their
+    /// idempotency key.
+    pub fn set_offset(&mut self, id: u64, offset: u64) {
+        self.offsets.insert(id, offset);
+    }
+
+    fn ensure_wire(&mut self) -> io::Result<&mut ClientWire> {
+        if self.wire.is_none() {
+            let (reader, writer): (Box<dyn Read + Send>, Box<dyn Write + Send>) =
+                match &self.endpoint {
+                    Endpoint::Unix(path) => {
+                        let stream = UnixStream::connect(path)?;
+                        stream.set_read_timeout(self.retry.io_timeout)?;
+                        stream.set_write_timeout(self.retry.io_timeout)?;
+                        let writer = stream.try_clone()?;
+                        (Box::new(stream), Box::new(writer))
+                    }
+                    Endpoint::Tcp(addr) => {
+                        let stream = TcpStream::connect(addr.as_str())?;
+                        stream.set_read_timeout(self.retry.io_timeout)?;
+                        stream.set_write_timeout(self.retry.io_timeout)?;
+                        let _ = stream.set_nodelay(true);
+                        let writer = stream.try_clone()?;
+                        (Box::new(stream), Box::new(writer))
+                    }
+                };
+            self.wire =
+                Some(ClientWire { reader: LineReader::new(reader, CLIENT_MAX_LINE), writer });
+        }
+        self.wire.as_mut().ok_or_else(|| io::Error::other("wire vanished"))
+    }
+
+    /// One request/reply exchange on the current connection. `sent` is
+    /// set once request bytes may have reached the daemon — the point
+    /// past which retrying a non-idempotent request could double it.
+    fn try_once(&mut self, request: &str, sent: &mut bool) -> io::Result<Attempt> {
+        let wire = self.ensure_wire()?;
+        *sent = true;
+        wire.writer.write_all(request.as_bytes())?;
+        wire.writer.write_all(b"\n")?;
+        wire.writer.flush()?;
+        match wire.reader.read_frame() {
+            Ok(Frame::Line(line)) => {
+                if let Some(ok) = line.strip_prefix("OK") {
+                    return Ok(Attempt::Ok(ok.trim_start().to_string()));
+                }
+                if let Some((code, msg)) = wire::split_err(&line) {
+                    return Ok(Attempt::Refused(code, msg.to_string()));
+                }
+                Err(io::Error::other(format!("malformed daemon reply: {line:?}")))
+            }
+            Ok(Frame::Eof) => {
+                Err(io::Error::new(io::ErrorKind::UnexpectedEof, "daemon hung up"))
+            }
+            Ok(Frame::TimedOut) => Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "no reply within the read deadline",
+            )),
+            Err(e) => Err(io::Error::other(e.to_string())),
+        }
+    }
+
+    fn backoff(&mut self, attempt: u32) {
+        let doubled = self.retry.base.saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+        let capped = doubled.min(self.retry.cap);
+        // xorshift64: deterministic jitter in [0.5, 1.0) of the step.
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let frac = 0.5 + (self.rng >> 11) as f64 / (1u64 << 53) as f64 * 0.5;
+        std::thread::sleep(capped.mul_f64(frac));
+    }
+
+    /// Sends `request` with retry/backoff, parsing the `OK` payload
+    /// with `parse`. Transport failures reconnect;
+    /// `OVERLOADED`/`DRAINING` refusals back off and retry in place. A
+    /// payload `parse` rejects counts as a transport failure too — a
+    /// fault can truncate a reply into one that still carries the `OK`
+    /// prefix, and it must be retried, not surfaced as an answer.
+    /// Failures after the request may have been delivered are only
+    /// retried when `idempotent` — re-sending a non-idempotent request
+    /// (an `OPEN`, say) could double it.
+    fn call<T>(
+        &mut self,
+        request: &str,
+        idempotent: bool,
+        parse: impl Fn(&str) -> Option<T>,
+    ) -> io::Result<T> {
+        let attempts = self.retry.attempts.max(1);
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            let mut sent = false;
+            let failure = match self.try_once(request, &mut sent) {
+                Ok(Attempt::Ok(payload)) => match parse(&payload) {
+                    Some(value) => return Ok(value),
+                    None => io::Error::other(format!("corrupt daemon reply: {payload:?}")),
+                },
+                Ok(Attempt::Refused(code, msg)) => {
+                    if code.retryable() && attempt < attempts {
+                        self.backoff(attempt);
+                        continue;
+                    }
+                    return Err(io::Error::other(format!("{} {msg}", code.token())));
+                }
+                Err(e) => e,
+            };
+            // Anything anomalous desyncs the request/reply cadence;
+            // reconnect rather than trust the old connection.
+            self.wire = None;
+            if (!sent || idempotent) && attempt < attempts {
+                self.backoff(attempt);
+                continue;
+            }
+            return Err(failure);
+        }
+    }
+
+    fn open_inner(&mut self, tenant: &str, durable: bool, patterns: &[&str]) -> io::Result<(u64, bool)> {
         let mut request = format!("OPEN {}", wire::hex_encode(tenant.as_bytes()));
+        if durable {
+            request.push_str(" D");
+        }
         for pattern in patterns {
             request.push(' ');
             request.push_str(&wire::hex_encode(pattern.as_bytes()));
         }
-        let reply = self.round_trip(&request)?;
-        let mut parts = reply.split_whitespace();
-        let id = parse_u64(parts.next())?;
-        Ok((id, parts.next() == Some("HIT")))
+        let (id, hit) = self.call(&request, false, |payload| {
+            let mut parts = payload.split_whitespace();
+            let id = parts.next()?.parse::<u64>().ok()?;
+            let hit = match parts.next()? {
+                "HIT" => true,
+                "MISS" => false,
+                _ => return None,
+            };
+            parts.next().is_none().then_some((id, hit))
+        })?;
+        self.offsets.insert(id, 0);
+        Ok((id, hit))
+    }
+
+    /// Opens a connection-scoped stream; returns `(stream id, cache
+    /// hit)`. The daemon closes it if this connection ends first.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or the daemon's `ERR` reply (overload,
+    /// drain, compile failure) as [`io::ErrorKind::Other`].
+    pub fn open(&mut self, tenant: &str, patterns: &[&str]) -> io::Result<(u64, bool)> {
+        self.open_inner(tenant, false, patterns)
+    }
+
+    /// Opens a durable stream: it survives this connection, so the
+    /// client can reconnect (to this daemon or its successor) and keep
+    /// pushing. Required for retry across restarts.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::open`].
+    pub fn open_durable(&mut self, tenant: &str, patterns: &[&str]) -> io::Result<(u64, bool)> {
+        self.open_inner(tenant, true, patterns)
     }
 
     /// Pushes one chunk; returns the global match-end positions in it.
+    /// When the client tracks the stream's offset (it does for streams
+    /// it opened), the push is idempotent: a lost ack is retried and
+    /// answered from the daemon's replay window, never scanned twice.
     ///
     /// # Errors
     ///
     /// Transport failures or the daemon's `ERR` reply.
     pub fn push(&mut self, id: u64, chunk: &[u8]) -> io::Result<Vec<u64>> {
-        let reply = self.round_trip(&format!("PUSH {id} {}", wire::hex_encode(chunk)))?;
-        let mut parts = reply.split_whitespace();
-        let count = parse_u64(parts.next())?;
-        let ends: Vec<u64> = parts
-            .map(|p| parse_u64(Some(p)))
-            .collect::<io::Result<Vec<u64>>>()?;
-        if ends.len() as u64 != count {
-            return Err(io::Error::other("push reply count mismatch"));
+        let offset = self.offsets.get(&id).copied();
+        let offset_token =
+            offset.map_or_else(|| "-".to_string(), |o| o.to_string());
+        let request = format!("PUSH {id} {offset_token} {}", wire::hex_encode(chunk));
+        let parse = |payload: &str| {
+            let mut parts = payload.split_whitespace();
+            let count = parts.next()?.parse::<u64>().ok()?;
+            let ends = parts.map(|p| p.parse::<u64>().ok()).collect::<Option<Vec<u64>>>()?;
+            (ends.len() as u64 == count).then_some(ends)
+        };
+        let ends = match self.call(&request, offset.is_some(), parse) {
+            Ok(ends) => ends,
+            Err(e) => {
+                // Resync the offset record from an OFFSET refusal so
+                // the caller can recover deliberately.
+                let text = e.to_string();
+                if let Some(rest) = text.strip_prefix("OFFSET ") {
+                    if let Some(expected) =
+                        rest.split_whitespace().next().and_then(|t| t.parse::<u64>().ok())
+                    {
+                        self.offsets.insert(id, expected);
+                    }
+                }
+                return Err(e);
+            }
+        };
+        if let Some(at) = offset {
+            self.offsets.insert(id, at + chunk.len() as u64);
         }
         Ok(ends)
     }
@@ -242,7 +877,11 @@ impl Client {
             request.push(' ');
             request.push_str(&wire::hex_encode(pattern.as_bytes()));
         }
-        parse_u64(Some(&self.round_trip(&request)?))
+        self.call(&request, false, |payload| {
+            let mut parts = payload.split_whitespace();
+            let generation = parts.next()?.parse::<u64>().ok()?;
+            parts.next().is_none().then_some(generation)
+        })
     }
 
     /// Closes the stream; returns `(bytes consumed, match count)`.
@@ -251,9 +890,14 @@ impl Client {
     ///
     /// Transport failures or the daemon's `ERR` reply.
     pub fn close(&mut self, id: u64) -> io::Result<(u64, u64)> {
-        let reply = self.round_trip(&format!("CLOSE {id}"))?;
-        let mut parts = reply.split_whitespace();
-        Ok((parse_u64(parts.next())?, parse_u64(parts.next())?))
+        let totals = self.call(&format!("CLOSE {id}"), false, |payload| {
+            let mut parts = payload.split_whitespace();
+            let consumed = parts.next()?.parse::<u64>().ok()?;
+            let matches = parts.next()?.parse::<u64>().ok()?;
+            parts.next().is_none().then_some((consumed, matches))
+        })?;
+        self.offsets.remove(&id);
+        Ok(totals)
     }
 
     /// Fetches the service counters as a JSON string.
@@ -262,22 +906,48 @@ impl Client {
     ///
     /// Transport failures or the daemon's `ERR` reply.
     pub fn stats(&mut self) -> io::Result<String> {
-        self.round_trip("STATS")
+        // Validated by parsing: a truncated record must be retried,
+        // not returned.
+        self.call("STATS", true, |payload| {
+            ServeMetrics::from_json(payload).map(|_| payload.to_string())
+        })
     }
 
-    /// Asks the daemon to exit cleanly.
+    /// Fetches and parses the service counters.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::stats`].
+    pub fn metrics(&mut self) -> io::Result<ServeMetrics> {
+        self.call("STATS", true, ServeMetrics::from_json)
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or the daemon's `ERR` reply.
+    pub fn ping(&mut self) -> io::Result<()> {
+        self.call("PING", true, |payload| payload.is_empty().then_some(()))
+    }
+
+    /// Asks the daemon to drain: checkpoint every durable stream into
+    /// its manifest and exit. Returns once the daemon acknowledged the
+    /// request (the drain itself proceeds asynchronously).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or the daemon's `ERR` reply.
+    pub fn drain(&mut self) -> io::Result<()> {
+        self.call("DRAIN", true, |payload| payload.is_empty().then_some(()))
+    }
+
+    /// Asks the daemon to exit cleanly without draining.
     ///
     /// # Errors
     ///
     /// Transport failures or the daemon's `ERR` reply.
     pub fn shutdown(&mut self) -> io::Result<()> {
-        self.round_trip("SHUTDOWN").map(|_| ())
+        self.call("SHUTDOWN", true, |payload| payload.is_empty().then_some(()))
     }
-}
-
-fn parse_u64(token: Option<&str>) -> io::Result<u64> {
-    token
-        .ok_or_else(|| io::Error::other("truncated daemon reply"))?
-        .parse::<u64>()
-        .map_err(|_| io::Error::other("malformed daemon reply"))
 }

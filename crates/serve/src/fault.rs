@@ -1,0 +1,183 @@
+//! Seeded wire-level fault injection, the transport counterpart of the
+//! CTA emulator's `FaultPlan`: a deterministic schedule of connection
+//! drops, truncated replies, garbage bytes, and reply delays, threaded
+//! through the daemon's reply path so the retry/replay machinery is
+//! exercised by tests instead of trusted on faith.
+//!
+//! Faults fire **after** a request has executed, at reply time — the
+//! hardest case for a client, because the work committed but the ack
+//! never arrived. A correct client reconnects and re-pushes the same
+//! boundary; the service answers from the idempotent replay window, and
+//! the differential tests prove no match is ever doubled or dropped.
+//!
+//! The schedule is a pure function of `(seed, connection, request)`, so
+//! a failing soak seed replays exactly, the same way the emulator's
+//! fault sweeps do.
+
+use std::fmt;
+use std::time::Duration;
+
+/// One way a reply can go wrong on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFaultKind {
+    /// Write part of the reply, then drop the connection — the client
+    /// sees a torn line and EOF. The request already committed.
+    DropMidFrame,
+    /// Write a truncated reply *with* its newline — the client parses
+    /// a malformed line and must treat it as transport failure.
+    TruncateReply,
+    /// Replace the reply with garbage bytes — framing survives,
+    /// content is nonsense.
+    GarbageBytes,
+    /// Hold the reply past the client's read deadline before sending
+    /// it — the client times out, reconnects, and retries while the
+    /// original reply is still in flight.
+    DelayReply,
+}
+
+impl WireFaultKind {
+    const ALL: [WireFaultKind; 4] = [
+        WireFaultKind::DropMidFrame,
+        WireFaultKind::TruncateReply,
+        WireFaultKind::GarbageBytes,
+        WireFaultKind::DelayReply,
+    ];
+}
+
+impl fmt::Display for WireFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            WireFaultKind::DropMidFrame => "drop-mid-frame",
+            WireFaultKind::TruncateReply => "truncate-reply",
+            WireFaultKind::GarbageBytes => "garbage-bytes",
+            WireFaultKind::DelayReply => "delay-reply",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A deterministic fault schedule over the daemon's replies.
+///
+/// `period` controls density: roughly one in `period` eligible replies
+/// faults, with the kind cycling through all four. Lifecycle replies
+/// (`OPEN`, `CLOSE`, `DRAIN`, `SHUTDOWN`) are exempted by the daemon so
+/// stream accounting stays exact — the plan targets the push/ack path,
+/// which is the one with idempotency machinery to prove out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireFaultPlan {
+    seed: u64,
+    period: u64,
+    delay: Duration,
+}
+
+fn mix(mut x: u64) -> u64 {
+    // splitmix64 finalizer: cheap, well-distributed, dependency-free.
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl WireFaultPlan {
+    /// A plan faulting roughly one in `period` eligible replies
+    /// (`period` 0 is clamped to 1 — every reply faults).
+    pub fn from_seed(seed: u64, period: u64) -> WireFaultPlan {
+        WireFaultPlan { seed, period: period.max(1), delay: Duration::from_millis(50) }
+    }
+
+    /// Replaces the [`WireFaultKind::DelayReply`] hold time (pick it
+    /// longer than the client's read deadline).
+    pub fn with_delay(self, delay: Duration) -> WireFaultPlan {
+        WireFaultPlan { delay, ..self }
+    }
+
+    /// How long a delayed reply is held.
+    pub fn delay(&self) -> Duration {
+        self.delay
+    }
+
+    /// The fault (if any) for reply number `request` on connection
+    /// number `connection`. Pure: the same triple always decides the
+    /// same way.
+    pub fn decide(&self, connection: u64, request: u64) -> Option<WireFaultKind> {
+        let h = mix(self.seed ^ mix(connection.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ request));
+        if !h.is_multiple_of(self.period) {
+            return None;
+        }
+        let idx = (h / self.period) as usize % WireFaultKind::ALL.len();
+        Some(WireFaultKind::ALL[idx])
+    }
+
+    /// Deterministic garbage for [`WireFaultKind::GarbageBytes`]:
+    /// printable noise that is never a valid reply line.
+    pub fn garbage(&self, connection: u64, request: u64) -> String {
+        let mut h = mix(self.seed ^ connection ^ mix(request));
+        let mut out = String::with_capacity(24);
+        out.push_str("\u{7}#"); // BEL + '#': no verb starts like this
+        for _ in 0..16 {
+            h = mix(h);
+            out.push(char::from(b'!' + (h % 90) as u8));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_covers_every_kind() {
+        let plan = WireFaultPlan::from_seed(42, 7);
+        let twin = WireFaultPlan::from_seed(42, 7);
+        let mut seen = [false; 4];
+        let mut fired = 0u32;
+        let mut total = 0u32;
+        for conn in 0..16 {
+            for req in 0..64 {
+                total += 1;
+                let fault = plan.decide(conn, req);
+                assert_eq!(fault, twin.decide(conn, req), "same seed, same schedule");
+                if let Some(kind) = fault {
+                    fired += 1;
+                    seen[WireFaultKind::ALL.iter().position(|k| *k == kind).expect("known kind")] =
+                        true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|s| *s), "a long sweep must hit every kind: {seen:?}");
+        // Density tracks the period loosely (it's a hash, not a counter).
+        assert!(fired > total / 28 && fired < total / 2, "{fired}/{total}");
+        let different = WireFaultPlan::from_seed(43, 7);
+        assert!(
+            (0..64u64).any(|r| different.decide(0, r) != plan.decide(0, r)),
+            "different seeds must differ somewhere"
+        );
+    }
+
+    #[test]
+    fn period_one_faults_everything_and_zero_is_clamped() {
+        let plan = WireFaultPlan::from_seed(9, 0);
+        for req in 0..32 {
+            assert!(plan.decide(0, req).is_some());
+        }
+    }
+
+    #[test]
+    fn garbage_is_stable_and_never_a_protocol_line() {
+        let plan = WireFaultPlan::from_seed(7, 3);
+        let g = plan.garbage(2, 5);
+        assert_eq!(g, plan.garbage(2, 5));
+        assert!(!g.starts_with("OK") && !g.starts_with("ERR"));
+        assert!(!g.contains('\n'));
+    }
+
+    #[test]
+    fn kinds_display_for_sweep_logs() {
+        let names: Vec<String> =
+            WireFaultKind::ALL.iter().map(|k| k.to_string()).collect();
+        assert_eq!(
+            names,
+            ["drop-mid-frame", "truncate-reply", "garbage-bytes", "delay-reply"]
+        );
+    }
+}

@@ -30,22 +30,40 @@
 //! assert_eq!(ends, vec![5, 6, 7, 8, 9]);
 //! ```
 //!
-//! The daemon form ([`serve_unix`] / the `bitgen-serve` binary) exposes
-//! the same service over a Unix socket with a line protocol
-//! ([`wire`]); `bitgrep --serve <socket>` starts one from the CLI.
+//! The daemon form ([`serve_unix`]/[`serve_tcp`] / the `bitgen-serve`
+//! binary) exposes the same service over a Unix or TCP socket with a
+//! line protocol ([`wire`]); `bitgrep --serve <socket>` starts one
+//! from the CLI.
+//!
+//! The serving layer is crash-tolerant: a daemon drains on request (or
+//! on `SIGTERM`), checkpointing every open stream into a sealed
+//! [`DrainManifest`] that a successor adopts bit-identically
+//! ([`ScanService::drain`] / [`ScanService::adopt_manifest`]), and
+//! [`Client`] retries transient rejections with seeded backoff plus
+//! offset-keyed idempotent push replay ([`RetryConfig`]). The
+//! [`fault`] module injects seeded wire-level faults (dropped
+//! connections, truncated replies, garbage, delays) to prove it.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod cache;
 mod daemon;
+pub mod drain;
+pub mod fault;
 mod metrics;
 mod queue;
 mod service;
+mod transport;
 pub mod wire;
 
-pub use daemon::{serve_unix, Client};
-pub use metrics::ServeMetrics;
+pub use daemon::{
+    serve_tcp, serve_tcp_listener, serve_unix, serve_unix_with, Client, DaemonConfig,
+    RetryConfig, ServeOutcome,
+};
+pub use drain::{AckRecord, DrainEntry, DrainManifest};
+pub use fault::{WireFaultKind, WireFaultPlan};
+pub use metrics::{ServeMetrics, TenantMetrics};
 pub use service::{
     Admission, ScanService, ServeConfig, ServeError, StreamId, StreamStats, TenantBudget,
 };

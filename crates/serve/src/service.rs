@@ -33,14 +33,34 @@
 //! pushing the same stream concurrently are applied in queue order,
 //! each transactionally — the same contract as two writers on one
 //! socket.
+//!
+//! # Surviving restarts
+//!
+//! [`ScanService::drain`] is the crash-tolerant half of the checkpoint
+//! story: stop admitting (typed [`Error::Draining`]), let in-flight
+//! pushes finish (or cancel them at the deadline — they roll back, so
+//! nothing is half-scanned), then checkpoint every open stream into a
+//! [`DrainManifest`]. A successor service —
+//! [`ScanService::adopt_manifest`] — revives every stream *under its
+//! original id* at the exact committed boundary, rebuilding post-swap
+//! engines by replaying each stream's pattern lineage. The scan a
+//! client completes across the handoff is bit-identical to one that
+//! never moved.
+//!
+//! Push idempotency rides the same machinery: each slot remembers its
+//! last acknowledged push (offset + ends). A client that never saw the
+//! ack re-pushes the same boundary and gets the recorded ends back —
+//! counted as a replay, never scanned twice — and the replay window
+//! travels in the manifest, so the guarantee spans the restart too.
 
 use crate::cache::{cache_key, PatternCache};
+use crate::drain::{AckRecord, DrainEntry, DrainManifest};
 use crate::metrics::{MetricCells, ServeMetrics};
 use crate::queue::FairQueue;
 use bitgen::{BitGen, CancelToken, EngineConfig, Error, RetryPolicy, StreamCheckpoint};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, SyncSender};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -139,11 +159,21 @@ pub struct StreamStats {
 #[derive(Debug)]
 pub enum ServeError {
     /// The underlying engine failed — compile, execution, checkpoint,
-    /// or a typed [`Error::Overloaded`] rejection from admission
-    /// control or the push queue.
+    /// or a typed [`Error::Overloaded`]/[`Error::Draining`] rejection
+    /// from admission control, the push queue, or the drain lifecycle.
     Scan(Error),
     /// No stream with this id is open (never admitted, or closed).
     UnknownStream(StreamId),
+    /// A push named a byte offset that is neither the stream's
+    /// committed boundary nor its replay window. The client's record of
+    /// the stream has diverged from the service's; resync from
+    /// `expected` before pushing more.
+    OffsetMismatch {
+        /// The stream whose offsets diverged.
+        stream: StreamId,
+        /// The stream's committed byte offset on the service.
+        expected: u64,
+    },
     /// The service shut down while the request was in flight.
     ShuttingDown,
 }
@@ -153,6 +183,11 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Scan(e) => write!(f, "{e}"),
             ServeError::UnknownStream(id) => write!(f, "unknown stream id {id}"),
+            ServeError::OffsetMismatch { stream, expected } => write!(
+                f,
+                "stream {stream} is at byte offset {expected}; \
+                 the push named neither that boundary nor the replay window"
+            ),
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
         }
     }
@@ -162,7 +197,9 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Scan(e) => Some(e),
-            ServeError::UnknownStream(_) | ServeError::ShuttingDown => None,
+            ServeError::UnknownStream(_)
+            | ServeError::OffsetMismatch { .. }
+            | ServeError::ShuttingDown => None,
         }
     }
 }
@@ -176,7 +213,22 @@ impl From<Error> for ServeError {
 /// One live stream: who owns it, how to interrupt it, and its state.
 #[derive(Debug)]
 struct StreamSlot {
+    id: StreamId,
     tenant: String,
+    /// Whether the stream belongs in a drain manifest. Streams opened
+    /// through the service API default to durable; the daemon marks
+    /// connection-scoped ones non-durable, since their lifetime is a
+    /// connection that cannot outlive the daemon anyway.
+    durable: AtomicBool,
+    /// Generation of `lineage[0]`'s engine; `0` unless the stream was
+    /// adopted mid-lineage (see [`crate::drain::DrainEntry`]).
+    base_generation: u64,
+    /// Pattern sets from `base_generation` onward — the compile set
+    /// plus each hot swap's set — enough to rebuild the engine after a
+    /// restart.
+    lineage: Mutex<Vec<Vec<String>>>,
+    /// The last acknowledged push: the idempotent replay window.
+    last_ack: Mutex<Option<AckRecord>>,
     /// Per-push wall budget; replaceable while the stream is live.
     deadline: Mutex<Option<Duration>>,
     /// Cancellation for the in-flight (or next) push; replaced by
@@ -193,13 +245,32 @@ struct StreamState {
     checkpoint: StreamCheckpoint,
 }
 
+/// How a worker answered a push.
+#[derive(Debug)]
+enum PushOutcome {
+    /// The chunk was scanned and the boundary committed.
+    Scanned(Vec<u64>),
+    /// The chunk was already committed (lost ack); these are the
+    /// recorded ends, returned without a rescan.
+    Replayed(Vec<u64>),
+}
+
+impl PushOutcome {
+    fn into_ends(self) -> Vec<u64> {
+        match self {
+            PushOutcome::Scanned(ends) | PushOutcome::Replayed(ends) => ends,
+        }
+    }
+}
+
 /// A queued push and the channel its caller is blocked on.
 #[derive(Debug)]
 struct Job {
     slot: Arc<StreamSlot>,
+    offset: Option<u64>,
     chunk: Vec<u8>,
     accepted: Instant,
-    reply: SyncSender<Result<Vec<u64>, Error>>,
+    reply: SyncSender<Result<Vec<u64>, ServeError>>,
 }
 
 #[derive(Debug)]
@@ -211,6 +282,11 @@ struct Inner {
     queue: FairQueue<Job>,
     metrics: MetricCells,
     next_id: AtomicU64,
+    /// Set by [`ScanService::drain`]; admissions and pushes check it.
+    draining: AtomicBool,
+    /// Pushes accepted into the queue and not yet replied to; the
+    /// drain barrier waits for this to reach zero.
+    in_flight: AtomicU64,
 }
 
 /// Non-panicking lock acquisition: a worker that panicked mid-push
@@ -254,9 +330,30 @@ impl Inner {
     }
 
     /// The worker body: resume at the last boundary, push, commit the
-    /// new boundary. Failures leave the checkpoint untouched.
-    fn run_push(&self, slot: &StreamSlot, chunk: &[u8]) -> Result<Vec<u64>, Error> {
+    /// new boundary, record the ack. Failures leave the checkpoint and
+    /// ack untouched. An offset that names the already-committed chunk
+    /// is answered from the ack without a scan.
+    fn run_push(
+        &self,
+        slot: &StreamSlot,
+        offset: Option<u64>,
+        chunk: &[u8],
+    ) -> Result<PushOutcome, ServeError> {
         let mut state = lock(&slot.state);
+        let committed = state.checkpoint.consumed();
+        if let Some(at) = offset {
+            if at != committed {
+                if let Some(ack) = lock(&slot.last_ack).as_ref() {
+                    if ack.offset == at && at + chunk.len() as u64 == committed {
+                        return Ok(PushOutcome::Replayed(ack.ends.clone()));
+                    }
+                }
+                return Err(ServeError::OffsetMismatch {
+                    stream: slot.id,
+                    expected: committed,
+                });
+            }
+        }
         let engine = state.engine.clone();
         let mut scanner = engine.resume(&state.checkpoint)?;
         scanner.set_retry_policy(self.config.retry);
@@ -264,20 +361,29 @@ impl Inner {
         scanner.set_timeout(*lock(&slot.deadline));
         let ends = scanner.push(chunk)?;
         state.checkpoint = scanner.checkpoint();
-        Ok(ends)
+        *lock(&slot.last_ack) = Some(AckRecord { offset: committed, ends: ends.clone() });
+        Ok(PushOutcome::Scanned(ends))
     }
 
     fn worker_loop(&self) {
         while let Some(job) = self.queue.dequeue() {
             self.metrics.note_queue_wait(job.accepted.elapsed());
-            let result = self.run_push(&job.slot, &job.chunk);
+            let result = self.run_push(&job.slot, job.offset, &job.chunk);
             match &result {
-                Ok(ends) => {
+                Ok(PushOutcome::Scanned(ends)) => {
                     self.metrics.pushes_completed.fetch_add(1, Ordering::Relaxed);
                     self.metrics
                         .bytes_scanned
                         .fetch_add(job.chunk.len() as u64, Ordering::Relaxed);
                     self.metrics.match_count.fetch_add(ends.len() as u64, Ordering::Relaxed);
+                    self.metrics.tenant(&job.slot.tenant, |t| t.pushes += 1);
+                }
+                Ok(PushOutcome::Replayed(_)) => {
+                    self.metrics.pushes_replayed.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.tenant(&job.slot.tenant, |t| t.retries += 1);
+                }
+                Err(ServeError::OffsetMismatch { .. }) => {
+                    self.metrics.tenant(&job.slot.tenant, |t| t.rejections += 1);
                 }
                 Err(_) => {
                     self.metrics.pushes_failed.fetch_add(1, Ordering::Relaxed);
@@ -285,9 +391,26 @@ impl Inner {
             }
             // A vanished caller (disconnected client) is not an error;
             // the push already committed or rolled back.
-            let _ = job.reply.send(result);
+            let _ = job.reply.send(result.map(PushOutcome::into_ends));
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
         }
     }
+}
+
+/// Everything [`ScanService::admit`] needs to install one slot.
+struct AdmitSpec<'a> {
+    /// `Some` preserves an id across a drain handoff; `None` mints one.
+    id: Option<StreamId>,
+    tenant: &'a str,
+    engine: Arc<BitGen>,
+    cache_hit: bool,
+    checkpoint: StreamCheckpoint,
+    base_generation: u64,
+    lineage: Vec<Vec<String>>,
+    last_ack: Option<AckRecord>,
+    /// Manifest adoption skips the budget — refusing a stream that was
+    /// already admitted before the restart would lose it.
+    enforce_budget: bool,
 }
 
 /// The service: construct with [`ScanService::start`], share by
@@ -314,6 +437,8 @@ impl ScanService {
             queue: FairQueue::new(config.queue_capacity),
             metrics: MetricCells::default(),
             next_id: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            in_flight: AtomicU64::new(0),
             config,
         });
         let workers = (0..worker_count)
@@ -332,6 +457,18 @@ impl ScanService {
         lock(&self.inner.budgets).insert(tenant.to_string(), budget);
     }
 
+    /// Typed refusal while the drain lifecycle owns the service.
+    fn refuse_if_draining(&self, tenant: Option<&str>) -> Result<(), ServeError> {
+        if self.inner.draining.load(Ordering::SeqCst) {
+            self.inner.metrics.rejected_draining.fetch_add(1, Ordering::Relaxed);
+            if let Some(tenant) = tenant {
+                self.inner.metrics.tenant(tenant, |t| t.rejections += 1);
+            }
+            return Err(ServeError::Scan(Error::Draining));
+        }
+        Ok(())
+    }
+
     /// Admits a new stream for `tenant` on `patterns`, compiling them
     /// only if no cached engine exists for the exact (patterns, config,
     /// generation 0) key.
@@ -339,12 +476,24 @@ impl ScanService {
     /// # Errors
     ///
     /// [`Error::Overloaded`] (wrapped in [`ServeError::Scan`]) when the
-    /// tenant is at its open-stream budget; compile errors when the
-    /// pattern set is new and does not compile.
+    /// tenant is at its open-stream budget; [`Error::Draining`] during
+    /// a drain; compile errors when the pattern set is new and does not
+    /// compile.
     pub fn open_stream(&self, tenant: &str, patterns: &[&str]) -> Result<Admission, ServeError> {
+        self.refuse_if_draining(Some(tenant))?;
         let (engine, hit) = self.inner.engine_for(patterns, 0)?;
         let checkpoint = engine.streamer()?.checkpoint();
-        self.admit(tenant, engine, hit, checkpoint)
+        self.admit(AdmitSpec {
+            id: None,
+            tenant,
+            engine,
+            cache_hit: hit,
+            checkpoint,
+            base_generation: 0,
+            lineage: vec![patterns.iter().map(|p| p.to_string()).collect()],
+            last_ack: None,
+            enforce_budget: true,
+        })
     }
 
     /// Admits a stream that continues from `checkpoint` — the
@@ -367,48 +516,159 @@ impl ScanService {
         patterns: &[&str],
         checkpoint: StreamCheckpoint,
     ) -> Result<Admission, ServeError> {
+        self.refuse_if_draining(Some(tenant))?;
         let (engine, hit) = self.inner.engine_for(patterns, checkpoint.generation())?;
         // Validate now so a bad checkpoint is refused at admission, not
         // on the first push.
         engine.resume(&checkpoint)?;
-        self.admit(tenant, engine, hit, checkpoint)
+        let base_generation = checkpoint.generation();
+        self.admit(AdmitSpec {
+            id: None,
+            tenant,
+            engine,
+            cache_hit: hit,
+            checkpoint,
+            base_generation,
+            lineage: vec![patterns.iter().map(|p| p.to_string()).collect()],
+            last_ack: None,
+            enforce_budget: true,
+        })
     }
 
-    fn admit(
+    /// Adopts every stream of a drain manifest, preserving stream ids,
+    /// committed boundaries, generations, and replay windows — the
+    /// successor half of [`ScanService::drain`]. Engines are fetched
+    /// from the cache or rebuilt by replaying the recorded pattern
+    /// lineage ([`BitGen::compile_lineage`]), and each checkpoint is
+    /// validated before its slot is installed. Tenant budgets are not
+    /// enforced here: these streams were already admitted before the
+    /// restart.
+    ///
+    /// # Errors
+    ///
+    /// The first entry that fails (invalid checkpoint, incomplete
+    /// lineage, compile failure) aborts with its error; entries adopted
+    /// before it remain adopted.
+    pub fn adopt_manifest(
         &self,
-        tenant: &str,
-        engine: Arc<BitGen>,
-        cache_hit: bool,
-        checkpoint: StreamCheckpoint,
-    ) -> Result<Admission, ServeError> {
-        let budget = self.inner.budget_for(tenant);
+        manifest: &DrainManifest,
+    ) -> Result<Vec<Admission>, ServeError> {
+        manifest.entries.iter().map(|entry| self.adopt_entry(entry)).collect()
+    }
+
+    fn adopt_entry(&self, entry: &DrainEntry) -> Result<Admission, ServeError> {
+        let invalid = |reason: String| {
+            ServeError::Scan(Error::CheckpointInvalid { reason })
+        };
+        let checkpoint = StreamCheckpoint::from_bytes(&entry.checkpoint)?;
+        if checkpoint.generation() != entry.generation {
+            return Err(invalid(format!(
+                "drain manifest stream {}: checkpoint generation {} disagrees with \
+                 the recorded generation {}",
+                entry.stream,
+                checkpoint.generation(),
+                entry.generation
+            )));
+        }
+        let last = entry
+            .lineage
+            .last()
+            .ok_or_else(|| invalid(format!("drain manifest stream {}: empty lineage", entry.stream)))?;
+        let lineage_gen =
+            entry.base_generation + entry.lineage.len() as u64 - 1;
+        if lineage_gen != entry.generation {
+            return Err(invalid(format!(
+                "drain manifest stream {}: lineage reaches generation {lineage_gen} \
+                 but the checkpoint is at {}",
+                entry.stream, entry.generation
+            )));
+        }
+        let refs: Vec<&str> = last.iter().map(String::as_str).collect();
+        let key = cache_key(&self.inner.config.engine, entry.generation, &refs);
+        let (engine, hit, evicted) = lock(&self.inner.cache).get_or_compile(key, || {
+            if entry.base_generation == 0 {
+                BitGen::compile_lineage(&entry.lineage, self.inner.config.engine.clone())
+            } else {
+                Err(Error::CheckpointInvalid {
+                    reason: format!(
+                        "drain manifest stream {}: lineage starts at generation {} \
+                         (the stream was itself adopted mid-lineage) and no cached \
+                         engine holds that generation",
+                        entry.stream, entry.base_generation
+                    ),
+                })
+            }
+        })?;
+        self.inner.note_cache_outcome(hit, evicted);
+        engine.resume(&checkpoint)?;
+        let admission = self.admit(AdmitSpec {
+            id: Some(entry.stream),
+            tenant: &entry.tenant,
+            engine,
+            cache_hit: hit,
+            checkpoint,
+            base_generation: entry.base_generation,
+            lineage: entry.lineage.clone(),
+            last_ack: entry.last_ack.clone(),
+            enforce_budget: false,
+        })?;
+        self.inner.metrics.streams_adopted.fetch_add(1, Ordering::Relaxed);
+        Ok(admission)
+    }
+
+    fn admit(&self, spec: AdmitSpec<'_>) -> Result<Admission, ServeError> {
+        let budget = self.inner.budget_for(spec.tenant);
+        let id = match spec.id {
+            Some(id) => {
+                // Keep minted ids clear of every adopted one.
+                self.inner.next_id.fetch_max(id, Ordering::Relaxed);
+                id
+            }
+            None => self.inner.next_id.fetch_add(1, Ordering::Relaxed) + 1,
+        };
         let admission = Admission {
-            stream: self.inner.next_id.fetch_add(1, Ordering::Relaxed) + 1,
-            cache_hit,
-            generation: checkpoint.generation(),
-            fingerprint: engine.stream_fingerprint(),
+            stream: id,
+            cache_hit: spec.cache_hit,
+            generation: spec.checkpoint.generation(),
+            fingerprint: spec.engine.stream_fingerprint(),
         };
         let slot = Arc::new(StreamSlot {
-            tenant: tenant.to_string(),
+            id,
+            tenant: spec.tenant.to_string(),
+            durable: AtomicBool::new(true),
+            base_generation: spec.base_generation,
+            lineage: Mutex::new(spec.lineage),
+            last_ack: Mutex::new(spec.last_ack),
             deadline: Mutex::new(budget.deadline),
             cancel: Mutex::new(CancelToken::new()),
-            state: Mutex::new(StreamState { engine, checkpoint }),
+            state: Mutex::new(StreamState { engine: spec.engine, checkpoint: spec.checkpoint }),
         });
         {
             let mut streams = lock(&self.inner.streams);
-            let open = streams.values().filter(|s| s.tenant == tenant).count();
-            if open >= budget.max_streams.max(1) {
-                self.inner.metrics.rejected_admissions.fetch_add(1, Ordering::Relaxed);
-                return Err(ServeError::Scan(Error::Overloaded {
+            if spec.enforce_budget {
+                let open = streams.values().filter(|s| s.tenant == spec.tenant).count();
+                if open >= budget.max_streams.max(1) {
+                    self.inner.metrics.rejected_admissions.fetch_add(1, Ordering::Relaxed);
+                    self.inner.metrics.tenant(spec.tenant, |t| t.rejections += 1);
+                    return Err(ServeError::Scan(Error::Overloaded {
+                        reason: format!(
+                            "tenant {:?} is at its budget of {} open streams",
+                            spec.tenant, budget.max_streams
+                        ),
+                    }));
+                }
+            }
+            if streams.insert(admission.stream, slot).is_some() {
+                return Err(ServeError::Scan(Error::CheckpointInvalid {
                     reason: format!(
-                        "tenant {tenant:?} is at its budget of {} open streams",
-                        budget.max_streams
+                        "stream id {} is already open on this service",
+                        admission.stream
                     ),
                 }));
             }
-            streams.insert(admission.stream, slot);
         }
         self.inner.metrics.streams_opened.fetch_add(1, Ordering::Relaxed);
+        self.inner.metrics.tenant(spec.tenant, |t| t.open_streams += 1);
         Ok(admission)
     }
 
@@ -421,25 +681,63 @@ impl ScanService {
     /// the chunk — exactly what a standalone
     /// [`bitgen::StreamScanner::push`] of the same bytes returns.
     ///
+    /// Equivalent to [`ScanService::push_chunk_at`] with no offset
+    /// check.
+    ///
     /// # Errors
     ///
     /// [`Error::Overloaded`] when the shared queue or the tenant's
-    /// slice is full (nothing was buffered; retry later); otherwise the
-    /// push's own failure (cancelled, deadline, exhausted retries), in
-    /// which case the stream stays at its previous chunk boundary and
-    /// the same bytes can be re-pushed.
+    /// slice is full (nothing was buffered; retry later);
+    /// [`Error::Draining`] during a drain; otherwise the push's own
+    /// failure (cancelled, deadline, exhausted retries), in which case
+    /// the stream stays at its previous chunk boundary and the same
+    /// bytes can be re-pushed.
     pub fn push_chunk(&self, id: StreamId, chunk: &[u8]) -> Result<Vec<u64>, ServeError> {
+        self.push_chunk_at(id, None, chunk)
+    }
+
+    /// [`ScanService::push_chunk`] with an idempotency key: `offset` is
+    /// the caller's record of the stream's byte offset before this
+    /// chunk. A push whose ack was lost can be re-sent with the same
+    /// offset — the service recognises the already-committed boundary
+    /// and returns the recorded ends without scanning the bytes twice.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ScanService::push_chunk`] returns, plus
+    /// [`ServeError::OffsetMismatch`] when `offset` matches neither the
+    /// committed boundary nor the replay window.
+    pub fn push_chunk_at(
+        &self,
+        id: StreamId,
+        offset: Option<u64>,
+        chunk: &[u8],
+    ) -> Result<Vec<u64>, ServeError> {
         let slot = self.slot(id)?;
-        let budget = self.inner.budget_for(&slot.tenant);
-        let (reply, result) = mpsc::sync_channel(1);
         let tenant = slot.tenant.clone();
-        let job = Job { slot, chunk: chunk.to_vec(), accepted: Instant::now(), reply };
+        self.refuse_if_draining(Some(&tenant))?;
+        let budget = self.inner.budget_for(&tenant);
+        let (reply, result) = mpsc::sync_channel(1);
+        let job = Job { slot, offset, chunk: chunk.to_vec(), accepted: Instant::now(), reply };
+        // Count the job in flight *before* re-checking the drain flag
+        // so the drain barrier can never miss it (flag-then-counter
+        // handshake with `drain`).
+        self.inner.in_flight.fetch_add(1, Ordering::SeqCst);
+        if self.inner.draining.load(Ordering::SeqCst) {
+            self.inner.in_flight.fetch_sub(1, Ordering::SeqCst);
+            drop(job);
+            self.inner.metrics.rejected_draining.fetch_add(1, Ordering::Relaxed);
+            self.inner.metrics.tenant(&tenant, |t| t.rejections += 1);
+            return Err(ServeError::Scan(Error::Draining));
+        }
         if let Err(rejected) = self.inner.queue.enqueue(&tenant, job, budget.max_queued) {
+            self.inner.in_flight.fetch_sub(1, Ordering::SeqCst);
             self.inner.metrics.rejected_pushes.fetch_add(1, Ordering::Relaxed);
+            self.inner.metrics.tenant(&tenant, |t| t.rejections += 1);
             return Err(ServeError::Scan(rejected));
         }
         match result.recv() {
-            Ok(outcome) => outcome.map_err(ServeError::Scan),
+            Ok(outcome) => outcome,
             Err(_) => Err(ServeError::ShuttingDown),
         }
     }
@@ -457,6 +755,19 @@ impl ScanService {
     /// again.
     pub fn reset_cancel(&self, id: StreamId) -> Result<(), ServeError> {
         *lock(&self.slot(id)?.cancel) = CancelToken::new();
+        Ok(())
+    }
+
+    /// Marks stream `id` durable or not. Durable streams (the default)
+    /// are checkpointed into the drain manifest; non-durable ones are
+    /// left out — the daemon uses this for connection-scoped streams,
+    /// whose owning connection cannot survive the restart either.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownStream`] when no such stream is open.
+    pub fn set_durable(&self, id: StreamId, durable: bool) -> Result<(), ServeError> {
+        self.slot(id)?.durable.store(durable, Ordering::Relaxed);
         Ok(())
     }
 
@@ -489,8 +800,9 @@ impl ScanService {
     /// # Errors
     ///
     /// Compile or limit errors from staging (the stream is untouched),
-    /// or resume/commit failures.
+    /// [`Error::Draining`] during a drain, or resume/commit failures.
     pub fn swap_rules(&self, id: StreamId, patterns: &[&str]) -> Result<u64, ServeError> {
+        self.refuse_if_draining(None)?;
         let slot = self.slot(id)?;
         let mut state = lock(&slot.state);
         let engine = state.engine.clone();
@@ -508,6 +820,10 @@ impl ScanService {
         self.inner.metrics.hot_swaps.fetch_add(1, Ordering::Relaxed);
         state.checkpoint = committed;
         state.engine = swapped;
+        lock(&slot.lineage).push(patterns.iter().map(|p| p.to_string()).collect());
+        // The old replay window's ends belong to the old generation's
+        // timeline; a swap is a new boundary, not a re-pushable one.
+        *lock(&slot.last_ack) = None;
         Ok(generation)
     }
 
@@ -519,6 +835,9 @@ impl ScanService {
         let slot =
             lock(&self.inner.streams).remove(&id).ok_or(ServeError::UnknownStream(id))?;
         self.inner.metrics.streams_closed.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .metrics
+            .tenant(&slot.tenant, |t| t.open_streams = t.open_streams.saturating_sub(1));
         let state = lock(&slot.state);
         Ok(StreamStats {
             consumed: state.checkpoint.consumed(),
@@ -544,6 +863,72 @@ impl ScanService {
     /// The compile failure, when the set is new and does not compile.
     pub fn warm(&self, patterns: &[&str]) -> Result<bool, ServeError> {
         Ok(self.inner.engine_for(patterns, 0)?.1)
+    }
+
+    /// `true` once [`ScanService::drain`] has begun: every admission,
+    /// push, and swap is being refused with [`Error::Draining`].
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::SeqCst)
+    }
+
+    /// Drains the service: stops admitting work (typed
+    /// [`Error::Draining`] for everything that arrives after this
+    /// call), waits up to `deadline` for in-flight pushes to finish,
+    /// cancels the stragglers past it (they roll back — their clients
+    /// must re-push those bytes to the successor), then checkpoints
+    /// every open durable stream (see [`ScanService::set_durable`])
+    /// into the returned manifest. The `bool` is `true` when the
+    /// deadline forced cancellations.
+    ///
+    /// The streams stay in the (now-refusing) service so late
+    /// `CLOSE`/`STATS` requests still resolve; the expected next step
+    /// is [`ScanService::shutdown`] and handing the manifest to the
+    /// successor's [`ScanService::adopt_manifest`].
+    pub fn drain(&self, deadline: Duration) -> (DrainManifest, bool) {
+        let inner = &self.inner;
+        inner.draining.store(true, Ordering::SeqCst);
+        let start = Instant::now();
+        let mut forced = false;
+        while inner.in_flight.load(Ordering::SeqCst) != 0 {
+            if start.elapsed() >= deadline {
+                forced = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        if forced {
+            for slot in lock(&inner.streams).values() {
+                lock(&slot.cancel).cancel();
+            }
+            // Cancellation is cooperative and prompt (polled every
+            // execution window); wait for the rollbacks to land.
+            while inner.in_flight.load(Ordering::SeqCst) != 0 {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        }
+        let mut entries: Vec<DrainEntry> = lock(&inner.streams)
+            .values()
+            .filter(|slot| slot.durable.load(Ordering::Relaxed))
+            .map(|slot| {
+                let state = lock(&slot.state);
+                DrainEntry {
+                    stream: slot.id,
+                    tenant: slot.tenant.clone(),
+                    generation: state.checkpoint.generation(),
+                    base_generation: slot.base_generation,
+                    lineage: lock(&slot.lineage).clone(),
+                    checkpoint: state.checkpoint.to_bytes(),
+                    last_ack: lock(&slot.last_ack).clone(),
+                }
+            })
+            .collect();
+        entries.sort_by_key(|e| e.stream);
+        inner.metrics.drains.fetch_add(1, Ordering::Relaxed);
+        if forced {
+            inner.metrics.drains_forced.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.metrics.streams_drained.fetch_add(entries.len() as u64, Ordering::Relaxed);
+        (DrainManifest { entries }, forced)
     }
 
     /// Snapshot of the service counters.
@@ -607,6 +992,8 @@ mod tests {
         let m = service.metrics();
         assert_eq!((m.cache_misses, m.cache_hits), (1, 1));
         assert_eq!(m.streams_opened, 2);
+        assert_eq!(m.tenants["alpha"].open_streams, 1);
+        assert_eq!(m.tenants["beta"].open_streams, 1);
     }
 
     #[test]
@@ -623,7 +1010,9 @@ mod tests {
         // Another tenant is unaffected; closing frees the budget.
         let other = service.open_stream("large", &["aa"]).unwrap();
         assert!(other.cache_hit);
-        assert_eq!(service.metrics().rejected_admissions, 1);
+        let m = service.metrics();
+        assert_eq!(m.rejected_admissions, 1);
+        assert_eq!(m.tenants["small"].rejections, 1);
     }
 
     #[test]
@@ -663,5 +1052,125 @@ mod tests {
         ));
         service.set_stream_deadline(admission.stream, None).unwrap();
         assert_eq!(service.push_chunk(admission.stream, b"xyxy").unwrap(), vec![1, 3]);
+    }
+
+    #[test]
+    fn lost_ack_replay_returns_recorded_ends_without_rescanning() {
+        let service = ScanService::start(ServeConfig::default());
+        let admission = service.open_stream("acme", &["cat"]).unwrap();
+        let first = service.push_chunk_at(admission.stream, Some(0), b"cat and ").unwrap();
+        assert_eq!(first, vec![2]);
+        // The ack "got lost": the client re-pushes the same boundary.
+        let replayed = service.push_chunk_at(admission.stream, Some(0), b"cat and ").unwrap();
+        assert_eq!(replayed, first);
+        // Then continues from where it actually was.
+        let next = service.push_chunk_at(admission.stream, Some(8), b"catfish").unwrap();
+        assert_eq!(next, vec![10]);
+        let m = service.metrics();
+        assert_eq!(m.pushes_completed, 2, "the replay must not scan again");
+        assert_eq!(m.pushes_replayed, 1);
+        assert_eq!(m.bytes_scanned, 15);
+        assert_eq!(m.tenants["acme"].retries, 1);
+        // A diverged offset is a typed refusal that names the boundary.
+        let err = service.push_chunk_at(admission.stream, Some(3), b"zzz").unwrap_err();
+        match err {
+            ServeError::OffsetMismatch { stream, expected } => {
+                assert_eq!((stream, expected), (admission.stream, 15));
+            }
+            other => panic!("expected OffsetMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drain_checkpoints_streams_and_successor_adopts_bit_identically() {
+        let input = b"cat dooog catalog dog cat".as_slice();
+        let (head, tail) = input.split_at(11);
+
+        let service = ScanService::start(ServeConfig::default());
+        let admission = service.open_stream("acme", &["cat", "do+g"]).unwrap();
+        let mut served = service.push_chunk(admission.stream, head).unwrap();
+        let (manifest, forced) = service.drain(Duration::from_secs(5));
+        assert!(!forced);
+        assert_eq!(manifest.entries.len(), 1);
+        assert_eq!(manifest.entries[0].stream, admission.stream);
+        // Draining services refuse everything with the typed error.
+        assert!(matches!(
+            service.push_chunk(admission.stream, tail),
+            Err(ServeError::Scan(Error::Draining))
+        ));
+        assert!(matches!(
+            service.open_stream("acme", &["cat"]),
+            Err(ServeError::Scan(Error::Draining))
+        ));
+        let drained = service.metrics();
+        assert_eq!((drained.drains, drained.streams_drained), (1, 1));
+        assert_eq!(drained.rejected_draining, 2);
+        service.shutdown();
+
+        // Round-trip through bytes, like a real handoff would.
+        let manifest =
+            DrainManifest::from_bytes(&manifest.to_bytes()).expect("sealed bytes parse");
+        let successor = ScanService::start(ServeConfig::default());
+        let adopted = successor.adopt_manifest(&manifest).unwrap();
+        assert_eq!(adopted.len(), 1);
+        assert_eq!(adopted[0].stream, admission.stream, "ids survive the handoff");
+        served.extend(successor.push_chunk(admission.stream, tail).unwrap());
+        assert_eq!(successor.metrics().streams_adopted, 1);
+
+        let engine = BitGen::compile(&["cat", "do+g"]).unwrap();
+        let mut scanner = engine.streamer().unwrap();
+        let mut standalone = Vec::new();
+        for chunk in [head, tail] {
+            standalone.extend(scanner.push(chunk).unwrap());
+        }
+        assert_eq!(served, standalone, "handoff must be bit-identical");
+    }
+
+    #[test]
+    fn replay_window_survives_the_drain_handoff() {
+        let service = ScanService::start(ServeConfig::default());
+        let admission = service.open_stream("acme", &["cat"]).unwrap();
+        let acked = service.push_chunk_at(admission.stream, Some(0), b"catalog!").unwrap();
+        let (manifest, _) = service.drain(Duration::from_secs(5));
+        service.shutdown();
+
+        let successor = ScanService::start(ServeConfig::default());
+        successor.adopt_manifest(&manifest).unwrap();
+        // The ack was lost in the crash; the client re-pushes the same
+        // chunk at the same boundary against the successor.
+        let replayed =
+            successor.push_chunk_at(admission.stream, Some(0), b"catalog!").unwrap();
+        assert_eq!(replayed, acked);
+        let m = successor.metrics();
+        assert_eq!((m.pushes_replayed, m.pushes_completed), (1, 0));
+    }
+
+    #[test]
+    fn drained_post_swap_stream_rebuilds_from_its_lineage() {
+        let service = ScanService::start(ServeConfig::default());
+        let admission = service.open_stream("acme", &["cat"]).unwrap();
+        let mut served = service.push_chunk(admission.stream, b"cat dog ").unwrap();
+        let generation = service.swap_rules(admission.stream, &["dog"]).unwrap();
+        assert_eq!(generation, 1);
+        served.extend(service.push_chunk(admission.stream, b"cat dog ").unwrap());
+        let (manifest, _) = service.drain(Duration::from_secs(5));
+        assert_eq!(manifest.entries[0].lineage.len(), 2);
+        service.shutdown();
+
+        // The successor has an empty cache: the engine must come from
+        // replaying the lineage, not a lucky cache hit.
+        let successor = ScanService::start(ServeConfig::default());
+        successor.adopt_manifest(&manifest).unwrap();
+        served.extend(successor.push_chunk(admission.stream, b"cat dog ").unwrap());
+
+        let engine = BitGen::compile(&["cat"]).unwrap();
+        let mut scanner = engine.streamer().unwrap();
+        let mut standalone = Vec::new();
+        standalone.extend(scanner.push(b"cat dog ").unwrap());
+        let staged = engine.prepare_swap(&["dog"]).unwrap();
+        scanner.commit_swap(&staged).unwrap();
+        standalone.extend(scanner.push(b"cat dog ").unwrap());
+        standalone.extend(scanner.push(b"cat dog ").unwrap());
+        assert_eq!(served, standalone);
     }
 }

@@ -7,18 +7,34 @@
 //!
 //! | line | reply |
 //! |---|---|
-//! | `OPEN <tenant-hex> <pattern-hex>…` | `OK <id> HIT\|MISS` |
-//! | `PUSH <id> <chunk-hex>` | `OK <n> <end>…` |
+//! | `OPEN <tenant-hex> [D] <pattern-hex>…` | `OK <id> HIT\|MISS` |
+//! | `PUSH <id> <offset\|-> <chunk-hex>` | `OK <n> <end>…` |
 //! | `SWAP <id> <pattern-hex>…` | `OK <generation>` |
 //! | `CANCEL <id>` / `RESET <id>` | `OK` |
 //! | `CLOSE <id>` | `OK <consumed> <matches>` |
 //! | `STATS` | `OK <json>` |
 //! | `PING` | `OK` |
+//! | `DRAIN` | `OK` (daemon drains: checkpoints streams, then exits) |
 //! | `SHUTDOWN` | `OK` (daemon then exits cleanly) |
 //!
 //! An empty hex operand is spelled `-` so every token is non-empty.
-//! Errors come back as `ERR <message>` with the message flattened onto
-//! one line.
+//!
+//! `OPEN`'s optional `D` marks the stream **durable**: it survives the
+//! connection that opened it, so a client that loses its connection can
+//! reconnect and keep pushing the same stream id. Without it the stream
+//! is connection-scoped and closed when the connection ends (the PR 9
+//! leak protection for vanished clients).
+//!
+//! `PUSH`'s second operand is the client's record of the stream's byte
+//! offset before this chunk — the idempotency key. When it equals the
+//! stream's committed offset the chunk is scanned; when it names the
+//! chunk the server *already* committed (the ack was lost on the wire),
+//! the cached reply is replayed instead of scanning the bytes twice;
+//! anything else is a typed `OFFSET` refusal. `-` skips the check.
+//!
+//! Errors come back as `ERR <CODE> <message>` with the message
+//! flattened onto one line; [`ErrCode`] lists the codes and which of
+//! them mean "back off and retry".
 
 /// Lowercase hex encoding; the empty payload is `-`.
 pub fn hex_encode(bytes: &[u8]) -> String {
@@ -57,6 +73,73 @@ pub fn hex_decode(text: &str) -> Option<Vec<u8>> {
         .collect()
 }
 
+/// The machine-readable first token of an `ERR` reply, so clients can
+/// tell backpressure (retry with backoff) from protocol misuse and scan
+/// failures (don't).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrCode {
+    /// The request line did not parse; nothing was executed.
+    Proto,
+    /// The scan layer failed (compile error, execution fault, checkpoint
+    /// refusal); the stream stays at its previous boundary.
+    Scan,
+    /// No stream with this id is open on the daemon.
+    UnknownStream,
+    /// Typed backpressure: a queue or budget bound was hit. Nothing was
+    /// buffered — back off and retry.
+    Overloaded,
+    /// The daemon is draining (or this push was cancelled *by* the
+    /// drain): streams are being checkpointed for adoption. Back off and
+    /// retry against the successor instance.
+    Draining,
+    /// The request frame exceeded the daemon's line bound and was
+    /// discarded unread; the connection is out of sync and will close.
+    Frame,
+    /// A `PUSH` offset matched neither the stream's committed boundary
+    /// nor the replay window; the message leads with the committed
+    /// offset so the client can see how far it diverged.
+    Offset,
+    /// The daemon is shutting down without draining.
+    Shutdown,
+}
+
+impl ErrCode {
+    /// The wire token for this code.
+    pub fn token(self) -> &'static str {
+        match self {
+            ErrCode::Proto => "PROTO",
+            ErrCode::Scan => "SCAN",
+            ErrCode::UnknownStream => "UNKNOWN",
+            ErrCode::Overloaded => "OVERLOADED",
+            ErrCode::Draining => "DRAINING",
+            ErrCode::Frame => "FRAME",
+            ErrCode::Offset => "OFFSET",
+            ErrCode::Shutdown => "SHUTDOWN",
+        }
+    }
+
+    /// Inverse of [`ErrCode::token`].
+    pub fn parse(token: &str) -> Option<ErrCode> {
+        Some(match token {
+            "PROTO" => ErrCode::Proto,
+            "SCAN" => ErrCode::Scan,
+            "UNKNOWN" => ErrCode::UnknownStream,
+            "OVERLOADED" => ErrCode::Overloaded,
+            "DRAINING" => ErrCode::Draining,
+            "FRAME" => ErrCode::Frame,
+            "OFFSET" => ErrCode::Offset,
+            "SHUTDOWN" => ErrCode::Shutdown,
+            _ => return None,
+        })
+    }
+
+    /// `true` for the transient rejections a client should retry with
+    /// backoff ([`ErrCode::Overloaded`], [`ErrCode::Draining`]).
+    pub fn retryable(self) -> bool {
+        matches!(self, ErrCode::Overloaded | ErrCode::Draining)
+    }
+}
+
 /// One parsed request line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -64,6 +147,9 @@ pub enum Request {
     Open {
         /// Tenant the stream belongs to.
         tenant: String,
+        /// `true` when the stream outlives the connection that opened
+        /// it (the `D` flag) — required for reconnect-and-resume.
+        durable: bool,
         /// The pattern set, in submission order.
         patterns: Vec<String>,
     },
@@ -71,6 +157,9 @@ pub enum Request {
     Push {
         /// Stream handle from `OPEN`.
         id: u64,
+        /// The client's record of the stream's byte offset before this
+        /// chunk (idempotency key); `None` skips the check.
+        offset: Option<u64>,
         /// The chunk bytes.
         chunk: Vec<u8>,
     },
@@ -100,12 +189,15 @@ pub enum Request {
     Stats,
     /// Liveness probe.
     Ping,
-    /// Ask the daemon to exit cleanly.
+    /// Stop admitting, checkpoint every open stream into the drain
+    /// manifest, then exit.
+    Drain,
+    /// Ask the daemon to exit cleanly without draining.
     Shutdown,
 }
 
-/// Parses one request line; `Err` carries the complaint for an `ERR`
-/// reply.
+/// Parses one request line; `Err` carries the complaint for an `ERR
+/// PROTO` reply.
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let mut tokens = line.split_whitespace();
     let verb = tokens.next().ok_or_else(|| "empty request".to_string())?;
@@ -133,13 +225,22 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 rest.first().ok_or_else(|| "missing tenant".to_string())?,
                 "tenant",
             )?;
-            Ok(Request::Open { tenant, patterns: patterns_operand(&rest[1..])? })
+            let durable = rest.get(1) == Some(&"D");
+            let patterns = patterns_operand(&rest[if durable { 2 } else { 1 }..])?;
+            Ok(Request::Open { tenant, durable, patterns })
         }
         "PUSH" => {
             let id = id_operand(rest.first())?;
-            let chunk = hex_decode(rest.get(1).copied().unwrap_or("-"))
+            let offset = match rest.get(1) {
+                None => return Err("missing push offset".to_string()),
+                Some(&"-") => None,
+                Some(tok) => Some(
+                    tok.parse::<u64>().map_err(|_| format!("bad push offset: {tok:?}"))?,
+                ),
+            };
+            let chunk = hex_decode(rest.get(2).copied().unwrap_or("-"))
                 .ok_or_else(|| "chunk is not hex".to_string())?;
-            Ok(Request::Push { id, chunk })
+            Ok(Request::Push { id, offset, chunk })
         }
         "SWAP" => {
             let id = id_operand(rest.first())?;
@@ -150,14 +251,27 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "CLOSE" => Ok(Request::Close { id: id_operand(rest.first())? }),
         "STATS" => Ok(Request::Stats),
         "PING" => Ok(Request::Ping),
+        "DRAIN" => Ok(Request::Drain),
         "SHUTDOWN" => Ok(Request::Shutdown),
         other => Err(format!("unknown request {other:?}")),
     }
 }
 
-/// Flattens an error message onto one `ERR` line.
-pub fn err_line(message: &str) -> String {
-    format!("ERR {}", message.replace(['\n', '\r'], " "))
+/// Flattens an error onto one `ERR <CODE> <message>` line.
+pub fn err_line(code: ErrCode, message: &str) -> String {
+    format!("ERR {} {}", code.token(), message.replace(['\n', '\r'], " "))
+}
+
+/// Splits a reply line into its [`ErrCode`] and message, when it is an
+/// `ERR` line. Replies from daemons predating the code column fall back
+/// to [`ErrCode::Scan`] with the whole text as the message.
+pub fn split_err(reply: &str) -> Option<(ErrCode, &str)> {
+    let rest = reply.strip_prefix("ERR")?.trim_start();
+    let (head, tail) = rest.split_once(' ').unwrap_or((rest, ""));
+    match ErrCode::parse(head) {
+        Some(code) => Some((code, tail)),
+        None => Some((ErrCode::Scan, rest)),
+    }
 }
 
 #[cfg(test)]
@@ -181,25 +295,69 @@ mod tests {
             parse_request(&open).unwrap(),
             Request::Open {
                 tenant: "acme".to_string(),
+                durable: false,
                 patterns: vec!["a b".to_string(), "c+".to_string()],
             }
         );
+        let durable = format!("OPEN {} D {}", hex_encode(b"acme"), hex_encode(b"c+"));
         assert_eq!(
-            parse_request(&format!("PUSH 3 {}", hex_encode(b"xyz"))).unwrap(),
-            Request::Push { id: 3, chunk: b"xyz".to_vec() }
+            parse_request(&durable).unwrap(),
+            Request::Open {
+                tenant: "acme".to_string(),
+                durable: true,
+                patterns: vec!["c+".to_string()],
+            }
         );
-        assert_eq!(parse_request("PUSH 3 -").unwrap(), Request::Push { id: 3, chunk: vec![] });
+        assert_eq!(
+            parse_request(&format!("PUSH 3 128 {}", hex_encode(b"xyz"))).unwrap(),
+            Request::Push { id: 3, offset: Some(128), chunk: b"xyz".to_vec() }
+        );
+        assert_eq!(
+            parse_request(&format!("PUSH 3 - {}", hex_encode(b"xyz"))).unwrap(),
+            Request::Push { id: 3, offset: None, chunk: b"xyz".to_vec() }
+        );
+        assert_eq!(
+            parse_request("PUSH 3 - -").unwrap(),
+            Request::Push { id: 3, offset: None, chunk: vec![] }
+        );
         assert_eq!(parse_request("CLOSE 9").unwrap(), Request::Close { id: 9 });
         assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert_eq!(parse_request("DRAIN").unwrap(), Request::Drain);
         assert_eq!(parse_request("SHUTDOWN").unwrap(), Request::Shutdown);
         // Every malformed shape is a complaint, not a panic.
-        for bad in ["", "OPEN", "OPEN zz", "PUSH x", "PUSH 1 0g", "NOPE 1", "SWAP 1"] {
+        for bad in
+            ["", "OPEN", "OPEN zz", "PUSH x", "PUSH 1", "PUSH 1 z 61", "PUSH 1 - 0g", "NOPE 1", "SWAP 1"]
+        {
             assert!(parse_request(bad).is_err(), "{bad:?} should not parse");
         }
     }
 
     #[test]
-    fn err_lines_stay_single_line() {
-        assert_eq!(err_line("multi\nline\rmsg"), "ERR multi line msg");
+    fn err_lines_carry_codes_and_stay_single_line() {
+        let line = err_line(ErrCode::Overloaded, "multi\nline\rmsg");
+        assert_eq!(line, "ERR OVERLOADED multi line msg");
+        assert_eq!(split_err(&line), Some((ErrCode::Overloaded, "multi line msg")));
+        // Legacy / free-form messages classify as scan errors.
+        assert_eq!(
+            split_err("ERR something went wrong"),
+            Some((ErrCode::Scan, "something went wrong"))
+        );
+        assert_eq!(split_err("OK 3"), None);
+        for code in [
+            ErrCode::Proto,
+            ErrCode::Scan,
+            ErrCode::UnknownStream,
+            ErrCode::Overloaded,
+            ErrCode::Draining,
+            ErrCode::Frame,
+            ErrCode::Offset,
+            ErrCode::Shutdown,
+        ] {
+            assert_eq!(ErrCode::parse(code.token()), Some(code));
+            assert_eq!(
+                code.retryable(),
+                matches!(code, ErrCode::Overloaded | ErrCode::Draining)
+            );
+        }
     }
 }
